@@ -1,0 +1,32 @@
+//! Criterion micro-bench: ESPRESSO minimization throughput on random and
+//! Table 1 workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logic::espresso;
+use mcnc::RandomPla;
+
+fn bench_espresso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("espresso");
+    for &(inputs, outputs, products) in &[(6, 2, 16), (8, 4, 32), (10, 4, 64)] {
+        let cover = RandomPla::new(inputs, outputs, products)
+            .seed(42)
+            .literal_density(0.5)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{inputs}i{outputs}o{products}p")),
+            &cover,
+            |b, cover| b.iter(|| espresso(std::hint::black_box(cover))),
+        );
+    }
+    for bench in mcnc::table1_benchmarks() {
+        group.bench_with_input(
+            BenchmarkId::new("table1", bench.name),
+            &bench.on,
+            |b, on| b.iter(|| espresso(std::hint::black_box(on))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_espresso);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-bench: output-phase optimization and Doppio-Espresso
+//! WPLA synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logic::Cover;
+use mcnc::RandomPla;
+use phaseopt::{optimize_output_phases, synthesize_wpla, PhaseStrategy};
+
+fn bench_phaseopt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phaseopt");
+    group.sample_size(10);
+    for &(inputs, outputs, products) in &[(6usize, 2usize, 12usize), (6, 3, 18)] {
+        let f = RandomPla::new(inputs, outputs, products)
+            .seed(3)
+            .literal_density(0.4)
+            .build();
+        let dc = Cover::new(inputs, outputs);
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{inputs}i{outputs}o{products}p")),
+            &(&f, &dc),
+            |b, (f, dc)| {
+                b.iter(|| optimize_output_phases(f, dc, std::hint::black_box(PhaseStrategy::Greedy)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wpla", format!("{inputs}i{outputs}o{products}p")),
+            &(&f, &dc),
+            |b, (f, dc)| b.iter(|| synthesize_wpla(f, dc)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phaseopt);
+criterion_main!(benches);

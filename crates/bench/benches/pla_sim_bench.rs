@@ -1,0 +1,39 @@
+//! Criterion micro-bench: GNOR-PLA functional simulation throughput
+//! (mapping, exhaustive simulation, programming round-trip).
+
+use ambipla_core::GnorPla;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pla(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnor_pla");
+    for bench in mcnc::table1_benchmarks() {
+        let pla = GnorPla::from_cover(&bench.on);
+        group.bench_with_input(
+            BenchmarkId::new("map", bench.name),
+            &bench.on,
+            |b, on| b.iter(|| GnorPla::from_cover(std::hint::black_box(on))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simulate_1k", bench.name),
+            &pla,
+            |b, pla| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for bits in 0..1024u64 {
+                        acc += usize::from(pla.simulate_bits(std::hint::black_box(bits))[0]);
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("program", bench.name),
+            &pla,
+            |b, pla| b.iter(|| pla.program(std::hint::black_box(1e-3))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pla);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion micro-bench: FPGA place-and-route flow (the Table 2 inner
+//! loop), per flavor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga::{emulate, Circuit, FpgaArch, FpgaFlavor};
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpga_flow");
+    group.sample_size(10);
+    for &blocks in &[30usize, 63] {
+        let circuit = Circuit::random(blocks, 3, 0.95, 11);
+        let arch = FpgaArch::sized_for(blocks, 0.99);
+        for flavor in [FpgaFlavor::Standard, FpgaFlavor::CnfetPla] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{flavor:?}"), blocks),
+                &(&circuit, &arch),
+                |b, (circuit, arch)| {
+                    b.iter(|| emulate(circuit, arch, flavor, std::hint::black_box(11)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route);
+criterion_main!(benches);

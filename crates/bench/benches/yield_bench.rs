@@ -1,0 +1,38 @@
+//! Criterion micro-bench: Monte-Carlo yield analysis (defect sampling,
+//! repair matching, fault-simulation verification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fault::yield_curve;
+use logic::Cover;
+
+fn bench_yield(c: &mut Criterion) {
+    let f = Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover");
+    let mut group = c.benchmark_group("yield");
+    group.sample_size(10);
+    for &trials in &[20usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(trials),
+            &trials,
+            |b, &trials| {
+                b.iter(|| {
+                    yield_curve(
+                        std::hint::black_box(&f),
+                        4,
+                        &[0.01, 0.05],
+                        trials,
+                        7,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_yield);
+criterion_main!(benches);

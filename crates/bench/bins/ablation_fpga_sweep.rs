@@ -1,0 +1,46 @@
+//! Ablation: where the Table 2 speedup comes from — sweeps of the routing
+//! channel capacity (congestion relief) and of the die utilization (the
+//! "standard one is full" condition).
+//!
+//! Run: `cargo run --release -p bench --bin ablation_fpga_sweep`
+
+use fpga::{channel_capacity_sweep, utilization_sweep, Circuit};
+
+fn main() {
+    let circuit = Circuit::random(63, 3, 0.95, 11);
+    println!("# Table 2 decomposition — what drives the 2.3x speedup");
+    println!();
+    println!("## Channel-capacity sweep (die fixed at 99% standard utilization)");
+    println!();
+    println!("| tracks | std MHz | CNFET MHz | speedup | std overused |");
+    println!("|--------|---------|-----------|---------|--------------|");
+    for pt in channel_capacity_sweep(&circuit, &[4, 6, 8, 10, 14, 20, 32], 11) {
+        println!(
+            "| {:>6} | {:>7.0} | {:>9.0} | {:>6.2}x | {:>12} |",
+            pt.x,
+            pt.standard.frequency_mhz(),
+            pt.cnfet.frequency_mhz(),
+            pt.speedup(),
+            pt.standard.overused_segments
+        );
+    }
+    println!();
+    println!("## Utilization sweep (channel capacity fixed at 10 tracks)");
+    println!();
+    println!("| target util | std occ | std MHz | CNFET MHz | speedup |");
+    println!("|-------------|---------|---------|-----------|---------|");
+    for pt in utilization_sweep(&circuit, &[0.3, 0.5, 0.7, 0.9, 0.99], 11) {
+        println!(
+            "| {:>11.2} | {:>6.1}% | {:>7.0} | {:>9.0} | {:>6.2}x |",
+            pt.x,
+            pt.standard.occupancy_percent(),
+            pt.standard.frequency_mhz(),
+            pt.cnfet.frequency_mhz(),
+            pt.speedup()
+        );
+    }
+    println!();
+    println!("Reading: with abundant tracks or an empty die the speedup decays");
+    println!("towards the pure signal-count/packing ratio; at the paper's full-die");
+    println!("operating point congestion amplifies it to ~2.3x.");
+}

@@ -1,0 +1,48 @@
+//! Ablation: crosspoint-fault test generation for GNOR PLAs — the
+//! manufacturing-test side of the §5 reliability story: every single
+//! stuck-off/stuck-on crosspoint fault is detected by a compact pattern
+//! set.
+//!
+//! Run: `cargo run --release -p bench --bin ablation_testgen`
+
+use fault::{generate_tests, verify_tests};
+
+fn main() {
+    println!("# Test generation — single crosspoint faults on GNOR PLAs");
+    println!();
+    println!("| benchmark  | faults | benign | patterns | coverage | verified |");
+    println!("|------------|--------|--------|----------|----------|----------|");
+    for b in mcnc::classics() {
+        let ts = generate_tests(&b.on);
+        let (caught, detectable) = verify_tests(&b.on, &ts.patterns);
+        println!(
+            "| {:<10} | {:>6} | {:>6} | {:>8} | {:>7.1}% | {:>8} |",
+            b.name,
+            ts.total,
+            ts.benign,
+            ts.patterns.len(),
+            100.0 * ts.coverage(),
+            caught == detectable
+        );
+        assert_eq!(caught, detectable, "{}: test set incomplete", b.name);
+    }
+    for seed in 0..4u64 {
+        let f = mcnc::RandomPla::new(6, 2, 10)
+            .seed(seed)
+            .literal_density(0.5)
+            .build();
+        let ts = generate_tests(&f);
+        let (caught, detectable) = verify_tests(&f, &ts.patterns);
+        println!(
+            "| random6x2#{seed} | {:>6} | {:>6} | {:>8} | {:>7.1}% | {:>8} |",
+            ts.total,
+            ts.benign,
+            ts.patterns.len(),
+            100.0 * ts.coverage(),
+            caught == detectable
+        );
+    }
+    println!();
+    println!("Every detectable single crosspoint fault is caught; pattern counts");
+    println!("stay far below the fault counts thanks to greedy compaction.");
+}

@@ -1,0 +1,66 @@
+//! Ablation: device variability → GNOR row noise margin → usable PLA row
+//! width. Quantifies the "unreliable devices" the paper's fault-tolerance
+//! remark is about, from the device statistics upward.
+//!
+//! Run: `cargo run --release -p bench --bin ablation_variability`
+
+use cnfet::VariabilityModel;
+
+fn main() {
+    println!("# Device variability — GNOR noise margin vs row width");
+    println!();
+    println!("(margin = weakest on-current / summed off-leakage; <1 is non-functional)");
+    println!();
+    let widths = [4usize, 8, 16, 33, 64, 128];
+
+    for (label, model) in [
+        (
+            "ideal   (sigma=0,  0% metallic)",
+            VariabilityModel::nominal()
+                .with_diameter_sigma(0.0)
+                .with_metallic_fraction(0.0),
+        ),
+        (
+            "typical (sigma=10%, 0% metallic)",
+            VariabilityModel::nominal().with_metallic_fraction(0.0),
+        ),
+        (
+            "harsh   (sigma=20%, 0% metallic)",
+            VariabilityModel::nominal()
+                .with_diameter_sigma(0.20)
+                .with_metallic_fraction(0.0),
+        ),
+    ] {
+        println!("## {label}");
+        println!();
+        println!("| row width | worst margin (100 MC) | functional |");
+        println!("|-----------|------------------------|------------|");
+        for &w in &widths {
+            let margin = model.gnor_noise_margin(w, 100, 42);
+            println!(
+                "| {:>9} | {:>22.1} | {:>10} |",
+                w,
+                margin,
+                margin > 1.0
+            );
+        }
+        println!();
+    }
+
+    println!("## metallic tubes become stuck-on defects");
+    println!();
+    println!("| metallic fraction | expected stuck-on rate | margin (width 16) |");
+    println!("|-------------------|------------------------|-------------------|");
+    for frac in [0.0, 0.01, 0.05] {
+        let m = VariabilityModel::nominal().with_metallic_fraction(frac);
+        println!(
+            "| {:>17.2} | {:>22.2} | {:>17.2} |",
+            frac,
+            m.expected_stuck_on_rate(),
+            m.gnor_noise_margin(16, 100, 42)
+        );
+    }
+    println!();
+    println!("The t2 PLA (33 columns) sits inside the functional row-width range;");
+    println!("metallic tubes must be handled by the repair flow (ablation_yield).");
+}

@@ -1,0 +1,43 @@
+//! Ablation for the paper's §5 fault-tolerance claim: the regular,
+//! individually programmable GNOR array lets spare-row repair "improve the
+//! yield of the unreliable devices making up the PLA".
+//!
+//! Sweeps the per-crosspoint defect rate and reports Monte-Carlo yield
+//! with and without spare-row repair.
+//!
+//! Run: `cargo run --release -p bench --bin ablation_yield`
+
+use fault::yield_curve;
+use logic::Cover;
+
+fn main() {
+    println!("# §5 ablation — yield of defective GNOR-PLA arrays");
+    println!();
+    let f = Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover");
+    let rates = [0.001, 0.003, 0.01, 0.03, 0.1];
+    let trials = 200;
+
+    for spares in [2usize, 4] {
+        println!("## {spares} spare rows, {trials} Monte-Carlo trials per point");
+        println!();
+        println!("| defect rate | raw yield | repaired yield | improvement |");
+        println!("|-------------|-----------|----------------|-------------|");
+        for pt in yield_curve(&f, spares, &rates, trials, 2024) {
+            println!(
+                "| {:>11.3} | {:>8.1}% | {:>13.1}% | {:>+10.1}% |",
+                pt.defect_rate,
+                100.0 * pt.raw_yield,
+                100.0 * pt.repaired_yield,
+                100.0 * pt.improvement()
+            );
+        }
+        println!();
+    }
+    println!("Paper claim: fault tolerance 'is expected to improve the yield' —");
+    println!("reproduced whenever the repaired column dominates the raw column.");
+}

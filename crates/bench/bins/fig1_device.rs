@@ -1,0 +1,55 @@
+//! Regenerates the content of **Fig. 1**: the ambipolar CNFET's three
+//! programmable states and its PG transfer characteristics.
+//!
+//! The paper's Fig. 1 is a device sketch; its quantitative content is the
+//! state table (PG level → polarity → CG switching rule) and the V-shaped
+//! ambipolar transfer curve of the underlying device (Lin et al.,
+//! IEDM 2004), both printed here.
+//!
+//! Run: `cargo run --release -p bench --bin fig1_device`
+
+use cnfet::{AmbipolarCnfet, DeviceParams, PgLevel};
+
+fn main() {
+    println!("# Fig. 1 — Ambipolar CNFET: states and transfer curve");
+    println!();
+    println!("## State table (CG switching rule per programmed PG level)");
+    println!();
+    println!("| PG level | polarity | CG=0 | CG=1 |");
+    println!("|----------|----------|------|------|");
+    for level in [PgLevel::VPlus, PgLevel::VZero, PgLevel::VMinus] {
+        let d = AmbipolarCnfet::new(level);
+        println!(
+            "| {:<8} | {:<8} | {:<4} | {:<4} |",
+            level.to_string(),
+            d.polarity().to_string(),
+            if d.conduction(false).is_on() { "on" } else { "off" },
+            if d.conduction(true).is_on() { "on" } else { "off" },
+        );
+    }
+
+    let params = DeviceParams::nominal();
+    println!();
+    println!("## PG transfer sweep, I(V_PG) in amperes (21 points)");
+    println!();
+    println!("| V_PG (V) | I @ CG=1 (A) | I @ CG=0 (A) |");
+    println!("|----------|--------------|--------------|");
+    let high = params.pg_sweep(1.0, 21);
+    let low = params.pg_sweep(0.0, 21);
+    for (h, l) in high.iter().zip(&low) {
+        println!(
+            "| {:>8.2} | {:>12.3e} | {:>12.3e} |",
+            h.v_pg, h.current, l.current
+        );
+    }
+    println!();
+    println!("Figures of merit:");
+    println!("  on/off ratio (V+ vs V0, CG=1): {:.0}", params.on_off_ratio());
+    println!(
+        "  R_on n-type: {:.1} kOhm   R_on p-type: {:.1} kOhm   R_off: {:.2} MOhm",
+        params.r_on(cnfet::Polarity::NType) / 1e3,
+        params.r_on(cnfet::Polarity::PType) / 1e3,
+        params.r_off() / 1e6
+    );
+    println!("  shape check: conduction minimum sits in the V0 window (V-curve).");
+}

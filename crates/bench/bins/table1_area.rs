@@ -1,0 +1,90 @@
+//! Regenerates **Table 1**: area of logic functions in three technologies.
+//!
+//! Pipeline: MCNC benchmark (stand-in) → ESPRESSO minimization → PLA
+//! dimensions → area model (Flash / EEPROM / ambipolar CNFET basic cells).
+//!
+//! Run: `cargo run --release -p bench --bin table1_area`
+
+use ambipla_core::area::cnfet_saving_over;
+use ambipla_core::{PlaDimensions, Technology};
+use logic::espresso_with_dc;
+
+// Paper values for side-by-side comparison (L^2).
+const PAPER: [(&str, f64, f64, f64); 4] = [
+    ("Basic cell", 40.0, 100.0, 60.0),
+    ("max46", 34960.0, 87400.0, 27600.0),
+    ("apla", 32000.0, 80000.0, 33000.0),
+    ("t2", 104000.0, 260000.0, 102960.0),
+];
+
+fn main() {
+    println!("# Table 1 — Area of logic functions in 3 technologies (L^2)");
+    println!();
+    println!(
+        "| {:<10} | {:>10} | {:>10} | {:>10} | paper (Flash/EEPROM/CNFET) |",
+        "function", "Flash", "EEPROM", "CNFET"
+    );
+    println!(
+        "|{}|{}|{}|{}|----------------------------|",
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(12)
+    );
+    println!(
+        "| {:<10} | {:>10} | {:>10} | {:>10} | {}/{}/{} |",
+        "basic cell",
+        Technology::Flash.cell_area_l2(),
+        Technology::Eeprom.cell_area_l2(),
+        Technology::CnfetGnor.cell_area_l2(),
+        PAPER[0].1,
+        PAPER[0].2,
+        PAPER[0].3,
+    );
+
+    for (idx, bench) in mcnc::table1_benchmarks().iter().enumerate() {
+        let (min, stats) = espresso_with_dc(&bench.on, &bench.dc);
+        let dims = PlaDimensions {
+            inputs: min.n_inputs(),
+            outputs: min.n_outputs(),
+            products: min.len(),
+        };
+        let flash = Technology::Flash.pla_area(dims);
+        let eeprom = Technology::Eeprom.pla_area(dims);
+        let cnfet = Technology::CnfetGnor.pla_area(dims);
+        let paper = PAPER[idx + 1];
+        println!(
+            "| {:<10} | {:>10} | {:>10} | {:>10} | {}/{}/{} |",
+            bench.name, flash, eeprom, cnfet, paper.1, paper.2, paper.3
+        );
+        eprintln!(
+            "  {}: dims {dims}, espresso kept {} of {} cubes",
+            bench.name, stats.final_cubes, stats.initial_cubes,
+        );
+    }
+
+    println!();
+    println!("Paper claims reproduced:");
+    let max46 = PlaDimensions {
+        inputs: 9,
+        outputs: 1,
+        products: 46,
+    };
+    let apla = PlaDimensions {
+        inputs: 10,
+        outputs: 12,
+        products: 25,
+    };
+    println!(
+        "  max46 saving over Flash : {:+.1}% (paper: ~21%)",
+        100.0 * cnfet_saving_over(Technology::Flash, max46)
+    );
+    println!(
+        "  apla overhead over Flash: {:+.1}% (paper: ~3% overhead)",
+        -100.0 * cnfet_saving_over(Technology::Flash, apla)
+    );
+    println!(
+        "  max46 saving over EEPROM: {:+.1}% (paper: up to 68%)",
+        100.0 * cnfet_saving_over(Technology::Eeprom, max46)
+    );
+}

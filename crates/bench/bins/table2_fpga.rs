@@ -1,0 +1,60 @@
+//! Regenerates **Table 2**: occupancy and frequency of a standard FPGA vs
+//! the emulated ambipolar-CNFET PLA-based FPGA.
+//!
+//! Methodology (paper, Section 5): one circuit; a standard FPGA sized to be
+//! ~99 % full; the same circuit on the same die with half-area CLBs and
+//! without complement rails. Place (simulated annealing), route (negotiated
+//! maze router), extract the critical path.
+//!
+//! Run: `cargo run --release -p bench --bin table2_fpga`
+
+use fpga::emulate::table2;
+use fpga::{Circuit, FpgaArch};
+
+fn main() {
+    // A mid-size circuit with near-universal complement rails ("the number
+    // of signals to route is reduced by almost the factor 2").
+    let circuit = Circuit::random(63, 3, 0.95, 11);
+    let arch = FpgaArch::sized_for(circuit.n_blocks(), 0.99);
+    let (std_r, cn_r) = table2(&circuit, &arch, 11);
+
+    println!("# Table 2 — Frequency of standard FPGA and CNFET FPGA");
+    println!();
+    println!(
+        "| {:<15} | {:>14} | {:>12} | paper |",
+        "", "Standard FPGA", "CNFET FPGA"
+    );
+    println!("|-----------------|----------------|--------------|-------|");
+    println!(
+        "| {:<15} | {:>13.1}% | {:>11.1}% | 99% / 44.9% |",
+        "Occupied area",
+        std_r.occupancy_percent(),
+        cn_r.occupancy_percent()
+    );
+    println!(
+        "| {:<15} | {:>10.0} MHz | {:>8.0} MHz | 154 / 349 MHz |",
+        "Frequency",
+        std_r.frequency_mhz(),
+        cn_r.frequency_mhz()
+    );
+    println!();
+    println!("Supporting measurements:");
+    println!(
+        "  routed connections : {} -> {} (signal reduction x{:.2}; paper: 'almost factor 2')",
+        std_r.routed_connections,
+        cn_r.routed_connections,
+        std_r.routed_connections as f64 / cn_r.routed_connections.max(1) as f64
+    );
+    println!(
+        "  total wirelength   : {} -> {} channel segments",
+        std_r.wirelength, cn_r.wirelength
+    );
+    println!(
+        "  overused segments  : {} -> {}",
+        std_r.overused_segments, cn_r.overused_segments
+    );
+    println!(
+        "  speedup            : {:.2}x (paper: 349/154 = 2.27x)",
+        cn_r.frequency / std_r.frequency
+    );
+}

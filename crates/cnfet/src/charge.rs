@@ -1,0 +1,211 @@
+//! Stored-charge polarity-gate node.
+//!
+//! Section 4 of the paper avoids one routed wire per polarity gate by
+//! **storing a charge** on every PG during the configuration phase ("a charge
+//! corresponding to the voltage of the wished polarity is saved on every
+//! PG"). That makes the PG a dynamic node, like a DRAM cell: it leaks and
+//! must be refreshed. This module models that node: programming, exponential
+//! leakage towards the floating midpoint, readback quantization and refresh
+//! scheduling.
+
+use crate::device::{PgLevel, VDD};
+
+/// A dynamic storage node holding one polarity-gate voltage.
+///
+/// Leakage relaxes the stored voltage exponentially towards `VDD/2` (the
+/// equilibrium of a floating node between the two plates), which is also the
+/// *always-off* level — so an unrefreshed array fails safe: devices drop out
+/// of the logic function instead of flipping polarity.
+///
+/// # Example
+///
+/// ```
+/// use cnfet::{ChargeNode, PgLevel};
+///
+/// let mut node = ChargeNode::new(1e-3); // 1 ms retention
+/// node.program(PgLevel::VPlus);
+/// assert_eq!(node.read_level(), PgLevel::VPlus);
+/// node.advance(5e-3); // five time constants later…
+/// assert_eq!(node.read_level(), PgLevel::VZero); // …the device is off
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeNode {
+    voltage: f64,
+    tau: f64,
+    age: f64,
+}
+
+impl ChargeNode {
+    /// A fresh (unprogrammed) node with retention time constant `tau`
+    /// seconds. Fresh nodes sit at the `V0` equilibrium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not strictly positive and finite.
+    pub fn new(tau: f64) -> ChargeNode {
+        assert!(tau > 0.0 && tau.is_finite(), "retention must be positive");
+        ChargeNode {
+            voltage: VDD / 2.0,
+            tau,
+            age: 0.0,
+        }
+    }
+
+    /// Drive the node to the target level (configuration-phase write).
+    /// Resets the node age.
+    pub fn program(&mut self, level: PgLevel) {
+        self.voltage = level.voltage();
+        self.age = 0.0;
+    }
+
+    /// Current analog node voltage, volts.
+    pub fn voltage(&self) -> f64 {
+        self.voltage
+    }
+
+    /// Set the analog node voltage directly (half-select disturb coupling).
+    /// Does not reset the node age: a disturb is not a refresh.
+    pub(crate) fn set_voltage(&mut self, v: f64) {
+        self.voltage = v;
+    }
+
+    /// Seconds since the last program/refresh.
+    pub fn age(&self) -> f64 {
+        self.age
+    }
+
+    /// Let the node leak for `dt` seconds: exponential relaxation towards
+    /// `VDD/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or non-finite.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0 && dt.is_finite(), "time must be non-negative");
+        let mid = VDD / 2.0;
+        self.voltage = mid + (self.voltage - mid) * (-dt / self.tau).exp();
+        self.age += dt;
+    }
+
+    /// Quantize the stored voltage back to a [`PgLevel`].
+    pub fn read_level(&self) -> PgLevel {
+        PgLevel::from_voltage(self.voltage)
+    }
+
+    /// True if the stored level still decodes to `intended`.
+    pub fn holds(&self, intended: PgLevel) -> bool {
+        self.read_level() == intended
+    }
+
+    /// Re-assert the currently decoded level (refresh-in-place). A node that
+    /// has already decayed into the `V0` band is refreshed *as off* — the
+    /// fail-safe noted in the type docs — so refresh must run within
+    /// [`ChargeNode::retention_deadline`] of programming.
+    pub fn refresh(&mut self) {
+        let level = self.read_level();
+        self.program(level);
+    }
+
+    /// Time (seconds) after programming at which a `V+`/`V−` level decays
+    /// into the `V0` guard band and is lost: `tau · ln(ΔV_prog / ΔV_guard)`.
+    pub fn retention_deadline(&self) -> f64 {
+        let swing = VDD / 2.0; // programmed offset from the midpoint
+        let guard = VDD / 6.0; // quantizer guard band (see PgLevel)
+        self.tau * (swing / guard).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_is_off() {
+        let node = ChargeNode::new(1.0);
+        assert_eq!(node.read_level(), PgLevel::VZero);
+    }
+
+    #[test]
+    fn programming_sets_exact_voltage() {
+        let mut node = ChargeNode::new(1.0);
+        node.program(PgLevel::VMinus);
+        assert_eq!(node.voltage(), 0.0);
+        assert!(node.holds(PgLevel::VMinus));
+    }
+
+    #[test]
+    fn leakage_relaxes_towards_midpoint() {
+        let mut node = ChargeNode::new(1.0);
+        node.program(PgLevel::VPlus);
+        node.advance(0.5);
+        assert!(node.voltage() < VDD);
+        assert!(node.voltage() > VDD / 2.0);
+        node.advance(100.0);
+        assert!((node.voltage() - VDD / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decayed_node_reads_off_not_opposite() {
+        // Fail-safe: a leaked V− node must never read as V+ (or vice versa).
+        let mut node = ChargeNode::new(1.0);
+        node.program(PgLevel::VMinus);
+        node.advance(50.0);
+        assert_eq!(node.read_level(), PgLevel::VZero);
+    }
+
+    #[test]
+    fn refresh_before_deadline_preserves_level() {
+        let mut node = ChargeNode::new(1e-3);
+        node.program(PgLevel::VPlus);
+        let deadline = node.retention_deadline();
+        assert!(deadline > 0.0);
+        node.advance(deadline * 0.9);
+        assert!(node.holds(PgLevel::VPlus));
+        node.refresh();
+        assert_eq!(node.voltage(), VDD);
+        assert_eq!(node.age(), 0.0);
+    }
+
+    #[test]
+    fn refresh_after_deadline_loses_level() {
+        let mut node = ChargeNode::new(1e-3);
+        node.program(PgLevel::VPlus);
+        node.advance(node.retention_deadline() * 1.5);
+        node.refresh();
+        assert_eq!(node.read_level(), PgLevel::VZero);
+    }
+
+    #[test]
+    fn deadline_matches_simulation() {
+        let mut node = ChargeNode::new(2e-3);
+        node.program(PgLevel::VPlus);
+        let d = node.retention_deadline();
+        let mut probe = node;
+        probe.advance(d * 0.999);
+        assert!(probe.holds(PgLevel::VPlus), "just before deadline");
+        let mut probe2 = node;
+        probe2.advance(d * 1.001);
+        assert!(!probe2.holds(PgLevel::VPlus), "just after deadline");
+    }
+
+    #[test]
+    fn age_accumulates() {
+        let mut node = ChargeNode::new(1.0);
+        node.program(PgLevel::VPlus);
+        node.advance(0.25);
+        node.advance(0.25);
+        assert!((node.age() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "retention must be positive")]
+    fn zero_tau_rejected() {
+        let _ = ChargeNode::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time must be non-negative")]
+    fn negative_time_rejected() {
+        ChargeNode::new(1.0).advance(-1.0);
+    }
+}

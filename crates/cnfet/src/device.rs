@@ -1,0 +1,256 @@
+//! Three-state ambipolar CNFET behavioural model.
+//!
+//! The device has two gates (Fig. 1 of the paper): the **control gate** (CG)
+//! acts like a conventional MOSFET gate, while the **polarity gate** (PG)
+//! electrostatically dopes the Schottky contact regions and thereby selects
+//! whether the channel conducts electrons, holes, or nothing.
+
+use std::fmt;
+
+/// Nominal supply voltage of the technology, in volts.
+///
+/// The paper defines the always-off PG level as `V0 = VDD/2`; all voltage
+/// thresholds below are expressed relative to this supply.
+pub const VDD: f64 = 1.0;
+
+/// Discrete polarity-gate programming level.
+///
+/// These are the three PG voltages of Section 2: `V+` (n-type), `V−`
+/// (p-type) and `V0 = VDD/2` (always off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PgLevel {
+    /// `V+`: high PG voltage — thins the Schottky barrier for electrons.
+    VPlus,
+    /// `V0 = VDD/2`: both barriers opaque — device always off.
+    #[default]
+    VZero,
+    /// `V−`: low PG voltage — thins the Schottky barrier for holes.
+    VMinus,
+}
+
+impl PgLevel {
+    /// The analog PG voltage (in volts) this level programs.
+    pub fn voltage(self) -> f64 {
+        match self {
+            PgLevel::VPlus => VDD,
+            PgLevel::VZero => VDD / 2.0,
+            PgLevel::VMinus => 0.0,
+        }
+    }
+
+    /// Quantize an analog PG voltage back to the nearest level, with a
+    /// guard band of ±`VDD/6` around `V0` (between the bands the behaviour
+    /// is still classified to the closest level, matching the monotonic
+    /// barrier-thinning physics).
+    pub fn from_voltage(v: f64) -> PgLevel {
+        let mid = VDD / 2.0;
+        let guard = VDD / 6.0;
+        if v > mid + guard {
+            PgLevel::VPlus
+        } else if v < mid - guard {
+            PgLevel::VMinus
+        } else {
+            PgLevel::VZero
+        }
+    }
+
+    /// The polarity this PG level programs.
+    pub fn polarity(self) -> Polarity {
+        match self {
+            PgLevel::VPlus => Polarity::NType,
+            PgLevel::VZero => Polarity::Off,
+            PgLevel::VMinus => Polarity::PType,
+        }
+    }
+}
+
+impl fmt::Display for PgLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PgLevel::VPlus => "V+",
+            PgLevel::VZero => "V0",
+            PgLevel::VMinus => "V-",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Effective carrier polarity of a programmed device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Polarity {
+    /// Electron conduction: behaves like an nFET (conducts on CG high).
+    NType,
+    /// Hole conduction: behaves like a pFET (conducts on CG low).
+    PType,
+    /// Both Schottky barriers opaque: never conducts.
+    #[default]
+    Off,
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Polarity::NType => "n",
+            Polarity::PType => "p",
+            Polarity::Off => "off",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Channel conduction state for a given (PG, CG) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Conduction {
+    /// Low-resistance channel.
+    On,
+    /// High-resistance channel (only leakage flows).
+    HighResistive,
+}
+
+impl Conduction {
+    /// True if the channel conducts.
+    pub fn is_on(self) -> bool {
+        matches!(self, Conduction::On)
+    }
+}
+
+/// One ambipolar CNFET: programmed PG level plus the switching rule.
+///
+/// # Example
+///
+/// ```
+/// use cnfet::{AmbipolarCnfet, PgLevel};
+///
+/// let n = AmbipolarCnfet::new(PgLevel::VPlus);
+/// assert!(n.conduction(true).is_on()); // n-type conducts on CG high
+/// assert!(!n.conduction(false).is_on());
+///
+/// let p = AmbipolarCnfet::new(PgLevel::VMinus);
+/// assert!(p.conduction(false).is_on()); // p-type conducts on CG low
+///
+/// let off = AmbipolarCnfet::new(PgLevel::VZero);
+/// assert!(!off.conduction(true).is_on()); // dropped from the function
+/// assert!(!off.conduction(false).is_on());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AmbipolarCnfet {
+    pg: PgLevel,
+}
+
+impl AmbipolarCnfet {
+    /// A device programmed to the given PG level.
+    pub fn new(pg: PgLevel) -> AmbipolarCnfet {
+        AmbipolarCnfet { pg }
+    }
+
+    /// The programmed PG level.
+    pub fn pg_level(&self) -> PgLevel {
+        self.pg
+    }
+
+    /// Reprogram the PG level.
+    pub fn set_pg_level(&mut self, pg: PgLevel) {
+        self.pg = pg;
+    }
+
+    /// The effective polarity.
+    pub fn polarity(&self) -> Polarity {
+        self.pg.polarity()
+    }
+
+    /// Channel state for a logic-level CG input.
+    ///
+    /// n-type conducts when CG is high, p-type when CG is low, `V0`-programmed
+    /// devices never conduct. This is the digital abstraction of the
+    /// transfer characteristics in [`crate::iv`].
+    pub fn conduction(&self, cg_high: bool) -> Conduction {
+        let on = match self.polarity() {
+            Polarity::NType => cg_high,
+            Polarity::PType => !cg_high,
+            Polarity::Off => false,
+        };
+        if on {
+            Conduction::On
+        } else {
+            Conduction::HighResistive
+        }
+    }
+
+    /// Channel state for an analog CG voltage: the digital rule applied to a
+    /// `VDD/2` threshold.
+    pub fn conduction_analog(&self, v_cg: f64) -> Conduction {
+        self.conduction(v_cg > VDD / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pg_levels_map_to_polarity() {
+        assert_eq!(PgLevel::VPlus.polarity(), Polarity::NType);
+        assert_eq!(PgLevel::VMinus.polarity(), Polarity::PType);
+        assert_eq!(PgLevel::VZero.polarity(), Polarity::Off);
+    }
+
+    #[test]
+    fn pg_voltage_roundtrip() {
+        for level in [PgLevel::VPlus, PgLevel::VZero, PgLevel::VMinus] {
+            assert_eq!(PgLevel::from_voltage(level.voltage()), level);
+        }
+    }
+
+    #[test]
+    fn quantization_guard_band() {
+        assert_eq!(PgLevel::from_voltage(0.51), PgLevel::VZero);
+        assert_eq!(PgLevel::from_voltage(0.49), PgLevel::VZero);
+        assert_eq!(PgLevel::from_voltage(0.9), PgLevel::VPlus);
+        assert_eq!(PgLevel::from_voltage(0.1), PgLevel::VMinus);
+    }
+
+    #[test]
+    fn ntype_is_nfet_like() {
+        let d = AmbipolarCnfet::new(PgLevel::VPlus);
+        assert!(d.conduction(true).is_on());
+        assert!(!d.conduction(false).is_on());
+    }
+
+    #[test]
+    fn ptype_is_pfet_like() {
+        let d = AmbipolarCnfet::new(PgLevel::VMinus);
+        assert!(!d.conduction(true).is_on());
+        assert!(d.conduction(false).is_on());
+    }
+
+    #[test]
+    fn vzero_is_always_off() {
+        let d = AmbipolarCnfet::new(PgLevel::VZero);
+        for cg in [true, false] {
+            assert!(!d.conduction(cg).is_on());
+        }
+    }
+
+    #[test]
+    fn default_device_is_off() {
+        // Fresh (unprogrammed) arrays must not conduct: V0 is the default.
+        let d = AmbipolarCnfet::default();
+        assert_eq!(d.polarity(), Polarity::Off);
+    }
+
+    #[test]
+    fn analog_cg_threshold() {
+        let d = AmbipolarCnfet::new(PgLevel::VPlus);
+        assert!(d.conduction_analog(0.8).is_on());
+        assert!(!d.conduction_analog(0.2).is_on());
+    }
+
+    #[test]
+    fn reprogramming_changes_behaviour() {
+        let mut d = AmbipolarCnfet::new(PgLevel::VPlus);
+        assert!(d.conduction(true).is_on());
+        d.set_pg_level(PgLevel::VMinus);
+        assert!(!d.conduction(true).is_on());
+        assert!(d.conduction(false).is_on());
+    }
+}

@@ -1,0 +1,159 @@
+//! Switching-energy model of dynamic GNOR arrays.
+//!
+//! Dynamic logic pays `C·VDD²` for every line that discharges during
+//! evaluate and is re-charged during precharge. The energy of a PLA cycle
+//! is therefore the sum of the line capacitances weighted by their
+//! **switching activity** (the probability that the line discharges).
+//! Configuration adds a one-off programming energy per device.
+
+use crate::device::VDD;
+use crate::iv::DeviceParams;
+
+/// Energy model over the device capacitances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Device electricals (capacitances).
+    pub params: DeviceParams,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+}
+
+impl EnergyModel {
+    /// Model at the nominal device parameters and supply.
+    pub fn nominal() -> EnergyModel {
+        EnergyModel {
+            params: DeviceParams::nominal(),
+            vdd: VDD,
+        }
+    }
+
+    /// Capacitance (farads) of one dynamic line spanning `span_cells`
+    /// cells and loading `fanout` gates.
+    pub fn line_capacitance(&self, span_cells: usize, fanout: usize) -> f64 {
+        self.params.c_wire_per_cell * span_cells as f64
+            + self.params.c_gate * fanout.max(1) as f64
+    }
+
+    /// Energy of one full discharge+recharge of a line (joules).
+    pub fn line_switch_energy(&self, span_cells: usize, fanout: usize) -> f64 {
+        self.line_capacitance(span_cells, fanout) * self.vdd * self.vdd
+    }
+
+    /// Mean energy per precharge/evaluate cycle of a two-plane PLA with
+    /// `products` rows over `inputs` columns and `outputs` lines over
+    /// `products` columns.
+    ///
+    /// `p1_activity` / `p2_activity` are the per-line discharge
+    /// probabilities (a GNOR product line discharges unless its product is
+    /// true — typically high; an output line discharges when the output's
+    /// complement is low).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both activities are in `[0, 1]`.
+    pub fn pla_cycle_energy(
+        &self,
+        inputs: usize,
+        outputs: usize,
+        products: usize,
+        p1_activity: f64,
+        p2_activity: f64,
+    ) -> f64 {
+        assert!((0.0..=1.0).contains(&p1_activity), "activity in [0,1]");
+        assert!((0.0..=1.0).contains(&p2_activity), "activity in [0,1]");
+        let plane1 = products as f64 * p1_activity * self.line_switch_energy(inputs, 1);
+        let plane2 = outputs as f64 * p2_activity * self.line_switch_energy(products, 1);
+        plane1 + plane2
+    }
+
+    /// One-off programming energy of an array with `devices` crosspoints:
+    /// each PG node is charged once through the select network.
+    pub fn programming_energy(&self, devices: usize) -> f64 {
+        devices as f64 * self.params.c_gate * self.vdd * self.vdd
+    }
+
+    /// Energy advantage of the GNOR PLA over a classical PLA implementing
+    /// the same `(inputs, outputs, products)` at equal activities: the
+    /// classical input plane spans `2·inputs` columns per product line.
+    pub fn gnor_over_classical_ratio(
+        &self,
+        inputs: usize,
+        outputs: usize,
+        products: usize,
+    ) -> f64 {
+        let act = 0.5;
+        let gnor = self.pla_cycle_energy(inputs, outputs, products, act, act);
+        let classical_p1 =
+            products as f64 * act * self.line_switch_energy(2 * inputs, 1);
+        let classical_p2 = outputs as f64 * act * self.line_switch_energy(products, 1);
+        gnor / (classical_p1 + classical_p2)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_energy_is_cv2() {
+        let m = EnergyModel::nominal();
+        let c = m.line_capacitance(10, 2);
+        assert!((m.line_switch_energy(10, 2) - c * m.vdd * m.vdd).abs() < 1e-30);
+    }
+
+    #[test]
+    fn energy_scales_with_array_size() {
+        let m = EnergyModel::nominal();
+        let small = m.pla_cycle_energy(4, 2, 8, 0.5, 0.5);
+        let large = m.pla_cycle_energy(16, 8, 64, 0.5, 0.5);
+        assert!(large > 10.0 * small);
+    }
+
+    #[test]
+    fn zero_activity_costs_nothing() {
+        let m = EnergyModel::nominal();
+        assert_eq!(m.pla_cycle_energy(8, 4, 16, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn gnor_beats_classical_per_cycle() {
+        // Single-column inputs halve the plane-1 wire capacitance: ratio
+        // strictly below 1 for any shape.
+        let m = EnergyModel::nominal();
+        for (i, o, p) in [(9usize, 1usize, 46usize), (10, 12, 25), (17, 16, 52)] {
+            let r = m.gnor_over_classical_ratio(i, o, p);
+            assert!(r < 1.0, "shape {i}/{o}/{p}: ratio {r}");
+            assert!(r > 0.4, "shape {i}/{o}/{p}: ratio {r} implausibly low");
+        }
+    }
+
+    #[test]
+    fn programming_energy_counts_devices() {
+        let m = EnergyModel::nominal();
+        let e1 = m.programming_energy(100);
+        let e2 = m.programming_energy(200);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plausible_femto_joule_scale() {
+        // A mid-size PLA should burn femtojoules per cycle, not nano or
+        // atto — catches capacitance unit errors.
+        let m = EnergyModel::nominal();
+        let e = m.pla_cycle_energy(10, 6, 25, 0.7, 0.5);
+        assert!(e > 1e-18, "too small: {e}");
+        assert!(e < 1e-12, "too large: {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "activity in [0,1]")]
+    fn bad_activity_rejected() {
+        let _ = EnergyModel::nominal().pla_cycle_energy(4, 2, 4, 1.5, 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! First-order analytic I–V model of the ambipolar CNFET.
+//!
+//! The model reproduces the qualitative transfer characteristics measured by
+//! Lin et al. (IEDM 2004): two conduction branches (electron branch towards
+//! high PG voltage, hole branch towards low PG voltage) separated by a
+//! conduction minimum at `V0 = VDD/2` — the "V-shaped" ambipolar curve.
+//!
+//! Current through a Schottky-barrier CNFET is dominated by tunnelling
+//! through the contact barriers; electrostatic gating by the PG thins the
+//! barrier roughly exponentially with overdrive. We model each branch as
+//!
+//! ```text
+//! I(v_pg) = i_on · T(|v_pg − V0| − w/2)            (branch overdrive)
+//! T(x)    = 1 / (1 + exp(−x / s))                  (barrier transparency)
+//! ```
+//!
+//! plus a floor leakage `i_off`. This is deliberately *not* a TCAD model:
+//! the paper consumes the device only through its on-resistance, its off
+//! leakage and its capacitances, which are exactly the quantities exposed
+//! here. The defaults are loosely calibrated to the ~µA on-currents and
+//! nA-scale minima reported for ambipolar CNT devices.
+
+use crate::device::{PgLevel, Polarity, VDD};
+
+/// Electrical parameters of one ambipolar CNFET.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// Branch saturation on-current, amperes.
+    pub i_on: f64,
+    /// Residual off-state leakage, amperes.
+    pub i_off: f64,
+    /// Transparency slope `s` of the barrier-thinning sigmoid, volts.
+    pub slope: f64,
+    /// Width of the central off window around `V0`, volts.
+    pub off_window: f64,
+    /// Gate capacitance seen by one gate (CG or PG), farads.
+    pub c_gate: f64,
+    /// Wire capacitance per basic-cell pitch, farads.
+    pub c_wire_per_cell: f64,
+}
+
+impl DeviceParams {
+    /// Defaults loosely calibrated to published ambipolar CNT devices:
+    /// `i_on` = 5 µA, `i_off` = 1 nA, `s` = 25 mV, off window = 400 mV,
+    /// `c_gate` = 50 aF, wire = 20 aF per cell pitch.
+    pub fn nominal() -> DeviceParams {
+        DeviceParams {
+            i_on: 5e-6,
+            i_off: 1e-9,
+            slope: 0.025,
+            off_window: 0.4,
+            c_gate: 50e-18,
+            c_wire_per_cell: 20e-18,
+        }
+    }
+
+    /// Drain current (amperes) for analog PG and CG voltages.
+    ///
+    /// The CG gates the selected branch like a conventional FET: the branch
+    /// current is multiplied by the CG transparency for the carrier type the
+    /// PG selected.
+    pub fn current(&self, v_pg: f64, v_cg: f64) -> f64 {
+        let mid = VDD / 2.0;
+        // Electron branch: grows as PG rises above V0; gated by CG high.
+        let e_over = (v_pg - mid) - self.off_window / 2.0;
+        let e_branch = self.i_on * sigmoid(e_over / self.slope) * sigmoid((v_cg - mid) / self.slope);
+        // Hole branch: grows as PG falls below V0; gated by CG low.
+        let h_over = (mid - v_pg) - self.off_window / 2.0;
+        let h_branch = self.i_on * sigmoid(h_over / self.slope) * sigmoid((mid - v_cg) / self.slope);
+        self.i_off + e_branch + h_branch
+    }
+
+    /// Transfer curve `I(v_pg)` at fixed CG, as `(v_pg, current)` samples.
+    ///
+    /// This regenerates Fig. 1's qualitative content: sweeping the PG shows
+    /// the p branch, the central minimum at `V0`, and the n branch.
+    pub fn pg_sweep(&self, v_cg: f64, points: usize) -> Vec<IvPoint> {
+        assert!(points >= 2, "a sweep needs at least two points");
+        (0..points)
+            .map(|k| {
+                let v_pg = VDD * k as f64 / (points - 1) as f64;
+                IvPoint {
+                    v_pg,
+                    v_cg,
+                    current: self.current(v_pg, v_cg),
+                }
+            })
+            .collect()
+    }
+
+    /// On-resistance (ohms) of a programmed device conducting at full drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device polarity is `Off` (an off device has no
+    /// meaningful on-resistance).
+    pub fn r_on(&self, polarity: Polarity) -> f64 {
+        let v_cg = match polarity {
+            Polarity::NType => VDD,
+            Polarity::PType => 0.0,
+            Polarity::Off => panic!("off device has no on-resistance"),
+        };
+        let v_pg = match polarity {
+            Polarity::NType => PgLevel::VPlus.voltage(),
+            Polarity::PType => PgLevel::VMinus.voltage(),
+            Polarity::Off => unreachable!(),
+        };
+        VDD / self.current(v_pg, v_cg)
+    }
+
+    /// Off-state resistance (ohms): the supply over the conduction minimum.
+    pub fn r_off(&self) -> f64 {
+        VDD / self.current(PgLevel::VZero.voltage(), VDD)
+    }
+
+    /// On/off current ratio between a fully-driven n device and the `V0`
+    /// minimum — the figure of merit that makes the third state usable.
+    pub fn on_off_ratio(&self) -> f64 {
+        self.current(PgLevel::VPlus.voltage(), VDD)
+            / self.current(PgLevel::VZero.voltage(), VDD)
+    }
+
+    /// RC time constant (seconds) of one device driving `fanout_cells` cell
+    /// pitches of wire plus one gate load.
+    pub fn tau(&self, polarity: Polarity, fanout_cells: usize) -> f64 {
+        let c = self.c_gate + self.c_wire_per_cell * fanout_cells as f64;
+        self.r_on(polarity) * c
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> DeviceParams {
+        DeviceParams::nominal()
+    }
+}
+
+/// One sample of a transfer-curve sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvPoint {
+    /// Polarity-gate voltage, volts.
+    pub v_pg: f64,
+    /// Control-gate voltage, volts.
+    pub v_cg: f64,
+    /// Drain current, amperes.
+    pub current: f64,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambipolar_curve_is_v_shaped() {
+        let p = DeviceParams::nominal();
+        // At CG high: current high at V+ (n branch), low at V0.
+        let i_plus = p.current(VDD, VDD);
+        let i_zero = p.current(VDD / 2.0, VDD);
+        assert!(i_plus / i_zero > 100.0, "n branch should dominate V0");
+        // At CG low: current high at V− (p branch), low at V0.
+        let i_minus = p.current(0.0, 0.0);
+        let i_zero_low = p.current(VDD / 2.0, 0.0);
+        assert!(i_minus / i_zero_low > 100.0, "p branch should dominate V0");
+    }
+
+    #[test]
+    fn cg_gates_the_selected_branch() {
+        let p = DeviceParams::nominal();
+        // n-programmed device: CG low must cut the current.
+        let on = p.current(VDD, VDD);
+        let off = p.current(VDD, 0.0);
+        assert!(on / off > 100.0);
+        // p-programmed device: CG high must cut the current.
+        let on_p = p.current(0.0, 0.0);
+        let off_p = p.current(0.0, VDD);
+        assert!(on_p / off_p > 100.0);
+    }
+
+    #[test]
+    fn v0_off_under_both_cg_levels() {
+        // The paper's key property: at PG = V0 the device is off no matter
+        // what the logic input does.
+        let p = DeviceParams::nominal();
+        for v_cg in [0.0, VDD] {
+            let i = p.current(VDD / 2.0, v_cg);
+            assert!(i < 10.0 * p.i_off, "V0 leakage too high at CG={v_cg}");
+        }
+    }
+
+    #[test]
+    fn sweep_minimum_is_near_v0() {
+        let p = DeviceParams::nominal();
+        let sweep = p.pg_sweep(VDD, 101);
+        let min = sweep
+            .iter()
+            .min_by(|a, b| a.current.total_cmp(&b.current))
+            .unwrap();
+        // With CG high, only the n branch is gated on; minimum sits at the
+        // low-PG end of the off window or below V0.
+        assert!(min.v_pg <= VDD / 2.0 + 0.05);
+        assert_eq!(sweep.len(), 101);
+    }
+
+    #[test]
+    fn on_off_ratio_is_large() {
+        assert!(DeviceParams::nominal().on_off_ratio() > 1e3);
+    }
+
+    #[test]
+    fn r_on_is_symmetricish() {
+        let p = DeviceParams::nominal();
+        let rn = p.r_on(Polarity::NType);
+        let rp = p.r_on(Polarity::PType);
+        assert!((rn / rp - 1.0).abs() < 0.01, "branches are symmetric");
+        assert!(rn > 0.0);
+        assert!(p.r_off() / rn > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no on-resistance")]
+    fn r_on_of_off_device_panics() {
+        let _ = DeviceParams::nominal().r_on(Polarity::Off);
+    }
+
+    #[test]
+    fn tau_scales_with_fanout() {
+        let p = DeviceParams::nominal();
+        let t1 = p.tau(Polarity::NType, 1);
+        let t10 = p.tau(Polarity::NType, 10);
+        assert!(t10 > t1);
+        assert!(t1 > 0.0);
+    }
+}

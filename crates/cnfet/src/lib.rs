@@ -1,0 +1,42 @@
+//! Ambipolar carbon-nanotube FET (CNFET) device substrate.
+//!
+//! Behavioural and first-order electrical model of the double-gate ambipolar
+//! CNFET of Lin et al. (IEDM 2004) in the self-aligned two-top-gate variant
+//! (Javey et al., Nano Letters 2004) used by the DAC 2008 paper:
+//!
+//! * a **control gate (CG)** over region A switches the channel on and off,
+//! * a **polarity gate (PG)** over region B (the Schottky contacts) selects
+//!   the carrier type: a high PG voltage (`V+`) thins the barrier for
+//!   electrons (n-type), a low PG voltage (`V−`) thins it for holes
+//!   (p-type), and the midpoint `V0 = VDD/2` leaves both barriers opaque —
+//!   the device is off regardless of CG.
+//!
+//! The paper uses the device strictly as a **three-state programmable
+//! switch** plus an RC load, so this crate exposes exactly those knobs:
+//!
+//! * [`Polarity`] / [`PgLevel`] — the three programmed states,
+//! * [`AmbipolarCnfet`] — conduction as a function of PG and CG
+//!   ([`device`]), with an analytic I–V model for Fig. 1-style sweeps
+//!   ([`iv`]),
+//! * [`ChargeNode`] — the stored-charge PG node with leakage and refresh
+//!   ([`charge`]),
+//! * [`ProgrammingMatrix`] — the row/column (`VSelR,i`, `VSelC,j`)
+//!   cell-by-cell configuration protocol of Fig. 3 ([`programming`]),
+//! * [`CnfetTech`] — lithography-relative layout/scaling rules giving the
+//!   60 L² contacted basic cell of Table 1 ([`tech`]).
+
+pub mod charge;
+pub mod device;
+pub mod energy;
+pub mod iv;
+pub mod programming;
+pub mod tech;
+pub mod variability;
+
+pub use charge::ChargeNode;
+pub use device::{AmbipolarCnfet, Conduction, PgLevel, Polarity};
+pub use energy::EnergyModel;
+pub use iv::{DeviceParams, IvPoint};
+pub use programming::{ProgramError, ProgrammingMatrix, SelectLine};
+pub use tech::{CellGeometry, CnfetTech};
+pub use variability::{DeviceSample, VariabilityModel};

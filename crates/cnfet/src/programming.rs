@@ -1,0 +1,407 @@
+//! Row/column configuration protocol of the GNOR-PLA array (Fig. 3).
+//!
+//! Every ambipolar CNFET in the array has its polarity gate attached to a
+//! local storage node; a **global `VPG` line** carries the programming
+//! voltage, and a device at position `(i, j)` is written by asserting the
+//! row-select `VSelR,i` and the column-select `VSelC,j` simultaneously.
+//! During the configuration phase each device is selected **individually**
+//! and the charge corresponding to its wished PG voltage is stored.
+//!
+//! The model enforces the protocol invariants (exactly one row and one
+//! column asserted per write pulse), tracks per-node charge through
+//! [`ChargeNode`], and optionally models **half-select disturb**: cells that
+//! share the selected row or column see a small fraction of the programming
+//! pulse, the classic disturb mechanism of charge-programmed arrays.
+
+use crate::charge::ChargeNode;
+use crate::device::PgLevel;
+use std::error::Error;
+use std::fmt;
+
+/// One select line of the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectLine {
+    /// `VSelR,i` — row select.
+    Row(usize),
+    /// `VSelC,j` — column select.
+    Col(usize),
+}
+
+/// Error applying a programming pulse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// No row or no column is asserted: the pulse addresses nothing.
+    NoSelection,
+    /// More than one row or column asserted: the pulse would write several
+    /// devices at once, which the per-device protocol forbids.
+    MultipleSelection,
+    /// A select index is outside the array.
+    OutOfBounds {
+        /// The offending line.
+        line: SelectLine,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::NoSelection => write!(f, "no row/column selected for pulse"),
+            ProgramError::MultipleSelection => {
+                write!(f, "more than one row or column selected for pulse")
+            }
+            ProgramError::OutOfBounds { line } => write!(f, "select line {line:?} out of bounds"),
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// Charge-programmed polarity-gate array with row/column addressing.
+///
+/// # Example
+///
+/// ```
+/// use cnfet::{PgLevel, ProgrammingMatrix, SelectLine};
+///
+/// let mut m = ProgrammingMatrix::new(2, 3, 1e-3);
+/// m.select(SelectLine::Row(1))?;
+/// m.select(SelectLine::Col(2))?;
+/// m.apply_vpg(PgLevel::VMinus)?;
+/// m.clear_selection();
+/// assert_eq!(m.read(1, 2), PgLevel::VMinus);
+/// assert_eq!(m.read(0, 0), PgLevel::VZero); // untouched cells stay off
+/// # Ok::<(), cnfet::ProgramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgrammingMatrix {
+    rows: usize,
+    cols: usize,
+    nodes: Vec<ChargeNode>,
+    row_sel: Vec<bool>,
+    col_sel: Vec<bool>,
+    disturb_fraction: f64,
+    pulses: u64,
+}
+
+impl ProgrammingMatrix {
+    /// An array of `rows × cols` fresh storage nodes with retention time
+    /// constant `tau` seconds and no half-select disturb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `tau` is not positive.
+    pub fn new(rows: usize, cols: usize, tau: f64) -> ProgrammingMatrix {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        ProgrammingMatrix {
+            rows,
+            cols,
+            nodes: vec![ChargeNode::new(tau); rows * cols],
+            row_sel: vec![false; rows],
+            col_sel: vec![false; cols],
+            disturb_fraction: 0.0,
+            pulses: 0,
+        }
+    }
+
+    /// Enable half-select disturb: on every pulse, cells sharing the
+    /// selected row or column move `fraction` of the way towards the pulse
+    /// voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction < 1.0`.
+    pub fn with_disturb(mut self, fraction: f64) -> ProgrammingMatrix {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "disturb fraction must be in [0, 1)"
+        );
+        self.disturb_fraction = fraction;
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total programming pulses applied so far.
+    pub fn pulse_count(&self) -> u64 {
+        self.pulses
+    }
+
+    /// Assert a select line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::OutOfBounds`] for an index outside the array.
+    pub fn select(&mut self, line: SelectLine) -> Result<(), ProgramError> {
+        match line {
+            SelectLine::Row(i) if i < self.rows => {
+                self.row_sel[i] = true;
+                Ok(())
+            }
+            SelectLine::Col(j) if j < self.cols => {
+                self.col_sel[j] = true;
+                Ok(())
+            }
+            _ => Err(ProgramError::OutOfBounds { line }),
+        }
+    }
+
+    /// Deassert every select line.
+    pub fn clear_selection(&mut self) {
+        self.row_sel.fill(false);
+        self.col_sel.fill(false);
+    }
+
+    /// Drive the global `VPG` line with a programming pulse at `level`.
+    ///
+    /// Writes the unique selected cell; applies half-select disturb to the
+    /// rest of the selected row and column if configured.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::NoSelection`] if no row or no column is asserted;
+    /// [`ProgramError::MultipleSelection`] if several rows or several
+    /// columns are asserted.
+    pub fn apply_vpg(&mut self, level: PgLevel) -> Result<(), ProgramError> {
+        let rows: Vec<usize> = selected(&self.row_sel);
+        let cols: Vec<usize> = selected(&self.col_sel);
+        match (rows.len(), cols.len()) {
+            (0, _) | (_, 0) => return Err(ProgramError::NoSelection),
+            (1, 1) => {}
+            _ => return Err(ProgramError::MultipleSelection),
+        }
+        let (i, j) = (rows[0], cols[0]);
+        let target = level.voltage();
+        if self.disturb_fraction > 0.0 {
+            for jj in 0..self.cols {
+                if jj != j {
+                    self.disturb(i, jj, target);
+                }
+            }
+            for ii in 0..self.rows {
+                if ii != i {
+                    self.disturb(ii, j, target);
+                }
+            }
+        }
+        self.node_mut(i, j).program(level);
+        self.pulses += 1;
+        Ok(())
+    }
+
+    fn disturb(&mut self, i: usize, j: usize, target: f64) {
+        let f = self.disturb_fraction;
+        let node = self.node_mut(i, j);
+        let v = node.voltage() + f * (target - node.voltage());
+        node.set_voltage(v);
+    }
+
+    /// Program an entire polarity map cell by cell (the configuration phase
+    /// of Fig. 3): for each cell, select its row and column, pulse `VPG`,
+    /// deselect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` dimensions do not match the array.
+    pub fn program_map(&mut self, map: &[Vec<PgLevel>]) {
+        assert_eq!(map.len(), self.rows, "map row count mismatch");
+        for (i, row) in map.iter().enumerate() {
+            assert_eq!(row.len(), self.cols, "map column count mismatch");
+            for (j, &level) in row.iter().enumerate() {
+                self.clear_selection();
+                self.select(SelectLine::Row(i)).expect("row in range");
+                self.select(SelectLine::Col(j)).expect("col in range");
+                self.apply_vpg(level).expect("single selection");
+            }
+        }
+        self.clear_selection();
+    }
+
+    /// Decode the stored level of cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn read(&self, i: usize, j: usize) -> PgLevel {
+        self.node(i, j).read_level()
+    }
+
+    /// Decode the whole array.
+    pub fn read_map(&self) -> Vec<Vec<PgLevel>> {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.read(i, j)).collect())
+            .collect()
+    }
+
+    /// True if every cell decodes to `map`.
+    pub fn verify(&self, map: &[Vec<PgLevel>]) -> bool {
+        map.len() == self.rows
+            && map
+                .iter()
+                .enumerate()
+                .all(|(i, row)| {
+                    row.len() == self.cols
+                        && row.iter().enumerate().all(|(j, &l)| self.read(i, j) == l)
+                })
+    }
+
+    /// Let every node leak for `dt` seconds.
+    pub fn advance(&mut self, dt: f64) {
+        for node in &mut self.nodes {
+            node.advance(dt);
+        }
+    }
+
+    /// Refresh every node in place (see [`ChargeNode::refresh`] for the
+    /// fail-safe caveat).
+    pub fn refresh_all(&mut self) {
+        for node in &mut self.nodes {
+            node.refresh();
+        }
+    }
+
+    /// Total configuration time for a full-array program at `t_pulse`
+    /// seconds per cell — the serial cost of individual addressing.
+    pub fn configuration_time(&self, t_pulse: f64) -> f64 {
+        t_pulse * (self.rows * self.cols) as f64
+    }
+
+    /// Direct access to a node (for leakage experiments).
+    pub fn node(&self, i: usize, j: usize) -> &ChargeNode {
+        assert!(i < self.rows && j < self.cols, "cell index out of bounds");
+        &self.nodes[i * self.cols + j]
+    }
+
+    fn node_mut(&mut self, i: usize, j: usize) -> &mut ChargeNode {
+        assert!(i < self.rows && j < self.cols, "cell index out of bounds");
+        &mut self.nodes[i * self.cols + j]
+    }
+}
+
+fn selected(sel: &[bool]) -> Vec<usize> {
+    sel.iter()
+        .enumerate()
+        .filter_map(|(k, &s)| s.then_some(k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_array_is_all_off() {
+        let m = ProgrammingMatrix::new(3, 4, 1.0);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(m.read(i, j), PgLevel::VZero);
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_write() {
+        let mut m = ProgrammingMatrix::new(2, 2, 1.0);
+        m.select(SelectLine::Row(0)).unwrap();
+        m.select(SelectLine::Col(1)).unwrap();
+        m.apply_vpg(PgLevel::VPlus).unwrap();
+        assert_eq!(m.read(0, 1), PgLevel::VPlus);
+        assert_eq!(m.read(0, 0), PgLevel::VZero);
+        assert_eq!(m.read(1, 1), PgLevel::VZero);
+        assert_eq!(m.pulse_count(), 1);
+    }
+
+    #[test]
+    fn pulse_without_selection_fails() {
+        let mut m = ProgrammingMatrix::new(2, 2, 1.0);
+        assert_eq!(m.apply_vpg(PgLevel::VPlus), Err(ProgramError::NoSelection));
+        m.select(SelectLine::Row(0)).unwrap();
+        assert_eq!(m.apply_vpg(PgLevel::VPlus), Err(ProgramError::NoSelection));
+    }
+
+    #[test]
+    fn multi_selection_rejected() {
+        let mut m = ProgrammingMatrix::new(2, 2, 1.0);
+        m.select(SelectLine::Row(0)).unwrap();
+        m.select(SelectLine::Row(1)).unwrap();
+        m.select(SelectLine::Col(0)).unwrap();
+        assert_eq!(
+            m.apply_vpg(PgLevel::VPlus),
+            Err(ProgramError::MultipleSelection)
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_select_rejected() {
+        let mut m = ProgrammingMatrix::new(2, 2, 1.0);
+        assert!(matches!(
+            m.select(SelectLine::Row(5)),
+            Err(ProgramError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn program_map_roundtrip() {
+        let map = vec![
+            vec![PgLevel::VPlus, PgLevel::VZero, PgLevel::VMinus],
+            vec![PgLevel::VMinus, PgLevel::VPlus, PgLevel::VZero],
+        ];
+        let mut m = ProgrammingMatrix::new(2, 3, 1.0);
+        m.program_map(&map);
+        assert!(m.verify(&map));
+        assert_eq!(m.read_map(), map);
+        assert_eq!(m.pulse_count(), 6);
+    }
+
+    #[test]
+    fn leakage_degrades_then_refresh_recovers() {
+        let map = vec![vec![PgLevel::VPlus, PgLevel::VMinus]];
+        let mut m = ProgrammingMatrix::new(1, 2, 1e-3);
+        m.program_map(&map);
+        m.advance(0.5e-3);
+        assert!(m.verify(&map), "within retention deadline");
+        m.refresh_all();
+        m.advance(0.5e-3);
+        assert!(m.verify(&map), "refresh extends retention");
+        m.advance(1.0); // far past the deadline
+        assert!(!m.verify(&map));
+        // All cells fail safe to off.
+        for row in m.read_map() {
+            for l in row {
+                assert_eq!(l, PgLevel::VZero);
+            }
+        }
+    }
+
+    #[test]
+    fn mild_disturb_is_harmless() {
+        let map = vec![
+            vec![PgLevel::VPlus, PgLevel::VMinus],
+            vec![PgLevel::VMinus, PgLevel::VPlus],
+        ];
+        let mut m = ProgrammingMatrix::new(2, 2, 1.0).with_disturb(0.05);
+        m.program_map(&map);
+        assert!(m.verify(&map), "5% disturb must not flip bands");
+    }
+
+    #[test]
+    fn configuration_time_is_serial() {
+        let m = ProgrammingMatrix::new(10, 20, 1.0);
+        assert!((m.configuration_time(1e-6) - 200e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn overwrite_changes_cell() {
+        let mut m = ProgrammingMatrix::new(1, 1, 1.0);
+        m.program_map(&[vec![PgLevel::VPlus]]);
+        m.program_map(&[vec![PgLevel::VMinus]]);
+        assert_eq!(m.read(0, 0), PgLevel::VMinus);
+    }
+}

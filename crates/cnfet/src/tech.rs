@@ -1,0 +1,182 @@
+//! Lithography-relative layout rules for the ambipolar CNFET basic cell.
+//!
+//! Section 5 of the paper estimates the area of the **contacted basic cell**
+//! (one programmable crosspoint, including its share of wires and contacts)
+//! in units of the lithography resolution `L`, following the
+//! misaligned-CNT-immune layout rules of Patil et al. (DAC 2007) for the
+//! CNFET and the ITRS for the Flash/EEPROM comparison cells:
+//!
+//! | technology | contacted cell |
+//! |------------|----------------|
+//! | Flash      | 40 L²          |
+//! | EEPROM     | 100 L²         |
+//! | ambipolar CNFET | 60 L²     |
+//!
+//! The CNFET cell is 50 % larger than Flash (the second, polarity gate and
+//! its storage node cost one extra wire pitch of cell height) and 40 %
+//! smaller than EEPROM (no double-poly tunnel structure). This module keeps
+//! those numbers as explicit width × height geometries so that PLA planes
+//! can be priced in both `L²` and physical `nm²`.
+
+use std::fmt;
+
+/// Rectangular contacted-cell geometry in lithography units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellGeometry {
+    /// Cell width along the input-line direction, in `L`.
+    pub width_l: u32,
+    /// Cell height along the product-line direction, in `L`.
+    pub height_l: u32,
+}
+
+impl CellGeometry {
+    /// Cell area in `L²`.
+    pub fn area_l2(&self) -> u32 {
+        self.width_l * self.height_l
+    }
+}
+
+impl fmt::Display for CellGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}L x {}L = {} L^2", self.width_l, self.height_l, self.area_l2())
+    }
+}
+
+/// Technology parameters of an ambipolar-CNFET array process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CnfetTech {
+    /// Lithography resolution `L`, nanometres.
+    pub litho_nm: f64,
+    /// Contacted basic-cell geometry.
+    pub cell: CellGeometry,
+    /// Metal wire pitch in `L` (one wire + one space).
+    pub wire_pitch_l: u32,
+}
+
+impl CnfetTech {
+    /// The paper's ambipolar-CNFET cell: 6 L × 10 L = 60 L².
+    ///
+    /// Width: CNT channel + 2 contacts at the misaligned-immune pitch.
+    /// Height: control-gate track, polarity-gate track (the extra track a
+    /// single-gate Flash cell does not pay), and the product line.
+    pub fn nominal(litho_nm: f64) -> CnfetTech {
+        assert!(
+            litho_nm > 0.0 && litho_nm.is_finite(),
+            "lithography pitch must be positive"
+        );
+        CnfetTech {
+            litho_nm,
+            cell: CellGeometry {
+                width_l: 6,
+                height_l: 10,
+            },
+            wire_pitch_l: 2,
+        }
+    }
+
+    /// Basic-cell area in `L²` (60 for the nominal cell, Table 1 row 1).
+    pub fn cell_area_l2(&self) -> u32 {
+        self.cell.area_l2()
+    }
+
+    /// Basic-cell area in nm².
+    pub fn cell_area_nm2(&self) -> f64 {
+        self.cell_area_l2() as f64 * self.litho_nm * self.litho_nm
+    }
+
+    /// Physical area (nm²) of an array of `rows × cols` contacted cells.
+    pub fn array_area_nm2(&self, rows: usize, cols: usize) -> f64 {
+        self.cell_area_nm2() * (rows * cols) as f64
+    }
+
+    /// Physical length (nm) of a wire spanning `cells` cell pitches along
+    /// the input-line direction.
+    pub fn wire_length_nm(&self, cells: usize) -> f64 {
+        cells as f64 * self.cell.width_l as f64 * self.litho_nm
+    }
+}
+
+/// Comparison cells used by Table 1.
+pub mod comparison {
+    use super::CellGeometry;
+
+    /// ITRS-derived NOR-Flash contacted cell: 5 L × 8 L = 40 L².
+    pub const FLASH: CellGeometry = CellGeometry {
+        width_l: 5,
+        height_l: 8,
+    };
+
+    /// ITRS-derived EEPROM (FLOTOX two-transistor) contacted cell:
+    /// 10 L × 10 L = 100 L².
+    pub const EEPROM: CellGeometry = CellGeometry {
+        width_l: 10,
+        height_l: 10,
+    };
+
+    /// Ambipolar-CNFET contacted cell: 6 L × 10 L = 60 L².
+    pub const CNFET: CellGeometry = CellGeometry {
+        width_l: 6,
+        height_l: 10,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cell_areas() {
+        assert_eq!(comparison::FLASH.area_l2(), 40);
+        assert_eq!(comparison::EEPROM.area_l2(), 100);
+        assert_eq!(comparison::CNFET.area_l2(), 60);
+    }
+
+    #[test]
+    fn cnfet_vs_flash_and_eeprom_ratios() {
+        // "The CNFET basic cell is 50% larger than the Flash and 40% smaller
+        // than the EEPROM basic cell."
+        let cnfet = comparison::CNFET.area_l2() as f64;
+        let flash = comparison::FLASH.area_l2() as f64;
+        let eeprom = comparison::EEPROM.area_l2() as f64;
+        assert!((cnfet / flash - 1.5).abs() < 1e-12);
+        assert!((cnfet / eeprom - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_tech_matches_comparison_cell() {
+        let t = CnfetTech::nominal(32.0);
+        assert_eq!(t.cell_area_l2(), 60);
+        assert_eq!(t.cell, comparison::CNFET);
+    }
+
+    #[test]
+    fn physical_area_scales_quadratically() {
+        let a32 = CnfetTech::nominal(32.0).cell_area_nm2();
+        let a16 = CnfetTech::nominal(16.0).cell_area_nm2();
+        assert!((a32 / a16 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn array_area_is_cells_times_cell_area() {
+        let t = CnfetTech::nominal(32.0);
+        let a = t.array_area_nm2(10, 20);
+        assert!((a - 200.0 * t.cell_area_nm2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wire_length_follows_cell_pitch() {
+        let t = CnfetTech::nominal(10.0);
+        assert!((t.wire_length_nm(3) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lithography pitch must be positive")]
+    fn zero_pitch_rejected() {
+        let _ = CnfetTech::nominal(0.0);
+    }
+
+    #[test]
+    fn geometry_display() {
+        assert_eq!(comparison::CNFET.to_string(), "6L x 10L = 60 L^2");
+    }
+}

@@ -1,0 +1,235 @@
+//! Device variability: diameter dispersion and metallic tubes.
+//!
+//! Carbon-nanotube processes are dominated by two variability sources the
+//! paper's "unreliable devices" remark points at:
+//!
+//! * **diameter dispersion** — the bandgap of a semiconducting tube scales
+//!   as `E_g ≈ 0.84 eV·nm / d`, so diameter spread modulates the Schottky
+//!   barrier and hence the on-current (modelled log-normally around the
+//!   nominal `i_on`);
+//! * **metallic tubes** — a fraction of grown tubes have no bandgap at
+//!   all; a crosspoint built on one conducts permanently (the stuck-on
+//!   defect of the `fault` crate).
+//!
+//! The model feeds two consumers: defect rates for yield analysis, and the
+//! **GNOR noise margin** — a wide dynamic NOR row must keep the sum of its
+//! off-state leakages below the weakest single on-current, which bounds
+//! the usable row width.
+
+use crate::device::VDD;
+use crate::iv::DeviceParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Nominal CNT diameter, nanometres.
+pub const NOMINAL_DIAMETER_NM: f64 = 1.5;
+
+/// Statistical model of a CNT device population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariabilityModel {
+    /// Relative standard deviation of the tube diameter (σ/d₀).
+    pub diameter_sigma: f64,
+    /// Probability that a tube is metallic (no bandgap).
+    pub metallic_fraction: f64,
+    /// Electrical baseline.
+    pub params: DeviceParams,
+}
+
+/// One sampled device instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSample {
+    /// Multiplier on the nominal on-current (log-normal).
+    pub i_on_factor: f64,
+    /// Multiplier on the nominal off-leakage.
+    pub i_off_factor: f64,
+    /// True if the tube is metallic: the device conducts permanently.
+    pub is_metallic: bool,
+}
+
+impl VariabilityModel {
+    /// A model with published-plausible defaults: 10 % diameter spread and
+    /// 5 % metallic fraction (post-sorting growth).
+    pub fn nominal() -> VariabilityModel {
+        VariabilityModel {
+            diameter_sigma: 0.10,
+            metallic_fraction: 0.05,
+            params: DeviceParams::nominal(),
+        }
+    }
+
+    /// Replace the metallic fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the fraction is in `[0, 1]`.
+    pub fn with_metallic_fraction(mut self, fraction: f64) -> VariabilityModel {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+        self.metallic_fraction = fraction;
+        self
+    }
+
+    /// Replace the diameter spread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn with_diameter_sigma(mut self, sigma: f64) -> VariabilityModel {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        self.diameter_sigma = sigma;
+        self
+    }
+
+    /// Sample one device.
+    pub fn sample(&self, rng: &mut StdRng) -> DeviceSample {
+        let is_metallic = rng.gen_bool(self.metallic_fraction);
+        // Diameter d = d0 (1 + σ·z); barrier ∝ 1/d; current ∝ exp(−ΔΦ/kT)
+        // → log-normal in the diameter perturbation. Approximate with
+        // exp(k·σ·z), k calibrated so ±3σ spans roughly a decade.
+        let z = standard_normal(rng);
+        let k = 0.8; // decade at 3σ with σ = 0.10 ⇒ k·3·0.10·ln10⁻¹ ≈ 1
+        let i_on_factor = (k * self.diameter_sigma * z * std::f64::consts::LN_10 / 0.3).exp();
+        // Leakage moves the opposite way (thinner barrier leaks more).
+        let i_off_factor = 1.0 / i_on_factor.sqrt();
+        DeviceSample {
+            i_on_factor,
+            i_off_factor,
+            is_metallic,
+        }
+    }
+
+    /// Sample `count` devices deterministically.
+    pub fn sample_many(&self, count: usize, seed: u64) -> Vec<DeviceSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| self.sample(&mut rng)).collect()
+    }
+
+    /// Monte-Carlo noise margin of a `width`-input GNOR row: the ratio of
+    /// the weakest single on-current to the worst-case sum of off-state
+    /// leakages of the other devices on the row (metallic devices count as
+    /// full on-current leaks and crush the margin).
+    ///
+    /// A margin above ~10 is comfortably functional; below ~1 the row
+    /// cannot hold its precharged level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `trials == 0`.
+    pub fn gnor_noise_margin(&self, width: usize, trials: usize, seed: u64) -> f64 {
+        assert!(width > 0, "row must have devices");
+        assert!(trials > 0, "need at least one trial");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut worst: f64 = f64::INFINITY;
+        for _ in 0..trials {
+            let devices: Vec<DeviceSample> = (0..width).map(|_| self.sample(&mut rng)).collect();
+            let min_on = devices
+                .iter()
+                .map(|d| {
+                    if d.is_metallic {
+                        self.params.i_on // metallic conducts fine — as a leak!
+                    } else {
+                        self.params.i_on * d.i_on_factor
+                    }
+                })
+                .fold(f64::INFINITY, f64::min);
+            // Conservative: every device on the row leaks simultaneously.
+            let leak_sum: f64 = devices
+                .iter()
+                .map(|d| {
+                    if d.is_metallic {
+                        self.params.i_on
+                    } else {
+                        self.params.i_off * d.i_off_factor
+                    }
+                })
+                .sum();
+            let margin = min_on / leak_sum.max(1e-30);
+            worst = worst.min(margin);
+        }
+        worst
+    }
+
+    /// Fraction of sampled devices that are stuck-on (metallic), for
+    /// feeding the `fault` crate's defect rate.
+    pub fn expected_stuck_on_rate(&self) -> f64 {
+        self.metallic_fraction
+    }
+
+    /// The supply voltage the samples are referenced to.
+    pub fn vdd(&self) -> f64 {
+        VDD
+    }
+}
+
+/// Box–Muller standard normal.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0f64);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_gives_unit_factors() {
+        let m = VariabilityModel::nominal()
+            .with_diameter_sigma(0.0)
+            .with_metallic_fraction(0.0);
+        for s in m.sample_many(50, 1) {
+            assert!((s.i_on_factor - 1.0).abs() < 1e-12);
+            assert!(!s.is_metallic);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let m = VariabilityModel::nominal();
+        assert_eq!(m.sample_many(20, 7), m.sample_many(20, 7));
+        assert_ne!(m.sample_many(20, 7), m.sample_many(20, 8));
+    }
+
+    #[test]
+    fn metallic_fraction_is_respected() {
+        let m = VariabilityModel::nominal().with_metallic_fraction(0.3);
+        let samples = m.sample_many(2000, 3);
+        let metallic = samples.iter().filter(|s| s.is_metallic).count();
+        let rate = metallic as f64 / samples.len() as f64;
+        assert!((rate - 0.3).abs() < 0.05, "empirical metallic rate {rate}");
+    }
+
+    #[test]
+    fn on_current_spread_is_about_a_decade_at_3sigma() {
+        let m = VariabilityModel::nominal().with_metallic_fraction(0.0);
+        let samples = m.sample_many(5000, 11);
+        let max = samples.iter().map(|s| s.i_on_factor).fold(0.0, f64::max);
+        let min = samples.iter().map(|s| s.i_on_factor).fold(f64::INFINITY, f64::min);
+        assert!(max / min > 3.0, "spread too tight: {}", max / min);
+        assert!(max / min < 300.0, "spread too wide: {}", max / min);
+    }
+
+    #[test]
+    fn noise_margin_shrinks_with_row_width() {
+        let m = VariabilityModel::nominal().with_metallic_fraction(0.0);
+        let narrow = m.gnor_noise_margin(4, 50, 5);
+        let wide = m.gnor_noise_margin(64, 50, 5);
+        assert!(narrow > wide, "narrow {narrow} vs wide {wide}");
+        assert!(narrow > 10.0, "a 4-wide row must be comfortably functional");
+    }
+
+    #[test]
+    fn metallic_tube_crushes_the_margin() {
+        let clean = VariabilityModel::nominal().with_metallic_fraction(0.0);
+        let dirty = VariabilityModel::nominal().with_metallic_fraction(0.5);
+        let clean_margin = clean.gnor_noise_margin(8, 40, 9);
+        let dirty_margin = dirty.gnor_noise_margin(8, 40, 9);
+        assert!(dirty_margin < clean_margin / 10.0);
+        assert!(dirty_margin <= 1.0 + 1e-9, "a metallic leak ties the margin");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in [0,1]")]
+    fn bad_fraction_rejected() {
+        let _ = VariabilityModel::nominal().with_metallic_fraction(1.5);
+    }
+}

@@ -1,0 +1,266 @@
+//! The Table 1 area model.
+//!
+//! Section 5 prices a PLA as `basic cells × basic-cell area`:
+//!
+//! * a **classical** PLA plane (Flash or EEPROM programmable points) needs
+//!   both polarities of every input — `2·i` input columns plus `o` output
+//!   columns, each crossing `p` product rows;
+//! * the **ambipolar CNFET GNOR** PLA generates polarities internally and
+//!   needs a single column per input — `i + o` columns crossing `p` rows.
+//!
+//! Basic contacted cells (Table 1, first row): Flash 40 L², EEPROM 100 L²,
+//! ambipolar CNFET 60 L² (from the Patil-style layout rules in
+//! [`cnfet::tech`]).
+
+use cnfet::tech::comparison;
+use cnfet::CellGeometry;
+use std::fmt;
+
+/// Logical dimensions of a PLA: inputs, outputs, product terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlaDimensions {
+    /// Number of input variables.
+    pub inputs: usize,
+    /// Number of outputs.
+    pub outputs: usize,
+    /// Number of product terms (array rows).
+    pub products: usize,
+}
+
+impl PlaDimensions {
+    /// Columns of a classical PLA: true + complement per input, one per
+    /// output.
+    pub fn column_count_classical(&self) -> usize {
+        2 * self.inputs + self.outputs
+    }
+
+    /// Columns of a GNOR PLA: one per input, one per output.
+    pub fn column_count_cnfet(&self) -> usize {
+        self.inputs + self.outputs
+    }
+
+    /// Basic-cell count of a classical PLA.
+    pub fn cells_classical(&self) -> usize {
+        self.column_count_classical() * self.products
+    }
+
+    /// Basic-cell count of a GNOR PLA.
+    pub fn cells_cnfet(&self) -> usize {
+        self.column_count_cnfet() * self.products
+    }
+}
+
+impl fmt::Display for PlaDimensions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}i/{}o/{}p",
+            self.inputs, self.outputs, self.products
+        )
+    }
+}
+
+/// A PLA implementation technology of Table 1.
+///
+/// # Example
+///
+/// ```
+/// use ambipla_core::{PlaDimensions, Technology};
+///
+/// let max46 = PlaDimensions { inputs: 9, outputs: 1, products: 46 };
+/// assert_eq!(Technology::Flash.pla_area(max46), 34960.0);
+/// assert_eq!(Technology::CnfetGnor.pla_area(max46), 27600.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// NOR-Flash programmable crosspoints, classical two-column inputs.
+    Flash,
+    /// EEPROM (FLOTOX) crosspoints, classical two-column inputs.
+    Eeprom,
+    /// Ambipolar-CNFET GNOR crosspoints, single-column inputs.
+    CnfetGnor,
+}
+
+impl Technology {
+    /// The three technologies in Table 1 column order.
+    pub const ALL: [Technology; 3] = [
+        Technology::Flash,
+        Technology::Eeprom,
+        Technology::CnfetGnor,
+    ];
+
+    /// The contacted basic-cell geometry.
+    pub fn cell(&self) -> CellGeometry {
+        match self {
+            Technology::Flash => comparison::FLASH,
+            Technology::Eeprom => comparison::EEPROM,
+            Technology::CnfetGnor => comparison::CNFET,
+        }
+    }
+
+    /// Basic-cell area in `L²` (Table 1, first row: 40 / 100 / 60).
+    pub fn cell_area_l2(&self) -> u32 {
+        self.cell().area_l2()
+    }
+
+    /// Whether this technology needs both input polarities as columns.
+    pub fn needs_complement_columns(&self) -> bool {
+        !matches!(self, Technology::CnfetGnor)
+    }
+
+    /// Basic-cell count for a PLA of the given dimensions.
+    pub fn cells(&self, dims: PlaDimensions) -> usize {
+        if self.needs_complement_columns() {
+            dims.cells_classical()
+        } else {
+            dims.cells_cnfet()
+        }
+    }
+
+    /// PLA area in `L²` — the quantity tabulated in Table 1.
+    pub fn pla_area(&self, dims: PlaDimensions) -> f64 {
+        self.cells(dims) as f64 * self.cell_area_l2() as f64
+    }
+
+    /// Human-readable name matching the paper's column headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technology::Flash => "Flash",
+            Technology::Eeprom => "EEPROM",
+            Technology::CnfetGnor => "CNFET",
+        }
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Relative area saving of the CNFET PLA over `other` for `dims`:
+/// `1 − area_CNFET / area_other`. Negative values mean overhead.
+pub fn cnfet_saving_over(other: Technology, dims: PlaDimensions) -> f64 {
+    1.0 - Technology::CnfetGnor.pla_area(dims) / other.pla_area(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX46: PlaDimensions = PlaDimensions {
+        inputs: 9,
+        outputs: 1,
+        products: 46,
+    };
+    const APLA: PlaDimensions = PlaDimensions {
+        inputs: 10,
+        outputs: 12,
+        products: 25,
+    };
+    const T2: PlaDimensions = PlaDimensions {
+        inputs: 17,
+        outputs: 16,
+        products: 52,
+    };
+
+    #[test]
+    fn basic_cell_row_of_table1() {
+        assert_eq!(Technology::Flash.cell_area_l2(), 40);
+        assert_eq!(Technology::Eeprom.cell_area_l2(), 100);
+        assert_eq!(Technology::CnfetGnor.cell_area_l2(), 60);
+    }
+
+    #[test]
+    fn table1_max46_row() {
+        assert_eq!(Technology::Flash.pla_area(MAX46), 34960.0);
+        assert_eq!(Technology::Eeprom.pla_area(MAX46), 87400.0);
+        assert_eq!(Technology::CnfetGnor.pla_area(MAX46), 27600.0);
+    }
+
+    #[test]
+    fn table1_apla_row() {
+        assert_eq!(Technology::Flash.pla_area(APLA), 32000.0);
+        assert_eq!(Technology::Eeprom.pla_area(APLA), 80000.0);
+        assert_eq!(Technology::CnfetGnor.pla_area(APLA), 33000.0);
+    }
+
+    #[test]
+    fn table1_t2_row() {
+        assert_eq!(Technology::Flash.pla_area(T2), 104000.0);
+        assert_eq!(Technology::Eeprom.pla_area(T2), 260000.0);
+        assert_eq!(Technology::CnfetGnor.pla_area(T2), 102960.0);
+    }
+
+    #[test]
+    fn paper_saving_claims() {
+        // "saving ~21%" over Flash on max46.
+        let s = cnfet_saving_over(Technology::Flash, MAX46);
+        assert!((s - 0.2105).abs() < 0.001, "max46 saving {s}");
+        // "small area overhead (3%)" on apla.
+        let o = cnfet_saving_over(Technology::Flash, APLA);
+        assert!((o + 0.03125).abs() < 0.001, "apla overhead {o}");
+        // "up to 68% less area" than EEPROM (max46).
+        let e = cnfet_saving_over(Technology::Eeprom, MAX46);
+        assert!((e - 0.684).abs() < 0.001, "eeprom saving {e}");
+    }
+
+    #[test]
+    fn column_counts() {
+        assert_eq!(MAX46.column_count_classical(), 19);
+        assert_eq!(MAX46.column_count_cnfet(), 10);
+        assert_eq!(T2.column_count_classical(), 50);
+        assert_eq!(T2.column_count_cnfet(), 33);
+    }
+
+    #[test]
+    fn cnfet_always_beats_eeprom() {
+        // The paper: "the CNFET PLA is always more compact than EEPROM PLA".
+        // cells ratio >= (i+o)/(2i+o) >= 1/2 and cell ratio = 60/100 < 2 —
+        // check across a grid of shapes.
+        for i in 1..30 {
+            for o in 1..30 {
+                let d = PlaDimensions {
+                    inputs: i,
+                    outputs: o,
+                    products: 7,
+                };
+                assert!(
+                    Technology::CnfetGnor.pla_area(d) < Technology::Eeprom.pla_area(d),
+                    "shape {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crossover_depends_on_shape() {
+        // CNFET beats Flash iff 60(i+o) < 40(2i+o) ⇔ i > o.
+        let wins = PlaDimensions {
+            inputs: 10,
+            outputs: 2,
+            products: 5,
+        };
+        assert!(cnfet_saving_over(Technology::Flash, wins) > 0.0);
+        let loses = PlaDimensions {
+            inputs: 2,
+            outputs: 10,
+            products: 5,
+        };
+        assert!(cnfet_saving_over(Technology::Flash, loses) < 0.0);
+        let tie = PlaDimensions {
+            inputs: 5,
+            outputs: 5,
+            products: 5,
+        };
+        assert!(cnfet_saving_over(Technology::Flash, tie).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Technology::Flash.to_string(), "Flash");
+        assert_eq!(Technology::Eeprom.to_string(), "EEPROM");
+        assert_eq!(Technology::CnfetGnor.to_string(), "CNFET");
+        assert_eq!(MAX46.to_string(), "9i/1o/46p");
+    }
+}

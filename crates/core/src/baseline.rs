@@ -1,0 +1,214 @@
+//! Classical NOR–NOR PLA baseline with true+complement input columns.
+//!
+//! This is the comparison architecture of Section 5: a conventional PLA
+//! (Flash- or EEPROM-programmed) must route **both polarities of every
+//! input** into the AND plane, doubling the input columns and the number of
+//! externally routed signals. Functionally it computes exactly the same
+//! covers as [`crate::GnorPla`]; structurally it pays `2i + o` columns.
+
+use crate::area::PlaDimensions;
+use logic::{Cover, Tri};
+
+/// A classical two-level PLA with complemented input columns.
+///
+/// Column layout of the AND plane: `[x0, x̄0, x1, x̄1, …]` — the true and
+/// complement rails the external inverters must supply.
+///
+/// # Example
+///
+/// ```
+/// use ambipla_core::ClassicalPla;
+/// use logic::Cover;
+///
+/// let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+/// let pla = ClassicalPla::from_cover(&xor);
+/// assert_eq!(pla.simulate_bits(0b10), vec![true]);
+/// assert_eq!(pla.dimensions().column_count_classical(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassicalPla {
+    n_inputs: usize,
+    n_outputs: usize,
+    /// `products × 2·inputs` crosspoints of the AND (first NOR) plane.
+    and_plane: Vec<Vec<bool>>,
+    /// `outputs × products` crosspoints of the OR (second NOR) plane.
+    or_plane: Vec<Vec<bool>>,
+}
+
+impl ClassicalPla {
+    /// Map a cover onto the classical PLA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover is empty or has no outputs.
+    pub fn from_cover(cover: &Cover) -> ClassicalPla {
+        assert!(cover.n_outputs() > 0, "cover must have outputs");
+        assert!(!cover.is_empty(), "cover must have product terms");
+        let n_inputs = cover.n_inputs();
+        let n_outputs = cover.n_outputs();
+        let mut and_plane = Vec::with_capacity(cover.len());
+        let mut or_plane = vec![vec![false; cover.len()]; n_outputs];
+        for (r, cube) in cover.iter().enumerate() {
+            let mut row = vec![false; 2 * n_inputs];
+            for i in 0..n_inputs {
+                match cube.input(i) {
+                    // Product needs x_i ⇒ the NOR row connects the x̄_i rail.
+                    Tri::One => row[2 * i + 1] = true,
+                    // Product needs x̄_i ⇒ connect the x_i rail.
+                    Tri::Zero => row[2 * i] = true,
+                    Tri::DontCare => {}
+                }
+            }
+            and_plane.push(row);
+            for (j, or_row) in or_plane.iter_mut().enumerate() {
+                or_row[r] = cube.has_output(j);
+            }
+        }
+        ClassicalPla {
+            n_inputs,
+            n_outputs,
+            and_plane,
+            or_plane,
+        }
+    }
+
+    /// PLA dimensions (same logical shape as the GNOR mapping).
+    pub fn dimensions(&self) -> PlaDimensions {
+        PlaDimensions {
+            inputs: self.n_inputs,
+            outputs: self.n_outputs,
+            products: self.and_plane.len(),
+        }
+    }
+
+    /// Signals that must be routed into the array from outside: both
+    /// polarities of every input. The GNOR PLA halves this (Section 5's
+    /// FPGA routing argument).
+    pub fn routed_input_signals(&self) -> usize {
+        2 * self.n_inputs
+    }
+
+    /// Number of programmed crosspoints over both planes.
+    pub fn active_devices(&self) -> usize {
+        let and: usize = self
+            .and_plane
+            .iter()
+            .map(|r| r.iter().filter(|&&b| b).count())
+            .sum();
+        let or: usize = self
+            .or_plane
+            .iter()
+            .map(|r| r.iter().filter(|&&b| b).count())
+            .sum();
+        and + or
+    }
+
+    /// Evaluate on an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n_inputs`.
+    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
+        // Build the true/complement rails the external inverters provide.
+        let mut rails = Vec::with_capacity(2 * self.n_inputs);
+        for &x in inputs {
+            rails.push(x);
+            rails.push(!x);
+        }
+        // First NOR plane: product row = NOR of connected rails.
+        let products: Vec<bool> = self
+            .and_plane
+            .iter()
+            .map(|row| !row.iter().zip(&rails).any(|(&c, &x)| c && x))
+            .collect();
+        // Second NOR plane + inverting drivers: F = NOT(NOR(products)).
+        self.or_plane
+            .iter()
+            .map(|row| row.iter().zip(&products).any(|(&c, &p)| c && p))
+            .collect()
+    }
+
+    /// Evaluate on a packed assignment.
+    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
+        let inputs: Vec<bool> = (0..self.n_inputs).map(|i| bits >> i & 1 == 1).collect();
+        self.simulate(&inputs)
+    }
+
+    /// True if the PLA implements `cover` on every assignment (exhaustive
+    /// up to [`logic::eval::EXHAUSTIVE_LIMIT`] inputs).
+    pub fn implements(&self, cover: &Cover) -> bool {
+        let n = self.n_inputs.min(logic::eval::EXHAUSTIVE_LIMIT);
+        (0..(1u64 << n)).all(|bits| self.simulate_bits(bits) == cover.eval_bits(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pla::GnorPla;
+
+    fn cover(text: &str, ni: usize, no: usize) -> Cover {
+        Cover::parse(text, ni, no).expect("parse cover")
+    }
+
+    #[test]
+    fn xor_simulates() {
+        let f = cover("10 1\n01 1", 2, 1);
+        let pla = ClassicalPla::from_cover(&f);
+        assert!(pla.implements(&f));
+    }
+
+    #[test]
+    fn agrees_with_gnor_pla_on_full_adder() {
+        let f = cover(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        );
+        let classical = ClassicalPla::from_cover(&f);
+        let gnor = GnorPla::from_cover(&f);
+        for bits in 0..8u64 {
+            assert_eq!(classical.simulate_bits(bits), gnor.simulate_bits(bits));
+        }
+    }
+
+    #[test]
+    fn routed_signals_double_the_inputs() {
+        let f = cover("1--- 1", 4, 1);
+        let pla = ClassicalPla::from_cover(&f);
+        assert_eq!(pla.routed_input_signals(), 8);
+    }
+
+    #[test]
+    fn device_count_equals_literals_plus_connections() {
+        let f = cover("10- 11\n-11 01", 3, 2);
+        let pla = ClassicalPla::from_cover(&f);
+        // 2 + 2 literals in the AND plane; 3 connections in the OR plane.
+        assert_eq!(pla.active_devices(), 7);
+    }
+
+    #[test]
+    fn same_logical_dimensions_as_gnor() {
+        let f = cover("10- 11\n-11 01", 3, 2);
+        assert_eq!(
+            ClassicalPla::from_cover(&f).dimensions(),
+            GnorPla::from_cover(&f).dimensions()
+        );
+    }
+
+    #[test]
+    fn constant_true_row() {
+        let f = cover("-- 1", 2, 1);
+        let pla = ClassicalPla::from_cover(&f);
+        for bits in 0..4u64 {
+            assert!(pla.simulate_bits(bits)[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "product terms")]
+    fn empty_cover_panics() {
+        let _ = ClassicalPla::from_cover(&Cover::new(2, 1));
+    }
+}

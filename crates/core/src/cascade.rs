@@ -1,0 +1,285 @@
+//! Interleaved PLA + interconnect cascades (Fig. 3):
+//! "Interleaving PLA and interconnects enables cascades of NOR planes and
+//! realizes any logic function."
+//!
+//! A [`PlaNetwork`] is an alternating sequence of [`GnorPla`] stages and
+//! programmed [`Crossbar`]s routing each stage's outputs (plus optionally
+//! pass-through primary inputs) to the next stage's inputs. The builder
+//! validates arities and full connectivity, so a constructed network never
+//! floats an input.
+
+use crate::crossbar::Crossbar;
+use crate::pla::GnorPla;
+use logic::Cover;
+use std::error::Error;
+use std::fmt;
+
+/// Error building a [`PlaNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The crossbar between stages `stage` and `stage + 1` leaves input
+    /// `input` of the next stage undriven.
+    UndrivenInput {
+        /// Index of the upstream stage.
+        stage: usize,
+        /// The floating input of the downstream stage.
+        input: usize,
+    },
+    /// The crossbar's wire counts do not match the adjacent stages.
+    ArityMismatch {
+        /// Index of the upstream stage.
+        stage: usize,
+    },
+    /// A crossbar shorts two drivers onto one vertical wire.
+    Short {
+        /// Index of the upstream stage.
+        stage: usize,
+        /// The contested vertical wire.
+        vertical: usize,
+    },
+    /// The network has no stages.
+    Empty,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UndrivenInput { stage, input } => {
+                write!(f, "input {input} after stage {stage} is undriven")
+            }
+            NetworkError::ArityMismatch { stage } => {
+                write!(f, "crossbar after stage {stage} has mismatched wire counts")
+            }
+            NetworkError::Short { stage, vertical } => {
+                write!(f, "crossbar after stage {stage} shorts vertical {vertical}")
+            }
+            NetworkError::Empty => write!(f, "network has no stages"),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// A cascade of GNOR PLAs joined by programmed crossbars.
+///
+/// # Example
+///
+/// ```
+/// use ambipla_core::PlaNetwork;
+/// use logic::Cover;
+///
+/// // Two buffer stages chained with identity routing.
+/// let buf = Cover::parse("1- 10\n-1 01", 2, 2).unwrap();
+/// let net = PlaNetwork::chain_of_covers(&[buf.clone(), buf]);
+/// assert_eq!(net.simulate(&[true, false]), vec![true, false]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaNetwork {
+    stages: Vec<GnorPla>,
+    /// `links[k]` routes stage `k`'s outputs to stage `k+1`'s inputs;
+    /// `links.len() == stages.len() - 1`.
+    links: Vec<Crossbar>,
+}
+
+impl PlaNetwork {
+    /// Build a network, validating connectivity.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetworkError`]: empty network, arity mismatches, undriven
+    /// inputs, or shorted crossbar verticals.
+    pub fn new(stages: Vec<GnorPla>, links: Vec<Crossbar>) -> Result<PlaNetwork, NetworkError> {
+        if stages.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        if links.len() != stages.len() - 1 {
+            return Err(NetworkError::ArityMismatch { stage: links.len() });
+        }
+        for (k, link) in links.iter().enumerate() {
+            let up = stages[k].dimensions().outputs;
+            let down = stages[k + 1].dimensions().inputs;
+            if link.horizontals() != up || link.verticals() != down {
+                return Err(NetworkError::ArityMismatch { stage: k });
+            }
+            // Probe with all-false drivers to detect shorts/floats.
+            match link.route(&vec![false; up]) {
+                Err(crate::crossbar::RouteError::MultipleDrivers { vertical }) => {
+                    return Err(NetworkError::Short { stage: k, vertical })
+                }
+                Ok(values) => {
+                    if let Some(input) = values.iter().position(Option::is_none) {
+                        return Err(NetworkError::UndrivenInput { stage: k, input });
+                    }
+                }
+            }
+        }
+        Ok(PlaNetwork { stages, links })
+    }
+
+    /// Convenience: chain covers with identity routing (output `i` of each
+    /// stage feeds input `i` of the next).
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive covers' arities do not chain or any cover is
+    /// empty.
+    pub fn chain_of_covers(covers: &[Cover]) -> PlaNetwork {
+        assert!(!covers.is_empty(), "need at least one cover");
+        let stages: Vec<GnorPla> = covers.iter().map(GnorPla::from_cover).collect();
+        let mut links = Vec::new();
+        for k in 0..stages.len() - 1 {
+            let up = stages[k].dimensions().outputs;
+            let down = stages[k + 1].dimensions().inputs;
+            assert_eq!(up, down, "stage {k} outputs must match stage {} inputs", k + 1);
+            let mut x = Crossbar::new(up, down);
+            for i in 0..up {
+                x.connect(i, i);
+            }
+            links.push(x);
+        }
+        PlaNetwork::new(stages, links).expect("identity chains are valid")
+    }
+
+    /// Number of PLA stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Primary input count (stage 0's inputs).
+    pub fn n_inputs(&self) -> usize {
+        self.stages[0].dimensions().inputs
+    }
+
+    /// Primary output count (last stage's outputs).
+    pub fn n_outputs(&self) -> usize {
+        self.stages[self.stages.len() - 1].dimensions().outputs
+    }
+
+    /// The stages.
+    pub fn stages(&self) -> &[GnorPla] {
+        &self.stages
+    }
+
+    /// Total programmed devices (PLA planes + crosspoints).
+    pub fn active_devices(&self) -> usize {
+        let pla: usize = self.stages.iter().map(GnorPla::active_devices).sum();
+        let xbar: usize = self.links.iter().map(Crossbar::connection_count).sum();
+        pla + xbar
+    }
+
+    /// Evaluate the cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the first stage's input count.
+    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
+        let mut signal = self.stages[0].simulate(inputs);
+        for (link, stage) in self.links.iter().zip(self.stages.iter().skip(1)) {
+            let routed = link
+                .route(&signal)
+                .expect("validated network has no shorts");
+            signal = stage.simulate(
+                &routed
+                    .into_iter()
+                    .map(|v| v.expect("validated network has no floats"))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        signal
+    }
+
+    /// Evaluate on a packed assignment.
+    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
+        let n = self.n_inputs();
+        let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        self.simulate(&inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(text: &str, ni: usize, no: usize) -> Cover {
+        Cover::parse(text, ni, no).expect("parse cover")
+    }
+
+    #[test]
+    fn two_stage_composition() {
+        // Stage 1: (x0 XOR x1, x0 AND x1) — a half adder.
+        let s1 = cover("10 10\n01 10\n11 01", 2, 2);
+        // Stage 2: swap the two signals.
+        let s2 = cover("1- 01\n-1 10", 2, 2);
+        let net = PlaNetwork::chain_of_covers(&[s1.clone(), s2]);
+        for bits in 0..4u64 {
+            let inner = s1.eval_bits(bits);
+            let got = net.simulate_bits(bits);
+            assert_eq!(got, vec![inner[1], inner[0]], "bits {bits:02b}");
+        }
+    }
+
+    #[test]
+    fn three_stage_identity_chain_is_identity() {
+        // Buffer cover: out_i = in_i via two inversions… single-stage GNOR
+        // buffer: out_j = NOR(NOR(x_j)) with inverting driver = x_j.
+        let buf = cover("1- 10\n-1 01", 2, 2);
+        let net = PlaNetwork::chain_of_covers(&[buf.clone(), buf.clone(), buf]);
+        assert_eq!(net.n_stages(), 3);
+        for bits in 0..4u64 {
+            let want = vec![bits & 1 == 1, bits >> 1 & 1 == 1];
+            assert_eq!(net.simulate_bits(bits), want);
+        }
+    }
+
+    #[test]
+    fn undriven_input_is_rejected() {
+        let s1 = GnorPla::from_cover(&cover("1- 10\n-1 01", 2, 2));
+        let s2 = GnorPla::from_cover(&cover("1- 10\n-1 01", 2, 2));
+        let x = Crossbar::new(2, 2); // nothing connected
+        assert_eq!(
+            PlaNetwork::new(vec![s1, s2], vec![x]),
+            Err(NetworkError::UndrivenInput { stage: 0, input: 0 })
+        );
+    }
+
+    #[test]
+    fn shorted_crossbar_is_rejected() {
+        let s1 = GnorPla::from_cover(&cover("1- 10\n-1 01", 2, 2));
+        let s2 = GnorPla::from_cover(&cover("1- 10\n-1 01", 2, 2));
+        let mut x = Crossbar::new(2, 2);
+        x.connect(0, 0);
+        x.connect(1, 0);
+        x.connect(0, 1);
+        assert_eq!(
+            PlaNetwork::new(vec![s1, s2], vec![x]),
+            Err(NetworkError::Short { stage: 0, vertical: 0 })
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let s1 = GnorPla::from_cover(&cover("1- 10\n-1 01", 2, 2));
+        let s2 = GnorPla::from_cover(&cover("1-- 1\n-1- 1", 3, 1));
+        let x = Crossbar::new(2, 2); // downstream wants 3 inputs
+        assert!(matches!(
+            PlaNetwork::new(vec![s1, s2], vec![x]),
+            Err(NetworkError::ArityMismatch { stage: 0 })
+        ));
+    }
+
+    #[test]
+    fn empty_network_is_rejected() {
+        assert_eq!(
+            PlaNetwork::new(vec![], vec![]),
+            Err(NetworkError::Empty)
+        );
+    }
+
+    #[test]
+    fn device_count_includes_crosspoints() {
+        let buf = cover("1- 10\n-1 01", 2, 2);
+        let net = PlaNetwork::chain_of_covers(&[buf.clone(), buf]);
+        let single = GnorPla::from_cover(&cover("1- 10\n-1 01", 2, 2)).active_devices();
+        assert_eq!(net.active_devices(), 2 * single + 2);
+    }
+}

@@ -1,0 +1,338 @@
+//! Configuration bitstreams for GNOR PLAs.
+//!
+//! A deployed programmable array needs its configuration in a durable,
+//! checkable exchange form. The bitstream packs each crosspoint's polarity
+//! control in two bits (`00` drop / `01` pass / `10` invert), plus the
+//! driver polarities and an FNV-1a integrity checksum:
+//!
+//! ```text
+//! magic "AGPL" | ver u8 | inputs u16 | outputs u16 | products u16
+//! | driver bits ceil(o/8) | plane1 codes | plane2 codes | fnv1a u32
+//! ```
+//!
+//! All multi-byte fields are little-endian. Decoding validates structure,
+//! codes and checksum, so a corrupted bitstream never silently programs an
+//! array.
+
+use crate::gnor::InputPolarity;
+use crate::pla::GnorPla;
+use crate::plane::GnorPlane;
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"AGPL";
+const VERSION: u8 = 1;
+
+/// Error decoding a configuration bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion {
+        /// Version found in the stream.
+        found: u8,
+    },
+    /// The stream is shorter than its header promises.
+    Truncated,
+    /// A two-bit device code was `11` (reserved).
+    InvalidCode {
+        /// Byte offset of the offending code.
+        offset: usize,
+    },
+    /// Integrity checksum mismatch.
+    ChecksumMismatch,
+    /// Header declares a zero-sized array.
+    EmptyArray,
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::BadMagic => write!(f, "bad magic (not an AGPL bitstream)"),
+            BitstreamError::BadVersion { found } => write!(f, "unsupported version {found}"),
+            BitstreamError::Truncated => write!(f, "bitstream truncated"),
+            BitstreamError::InvalidCode { offset } => {
+                write!(f, "invalid device code at byte {offset}")
+            }
+            BitstreamError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            BitstreamError::EmptyArray => write!(f, "bitstream declares an empty array"),
+        }
+    }
+}
+
+impl Error for BitstreamError {}
+
+fn code_of(p: InputPolarity) -> u8 {
+    match p {
+        InputPolarity::Drop => 0b00,
+        InputPolarity::Pass => 0b01,
+        InputPolarity::Invert => 0b10,
+    }
+}
+
+fn polarity_of(code: u8) -> Option<InputPolarity> {
+    match code {
+        0b00 => Some(InputPolarity::Drop),
+        0b01 => Some(InputPolarity::Pass),
+        0b10 => Some(InputPolarity::Invert),
+        _ => None,
+    }
+}
+
+/// Serialize a PLA configuration to its bitstream.
+pub fn to_bitstream(pla: &GnorPla) -> Vec<u8> {
+    let dims = pla.dimensions();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(dims.inputs as u16).to_le_bytes());
+    out.extend_from_slice(&(dims.outputs as u16).to_le_bytes());
+    out.extend_from_slice(&(dims.products as u16).to_le_bytes());
+    // Driver polarities.
+    let mut byte = 0u8;
+    for (j, &inv) in pla.inverting_outputs().iter().enumerate() {
+        if inv {
+            byte |= 1 << (j % 8);
+        }
+        if j % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !dims.outputs.is_multiple_of(8) {
+        out.push(byte);
+    }
+    // Device codes, 4 per byte, plane 1 then plane 2.
+    let mut pack = CodePacker::new(&mut out);
+    for r in 0..dims.products {
+        for i in 0..dims.inputs {
+            pack.push(code_of(pla.input_plane().gate(r).control(i)));
+        }
+    }
+    for j in 0..dims.outputs {
+        for r in 0..dims.products {
+            pack.push(code_of(pla.output_plane().gate(j).control(r)));
+        }
+    }
+    pack.finish();
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decode a bitstream back into a PLA configuration.
+///
+/// # Errors
+///
+/// See [`BitstreamError`].
+pub fn from_bitstream(bytes: &[u8]) -> Result<GnorPla, BitstreamError> {
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
+        return Err(BitstreamError::BadMagic);
+    }
+    if bytes.len() < 11 + 4 {
+        return Err(BitstreamError::Truncated);
+    }
+    let version = bytes[4];
+    if version != VERSION {
+        return Err(BitstreamError::BadVersion { found: version });
+    }
+    let inputs = u16::from_le_bytes([bytes[5], bytes[6]]) as usize;
+    let outputs = u16::from_le_bytes([bytes[7], bytes[8]]) as usize;
+    let products = u16::from_le_bytes([bytes[9], bytes[10]]) as usize;
+    if inputs == 0 || outputs == 0 || products == 0 {
+        return Err(BitstreamError::EmptyArray);
+    }
+    let driver_bytes = outputs.div_ceil(8);
+    let codes = products * inputs + outputs * products;
+    let code_bytes = codes.div_ceil(4);
+    let expect = 11 + driver_bytes + code_bytes + 4;
+    if bytes.len() != expect {
+        return Err(BitstreamError::Truncated);
+    }
+    // Checksum first: everything before the trailing u32.
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if fnv1a(body) != stored {
+        return Err(BitstreamError::ChecksumMismatch);
+    }
+    // Drivers.
+    let mut inverting = Vec::with_capacity(outputs);
+    for j in 0..outputs {
+        let b = bytes[11 + j / 8];
+        inverting.push(b >> (j % 8) & 1 == 1);
+    }
+    // Codes.
+    let code_base = 11 + driver_bytes;
+    let read = |k: usize| -> Result<InputPolarity, BitstreamError> {
+        let byte = bytes[code_base + k / 4];
+        let code = byte >> (2 * (k % 4)) & 0b11;
+        polarity_of(code).ok_or(BitstreamError::InvalidCode {
+            offset: code_base + k / 4,
+        })
+    };
+    let mut k = 0usize;
+    let mut plane1 = Vec::with_capacity(products);
+    for _ in 0..products {
+        let mut row = Vec::with_capacity(inputs);
+        for _ in 0..inputs {
+            row.push(read(k)?);
+            k += 1;
+        }
+        plane1.push(row);
+    }
+    let mut plane2 = Vec::with_capacity(outputs);
+    for _ in 0..outputs {
+        let mut row = Vec::with_capacity(products);
+        for _ in 0..products {
+            row.push(read(k)?);
+            k += 1;
+        }
+        plane2.push(row);
+    }
+    Ok(GnorPla::from_parts(
+        GnorPlane::from_controls(plane1),
+        GnorPlane::from_controls(plane2),
+        inverting,
+    ))
+}
+
+struct CodePacker<'a> {
+    out: &'a mut Vec<u8>,
+    byte: u8,
+    filled: u8,
+}
+
+impl<'a> CodePacker<'a> {
+    fn new(out: &'a mut Vec<u8>) -> CodePacker<'a> {
+        CodePacker {
+            out,
+            byte: 0,
+            filled: 0,
+        }
+    }
+
+    fn push(&mut self, code: u8) {
+        self.byte |= code << (2 * self.filled);
+        self.filled += 1;
+        if self.filled == 4 {
+            self.out.push(self.byte);
+            self.byte = 0;
+            self.filled = 0;
+        }
+    }
+
+    fn finish(self) {
+        if self.filled > 0 {
+            self.out.push(self.byte);
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logic::Cover;
+
+    fn sample() -> GnorPla {
+        let f = Cover::parse("10- 10\n-01 01\n11- 11", 3, 2).unwrap();
+        GnorPla::from_cover(&f)
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let pla = sample();
+        let bits = to_bitstream(&pla);
+        let back = from_bitstream(&bits).expect("valid stream");
+        assert_eq!(back, pla);
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let f = Cover::parse(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        )
+        .unwrap();
+        let pla = GnorPla::from_cover(&f);
+        let back = from_bitstream(&to_bitstream(&pla)).unwrap();
+        assert!(back.implements(&f));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bits = to_bitstream(&sample());
+        bits[0] = b'X';
+        assert_eq!(from_bitstream(&bits), Err(BitstreamError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bits = to_bitstream(&sample());
+        bits[4] = 99;
+        assert_eq!(
+            from_bitstream(&bits),
+            Err(BitstreamError::BadVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bits = to_bitstream(&sample());
+        assert_eq!(
+            from_bitstream(&bits[..bits.len() - 3]),
+            Err(BitstreamError::Truncated)
+        );
+        assert_eq!(from_bitstream(&bits[..8]), Err(BitstreamError::Truncated));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bits = to_bitstream(&sample());
+        // Flip bits inside the code section (after the 11-byte header and
+        // 1 driver byte) so the structure stays parseable.
+        bits[13] ^= 0x41;
+        assert_eq!(from_bitstream(&bits), Err(BitstreamError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn empty_array_rejected() {
+        let mut bits = to_bitstream(&sample());
+        // Zero out the product count and re-seal the checksum.
+        bits[9] = 0;
+        bits[10] = 0;
+        let body_len = bits.len() - 4;
+        let sum = fnv1a(&bits[..body_len]);
+        let tail = bits.len() - 4;
+        bits[tail..].copy_from_slice(&sum.to_le_bytes());
+        // Either Truncated (length check) or EmptyArray; both reject.
+        assert!(from_bitstream(&bits).is_err());
+    }
+
+    #[test]
+    fn stream_size_is_compact() {
+        // 3 products x 3 inputs + 2 outputs x 3 products = 15 codes →
+        // 4 bytes; header 11 + drivers 1 + checksum 4 = 20 bytes total.
+        let bits = to_bitstream(&sample());
+        assert_eq!(bits.len(), 20);
+    }
+
+    #[test]
+    fn all_polarity_codes_roundtrip() {
+        use crate::gnor::InputPolarity::*;
+        for p in [Drop, Pass, Invert] {
+            assert_eq!(polarity_of(code_of(p)), Some(p));
+        }
+        assert_eq!(polarity_of(0b11), None);
+    }
+}

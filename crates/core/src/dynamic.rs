@@ -1,0 +1,189 @@
+//! Cycle-accurate two-phase simulation of the GNOR PLA.
+//!
+//! The functional simulator in [`crate::pla`] computes the settled result;
+//! this module steps the actual **domino clocking** of the two-plane
+//! cascade: both planes precharge in parallel while the clock is low, then
+//! plane 1 evaluates, and plane 2 evaluates on plane 1's settled product
+//! lines — one [`DynamicGnor`] cell per row, exactly the Fig. 2 circuit
+//! replicated across the array. Used to demonstrate (and test) that the
+//! dynamic discipline reproduces the functional semantics, including the
+//! monotonic-discharge property that makes the cascade race-free.
+
+use crate::gnor::{DynamicGnor, Phase};
+use crate::pla::GnorPla;
+
+/// A GNOR PLA instantiated as dynamic cells with explicit clocking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicPla {
+    plane1: Vec<DynamicGnor>,
+    plane2: Vec<DynamicGnor>,
+    inverting_outputs: Vec<bool>,
+    phase: Phase,
+}
+
+impl DynamicPla {
+    /// Instantiate the dynamic cells of a configured PLA.
+    pub fn new(pla: &GnorPla) -> DynamicPla {
+        DynamicPla {
+            plane1: pla
+                .input_plane()
+                .gates()
+                .map(|g| DynamicGnor::new(g.clone()))
+                .collect(),
+            plane2: pla
+                .output_plane()
+                .gates()
+                .map(|g| DynamicGnor::new(g.clone()))
+                .collect(),
+            inverting_outputs: pla.inverting_outputs().to_vec(),
+            phase: Phase::Precharge,
+        }
+    }
+
+    /// Current clock phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Product-line levels as of the last step.
+    pub fn product_lines(&self) -> Vec<bool> {
+        self.plane1.iter().map(DynamicGnor::output).collect()
+    }
+
+    /// Output levels (after the driver polarities) as of the last step.
+    pub fn outputs(&self) -> Vec<bool> {
+        self.plane2
+            .iter()
+            .zip(&self.inverting_outputs)
+            .map(|(c, &inv)| if inv { !c.output() } else { c.output() })
+            .collect()
+    }
+
+    /// Drive the precharge phase (clock low on both planes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the input-plane width.
+    pub fn precharge(&mut self, inputs: &[bool]) {
+        for cell in &mut self.plane1 {
+            cell.clock(false, inputs);
+        }
+        let products = self.product_lines();
+        for cell in &mut self.plane2 {
+            cell.clock(false, &products);
+        }
+        self.phase = Phase::Precharge;
+    }
+
+    /// Drive the evaluate phase: plane 1 first, then plane 2 on the settled
+    /// product lines (domino ordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the input-plane width.
+    pub fn evaluate(&mut self, inputs: &[bool]) {
+        for cell in &mut self.plane1 {
+            cell.clock(true, inputs);
+        }
+        let products = self.product_lines();
+        for cell in &mut self.plane2 {
+            cell.clock(true, &products);
+        }
+        self.phase = Phase::Evaluate;
+    }
+
+    /// One full cycle; returns the evaluated outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the input-plane width.
+    pub fn cycle(&mut self, inputs: &[bool]) -> Vec<bool> {
+        self.precharge(inputs);
+        self.evaluate(inputs);
+        self.outputs()
+    }
+
+    /// Run a packed assignment through one cycle.
+    pub fn cycle_bits(&mut self, bits: u64) -> Vec<bool> {
+        let n = self.plane1.first().map_or(0, |c| c.gate().width());
+        let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        self.cycle(&inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logic::Cover;
+
+    fn adder_pla() -> (Cover, GnorPla) {
+        let f = Cover::parse(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        )
+        .expect("valid cover");
+        let pla = GnorPla::from_cover(&f);
+        (f, pla)
+    }
+
+    #[test]
+    fn dynamic_matches_functional_simulation() {
+        let (_, pla) = adder_pla();
+        let mut dynamic = DynamicPla::new(&pla);
+        for bits in 0..8u64 {
+            assert_eq!(
+                dynamic.cycle_bits(bits),
+                pla.simulate_bits(bits),
+                "bits {bits:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn precharge_lifts_all_lines() {
+        let (_, pla) = adder_pla();
+        let mut dynamic = DynamicPla::new(&pla);
+        dynamic.cycle_bits(0b111); // discharge something first
+        dynamic.precharge(&[false, false, false]);
+        assert!(dynamic.product_lines().iter().all(|&p| p));
+        assert_eq!(dynamic.phase(), Phase::Precharge);
+    }
+
+    #[test]
+    fn back_to_back_cycles_are_independent() {
+        // Dynamic logic must not leak state between cycles.
+        let (f, pla) = adder_pla();
+        let mut dynamic = DynamicPla::new(&pla);
+        let sequence = [0b111u64, 0b000, 0b101, 0b101, 0b010, 0b111];
+        for &bits in &sequence {
+            assert_eq!(dynamic.cycle_bits(bits), f.eval_bits(bits), "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn evaluate_without_precharge_is_monotone() {
+        // Skipping precharge can only keep lines low (the domino hazard),
+        // never raise them: outputs may be wrong but never glitch high on
+        // the NOR lines.
+        let (_, pla) = adder_pla();
+        let mut dynamic = DynamicPla::new(&pla);
+        dynamic.cycle_bits(0b011); // leaves some lines discharged
+        let before = dynamic.product_lines();
+        dynamic.evaluate(&[false, false, false]); // no precharge in between
+        let after = dynamic.product_lines();
+        for (b, a) in before.iter().zip(&after) {
+            assert!(*a <= *b, "a discharged line came back without precharge");
+        }
+    }
+
+    #[test]
+    fn phase_tracking() {
+        let (_, pla) = adder_pla();
+        let mut dynamic = DynamicPla::new(&pla);
+        dynamic.precharge(&[false; 3]);
+        assert_eq!(dynamic.phase(), Phase::Precharge);
+        dynamic.evaluate(&[false; 3]);
+        assert_eq!(dynamic.phase(), Phase::Evaluate);
+    }
+}

@@ -1,0 +1,301 @@
+//! Finite-state machines on GNOR PLAs.
+//!
+//! The canonical use of a PLA in a larger system is the **FSM kernel**:
+//! next-state and output logic in the array, a state register closing the
+//! loop. The GNOR PLA implements the combinational core with one column
+//! per primary input *and* per state bit (a classical PLA needs both rails
+//! of every state bit too, so the saving compounds with the state width).
+//!
+//! [`PlaFsm`] binds a [`GnorPla`] to a state register: the PLA's inputs
+//! are `[primary inputs ++ state bits]` and its outputs are
+//! `[primary outputs ++ next-state bits]`. The type checks the arity
+//! arithmetic, steps cycle by cycle, and can run input traces.
+
+use crate::area::PlaDimensions;
+use crate::pla::GnorPla;
+use logic::Cover;
+use std::error::Error;
+use std::fmt;
+
+/// Error assembling an FSM around a PLA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmError {
+    /// The PLA has fewer inputs than state bits.
+    TooFewInputs,
+    /// The PLA has fewer outputs than state bits.
+    TooFewOutputs,
+    /// Zero state bits requested.
+    NoState,
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::TooFewInputs => write!(f, "PLA has fewer inputs than state bits"),
+            FsmError::TooFewOutputs => write!(f, "PLA has fewer outputs than state bits"),
+            FsmError::NoState => write!(f, "an FSM needs at least one state bit"),
+        }
+    }
+}
+
+impl Error for FsmError {}
+
+/// A Moore/Mealy FSM: GNOR PLA plus a state register.
+///
+/// Input convention: PLA inputs are `[x_0 … x_{i-1}, s_0 … s_{k-1}]`;
+/// PLA outputs are `[y_0 … y_{o-1}, s'_0 … s'_{k-1}]`.
+///
+/// # Example
+///
+/// A 2-bit counter with enable:
+///
+/// ```
+/// use ambipla_core::fsm::{counter_cover, PlaFsm};
+///
+/// // Input: en. State: s0, s1. Output: carry on wrap.
+/// let kernel = counter_cover(2);
+/// let mut fsm = PlaFsm::new(&kernel, 1, 2).expect("arities match");
+/// fsm.run(&[1, 1, 1]); // count to 3
+/// assert_eq!(fsm.state(), 3);
+/// assert_eq!(fsm.step(1), 1); // wrap fires the carry
+/// assert_eq!(fsm.state(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaFsm {
+    pla: GnorPla,
+    n_inputs: usize,
+    n_outputs: usize,
+    state_bits: usize,
+    state: u64,
+}
+
+impl PlaFsm {
+    /// Wrap the combinational cover in an FSM with `state_bits` feedback
+    /// bits. The cover must have `n_inputs + state_bits` inputs and
+    /// `n_outputs + state_bits` outputs (state bits last on both sides).
+    ///
+    /// # Errors
+    ///
+    /// See [`FsmError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover is empty (see [`GnorPla::from_cover`]).
+    pub fn new(cover: &Cover, n_inputs: usize, state_bits: usize) -> Result<PlaFsm, FsmError> {
+        if state_bits == 0 {
+            return Err(FsmError::NoState);
+        }
+        if cover.n_inputs() < state_bits + n_inputs || cover.n_inputs() != n_inputs + state_bits {
+            return Err(FsmError::TooFewInputs);
+        }
+        if cover.n_outputs() < state_bits {
+            return Err(FsmError::TooFewOutputs);
+        }
+        Ok(PlaFsm {
+            pla: GnorPla::from_cover(cover),
+            n_inputs,
+            n_outputs: cover.n_outputs() - state_bits,
+            state_bits,
+            state: 0,
+        })
+    }
+
+    /// Number of primary inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of primary outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Number of state bits.
+    pub fn state_bits(&self) -> usize {
+        self.state_bits
+    }
+
+    /// The current state (packed).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Force the state register (reset/preset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has bits beyond `state_bits`.
+    pub fn set_state(&mut self, state: u64) {
+        assert!(
+            state < (1 << self.state_bits),
+            "state wider than the register"
+        );
+        self.state = state;
+    }
+
+    /// The underlying PLA.
+    pub fn pla(&self) -> &GnorPla {
+        &self.pla
+    }
+
+    /// Combinational dimensions of the kernel (for the area model).
+    pub fn dimensions(&self) -> PlaDimensions {
+        self.pla.dimensions()
+    }
+
+    /// One clock edge: returns the primary outputs for the applied inputs,
+    /// then latches the next state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has bits beyond `n_inputs`.
+    pub fn step(&mut self, inputs: u64) -> u64 {
+        assert!(
+            self.n_inputs == 64 || inputs < (1 << self.n_inputs),
+            "inputs wider than declared"
+        );
+        let packed = inputs | self.state << self.n_inputs;
+        let out = self.pla.simulate_bits(packed);
+        let mut primary = 0u64;
+        for (j, &bit) in out.iter().take(self.n_outputs).enumerate() {
+            if bit {
+                primary |= 1 << j;
+            }
+        }
+        let mut next = 0u64;
+        for k in 0..self.state_bits {
+            if out[self.n_outputs + k] {
+                next |= 1 << k;
+            }
+        }
+        self.state = next;
+        primary
+    }
+
+    /// Run a trace of inputs from the current state; returns the output
+    /// sequence.
+    pub fn run(&mut self, trace: &[u64]) -> Vec<u64> {
+        trace.iter().map(|&x| self.step(x)).collect()
+    }
+}
+
+/// Build the combinational cover of a binary up-counter with enable:
+/// inputs `[en, state]`, outputs `[carry, next state]`. A convenient
+/// non-trivial FSM kernel for examples and tests.
+pub fn counter_cover(state_bits: usize) -> Cover {
+    assert!((1..=8).contains(&state_bits), "1..=8 state bits");
+    let n = 1 + state_bits; // en + state
+    let o = 1 + state_bits; // carry + next state
+    let mut cover = Cover::new(n, o);
+    for en in 0..2u64 {
+        for s in 0..(1u64 << state_bits) {
+            let next = if en == 1 { (s + 1) & ((1 << state_bits) - 1) } else { s };
+            let carry = en == 1 && s == (1 << state_bits) - 1;
+            let mut outs = vec![false; o];
+            outs[0] = carry;
+            for k in 0..state_bits {
+                outs[1 + k] = next >> k & 1 == 1;
+            }
+            if outs.iter().any(|&b| b) {
+                let bits = en | s << 1;
+                let mut cube = logic::Cube::minterm(bits, n, o);
+                for (j, &keep) in outs.iter().enumerate() {
+                    if !keep {
+                        cube.clear_output(j);
+                    }
+                }
+                cover.push(cube);
+            }
+        }
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logic::espresso;
+
+    #[test]
+    fn two_bit_counter_counts() {
+        let cover = counter_cover(2);
+        let (min, _) = espresso(&cover);
+        let mut fsm = PlaFsm::new(&min, 1, 2).expect("valid FSM");
+        assert_eq!(fsm.state(), 0);
+        // Three enabled steps: 0 → 1 → 2 → 3.
+        fsm.run(&[1, 1, 1]);
+        assert_eq!(fsm.state(), 3);
+        // Wrap with carry.
+        let out = fsm.step(1);
+        assert_eq!(out, 1, "carry fires on wrap");
+        assert_eq!(fsm.state(), 0);
+    }
+
+    #[test]
+    fn disabled_counter_holds() {
+        let cover = counter_cover(3);
+        let mut fsm = PlaFsm::new(&cover, 1, 3).expect("valid FSM");
+        fsm.run(&[1, 1]);
+        let s = fsm.state();
+        fsm.run(&[0, 0, 0]);
+        assert_eq!(fsm.state(), s, "disable must hold state");
+    }
+
+    #[test]
+    fn reset_via_set_state() {
+        let cover = counter_cover(2);
+        let mut fsm = PlaFsm::new(&cover, 1, 2).unwrap();
+        fsm.run(&[1, 1, 1]);
+        fsm.set_state(0);
+        assert_eq!(fsm.state(), 0);
+    }
+
+    #[test]
+    fn minimization_does_not_change_behaviour() {
+        let cover = counter_cover(3);
+        let (min, stats) = espresso(&cover);
+        assert!(stats.final_cubes <= stats.initial_cubes);
+        let mut a = PlaFsm::new(&cover, 1, 3).unwrap();
+        let mut b = PlaFsm::new(&min, 1, 3).unwrap();
+        let trace: Vec<u64> = (0..40).map(|i| u64::from(i % 3 != 0)).collect();
+        assert_eq!(a.run(&trace), b.run(&trace));
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn arity_errors() {
+        let cover = counter_cover(2); // 3 in, 3 out
+        assert_eq!(PlaFsm::new(&cover, 1, 0).unwrap_err(), FsmError::NoState);
+        assert_eq!(
+            PlaFsm::new(&cover, 2, 2).unwrap_err(),
+            FsmError::TooFewInputs
+        );
+        // 4 inputs, 1 output: input arithmetic works for 4 state bits but
+        // there are not enough outputs to feed the register back.
+        let narrow = Cover::parse("10-- 1", 4, 1).unwrap();
+        assert_eq!(
+            PlaFsm::new(&narrow, 0, 4).unwrap_err(),
+            FsmError::TooFewOutputs
+        );
+    }
+
+    #[test]
+    fn counter_kernel_dimensions_feed_area_model() {
+        let cover = counter_cover(4);
+        let (min, _) = espresso(&cover);
+        let fsm = PlaFsm::new(&min, 1, 4).unwrap();
+        let dims = fsm.dimensions();
+        assert_eq!(dims.inputs, 5);
+        assert_eq!(dims.outputs, 5);
+        // The classical FSM kernel pays two columns per state bit as well.
+        assert_eq!(dims.column_count_classical() - dims.column_count_cnfet(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than declared")]
+    fn wide_input_rejected() {
+        let cover = counter_cover(2);
+        let mut fsm = PlaFsm::new(&cover, 1, 2).unwrap();
+        let _ = fsm.step(0b10);
+    }
+}

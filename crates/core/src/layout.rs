@@ -1,0 +1,198 @@
+//! Physical floorplans of PLA arrays in lithography units.
+//!
+//! Turns the logical [`PlaDimensions`] into rectangle geometry using the
+//! contacted-cell sizes of [`cnfet::tech`]: column count × cell width by
+//! product count × cell height. Consistency with the Table 1 area model is
+//! pinned by tests (`floorplan area == Technology::pla_area`). Also
+//! estimates total wire length — the quantity behind the routing/delay
+//! argument of Section 5 — and an approximate Whirlpool ring floorplan.
+
+use crate::area::{PlaDimensions, Technology};
+use crate::wpla::Wpla;
+use std::fmt;
+
+/// A rectangular array floorplan in units of the lithography pitch `L`.
+///
+/// # Example
+///
+/// ```
+/// use ambipla_core::{Floorplan, PlaDimensions, Technology};
+///
+/// let dims = PlaDimensions { inputs: 9, outputs: 1, products: 46 };
+/// let fp = Floorplan::of_pla(dims, Technology::CnfetGnor);
+/// assert_eq!(fp.area_l2(), Technology::CnfetGnor.pla_area(dims));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Floorplan {
+    /// Width, `L`.
+    pub width_l: f64,
+    /// Height, `L`.
+    pub height_l: f64,
+    /// Total wire length across the array (row wires + column wires), `L`.
+    pub wire_length_l: f64,
+}
+
+impl Floorplan {
+    /// Floorplan of a PLA of `dims` in `tech` (classical technologies pay
+    /// the complement columns).
+    pub fn of_pla(dims: PlaDimensions, tech: Technology) -> Floorplan {
+        let cell = tech.cell();
+        let cols = if tech.needs_complement_columns() {
+            dims.column_count_classical()
+        } else {
+            dims.column_count_cnfet()
+        } as f64;
+        let rows = dims.products as f64;
+        let width = cols * cell.width_l as f64;
+        let height = rows * cell.height_l as f64;
+        Floorplan {
+            width_l: width,
+            height_l: height,
+            // Every row wire spans the width; every column wire the height.
+            wire_length_l: rows * width + cols * height,
+        }
+    }
+
+    /// Approximate floorplan of a Whirlpool ring: the four planes are
+    /// arranged around the center, so the bounding box is near-square with
+    /// area `Σ plane cells · cell area / utilization` (ring packing leaves
+    /// the center corner gaps, utilization ≈ 0.8).
+    pub fn of_wpla(wpla: &Wpla) -> Floorplan {
+        let cell = Technology::CnfetGnor.cell();
+        let cell_area = cell.area_l2() as f64;
+        let area = wpla.cells() as f64 * cell_area / 0.8;
+        let side = area.sqrt();
+        // Wire estimate: each plane's rows and columns span ~half the side.
+        let wire: f64 = wpla
+            .planes()
+            .iter()
+            .map(|p| (p.rows() + p.cols()) as f64 * side / 2.0)
+            .sum();
+        Floorplan {
+            width_l: side,
+            height_l: side,
+            wire_length_l: wire,
+        }
+    }
+
+    /// Area, `L²`.
+    pub fn area_l2(&self) -> f64 {
+        self.width_l * self.height_l
+    }
+
+    /// Aspect ratio `max(w,h)/min(w,h)` (1.0 = square).
+    pub fn aspect_ratio(&self) -> f64 {
+        let (a, b) = (self.width_l, self.height_l);
+        a.max(b) / a.min(b).max(f64::MIN_POSITIVE)
+    }
+
+    /// Physical width in nanometres at lithography pitch `litho_nm`.
+    pub fn width_nm(&self, litho_nm: f64) -> f64 {
+        self.width_l * litho_nm
+    }
+
+    /// Physical height in nanometres at lithography pitch `litho_nm`.
+    pub fn height_nm(&self, litho_nm: f64) -> f64 {
+        self.height_l * litho_nm
+    }
+}
+
+impl fmt::Display for Floorplan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0}L x {:.0}L ({:.0} L^2, wires {:.0} L)",
+            self.width_l,
+            self.height_l,
+            self.area_l2(),
+            self.wire_length_l
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logic::Cover;
+
+    const MAX46: PlaDimensions = PlaDimensions {
+        inputs: 9,
+        outputs: 1,
+        products: 46,
+    };
+
+    #[test]
+    fn floorplan_area_matches_table1_model() {
+        for tech in Technology::ALL {
+            let fp = Floorplan::of_pla(MAX46, tech);
+            assert!(
+                (fp.area_l2() - tech.pla_area(MAX46)).abs() < 1e-9,
+                "{tech}: floorplan {} vs model {}",
+                fp.area_l2(),
+                tech.pla_area(MAX46)
+            );
+        }
+    }
+
+    #[test]
+    fn cnfet_is_narrower_than_flash() {
+        // Fewer columns → narrower array, same row count.
+        let gnor = Floorplan::of_pla(MAX46, Technology::CnfetGnor);
+        let flash = Floorplan::of_pla(MAX46, Technology::Flash);
+        // 10 cols * 6L = 60L vs 19 cols * 5L = 95L.
+        assert!(gnor.width_l < flash.width_l);
+    }
+
+    #[test]
+    fn wire_length_tracks_dimensions() {
+        let fp = Floorplan::of_pla(MAX46, Technology::CnfetGnor);
+        let rows = 46.0;
+        let cols = 10.0;
+        assert!((fp.wire_length_l - (rows * fp.width_l + cols * fp.height_l)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wpla_ring_is_square() {
+        let f = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+        let w = Wpla::buffered_from_cover(&f);
+        let fp = Floorplan::of_wpla(&w);
+        assert!((fp.aspect_ratio() - 1.0).abs() < 1e-9);
+        assert!(fp.area_l2() > w.cells() as f64 * 60.0, "packing overhead");
+    }
+
+    #[test]
+    fn flat_tall_pla_has_worse_aspect_than_ring() {
+        // A 1-output, many-product PLA is a tall strip; the ring is square.
+        let f = Cover::parse(
+            "1000 1\n0100 1\n0010 1\n0001 1\n1110 1\n1101 1\n1011 1\n0111 1",
+            4,
+            1,
+        )
+        .unwrap();
+        let flat = Floorplan::of_pla(
+            PlaDimensions {
+                inputs: 4,
+                outputs: 1,
+                products: 8,
+            },
+            Technology::CnfetGnor,
+        );
+        let ring = Floorplan::of_wpla(&Wpla::buffered_from_cover(&f));
+        assert!(flat.aspect_ratio() > ring.aspect_ratio());
+    }
+
+    #[test]
+    fn physical_scaling() {
+        let fp = Floorplan::of_pla(MAX46, Technology::CnfetGnor);
+        assert!((fp.width_nm(32.0) - fp.width_l * 32.0).abs() < 1e-9);
+        assert!((fp.height_nm(16.0) - fp.height_l * 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let fp = Floorplan::of_pla(MAX46, Technology::CnfetGnor);
+        let s = fp.to_string();
+        assert!(s.contains("L^2"));
+        assert!(s.contains("wires"));
+    }
+}

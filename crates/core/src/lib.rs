@@ -1,0 +1,63 @@
+//! GNOR gates, GNOR-PLA / Whirlpool-PLA architecture, crossbar interconnect
+//! and the Table 1 area model — the core contribution of *Ben Jamaa et al.,
+//! "Programmable Logic Circuits Based on Ambipolar CNFET", DAC 2008*.
+//!
+//! The central object is the **generalized NOR (GNOR)** gate: a dynamic-logic
+//! column of ambipolar CNFETs in which every input `x_i` carries a polarity
+//! control `C_i` programmed into the device's polarity gate:
+//!
+//! * `C_i = 0` (`V+`, n-type) — the input participates **as is**,
+//! * `C_i = 1` (`V−`, p-type) — the input participates **inverted**,
+//! * `C_i = V0` — the input is **dropped** from the function.
+//!
+//! The gate computes `Y = NOR_i (C_i ⊕ x_i)` over the participating inputs
+//! (Section 3, Fig. 2). Because inversion happens *inside* the array, a PLA
+//! built from two cascaded GNOR planes needs **one column per input**
+//! instead of the classical true+complement pair — the source of every
+//! benefit the paper evaluates.
+//!
+//! Modules:
+//!
+//! * [`gnor`] — polarity controls, combinational GNOR evaluation, and the
+//!   precharge/evaluate dynamic-logic cell (TPC/TEV) of Fig. 2,
+//! * [`plane`] — a GNOR plane: an array of GNOR gates over shared columns,
+//! * [`pla`] — the two-plane GNOR PLA of Fig. 3/4: cover mapping, functional
+//!   simulation, and programming through the charge matrix,
+//! * [`baseline`] — the classical two-column-per-input PLA used as the
+//!   comparison point,
+//! * [`area`] — the Table 1 area model (Flash / EEPROM / ambipolar CNFET),
+//! * [`crossbar`] — the pass-transistor interconnect array of Section 4,
+//! * [`timing`] — dynamic-logic cycle-time estimation on top of the device
+//!   RC model,
+//! * [`wpla`] — the four-plane Whirlpool PLA cascade enabled by internal
+//!   polarity generation.
+
+pub mod activity;
+pub mod area;
+pub mod baseline;
+pub mod cascade;
+pub mod config;
+pub mod crossbar;
+pub mod dynamic;
+pub mod fsm;
+pub mod gnor;
+pub mod layout;
+pub mod pla;
+pub mod plane;
+pub mod timing;
+pub mod wpla;
+
+pub use activity::{analyze_activity, pla_energy_exact, ActivityReport};
+pub use area::{PlaDimensions, Technology};
+pub use baseline::ClassicalPla;
+pub use cascade::{NetworkError, PlaNetwork};
+pub use config::{from_bitstream, to_bitstream, BitstreamError};
+pub use crossbar::{Crossbar, CrosspointState};
+pub use dynamic::DynamicPla;
+pub use fsm::{FsmError, PlaFsm};
+pub use gnor::{DynamicGnor, GnorGate, InputPolarity, Phase};
+pub use layout::Floorplan;
+pub use pla::{GnorPla, MapError};
+pub use plane::GnorPlane;
+pub use timing::{PlaTiming, TimingModel};
+pub use wpla::Wpla;

@@ -1,0 +1,472 @@
+//! The two-plane GNOR PLA of Fig. 3/4.
+//!
+//! A GNOR PLA cascades two [`GnorPlane`]s:
+//!
+//! * the **input plane** (`products × inputs`) computes one product term per
+//!   row: `P = x_a · x̄_b · …` is realized as `NOR(x̄_a, x_b, …)`, i.e. the
+//!   control of a positive literal is `Invert` and of a negative literal is
+//!   `Pass` — the complement the classical PLA needs a second column for is
+//!   generated *inside* the cell;
+//! * the **output plane** (`outputs × products`) NORs the product lines of
+//!   each output, producing `F̄_j`; a per-output driver polarity (free in
+//!   dynamic logic) restores `F_j`, or — after output-phase optimization —
+//!   directly publishes the complemented function.
+//!
+//! The key architectural consequence: the array needs **one column per
+//! input** (`i + o` columns total) instead of the classical `2i + o`.
+
+use crate::area::PlaDimensions;
+use crate::gnor::InputPolarity;
+use crate::plane::GnorPlane;
+use cnfet::ProgrammingMatrix;
+use logic::{Cover, Tri};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error mapping a cover onto a GNOR PLA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The cover has no cubes: a PLA needs at least one product row.
+    EmptyCover,
+    /// The cover has no outputs.
+    NoOutputs,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::EmptyCover => write!(f, "cover has no product terms"),
+            MapError::NoOutputs => write!(f, "cover has no outputs"),
+        }
+    }
+}
+
+impl Error for MapError {}
+
+/// A configured two-plane GNOR PLA.
+///
+/// # Example
+///
+/// ```
+/// use ambipla_core::GnorPla;
+/// use logic::Cover;
+///
+/// let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+/// let pla = GnorPla::from_cover(&xor);
+/// assert_eq!(pla.simulate_bits(0b01), vec![true]);
+/// assert_eq!(pla.simulate_bits(0b11), vec![false]);
+/// assert!(pla.implements(&xor));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GnorPla {
+    input_plane: GnorPlane,
+    output_plane: GnorPlane,
+    inverting_outputs: Vec<bool>,
+}
+
+impl GnorPla {
+    /// Map a cover onto the PLA with inverting output drivers (the direct
+    /// SOP mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cover; use [`GnorPla::try_from_cover`] to handle
+    /// that case.
+    pub fn from_cover(cover: &Cover) -> GnorPla {
+        GnorPla::try_from_cover(cover).expect("cover must be mappable")
+    }
+
+    /// Fallible version of [`GnorPla::from_cover`].
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::EmptyCover`] if the cover has no cubes,
+    /// [`MapError::NoOutputs`] if it has no outputs.
+    pub fn try_from_cover(cover: &Cover) -> Result<GnorPla, MapError> {
+        if cover.n_outputs() == 0 {
+            return Err(MapError::NoOutputs);
+        }
+        if cover.is_empty() {
+            return Err(MapError::EmptyCover);
+        }
+        let mut in_controls = Vec::with_capacity(cover.len());
+        let mut out_controls = vec![Vec::with_capacity(cover.len()); cover.n_outputs()];
+        for cube in cover.iter() {
+            let row: Vec<InputPolarity> = (0..cover.n_inputs())
+                .map(|i| match cube.input(i) {
+                    // P = … · x_i · …  ⇒ the NOR needs x̄_i ⇒ invert.
+                    Tri::One => InputPolarity::Invert,
+                    // P = … · x̄_i · … ⇒ the NOR needs x_i ⇒ pass.
+                    Tri::Zero => InputPolarity::Pass,
+                    Tri::DontCare => InputPolarity::Drop,
+                })
+                .collect();
+            in_controls.push(row);
+            for (j, oc) in out_controls.iter_mut().enumerate() {
+                oc.push(if cube.has_output(j) {
+                    InputPolarity::Pass
+                } else {
+                    InputPolarity::Drop
+                });
+            }
+        }
+        Ok(GnorPla {
+            input_plane: GnorPlane::from_controls(in_controls),
+            output_plane: GnorPlane::from_controls(out_controls),
+            inverting_outputs: vec![true; cover.n_outputs()],
+        })
+    }
+
+    /// Assemble a PLA from explicitly configured planes and driver
+    /// polarities (used by phase-optimized and Whirlpool synthesis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output plane's column count differs from the input
+    /// plane's row count, or `inverting_outputs.len()` differs from the
+    /// output plane's row count.
+    pub fn from_parts(
+        input_plane: GnorPlane,
+        output_plane: GnorPlane,
+        inverting_outputs: Vec<bool>,
+    ) -> GnorPla {
+        assert_eq!(
+            output_plane.cols(),
+            input_plane.rows(),
+            "output plane must read the product lines"
+        );
+        assert_eq!(
+            inverting_outputs.len(),
+            output_plane.rows(),
+            "one driver polarity per output"
+        );
+        GnorPla {
+            input_plane,
+            output_plane,
+            inverting_outputs,
+        }
+    }
+
+    /// The input (product) plane.
+    pub fn input_plane(&self) -> &GnorPlane {
+        &self.input_plane
+    }
+
+    /// The output plane.
+    pub fn output_plane(&self) -> &GnorPlane {
+        &self.output_plane
+    }
+
+    /// Per-output driver polarities (`true` = inverting).
+    pub fn inverting_outputs(&self) -> &[bool] {
+        &self.inverting_outputs
+    }
+
+    /// PLA dimensions for the area model: one column per input, plus one
+    /// per output; one row per product term.
+    pub fn dimensions(&self) -> PlaDimensions {
+        PlaDimensions {
+            inputs: self.input_plane.cols(),
+            outputs: self.output_plane.rows(),
+            products: self.input_plane.rows(),
+        }
+    }
+
+    /// Number of programmed devices over both planes.
+    pub fn active_devices(&self) -> usize {
+        self.input_plane.active_devices() + self.output_plane.active_devices()
+    }
+
+    /// Evaluate the PLA on an explicit input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the input-plane width.
+    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
+        let products = self.input_plane.evaluate(inputs);
+        let nor = self.output_plane.evaluate(&products);
+        nor.iter()
+            .zip(&self.inverting_outputs)
+            .map(|(&y, &inv)| if inv { !y } else { y })
+            .collect()
+    }
+
+    /// Evaluate on a packed assignment (bit `i` = input `i`).
+    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
+        let n = self.input_plane.cols();
+        let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        self.simulate(&inputs)
+    }
+
+    /// True if the PLA implements `cover` exactly (exhaustive up to
+    /// [`logic::eval::EXHAUSTIVE_LIMIT`] inputs, sampled beyond).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover arity differs from the PLA's.
+    pub fn implements(&self, cover: &Cover) -> bool {
+        assert_eq!(cover.n_inputs(), self.input_plane.cols());
+        assert_eq!(cover.n_outputs(), self.output_plane.rows());
+        let n = cover.n_inputs();
+        let check = |bits: u64| self.simulate_bits(bits) == cover.eval_bits(bits);
+        if n <= logic::eval::EXHAUSTIVE_LIMIT {
+            (0..(1u64 << n)).all(check)
+        } else {
+            // Deterministic sample mirrors logic::eval.
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let mut x = 0x243f6a8885a308d3u64;
+            let mut pats: Vec<u64> = vec![0, mask];
+            for i in 0..n {
+                pats.push(1u64 << i);
+                pats.push(mask ^ (1u64 << i));
+            }
+            for _ in 0..4096 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                pats.push(x & mask);
+            }
+            pats.into_iter().all(check)
+        }
+    }
+
+    /// Reconstruct the cover this PLA realizes, when the configuration is a
+    /// standard SOP mapping (every driver inverting). Returns `None` for
+    /// phase-optimized arrays whose outputs publish complements — extract
+    /// those per output and complement explicitly.
+    pub fn extract_cover(&self) -> Option<Cover> {
+        if self.inverting_outputs.iter().any(|&inv| !inv) {
+            return None;
+        }
+        let n = self.input_plane.cols();
+        let o = self.output_plane.rows();
+        let p = self.input_plane.rows();
+        let mut cubes = Vec::with_capacity(p);
+        for r in 0..p {
+            let gate = self.input_plane.gate(r);
+            let tris: Vec<Tri> = (0..n)
+                .map(|i| match gate.control(i) {
+                    InputPolarity::Invert => Tri::One,
+                    InputPolarity::Pass => Tri::Zero,
+                    InputPolarity::Drop => Tri::DontCare,
+                })
+                .collect();
+            let outs: Vec<bool> = (0..o)
+                .map(|j| self.output_plane.gate(j).control(r) == InputPolarity::Pass)
+                .collect();
+            if outs.iter().any(|&b| b) {
+                cubes.push(logic::Cube::from_tris(&tris, &outs));
+            }
+        }
+        Some(Cover::from_cubes(n, o, cubes))
+    }
+
+    /// Prove (with BDDs — complete at any width) that this PLA implements
+    /// `cover`. Falls back to the exhaustive/sampled [`GnorPla::implements`]
+    /// when the configuration is not extractable (phase-optimized drivers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ.
+    pub fn implements_proved(&self, cover: &Cover) -> bool {
+        match self.extract_cover() {
+            Some(own) => logic::bdd_equivalent(&own, cover),
+            None => self.implements(cover),
+        }
+    }
+
+    /// Program both planes into fresh charge matrices with retention `tau`
+    /// and return them (input-plane matrix first).
+    pub fn program(&self, tau: f64) -> (ProgrammingMatrix, ProgrammingMatrix) {
+        let mut m1 = ProgrammingMatrix::new(self.input_plane.rows(), self.input_plane.cols(), tau);
+        let mut m2 =
+            ProgrammingMatrix::new(self.output_plane.rows(), self.output_plane.cols(), tau);
+        self.input_plane.program_into(&mut m1);
+        self.output_plane.program_into(&mut m2);
+        (m1, m2)
+    }
+
+    /// Rebuild a PLA from programmed matrices (array readback) and driver
+    /// polarities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes are inconsistent (see
+    /// [`GnorPla::from_parts`]).
+    pub fn from_programmed(
+        input_matrix: &ProgrammingMatrix,
+        output_matrix: &ProgrammingMatrix,
+        inverting_outputs: Vec<bool>,
+    ) -> GnorPla {
+        GnorPla::from_parts(
+            GnorPlane::from_programmed(input_matrix),
+            GnorPlane::from_programmed(output_matrix),
+            inverting_outputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(text: &str, ni: usize, no: usize) -> Cover {
+        Cover::parse(text, ni, no).expect("parse cover")
+    }
+
+    #[test]
+    fn xor_maps_and_simulates() {
+        let f = cover("10 1\n01 1", 2, 1);
+        let pla = GnorPla::from_cover(&f);
+        assert!(pla.implements(&f));
+        let d = pla.dimensions();
+        assert_eq!((d.inputs, d.outputs, d.products), (2, 1, 2));
+    }
+
+    #[test]
+    fn full_adder_maps_and_simulates() {
+        let f = cover(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        );
+        let pla = GnorPla::from_cover(&f);
+        assert!(pla.implements(&f));
+        for bits in 0..8u64 {
+            assert_eq!(pla.simulate_bits(bits), f.eval_bits(bits), "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn shared_product_terms_share_rows() {
+        // One cube drives both outputs: a single physical row.
+        let f = cover("11 11\n0- 10", 2, 2);
+        let pla = GnorPla::from_cover(&f);
+        assert_eq!(pla.dimensions().products, 2);
+        assert!(pla.implements(&f));
+    }
+
+    #[test]
+    fn dont_care_literals_drop_devices() {
+        let f = cover("1-- 1", 3, 1);
+        let pla = GnorPla::from_cover(&f);
+        // One literal in plane 1 plus one connection in plane 2.
+        assert_eq!(pla.active_devices(), 2);
+        assert!(pla.implements(&f));
+    }
+
+    #[test]
+    fn undriven_output_is_constant_false() {
+        let f = cover("11 10", 2, 2);
+        let pla = GnorPla::from_cover(&f);
+        for bits in 0..4u64 {
+            assert!(!pla.simulate_bits(bits)[1]);
+        }
+        assert!(pla.implements(&f));
+    }
+
+    #[test]
+    fn constant_true_product_row() {
+        // An all-don't-care cube: output 0 is constant 1.
+        let f = cover("-- 1", 2, 1);
+        let pla = GnorPla::from_cover(&f);
+        for bits in 0..4u64 {
+            assert!(pla.simulate_bits(bits)[0]);
+        }
+    }
+
+    #[test]
+    fn empty_cover_rejected() {
+        let f = Cover::new(3, 1);
+        assert_eq!(GnorPla::try_from_cover(&f), Err(MapError::EmptyCover));
+    }
+
+    #[test]
+    fn non_inverting_driver_publishes_complement() {
+        let f = cover("1- 1", 2, 1);
+        let direct = GnorPla::from_cover(&f);
+        let complemented = GnorPla::from_parts(
+            direct.input_plane().clone(),
+            direct.output_plane().clone(),
+            vec![false],
+        );
+        for bits in 0..4u64 {
+            assert_eq!(
+                complemented.simulate_bits(bits)[0],
+                !direct.simulate_bits(bits)[0]
+            );
+        }
+    }
+
+    #[test]
+    fn programming_roundtrip_preserves_function() {
+        let f = cover("10- 10\n-01 01\n11- 11", 3, 2);
+        let pla = GnorPla::from_cover(&f);
+        let (m1, m2) = pla.program(1.0);
+        let back = GnorPla::from_programmed(&m1, &m2, pla.inverting_outputs().to_vec());
+        assert_eq!(back, pla);
+        assert!(back.implements(&f));
+    }
+
+    #[test]
+    fn leaky_programming_fails_safe() {
+        let f = cover("10 1\n01 1", 2, 1);
+        let pla = GnorPla::from_cover(&f);
+        let (mut m1, mut m2) = pla.program(1e-9);
+        m1.advance(1.0);
+        m2.advance(1.0);
+        let back = GnorPla::from_programmed(&m1, &m2, pla.inverting_outputs().to_vec());
+        // Everything decayed to V0: planes unconfigured, outputs constant.
+        assert_eq!(back.active_devices(), 0);
+        // NOR of nothing = 1, inverted driver → constant 0: no spurious 1s
+        // from a decayed array.
+        for bits in 0..4u64 {
+            assert_eq!(back.simulate_bits(bits), vec![false]);
+        }
+    }
+
+    #[test]
+    fn extract_cover_roundtrips() {
+        let f = cover("10- 10\n-01 01\n11- 11", 3, 2);
+        let pla = GnorPla::from_cover(&f);
+        let back = pla.extract_cover().expect("standard mapping extracts");
+        assert_eq!(back, f);
+        assert!(pla.implements_proved(&f));
+    }
+
+    #[test]
+    fn extraction_refuses_phase_optimized_drivers() {
+        let f = cover("1- 1", 2, 1);
+        let direct = GnorPla::from_cover(&f);
+        let flipped = GnorPla::from_parts(
+            direct.input_plane().clone(),
+            direct.output_plane().clone(),
+            vec![false],
+        );
+        assert!(flipped.extract_cover().is_none());
+    }
+
+    #[test]
+    fn proved_equivalence_on_wide_benchmark() {
+        // 17 inputs: implements() samples, implements_proved() proves.
+        let b = Cover::parse(
+            "11111111111111111 1\n00000000000000000 1",
+            17,
+            1,
+        )
+        .unwrap();
+        let pla = GnorPla::from_cover(&b);
+        assert!(pla.implements_proved(&b));
+    }
+
+    #[test]
+    fn dimensions_count_single_input_columns() {
+        // The architectural claim: i + o columns, not 2i + o.
+        let b = cover("10-1 1\n01-- 1", 4, 1);
+        let pla = GnorPla::from_cover(&b);
+        let d = pla.dimensions();
+        assert_eq!(d.column_count_cnfet(), 5); // 4 inputs + 1 output
+        assert_eq!(d.column_count_classical(), 9); // 2*4 + 1
+    }
+}

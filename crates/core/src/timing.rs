@@ -1,0 +1,169 @@
+//! Dynamic-logic timing of the GNOR PLA.
+//!
+//! First-order RC timing on top of [`cnfet::DeviceParams`]: each GNOR row is
+//! a dynamic node loaded by the wire spanning its columns plus the gate it
+//! fans out to; evaluation discharges it through the pull-down device in
+//! series with the evaluation transistor `TEV`. The two planes of a PLA
+//! evaluate in sequence (domino style), while both precharge in parallel —
+//! giving the cycle time and maximum clock frequency used by the FPGA
+//! emulation in the `fpga` crate.
+
+use crate::pla::GnorPla;
+use cnfet::{CnfetTech, DeviceParams, Polarity};
+
+/// ln 2 — the 50 %-swing factor of an RC transition.
+const LN2: f64 = core::f64::consts::LN_2;
+
+/// Timing model: device electricals plus array geometry.
+///
+/// # Example
+///
+/// ```
+/// use ambipla_core::{GnorPla, TimingModel};
+/// use logic::Cover;
+///
+/// let pla = GnorPla::from_cover(&Cover::parse("10 1\n01 1", 2, 1).unwrap());
+/// let t = TimingModel::nominal(32.0).pla_timing(&pla);
+/// assert!(t.frequency() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Device I–V and capacitance parameters.
+    pub device: DeviceParams,
+    /// Layout rules (cell pitch → wire capacitance scaling).
+    pub tech: CnfetTech,
+}
+
+impl TimingModel {
+    /// Model with nominal device parameters at lithography pitch
+    /// `litho_nm`.
+    pub fn nominal(litho_nm: f64) -> TimingModel {
+        TimingModel {
+            device: DeviceParams::nominal(),
+            tech: CnfetTech::nominal(litho_nm),
+        }
+    }
+
+    /// Delay (seconds) of one dynamic NOR transition on a line spanning
+    /// `span_cells` cells and fanning out to `fanout` gate inputs:
+    /// `ln2 · 2R_on · C_line` (pull-down device in series with `TEV`).
+    pub fn line_delay(&self, span_cells: usize, fanout: usize) -> f64 {
+        let c_line = self.device.c_wire_per_cell * span_cells as f64
+            + self.device.c_gate * fanout.max(1) as f64;
+        let r = 2.0 * self.device.r_on(Polarity::NType);
+        LN2 * r * c_line
+    }
+
+    /// Full timing of a two-plane GNOR PLA.
+    pub fn pla_timing(&self, pla: &GnorPla) -> PlaTiming {
+        let dims = pla.dimensions();
+        // Plane 1: each product row spans the input columns and drives one
+        // output-plane input.
+        let t_eval_plane1 = self.line_delay(dims.inputs, dims.outputs);
+        // Plane 2: each output row spans the product columns, drives the
+        // output buffer.
+        let t_eval_plane2 = self.line_delay(dims.products, 1);
+        // Precharge happens in parallel on both planes; the slower wins.
+        let t_precharge = t_eval_plane1.max(t_eval_plane2);
+        PlaTiming {
+            t_precharge,
+            t_eval_plane1,
+            t_eval_plane2,
+        }
+    }
+}
+
+/// Timing breakdown of one PLA access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaTiming {
+    /// Parallel precharge of both planes, seconds.
+    pub t_precharge: f64,
+    /// Evaluation of the input (product) plane, seconds.
+    pub t_eval_plane1: f64,
+    /// Evaluation of the output plane, seconds.
+    pub t_eval_plane2: f64,
+}
+
+impl PlaTiming {
+    /// Total evaluate phase: the domino cascade of the two planes.
+    pub fn t_evaluate(&self) -> f64 {
+        self.t_eval_plane1 + self.t_eval_plane2
+    }
+
+    /// Full precharge+evaluate cycle time, seconds.
+    pub fn cycle_time(&self) -> f64 {
+        self.t_precharge + self.t_evaluate()
+    }
+
+    /// Maximum clock frequency, hertz.
+    pub fn frequency(&self) -> f64 {
+        1.0 / self.cycle_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logic::Cover;
+
+    fn pla(i: usize, o: usize, p: usize) -> GnorPla {
+        let cover = mcnc_like(i, o, p);
+        GnorPla::from_cover(&cover)
+    }
+
+    // A tiny deterministic cover generator good enough for timing shapes.
+    fn mcnc_like(i: usize, o: usize, p: usize) -> Cover {
+        use logic::{Cube, Tri};
+        let mut cubes = Vec::new();
+        for r in 0..p {
+            let mut tris = vec![Tri::DontCare; i];
+            tris[r % i] = if r % 2 == 0 { Tri::One } else { Tri::Zero };
+            let mut outs = vec![false; o];
+            outs[r % o] = true;
+            cubes.push(Cube::from_tris(&tris, &outs));
+        }
+        Cover::from_cubes(i, o, cubes)
+    }
+
+    #[test]
+    fn delays_are_positive_and_finite() {
+        let m = TimingModel::nominal(32.0);
+        let t = m.pla_timing(&pla(8, 4, 16));
+        assert!(t.t_precharge > 0.0 && t.t_precharge.is_finite());
+        assert!(t.t_evaluate() > t.t_eval_plane1);
+        assert!(t.frequency() > 0.0);
+    }
+
+    #[test]
+    fn bigger_arrays_are_slower() {
+        let m = TimingModel::nominal(32.0);
+        let small = m.pla_timing(&pla(4, 2, 8));
+        let large = m.pla_timing(&pla(16, 8, 64));
+        assert!(large.cycle_time() > small.cycle_time());
+        assert!(large.frequency() < small.frequency());
+    }
+
+    #[test]
+    fn precharge_is_the_slower_plane() {
+        let m = TimingModel::nominal(32.0);
+        let t = m.pla_timing(&pla(4, 2, 32));
+        assert!((t.t_precharge - t.t_eval_plane1.max(t.t_eval_plane2)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn line_delay_grows_with_span_and_fanout() {
+        let m = TimingModel::nominal(32.0);
+        assert!(m.line_delay(10, 1) > m.line_delay(1, 1));
+        assert!(m.line_delay(10, 8) > m.line_delay(10, 1));
+    }
+
+    #[test]
+    fn frequency_in_plausible_range() {
+        // Sanity: a mid-size PLA in this technology should clock somewhere
+        // between 10 MHz and 100 GHz — catches unit errors (mF vs fF etc.).
+        let m = TimingModel::nominal(32.0);
+        let f = m.pla_timing(&pla(10, 6, 25)).frequency();
+        assert!(f > 1e7, "too slow: {f}");
+        assert!(f < 1e11, "too fast: {f}");
+    }
+}

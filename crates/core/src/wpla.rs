@@ -1,0 +1,297 @@
+//! Whirlpool PLA: a four-plane GNOR cascade (Brayton et al., ICCAD 2002).
+//!
+//! Section 5 of the paper notes that cascading **four** NOR planes instead
+//! of two "makes the implementation of WPLAs possible": a Whirlpool PLA is a
+//! cyclic arrangement of four NOR planes realizing a 4-level NOR network,
+//! which is often more compact than any 2-level form. Because the GNOR
+//! plane produces its outputs with **either polarity for free**, the four
+//! planes compose without the inter-plane inverters a classical
+//! implementation would need.
+//!
+//! This module provides the architectural container ([`Wpla`]): four
+//! [`GnorPlane`]s with matching arities plus per-output driver polarities.
+//! Synthesis (Doppio-Espresso-style joint minimization of the two 2-level
+//! halves) lives in the `phaseopt` crate.
+
+use crate::area::PlaDimensions;
+use crate::gnor::InputPolarity;
+use crate::plane::GnorPlane;
+use logic::Cover;
+
+/// A four-plane Whirlpool GNOR PLA.
+///
+/// Signal flow: primary inputs → plane 1 → plane 2 → plane 3 → plane 4 →
+/// per-output drivers. Each plane is a full GNOR array, so each level may
+/// pass, invert or drop any of its inputs.
+///
+/// # Example
+///
+/// ```
+/// use ambipla_core::Wpla;
+/// use logic::Cover;
+///
+/// let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+/// let wpla = Wpla::buffered_from_cover(&xor);
+/// assert!(wpla.implements(&xor));
+/// assert_eq!(wpla.planes().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wpla {
+    planes: [GnorPlane; 4],
+    inverting_outputs: Vec<bool>,
+    /// For planes 2..4 (indices 1..4): whether the plane also sees the
+    /// primary inputs appended after the previous plane's outputs. Plane 1
+    /// always reads the primary inputs.
+    primary_taps: [bool; 3],
+    n_inputs: usize,
+}
+
+impl Wpla {
+    /// Assemble a WPLA from four strictly chained planes (no inner plane
+    /// sees the primary inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive planes' arities do not chain
+    /// (`plane[k+1].cols() == plane[k].rows()`) or the driver vector length
+    /// differs from the last plane's row count.
+    pub fn from_planes(planes: [GnorPlane; 4], inverting_outputs: Vec<bool>) -> Wpla {
+        let n_inputs = planes[0].cols();
+        Wpla::from_planes_with_taps(planes, inverting_outputs, [false; 3], n_inputs)
+    }
+
+    /// Assemble a WPLA in which selected inner planes also tap the primary
+    /// inputs (routed around the ring by the Fig. 3 interconnect): plane
+    /// `k+2` (for `k` in `0..3`) expects
+    /// `planes[k].rows() + (taps[k] ? n_inputs : 0)` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if plane arities do not chain under the taps, plane 1 does
+    /// not have `n_inputs` columns, or the driver vector length differs
+    /// from the last plane's row count.
+    pub fn from_planes_with_taps(
+        planes: [GnorPlane; 4],
+        inverting_outputs: Vec<bool>,
+        taps: [bool; 3],
+        n_inputs: usize,
+    ) -> Wpla {
+        assert_eq!(planes[0].cols(), n_inputs, "plane 1 reads the inputs");
+        for k in 0..3 {
+            let expected = planes[k].rows() + if taps[k] { n_inputs } else { 0 };
+            assert_eq!(
+                planes[k + 1].cols(),
+                expected,
+                "plane {} output arity must feed plane {}",
+                k + 1,
+                k + 2
+            );
+        }
+        assert_eq!(
+            inverting_outputs.len(),
+            planes[3].rows(),
+            "one driver polarity per output"
+        );
+        Wpla {
+            planes,
+            inverting_outputs,
+            primary_taps: taps,
+            n_inputs,
+        }
+    }
+
+    /// Reference construction: realize a two-level cover in planes 3–4 and
+    /// make planes 1–2 polarity-preserving buffers.
+    ///
+    /// This is the correctness baseline the Doppio-Espresso synthesizer
+    /// must beat; it proves any 2-level function embeds in the 4-plane
+    /// cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover is empty or has no outputs.
+    pub fn buffered_from_cover(cover: &Cover) -> Wpla {
+        assert!(!cover.is_empty(), "cover must have product terms");
+        assert!(cover.n_outputs() > 0, "cover must have outputs");
+        let n = cover.n_inputs();
+        // Plane 1: row i = NOR(x̄_i) = x_i? No — NOR over a single inverted
+        // input is the input itself: NOR(x̄) = x. One row per input.
+        let buf1: Vec<Vec<InputPolarity>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|c| {
+                        if c == i {
+                            InputPolarity::Invert
+                        } else {
+                            InputPolarity::Drop
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Plane 2: the same trick again, keeping polarity.
+        let buf2 = buf1.clone();
+        // Planes 3–4: the standard GNOR PLA mapping (see crate::pla).
+        let two_level = crate::pla::GnorPla::from_cover(cover);
+        let planes = [
+            GnorPlane::from_controls(buf1),
+            GnorPlane::from_controls(buf2),
+            two_level.input_plane().clone(),
+            two_level.output_plane().clone(),
+        ];
+        Wpla {
+            planes,
+            inverting_outputs: two_level.inverting_outputs().to_vec(),
+            primary_taps: [false; 3],
+            n_inputs: n,
+        }
+    }
+
+    /// The four planes, in signal order.
+    pub fn planes(&self) -> &[GnorPlane; 4] {
+        &self.planes
+    }
+
+    /// Per-output driver polarities (`true` = inverting).
+    pub fn inverting_outputs(&self) -> &[bool] {
+        &self.inverting_outputs
+    }
+
+    /// Number of primary inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Which inner planes tap the primary inputs (planes 2, 3, 4).
+    pub fn primary_taps(&self) -> [bool; 3] {
+        self.primary_taps
+    }
+
+    /// Number of primary outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.planes[3].rows()
+    }
+
+    /// Total basic-cell count across the four plane arrays.
+    pub fn cells(&self) -> usize {
+        self.planes.iter().map(|p| p.rows() * p.cols()).sum()
+    }
+
+    /// Equivalent flat dimensions for rough area comparison: inputs,
+    /// outputs, and the largest intermediate width as "products".
+    pub fn dimensions(&self) -> PlaDimensions {
+        PlaDimensions {
+            inputs: self.n_inputs(),
+            outputs: self.n_outputs(),
+            products: self.planes.iter().map(GnorPlane::rows).max().unwrap_or(0),
+        }
+    }
+
+    /// Evaluate the cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n_inputs()`.
+    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
+        let mut signal = self.planes[0].evaluate(inputs);
+        for (k, plane) in self.planes.iter().enumerate().skip(1) {
+            if self.primary_taps[k - 1] {
+                signal.extend_from_slice(inputs);
+            }
+            signal = plane.evaluate(&signal);
+        }
+        signal
+            .iter()
+            .zip(&self.inverting_outputs)
+            .map(|(&y, &inv)| if inv { !y } else { y })
+            .collect()
+    }
+
+    /// Evaluate on a packed assignment.
+    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
+        let n = self.n_inputs();
+        let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        self.simulate(&inputs)
+    }
+
+    /// True if the WPLA implements `cover` (exhaustive up to
+    /// [`logic::eval::EXHAUSTIVE_LIMIT`] inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ.
+    pub fn implements(&self, cover: &Cover) -> bool {
+        assert_eq!(cover.n_inputs(), self.n_inputs());
+        assert_eq!(cover.n_outputs(), self.n_outputs());
+        let n = cover.n_inputs().min(logic::eval::EXHAUSTIVE_LIMIT);
+        (0..(1u64 << n)).all(|bits| self.simulate_bits(bits) == cover.eval_bits(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(text: &str, ni: usize, no: usize) -> Cover {
+        Cover::parse(text, ni, no).expect("parse cover")
+    }
+
+    #[test]
+    fn buffered_wpla_implements_xor() {
+        let f = cover("10 1\n01 1", 2, 1);
+        let w = Wpla::buffered_from_cover(&f);
+        assert!(w.implements(&f));
+        assert_eq!(w.n_inputs(), 2);
+        assert_eq!(w.n_outputs(), 1);
+    }
+
+    #[test]
+    fn buffered_wpla_implements_full_adder() {
+        let f = cover(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        );
+        let w = Wpla::buffered_from_cover(&f);
+        assert!(w.implements(&f));
+    }
+
+    #[test]
+    fn plane_arities_chain() {
+        let f = cover("1-0 11\n-11 01", 3, 2);
+        let w = Wpla::buffered_from_cover(&f);
+        let p = w.planes();
+        for k in 0..3 {
+            assert_eq!(p[k + 1].cols(), p[k].rows());
+        }
+    }
+
+    #[test]
+    fn cells_count_all_four_planes() {
+        let f = cover("10 1\n01 1", 2, 1);
+        let w = Wpla::buffered_from_cover(&f);
+        // plane1 2x2 + plane2 2x2 + plane3 2x2 + plane4 1x2.
+        assert_eq!(w.cells(), 4 + 4 + 4 + 2);
+    }
+
+    #[test]
+    fn simulate_bits_matches_simulate() {
+        let f = cover("1-0 10\n011 01", 3, 2);
+        let w = Wpla::buffered_from_cover(&f);
+        for bits in 0..8u64 {
+            let x: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(w.simulate(&x), w.simulate_bits(bits));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must feed plane")]
+    fn mismatched_planes_rejected() {
+        let p1 = GnorPlane::unconfigured(2, 3);
+        let p2 = GnorPlane::unconfigured(2, 5); // wrong: needs 2 cols
+        let p3 = GnorPlane::unconfigured(2, 2);
+        let p4 = GnorPlane::unconfigured(1, 2);
+        let _ = Wpla::from_planes([p1, p2, p3, p4], vec![true]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Crosspoint defect models.
+//!
+//! Immature nanotube processes suffer two dominant crosspoint failure
+//! modes, both modelled here at the behavioural level:
+//!
+//! * **stuck-off** — the device never conducts (missing/metallic-removed
+//!   tube, open contact): the crosspoint behaves as if programmed to `V0`;
+//! * **stuck-on** — the device conducts regardless of CG and PG (metallic
+//!   tube that survived burn-in, shorted contact): during every evaluate
+//!   phase it discharges its line unconditionally.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The two crosspoint failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectKind {
+    /// Device never conducts (acts like a dropped input).
+    StuckOff,
+    /// Device always conducts (discharges its line every evaluate phase).
+    StuckOn,
+}
+
+/// Defect map of a two-plane PLA: one optional defect per crosspoint.
+///
+/// # Example
+///
+/// ```
+/// use fault::{DefectKind, DefectMap};
+///
+/// let mut map = DefectMap::clean(4, 3, 2);
+/// map.set_input_defect(1, 2, DefectKind::StuckOn);
+/// assert!(map.row_has_stuck_on(1));
+/// assert_eq!(map.defect_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefectMap {
+    rows: usize,
+    inputs: usize,
+    outputs: usize,
+    /// `rows × inputs`, row-major.
+    input_plane: Vec<Option<DefectKind>>,
+    /// `outputs × rows`, output-major.
+    output_plane: Vec<Option<DefectKind>>,
+}
+
+impl DefectMap {
+    /// A defect-free map for a PLA with `rows` physical product rows,
+    /// `inputs` input columns and `outputs` output lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn clean(rows: usize, inputs: usize, outputs: usize) -> DefectMap {
+        assert!(rows > 0 && inputs > 0 && outputs > 0, "dimensions non-zero");
+        DefectMap {
+            rows,
+            inputs,
+            outputs,
+            input_plane: vec![None; rows * inputs],
+            output_plane: vec![None; outputs * rows],
+        }
+    }
+
+    /// Sample a Bernoulli defect map: every crosspoint independently fails
+    /// with probability `rate`; failures are stuck-off with probability
+    /// `stuck_off_bias` (metallic-tube processes skew towards opens).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` and `stuck_off_bias` are in `[0, 1]`.
+    pub fn sample(
+        rows: usize,
+        inputs: usize,
+        outputs: usize,
+        rate: f64,
+        stuck_off_bias: f64,
+        seed: u64,
+    ) -> DefectMap {
+        assert!((0.0..=1.0).contains(&rate), "rate in [0,1]");
+        assert!((0.0..=1.0).contains(&stuck_off_bias), "bias in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut map = DefectMap::clean(rows, inputs, outputs);
+        for cell in map
+            .input_plane
+            .iter_mut()
+            .chain(map.output_plane.iter_mut())
+        {
+            if rng.gen_bool(rate) {
+                *cell = Some(if rng.gen_bool(stuck_off_bias) {
+                    DefectKind::StuckOff
+                } else {
+                    DefectKind::StuckOn
+                });
+            }
+        }
+        map
+    }
+
+    /// Physical product rows covered by the map.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input columns covered by the map.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output lines covered by the map.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Defect at input-plane crosspoint `(row, input)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn input_defect(&self, row: usize, input: usize) -> Option<DefectKind> {
+        assert!(row < self.rows && input < self.inputs, "index out of bounds");
+        self.input_plane[row * self.inputs + input]
+    }
+
+    /// Defect at output-plane crosspoint `(output, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn output_defect(&self, output: usize, row: usize) -> Option<DefectKind> {
+        assert!(output < self.outputs && row < self.rows, "index out of bounds");
+        self.output_plane[output * self.rows + row]
+    }
+
+    /// Place a defect at input-plane crosspoint `(row, input)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn set_input_defect(&mut self, row: usize, input: usize, kind: DefectKind) {
+        assert!(row < self.rows && input < self.inputs, "index out of bounds");
+        self.input_plane[row * self.inputs + input] = Some(kind);
+    }
+
+    /// Place a defect at output-plane crosspoint `(output, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn set_output_defect(&mut self, output: usize, row: usize, kind: DefectKind) {
+        assert!(output < self.outputs && row < self.rows, "index out of bounds");
+        self.output_plane[output * self.rows + row] = Some(kind);
+    }
+
+    /// Total number of defective crosspoints.
+    pub fn defect_count(&self) -> usize {
+        self.input_plane
+            .iter()
+            .chain(self.output_plane.iter())
+            .filter(|d| d.is_some())
+            .count()
+    }
+
+    /// True if input-plane row `row` contains a stuck-on device (which
+    /// forces its product line to constant 0).
+    pub fn row_has_stuck_on(&self, row: usize) -> bool {
+        (0..self.inputs).any(|i| self.input_defect(row, i) == Some(DefectKind::StuckOn))
+    }
+
+    /// True if output line `output` contains a stuck-on device anywhere
+    /// (which forces the whole line to constant 0 — unrepairable by row
+    /// re-assignment).
+    pub fn output_line_has_stuck_on(&self, output: usize) -> bool {
+        (0..self.rows).any(|r| self.output_defect(output, r) == Some(DefectKind::StuckOn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_map_has_no_defects() {
+        let m = DefectMap::clean(4, 3, 2);
+        assert_eq!(m.defect_count(), 0);
+        assert!(!m.row_has_stuck_on(0));
+        assert!(!m.output_line_has_stuck_on(1));
+    }
+
+    #[test]
+    fn sampling_rate_zero_is_clean() {
+        let m = DefectMap::sample(10, 10, 4, 0.0, 0.5, 1);
+        assert_eq!(m.defect_count(), 0);
+    }
+
+    #[test]
+    fn sampling_rate_one_breaks_everything() {
+        let m = DefectMap::sample(5, 4, 2, 1.0, 1.0, 1);
+        assert_eq!(m.defect_count(), 5 * 4 + 2 * 5);
+        // Bias 1.0 → all stuck-off.
+        assert!(!m.row_has_stuck_on(0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = DefectMap::sample(8, 8, 3, 0.1, 0.7, 99);
+        let b = DefectMap::sample(8, 8, 3, 0.1, 0.7, 99);
+        assert_eq!(a, b);
+        assert_ne!(a, DefectMap::sample(8, 8, 3, 0.1, 0.7, 100));
+    }
+
+    #[test]
+    fn sampled_rate_is_plausible() {
+        let m = DefectMap::sample(50, 20, 10, 0.1, 0.7, 5);
+        let cells = 50 * 20 + 10 * 50;
+        let rate = m.defect_count() as f64 / cells as f64;
+        assert!((rate - 0.1).abs() < 0.03, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn stuck_on_detection() {
+        let mut m = DefectMap::clean(3, 3, 2);
+        m.set_input_defect(1, 2, DefectKind::StuckOn);
+        m.set_output_defect(0, 2, DefectKind::StuckOn);
+        assert!(m.row_has_stuck_on(1));
+        assert!(!m.row_has_stuck_on(0));
+        assert!(m.output_line_has_stuck_on(0));
+        assert!(!m.output_line_has_stuck_on(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_access_panics() {
+        let _ = DefectMap::clean(2, 2, 2).input_defect(2, 0);
+    }
+}

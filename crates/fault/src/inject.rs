@@ -1,0 +1,219 @@
+//! Fault simulation: what a defective GNOR PLA actually computes.
+//!
+//! The dynamic-logic semantics make defect effects crisp:
+//!
+//! * a **stuck-off** crosspoint never discharges its line — it behaves
+//!   exactly like a `V0`-programmed (dropped) device;
+//! * a **stuck-on** crosspoint discharges its line on *every* evaluate
+//!   phase — the line is constant 0 regardless of the inputs (and an
+//!   inverting output driver then publishes constant 1).
+
+use ambipla_core::{GnorPla, InputPolarity};
+use crate::defect::{DefectKind, DefectMap};
+use logic::Cover;
+
+/// A GNOR PLA paired with its defect map.
+///
+/// # Example
+///
+/// ```
+/// use ambipla_core::GnorPla;
+/// use fault::{DefectKind, DefectMap, FaultyGnorPla};
+/// use logic::Cover;
+///
+/// let f = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+/// let pla = GnorPla::from_cover(&f);
+/// let mut defects = DefectMap::clean(2, 2, 1);
+/// defects.set_input_defect(0, 0, DefectKind::StuckOff);
+/// let faulty = FaultyGnorPla::new(pla, defects);
+/// // Row 0 lost its x0 literal: the faulty PLA no longer matches XOR.
+/// assert!(!faulty.implements(&f));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultyGnorPla {
+    pla: GnorPla,
+    defects: DefectMap,
+}
+
+impl FaultyGnorPla {
+    /// Pair a PLA with a defect map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map dimensions do not match the PLA.
+    pub fn new(pla: GnorPla, defects: DefectMap) -> FaultyGnorPla {
+        let d = pla.dimensions();
+        assert_eq!(defects.rows(), d.products, "defect map rows mismatch");
+        assert_eq!(defects.inputs(), d.inputs, "defect map inputs mismatch");
+        assert_eq!(defects.outputs(), d.outputs, "defect map outputs mismatch");
+        FaultyGnorPla { pla, defects }
+    }
+
+    /// The underlying (intended) PLA.
+    pub fn pla(&self) -> &GnorPla {
+        &self.pla
+    }
+
+    /// The defect map.
+    pub fn defects(&self) -> &DefectMap {
+        &self.defects
+    }
+
+    /// Evaluate the defective array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the PLA's input count.
+    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
+        let dims = self.pla.dimensions();
+        assert_eq!(inputs.len(), dims.inputs, "input arity mismatch");
+        // Input plane with defects.
+        let mut products = Vec::with_capacity(dims.products);
+        for r in 0..dims.products {
+            let gate = self.pla.input_plane().gate(r);
+            let mut discharged = false;
+            for (i, &x) in inputs.iter().enumerate() {
+                let conducts = match self.defects.input_defect(r, i) {
+                    Some(DefectKind::StuckOn) => true,
+                    Some(DefectKind::StuckOff) => false,
+                    None => match gate.control(i) {
+                        InputPolarity::Pass => x,
+                        InputPolarity::Invert => !x,
+                        InputPolarity::Drop => false,
+                    },
+                };
+                if conducts {
+                    discharged = true;
+                    break;
+                }
+            }
+            products.push(!discharged);
+        }
+        // Output plane with defects.
+        let mut out = Vec::with_capacity(dims.outputs);
+        for j in 0..dims.outputs {
+            let gate = self.pla.output_plane().gate(j);
+            let mut discharged = false;
+            for (r, &p) in products.iter().enumerate() {
+                let conducts = match self.defects.output_defect(j, r) {
+                    Some(DefectKind::StuckOn) => true,
+                    Some(DefectKind::StuckOff) => false,
+                    None => match gate.control(r) {
+                        InputPolarity::Pass => p,
+                        InputPolarity::Invert => !p,
+                        InputPolarity::Drop => false,
+                    },
+                };
+                if conducts {
+                    discharged = true;
+                    break;
+                }
+            }
+            let y = !discharged;
+            out.push(if self.pla.inverting_outputs()[j] { !y } else { y });
+        }
+        out
+    }
+
+    /// Evaluate on a packed assignment.
+    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
+        let n = self.pla.dimensions().inputs;
+        let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        self.simulate(&inputs)
+    }
+
+    /// True if the defective array still implements `cover` (exhaustive up
+    /// to [`logic::eval::EXHAUSTIVE_LIMIT`] inputs).
+    pub fn implements(&self, cover: &Cover) -> bool {
+        let n = cover.n_inputs().min(logic::eval::EXHAUSTIVE_LIMIT);
+        (0..(1u64 << n)).all(|bits| self.simulate_bits(bits) == cover.eval_bits(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_pla() -> (Cover, GnorPla) {
+        let f = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+        let pla = GnorPla::from_cover(&f);
+        (f, pla)
+    }
+
+    #[test]
+    fn clean_map_matches_ideal() {
+        let (f, pla) = xor_pla();
+        let faulty = FaultyGnorPla::new(pla.clone(), DefectMap::clean(2, 2, 1));
+        for bits in 0..4u64 {
+            assert_eq!(faulty.simulate_bits(bits), pla.simulate_bits(bits));
+        }
+        assert!(faulty.implements(&f));
+    }
+
+    #[test]
+    fn stuck_on_in_row_kills_the_product() {
+        let (f, pla) = xor_pla();
+        let mut d = DefectMap::clean(2, 2, 1);
+        d.set_input_defect(0, 1, DefectKind::StuckOn);
+        let faulty = FaultyGnorPla::new(pla, d);
+        // Row 0 (x0·x̄1) is gone: 10 no longer asserts the output.
+        assert!(!faulty.simulate_bits(0b01)[0]);
+        // Row 1 still works.
+        assert!(faulty.simulate_bits(0b10)[0]);
+        assert!(!faulty.implements(&f));
+    }
+
+    #[test]
+    fn stuck_off_widens_the_product() {
+        let (f, pla) = xor_pla();
+        let mut d = DefectMap::clean(2, 2, 1);
+        // Row 0 implements x0·x̄1 via controls (Invert, Pass); killing the
+        // x̄1 device widens it to x0.
+        d.set_input_defect(0, 1, DefectKind::StuckOff);
+        let faulty = FaultyGnorPla::new(pla, d);
+        assert!(faulty.simulate_bits(0b11)[0], "11 now wrongly covered");
+        assert!(!faulty.implements(&f));
+    }
+
+    #[test]
+    fn stuck_on_output_line_is_constant_one() {
+        let (f, pla) = xor_pla();
+        let mut d = DefectMap::clean(2, 2, 1);
+        d.set_output_defect(0, 0, DefectKind::StuckOn);
+        let faulty = FaultyGnorPla::new(pla, d);
+        for bits in 0..4u64 {
+            assert!(faulty.simulate_bits(bits)[0], "line must be stuck at 1");
+        }
+        let _ = f;
+    }
+
+    #[test]
+    fn stuck_off_output_disconnects_the_product() {
+        let (f, pla) = xor_pla();
+        let mut d = DefectMap::clean(2, 2, 1);
+        d.set_output_defect(0, 1, DefectKind::StuckOff);
+        let faulty = FaultyGnorPla::new(pla, d);
+        assert!(!faulty.simulate_bits(0b10)[0], "lost the x̄0·x1 minterm");
+        assert!(faulty.simulate_bits(0b01)[0]);
+        assert!(!faulty.implements(&f));
+    }
+
+    #[test]
+    fn defect_on_dropped_position_is_harmless() {
+        // f = x0 (1 literal, 1 dropped column): stuck-off on the dropped
+        // column changes nothing.
+        let f = Cover::parse("1- 1", 2, 1).expect("valid cover");
+        let pla = GnorPla::from_cover(&f);
+        let mut d = DefectMap::clean(1, 2, 1);
+        d.set_input_defect(0, 1, DefectKind::StuckOff);
+        let faulty = FaultyGnorPla::new(pla, d);
+        assert!(faulty.implements(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "defect map rows mismatch")]
+    fn dimension_mismatch_panics() {
+        let (_, pla) = xor_pla();
+        let _ = FaultyGnorPla::new(pla, DefectMap::clean(3, 2, 1));
+    }
+}

@@ -1,0 +1,306 @@
+//! Spare-row repair by bipartite matching.
+//!
+//! The GNOR array is perfectly regular: *any* product term can live on
+//! *any* physical row (the Fig. 3 protocol programs every device
+//! individually). Repair therefore reduces to a bipartite matching between
+//! the cubes of the cover and the defect-compatible physical rows of an
+//! array fabricated with spare rows:
+//!
+//! * a row with a **stuck-on** input device is unusable (its product line
+//!   is constant 0);
+//! * a row with **stuck-off** input devices can host any cube that drops
+//!   those columns anyway;
+//! * a **stuck-off** output device forbids cubes that drive that output
+//!   from that row;
+//! * a **stuck-on** output device anywhere on an output line pins the whole
+//!   line to constant 0 — unrepairable by row re-assignment.
+//!
+//! Matching uses Kuhn's augmenting-path algorithm (the covers are small);
+//! the repaired configuration is rebuilt as a full [`GnorPla`] over the
+//! physical rows and re-verified by fault simulation in the tests.
+
+use crate::defect::{DefectKind, DefectMap};
+use ambipla_core::{GnorPla, GnorPlane, InputPolarity};
+use logic::{Cover, Tri};
+
+/// Result of a repair attempt.
+#[derive(Debug, Clone)]
+pub enum RepairOutcome {
+    /// A defect-avoiding assignment was found.
+    Repaired {
+        /// The reconfigured PLA over all physical rows (unused rows left
+        /// unprogrammed).
+        pla: GnorPla,
+        /// `assignment[cube] = physical row`.
+        assignment: Vec<usize>,
+        /// Physical rows left unused (available spares).
+        spares_left: usize,
+    },
+    /// No assignment exists.
+    Unrepairable {
+        /// Human-readable reason (first obstruction found).
+        reason: String,
+    },
+}
+
+impl RepairOutcome {
+    /// True if the array was repaired.
+    pub fn is_repaired(&self) -> bool {
+        matches!(self, RepairOutcome::Repaired { .. })
+    }
+}
+
+/// Attempt to map `cover` onto the defective array described by `defects`.
+///
+/// The defect map's row count defines the physical array (cover products +
+/// spares).
+///
+/// # Panics
+///
+/// Panics if the defect map has fewer rows than the cover has cubes, or
+/// mismatched input/output counts.
+pub fn repair(cover: &Cover, defects: &DefectMap) -> RepairOutcome {
+    let p = cover.len();
+    let rows = defects.rows();
+    assert!(rows >= p, "need at least as many physical rows as cubes");
+    assert_eq!(defects.inputs(), cover.n_inputs(), "input count mismatch");
+    assert_eq!(defects.outputs(), cover.n_outputs(), "output count mismatch");
+
+    // Global obstruction: a stuck-on output device pins its line low.
+    for j in 0..cover.n_outputs() {
+        if defects.output_line_has_stuck_on(j) {
+            return RepairOutcome::Unrepairable {
+                reason: format!("output line {j} has a stuck-on device"),
+            };
+        }
+    }
+
+    // Compatibility lists.
+    let compatible: Vec<Vec<usize>> = (0..p)
+        .map(|c| {
+            (0..rows)
+                .filter(|&r| row_fits_cube(cover, c, defects, r))
+                .collect()
+        })
+        .collect();
+    if let Some(c) = compatible.iter().position(|v| v.is_empty()) {
+        return RepairOutcome::Unrepairable {
+            reason: format!("no usable physical row for product term {c}"),
+        };
+    }
+
+    // Kuhn's matching: cube → row.
+    let mut row_owner: Vec<Option<usize>> = vec![None; rows];
+    let mut assignment: Vec<Option<usize>> = vec![None; p];
+    for c in 0..p {
+        let mut visited = vec![false; rows];
+        if !augment(c, &compatible, &mut row_owner, &mut assignment, &mut visited) {
+            return RepairOutcome::Unrepairable {
+                reason: format!("matching failed at product term {c}"),
+            };
+        }
+    }
+    let assignment: Vec<usize> = assignment.into_iter().map(|a| a.expect("matched")).collect();
+
+    // Build the repaired configuration over the physical rows.
+    let n = cover.n_inputs();
+    let o = cover.n_outputs();
+    let mut in_controls = vec![vec![InputPolarity::Drop; n]; rows];
+    let mut out_controls = vec![vec![InputPolarity::Drop; rows]; o];
+    for (c, cube) in cover.iter().enumerate() {
+        let r = assignment[c];
+        for (i, ctrl) in in_controls[r].iter_mut().enumerate() {
+            *ctrl = match cube.input(i) {
+                Tri::One => InputPolarity::Invert,
+                Tri::Zero => InputPolarity::Pass,
+                Tri::DontCare => InputPolarity::Drop,
+            };
+        }
+        for (j, ctrl) in out_controls.iter_mut().enumerate() {
+            if cube.has_output(j) {
+                ctrl[r] = InputPolarity::Pass;
+            }
+        }
+    }
+    let pla = GnorPla::from_parts(
+        GnorPlane::from_controls(in_controls),
+        GnorPlane::from_controls(out_controls),
+        vec![true; o],
+    );
+    RepairOutcome::Repaired {
+        pla,
+        spares_left: rows - p,
+        assignment,
+    }
+}
+
+/// Can cube `c` of `cover` live on physical row `r`?
+fn row_fits_cube(cover: &Cover, c: usize, defects: &DefectMap, r: usize) -> bool {
+    if defects.row_has_stuck_on(r) {
+        return false;
+    }
+    let cube = &cover.cubes()[c];
+    for i in 0..cover.n_inputs() {
+        if defects.input_defect(r, i) == Some(DefectKind::StuckOff)
+            && cube.input(i) != Tri::DontCare
+        {
+            return false;
+        }
+    }
+    for j in cube.outputs() {
+        if defects.output_defect(j, r) == Some(DefectKind::StuckOff) {
+            return false;
+        }
+    }
+    true
+}
+
+fn augment(
+    c: usize,
+    compatible: &[Vec<usize>],
+    row_owner: &mut Vec<Option<usize>>,
+    assignment: &mut Vec<Option<usize>>,
+    visited: &mut Vec<bool>,
+) -> bool {
+    for &r in &compatible[c] {
+        if visited[r] {
+            continue;
+        }
+        visited[r] = true;
+        let free = match row_owner[r] {
+            None => true,
+            Some(other) => augment(other, compatible, row_owner, assignment, visited),
+        };
+        if free {
+            row_owner[r] = Some(c);
+            assignment[c] = Some(r);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::FaultyGnorPla;
+
+    fn xor() -> Cover {
+        Cover::parse("10 1\n01 1", 2, 1).expect("valid cover")
+    }
+
+    #[test]
+    fn clean_array_repairs_trivially() {
+        let f = xor();
+        let defects = DefectMap::clean(3, 2, 1); // one spare
+        match repair(&f, &defects) {
+            RepairOutcome::Repaired { pla, spares_left, .. } => {
+                assert_eq!(spares_left, 1);
+                let faulty = FaultyGnorPla::new(pla, defects);
+                assert!(faulty.implements(&f));
+            }
+            RepairOutcome::Unrepairable { reason } => panic!("unrepairable: {reason}"),
+        }
+    }
+
+    #[test]
+    fn stuck_on_row_is_avoided_via_spare() {
+        let f = xor();
+        let mut defects = DefectMap::clean(3, 2, 1);
+        defects.set_input_defect(0, 0, DefectKind::StuckOn); // row 0 dead
+        match repair(&f, &defects) {
+            RepairOutcome::Repaired { pla, assignment, .. } => {
+                assert!(!assignment.contains(&0), "dead row must be avoided");
+                let faulty = FaultyGnorPla::new(pla, defects);
+                assert!(faulty.implements(&f));
+            }
+            RepairOutcome::Unrepairable { reason } => panic!("unrepairable: {reason}"),
+        }
+    }
+
+    #[test]
+    fn stuck_off_row_hosts_a_compatible_cube() {
+        // f = x0 · x̄1 (needs both cols) + x2-ish… use 3 inputs:
+        // cube A = x0 x1 x2 (all literals), cube B = x0 (drops cols 1, 2).
+        let f = Cover::parse("111 1\n1-- 1", 3, 1).expect("valid cover");
+        let mut defects = DefectMap::clean(2, 3, 1);
+        // Row 0 column 1 stuck-off: cube A cannot live there, cube B can.
+        defects.set_input_defect(0, 1, DefectKind::StuckOff);
+        match repair(&f, &defects) {
+            RepairOutcome::Repaired { pla, assignment, .. } => {
+                assert_eq!(assignment[0], 1, "cube A must take the clean row");
+                assert_eq!(assignment[1], 0, "cube B tolerates the stuck-off");
+                let faulty = FaultyGnorPla::new(pla, defects);
+                assert!(faulty.implements(&f));
+            }
+            RepairOutcome::Unrepairable { reason } => panic!("unrepairable: {reason}"),
+        }
+    }
+
+    #[test]
+    fn stuck_on_output_line_is_unrepairable() {
+        let f = xor();
+        let mut defects = DefectMap::clean(3, 2, 1);
+        defects.set_output_defect(0, 2, DefectKind::StuckOn);
+        assert!(!repair(&f, &defects).is_repaired());
+    }
+
+    #[test]
+    fn too_many_dead_rows_is_unrepairable() {
+        let f = xor();
+        let mut defects = DefectMap::clean(2, 2, 1); // no spares
+        defects.set_input_defect(0, 0, DefectKind::StuckOn);
+        match repair(&f, &defects) {
+            RepairOutcome::Unrepairable { reason } => {
+                assert!(reason.contains("product term") || reason.contains("matching"));
+            }
+            RepairOutcome::Repaired { .. } => panic!("cannot repair without spares"),
+        }
+    }
+
+    #[test]
+    fn stuck_off_output_device_forces_other_row() {
+        let f = xor();
+        let mut defects = DefectMap::clean(3, 2, 1);
+        // Output device of row 0 broken: both cubes drive output 0, so
+        // neither may use row 0.
+        defects.set_output_defect(0, 0, DefectKind::StuckOff);
+        match repair(&f, &defects) {
+            RepairOutcome::Repaired { pla, assignment, .. } => {
+                assert!(!assignment.contains(&0));
+                let faulty = FaultyGnorPla::new(pla, defects);
+                assert!(faulty.implements(&f));
+            }
+            RepairOutcome::Unrepairable { reason } => panic!("unrepairable: {reason}"),
+        }
+    }
+
+    #[test]
+    fn matching_handles_contention() {
+        // Two cubes, two usable rows, but cube A fits only row 1 while cube
+        // B fits both: Kuhn must push B to row 0.
+        let f = Cover::parse("11 1\n1- 1", 2, 1).expect("valid cover");
+        let mut defects = DefectMap::clean(2, 2, 1);
+        defects.set_input_defect(0, 1, DefectKind::StuckOff); // A can't use row 0
+        match repair(&f, &defects) {
+            RepairOutcome::Repaired { assignment, pla, .. } => {
+                assert_eq!(assignment, vec![1, 0]);
+                let faulty = FaultyGnorPla::new(pla, defects);
+                assert!(faulty.implements(&f));
+            }
+            RepairOutcome::Unrepairable { reason } => panic!("unrepairable: {reason}"),
+        }
+    }
+
+    #[test]
+    fn unused_spare_rows_stay_silent() {
+        let f = xor();
+        let defects = DefectMap::clean(5, 2, 1); // three spares
+        if let RepairOutcome::Repaired { pla, .. } = repair(&f, &defects) {
+            let faulty = FaultyGnorPla::new(pla, defects);
+            assert!(faulty.implements(&f), "spare rows must not disturb logic");
+        } else {
+            panic!("clean array must repair");
+        }
+    }
+}

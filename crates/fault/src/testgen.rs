@@ -1,0 +1,283 @@
+//! Test-pattern generation for single crosspoint faults.
+//!
+//! Classic PLA testing adapted to the GNOR array: every crosspoint can be
+//! stuck-off (device never conducts → *growth* of the product, or a lost
+//! output connection) or stuck-on (line pinned low → *disappearance* of a
+//! product or a constant output). The generator enumerates every single
+//! fault, finds detecting input vectors by fault simulation, and greedily
+//! compacts them into a small test set.
+//!
+//! Faults with no functional effect (e.g. stuck-off on a position that is
+//! programmed `V0` anyway) are classified **benign** — they are reported
+//! but need no pattern.
+
+use crate::defect::{DefectKind, DefectMap};
+use crate::inject::FaultyGnorPla;
+use ambipla_core::GnorPla;
+use logic::Cover;
+
+/// Maximum input count for exhaustive test generation.
+pub const TESTGEN_INPUT_LIMIT: usize = 12;
+
+/// One single crosspoint fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SingleFault {
+    /// Fault in the input (product) plane at `(row, col)`.
+    Input {
+        /// Product row.
+        row: usize,
+        /// Input column.
+        col: usize,
+        /// Failure mode.
+        kind: DefectKind,
+    },
+    /// Fault in the output plane at `(output, row)`.
+    Output {
+        /// Output line.
+        output: usize,
+        /// Product row.
+        row: usize,
+        /// Failure mode.
+        kind: DefectKind,
+    },
+}
+
+impl SingleFault {
+    /// The defect map containing exactly this fault.
+    fn to_map(self, rows: usize, inputs: usize, outputs: usize) -> DefectMap {
+        let mut map = DefectMap::clean(rows, inputs, outputs);
+        match self {
+            SingleFault::Input { row, col, kind } => map.set_input_defect(row, col, kind),
+            SingleFault::Output { output, row, kind } => {
+                map.set_output_defect(output, row, kind)
+            }
+        }
+        map
+    }
+}
+
+/// A generated test set with its fault-coverage accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSet {
+    /// Compacted test patterns (packed input assignments).
+    pub patterns: Vec<u64>,
+    /// Faults detected by the pattern set.
+    pub detected: usize,
+    /// Faults with no functional effect (need no pattern).
+    pub benign: usize,
+    /// Total single faults enumerated.
+    pub total: usize,
+}
+
+impl TestSet {
+    /// Coverage of the *detectable* faults (benign excluded): 1.0 means
+    /// every functional fault is caught.
+    pub fn coverage(&self) -> f64 {
+        let detectable = self.total - self.benign;
+        if detectable == 0 {
+            1.0
+        } else {
+            self.detected as f64 / detectable as f64
+        }
+    }
+}
+
+/// Enumerate every single crosspoint fault of a PLA with the given
+/// dimensions.
+pub fn enumerate_faults(rows: usize, inputs: usize, outputs: usize) -> Vec<SingleFault> {
+    let mut faults = Vec::new();
+    for row in 0..rows {
+        for col in 0..inputs {
+            for kind in [DefectKind::StuckOff, DefectKind::StuckOn] {
+                faults.push(SingleFault::Input { row, col, kind });
+            }
+        }
+    }
+    for output in 0..outputs {
+        for row in 0..rows {
+            for kind in [DefectKind::StuckOff, DefectKind::StuckOn] {
+                faults.push(SingleFault::Output { output, row, kind });
+            }
+        }
+    }
+    faults
+}
+
+/// Generate a compact test set detecting every detectable single
+/// crosspoint fault of the GNOR PLA implementing `cover`.
+///
+/// # Panics
+///
+/// Panics if the cover is empty or has more than
+/// [`TESTGEN_INPUT_LIMIT`] inputs.
+pub fn generate_tests(cover: &Cover) -> TestSet {
+    assert!(!cover.is_empty(), "cover must have product terms");
+    let n = cover.n_inputs();
+    assert!(
+        n <= TESTGEN_INPUT_LIMIT,
+        "test generation limited to {TESTGEN_INPUT_LIMIT} inputs"
+    );
+    let pla = GnorPla::from_cover(cover);
+    let dims = pla.dimensions();
+    let space = 1u64 << n;
+
+    // Golden responses.
+    let golden: Vec<Vec<bool>> = (0..space).map(|bits| pla.simulate_bits(bits)).collect();
+
+    // Detecting vectors per fault.
+    let faults = enumerate_faults(dims.products, dims.inputs, dims.outputs);
+    let mut detectors: Vec<Vec<u64>> = Vec::with_capacity(faults.len());
+    let mut benign = 0usize;
+    for &fault in &faults {
+        let map = fault.to_map(dims.products, dims.inputs, dims.outputs);
+        let faulty = FaultyGnorPla::new(pla.clone(), map);
+        let vs: Vec<u64> = (0..space)
+            .filter(|&bits| faulty.simulate_bits(bits) != golden[bits as usize])
+            .collect();
+        if vs.is_empty() {
+            benign += 1;
+        }
+        detectors.push(vs);
+    }
+
+    // Greedy compaction: repeatedly take the vector detecting the most
+    // still-undetected faults.
+    let mut undetected: Vec<usize> = (0..faults.len())
+        .filter(|&k| !detectors[k].is_empty())
+        .collect();
+    let mut patterns = Vec::new();
+    let mut detected = 0usize;
+    while !undetected.is_empty() {
+        let mut best_vec = 0u64;
+        let mut best_hits = 0usize;
+        for bits in 0..space {
+            let hits = undetected
+                .iter()
+                .filter(|&&k| detectors[k].binary_search(&bits).is_ok())
+                .count();
+            if hits > best_hits {
+                best_hits = hits;
+                best_vec = bits;
+            }
+        }
+        debug_assert!(best_hits > 0, "undetected faults must have detectors");
+        patterns.push(best_vec);
+        detected += best_hits;
+        undetected.retain(|&k| detectors[k].binary_search(&best_vec).is_err());
+    }
+
+    TestSet {
+        patterns,
+        detected,
+        benign,
+        total: faults.len(),
+    }
+}
+
+/// Verify a test set: apply every pattern to every single-fault machine
+/// and count the faults whose response differs from golden on at least one
+/// pattern. Returns `(caught, detectable)`.
+pub fn verify_tests(cover: &Cover, patterns: &[u64]) -> (usize, usize) {
+    let pla = GnorPla::from_cover(cover);
+    let dims = pla.dimensions();
+    let n = cover.n_inputs();
+    let space = 1u64 << n;
+    let golden: Vec<Vec<bool>> = (0..space).map(|bits| pla.simulate_bits(bits)).collect();
+    let faults = enumerate_faults(dims.products, dims.inputs, dims.outputs);
+    let mut caught = 0;
+    let mut detectable = 0;
+    for &fault in &faults {
+        let map = fault.to_map(dims.products, dims.inputs, dims.outputs);
+        let faulty = FaultyGnorPla::new(pla.clone(), map);
+        let is_detectable =
+            (0..space).any(|bits| faulty.simulate_bits(bits) != golden[bits as usize]);
+        if is_detectable {
+            detectable += 1;
+            if patterns
+                .iter()
+                .any(|&bits| faulty.simulate_bits(bits) != golden[bits as usize])
+            {
+                caught += 1;
+            }
+        }
+    }
+    (caught, detectable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor() -> Cover {
+        Cover::parse("10 1\n01 1", 2, 1).expect("valid cover")
+    }
+
+    #[test]
+    fn fault_universe_size() {
+        // 2 rows × 2 cols × 2 kinds + 1 out × 2 rows × 2 kinds = 12.
+        assert_eq!(enumerate_faults(2, 2, 1).len(), 12);
+    }
+
+    #[test]
+    fn xor_test_set_has_full_coverage() {
+        let ts = generate_tests(&xor());
+        assert_eq!(ts.coverage(), 1.0);
+        let (caught, detectable) = verify_tests(&xor(), &ts.patterns);
+        assert_eq!(caught, detectable);
+        assert_eq!(ts.detected, detectable);
+    }
+
+    #[test]
+    fn compaction_beats_one_pattern_per_fault() {
+        let ts = generate_tests(&xor());
+        assert!(
+            ts.patterns.len() < ts.detected,
+            "{} patterns for {} faults",
+            ts.patterns.len(),
+            ts.detected
+        );
+        // XOR over 2 inputs: 4 vectors suffice trivially.
+        assert!(ts.patterns.len() <= 4);
+    }
+
+    #[test]
+    fn benign_faults_on_dropped_positions() {
+        // f = x0 with a dropped column: stuck-off faults at the dropped
+        // position are benign.
+        let f = Cover::parse("1- 1", 2, 1).unwrap();
+        let ts = generate_tests(&f);
+        assert!(ts.benign > 0);
+        assert_eq!(ts.coverage(), 1.0);
+    }
+
+    #[test]
+    fn full_adder_coverage() {
+        let f = Cover::parse(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        )
+        .unwrap();
+        let ts = generate_tests(&f);
+        assert_eq!(ts.coverage(), 1.0);
+        assert!(ts.patterns.len() <= 8, "test set fits the input space");
+        let (caught, detectable) = verify_tests(&f, &ts.patterns);
+        assert_eq!(caught, detectable);
+    }
+
+    #[test]
+    fn patterns_are_within_input_space() {
+        let ts = generate_tests(&xor());
+        for &p in &ts.patterns {
+            assert!(p < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn too_wide_rejected() {
+        let mut c = Cover::new(13, 1);
+        c.push(logic::Cube::universe(13, 1));
+        let _ = generate_tests(&c);
+    }
+}

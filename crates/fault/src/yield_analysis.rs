@@ -1,0 +1,182 @@
+//! Monte-Carlo yield analysis of defective GNOR-PLA arrays.
+//!
+//! For a given per-crosspoint defect rate the simulator samples defect
+//! maps, attempts spare-row [`repair`](crate::repair::repair), and verifies
+//! the repaired configuration by fault simulation. Three yields are
+//! reported per defect rate:
+//!
+//! * **raw** — the array happens to work with its defects as fabricated
+//!   (defects only on don't-care positions),
+//! * **repaired** — a spare-row re-assignment exists and verifies,
+//!
+//! matching the paper's expectation that the regular, individually
+//! programmable array "is expected to improve the yield of the unreliable
+//! devices making up the PLA".
+
+use crate::defect::DefectMap;
+use crate::inject::FaultyGnorPla;
+use crate::repair::{repair, RepairOutcome};
+use ambipla_core::GnorPla;
+use logic::Cover;
+
+/// Yield measurements at one defect rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldPoint {
+    /// Per-crosspoint defect probability.
+    pub defect_rate: f64,
+    /// Fraction of samples functional without any repair.
+    pub raw_yield: f64,
+    /// Fraction of samples functional after spare-row repair.
+    pub repaired_yield: f64,
+    /// Monte-Carlo sample count.
+    pub trials: usize,
+}
+
+impl YieldPoint {
+    /// Absolute yield improvement from repair.
+    pub fn improvement(&self) -> f64 {
+        self.repaired_yield - self.raw_yield
+    }
+}
+
+/// Monte-Carlo yield of `cover` on an array with `spares` spare rows, at
+/// each of `rates`, with `trials` samples per rate.
+///
+/// Stuck-off failures are biased at 70 % (open-dominated nanotube
+/// processes); the RNG stream is derived from `seed` deterministically.
+/// Use [`yield_curve_biased`] to control the failure-mode mix.
+///
+/// # Panics
+///
+/// Panics if the cover is empty or `trials == 0`.
+pub fn yield_curve(
+    cover: &Cover,
+    spares: usize,
+    rates: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<YieldPoint> {
+    yield_curve_biased(cover, spares, rates, trials, seed, 0.7)
+}
+
+/// [`yield_curve`] with an explicit stuck-off bias (fraction of defects
+/// that are opens rather than shorts).
+///
+/// Note the spare-row trade-off this exposes: spare rows add output-plane
+/// area, so in short-dominated processes (`stuck_off_bias` low) extra
+/// spares can *lower* yield — every output line crosses every physical
+/// row, and one stuck-on pins it. In open-dominated processes
+/// (`stuck_off_bias` near 1) spares help monotonically.
+///
+/// # Panics
+///
+/// Panics if the cover is empty, `trials == 0`, or the bias is outside
+/// `[0, 1]`.
+pub fn yield_curve_biased(
+    cover: &Cover,
+    spares: usize,
+    rates: &[f64],
+    trials: usize,
+    seed: u64,
+    stuck_off_bias: f64,
+) -> Vec<YieldPoint> {
+    assert!((0.0..=1.0).contains(&stuck_off_bias), "bias in [0,1]");
+    assert!(!cover.is_empty(), "cover must have product terms");
+    assert!(trials > 0, "need at least one trial");
+    let p = cover.len();
+    let n = cover.n_inputs();
+    let o = cover.n_outputs();
+    let ideal = GnorPla::from_cover(cover);
+
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut raw_ok = 0usize;
+            let mut rep_ok = 0usize;
+            for t in 0..trials {
+                let map_seed = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add((rate.to_bits() ^ t as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+                // Raw array: exactly p rows, defects as fabricated.
+                let raw_map = DefectMap::sample(p, n, o, rate, stuck_off_bias, map_seed);
+                let raw = FaultyGnorPla::new(ideal.clone(), raw_map);
+                if raw.implements(cover) {
+                    raw_ok += 1;
+                }
+                // Repairable array: p + spares rows.
+                let big_map =
+                    DefectMap::sample(p + spares, n, o, rate, stuck_off_bias, map_seed ^ 0xabcd);
+                if let RepairOutcome::Repaired { pla, .. } = repair(cover, &big_map) {
+                    let fixed = FaultyGnorPla::new(pla, big_map);
+                    if fixed.implements(cover) {
+                        rep_ok += 1;
+                    }
+                }
+            }
+            YieldPoint {
+                defect_rate: rate,
+                raw_yield: raw_ok as f64 / trials as f64,
+                repaired_yield: rep_ok as f64 / trials as f64,
+                trials,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder() -> Cover {
+        Cover::parse(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        )
+        .expect("valid cover")
+    }
+
+    #[test]
+    fn zero_defects_give_full_yield() {
+        let pts = yield_curve(&adder(), 2, &[0.0], 5, 1);
+        assert_eq!(pts[0].raw_yield, 1.0);
+        assert_eq!(pts[0].repaired_yield, 1.0);
+    }
+
+    #[test]
+    fn repair_helps_at_moderate_rates() {
+        let pts = yield_curve(&adder(), 4, &[0.02], 40, 7);
+        let p = pts[0];
+        assert!(
+            p.repaired_yield >= p.raw_yield,
+            "repair cannot hurt: raw {} vs repaired {}",
+            p.raw_yield,
+            p.repaired_yield
+        );
+        assert!(
+            p.improvement() > 0.0,
+            "at 2% defects spares should rescue some arrays"
+        );
+    }
+
+    #[test]
+    fn yield_decreases_with_defect_rate() {
+        let pts = yield_curve(&adder(), 2, &[0.001, 0.05, 0.3], 30, 3);
+        assert!(pts[0].repaired_yield >= pts[1].repaired_yield);
+        assert!(pts[1].repaired_yield >= pts[2].repaired_yield);
+    }
+
+    #[test]
+    fn extreme_rate_kills_everything() {
+        let pts = yield_curve(&adder(), 2, &[0.9], 10, 5);
+        assert_eq!(pts[0].raw_yield, 0.0);
+        assert!(pts[0].repaired_yield < 0.2);
+    }
+
+    #[test]
+    fn curve_is_deterministic() {
+        let a = yield_curve(&adder(), 2, &[0.02, 0.1], 15, 9);
+        let b = yield_curve(&adder(), 2, &[0.02, 0.1], 15, 9);
+        assert_eq!(a, b);
+    }
+}

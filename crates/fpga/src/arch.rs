@@ -1,0 +1,146 @@
+//! FPGA architecture: tile grid, channel capacities, delay constants.
+
+/// Which CLB technology populates the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpgaFlavor {
+    /// Classical CLBs: unit area, true+complement rails routed.
+    Standard,
+    /// GNOR-PLA CLBs (the paper's emulation): half-area blocks, complement
+    /// rails generated inside the block and never routed.
+    CnfetPla,
+}
+
+impl FpgaFlavor {
+    /// Relative CLB area (standard = 1.0). The paper emulates the CNFET
+    /// FPGA with "half of the area for every CLB".
+    pub fn clb_area(self) -> f64 {
+        match self {
+            FpgaFlavor::Standard => 1.0,
+            FpgaFlavor::CnfetPla => 0.5,
+        }
+    }
+
+    /// CLBs that fit one tile of the fixed die.
+    pub fn clbs_per_tile(self) -> usize {
+        match self {
+            FpgaFlavor::Standard => 1,
+            FpgaFlavor::CnfetPla => 2,
+        }
+    }
+
+    /// Whether complement rails must be routed between blocks.
+    pub fn routes_complements(self) -> bool {
+        matches!(self, FpgaFlavor::Standard)
+    }
+}
+
+/// Architecture parameters of the island-style FPGA die.
+///
+/// The die is a `grid × grid` array of tiles; routing uses the channels
+/// between adjacent tiles, each with a fixed track [`FpgaArch::channel_capacity`].
+/// Delay constants are first-order per-hop numbers chosen to land a
+/// mid-size full standard FPGA near the paper's 154 MHz operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaArch {
+    /// Tiles per side of the square die.
+    pub grid: usize,
+    /// Routing tracks per channel segment.
+    pub channel_capacity: usize,
+    /// Intrinsic CLB delay, seconds.
+    pub clb_delay: f64,
+    /// Delay of one programmable switch crossing, seconds.
+    pub switch_delay: f64,
+    /// Wire delay of one tile pitch, seconds.
+    pub wire_delay_per_tile: f64,
+    /// Extra delay factor per unit of average channel overuse along a path
+    /// (models the slower, detoured or buffered tracks of congested
+    /// regions).
+    pub congestion_penalty: f64,
+}
+
+impl FpgaArch {
+    /// Default architecture: delay constants giving a full mid-size
+    /// standard FPGA a clock in the 100–200 MHz band of the paper's
+    /// Table 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid == 0`.
+    pub fn new(grid: usize) -> FpgaArch {
+        assert!(grid > 0, "die must have at least one tile");
+        FpgaArch {
+            grid,
+            channel_capacity: 10,
+            clb_delay: 0.115e-9,
+            switch_delay: 0.018e-9,
+            wire_delay_per_tile: 0.013e-9,
+            congestion_penalty: 0.25,
+        }
+    }
+
+    /// Number of tiles on the die.
+    pub fn tiles(&self) -> usize {
+        self.grid * self.grid
+    }
+
+    /// Die size needed so that `n_blocks` standard CLBs fill `target`
+    /// fraction of the tiles (the paper fills the standard FPGA to 99 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < target <= 1`.
+    pub fn sized_for(n_blocks: usize, target: f64) -> FpgaArch {
+        assert!(target > 0.0 && target <= 1.0, "target occupancy in (0,1]");
+        let tiles = (n_blocks as f64 / target).ceil();
+        let grid = (tiles.sqrt().ceil() as usize).max(1);
+        FpgaArch::new(grid)
+    }
+
+    /// CLB slots available under `flavor` (half-area CLBs pack two per
+    /// tile).
+    pub fn slots(&self, flavor: FpgaFlavor) -> usize {
+        self.tiles() * flavor.clbs_per_tile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flavor_areas() {
+        assert_eq!(FpgaFlavor::Standard.clb_area(), 1.0);
+        assert_eq!(FpgaFlavor::CnfetPla.clb_area(), 0.5);
+        assert_eq!(FpgaFlavor::CnfetPla.clbs_per_tile(), 2);
+        assert!(FpgaFlavor::Standard.routes_complements());
+        assert!(!FpgaFlavor::CnfetPla.routes_complements());
+    }
+
+    #[test]
+    fn sizing_hits_target_occupancy() {
+        let arch = FpgaArch::sized_for(99, 0.99);
+        // 100 tiles exactly: 99 blocks → 99 %.
+        assert_eq!(arch.tiles(), 100);
+        let occ = 99.0 / arch.tiles() as f64;
+        assert!((occ - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slots_double_for_half_area_blocks() {
+        let arch = FpgaArch::new(10);
+        assert_eq!(arch.slots(FpgaFlavor::Standard), 100);
+        assert_eq!(arch.slots(FpgaFlavor::CnfetPla), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_grid_rejected() {
+        let _ = FpgaArch::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target occupancy")]
+    fn bad_target_rejected() {
+        let _ = FpgaArch::sized_for(10, 0.0);
+    }
+}

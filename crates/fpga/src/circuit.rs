@@ -1,0 +1,199 @@
+//! Synthetic block-level circuits with explicit complement rails.
+//!
+//! A circuit is a DAG of CLB-sized blocks connected by nets. Every logical
+//! signal may additionally require its **complement rail**: in a classical
+//! FPGA both polarities are routed ("the number of signals to route is
+//! reduced by almost the factor 2, because the inverted signals are not
+//! routed but generated internally", Section 5). Complement nets carry
+//! `is_complement = true` and are simply dropped when the target flavor is
+//! the GNOR-PLA FPGA.
+
+use crate::arch::FpgaFlavor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One routed signal: a source block driving one or more sink blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Driving block index.
+    pub source: usize,
+    /// Sink block indices (all greater than `source`: the circuit is a
+    /// DAG in index order).
+    pub sinks: Vec<usize>,
+    /// True if this net is the complement rail of another signal.
+    pub is_complement: bool,
+}
+
+/// A block-level netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    n_blocks: usize,
+    nets: Vec<Net>,
+}
+
+impl Circuit {
+    /// Build a circuit from explicit nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any net references a block `>= n_blocks`, has no sinks, or
+    /// has a sink `<=` its source (the DAG-order invariant).
+    pub fn new(n_blocks: usize, nets: Vec<Net>) -> Circuit {
+        for (k, net) in nets.iter().enumerate() {
+            assert!(net.source < n_blocks, "net {k}: source out of range");
+            assert!(!net.sinks.is_empty(), "net {k}: no sinks");
+            for &s in &net.sinks {
+                assert!(s < n_blocks, "net {k}: sink out of range");
+                assert!(s > net.source, "net {k}: sink {s} breaks DAG order");
+            }
+        }
+        Circuit { n_blocks, nets }
+    }
+
+    /// Seeded random DAG circuit.
+    ///
+    /// Each block `b > 0` receives `fanin` incoming connections from
+    /// earlier blocks (grouped into nets by source); a `complement_fraction`
+    /// of the resulting logical signals additionally requires its inverted
+    /// rail. The paper's "almost the factor 2" corresponds to a fraction
+    /// near 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_blocks < 2`, `fanin == 0`, or the fraction is outside
+    /// `[0, 1]`.
+    pub fn random(n_blocks: usize, fanin: usize, complement_fraction: f64, seed: u64) -> Circuit {
+        assert!(n_blocks >= 2, "need at least two blocks");
+        assert!(fanin > 0, "blocks need inputs");
+        assert!(
+            (0.0..=1.0).contains(&complement_fraction),
+            "fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        // sinks_of[src] collects the sinks fed by block src.
+        let mut sinks_of: Vec<Vec<usize>> = vec![Vec::new(); n_blocks];
+        for b in 1..n_blocks {
+            for _ in 0..fanin {
+                let src = rng.gen_range(0..b);
+                if !sinks_of[src].contains(&b) {
+                    sinks_of[src].push(b);
+                }
+            }
+        }
+        let mut nets = Vec::new();
+        for (src, sinks) in sinks_of.into_iter().enumerate() {
+            if sinks.is_empty() {
+                continue;
+            }
+            let complemented = rng.gen_bool(complement_fraction);
+            nets.push(Net {
+                source: src,
+                sinks: sinks.clone(),
+                is_complement: false,
+            });
+            if complemented {
+                nets.push(Net {
+                    source: src,
+                    sinks,
+                    is_complement: true,
+                });
+            }
+        }
+        Circuit { n_blocks, nets }
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// All nets, including complement rails.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The nets that must actually be routed under `flavor`: the GNOR-PLA
+    /// FPGA never routes complement rails.
+    pub fn routed_nets(&self, flavor: FpgaFlavor) -> Vec<&Net> {
+        self.nets
+            .iter()
+            .filter(|n| flavor.routes_complements() || !n.is_complement)
+            .collect()
+    }
+
+    /// Ratio of routed signals, CNFET over standard — the paper claims
+    /// "almost the factor 2" reduction, i.e. a ratio near 0.5.
+    pub fn signal_reduction(&self) -> f64 {
+        let standard = self.routed_nets(FpgaFlavor::Standard).len();
+        let cnfet = self.routed_nets(FpgaFlavor::CnfetPla).len();
+        cnfet as f64 / standard.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_circuit_is_deterministic() {
+        let a = Circuit::random(50, 3, 0.9, 7);
+        let b = Circuit::random(50, 3, 0.9, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, Circuit::random(50, 3, 0.9, 8));
+    }
+
+    #[test]
+    fn dag_order_holds() {
+        let c = Circuit::random(80, 3, 0.8, 1);
+        for net in c.nets() {
+            for &s in &net.sinks {
+                assert!(s > net.source);
+            }
+        }
+    }
+
+    #[test]
+    fn complement_rails_are_dropped_for_cnfet() {
+        let c = Circuit::random(100, 3, 1.0, 3);
+        let std_nets = c.routed_nets(FpgaFlavor::Standard).len();
+        let cn_nets = c.routed_nets(FpgaFlavor::CnfetPla).len();
+        assert_eq!(std_nets, 2 * cn_nets, "fraction 1.0 halves the signals");
+        assert!((c.signal_reduction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fraction_routes_everything_once() {
+        let c = Circuit::random(40, 2, 0.0, 3);
+        assert_eq!(
+            c.routed_nets(FpgaFlavor::Standard).len(),
+            c.routed_nets(FpgaFlavor::CnfetPla).len()
+        );
+    }
+
+    #[test]
+    fn every_non_root_block_has_fanin() {
+        let c = Circuit::random(30, 2, 0.5, 11);
+        let mut has_in = [false; 30];
+        for net in c.nets() {
+            for &s in &net.sinks {
+                has_in[s] = true;
+            }
+        }
+        for (b, &ok) in has_in.iter().enumerate().skip(1) {
+            assert!(ok, "block {b} has no inputs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "breaks DAG order")]
+    fn backward_edge_rejected() {
+        let _ = Circuit::new(
+            3,
+            vec![Net {
+                source: 2,
+                sinks: vec![1],
+                is_complement: false,
+            }],
+        );
+    }
+}

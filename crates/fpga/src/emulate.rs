@@ -1,0 +1,143 @@
+//! The Table 2 emulation harness.
+//!
+//! Reproduces the paper's methodology: take one circuit; implement it on a
+//! standard FPGA sized to be ~99 % full; then implement the *same* circuit
+//! on the *same die* with half-area CLBs and without the complement rails
+//! (the GNOR-PLA FPGA emulation); report occupancy and maximum frequency.
+
+use crate::arch::{FpgaArch, FpgaFlavor};
+use crate::circuit::Circuit;
+use crate::place::place;
+use crate::route::route;
+use crate::timing::critical_path;
+
+/// One row of the Table 2 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmulationReport {
+    /// Flavor this report describes.
+    pub flavor: FpgaFlavor,
+    /// Fraction of the die area occupied by CLBs.
+    pub occupancy: f64,
+    /// Maximum clock frequency, hertz.
+    pub frequency: f64,
+    /// Number of routed two-pin connections.
+    pub routed_connections: usize,
+    /// Total routed wirelength, channel segments.
+    pub wirelength: usize,
+    /// Channel segments loaded beyond capacity.
+    pub overused_segments: usize,
+}
+
+impl EmulationReport {
+    /// Frequency in megahertz (Table 2's unit).
+    pub fn frequency_mhz(&self) -> f64 {
+        self.frequency / 1e6
+    }
+
+    /// Occupancy as a percentage (Table 2's unit).
+    pub fn occupancy_percent(&self) -> f64 {
+        self.occupancy * 100.0
+    }
+}
+
+/// Run the full place-and-route flow for `circuit` on `arch` under
+/// `flavor` and measure the Table 2 quantities.
+///
+/// # Panics
+///
+/// Panics if the circuit does not fit the die under `flavor`.
+pub fn emulate(circuit: &Circuit, arch: &FpgaArch, flavor: FpgaFlavor, seed: u64) -> EmulationReport {
+    let placement = place(circuit, arch, flavor, seed);
+    let routing = route(circuit, &placement, arch);
+    let timing = critical_path(circuit, &routing, arch);
+    let occupancy = circuit.n_blocks() as f64 * flavor.clb_area() / arch.tiles() as f64;
+    EmulationReport {
+        flavor,
+        occupancy,
+        frequency: timing.frequency,
+        routed_connections: routing.connections.len(),
+        wirelength: routing.total_wirelength,
+        overused_segments: routing.overused_segments,
+    }
+}
+
+/// Run both flavors on the same circuit and die (the complete Table 2
+/// experiment). Returns `(standard, cnfet)`.
+pub fn table2(circuit: &Circuit, arch: &FpgaArch, seed: u64) -> (EmulationReport, EmulationReport) {
+    (
+        emulate(circuit, arch, FpgaFlavor::Standard, seed),
+        emulate(circuit, arch, FpgaFlavor::CnfetPla, seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> (EmulationReport, EmulationReport) {
+        let circuit = Circuit::random(63, 3, 0.95, 11);
+        let arch = FpgaArch::sized_for(63, 0.99);
+        table2(&circuit, &arch, 11)
+    }
+
+    #[test]
+    fn standard_die_is_nearly_full() {
+        let (std_r, _) = run();
+        assert!(
+            std_r.occupancy > 0.95,
+            "standard occupancy {:.1}%",
+            std_r.occupancy_percent()
+        );
+    }
+
+    #[test]
+    fn cnfet_occupancy_is_about_half() {
+        let (std_r, cn_r) = run();
+        let ratio = cn_r.occupancy / std_r.occupancy;
+        assert!(
+            (ratio - 0.5).abs() < 1e-9,
+            "half-area CLBs halve the occupied area, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn cnfet_is_faster_with_fewer_signals() {
+        let (std_r, cn_r) = run();
+        assert!(cn_r.routed_connections < std_r.routed_connections);
+        assert!(cn_r.wirelength < std_r.wirelength);
+        assert!(
+            cn_r.frequency > std_r.frequency,
+            "CNFET {:.0} MHz <= standard {:.0} MHz",
+            cn_r.frequency_mhz(),
+            std_r.frequency_mhz()
+        );
+    }
+
+    #[test]
+    fn speedup_is_in_the_paper_ballpark() {
+        // Table 2 reports 349/154 ≈ 2.27×. The shape requirement: a clear
+        // speedup, at least 1.3× and at most ~4×.
+        let (std_r, cn_r) = run();
+        let speedup = cn_r.frequency / std_r.frequency;
+        assert!(speedup > 1.3, "speedup only {speedup:.2}x");
+        assert!(speedup < 4.0, "speedup implausibly high: {speedup:.2}x");
+    }
+
+    #[test]
+    fn emulation_is_deterministic() {
+        let circuit = Circuit::random(40, 3, 0.95, 2);
+        let arch = FpgaArch::sized_for(40, 0.99);
+        let a = emulate(&circuit, &arch, FpgaFlavor::Standard, 5);
+        let b = emulate(&circuit, &arch, FpgaFlavor::Standard, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn congestion_relief_shows_in_overuse() {
+        let (std_r, cn_r) = run();
+        assert!(
+            cn_r.overused_segments <= std_r.overused_segments,
+            "dropping half the signals cannot increase overuse"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Island-style FPGA model for the Table 2 emulation.
+//!
+//! Section 5 of the DAC 2008 paper evaluates a **PLA-based FPGA** whose
+//! configurable logic blocks (CLBs) are GNOR PLAs. The paper's methodology
+//! is itself an emulation: *"To emulate the ambipolar CNFET FPGA we used a
+//! classical one with half of the area for every CLB. Both FPGA implement
+//! the same function and the standard one is full."* Two effects drive the
+//! reported 99 % → 44.9 % occupancy and 154 → 349 MHz frequency:
+//!
+//! 1. **half-area CLBs** — the GNOR PLA inside the CLB needs one column per
+//!    input instead of two,
+//! 2. **roughly half the routed signals** — complemented rails are not
+//!    routed between CLBs because every GNOR input can invert internally.
+//!
+//! This crate reproduces that methodology end to end on a from-scratch
+//! substrate:
+//!
+//! * [`circuit`] — synthetic block/net workloads with explicit complement
+//!   rails (the signals a classical FPGA must route but a GNOR FPGA
+//!   generates internally),
+//! * [`arch`] — the tile grid, channel capacities and delay constants,
+//! * [`place`] — simulated-annealing placement (seeded, deterministic),
+//! * [`route`] — congestion-aware maze routing over the channel graph,
+//! * [`timing`] — Elmore-flavoured net delays and critical-path analysis,
+//! * [`emulate`] — the Table 2 harness comparing [`FpgaFlavor::Standard`]
+//!   against [`FpgaFlavor::CnfetPla`] on the same circuit.
+
+pub mod arch;
+pub mod circuit;
+pub mod emulate;
+pub mod mapping;
+pub mod place;
+pub mod route;
+pub mod sweep;
+pub mod timing;
+
+pub use arch::{FpgaArch, FpgaFlavor};
+pub use circuit::{Circuit, Net};
+pub use emulate::{emulate, EmulationReport};
+pub use mapping::{Block, MappedNetwork};
+pub use place::{place, Placement};
+pub use sweep::{channel_capacity_sweep, utilization_sweep, SweepPoint};
+pub use route::{route, RoutingResult};
+pub use timing::{critical_path, TimingReport};

@@ -1,0 +1,124 @@
+//! Parameter sweeps around the Table 2 operating point.
+//!
+//! Table 2 is a single pair of measurements; these sweeps show *why* the
+//! numbers move — frequency vs. routing-channel capacity (congestion
+//! relief) and vs. die utilization (the "standard one is full" condition).
+
+use crate::arch::{FpgaArch, FpgaFlavor};
+use crate::circuit::Circuit;
+use crate::emulate::{emulate, EmulationReport};
+
+/// One sweep sample: the swept parameter plus both flavors' reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Value of the swept parameter.
+    pub x: f64,
+    /// Standard-FPGA report.
+    pub standard: EmulationReport,
+    /// CNFET-PLA-FPGA report.
+    pub cnfet: EmulationReport,
+}
+
+impl SweepPoint {
+    /// CNFET/standard frequency ratio at this point.
+    pub fn speedup(&self) -> f64 {
+        self.cnfet.frequency / self.standard.frequency
+    }
+}
+
+/// Sweep the routing-channel capacity at fixed die and circuit.
+///
+/// As capacity grows, congestion vanishes and the standard FPGA catches
+/// up: the CNFET advantage shrinks towards the pure wirelength/packing
+/// ratio — showing how much of Table 2's speedup is congestion relief.
+///
+/// # Panics
+///
+/// Panics if `capacities` is empty.
+pub fn channel_capacity_sweep(
+    circuit: &Circuit,
+    capacities: &[usize],
+    seed: u64,
+) -> Vec<SweepPoint> {
+    assert!(!capacities.is_empty(), "nothing to sweep");
+    let mut arch = FpgaArch::sized_for(circuit.n_blocks(), 0.99);
+    capacities
+        .iter()
+        .map(|&cap| {
+            arch.channel_capacity = cap;
+            SweepPoint {
+                x: cap as f64,
+                standard: emulate(circuit, &arch, FpgaFlavor::Standard, seed),
+                cnfet: emulate(circuit, &arch, FpgaFlavor::CnfetPla, seed),
+            }
+        })
+        .collect()
+}
+
+/// Sweep the standard-FPGA target utilization (die size) at fixed circuit.
+///
+/// At low utilization the standard FPGA routes freely and the speedup
+/// collapses towards the signal-count ratio; at ~99 % (the paper's
+/// condition) congestion amplifies it.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty or any target is outside `(0, 1]`.
+pub fn utilization_sweep(circuit: &Circuit, targets: &[f64], seed: u64) -> Vec<SweepPoint> {
+    assert!(!targets.is_empty(), "nothing to sweep");
+    targets
+        .iter()
+        .map(|&t| {
+            let arch = FpgaArch::sized_for(circuit.n_blocks(), t);
+            SweepPoint {
+                x: t,
+                standard: emulate(circuit, &arch, FpgaFlavor::Standard, seed),
+                cnfet: emulate(circuit, &arch, FpgaFlavor::CnfetPla, seed),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit() -> Circuit {
+        Circuit::random(40, 3, 0.95, 7)
+    }
+
+    #[test]
+    fn capacity_sweep_monotone_standard_frequency() {
+        // More tracks can only help the congested standard FPGA.
+        let pts = channel_capacity_sweep(&circuit(), &[4, 10, 24], 7);
+        assert!(pts[0].standard.frequency <= pts[2].standard.frequency * 1.05);
+        assert_eq!(pts.len(), 3);
+    }
+
+    #[test]
+    fn congestion_relief_shrinks_the_speedup() {
+        let pts = channel_capacity_sweep(&circuit(), &[4, 32], 7);
+        assert!(
+            pts[1].speedup() <= pts[0].speedup() + 0.15,
+            "uncongested speedup {} should not exceed congested {}",
+            pts[1].speedup(),
+            pts[0].speedup()
+        );
+        // Even uncongested, fewer signals + packing keep CNFET ahead.
+        assert!(pts[1].speedup() > 1.0);
+    }
+
+    #[test]
+    fn utilization_sweep_runs_and_orders() {
+        let pts = utilization_sweep(&circuit(), &[0.4, 0.99], 7);
+        // A fuller die cannot be faster for the standard flavor.
+        assert!(pts[1].standard.frequency <= pts[0].standard.frequency * 1.05);
+        assert!(pts[1].standard.occupancy > pts[0].standard.occupancy);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to sweep")]
+    fn empty_sweep_rejected() {
+        let _ = channel_capacity_sweep(&circuit(), &[], 1);
+    }
+}

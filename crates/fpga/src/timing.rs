@@ -1,0 +1,137 @@
+//! Net delays and critical-path analysis.
+//!
+//! Connection delay is a first-order switched-wire model: each channel
+//! segment crossed costs one programmable-switch delay plus one tile of
+//! wire delay, inflated by the local congestion (detoured/slow tracks).
+//! The circuit is a DAG in block-index order, so the critical path is a
+//! single forward sweep.
+
+use crate::arch::FpgaArch;
+use crate::circuit::Circuit;
+use crate::route::RoutingResult;
+
+/// Timing analysis result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Critical-path delay, seconds.
+    pub critical_path: f64,
+    /// Maximum clock frequency, hertz.
+    pub frequency: f64,
+    /// Mean connection delay, seconds.
+    pub mean_net_delay: f64,
+    /// Logic depth (blocks) of the critical path.
+    pub critical_depth: usize,
+}
+
+/// Delay of one routed connection under `arch`: every connection pays one
+/// pin switch (even block-to-block inside a tile), plus a switch and a tile
+/// of wire per channel segment, inflated by the local congestion.
+pub fn connection_delay(arch: &FpgaArch, hops: usize, mean_overuse: f64) -> f64 {
+    let base = arch.switch_delay
+        + hops as f64 * (arch.switch_delay + arch.wire_delay_per_tile);
+    base * (1.0 + arch.congestion_penalty * mean_overuse)
+}
+
+/// Critical path of the placed-and-routed circuit.
+///
+/// # Panics
+///
+/// Panics if `routing` does not belong to `circuit` (connection indices out
+/// of range).
+pub fn critical_path(circuit: &Circuit, routing: &RoutingResult, arch: &FpgaArch) -> TimingReport {
+    let n = circuit.n_blocks();
+    let mut arrival = vec![arch.clb_delay; n];
+    let mut depth = vec![1usize; n];
+    let mut delay_sum = 0.0;
+    for c in &routing.connections {
+        assert!(c.source < n && c.sink < n, "foreign routing result");
+        let d = connection_delay(arch, c.hops, c.mean_overuse);
+        delay_sum += d;
+        let candidate = arrival[c.source] + d + arch.clb_delay;
+        if candidate > arrival[c.sink] {
+            arrival[c.sink] = candidate;
+            depth[c.sink] = depth[c.source] + 1;
+        }
+    }
+    let (critical_path, critical_depth) = arrival
+        .iter()
+        .zip(&depth)
+        .map(|(&a, &d)| (a, d))
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap_or((arch.clb_delay, 1));
+    TimingReport {
+        critical_path,
+        frequency: 1.0 / critical_path,
+        mean_net_delay: if routing.connections.is_empty() {
+            0.0
+        } else {
+            delay_sum / routing.connections.len() as f64
+        },
+        critical_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::FpgaFlavor;
+    use crate::place::place;
+    use crate::route::route;
+
+    fn full_flow(flavor: FpgaFlavor, seed: u64) -> (Circuit, FpgaArch, TimingReport) {
+        let circuit = Circuit::random(50, 3, 0.9, seed);
+        let arch = FpgaArch::sized_for(50, 0.99);
+        let p = place(&circuit, &arch, flavor, seed);
+        let r = route(&circuit, &p, &arch);
+        let t = critical_path(&circuit, &r, &arch);
+        (circuit, arch, t)
+    }
+
+    #[test]
+    fn critical_path_is_positive_and_deeper_than_one() {
+        let (_, arch, t) = full_flow(FpgaFlavor::Standard, 3);
+        assert!(t.critical_path >= arch.clb_delay);
+        assert!(t.critical_depth >= 2, "random DAGs have real depth");
+        assert!(t.frequency > 0.0);
+    }
+
+    #[test]
+    fn cnfet_flavor_is_faster() {
+        // The paper's headline: fewer routed signals + tighter packing →
+        // roughly doubled frequency.
+        let (_, _, std_t) = full_flow(FpgaFlavor::Standard, 3);
+        let (_, _, cn_t) = full_flow(FpgaFlavor::CnfetPla, 3);
+        assert!(
+            cn_t.frequency > std_t.frequency,
+            "CNFET {:.1} MHz vs standard {:.1} MHz",
+            cn_t.frequency / 1e6,
+            std_t.frequency / 1e6
+        );
+    }
+
+    #[test]
+    fn congestion_increases_delay() {
+        let arch = FpgaArch::new(10);
+        let clean = connection_delay(&arch, 10, 0.0);
+        let congested = connection_delay(&arch, 10, 2.0);
+        assert!(congested > clean);
+    }
+
+    #[test]
+    fn delay_scales_with_hops() {
+        let arch = FpgaArch::new(10);
+        assert!(connection_delay(&arch, 20, 0.0) > connection_delay(&arch, 5, 0.0));
+        // Even a same-tile connection pays the pin switch.
+        assert!(connection_delay(&arch, 0, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn frequency_in_paper_band() {
+        // The delay constants should land a full standard FPGA in the
+        // 50–500 MHz decade of Table 2 (not GHz, not kHz).
+        let (_, _, t) = full_flow(FpgaFlavor::Standard, 7);
+        let mhz = t.frequency / 1e6;
+        assert!(mhz > 20.0, "too slow: {mhz:.1} MHz");
+        assert!(mhz < 2000.0, "too fast: {mhz:.1} MHz");
+    }
+}

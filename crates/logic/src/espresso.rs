@@ -1,0 +1,455 @@
+//! ESPRESSO-style heuristic two-level minimization.
+//!
+//! Implements the classical EXPAND / IRREDUNDANT / REDUCE loop over
+//! multi-output covers with optional don't-care sets, as in Brayton et al.
+//! The implementation favours clarity over the last few percent of quality:
+//! every pass is function-preserving by construction, and the test-suite
+//! re-verifies equivalence exhaustively.
+//!
+//! The paper's Table 1 relies on this minimizer only through the product-term
+//! counts of the minimized MCNC covers; the `mcnc` crate's stand-in
+//! benchmarks are constructed to be prime and irredundant, which this loop
+//! recognizes as a fixed point.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// Statistics reported by a minimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EspressoStats {
+    /// Cube count of the input cover (after SCC cleanup).
+    pub initial_cubes: usize,
+    /// Input-literal count of the input cover.
+    pub initial_literals: usize,
+    /// Cube count of the result.
+    pub final_cubes: usize,
+    /// Input-literal count of the result.
+    pub final_literals: usize,
+    /// Number of REDUCE/EXPAND/IRREDUNDANT improvement iterations executed.
+    pub iterations: usize,
+}
+
+/// Minimize `on` with an empty don't-care set.
+///
+/// Convenience wrapper around [`espresso_with_dc`].
+///
+/// # Example
+///
+/// ```
+/// use logic::{espresso, Cover};
+///
+/// // Redundant 3-cube cover of x0: collapses to a single cube.
+/// let f = Cover::parse("10 1\n11 1\n1- 1", 2, 1).unwrap();
+/// let (min, stats) = espresso(&f);
+/// assert_eq!(min.len(), 1);
+/// assert_eq!(stats.final_literals, 1);
+/// ```
+pub fn espresso(on: &Cover) -> (Cover, EspressoStats) {
+    espresso_with_dc(on, &Cover::new(on.n_inputs(), on.n_outputs()))
+}
+
+/// Minimize `on` against the don't-care cover `dc`.
+///
+/// The result `R` satisfies, for every output `j` and assignment `x`:
+/// `on_j(x) = 1 → R_j(x) = 1` and `R_j(x) = 1 → on_j(x) ∨ dc_j(x)`.
+///
+/// # Panics
+///
+/// Panics if the arities of `on` and `dc` differ.
+pub fn espresso_with_dc(on: &Cover, dc: &Cover) -> (Cover, EspressoStats) {
+    assert_eq!(on.n_inputs(), dc.n_inputs(), "input arity mismatch");
+    assert_eq!(on.n_outputs(), dc.n_outputs(), "output arity mismatch");
+
+    let mut f = on.clone();
+    f.make_scc_minimal();
+    let initial_cubes = f.len();
+    let initial_literals = f.literal_count();
+
+    // Per-output OFF-sets (input-part covers), computed once.
+    let off: Vec<Cover> = (0..on.n_outputs())
+        .map(|j| on.output_slice(j).union(&dc.output_slice(j)).complement())
+        .collect();
+
+    f = expand(&f, &off);
+    f = irredundant(&f, dc);
+    let mut best = f.clone();
+    let mut best_cost = cost(&best);
+
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        f = reduce(&f, dc);
+        f = expand(&f, &off);
+        f = irredundant(&f, dc);
+        let c = cost(&f);
+        if c < best_cost {
+            best = f.clone();
+            best_cost = c;
+        } else {
+            break;
+        }
+        if iterations >= 16 {
+            break; // safety valve; practically converges in 2-3 iterations
+        }
+    }
+
+    let stats = EspressoStats {
+        initial_cubes,
+        initial_literals,
+        final_cubes: best.len(),
+        final_literals: best.literal_count(),
+        iterations,
+    };
+    (best, stats)
+}
+
+/// Cover cost ordered lexicographically: fewer cubes first, then fewer
+/// input literals.
+fn cost(f: &Cover) -> (usize, usize) {
+    (f.len(), f.literal_count())
+}
+
+/// Mark the *relatively essential* cubes of `f` against the don't-care set
+/// `dc`: cube `c` is relatively essential iff removing it changes the
+/// function, i.e. `(F ∖ c) ∪ D` does not cover `c` on some output. These
+/// cubes appear in **every** cover of the function built from `f`'s cubes,
+/// so minimizers may fix them and recurse on the rest.
+///
+/// # Panics
+///
+/// Panics if the arities of `f` and `dc` differ.
+pub fn relatively_essential(f: &Cover, dc: &Cover) -> Vec<bool> {
+    assert_eq!(f.n_inputs(), dc.n_inputs(), "input arity mismatch");
+    assert_eq!(f.n_outputs(), dc.n_outputs(), "output arity mismatch");
+    let cubes = f.cubes();
+    (0..cubes.len())
+        .map(|idx| {
+            let ip = cubes[idx].input_part();
+            cubes[idx].outputs().any(|j| {
+                let mut rest = Cover::new(f.n_inputs(), 1);
+                for (k, other) in cubes.iter().enumerate() {
+                    if k != idx && other.has_output(j) {
+                        rest.push(other.input_part());
+                    }
+                }
+                for d in dc.iter() {
+                    if d.has_output(j) {
+                        rest.push(d.input_part());
+                    }
+                }
+                !rest.cofactor(&ip).is_tautology()
+            })
+        })
+        .collect()
+}
+
+/// EXPAND: enlarge each cube to a prime implicant against the per-output
+/// OFF-sets, then drop cubes that became covered.
+fn expand(f: &Cover, off: &[Cover]) -> Cover {
+    let n_inputs = f.n_inputs();
+    let n_outputs = f.n_outputs();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    // Expand literal-heavy cubes first: they have the most freedom left and
+    // expanding them first maximizes the chance of covering others.
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cubes[i].literal_count()));
+
+    for &idx in &order {
+        let mut c = cubes[idx].clone();
+        // Raise input literals greedily. Try positions in a fixed order so
+        // the run is deterministic.
+        for i in 0..n_inputs {
+            if c.input(i) == crate::cube::Tri::DontCare {
+                continue;
+            }
+            let mut trial = c.clone();
+            trial.set_input(i, crate::cube::Tri::DontCare);
+            if is_off_disjoint(&trial, off) {
+                c = trial;
+            }
+        }
+        // Raise output parts: adding output j is legal when the (expanded)
+        // input part avoids OFF_j entirely.
+        for (j, off_j) in off.iter().enumerate() {
+            if c.has_output(j) {
+                continue;
+            }
+            let ip = c.input_part();
+            if off_j.iter().all(|o| !ip.inputs_intersect(o)) {
+                c.set_output(j);
+            }
+        }
+        cubes[idx] = c;
+    }
+    let mut out = Cover::from_cubes(n_inputs, n_outputs, cubes);
+    out.make_scc_minimal();
+    out
+}
+
+/// True if the cube's input part avoids `off[j]` for every output `j` it
+/// drives.
+fn is_off_disjoint(c: &Cube, off: &[Cover]) -> bool {
+    let ip = c.input_part();
+    c.outputs()
+        .all(|j| off[j].iter().all(|o| !ip.inputs_intersect(o)))
+}
+
+/// IRREDUNDANT: remove cubes (or individual output bits of cubes) covered by
+/// the rest of the cover plus the don't-care set.
+fn irredundant(f: &Cover, dc: &Cover) -> Cover {
+    let n_inputs = f.n_inputs();
+    let n_outputs = f.n_outputs();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    // Try to remove small cubes first: large cubes are more likely to be
+    // relatively essential.
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cubes[i].literal_count()));
+
+    let mut alive = vec![true; cubes.len()];
+    for &idx in &order {
+        let ip = cubes[idx].input_part();
+        let outs: Vec<usize> = cubes[idx].outputs().collect();
+        for j in outs {
+            // Rest-of-cover for output j, as input parts.
+            let mut rest = Cover::new(n_inputs, 1);
+            for (k, other) in cubes.iter().enumerate() {
+                if k != idx && alive[k] && other.has_output(j) {
+                    rest.push(other.input_part());
+                }
+            }
+            for d in dc.iter() {
+                if d.has_output(j) {
+                    rest.push(d.input_part());
+                }
+            }
+            if rest.cofactor(&ip).is_tautology() {
+                cubes[idx].clear_output(j);
+            }
+        }
+        if cubes[idx].is_empty() {
+            alive[idx] = false;
+        }
+    }
+    let kept: Vec<Cube> = cubes
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(c, a)| a.then_some(c))
+        .collect();
+    Cover::from_cubes(n_inputs, n_outputs, kept)
+}
+
+/// REDUCE: shrink each cube to the smallest cube still covering the part of
+/// the ON-set only it covers, enabling the next EXPAND to move elsewhere.
+fn reduce(f: &Cover, dc: &Cover) -> Cover {
+    let n_inputs = f.n_inputs();
+    let n_outputs = f.n_outputs();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    // Reduce big cubes first (classic heuristic order).
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| cubes[i].literal_count());
+
+    for &idx in &order {
+        let ip = cubes[idx].input_part();
+        let outs: Vec<usize> = cubes[idx].outputs().collect();
+        let mut new_input: Option<Cube> = None;
+        for &j in &outs {
+            let mut rest = Cover::new(n_inputs, 1);
+            for (k, other) in cubes.iter().enumerate() {
+                if k != idx && !other.is_empty() && other.has_output(j) {
+                    rest.push(other.input_part());
+                }
+            }
+            for d in dc.iter() {
+                if d.has_output(j) {
+                    rest.push(d.input_part());
+                }
+            }
+            // Part of cube idx (for output j) not covered by anything else:
+            // complement of the cofactored rest, intersected back with the
+            // cube.
+            let uncovered = rest.cofactor(&ip).complement();
+            if uncovered.is_empty() {
+                // Fully covered for this output; IRREDUNDANT will clean it.
+                continue;
+            }
+            let mut sup: Option<Cube> = None;
+            for u in uncovered.iter() {
+                let clipped = u.intersect(&ip);
+                if clipped.is_empty() {
+                    continue;
+                }
+                sup = Some(match sup {
+                    None => clipped,
+                    Some(s) => s.supercube(&clipped),
+                });
+            }
+            if let Some(s) = sup {
+                new_input = Some(match new_input {
+                    None => s,
+                    Some(t) => t.supercube(&s),
+                });
+            }
+        }
+        if let Some(ni) = new_input {
+            // Keep the output part, shrink the input part.
+            for i in 0..n_inputs {
+                cubes[idx].set_input(i, ni.input(i));
+            }
+        }
+        // If nothing required this cube (new_input none), leave it; the
+        // following IRREDUNDANT pass removes it.
+    }
+    let mut out = Cover::from_cubes(n_inputs, n_outputs, cubes);
+    out.make_scc_minimal();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::assert_equivalent;
+
+    fn cover(text: &str, ni: usize, no: usize) -> Cover {
+        Cover::parse(text, ni, no).expect("parse cover")
+    }
+
+    #[test]
+    fn minterm_cover_collapses() {
+        // All four minterms of two variables → single don't-care cube.
+        let f = cover("00 1\n01 1\n10 1\n11 1", 2, 1);
+        let (min, stats) = espresso(&f);
+        assert_eq!(min.len(), 1);
+        assert!(min.cubes()[0].input_is_full());
+        assert_eq!(stats.initial_cubes, 4);
+        assert_eq!(stats.final_cubes, 1);
+        assert_equivalent(&f, &min);
+    }
+
+    #[test]
+    fn adjacent_minterms_merge() {
+        let f = cover("00 1\n01 1", 2, 1);
+        let (min, _) = espresso(&f);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.literal_count(), 1);
+        assert_equivalent(&f, &min);
+    }
+
+    #[test]
+    fn xor_stays_two_cubes() {
+        let f = cover("10 1\n01 1", 2, 1);
+        let (min, _) = espresso(&f);
+        assert_eq!(min.len(), 2);
+        assert_equivalent(&f, &min);
+    }
+
+    #[test]
+    fn redundant_middle_cube_removed() {
+        // f = ab + a'c + bc; consensus term bc is redundant... only with the
+        // right phases: f = ab + a'c (+ bc redundant).
+        let f = cover("11- 1\n0-1 1\n-11 1", 3, 1);
+        let (min, _) = espresso(&f);
+        assert_eq!(min.len(), 2);
+        assert_equivalent(&f, &min);
+    }
+
+    #[test]
+    fn dont_cares_enable_merging() {
+        // ON = {00}, DC = {01, 10, 11} → constant 1 allowed.
+        let on = cover("00 1", 2, 1);
+        let dc = cover("01 1\n10 1\n11 1", 2, 1);
+        let (min, _) = espresso_with_dc(&on, &dc);
+        assert_eq!(min.len(), 1);
+        assert!(min.cubes()[0].input_is_full());
+    }
+
+    #[test]
+    fn multi_output_sharing_is_kept() {
+        // Both outputs contain the same product; expansion of the output part
+        // should merge the two rows into one shared row.
+        let f = cover("11 10\n11 01", 2, 2);
+        let (min, _) = espresso(&f);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.cubes()[0].output_count(), 2);
+        assert_equivalent(&f, &min);
+    }
+
+    #[test]
+    fn five_variable_random_functions_preserved() {
+        // Deterministic pseudo-random truth tables; equivalence must hold.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..10 {
+            let mut f = Cover::new(5, 1);
+            for m in 0..32u64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state >> 33 & 1 == 1 {
+                    f.push(Cube::minterm(m, 5, 1));
+                }
+            }
+            let (min, stats) = espresso(&f);
+            assert!(min.len() <= f.len().max(1));
+            assert!(stats.final_literals <= stats.initial_literals.max(1));
+            assert_equivalent(&f, &min);
+        }
+    }
+
+    #[test]
+    fn prime_irredundant_cover_is_fixed_point() {
+        // XOR of 3 variables: all four cubes are essential primes.
+        let f = cover("100 1\n010 1\n001 1\n111 1", 3, 1);
+        let (min, _) = espresso(&f);
+        assert_eq!(min.len(), 4);
+        assert_eq!(min.literal_count(), 12);
+        assert_equivalent(&f, &min);
+    }
+
+    #[test]
+    fn multi_output_functions_preserved() {
+        let f = cover("1-0 110\n011 011\n--1 100\n110 101", 3, 3);
+        let (min, _) = espresso(&f);
+        assert_equivalent(&f, &min);
+        assert!(min.len() <= f.len());
+    }
+
+    #[test]
+    fn empty_cover_minimizes_to_empty() {
+        let f = Cover::new(3, 2);
+        let (min, stats) = espresso(&f);
+        assert!(min.is_empty());
+        assert_eq!(stats.final_cubes, 0);
+    }
+
+    #[test]
+    fn relatively_essential_cubes_detected() {
+        // f = ab + a'c + bc: the consensus term bc is NOT essential.
+        let f = cover("11- 1\n0-1 1\n-11 1", 3, 1);
+        let dc = Cover::new(3, 1);
+        let ess = relatively_essential(&f, &dc);
+        assert_eq!(ess, vec![true, true, false]);
+    }
+
+    #[test]
+    fn all_cubes_essential_in_disjoint_cover() {
+        let f = cover("110 1\n001 1", 3, 1);
+        let ess = relatively_essential(&f, &Cover::new(3, 1));
+        assert!(ess.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn dc_can_make_a_cube_inessential() {
+        // Cube 11 is covered by DC entirely → not essential.
+        let f = cover("11 1\n00 1", 2, 1);
+        let dc = cover("1- 1", 2, 1);
+        let ess = relatively_essential(&f, &dc);
+        assert_eq!(ess, vec![false, true]);
+    }
+
+    #[test]
+    fn constant_one_single_output() {
+        let f = cover("1 1\n0 1", 1, 1);
+        let (min, _) = espresso(&f);
+        assert_eq!(min.len(), 1);
+        assert!(min.cubes()[0].input_is_full());
+    }
+}

@@ -1,0 +1,251 @@
+//! Functional evaluation and equivalence checking.
+//!
+//! Every transformation in this workspace (ESPRESSO passes, phase
+//! optimization, GNOR-PLA mapping, fault repair) is validated against these
+//! checkers: exhaustive up to [`EXHAUSTIVE_LIMIT`] inputs, deterministic
+//! stratified sampling beyond.
+
+use crate::cover::Cover;
+
+/// Maximum input count for exhaustive equivalence checking (2^20 ≈ 1M
+/// assignments per output pair).
+pub const EXHAUSTIVE_LIMIT: usize = 20;
+
+/// Number of sampled assignments used beyond the exhaustive limit.
+const SAMPLES: usize = 1 << 14;
+
+/// Result of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Equivalence {
+    /// The functions agreed on every checked assignment. `exhaustive` tells
+    /// whether the whole space was enumerated (a proof) or sampled.
+    Equivalent {
+        /// True if every assignment was checked.
+        exhaustive: bool,
+    },
+    /// The functions differ on `bits` at output `output`.
+    Counterexample {
+        /// Packed input assignment exhibiting the difference.
+        bits: u64,
+        /// Output index on which the two functions disagree.
+        output: usize,
+    },
+}
+
+impl Equivalence {
+    /// True for either kind of `Equivalent`.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Equivalence::Equivalent { .. })
+    }
+}
+
+/// Check whether two covers implement the same multi-output function.
+///
+/// Exhaustive for up to [`EXHAUSTIVE_LIMIT`] inputs; beyond that a
+/// deterministic pseudo-random sample plus structured corner patterns is
+/// used (so a result of `Equivalent { exhaustive: false }` is strong evidence
+/// but not proof).
+///
+/// # Panics
+///
+/// Panics if the arities of `a` and `b` differ, or if `n_inputs > 64`.
+pub fn check_equivalent(a: &Cover, b: &Cover) -> Equivalence {
+    assert_eq!(a.n_inputs(), b.n_inputs(), "input arity mismatch");
+    assert_eq!(a.n_outputs(), b.n_outputs(), "output arity mismatch");
+    let n = a.n_inputs();
+    assert!(n <= 64, "evaluation supports at most 64 inputs");
+
+    if n <= EXHAUSTIVE_LIMIT {
+        for bits in 0..(1u64 << n) {
+            if let Some(j) = first_difference(a, b, bits) {
+                return Equivalence::Counterexample { bits, output: j };
+            }
+        }
+        return Equivalence::Equivalent { exhaustive: true };
+    }
+
+    for bits in sample_assignments(n) {
+        if let Some(j) = first_difference(a, b, bits) {
+            return Equivalence::Counterexample { bits, output: j };
+        }
+    }
+    Equivalence::Equivalent { exhaustive: false }
+}
+
+/// Check that `f` lies between `on` and `on ∪ dc` (the contract of
+/// minimization with don't-cares): every ON-minterm stays covered, and `f`
+/// asserts nothing outside ON ∪ DC.
+///
+/// Returns the first violating `(bits, output)` if any.
+pub fn check_implements(on: &Cover, dc: &Cover, f: &Cover) -> Option<(u64, usize)> {
+    assert_eq!(on.n_inputs(), f.n_inputs(), "input arity mismatch");
+    assert_eq!(on.n_outputs(), f.n_outputs(), "output arity mismatch");
+    let n = on.n_inputs();
+    assert!(n <= 64, "evaluation supports at most 64 inputs");
+    let space: Box<dyn Iterator<Item = u64>> = if n <= EXHAUSTIVE_LIMIT {
+        Box::new(0..(1u64 << n))
+    } else {
+        Box::new(sample_assignments(n).into_iter())
+    };
+    for bits in space {
+        let von = on.eval_bits(bits);
+        let vdc = dc.eval_bits(bits);
+        let vf = f.eval_bits(bits);
+        for j in 0..on.n_outputs() {
+            if von[j] && !vf[j] {
+                return Some((bits, j)); // lost an ON-minterm
+            }
+            if vf[j] && !von[j] && !vdc[j] {
+                return Some((bits, j)); // asserted an OFF-minterm
+            }
+        }
+    }
+    None
+}
+
+/// Panic with a readable message if two covers are not equivalent.
+/// Intended for tests.
+///
+/// # Panics
+///
+/// Panics on the first differing assignment.
+pub fn assert_equivalent(a: &Cover, b: &Cover) {
+    if let Equivalence::Counterexample { bits, output } = check_equivalent(a, b) {
+        panic!(
+            "covers differ at input bits {bits:0width$b}, output {output}\nA = {a:?}\nB = {b:?}",
+            width = a.n_inputs()
+        );
+    }
+}
+
+fn first_difference(a: &Cover, b: &Cover, bits: u64) -> Option<usize> {
+    let va = a.eval_bits(bits);
+    let vb = b.eval_bits(bits);
+    (0..va.len()).find(|&j| va[j] != vb[j])
+}
+
+/// Deterministic sample of assignments: corners, walking ones/zeros, and an
+/// xorshift stream.
+fn sample_assignments(n: usize) -> Vec<u64> {
+    let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut v = Vec::with_capacity(SAMPLES + 2 * n + 2);
+    v.push(0);
+    v.push(mask);
+    for i in 0..n {
+        v.push(1u64 << i); // walking one
+        v.push(mask ^ (1u64 << i)); // walking zero
+    }
+    let mut x = 0x243f6a8885a308d3u64; // deterministic seed (pi digits)
+    for _ in 0..SAMPLES {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        v.push(x & mask);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+
+    fn cover(text: &str, ni: usize, no: usize) -> Cover {
+        Cover::parse(text, ni, no).expect("parse cover")
+    }
+
+    #[test]
+    fn identical_covers_are_equivalent() {
+        let f = cover("10- 1\n0-1 1", 3, 1);
+        assert!(check_equivalent(&f, &f).is_equivalent());
+    }
+
+    #[test]
+    fn syntactically_different_equivalents() {
+        // x0 = (x0 & x1) | (x0 & !x1)
+        let a = cover("1- 1", 2, 1);
+        let b = cover("11 1\n10 1", 2, 1);
+        assert_eq!(
+            check_equivalent(&a, &b),
+            Equivalence::Equivalent { exhaustive: true }
+        );
+    }
+
+    #[test]
+    fn counterexample_is_reported() {
+        let a = cover("1- 1", 2, 1);
+        let b = cover("11 1", 2, 1);
+        match check_equivalent(&a, &b) {
+            Equivalence::Counterexample { bits, output } => {
+                assert_eq!(output, 0);
+                assert_eq!(bits, 0b01); // x0=1, x1=0 distinguishes them
+            }
+            e => panic!("expected counterexample, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_output_difference_names_the_output() {
+        let a = cover("1- 11", 2, 2);
+        let b = cover("1- 10\n1- 01", 2, 2);
+        assert!(check_equivalent(&a, &b).is_equivalent());
+        let c = cover("1- 10", 2, 2);
+        match check_equivalent(&a, &c) {
+            Equivalence::Counterexample { output, .. } => assert_eq!(output, 1),
+            e => panic!("expected counterexample, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn implements_accepts_dc_freedom() {
+        let on = cover("00 1", 2, 1);
+        let dc = cover("01 1", 2, 1);
+        let f = cover("0- 1", 2, 1); // uses the DC minterm
+        assert_eq!(check_implements(&on, &dc, &f), None);
+    }
+
+    #[test]
+    fn implements_rejects_off_minterms() {
+        let on = cover("00 1", 2, 1);
+        let dc = Cover::new(2, 1);
+        let f = cover("0- 1", 2, 1); // also covers 01 which is OFF
+        assert_eq!(check_implements(&on, &dc, &f), Some((0b10, 0)));
+    }
+
+    #[test]
+    fn implements_rejects_lost_on_minterms() {
+        let on = cover("0- 1", 2, 1);
+        let dc = Cover::new(2, 1);
+        let f = cover("00 1", 2, 1);
+        assert!(check_implements(&on, &dc, &f).is_some());
+    }
+
+    #[test]
+    fn sampled_equivalence_on_wide_functions() {
+        // 24 inputs forces the sampled path.
+        let mut a = Cover::new(24, 1);
+        let mut b = Cover::new(24, 1);
+        let mut c1 = Cube::universe(24, 1);
+        c1.set_input(3, crate::cube::Tri::One);
+        a.push(c1.clone());
+        b.push(c1.clone());
+        // b gets a redundant contained cube.
+        let mut c2 = c1.clone();
+        c2.set_input(7, crate::cube::Tri::Zero);
+        b.push(c2);
+        match check_equivalent(&a, &b) {
+            Equivalence::Equivalent { exhaustive } => assert!(!exhaustive),
+            e => panic!("expected equivalence, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn sampled_counterexample_found_by_walking_patterns() {
+        let mut a = Cover::new(24, 1);
+        let b = Cover::new(24, 1);
+        let mut c = Cube::universe(24, 1);
+        c.set_input(23, crate::cube::Tri::One);
+        a.push(c);
+        assert!(!check_equivalent(&a, &b).is_equivalent());
+    }
+}

@@ -1,0 +1,143 @@
+//! Karnaugh-map rendering for small functions.
+//!
+//! A debugging aid: render any output of a cover (2–4 variables) as the
+//! classic Gray-coded Karnaugh map. Cells show `1`, `0`, or `d` (don't
+//! care) when a DC cover is supplied.
+//!
+//! ```
+//! use logic::kmap::render_kmap;
+//! use logic::Cover;
+//!
+//! let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+//! let map = render_kmap(&xor, None, 0).unwrap();
+//! assert!(map.contains("x0\\x1"));
+//! ```
+
+use crate::cover::Cover;
+use std::fmt::Write as _;
+
+/// Gray-code sequence for `bits` variables (2 bits max per axis).
+fn gray(bits: usize) -> Vec<u64> {
+    match bits {
+        1 => vec![0, 1],
+        2 => vec![0b00, 0b01, 0b11, 0b10],
+        _ => unreachable!("axes carry 1 or 2 variables"),
+    }
+}
+
+/// Render output `j` of `on` (and optional `dc`) as a Karnaugh map.
+///
+/// Returns `None` if the function has fewer than 2 or more than 4 inputs,
+/// or `j` is out of range. Variables `x0..` (low half) label the rows and
+/// the rest the columns.
+pub fn render_kmap(on: &Cover, dc: Option<&Cover>, j: usize) -> Option<String> {
+    let n = on.n_inputs();
+    if !(2..=4).contains(&n) || j >= on.n_outputs() {
+        return None;
+    }
+    if let Some(d) = dc {
+        if d.n_inputs() != n || j >= d.n_outputs() {
+            return None;
+        }
+    }
+    let row_bits = n.div_ceil(2); // x0.. on rows
+    let col_bits = n - row_bits;
+    let rows = gray(row_bits);
+    let cols = gray(col_bits);
+
+    let mut s = String::new();
+    let row_label: String = (0..row_bits).map(|i| format!("x{i}")).collect::<Vec<_>>().join("");
+    let col_label: String = (row_bits..n).map(|i| format!("x{i}")).collect::<Vec<_>>().join("");
+    let _ = writeln!(s, "{row_label}\\{col_label}");
+    // Header row.
+    let _ = write!(s, "{:>width$} |", "", width = row_bits + 1);
+    for &c in &cols {
+        let _ = write!(s, " {:0w$b} |", c, w = col_bits.max(1));
+    }
+    let _ = writeln!(s);
+    for &r in &rows {
+        let _ = write!(s, "{:0w$b} |", r, w = row_bits);
+        for &c in &cols {
+            let bits = r | c << row_bits;
+            let on_v = on.eval_bits(bits)[j];
+            let dc_v = dc.map(|d| d.eval_bits(bits)[j]).unwrap_or(false);
+            let ch = if dc_v { 'd' } else if on_v { '1' } else { '0' };
+            let _ = write!(s, " {ch:^w$} |", w = col_bits.max(1) + 1);
+        }
+        let _ = writeln!(s);
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_map_has_checkerboard() {
+        let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+        let map = render_kmap(&xor, None, 0).unwrap();
+        // 2 data rows, each with one 1 and one 0.
+        let ones = map.matches('1').count();
+        assert!(ones >= 2, "map:\n{map}");
+        assert!(map.contains("x0\\x1"));
+    }
+
+    #[test]
+    fn four_variable_map_is_4x4() {
+        let f = Cover::parse("11-- 1", 4, 1).unwrap();
+        let map = render_kmap(&f, None, 0).unwrap();
+        let data_rows = map.lines().count() - 2; // minus the two header lines
+        assert_eq!(data_rows, 4);
+    }
+
+    #[test]
+    fn dont_cares_render_as_d() {
+        let on = Cover::parse("00 1", 2, 1).unwrap();
+        let dc = Cover::parse("11 1", 2, 1).unwrap();
+        let map = render_kmap(&on, Some(&dc), 0).unwrap();
+        assert!(map.contains('d'), "map:\n{map}");
+    }
+
+    #[test]
+    fn out_of_range_returns_none() {
+        let f = Cover::parse("10 1", 2, 1).unwrap();
+        assert!(render_kmap(&f, None, 1).is_none());
+        let wide = Cover::parse("10100 1", 5, 1).unwrap();
+        assert!(render_kmap(&wide, None, 0).is_none());
+        let narrow = Cover::parse("1 1", 1, 1).unwrap();
+        assert!(render_kmap(&narrow, None, 0).is_none());
+    }
+
+    #[test]
+    fn gray_order_adjacent_cells_differ_by_one_bit() {
+        for seq in [gray(1), gray(2)] {
+            for w in seq.windows(2) {
+                assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_values_match_eval() {
+        // Spot-check the 3-variable layout: rows carry x0x1, column x2.
+        let f = Cover::parse("101 1", 3, 1).unwrap();
+        let map = render_kmap(&f, None, 0).unwrap();
+        // Exactly one ON cell.
+        assert_eq!(map.matches('1').count() - count_header_ones(&map), 1);
+    }
+
+    fn count_header_ones(map: &str) -> usize {
+        // Header lines contain binary labels with 1s; count them so the
+        // data-cell assertion above is exact.
+        map.lines()
+            .take(2)
+            .map(|l| l.matches('1').count())
+            .sum::<usize>()
+            + map
+                .lines()
+                .skip(2)
+                .map(|l| l.split('|').next().unwrap_or("").matches('1').count())
+                .sum::<usize>()
+    }
+}

@@ -1,0 +1,52 @@
+//! Two-level logic substrate for the ambipolar-CNFET PLA reproduction.
+//!
+//! This crate is a from-scratch reimplementation of the classical two-level
+//! logic-minimization toolbox that the DAC 2008 paper leans on (ESPRESSO and
+//! the MCNC `.pla` exchange format), built on the positional-cube ("bit-pair")
+//! representation used by the original UC Berkeley tools:
+//!
+//! * [`Cube`] — a product term over `n` binary inputs with an attached
+//!   multi-output part, packed two bits per input variable,
+//! * [`Cover`] — a set of cubes implementing a multi-output Boolean function,
+//! * [`urp`] — the Unate Recursive Paradigm: tautology checking and
+//!   complementation,
+//! * [`espresso`] — the EXPAND / IRREDUNDANT / REDUCE minimization loop,
+//! * [`pla`] — reader/writer for the espresso `.pla` format so that real MCNC
+//!   benchmark files can be dropped in unchanged,
+//! * [`eval`] — fast functional evaluation and (exhaustive or sampled)
+//!   equivalence checking used to validate every transformation.
+//!
+//! # Example
+//!
+//! ```
+//! use logic::{Cover, Cube, Tri};
+//!
+//! // f(a, b) = a XOR b as a two-cube cover.
+//! let mut cover = Cover::new(2, 1);
+//! cover.push(Cube::from_tris(&[Tri::One, Tri::Zero], &[true]));
+//! cover.push(Cube::from_tris(&[Tri::Zero, Tri::One], &[true]));
+//! assert!(cover.eval_bits(0b01)[0]);
+//! assert!(!cover.eval_bits(0b11)[0]);
+//! ```
+
+pub mod bdd;
+pub mod cover;
+pub mod cube;
+pub mod espresso;
+pub mod eval;
+pub mod exact;
+pub mod kmap;
+pub mod ops;
+pub mod pla;
+pub mod tt;
+pub mod urp;
+
+pub use bdd::{bdd_equivalent, Bdd};
+pub use cover::Cover;
+pub use cube::{Cube, Tri};
+pub use espresso::{espresso, espresso_with_dc, relatively_essential, EspressoStats};
+pub use exact::exact_minimize;
+pub use ops::{disjoint_cover, intersect, minterm_count, sharp};
+pub use eval::{check_equivalent, Equivalence};
+pub use pla::{parse_pla, write_pla, ParsePlaError, Pla, PlaType};
+pub use tt::TruthTable;

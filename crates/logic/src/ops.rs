@@ -1,0 +1,264 @@
+//! Cover-level set algebra: intersection, sharp (difference) and disjoint
+//! sharp.
+//!
+//! These are the remaining classical cube-calculus operations used by
+//! synthesis flows on top of the URP primitives: `A ∩ B` distributes over
+//! cubes, `A # B` (sharp) is computed cube-wise with the non-disjoint
+//! sharp, and `A #d B` produces a disjoint cover of the difference —
+//! useful for disjoint SOP forms and probability/activity computations.
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Tri};
+
+/// Intersection of two single-output covers: every pairwise non-empty cube
+/// intersection.
+///
+/// # Panics
+///
+/// Panics if arities differ.
+pub fn intersect(a: &Cover, b: &Cover) -> Cover {
+    assert_eq!(a.n_inputs(), b.n_inputs(), "input arity mismatch");
+    assert_eq!(a.n_outputs(), b.n_outputs(), "output arity mismatch");
+    let mut out = Cover::new(a.n_inputs(), a.n_outputs());
+    for x in a.iter() {
+        for y in b.iter() {
+            let meet = x.intersect(y);
+            if !meet.is_empty() {
+                out.push(meet);
+            }
+        }
+    }
+    out.make_scc_minimal();
+    out
+}
+
+/// Sharp of two cubes (`a # b`): a cover of the points of `a` not in `b`,
+/// using the non-disjoint formulation (one cube per conflicting literal).
+/// Outputs follow `a`.
+pub fn cube_sharp(a: &Cube, b: &Cube) -> Cover {
+    let n = a.n_inputs();
+    let mut out = Cover::new(n, a.n_outputs());
+    if !a.inputs_intersect(b) {
+        out.push(a.clone());
+        return out;
+    }
+    for i in 0..n {
+        let (av, bv) = (a.input(i), b.input(i));
+        if bv == Tri::DontCare {
+            continue;
+        }
+        // Points of `a` where variable i takes the value excluded by b.
+        let flipped = match bv {
+            Tri::One => Tri::Zero,
+            Tri::Zero => Tri::One,
+            Tri::DontCare => unreachable!(),
+        };
+        if av == Tri::DontCare {
+            let mut c = a.clone();
+            c.set_input(i, flipped);
+            out.push(c);
+        } else if av == flipped {
+            // a is already entirely outside b on this variable — but then
+            // inputs would not intersect; unreachable given the guard.
+            out.push(a.clone());
+            return out;
+        }
+    }
+    out.make_scc_minimal();
+    out
+}
+
+/// Sharp of two covers (`A # B`): the points of `A` not covered by `B`.
+///
+/// # Panics
+///
+/// Panics if arities differ.
+pub fn sharp(a: &Cover, b: &Cover) -> Cover {
+    assert_eq!(a.n_inputs(), b.n_inputs(), "input arity mismatch");
+    assert_eq!(a.n_outputs(), b.n_outputs(), "output arity mismatch");
+    let mut current: Vec<Cube> = a.cubes().to_vec();
+    for bc in b.iter() {
+        let mut next = Vec::new();
+        for ac in &current {
+            for piece in cube_sharp(ac, bc).iter() {
+                next.push(piece.clone());
+            }
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    let mut out = Cover::from_cubes(a.n_inputs(), a.n_outputs(), current);
+    out.make_scc_minimal();
+    out
+}
+
+/// Disjoint sharp (`a #d b`): like [`cube_sharp`] but the produced cubes
+/// are pairwise disjoint (each fixes the previously-split variables).
+pub fn cube_disjoint_sharp(a: &Cube, b: &Cube) -> Cover {
+    let n = a.n_inputs();
+    let mut out = Cover::new(n, a.n_outputs());
+    if !a.inputs_intersect(b) {
+        out.push(a.clone());
+        return out;
+    }
+    let mut prefix = a.clone();
+    for i in 0..n {
+        let (av, bv) = (a.input(i), b.input(i));
+        if bv == Tri::DontCare || av != Tri::DontCare {
+            continue;
+        }
+        let flipped = match bv {
+            Tri::One => Tri::Zero,
+            Tri::Zero => Tri::One,
+            Tri::DontCare => unreachable!(),
+        };
+        let mut c = prefix.clone();
+        c.set_input(i, flipped);
+        out.push(c);
+        // Subsequent pieces agree with b on this variable.
+        prefix.set_input(i, bv);
+    }
+    out
+}
+
+/// A disjoint SOP cover of `a` (pairwise disjoint cubes, same function).
+pub fn disjoint_cover(a: &Cover) -> Cover {
+    let mut disjoint: Vec<Cube> = Vec::new();
+    for cube in a.iter() {
+        let mut pieces = vec![cube.clone()];
+        for d in &disjoint {
+            let mut next = Vec::new();
+            for p in pieces {
+                for q in cube_disjoint_sharp(&p, d).iter() {
+                    next.push(q.clone());
+                }
+            }
+            pieces = next;
+            if pieces.is_empty() {
+                break;
+            }
+        }
+        disjoint.extend(pieces);
+    }
+    Cover::from_cubes(a.n_inputs(), a.n_outputs(), disjoint)
+}
+
+/// Exact ON-set size of a single-output cover, via a disjoint cover
+/// (sum of 2^free over disjoint cubes). Usable as a signal-probability
+/// primitive.
+///
+/// # Panics
+///
+/// Panics if the cover is not single-output.
+pub fn minterm_count(a: &Cover) -> u64 {
+    assert_eq!(a.n_outputs(), 1, "minterm count is per output");
+    let d = disjoint_cover(a);
+    d.iter()
+        .map(|c| 1u64 << (a.n_inputs() - c.literal_count()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(text: &str, ni: usize) -> Cover {
+        Cover::parse(text, ni, 1).expect("parse cover")
+    }
+
+    fn check_pointwise(
+        op: impl Fn(bool, bool) -> bool,
+        a: &Cover,
+        b: &Cover,
+        r: &Cover,
+        n: usize,
+    ) {
+        for bits in 0..(1u64 << n) {
+            assert_eq!(
+                r.eval_bits(bits)[0],
+                op(a.eval_bits(bits)[0], b.eval_bits(bits)[0]),
+                "bits {bits:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_is_pointwise_and() {
+        let a = cover("1-- 1\n-1- 1", 3);
+        let b = cover("--1 1\n0-- 1", 3);
+        let r = intersect(&a, &b);
+        check_pointwise(|x, y| x && y, &a, &b, &r, 3);
+    }
+
+    #[test]
+    fn sharp_is_pointwise_and_not() {
+        let a = cover("1-- 1\n-1- 1", 3);
+        let b = cover("11- 1", 3);
+        let r = sharp(&a, &b);
+        check_pointwise(|x, y| x && !y, &a, &b, &r, 3);
+    }
+
+    #[test]
+    fn sharp_with_disjoint_cover_is_identity() {
+        let a = cover("11- 1", 3);
+        let b = cover("00- 1", 3);
+        let r = sharp(&a, &b);
+        check_pointwise(|x, _| x, &a, &b, &r, 3);
+    }
+
+    #[test]
+    fn sharp_with_superset_is_empty() {
+        let a = cover("11- 1", 3);
+        let b = cover("1-- 1", 3);
+        assert!(sharp(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn disjoint_sharp_pieces_are_disjoint() {
+        let a = Cube::universe(4, 1);
+        let b = Cube::parse("1100 1", 4, 1).unwrap();
+        let pieces = cube_disjoint_sharp(&a, &b);
+        for (i, x) in pieces.iter().enumerate() {
+            for y in pieces.cubes().iter().skip(i + 1) {
+                assert!(!x.intersects(y), "{x} and {y} overlap");
+            }
+        }
+        // Function check: pieces = a \ b.
+        for bits in 0..16u64 {
+            let in_pieces = pieces.eval_bits(bits)[0];
+            let want = !b.covers_bits(bits);
+            assert_eq!(in_pieces, want, "bits {bits:04b}");
+        }
+    }
+
+    #[test]
+    fn disjoint_cover_preserves_function_and_disjointness() {
+        let a = cover("1-- 1\n-1- 1\n--1 1", 3);
+        let d = disjoint_cover(&a);
+        for bits in 0..8u64 {
+            assert_eq!(d.eval_bits(bits)[0], a.eval_bits(bits)[0]);
+        }
+        for (i, x) in d.iter().enumerate() {
+            for y in d.cubes().iter().skip(i + 1) {
+                assert!(!x.intersects(y), "{x} and {y} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn minterm_count_matches_exhaustive() {
+        for text in ["1-- 1\n-1- 1\n--1 1", "10 1\n01 1", "11- 1\n-11 1\n1-1 1"] {
+            let ni = text.lines().next().unwrap().split(' ').next().unwrap().len();
+            let a = Cover::parse(text, ni, 1).unwrap();
+            let exhaustive = (0..(1u64 << ni)).filter(|&b| a.eval_bits(b)[0]).count() as u64;
+            assert_eq!(minterm_count(&a), exhaustive, "{text}");
+        }
+    }
+
+    #[test]
+    fn empty_cover_has_no_minterms() {
+        assert_eq!(minterm_count(&Cover::new(5, 1)), 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Reader/writer for the Berkeley/espresso `.pla` exchange format.
+//!
+//! Supports the directives used by the MCNC benchmark suite (`.i`, `.o`,
+//! `.p`, `.ilb`, `.ob`, `.type`, `.e`/`.end`) and the `f`, `fd`, `fr`, `fdr`
+//! logical types. This lets the original `max46`, `apla` and `t2` files (and
+//! any other MCNC PLA) be dropped into the benchmark harness unchanged.
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Tri};
+use std::error::Error;
+use std::fmt;
+
+/// The logical interpretation of the output plane of a `.pla` file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlaType {
+    /// `1` = ON; everything else unspecified (treated as OFF).
+    F,
+    /// `1` = ON, `-` = DC, `0` = no meaning (default for MCNC files).
+    #[default]
+    Fd,
+    /// `1` = ON, `0` = OFF, `-` = no meaning.
+    Fr,
+    /// `1` = ON, `0` = OFF, `-` = DC.
+    Fdr,
+}
+
+impl PlaType {
+    fn parse(s: &str) -> Option<PlaType> {
+        match s {
+            "f" => Some(PlaType::F),
+            "fd" => Some(PlaType::Fd),
+            "fr" => Some(PlaType::Fr),
+            "fdr" => Some(PlaType::Fdr),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            PlaType::F => "f",
+            PlaType::Fd => "fd",
+            PlaType::Fr => "fr",
+            PlaType::Fdr => "fdr",
+        }
+    }
+}
+
+/// An in-memory `.pla` file: ON / DC / OFF covers plus metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pla {
+    /// ON-set cover.
+    pub on: Cover,
+    /// Don't-care cover (may be empty).
+    pub dc: Cover,
+    /// Explicit OFF-set cover (only populated for `fr`/`fdr` files).
+    pub off: Cover,
+    /// Output-plane semantics.
+    pub pla_type: PlaType,
+    /// Input labels from `.ilb`, if present.
+    pub input_labels: Option<Vec<String>>,
+    /// Output labels from `.ob`, if present.
+    pub output_labels: Option<Vec<String>>,
+}
+
+impl Pla {
+    /// Wrap an ON-set cover with no don't-cares.
+    pub fn from_cover(on: Cover) -> Pla {
+        let (ni, no) = (on.n_inputs(), on.n_outputs());
+        Pla {
+            on,
+            dc: Cover::new(ni, no),
+            off: Cover::new(ni, no),
+            pla_type: PlaType::Fd,
+            input_labels: None,
+            output_labels: None,
+        }
+    }
+
+    /// Number of input variables.
+    pub fn n_inputs(&self) -> usize {
+        self.on.n_inputs()
+    }
+
+    /// Number of outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.on.n_outputs()
+    }
+}
+
+/// Error parsing a `.pla` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePlaError {
+    /// `.i`/`.o` directive missing before the first cube line.
+    MissingHeader,
+    /// A directive had a malformed argument.
+    BadDirective {
+        /// 1-based line number.
+        line: usize,
+        /// Directive text.
+        directive: String,
+    },
+    /// A cube line had the wrong length or an invalid character.
+    BadCube {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// `.p` declared a different number of cubes than were present.
+    ProductCountMismatch {
+        /// Count from the `.p` directive.
+        declared: usize,
+        /// Number of cube lines actually parsed.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParsePlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePlaError::MissingHeader => {
+                write!(f, "missing .i/.o header before first cube line")
+            }
+            ParsePlaError::BadDirective { line, directive } => {
+                write!(f, "malformed directive `{directive}` on line {line}")
+            }
+            ParsePlaError::BadCube { line } => write!(f, "malformed cube on line {line}"),
+            ParsePlaError::ProductCountMismatch { declared, found } => write!(
+                f,
+                "product count mismatch: .p declared {declared}, found {found}"
+            ),
+        }
+    }
+}
+
+impl Error for ParsePlaError {}
+
+/// Parse espresso `.pla` text.
+///
+/// # Errors
+///
+/// Returns [`ParsePlaError`] on missing headers, malformed directives or
+/// cube lines, and `.p` count mismatches.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), logic::ParsePlaError> {
+/// let pla = logic::parse_pla(
+///     ".i 2\n.o 1\n.p 2\n10 1\n01 1\n.e\n",
+/// )?;
+/// assert_eq!(pla.on.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_pla(text: &str) -> Result<Pla, ParsePlaError> {
+    let mut ni: Option<usize> = None;
+    let mut no: Option<usize> = None;
+    let mut declared_p: Option<usize> = None;
+    let mut pla_type = PlaType::default();
+    let mut input_labels = None;
+    let mut output_labels = None;
+    let mut raw_cubes: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let s = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if s.is_empty() {
+            continue;
+        }
+        if let Some(rest) = s.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            let args: Vec<&str> = parts.collect();
+            let bad = || ParsePlaError::BadDirective {
+                line,
+                directive: s.to_string(),
+            };
+            match key {
+                "i" => ni = Some(args.first().and_then(|a| a.parse().ok()).ok_or_else(bad)?),
+                "o" => no = Some(args.first().and_then(|a| a.parse().ok()).ok_or_else(bad)?),
+                "p" => {
+                    declared_p =
+                        Some(args.first().and_then(|a| a.parse().ok()).ok_or_else(bad)?)
+                }
+                "type" => {
+                    pla_type = args.first().and_then(|a| PlaType::parse(a)).ok_or_else(bad)?
+                }
+                "ilb" => input_labels = Some(args.iter().map(|s| s.to_string()).collect()),
+                "ob" => output_labels = Some(args.iter().map(|s| s.to_string()).collect()),
+                "e" | "end" => break,
+                // Directives we accept and ignore (common in MCNC files).
+                "phase" | "pair" | "symbolic" | "kiss" | "label" => {}
+                _ => return Err(bad()),
+            }
+        } else {
+            raw_cubes.push((line, s.to_string()));
+        }
+    }
+
+    let (ni, no) = match (ni, no) {
+        (Some(i), Some(o)) => (i, o),
+        _ => return Err(ParsePlaError::MissingHeader),
+    };
+    if let Some(p) = declared_p {
+        if p != raw_cubes.len() {
+            return Err(ParsePlaError::ProductCountMismatch {
+                declared: p,
+                found: raw_cubes.len(),
+            });
+        }
+    }
+
+    let mut on = Cover::new(ni, no);
+    let mut dc = Cover::new(ni, no);
+    let mut off = Cover::new(ni, no);
+    for (line, s) in raw_cubes {
+        let chars: Vec<char> = s.chars().filter(|c| !c.is_whitespace()).collect();
+        if chars.len() != ni + no {
+            return Err(ParsePlaError::BadCube { line });
+        }
+        let mut tris = Vec::with_capacity(ni);
+        for &c in &chars[..ni] {
+            tris.push(Tri::from_char(c).ok_or(ParsePlaError::BadCube { line })?);
+        }
+        let mut on_outs = vec![false; no];
+        let mut dc_outs = vec![false; no];
+        let mut off_outs = vec![false; no];
+        for (j, &c) in chars[ni..].iter().enumerate() {
+            match (c, pla_type) {
+                ('1' | '4', _) => on_outs[j] = true,
+                ('0', PlaType::Fr | PlaType::Fdr) => off_outs[j] = true,
+                ('0' | '~', _) => {}
+                ('-' | '2', PlaType::Fd | PlaType::Fdr) => dc_outs[j] = true,
+                ('-' | '2' | '3', _) => {}
+                _ => return Err(ParsePlaError::BadCube { line }),
+            }
+        }
+        if on_outs.iter().any(|&b| b) {
+            on.push(Cube::from_tris(&tris, &on_outs));
+        }
+        if dc_outs.iter().any(|&b| b) {
+            dc.push(Cube::from_tris(&tris, &dc_outs));
+        }
+        if off_outs.iter().any(|&b| b) {
+            off.push(Cube::from_tris(&tris, &off_outs));
+        }
+    }
+
+    Ok(Pla {
+        on,
+        dc,
+        off,
+        pla_type,
+        input_labels,
+        output_labels,
+    })
+}
+
+/// Serialize a [`Pla`] back to espresso `.pla` text.
+///
+/// ON cubes are written with `1` outputs and DC cubes with `-` outputs (type
+/// `fd`); explicit OFF cubes are written with `0` outputs when the type
+/// includes `r`.
+pub fn write_pla(pla: &Pla) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(".i {}\n.o {}\n", pla.n_inputs(), pla.n_outputs()));
+    if let Some(labels) = &pla.input_labels {
+        s.push_str(&format!(".ilb {}\n", labels.join(" ")));
+    }
+    if let Some(labels) = &pla.output_labels {
+        s.push_str(&format!(".ob {}\n", labels.join(" ")));
+    }
+    s.push_str(&format!(".type {}\n", pla.pla_type.as_str()));
+    let total = pla.on.len()
+        + pla.dc.len()
+        + if matches!(pla.pla_type, PlaType::Fr | PlaType::Fdr) {
+            pla.off.len()
+        } else {
+            0
+        };
+    s.push_str(&format!(".p {total}\n"));
+    let emit = |s: &mut String, cover: &Cover, mark: char| {
+        for c in cover.iter() {
+            for i in 0..cover.n_inputs() {
+                s.push(c.input(i).to_char());
+            }
+            s.push(' ');
+            for j in 0..cover.n_outputs() {
+                s.push(if c.has_output(j) { mark } else { '0' });
+            }
+            s.push('\n');
+        }
+    };
+    emit(&mut s, &pla.on, '1');
+    if matches!(pla.pla_type, PlaType::Fd | PlaType::Fdr) {
+        emit(&mut s, &pla.dc, '-');
+    }
+    if matches!(pla.pla_type, PlaType::Fr | PlaType::Fdr) {
+        emit(&mut s, &pla.off, '0');
+    }
+    s.push_str(".e\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_file() {
+        let pla = parse_pla(".i 2\n.o 1\n10 1\n01 1\n.e\n").unwrap();
+        assert_eq!(pla.n_inputs(), 2);
+        assert_eq!(pla.n_outputs(), 1);
+        assert_eq!(pla.on.len(), 2);
+        assert!(pla.dc.is_empty());
+    }
+
+    #[test]
+    fn parse_with_labels_and_comments() {
+        let text = "# a comment\n.i 3\n.o 2\n.ilb a b c\n.ob f g\n.p 1\n1-0 11 # trailing\n.e\n";
+        let pla = parse_pla(text).unwrap();
+        assert_eq!(pla.input_labels.as_deref().unwrap(), ["a", "b", "c"]);
+        assert_eq!(pla.output_labels.as_deref().unwrap(), ["f", "g"]);
+        assert_eq!(pla.on.len(), 1);
+        assert_eq!(pla.on.cubes()[0].output_count(), 2);
+    }
+
+    #[test]
+    fn fd_type_splits_on_and_dc() {
+        let pla = parse_pla(".i 2\n.o 2\n.type fd\n11 1-\n00 -1\n").unwrap();
+        assert_eq!(pla.on.len(), 2);
+        assert_eq!(pla.dc.len(), 2);
+        assert!(pla.on.cubes()[0].has_output(0));
+        assert!(!pla.on.cubes()[0].has_output(1));
+        assert!(pla.dc.cubes()[0].has_output(1));
+    }
+
+    #[test]
+    fn fr_type_collects_off() {
+        let pla = parse_pla(".i 2\n.o 1\n.type fr\n11 1\n00 0\n").unwrap();
+        assert_eq!(pla.on.len(), 1);
+        assert_eq!(pla.off.len(), 1);
+        assert!(pla.dc.is_empty());
+    }
+
+    #[test]
+    fn product_count_mismatch_detected() {
+        let err = parse_pla(".i 2\n.o 1\n.p 3\n11 1\n.e\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParsePlaError::ProductCountMismatch {
+                declared: 3,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn missing_header_detected() {
+        assert_eq!(parse_pla("11 1\n").unwrap_err(), ParsePlaError::MissingHeader);
+    }
+
+    #[test]
+    fn bad_cube_reports_line() {
+        let err = parse_pla(".i 2\n.o 1\n1X 1\n").unwrap_err();
+        assert_eq!(err, ParsePlaError::BadCube { line: 3 });
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let text = ".i 3\n.o 2\n.type fd\n1-0 10\n011 01\n--- -1\n.e\n";
+        let pla = parse_pla(text).unwrap();
+        let back = parse_pla(&write_pla(&pla)).unwrap();
+        assert_eq!(back.on, pla.on);
+        assert_eq!(back.dc, pla.dc);
+        for bits in 0..8u64 {
+            assert_eq!(back.on.eval_bits(bits), pla.on.eval_bits(bits));
+        }
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = parse_pla(".i 2\n.o 1\n.bogus x\n11 1\n").unwrap_err();
+        assert!(matches!(err, ParsePlaError::BadDirective { line: 3, .. }));
+    }
+
+    #[test]
+    fn ignored_directives_pass() {
+        let pla = parse_pla(".i 2\n.o 1\n.phase 1\n11 1\n.e\n").unwrap();
+        assert_eq!(pla.on.len(), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Dense truth tables for small functions.
+//!
+//! A [`TruthTable`] stores one bit per minterm per output — the natural
+//! exchange format between the cube-based tools and exhaustive algorithms
+//! (exact minimization, equivalence checking, spectral analysis). Limited
+//! to 20 inputs (1 Mi minterms), which covers every function in this
+//! repository.
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Tri};
+use std::fmt;
+
+/// Maximum supported input count (2^20 minterms).
+pub const MAX_INPUTS: usize = 20;
+
+/// A dense multi-output truth table.
+///
+/// # Example
+///
+/// ```
+/// use logic::{Cover, TruthTable};
+///
+/// let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+/// let tt = TruthTable::from_cover(&xor);
+/// assert_eq!(tt.popcount(0), 2);
+/// assert!(tt.get(0b01, 0));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    n_inputs: usize,
+    n_outputs: usize,
+    /// One `Vec<u64>` bitset per output, bit `m` = value on minterm `m`.
+    bits: Vec<Vec<u64>>,
+}
+
+impl TruthTable {
+    /// The constant-0 table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_inputs > MAX_INPUTS` or `n_outputs == 0`.
+    pub fn zero(n_inputs: usize, n_outputs: usize) -> TruthTable {
+        assert!(n_inputs <= MAX_INPUTS, "truth tables limited to 20 inputs");
+        assert!(n_outputs > 0, "need at least one output");
+        let words = (1usize << n_inputs).div_ceil(64);
+        TruthTable {
+            n_inputs,
+            n_outputs,
+            bits: vec![vec![0; words]; n_outputs],
+        }
+    }
+
+    /// Build from a cover by exhaustive evaluation.
+    pub fn from_cover(cover: &Cover) -> TruthTable {
+        let mut tt = TruthTable::zero(cover.n_inputs(), cover.n_outputs());
+        for cube in cover.iter() {
+            tt.or_cube(cube);
+        }
+        tt
+    }
+
+    /// OR one cube into the table (enumerates the cube's minterms without
+    /// touching the rest of the space).
+    fn or_cube(&mut self, cube: &Cube) {
+        // Free positions of the cube.
+        let free: Vec<usize> = (0..self.n_inputs)
+            .filter(|&i| cube.input(i) == Tri::DontCare)
+            .collect();
+        let mut base = 0u64;
+        for i in 0..self.n_inputs {
+            if cube.input(i) == Tri::One {
+                base |= 1 << i;
+            }
+        }
+        for combo in 0..(1u64 << free.len()) {
+            let mut m = base;
+            for (k, &pos) in free.iter().enumerate() {
+                if combo >> k & 1 == 1 {
+                    m |= 1 << pos;
+                }
+            }
+            for j in cube.outputs() {
+                self.set(m, j, true);
+            }
+        }
+    }
+
+    /// Number of inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Number of minterms (2^inputs).
+    pub fn size(&self) -> u64 {
+        1u64 << self.n_inputs
+    }
+
+    /// Value of output `j` on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` or `j` is out of range.
+    pub fn get(&self, m: u64, j: usize) -> bool {
+        assert!(m < self.size() && j < self.n_outputs, "index out of range");
+        self.bits[j][(m / 64) as usize] >> (m % 64) & 1 == 1
+    }
+
+    /// Set output `j` on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` or `j` is out of range.
+    pub fn set(&mut self, m: u64, j: usize, value: bool) {
+        assert!(m < self.size() && j < self.n_outputs, "index out of range");
+        let word = &mut self.bits[j][(m / 64) as usize];
+        if value {
+            *word |= 1 << (m % 64);
+        } else {
+            *word &= !(1 << (m % 64));
+        }
+    }
+
+    /// Number of ON-minterms of output `j`.
+    pub fn popcount(&self, j: usize) -> u64 {
+        self.bits[j].iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Iterator over the ON-minterms of output `j`.
+    pub fn on_minterms(&self, j: usize) -> impl Iterator<Item = u64> + '_ {
+        let size = self.size();
+        (0..size).filter(move |&m| self.get(m, j))
+    }
+
+    /// The canonical minterm cover (one cube per ON-minterm).
+    pub fn to_minterm_cover(&self) -> Cover {
+        let mut cover = Cover::new(self.n_inputs, self.n_outputs);
+        for m in 0..self.size() {
+            let outs: Vec<bool> = (0..self.n_outputs).map(|j| self.get(m, j)).collect();
+            if outs.iter().any(|&b| b) {
+                let mut cube = Cube::minterm(m, self.n_inputs, self.n_outputs);
+                for (j, &on) in outs.iter().enumerate() {
+                    if !on {
+                        cube.clear_output(j);
+                    }
+                }
+                cover.push(cube);
+            }
+        }
+        cover
+    }
+
+    /// Pointwise complement.
+    pub fn complement(&self) -> TruthTable {
+        let mut out = self.clone();
+        let size = self.size();
+        for j in 0..self.n_outputs {
+            for (w, word) in out.bits[j].iter_mut().enumerate() {
+                *word = !*word;
+                // Mask the tail beyond 2^n.
+                let first = (w * 64) as u64;
+                if first + 64 > size {
+                    *word &= (1u64 << (size - first)) - 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// True if the two tables are the same function.
+    pub fn equivalent(&self, other: &TruthTable) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TruthTable({}i/{}o, on-counts: {:?})",
+            self.n_inputs,
+            self.n_outputs,
+            (0..self.n_outputs).map(|j| self.popcount(j)).collect::<Vec<_>>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(text: &str, ni: usize, no: usize) -> Cover {
+        Cover::parse(text, ni, no).expect("parse cover")
+    }
+
+    #[test]
+    fn from_cover_matches_eval() {
+        let f = cover("1-0 10\n011 01\n--1 11", 3, 2);
+        let tt = TruthTable::from_cover(&f);
+        for m in 0..8u64 {
+            let v = f.eval_bits(m);
+            assert_eq!(tt.get(m, 0), v[0], "m={m}");
+            assert_eq!(tt.get(m, 1), v[1], "m={m}");
+        }
+    }
+
+    #[test]
+    fn minterm_cover_roundtrip() {
+        let f = cover("10 1\n01 1", 2, 1);
+        let tt = TruthTable::from_cover(&f);
+        let back = tt.to_minterm_cover();
+        assert_eq!(back.len(), 2);
+        for m in 0..4u64 {
+            assert_eq!(back.eval_bits(m), f.eval_bits(m));
+        }
+    }
+
+    #[test]
+    fn complement_flips_everything() {
+        let f = cover("1- 1", 2, 1);
+        let tt = TruthTable::from_cover(&f);
+        let c = tt.complement();
+        for m in 0..4u64 {
+            assert_eq!(c.get(m, 0), !tt.get(m, 0));
+        }
+        assert_eq!(c.popcount(0), 2);
+        assert!(tt.complement().complement().equivalent(&tt));
+    }
+
+    #[test]
+    fn popcount_and_iteration() {
+        let f = cover("11 1\n00 1", 2, 1);
+        let tt = TruthTable::from_cover(&f);
+        assert_eq!(tt.popcount(0), 2);
+        let on: Vec<u64> = tt.on_minterms(0).collect();
+        assert_eq!(on, vec![0b00, 0b11]);
+    }
+
+    #[test]
+    fn seven_inputs_cross_word_boundary() {
+        let f = cover("1------ 1", 7, 1);
+        let tt = TruthTable::from_cover(&f);
+        assert_eq!(tt.popcount(0), 64);
+        assert!(tt.get(1, 0));
+        assert!(!tt.get(0, 0));
+        assert!(tt.get(127, 0));
+    }
+
+    #[test]
+    fn zero_table_is_empty() {
+        let tt = TruthTable::zero(4, 2);
+        assert_eq!(tt.popcount(0) + tt.popcount(1), 0);
+        assert!(tt.to_minterm_cover().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 20 inputs")]
+    fn too_many_inputs_rejected() {
+        let _ = TruthTable::zero(21, 1);
+    }
+}

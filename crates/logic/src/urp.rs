@@ -1,0 +1,296 @@
+//! The Unate Recursive Paradigm (URP): tautology checking and
+//! complementation of single-output covers.
+//!
+//! These are the two recursive primitives underneath ESPRESSO (Brayton et
+//! al., *Logic Minimization Algorithms for VLSI Synthesis*): both recurse on
+//! the Shannon expansion around the "most binate" variable and exploit unate
+//! covers in the base cases.
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Tri};
+
+/// How a variable appears across a cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct VarUse {
+    pos: usize,
+    neg: usize,
+}
+
+impl VarUse {
+    fn is_binate(self) -> bool {
+        self.pos > 0 && self.neg > 0
+    }
+}
+
+fn var_usage(cover: &Cover) -> Vec<VarUse> {
+    let mut use_ = vec![VarUse { pos: 0, neg: 0 }; cover.n_inputs()];
+    for c in cover.iter() {
+        for (i, u) in use_.iter_mut().enumerate() {
+            match c.input(i) {
+                Tri::One => u.pos += 1,
+                Tri::Zero => u.neg += 1,
+                Tri::DontCare => {}
+            }
+        }
+    }
+    use_
+}
+
+/// Pick the most binate variable (largest `min(pos, neg)`, ties broken by
+/// total literal count). Returns `None` if the cover is unate in every
+/// variable.
+fn most_binate_var(cover: &Cover) -> Option<usize> {
+    let usage = var_usage(cover);
+    usage
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.is_binate())
+        .max_by_key(|(_, u)| (u.pos.min(u.neg), u.pos + u.neg))
+        .map(|(i, _)| i)
+}
+
+/// Shannon cofactor of a single-output cover with respect to literal
+/// `x_i = value`.
+fn shannon_cofactor(cover: &Cover, i: usize, value: bool) -> Cover {
+    let mut p = Cube::universe(cover.n_inputs(), 1);
+    p.set_input(i, if value { Tri::One } else { Tri::Zero });
+    cover.cofactor(&p)
+}
+
+/// True if the single-output cover covers the whole input space.
+///
+/// This is the classic URP tautology check: unate leaves answer immediately
+/// (a unate cover is a tautology iff it contains the full cube), binate nodes
+/// split on the most binate variable.
+///
+/// # Panics
+///
+/// Panics if the cover is not single-output.
+pub fn tautology(cover: &Cover) -> bool {
+    assert_eq!(cover.n_outputs(), 1, "tautology is defined per output");
+    tautology_rec(cover)
+}
+
+fn tautology_rec(cover: &Cover) -> bool {
+    // Quick accept: any all-don't-care cube covers everything.
+    if cover.iter().any(|c| c.input_is_full()) {
+        return true;
+    }
+    if cover.is_empty() {
+        return false;
+    }
+    // Quick reject: a variable appearing in only one phase and in *every*
+    // cube means the opposite half-space is uncovered.
+    let usage = var_usage(cover);
+    let n = cover.len();
+    for u in &usage {
+        if (u.pos == n && u.neg == 0) || (u.neg == n && u.pos == 0) {
+            return false;
+        }
+    }
+    match most_binate_var(cover) {
+        None => {
+            // Unate cover without a full cube: never a tautology.
+            false
+        }
+        Some(i) => {
+            tautology_rec(&shannon_cofactor(cover, i, true))
+                && tautology_rec(&shannon_cofactor(cover, i, false))
+        }
+    }
+}
+
+/// Complement of a single-output cover via URP.
+///
+/// Returns a cover `R` with `R(x) = !F(x)` for all assignments `x`. The
+/// result is SCC-minimal but not necessarily minimal in the ESPRESSO sense.
+///
+/// # Panics
+///
+/// Panics if the cover is not single-output.
+pub fn complement(cover: &Cover) -> Cover {
+    assert_eq!(cover.n_outputs(), 1, "complement is defined per output");
+    let mut r = complement_rec(cover);
+    r.make_scc_minimal();
+    r
+}
+
+fn complement_rec(cover: &Cover) -> Cover {
+    let n = cover.n_inputs();
+    if cover.iter().any(|c| c.input_is_full()) {
+        return Cover::new(n, 1);
+    }
+    if cover.is_empty() {
+        return Cover::from_cubes(n, 1, vec![Cube::universe(n, 1)]);
+    }
+    if cover.len() == 1 {
+        return complement_cube(&cover.cubes()[0]);
+    }
+    match most_binate_var(cover) {
+        Some(i) => merge_complement(cover, i),
+        None => {
+            // Unate cover: still split, on the most frequent variable, which
+            // guarantees progress (some cube loses a literal each level).
+            let usage = var_usage(cover);
+            let (i, _) = usage
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, u)| u.pos + u.neg)
+                .expect("nonempty cover has variables");
+            merge_complement(cover, i)
+        }
+    }
+}
+
+/// `R = x̄·comp(F_x̄) + x·comp(F_x)`, with single-literal lifting.
+fn merge_complement(cover: &Cover, i: usize) -> Cover {
+    let n = cover.n_inputs();
+    let comp_pos = complement_rec(&shannon_cofactor(cover, i, true));
+    let comp_neg = complement_rec(&shannon_cofactor(cover, i, false));
+    let mut cubes = Vec::with_capacity(comp_pos.len() + comp_neg.len());
+    for (value, part) in [(true, comp_pos), (false, comp_neg)] {
+        for c in part.iter() {
+            let mut c = c.clone();
+            c.set_input(i, if value { Tri::One } else { Tri::Zero });
+            cubes.push(c);
+        }
+    }
+    let mut r = Cover::from_cubes(n, 1, cubes);
+    r.make_scc_minimal();
+    r
+}
+
+/// De Morgan complement of a single cube: one cube per literal.
+fn complement_cube(cube: &Cube) -> Cover {
+    let n = cube.n_inputs();
+    let mut out = Cover::new(n, 1);
+    for i in 0..n {
+        match cube.input(i) {
+            Tri::DontCare => {}
+            t => {
+                let mut c = Cube::universe(n, 1);
+                c.set_input(i, if t == Tri::One { Tri::Zero } else { Tri::One });
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(text: &str, ni: usize) -> Cover {
+        Cover::parse(text, ni, 1).expect("parse cover")
+    }
+
+    #[test]
+    fn full_cube_is_tautology() {
+        assert!(tautology(&cover("--- 1", 3)));
+    }
+
+    #[test]
+    fn empty_cover_is_not_tautology() {
+        assert!(!tautology(&Cover::new(3, 1)));
+    }
+
+    #[test]
+    fn x_or_notx_is_tautology() {
+        assert!(tautology(&cover("1- 1\n0- 1", 2)));
+    }
+
+    #[test]
+    fn xor_cover_is_not_tautology() {
+        assert!(!tautology(&cover("10 1\n01 1", 2)));
+    }
+
+    #[test]
+    fn all_four_minterms_are_tautology() {
+        assert!(tautology(&cover("00 1\n01 1\n10 1\n11 1", 2)));
+    }
+
+    #[test]
+    fn three_minterms_are_not() {
+        assert!(!tautology(&cover("00 1\n01 1\n10 1", 2)));
+    }
+
+    #[test]
+    fn tautology_matches_exhaustive_eval() {
+        let samples = [
+            "1-- 1\n-1- 1\n--1 1\n000 1",
+            "1-- 1\n-1- 1\n--1 1",
+            "11- 1\n0-- 1\n-0- 1",
+            "1-1 1\n-11 1\n00- 1\n-00 1",
+        ];
+        for text in samples {
+            let f = cover(text, 3);
+            let exhaustive = (0..8u64).all(|b| f.eval_bits(b)[0]);
+            assert_eq!(tautology(&f), exhaustive, "cover:\n{f:?}");
+        }
+    }
+
+    #[test]
+    fn complement_of_empty_is_universe() {
+        let r = complement(&Cover::new(3, 1));
+        assert_eq!(r.len(), 1);
+        assert!(r.cubes()[0].input_is_full());
+    }
+
+    #[test]
+    fn complement_of_universe_is_empty() {
+        assert!(complement(&cover("-- 1", 2)).is_empty());
+    }
+
+    #[test]
+    fn complement_single_cube() {
+        let r = complement(&cover("10 1", 2));
+        for bits in 0..4u64 {
+            let want = bits != 0b01; // cube 10 covers exactly x0=1? bit0=1,bit1=0
+            assert_eq!(r.eval_bits(bits)[0], want, "bits={bits:02b}");
+        }
+    }
+
+    #[test]
+    fn complement_is_pointwise_negation() {
+        let samples = [
+            "10- 1\n0-1 1",
+            "1-- 1\n-1- 1\n--1 1",
+            "101 1\n010 1\n110 1",
+            "00- 1\n-11 1",
+        ];
+        for text in samples {
+            let f = cover(text, 3);
+            let r = complement(&f);
+            for bits in 0..8u64 {
+                assert_eq!(
+                    r.eval_bits(bits)[0],
+                    !f.eval_bits(bits)[0],
+                    "bits={bits:03b} cover:\n{f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complement_wide_cover() {
+        // 10 variables, complement must stay correct across recursion depth.
+        let f = Cover::parse("1--------- 1\n-1-------- 1\n--1------- 1", 10, 1).unwrap();
+        let r = complement(&f);
+        for bits in [0u64, 1, 2, 4, 7, 0b1111111111, 0b1000000000, 0b0000000111] {
+            assert_eq!(r.eval_bits(bits)[0], !f.eval_bits(bits)[0]);
+        }
+        // f is x0+x1+x2, complement is x0'x1'x2' — a single cube.
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.literal_count(), 3);
+    }
+
+    #[test]
+    fn double_complement_preserves_function() {
+        let f = cover("11- 1\n-01 1\n0-0 1", 3);
+        let rr = complement(&complement(&f));
+        for bits in 0..8u64 {
+            assert_eq!(rr.eval_bits(bits)[0], f.eval_bits(bits)[0]);
+        }
+    }
+}

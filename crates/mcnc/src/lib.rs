@@ -1,0 +1,464 @@
+//! MCNC-style benchmark functions and workload generators.
+//!
+//! Table 1 of the DAC 2008 paper prices three functions of the MCNC
+//! two-level benchmark suite (Yang, MCNC 1991): `max46`, `apla` and `t2`.
+//! The table depends on the benchmarks **only through the dimensions of
+//! their ESPRESSO-minimized covers**:
+//!
+//! | name   | inputs | outputs | products |
+//! |--------|--------|---------|----------|
+//! | max46  | 9      | 1       | 46       |
+//! | apla   | 10     | 12      | 25       |
+//! | t2     | 17     | 16      | 52       |
+//!
+//! The original `.pla` files are not redistributable in this repository, so
+//! [`max46`], [`apla`] and [`t2`] return **deterministic synthetic stand-ins
+//! with exactly those dimensions**, constructed by [`disjoint_code_cover`]
+//! to be *prime and irredundant by construction* — a fixed point of
+//! ESPRESSO, so minimization provably keeps the product counts above (the
+//! test-suite re-verifies this). If you have the real MCNC files, load them
+//! with [`logic::parse_pla`] and the whole toolchain accepts them unchanged.
+//!
+//! The crate also provides seeded random-PLA workload generators
+//! ([`RandomPla`]) and a parameter [`sweep_family`] used by the ablation
+//! benches.
+
+use logic::{Cover, Cube, Tri};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named benchmark function: ON-set plus optional don't-care set.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (MCNC name for the stand-ins).
+    pub name: &'static str,
+    /// What the function is / what it stands in for.
+    pub description: &'static str,
+    /// ON-set cover.
+    pub on: Cover,
+    /// Don't-care cover (empty for all stand-ins).
+    pub dc: Cover,
+}
+
+impl Benchmark {
+    /// `(inputs, outputs, products)` of the ON-set.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.on.n_inputs(), self.on.n_outputs(), self.on.len())
+    }
+}
+
+/// Build a prime, irredundant cover with exact dimensions
+/// `(n_inputs, n_outputs, products)`.
+///
+/// Construction: the first `k` inputs of every cube carry a distinct
+/// **even-parity codeword**, so any two cubes conflict in at least two
+/// variables (Hamming distance of an even-weight code is ≥ 2). Consequences:
+///
+/// * cubes are pairwise disjoint → every cube covers minterms nothing else
+///   covers → the cover is **irredundant** per output;
+/// * raising any literal keeps the cube disjoint from all others (distance
+///   drops by at most one), so every added minterm is OFF → every cube is
+///   **prime**;
+/// * the same argument blocks output-part raising, so the cover is a fixed
+///   point of the ESPRESSO EXPAND/IRREDUNDANT/REDUCE loop.
+///
+/// Remaining inputs get pseudo-random extra literals (seeded, deterministic)
+/// for realistic literal densities, and outputs are assigned round-robin
+/// plus pseudo-random extras so every output is driven.
+///
+/// # Panics
+///
+/// Panics if `products == 0`, `n_outputs == 0`, or `n_inputs` is too small
+/// to host `products` distinct even-parity codewords
+/// (`2^(n_inputs-1) >= products` is required, and the code needs at most
+/// `n_inputs` bits).
+pub fn disjoint_code_cover(
+    n_inputs: usize,
+    n_outputs: usize,
+    products: usize,
+    seed: u64,
+) -> Cover {
+    assert!(products > 0, "need at least one product term");
+    assert!(n_outputs > 0, "need at least one output");
+    // Smallest k with 2^(k-1) >= products.
+    let mut k = 1;
+    while (1usize << (k - 1)) < products {
+        k += 1;
+    }
+    assert!(
+        k <= n_inputs,
+        "need {k} inputs to host {products} distance-2 codewords, have {n_inputs}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cubes = Vec::with_capacity(products);
+    let mut emitted = 0usize;
+    let mut word: u64 = 0;
+    while emitted < products {
+        // Even-parity filter over k bits.
+        if (word.count_ones() & 1) == 0 {
+            let mut tris = vec![Tri::DontCare; n_inputs];
+            for (b, t) in tris.iter_mut().enumerate().take(k) {
+                *t = if word >> b & 1 == 1 { Tri::One } else { Tri::Zero };
+            }
+            // Sprinkle extra literals on the free inputs (never all of them,
+            // to keep cube sizes varied).
+            for t in tris.iter_mut().skip(k) {
+                match rng.gen_range(0..3u8) {
+                    0 => *t = Tri::Zero,
+                    1 => *t = Tri::One,
+                    _ => {} // stays don't-care
+                }
+            }
+            let mut outs = vec![false; n_outputs];
+            outs[emitted % n_outputs] = true;
+            // Extra outputs model PLA product-term sharing.
+            for (j, o) in outs.iter_mut().enumerate() {
+                if j != emitted % n_outputs && rng.gen_bool(0.25) {
+                    *o = true;
+                }
+            }
+            cubes.push(Cube::from_tris(&tris, &outs));
+            emitted += 1;
+        }
+        word += 1;
+    }
+    Cover::from_cubes(n_inputs, n_outputs, cubes)
+}
+
+/// Stand-in for MCNC `max46`: 9 inputs, 1 output, 46 products.
+///
+/// The real `max46` is a single-output arithmetic-flavoured function whose
+/// minimized cover has 46 product terms; only those dimensions enter
+/// Table 1.
+pub fn max46() -> Benchmark {
+    let on = disjoint_code_cover(9, 1, 46, 0x6d61_7834);
+    debug_assert_eq!((on.n_inputs(), on.n_outputs(), on.len()), (9, 1, 46));
+    Benchmark {
+        name: "max46",
+        description: "synthetic stand-in for MCNC max46 (9 in, 1 out, 46 products)",
+        on,
+        dc: Cover::new(9, 1),
+    }
+}
+
+/// Stand-in for MCNC `apla`: 10 inputs, 12 outputs, 25 products.
+pub fn apla() -> Benchmark {
+    let on = disjoint_code_cover(10, 12, 25, 0x6170_6c61);
+    debug_assert_eq!((on.n_inputs(), on.n_outputs(), on.len()), (10, 12, 25));
+    Benchmark {
+        name: "apla",
+        description: "synthetic stand-in for MCNC apla (10 in, 12 out, 25 products)",
+        on,
+        dc: Cover::new(10, 12),
+    }
+}
+
+/// Stand-in for MCNC `t2`: 17 inputs, 16 outputs, 52 products.
+pub fn t2() -> Benchmark {
+    let on = disjoint_code_cover(17, 16, 52, 0x7432);
+    debug_assert_eq!((on.n_inputs(), on.n_outputs(), on.len()), (17, 16, 52));
+    Benchmark {
+        name: "t2",
+        description: "synthetic stand-in for MCNC t2 (17 in, 16 out, 52 products)",
+        on,
+        dc: Cover::new(17, 16),
+    }
+}
+
+/// The three Table 1 benchmarks in paper order.
+pub fn table1_benchmarks() -> Vec<Benchmark> {
+    vec![max46(), apla(), t2()]
+}
+
+/// Small classical functions for examples and unit-level experiments.
+pub fn classics() -> Vec<Benchmark> {
+    let xor2 = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+    let full_adder = Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover");
+    let dec2 = Cover::parse("00 1000\n01 0100\n10 0010\n11 0001", 2, 4).expect("valid cover");
+    vec![
+        Benchmark {
+            name: "xor2",
+            description: "2-input EXOR (the paper's Section 3 example)",
+            on: xor2,
+            dc: Cover::new(2, 1),
+        },
+        Benchmark {
+            name: "full_adder",
+            description: "1-bit full adder (sum, carry)",
+            on: full_adder,
+            dc: Cover::new(3, 2),
+        },
+        Benchmark {
+            name: "dec2to4",
+            description: "2-to-4 line decoder",
+            on: dec2,
+            dc: Cover::new(2, 4),
+        },
+    ]
+}
+
+/// Additional MCNC-suite stand-ins (not used by Table 1, but handy for
+/// wider sweeps). Same construction and caveats as the Table 1 stand-ins;
+/// dimensions follow the published minimized covers.
+pub fn extended() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "con1",
+            description: "synthetic stand-in for MCNC con1 (7 in, 2 out, 9 products)",
+            on: disjoint_code_cover(7, 2, 9, 0x636f_6e31),
+            dc: Cover::new(7, 2),
+        },
+        Benchmark {
+            name: "misex1",
+            description: "synthetic stand-in for MCNC misex1 (8 in, 7 out, 12 products)",
+            on: disjoint_code_cover(8, 7, 12, 0x6d69_7365),
+            dc: Cover::new(8, 7),
+        },
+        Benchmark {
+            name: "b12",
+            description: "synthetic stand-in for MCNC b12 (15 in, 9 out, 43 products)",
+            on: disjoint_code_cover(15, 9, 43, 0xb12_5eed),
+            dc: Cover::new(15, 9),
+        },
+    ]
+}
+
+/// Every benchmark known to the suite (Table 1 stand-ins + classics +
+/// extended stand-ins).
+pub fn registry() -> Vec<Benchmark> {
+    let mut v = table1_benchmarks();
+    v.extend(classics());
+    v.extend(extended());
+    v
+}
+
+/// Seeded random-PLA workload generator.
+///
+/// Generates covers with controlled dimensions and literal density for
+/// performance benches and Monte-Carlo experiments. Unlike
+/// [`disjoint_code_cover`], the result is *not* guaranteed prime or
+/// irredundant — that is the point: it exercises the minimizer.
+///
+/// # Example
+///
+/// ```
+/// use mcnc::RandomPla;
+///
+/// let cover = RandomPla::new(8, 4, 30).seed(7).literal_density(0.5).build();
+/// assert_eq!(cover.n_inputs(), 8);
+/// assert_eq!(cover.len(), 30);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPla {
+    n_inputs: usize,
+    n_outputs: usize,
+    products: usize,
+    seed: u64,
+    literal_density: f64,
+}
+
+impl RandomPla {
+    /// A generator for covers of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(n_inputs: usize, n_outputs: usize, products: usize) -> RandomPla {
+        assert!(n_inputs > 0 && n_outputs > 0 && products > 0);
+        RandomPla {
+            n_inputs,
+            n_outputs,
+            products,
+            seed: 0,
+            literal_density: 0.6,
+        }
+    }
+
+    /// Set the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> RandomPla {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the probability that an input position carries a literal
+    /// (default 0.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < density <= 1.0`.
+    pub fn literal_density(mut self, density: f64) -> RandomPla {
+        assert!(density > 0.0 && density <= 1.0, "density must be in (0,1]");
+        self.literal_density = density;
+        self
+    }
+
+    /// Generate the cover.
+    pub fn build(self) -> Cover {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut cubes = Vec::with_capacity(self.products);
+        for row in 0..self.products {
+            let mut tris = vec![Tri::DontCare; self.n_inputs];
+            let mut any = false;
+            for t in tris.iter_mut() {
+                if rng.gen_bool(self.literal_density) {
+                    *t = if rng.gen_bool(0.5) { Tri::One } else { Tri::Zero };
+                    any = true;
+                }
+            }
+            if !any {
+                // Avoid the full cube dominating everything.
+                tris[row % self.n_inputs] = Tri::One;
+            }
+            let mut outs = vec![false; self.n_outputs];
+            outs[row % self.n_outputs] = true;
+            for (j, o) in outs.iter_mut().enumerate() {
+                if j != row % self.n_outputs && rng.gen_bool(0.2) {
+                    *o = true;
+                }
+            }
+            cubes.push(Cube::from_tris(&tris, &outs));
+        }
+        Cover::from_cubes(self.n_inputs, self.n_outputs, cubes)
+    }
+}
+
+/// A family of benchmarks with growing input count and proportional product
+/// count, used to reproduce the paper's claim that the CNFET PLA wins for
+/// functions with **many inputs** (the `max46` case) and loses slightly for
+/// output-heavy functions (the `apla` case).
+///
+/// Returns prime covers with 2 outputs for `inputs` in `4..=max_inputs`.
+pub fn sweep_family(max_inputs: usize, seed: u64) -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for n in 4..=max_inputs {
+        let products = (1usize << (n - 1)).min(3 * n);
+        let cover = disjoint_code_cover(n, 2, products, seed ^ n as u64);
+        out.push(Benchmark {
+            name: "sweep",
+            description: "input-count sweep member",
+            on: cover,
+            dc: Cover::new(n, 2),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logic::espresso;
+
+    #[test]
+    fn table1_dims_are_exact() {
+        assert_eq!(max46().dims(), (9, 1, 46));
+        assert_eq!(apla().dims(), (10, 12, 25));
+        assert_eq!(t2().dims(), (17, 16, 52));
+    }
+
+    #[test]
+    fn stand_ins_are_espresso_fixed_points() {
+        for b in table1_benchmarks() {
+            let (min, stats) = espresso(&b.on);
+            assert_eq!(
+                min.len(),
+                b.on.len(),
+                "{} must be a fixed point of espresso",
+                b.name
+            );
+            assert_eq!(stats.initial_cubes, stats.final_cubes);
+        }
+    }
+
+    #[test]
+    fn disjoint_cover_cubes_pairwise_distance_two() {
+        let c = disjoint_code_cover(9, 3, 20, 42);
+        for (i, a) in c.iter().enumerate() {
+            for b in c.cubes().iter().skip(i + 1) {
+                assert!(a.input_distance(b) >= 2, "cubes {a} and {b} too close");
+            }
+        }
+    }
+
+    #[test]
+    fn every_output_is_driven() {
+        for b in table1_benchmarks() {
+            for j in 0..b.on.n_outputs() {
+                assert!(
+                    !b.on.output_slice(j).is_empty(),
+                    "{} output {j} undriven",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_stand_ins_have_declared_dims() {
+        let e = extended();
+        assert_eq!(e[0].dims(), (7, 2, 9));
+        assert_eq!(e[1].dims(), (8, 7, 12));
+        assert_eq!(e[2].dims(), (15, 9, 43));
+        for b in &e {
+            let (min, _) = espresso(&b.on);
+            assert_eq!(min.len(), b.on.len(), "{} fixed point", b.name);
+        }
+    }
+
+    #[test]
+    fn stand_ins_are_deterministic() {
+        let a = max46();
+        let b = max46();
+        assert_eq!(a.on, b.on);
+    }
+
+    #[test]
+    fn random_pla_dims_and_determinism() {
+        let a = RandomPla::new(8, 4, 30).seed(7).build();
+        let b = RandomPla::new(8, 4, 30).seed(7).build();
+        let c = RandomPla::new(8, 4, 30).seed(8).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.n_inputs(), 8);
+        assert_eq!(a.n_outputs(), 4);
+        assert_eq!(a.len(), 30);
+    }
+
+    #[test]
+    fn random_pla_minimizes_without_losing_function() {
+        let f = RandomPla::new(6, 3, 20).seed(3).build();
+        let (min, _) = espresso(&f);
+        logic::eval::assert_equivalent(&f, &min);
+    }
+
+    #[test]
+    fn sweep_family_grows() {
+        let fam = sweep_family(8, 1);
+        assert_eq!(fam.len(), 5);
+        for (idx, b) in fam.iter().enumerate() {
+            assert_eq!(b.on.n_inputs(), idx + 4);
+            assert!(!b.on.is_empty());
+        }
+    }
+
+    #[test]
+    fn classics_are_well_formed() {
+        for b in classics() {
+            assert!(!b.on.is_empty(), "{} empty", b.name);
+        }
+        // Full adder sanity: 1+1+1 = 11b.
+        let fa = &classics()[1];
+        assert_eq!(fa.on.eval_bits(0b111), vec![true, true]);
+        assert_eq!(fa.on.eval_bits(0b001), vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn too_many_products_for_inputs_rejected() {
+        let _ = disjoint_code_cover(3, 1, 100, 0);
+    }
+}

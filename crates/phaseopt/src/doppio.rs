@@ -1,0 +1,246 @@
+//! Doppio-Espresso-style Whirlpool-PLA synthesis.
+//!
+//! A Whirlpool PLA (Brayton et al., ICCAD 2002) evaluates a 4-level NOR
+//! network on four cascaded planes. The *Doppio-Espresso* idea is to
+//! minimize **two** two-level instances that share the array instead of one
+//! monolithic cover. This module implements the product-split variant on
+//! top of the GNOR planes:
+//!
+//! 1. Run ESPRESSO (with output-phase freedom) on the cover; let `P` be its
+//!    products.
+//! 2. Split `P` into halves `A` and `B` balancing the plane widths.
+//! 3. Planes 1–2 compute `u_j = NOR(A_j)` — the complement of the first
+//!    half-OR of each output.
+//! 4. Plane 3 computes the `B` products from the primary inputs (tapped
+//!    around the ring) and buffers the `u_j` through.
+//! 5. Plane 4 exploits GNOR inversion: `F̄_j = NOR(ū_j, B_j products…)`
+//!    `= u_j ∧ NOR(B_j) = NOR(A_j) ∧ NOR(B_j)`.
+//!
+//! The split keeps every plane at roughly half the product width of the
+//! flat PLA — the routability/aspect-ratio benefit Whirlpool layouts are
+//! built around — at the cost of the buffer column per output. The result
+//! is verified equivalent to the input cover.
+
+use ambipla_core::{GnorPlane, InputPolarity, Wpla};
+use logic::{espresso_with_dc, Cover, Tri};
+
+/// Result of WPLA synthesis.
+#[derive(Debug, Clone)]
+pub struct DoppioResult {
+    /// The synthesized four-plane PLA.
+    pub wpla: Wpla,
+    /// Basic cells of the flat two-level GNOR PLA for the same cover.
+    pub two_level_cells: usize,
+    /// Basic cells of the WPLA (sum over the four planes).
+    pub wpla_cells: usize,
+    /// Widest plane (rows) of the WPLA — the routing-pitch figure Whirlpool
+    /// layouts optimize.
+    pub wpla_max_width: usize,
+    /// Product rows of the flat two-level PLA.
+    pub two_level_width: usize,
+}
+
+impl DoppioResult {
+    /// Ratio of the WPLA's widest plane to the flat PLA's product count
+    /// (< 1 means the whirlpool halves the critical array pitch).
+    pub fn width_ratio(&self) -> f64 {
+        self.wpla_max_width as f64 / self.two_level_width.max(1) as f64
+    }
+}
+
+/// Synthesize a Whirlpool PLA for `(on, dc)`.
+///
+/// # Panics
+///
+/// Panics if the cover is empty or has no outputs.
+pub fn synthesize_wpla(on: &Cover, dc: &Cover) -> DoppioResult {
+    assert!(on.n_outputs() > 0, "cover must have outputs");
+    let (cover, _) = espresso_with_dc(on, dc);
+    assert!(!cover.is_empty(), "cover must have product terms");
+    let n = cover.n_inputs();
+    let o = cover.n_outputs();
+    let p = cover.len();
+
+    // Split products into halves A = [0, half) and B = [half, p).
+    let half = p.div_ceil(2);
+    let a_rows = half;
+    let b_rows = p - half;
+
+    // Plane 1: products of A from the primary inputs.
+    let plane1 = GnorPlane::from_controls(
+        (0..a_rows)
+            .map(|r| product_controls(&cover, r, n))
+            .collect(),
+    );
+    // Plane 2: u_j = NOR over A-products of output j.
+    let plane2 = GnorPlane::from_controls(
+        (0..o)
+            .map(|j| {
+                (0..a_rows)
+                    .map(|r| {
+                        if cover.cubes()[r].has_output(j) {
+                            InputPolarity::Pass
+                        } else {
+                            InputPolarity::Drop
+                        }
+                    })
+                    .collect()
+            })
+            .collect(),
+    );
+    // Plane 3 inputs: [u_0..u_{o-1}] ++ primary inputs (tap).
+    // Rows: o buffers (w_j = NOR(ū_j) = u_j) followed by the B products.
+    let mut plane3_rows: Vec<Vec<InputPolarity>> = Vec::with_capacity(o + b_rows);
+    for j in 0..o {
+        let mut row = vec![InputPolarity::Drop; o + n];
+        row[j] = InputPolarity::Invert; // NOR(ū_j) = u_j
+        plane3_rows.push(row);
+    }
+    for r in half..p {
+        let mut row = vec![InputPolarity::Drop; o + n];
+        let prod = product_controls(&cover, r, n);
+        row[o..].copy_from_slice(&prod);
+        plane3_rows.push(row);
+    }
+    let plane3 = GnorPlane::from_controls(plane3_rows);
+    // Plane 4 row j: NOR(w̄_j, B_j products) = u_j ∧ NOR(B_j) = F̄_j.
+    let plane4 = GnorPlane::from_controls(
+        (0..o)
+            .map(|j| {
+                let mut row = vec![InputPolarity::Drop; o + b_rows];
+                row[j] = InputPolarity::Invert; // w̄_j
+                for (k, r) in (half..p).enumerate() {
+                    if cover.cubes()[r].has_output(j) {
+                        row[o + k] = InputPolarity::Pass;
+                    }
+                }
+                row
+            })
+            .collect(),
+    );
+
+    let wpla = Wpla::from_planes_with_taps(
+        [plane1, plane2, plane3, plane4],
+        vec![true; o], // F̄_j at the NOR, inverting driver restores F_j
+        [false, true, false],
+        n,
+    );
+    debug_assert!(wpla.implements(&cover) || cover.n_inputs() > logic::eval::EXHAUSTIVE_LIMIT);
+
+    let two_level_cells = p * (n + o);
+    DoppioResult {
+        wpla_cells: wpla.cells(),
+        wpla_max_width: wpla.planes().iter().map(GnorPlane::rows).max().unwrap_or(0),
+        two_level_cells,
+        two_level_width: p,
+        wpla,
+    }
+}
+
+/// GNOR controls realizing product row `r` of `cover` from the inputs.
+fn product_controls(cover: &Cover, r: usize, n: usize) -> Vec<InputPolarity> {
+    (0..n)
+        .map(|i| match cover.cubes()[r].input(i) {
+            Tri::One => InputPolarity::Invert,
+            Tri::Zero => InputPolarity::Pass,
+            Tri::DontCare => InputPolarity::Drop,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(text: &str, ni: usize, no: usize) -> Cover {
+        Cover::parse(text, ni, no).expect("parse cover")
+    }
+
+    fn dc(ni: usize, no: usize) -> Cover {
+        Cover::new(ni, no)
+    }
+
+    #[test]
+    fn xor_wpla_is_equivalent() {
+        let f = cover("10 1\n01 1", 2, 1);
+        let r = synthesize_wpla(&f, &dc(2, 1));
+        assert!(r.wpla.implements(&f));
+    }
+
+    #[test]
+    fn full_adder_wpla_is_equivalent() {
+        let f = cover(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        );
+        let r = synthesize_wpla(&f, &dc(3, 2));
+        assert!(r.wpla.implements(&f));
+    }
+
+    #[test]
+    fn plane_width_is_halved() {
+        // 8 products, 1 output: the flat PLA has 8 rows; each WPLA plane
+        // should peak at about half plus the buffer row.
+        let f = cover(
+            "1000 1\n0100 1\n0010 1\n0001 1\n1110 1\n1101 1\n1011 1\n0111 1",
+            4,
+            1,
+        );
+        let r = synthesize_wpla(&f, &dc(4, 1));
+        assert!(r.wpla.implements(&f));
+        assert_eq!(r.two_level_width, 8);
+        assert!(
+            r.wpla_max_width <= 5,
+            "max plane width {} should be ~half of 8",
+            r.wpla_max_width
+        );
+        assert!(r.width_ratio() < 1.0);
+    }
+
+    #[test]
+    fn odd_product_counts_split_cleanly() {
+        let f = cover("100 1\n010 1\n001 1", 3, 1);
+        let r = synthesize_wpla(&f, &dc(3, 1));
+        assert!(r.wpla.implements(&f));
+    }
+
+    #[test]
+    fn single_product_degenerates_gracefully() {
+        let f = cover("11 1", 2, 1);
+        let r = synthesize_wpla(&f, &dc(2, 1));
+        assert!(r.wpla.implements(&f));
+    }
+
+    #[test]
+    fn multi_output_sharing_survives_the_split() {
+        let f = cover("11- 11\n-11 10\n0-0 01", 3, 2);
+        let r = synthesize_wpla(&f, &dc(3, 2));
+        assert!(r.wpla.implements(&f));
+        assert_eq!(r.wpla.n_outputs(), 2);
+    }
+
+    #[test]
+    fn dc_set_is_used() {
+        // With generous don't-cares the minimized cover shrinks before the
+        // split, shrinking the WPLA too.
+        let on = cover("000 1", 3, 1);
+        let dcs = cover("001 1\n010 1\n011 1", 3, 1);
+        let r = synthesize_wpla(&on, &dcs);
+        // Must cover ON points and avoid OFF points. Cube chars are input
+        // positions, packed bits are bit-i = input-i: the OFF-set here is
+        // every assignment with x0 = 1, i.e. odd packed values.
+        assert!(r.wpla.simulate_bits(0b000)[0]);
+        for bits in [0b001u64, 0b011, 0b101, 0b111] {
+            assert!(!r.wpla.simulate_bits(bits)[0], "OFF point {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn cells_are_reported() {
+        let f = cover("10 1\n01 1", 2, 1);
+        let r = synthesize_wpla(&f, &dc(2, 1));
+        assert_eq!(r.two_level_cells, 2 * 3);
+        assert!(r.wpla_cells > 0);
+    }
+}

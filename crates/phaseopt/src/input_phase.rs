@@ -1,0 +1,198 @@
+//! Input phase assignment: balancing n-type vs p-type devices.
+//!
+//! The second half of Sasao's 1984 optimization pair is *input* variable
+//! assignment. In the GNOR array an input's polarity sense is free — but
+//! the two senses program **different device types** (`Pass` = n-type,
+//! `Invert` = p-type), and real ambipolar CNFETs have asymmetric branch
+//! currents (the hole branch is typically weaker). Choosing each input's
+//! phase so that the majority of its literals become n-type devices
+//! improves the worst-case pull-down current at zero logic cost: the
+//! complement is supplied by the upstream GNOR stage's driver polarity,
+//! which is itself free.
+//!
+//! [`balance_input_phases`] flips each input whose column programs more
+//! p-type than n-type devices and returns the re-phased cover plus the
+//! device-type accounting.
+
+use logic::{Cover, Cube, Tri};
+
+/// Result of input phase balancing.
+#[derive(Debug, Clone)]
+pub struct InputPhaseAssignment {
+    /// `phases[i] = true` means input `i` is consumed in complemented form
+    /// (the upstream driver publishes `x̄_i`).
+    pub phases: Vec<bool>,
+    /// The cover over the re-phased inputs: `cover(x ⊕ phases) = F(x)`.
+    pub cover: Cover,
+    /// p-type (Invert) devices of the direct mapping.
+    pub invert_devices_before: usize,
+    /// p-type devices after balancing.
+    pub invert_devices_after: usize,
+}
+
+impl InputPhaseAssignment {
+    /// Fraction of literal devices that are p-type after balancing.
+    pub fn ptype_fraction(&self) -> f64 {
+        let total: usize = self.cover.literal_count();
+        if total == 0 {
+            0.0
+        } else {
+            self.invert_devices_after as f64 / total as f64
+        }
+    }
+}
+
+/// Count the p-type (Invert) devices the GNOR mapping of `cover` would
+/// program: one per positive literal (`Tri::One`).
+pub fn count_invert_devices(cover: &Cover) -> usize {
+    cover
+        .iter()
+        .map(|c| (0..cover.n_inputs()).filter(|&i| c.input(i) == Tri::One).count())
+        .sum()
+}
+
+/// Flip each input whose column carries more positive than negative
+/// literals, so the GNOR mapping programs n-type devices wherever
+/// possible.
+pub fn balance_input_phases(cover: &Cover) -> InputPhaseAssignment {
+    let n = cover.n_inputs();
+    let before = count_invert_devices(cover);
+    let mut phases = vec![false; n];
+    for (i, phase) in phases.iter_mut().enumerate() {
+        let mut ones = 0usize;
+        let mut zeros = 0usize;
+        for c in cover.iter() {
+            match c.input(i) {
+                Tri::One => ones += 1,
+                Tri::Zero => zeros += 1,
+                Tri::DontCare => {}
+            }
+        }
+        *phase = ones > zeros;
+    }
+    let rephased = apply_input_phases(cover, &phases);
+    InputPhaseAssignment {
+        invert_devices_after: count_invert_devices(&rephased),
+        invert_devices_before: before,
+        phases,
+        cover: rephased,
+    }
+}
+
+/// Complement the selected variables of every cube:
+/// `result(x) = cover(x ⊕ phases)`.
+///
+/// # Panics
+///
+/// Panics if `phases.len() != cover.n_inputs()`.
+pub fn apply_input_phases(cover: &Cover, phases: &[bool]) -> Cover {
+    assert_eq!(phases.len(), cover.n_inputs(), "one phase per input");
+    let cubes: Vec<Cube> = cover
+        .iter()
+        .map(|c| {
+            let mut flipped = c.clone();
+            for (i, &flip) in phases.iter().enumerate() {
+                if flip {
+                    let t = match c.input(i) {
+                        Tri::One => Tri::Zero,
+                        Tri::Zero => Tri::One,
+                        Tri::DontCare => Tri::DontCare,
+                    };
+                    flipped.set_input(i, t);
+                }
+            }
+            flipped
+        })
+        .collect();
+    Cover::from_cubes(cover.n_inputs(), cover.n_outputs(), cubes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(text: &str, ni: usize, no: usize) -> Cover {
+        Cover::parse(text, ni, no).expect("parse cover")
+    }
+
+    #[test]
+    fn rephased_cover_is_the_phased_function() {
+        let f = cover("110 1\n1-1 1\n011 1", 3, 1);
+        let a = balance_input_phases(&f);
+        for bits in 0..8u64 {
+            let mut phased = bits;
+            for (i, &flip) in a.phases.iter().enumerate() {
+                if flip {
+                    phased ^= 1 << i;
+                }
+            }
+            assert_eq!(
+                a.cover.eval_bits(phased)[0],
+                f.eval_bits(bits)[0],
+                "bits {bits:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn positive_heavy_columns_get_flipped() {
+        // Column 0 all-positive → flipped; column 1 all-negative → kept.
+        let f = cover("10 1\n1- 1\n10 1", 2, 1);
+        let a = balance_input_phases(&f);
+        assert_eq!(a.phases, vec![true, false]);
+        assert_eq!(a.invert_devices_before, 3);
+        assert_eq!(a.invert_devices_after, 0);
+    }
+
+    #[test]
+    fn balancing_never_increases_invert_devices() {
+        for seed_text in ["11- 1\n-01 1\n100 1", "000 1\n-1- 1", "1-1 11\n0-0 01"] {
+            let (ni, no) = if seed_text.contains("11") && seed_text.ends_with("01") {
+                (3, 2)
+            } else {
+                (3, 1)
+            };
+            let f = cover(seed_text, ni, no);
+            let a = balance_input_phases(&f);
+            assert!(a.invert_devices_after <= a.invert_devices_before);
+        }
+    }
+
+    #[test]
+    fn literal_count_is_preserved() {
+        // Phase flips trade literal polarity, never literal count.
+        let f = cover("110 1\n0-1 1", 3, 1);
+        let a = balance_input_phases(&f);
+        assert_eq!(a.cover.literal_count(), f.literal_count());
+    }
+
+    #[test]
+    fn balancing_is_idempotent() {
+        let f = cover("11- 1\n-01 1\n100 1", 3, 1);
+        let once = balance_input_phases(&f);
+        let twice = balance_input_phases(&once.cover);
+        assert_eq!(twice.phases, vec![false; 3], "already balanced");
+        assert_eq!(once.invert_devices_after, twice.invert_devices_after);
+    }
+
+    #[test]
+    fn ptype_fraction_at_most_half() {
+        // After balancing, no column has a p-type majority, so overall
+        // p-type fraction is at most 1/2.
+        for text in ["111 1\n11- 1\n1-1 1", "10 1\n01 1", "1111 1"] {
+            let ni = text.lines().next().unwrap().split(' ').next().unwrap().len();
+            let f = cover(text, ni, 1);
+            let a = balance_input_phases(&f);
+            assert!(a.ptype_fraction() <= 0.5 + 1e-9, "{text}: {}", a.ptype_fraction());
+        }
+    }
+
+    #[test]
+    fn double_application_roundtrips() {
+        let f = cover("1-0 1\n01- 1", 3, 1);
+        let phases = vec![true, false, true];
+        let g = apply_input_phases(&f, &phases);
+        let back = apply_input_phases(&g, &phases);
+        assert_eq!(back, f);
+    }
+}

@@ -1,0 +1,22 @@
+//! Output-phase optimization and Doppio-Espresso WPLA synthesis.
+//!
+//! Section 5 of the DAC 2008 paper points out that the GNOR PLA makes the
+//! product terms and outputs available **in both polarities for free**,
+//! which unlocks two classical synthesis techniques:
+//!
+//! * **Output phase assignment** (Sasao 1984, the MINI-II heuristic): for
+//!   each output, implement either `F_j` or `F̄_j`, whichever lets the
+//!   multi-output cover share more product terms — in a classical PLA the
+//!   complemented output costs an inverter and a routed signal; in the GNOR
+//!   PLA it is a driver-polarity bit ([`output_phase`]).
+//! * **Whirlpool PLAs** (Brayton et al. 2002) synthesized by a
+//!   Doppio-Espresso-style split of the cover across two cascaded NOR–NOR
+//!   pairs ([`doppio`]).
+
+pub mod doppio;
+pub mod input_phase;
+pub mod output_phase;
+
+pub use doppio::{synthesize_wpla, DoppioResult};
+pub use input_phase::{apply_input_phases, balance_input_phases, InputPhaseAssignment};
+pub use output_phase::{optimize_output_phases, phased_cover, PhaseAssignment, PhaseStrategy};

@@ -1,0 +1,55 @@
+//! Area report across the whole benchmark registry, plus an input-count
+//! sweep locating the Flash/CNFET crossover the paper describes ("the
+//! CNFET implementation can only save area compared to Flash if the PLA
+//! has a large number of inputs").
+//!
+//! Run: `cargo run --example area_report --release`
+
+use ambipla::benchmarks as mcnc;
+use ambipla::core::{area::cnfet_saving_over, PlaDimensions, Technology};
+use ambipla::logic::espresso_with_dc;
+
+fn main() {
+    println!("== Area across the registry (after ESPRESSO) ==");
+    println!(
+        "{:<12} {:>14} {:>10} {:>10} {:>10} {:>9}",
+        "benchmark", "dims", "Flash", "EEPROM", "CNFET", "vs Flash"
+    );
+    for b in mcnc::registry() {
+        let (min, _) = espresso_with_dc(&b.on, &b.dc);
+        let dims = PlaDimensions {
+            inputs: min.n_inputs(),
+            outputs: min.n_outputs(),
+            products: min.len(),
+        };
+        println!(
+            "{:<12} {:>14} {:>10} {:>10} {:>10} {:>+8.1}%",
+            b.name,
+            dims.to_string(),
+            Technology::Flash.pla_area(dims),
+            Technology::Eeprom.pla_area(dims),
+            Technology::CnfetGnor.pla_area(dims),
+            100.0 * cnfet_saving_over(Technology::Flash, dims),
+        );
+    }
+
+    println!();
+    println!("== Input-count sweep: where does CNFET beat Flash? ==");
+    println!("(cells: CNFET wins iff inputs > outputs; cell areas 60 vs 40 L^2)");
+    println!("{:>7} {:>8} {:>12}", "inputs", "outputs", "saving");
+    for b in mcnc::sweep_family(12, 7) {
+        let dims = PlaDimensions {
+            inputs: b.on.n_inputs(),
+            outputs: b.on.n_outputs(),
+            products: b.on.len(),
+        };
+        let s = cnfet_saving_over(Technology::Flash, dims);
+        println!(
+            "{:>7} {:>8} {:>+11.1}% {}",
+            dims.inputs,
+            dims.outputs,
+            100.0 * s,
+            if s > 0.0 { "CNFET wins" } else { "Flash wins" }
+        );
+    }
+}

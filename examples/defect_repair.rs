@@ -1,0 +1,52 @@
+//! Fault tolerance on the regular GNOR array: inject crosspoint defects,
+//! watch the function break, then repair by spare-row re-assignment and
+//! verify by fault simulation.
+//!
+//! Run: `cargo run --example defect_repair`
+
+use ambipla::core::GnorPla;
+use ambipla::fault::{repair, DefectKind, DefectMap, FaultyGnorPla, RepairOutcome};
+use ambipla::logic::Cover;
+
+fn main() {
+    let f = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover"); // XOR
+    let pla = GnorPla::from_cover(&f);
+
+    // Fabricated array: 2 product rows + 2 spares, with two defects.
+    let mut defects = DefectMap::clean(4, 2, 1);
+    defects.set_input_defect(0, 0, DefectKind::StuckOn); // row 0 dead
+    defects.set_input_defect(2, 1, DefectKind::StuckOff); // row 2 weakened
+    println!("defects: {} crosspoints broken", defects.defect_count());
+
+    // Without repair, the naive mapping (rows 0 and 1) is broken.
+    let naive_defects = {
+        let mut d = DefectMap::clean(2, 2, 1);
+        d.set_input_defect(0, 0, DefectKind::StuckOn);
+        d
+    };
+    let broken = FaultyGnorPla::new(pla, naive_defects);
+    println!(
+        "naive mapping still computes XOR? {}",
+        broken.implements(&f)
+    );
+    assert!(!broken.implements(&f));
+
+    // Repair: re-assign the two cubes among the four physical rows.
+    match repair(&f, &defects) {
+        RepairOutcome::Repaired {
+            pla,
+            assignment,
+            spares_left,
+        } => {
+            println!("repair assignment (cube -> physical row): {assignment:?}");
+            println!("spare rows left: {spares_left}");
+            let fixed = FaultyGnorPla::new(pla, defects);
+            let ok = fixed.implements(&f);
+            println!("repaired array computes XOR? {ok}");
+            assert!(ok);
+        }
+        RepairOutcome::Unrepairable { reason } => {
+            panic!("expected repairable array, got: {reason}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The Table 2 experiment as an API walkthrough: place and route one
+//! circuit on a standard FPGA and on the emulated CNFET-PLA FPGA, then
+//! compare occupancy, routing load and frequency.
+//!
+//! Run: `cargo run --example fpga_emulation --release`
+
+use ambipla::fpga::{emulate, Circuit, FpgaArch, FpgaFlavor};
+
+fn main() {
+    let circuit = Circuit::random(63, 3, 0.95, 11);
+    println!(
+        "circuit: {} blocks, {} logical nets, signal reduction x{:.2} for GNOR CLBs",
+        circuit.n_blocks(),
+        circuit.nets().len(),
+        1.0 / circuit.signal_reduction()
+    );
+
+    // Die sized so the standard FPGA is ~99 % full (the paper's setup).
+    let arch = FpgaArch::sized_for(circuit.n_blocks(), 0.99);
+    println!(
+        "die: {}x{} tiles, {} routing tracks per channel",
+        arch.grid, arch.grid, arch.channel_capacity
+    );
+    println!();
+
+    for flavor in [FpgaFlavor::Standard, FpgaFlavor::CnfetPla] {
+        let r = emulate(&circuit, &arch, flavor, 11);
+        println!("{flavor:?}:");
+        println!("  occupancy : {:>6.1}%", r.occupancy_percent());
+        println!("  frequency : {:>6.0} MHz", r.frequency_mhz());
+        println!("  routed    : {:>6} connections", r.routed_connections);
+        println!("  wirelength: {:>6} segments", r.wirelength);
+        println!("  overused  : {:>6} segments", r.overused_segments);
+        println!();
+    }
+    println!("Paper (Table 2): 99% / 44.9% occupied, 154 / 349 MHz.");
+}

@@ -1,0 +1,41 @@
+//! Sequential logic on the GNOR PLA: a 3-bit enabled counter as an FSM
+//! kernel (next-state + carry logic in the array, state register closing
+//! the loop), minimized by ESPRESSO and priced by the Table 1 model.
+//!
+//! Run: `cargo run -p ambipla --example fsm_counter`
+
+use ambipla::core::fsm::{counter_cover, PlaFsm};
+use ambipla::core::Technology;
+use ambipla::logic::espresso;
+
+fn main() {
+    let kernel = counter_cover(3);
+    let (min, stats) = espresso(&kernel);
+    println!(
+        "counter kernel: {} -> {} product terms after espresso",
+        stats.initial_cubes, stats.final_cubes
+    );
+
+    let mut fsm = PlaFsm::new(&min, 1, 3).expect("valid FSM");
+    let dims = fsm.dimensions();
+    println!(
+        "PLA kernel {dims}: CNFET {} L^2 vs Flash {} L^2 (state rails saved twice)",
+        Technology::CnfetGnor.pla_area(dims),
+        Technology::Flash.pla_area(dims),
+    );
+    println!();
+    println!("| cycle | en | state | carry |");
+    println!("|-------|----|-------|-------|");
+    let enables = [1u64, 1, 0, 1, 1, 1, 1, 1, 1, 1];
+    for (cycle, &en) in enables.iter().enumerate() {
+        let before = fsm.state();
+        let carry = fsm.step(en);
+        println!(
+            "| {cycle:>5} | {en}  | {before} -> {} | {carry:>5} |",
+            fsm.state()
+        );
+    }
+    assert_eq!(fsm.state(), (enables.iter().sum::<u64>()) % 8);
+    println!();
+    println!("State advanced by exactly the number of enabled cycles (mod 8).");
+}

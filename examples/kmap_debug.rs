@@ -1,0 +1,43 @@
+//! Debugging view: watch ESPRESSO minimize a function on Karnaugh maps,
+//! then check the GNOR mapping cell by cell.
+//!
+//! Run: `cargo run -p ambipla --example kmap_debug`
+
+use ambipla::core::GnorPla;
+use ambipla::logic::kmap::render_kmap;
+use ambipla::logic::{espresso_with_dc, Cover};
+
+fn main() {
+    // A messy 4-variable single-output function with don't-cares.
+    let on = Cover::parse(
+        "0000 1\n0001 1\n0011 1\n0010 1\n1000 1\n1001 1",
+        4,
+        1,
+    )
+    .expect("valid cover");
+    let dc = Cover::parse("1100 1\n1101 1", 4, 1).expect("valid cover");
+
+    println!("== ON/DC Karnaugh map (d = don't care) ==");
+    println!("{}", render_kmap(&on, Some(&dc), 0).expect("4-var map"));
+
+    let (min, stats) = espresso_with_dc(&on, &dc);
+    println!(
+        "espresso: {} cubes / {} literals  ->  {} cubes / {} literals",
+        stats.initial_cubes, stats.initial_literals, stats.final_cubes, stats.final_literals
+    );
+    println!();
+    println!("== minimized cover ==");
+    print!("{min}");
+    println!();
+    println!("== minimized function on the map ==");
+    println!("{}", render_kmap(&min, None, 0).expect("4-var map"));
+
+    let pla = GnorPla::from_cover(&min);
+    println!(
+        "GNOR PLA: {} with {} programmed devices; implements ON-set: {}",
+        pla.dimensions(),
+        pla.active_devices(),
+        // The minimized cover may use DC points, so check ON containment.
+        (0..16u64).all(|b| !on.eval_bits(b)[0] || pla.simulate_bits(b)[0])
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: minimize a function, map it onto an ambipolar-CNFET GNOR
+//! PLA, program the array, and price it against Flash and EEPROM.
+//!
+//! Run: `cargo run --example quickstart`
+
+use ambipla::core::{GnorPla, Technology};
+use ambipla::logic::{espresso, Cover};
+
+fn main() {
+    // A 1-bit full adder: outputs (sum, carry) of a + b + cin.
+    let adder = Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n\
+         100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover");
+
+    // 1. Two-level minimization (from-scratch ESPRESSO).
+    let (minimized, stats) = espresso(&adder);
+    println!(
+        "espresso: {} -> {} product terms ({} -> {} literals)",
+        stats.initial_cubes, stats.final_cubes, stats.initial_literals, stats.final_literals
+    );
+
+    // 2. Map onto the GNOR PLA — one column per input, polarity generated
+    //    inside the array.
+    let pla = GnorPla::from_cover(&minimized);
+    let dims = pla.dimensions();
+    println!(
+        "GNOR PLA: {dims} -> {} columns (a classical PLA needs {})",
+        dims.column_count_cnfet(),
+        dims.column_count_classical()
+    );
+
+    // 3. Simulate: 1 + 1 + 0 = 10b.
+    let out = pla.simulate(&[true, true, false]);
+    println!("1+1+0 -> sum={}, carry={}", u8::from(out[0]), u8::from(out[1]));
+    assert_eq!(out, vec![false, true]);
+    assert!(pla.implements(&adder), "PLA must realize the adder exactly");
+
+    // 4. Program the physical array through the charge-based row/column
+    //    protocol and read it back.
+    let (m1, m2) = pla.program(1e-3);
+    println!(
+        "programmed {} + {} charge pulses",
+        m1.pulse_count(),
+        m2.pulse_count()
+    );
+    let back = GnorPla::from_programmed(&m1, &m2, pla.inverting_outputs().to_vec());
+    assert!(back.implements(&adder), "array readback must still work");
+
+    // 5. Price it (Table 1 model).
+    for tech in Technology::ALL {
+        println!("{:<6} area: {:>6} L^2", tech.name(), tech.pla_area(dims));
+    }
+}

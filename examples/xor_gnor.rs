@@ -1,0 +1,57 @@
+//! The paper's Section 3 example: EXOR from generalized-NOR gates with
+//! internal polarity control — `NOR(C1 ⊕ A, C2 ⊕ B)` covers one minterm of
+//! XOR per control choice, and the two-plane PLA composes them.
+//!
+//! Also steps the dynamic (precharge/evaluate) cell explicitly, like
+//! Fig. 2.
+//!
+//! Run: `cargo run --example xor_gnor`
+
+use ambipla::core::{DynamicGnor, GnorGate, GnorPla, InputPolarity::*};
+use ambipla::logic::Cover;
+
+fn main() {
+    // One GNOR gate computes Ā·B = NOR(A, B̄): C1 = pass, C2 = invert.
+    let g1 = GnorGate::new(vec![Pass, Invert]);
+    // The sibling computes A·B̄ = NOR(Ā, B): controls swapped.
+    let g2 = GnorGate::new(vec![Invert, Pass]);
+    println!("gate 1 controls: {:?} (PG charges {:?})", g1.controls(), g1.pg_levels());
+    println!("gate 2 controls: {:?} (PG charges {:?})", g2.controls(), g2.pg_levels());
+    println!();
+    println!("| A | B | g1 = A'·B | g2 = A·B' | OR = XOR |");
+    println!("|---|---|-----------|-----------|----------|");
+    for bits in 0..4u8 {
+        let x = [bits & 1 == 1, bits >> 1 & 1 == 1];
+        let y1 = g1.evaluate(&x);
+        let y2 = g2.evaluate(&x);
+        println!(
+            "| {} | {} | {:^9} | {:^9} | {:^8} |",
+            u8::from(x[0]),
+            u8::from(x[1]),
+            u8::from(y1),
+            u8::from(y2),
+            u8::from(y1 || y2)
+        );
+        assert_eq!(y1 || y2, x[0] ^ x[1]);
+    }
+
+    // The same thing as a full two-plane PLA.
+    let xor = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+    let pla = GnorPla::from_cover(&xor);
+    assert!(pla.implements(&xor));
+    println!();
+    println!(
+        "two-plane GNOR PLA: {} with {} programmed devices",
+        pla.dimensions(),
+        pla.active_devices()
+    );
+
+    // Dynamic-logic stepping of one gate, Fig. 2 style.
+    let mut cell = DynamicGnor::new(g1);
+    let inputs = [false, true]; // A=0, B=1 → g1 fires
+    cell.clock(false, &inputs); // precharge
+    println!("\nprecharge: output = {}", cell.output());
+    cell.clock(true, &inputs); // evaluate
+    println!("evaluate : output = {} (A'·B with A=0, B=1)", cell.output());
+    assert!(cell.output());
+}

@@ -1,0 +1,107 @@
+//! Integration: device-level models driving architecture-level outcomes —
+//! variability feeding yield, activity feeding energy, retention feeding
+//! refresh scheduling.
+
+use ambipla::core::{analyze_activity, pla_energy_exact, GnorPla};
+use ambipla::device::{DeviceParams, EnergyModel, PgLevel, VariabilityModel};
+use ambipla::fault::yield_curve_biased;
+use ambipla::logic::Cover;
+
+/// The variability model's metallic fraction, used as the stuck-on defect
+/// rate, produces the yield ordering the device statistics predict.
+#[test]
+fn metallic_fraction_drives_yield() {
+    let f = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+    // Stuck-on-only processes at two metallic fractions (bias 0 = shorts).
+    let clean = yield_curve_biased(&f, 2, &[0.01], 120, 3, 0.0);
+    let dirty = yield_curve_biased(&f, 2, &[0.10], 120, 3, 0.0);
+    assert!(
+        clean[0].repaired_yield >= dirty[0].repaired_yield,
+        "1% metallic must beat 10%: {} vs {}",
+        clean[0].repaired_yield,
+        dirty[0].repaired_yield
+    );
+    // The device model agrees on which process is worse.
+    let a = VariabilityModel::nominal().with_metallic_fraction(0.01);
+    let b = VariabilityModel::nominal().with_metallic_fraction(0.10);
+    assert!(a.expected_stuck_on_rate() < b.expected_stuck_on_rate());
+}
+
+/// Exact activity-based energy is bounded by the worst-case estimate and
+/// above the zero-activity floor, for every registry benchmark that fits.
+#[test]
+fn exact_energy_bounded_across_registry() {
+    let model = EnergyModel::nominal();
+    for b in ambipla::benchmarks::registry() {
+        if b.on.n_inputs() > 16 {
+            continue;
+        }
+        let pla = GnorPla::from_cover(&b.on);
+        let d = pla.dimensions();
+        let exact = pla_energy_exact(&pla, &b.on, &model);
+        let worst = model.pla_cycle_energy(d.inputs, d.outputs, d.products, 1.0, 1.0);
+        assert!(exact > 0.0, "{}", b.name);
+        assert!(exact <= worst + 1e-30, "{}", b.name);
+    }
+}
+
+/// Product-line activities are high for literal-heavy covers (dynamic NOR
+/// lines usually discharge), matching the energy model's assumptions.
+#[test]
+fn activity_reflects_literal_density() {
+    let dense = Cover::parse("1111 1\n0000 1", 4, 1).unwrap();
+    let sparse = Cover::parse("1--- 1\n-0-- 1", 4, 1).unwrap();
+    let a_dense = analyze_activity(&dense).mean_product_activity();
+    let a_sparse = analyze_activity(&sparse).mean_product_activity();
+    assert!(a_dense > a_sparse);
+    assert!(a_dense > 0.9, "4-literal rows discharge 15/16 of the time");
+}
+
+/// Retention scheduling: the refresh period that keeps one node alive also
+/// keeps a whole programmed PLA alive, and the deadline scales linearly
+/// with tau.
+#[test]
+fn refresh_scheduling_scales_with_tau() {
+    use ambipla::device::ChargeNode;
+    let short = ChargeNode::new(1e-4);
+    let long = ChargeNode::new(1e-2);
+    assert!((long.retention_deadline() / short.retention_deadline() - 100.0).abs() < 1e-6);
+
+    let f = Cover::parse("10- 10\n-01 01", 3, 2).unwrap();
+    let pla = GnorPla::from_cover(&f);
+    for tau in [1e-4, 1e-3] {
+        let (mut m1, mut m2) = pla.program(tau);
+        let node = ChargeNode::new(tau);
+        let period = node.retention_deadline() * 0.8;
+        for _ in 0..5 {
+            m1.advance(period);
+            m2.advance(period);
+            m1.refresh_all();
+            m2.refresh_all();
+        }
+        let back = GnorPla::from_programmed(&m1, &m2, pla.inverting_outputs().to_vec());
+        assert!(back.implements(&f), "tau={tau}: refresh schedule failed");
+    }
+}
+
+/// The paper's off-state guarantee at the device level propagates to the
+/// array level: a PG at V0 never conducts, so an unprogrammed plane never
+/// asserts an output.
+#[test]
+fn v0_guarantee_propagates_to_arrays() {
+    let params = DeviceParams::nominal();
+    // Device level: V0 current is within a decade of the floor leakage.
+    for v_cg in [0.0, 0.5, 1.0] {
+        assert!(params.current(PgLevel::VZero.voltage(), v_cg) < 10.0 * params.i_off);
+    }
+    // Array level: fresh matrices decode to a PLA with constant-0 outputs.
+    let f = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+    let pla = GnorPla::from_cover(&f);
+    let (mut m1, mut m2) = pla.program(1e-9);
+    m1.advance(1.0);
+    m2.advance(1.0); // everything decays to V0
+    let dead = GnorPla::from_programmed(&m1, &m2, pla.inverting_outputs().to_vec());
+    for bits in 0..4u64 {
+        assert_eq!(dead.simulate_bits(bits), vec![false]);
+    }
+}

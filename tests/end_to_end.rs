@@ -1,0 +1,120 @@
+//! Cross-crate integration: benchmark → ESPRESSO → GNOR PLA → charge
+//! programming → readback → functional equivalence, with the classical
+//! PLA as a cross-check at every step.
+
+use ambipla::benchmarks as mcnc;
+use ambipla::core::{ClassicalPla, GnorPla, PlaDimensions, Technology};
+use ambipla::logic::{espresso_with_dc, Cover};
+
+/// The full pipeline on every registry benchmark that is small enough to
+/// verify exhaustively.
+#[test]
+fn registry_pipeline_exhaustive() {
+    for b in mcnc::registry() {
+        if b.on.n_inputs() > 14 {
+            continue; // t2 (17 inputs) covered by the sampled test below
+        }
+        let (min, stats) = espresso_with_dc(&b.on, &b.dc);
+        assert!(
+            stats.final_cubes <= stats.initial_cubes,
+            "{}: espresso grew the cover",
+            b.name
+        );
+        let gnor = GnorPla::from_cover(&min);
+        assert!(gnor.implements(&b.on), "{}: GNOR PLA wrong", b.name);
+        let classical = ClassicalPla::from_cover(&min);
+        assert!(classical.implements(&b.on), "{}: classical PLA wrong", b.name);
+        // Architectures agree point-wise.
+        for bits in 0..(1u64 << b.on.n_inputs().min(12)) {
+            assert_eq!(
+                gnor.simulate_bits(bits),
+                classical.simulate_bits(bits),
+                "{}: architectures disagree at {bits:b}",
+                b.name
+            );
+        }
+    }
+}
+
+/// The t2 stand-in (17 inputs) through the sampled checker.
+#[test]
+fn t2_pipeline_sampled() {
+    let b = mcnc::t2();
+    let (min, _) = espresso_with_dc(&b.on, &b.dc);
+    assert_eq!(min.len(), 52, "t2 must stay at 52 products");
+    let gnor = GnorPla::from_cover(&min);
+    assert!(gnor.implements(&b.on));
+}
+
+/// Programming through the charge matrices preserves the function for
+/// every Table 1 benchmark.
+#[test]
+fn table1_benchmarks_survive_programming() {
+    for b in mcnc::table1_benchmarks() {
+        let pla = GnorPla::from_cover(&b.on);
+        let (m1, m2) = pla.program(1e-3);
+        let dims = pla.dimensions();
+        assert_eq!(
+            m1.pulse_count() as usize,
+            dims.products * dims.inputs,
+            "{}: one pulse per input-plane device",
+            b.name
+        );
+        let back = GnorPla::from_programmed(&m1, &m2, pla.inverting_outputs().to_vec());
+        assert_eq!(back, pla, "{}: readback mismatch", b.name);
+    }
+}
+
+/// Area model agrees with the actual mapped PLA dimensions, and the mapped
+/// dimensions equal the cover dimensions.
+#[test]
+fn mapped_dimensions_drive_the_area_model() {
+    for b in mcnc::table1_benchmarks() {
+        let pla = GnorPla::from_cover(&b.on);
+        let dims = pla.dimensions();
+        let expect = PlaDimensions {
+            inputs: b.on.n_inputs(),
+            outputs: b.on.n_outputs(),
+            products: b.on.len(),
+        };
+        assert_eq!(dims, expect, "{}", b.name);
+        // CNFET cells = (i+o)·p exactly.
+        assert_eq!(
+            Technology::CnfetGnor.cells(dims),
+            (dims.inputs + dims.outputs) * dims.products
+        );
+    }
+}
+
+/// Retention stress: after leaking past the deadline, a programmed PLA
+/// reads back fully unconfigured (fail-safe), never as a wrong function
+/// that still asserts outputs.
+#[test]
+fn leaked_arrays_fail_safe_to_constant_outputs() {
+    let f = Cover::parse("10- 10\n-01 01\n111 11", 3, 2).unwrap();
+    let pla = GnorPla::from_cover(&f);
+    let (mut m1, mut m2) = pla.program(1e-6);
+    m1.advance(1.0);
+    m2.advance(1.0);
+    let back = GnorPla::from_programmed(&m1, &m2, pla.inverting_outputs().to_vec());
+    assert_eq!(back.active_devices(), 0);
+    for bits in 0..8u64 {
+        assert_eq!(back.simulate_bits(bits), vec![false, false]);
+    }
+}
+
+/// Refresh within the deadline preserves the function indefinitely.
+#[test]
+fn refresh_cycles_preserve_function() {
+    let f = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+    let pla = GnorPla::from_cover(&f);
+    let (mut m1, mut m2) = pla.program(1e-3);
+    for _ in 0..20 {
+        m1.advance(2e-4);
+        m2.advance(2e-4);
+        m1.refresh_all();
+        m2.refresh_all();
+    }
+    let back = GnorPla::from_programmed(&m1, &m2, pla.inverting_outputs().to_vec());
+    assert!(back.implements(&f));
+}

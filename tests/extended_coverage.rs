@@ -1,0 +1,94 @@
+//! Cross-module behaviours not covered by the focused flow tests:
+//! format corners, phase/device interactions, floorplan comparisons and
+//! the extended benchmark registry.
+
+use ambipla::core::{Floorplan, GnorPla, Technology, Wpla};
+use ambipla::logic::kmap::render_kmap;
+use ambipla::logic::{espresso, exact_minimize, parse_pla, write_pla, Cover, Pla, PlaType};
+use ambipla::phase::balance_input_phases;
+
+/// The `.pla` writer emits `fr`-type files with explicit OFF rows that
+/// survive a parse round trip.
+#[test]
+fn fr_writer_roundtrip() {
+    let mut pla = Pla::from_cover(Cover::parse("11 1\n00 1", 2, 1).unwrap());
+    pla.off = Cover::parse("10 1", 2, 1).unwrap();
+    pla.pla_type = PlaType::Fr;
+    let text = write_pla(&pla);
+    assert!(text.contains(".type fr"));
+    let back = parse_pla(&text).expect("writer output parses");
+    assert_eq!(back.on.len(), 2);
+    assert_eq!(back.off.len(), 1);
+    assert_eq!(back.pla_type, PlaType::Fr);
+}
+
+/// Karnaugh rendering works for every small single-output registry entry.
+#[test]
+fn kmap_renders_registry_classics() {
+    for b in ambipla::benchmarks::classics() {
+        if (2..=4).contains(&b.on.n_inputs()) {
+            for j in 0..b.on.n_outputs() {
+                let map = render_kmap(&b.on, Some(&b.dc), j)
+                    .unwrap_or_else(|| panic!("{} output {j}", b.name));
+                assert!(map.lines().count() >= 3, "{} output {j}", b.name);
+            }
+        }
+    }
+}
+
+/// Input-phase balancing reduces the p-type device count of the physical
+/// mapping, and the rephased PLA has the same shape.
+#[test]
+fn input_phases_reduce_ptype_devices() {
+    let f = Cover::parse("110 1\n111 1\n1-1 1\n011 1", 3, 1).unwrap();
+    let a = balance_input_phases(&f);
+    assert!(a.invert_devices_after <= a.invert_devices_before);
+    let direct = GnorPla::from_cover(&f);
+    let balanced = GnorPla::from_cover(&a.cover);
+    assert_eq!(direct.dimensions(), balanced.dimensions());
+    assert_eq!(direct.active_devices(), balanced.active_devices());
+}
+
+/// Whirlpool floorplans trade area for aspect ratio against the flat strip
+/// on a single-output, product-heavy benchmark.
+#[test]
+fn wpla_floorplan_tradeoff_on_max46() {
+    let b = ambipla::benchmarks::max46();
+    let flat = Floorplan::of_pla(
+        GnorPla::from_cover(&b.on).dimensions(),
+        Technology::CnfetGnor,
+    );
+    let ring = Floorplan::of_wpla(&Wpla::buffered_from_cover(&b.on));
+    assert!(ring.aspect_ratio() < flat.aspect_ratio());
+}
+
+/// The full adder's exact multi-output minimum is matched (or beaten) by
+/// no cover ESPRESSO can find — pinning both tools against each other.
+#[test]
+fn full_adder_exact_vs_espresso() {
+    let f = Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .unwrap();
+    let exact = exact_minimize(&f, &Cover::new(3, 2));
+    let (heur, _) = espresso(&f);
+    assert!(exact.len() <= heur.len());
+    // The shared 111 row makes 7 the multi-output optimum.
+    assert_eq!(exact.len(), 7);
+    ambipla::logic::eval::assert_equivalent(&f, &exact);
+}
+
+/// Every extended-registry stand-in flows through minimize → map → verify
+/// (sampled beyond the exhaustive limit).
+#[test]
+fn extended_registry_pipeline() {
+    for b in ambipla::benchmarks::extended() {
+        let (min, stats) = espresso(&b.on);
+        assert_eq!(stats.final_cubes, b.on.len(), "{} fixed point", b.name);
+        let pla = GnorPla::from_cover(&min);
+        assert!(pla.implements(&b.on), "{}", b.name);
+        assert!(pla.implements_proved(&b.on), "{} (BDD)", b.name);
+    }
+}

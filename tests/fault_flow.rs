@@ -1,0 +1,83 @@
+//! Integration: defect injection → repair → fault-simulation verification
+//! across many seeds, plus the yield-monotonicity claims.
+
+use ambipla::benchmarks::RandomPla;
+use ambipla::core::GnorPla;
+use ambipla::fault::{repair, yield_curve, yield_curve_biased, DefectMap, FaultyGnorPla, RepairOutcome};
+use ambipla::logic::Cover;
+
+/// Whenever repair reports success, the repaired array must verify by
+/// fault simulation — across functions, rates and seeds.
+#[test]
+fn successful_repairs_always_verify() {
+    let mut successes = 0;
+    for seed in 0..30u64 {
+        let f = RandomPla::new(5, 2, 10)
+            .seed(seed)
+            .literal_density(0.5)
+            .build();
+        let defects = DefectMap::sample(f.len() + 3, 5, 2, 0.04, 0.7, seed * 31 + 1);
+        if let RepairOutcome::Repaired { pla, assignment, .. } = repair(&f, &defects) {
+            successes += 1;
+            // Assignment is a valid injection into physical rows.
+            let mut seen = vec![false; defects.rows()];
+            for &r in &assignment {
+                assert!(!seen[r], "seed {seed}: row {r} double-assigned");
+                seen[r] = true;
+            }
+            let faulty = FaultyGnorPla::new(pla, defects);
+            assert!(faulty.implements(&f), "seed {seed}: repair verified false");
+        }
+    }
+    assert!(successes > 10, "repair should succeed often at 4% defects");
+}
+
+/// A clean array needs no repair and an intact mapping simulates exactly
+/// like the ideal PLA.
+#[test]
+fn clean_fault_simulation_is_transparent() {
+    for seed in 0..5u64 {
+        let f = RandomPla::new(6, 2, 12).seed(seed).build();
+        let pla = GnorPla::from_cover(&f);
+        let d = pla.dimensions();
+        let faulty = FaultyGnorPla::new(pla.clone(), DefectMap::clean(d.products, d.inputs, d.outputs));
+        for bits in 0..64u64 {
+            assert_eq!(faulty.simulate_bits(bits), pla.simulate_bits(bits));
+        }
+    }
+}
+
+/// In an open-dominated process (all defects stuck-off) more spares never
+/// reduce yield: extra rows only add re-assignment freedom. (With stuck-on
+/// shorts the trade-off is real — spare rows enlarge the output plane — so
+/// monotonicity is only promised for opens.)
+#[test]
+fn yield_is_monotone_in_spares_for_open_defects() {
+    let f = Cover::parse("110 01\n101 01\n011 01\n111 11\n100 10\n010 10\n001 10", 3, 2).unwrap();
+    let rates = [0.02, 0.05];
+    let y2 = yield_curve_biased(&f, 2, &rates, 60, 5, 1.0);
+    let y6 = yield_curve_biased(&f, 6, &rates, 60, 5, 1.0);
+    for (a, b) in y2.iter().zip(&y6) {
+        assert!(
+            b.repaired_yield >= a.repaired_yield - 0.05,
+            "rate {}: yield dropped with more spares ({} -> {})",
+            a.defect_rate,
+            a.repaired_yield,
+            b.repaired_yield
+        );
+    }
+}
+
+/// Repaired yield dominates raw yield at every rate (the paper's §5
+/// fault-tolerance claim, end to end).
+#[test]
+fn repair_dominates_raw_yield() {
+    let f = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+    for pt in yield_curve(&f, 3, &[0.01, 0.05, 0.15], 80, 17) {
+        assert!(
+            pt.repaired_yield >= pt.raw_yield,
+            "rate {}: repair hurt yield",
+            pt.defect_rate
+        );
+    }
+}

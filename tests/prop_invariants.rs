@@ -1,0 +1,229 @@
+//! Property-based invariants over the whole stack (proptest).
+//!
+//! Strategy: generate random multi-output covers (bounded arity so
+//! equivalence checks stay exhaustive) and assert the contracts every
+//! transformation promises.
+
+use ambipla::core::{analyze_activity, ClassicalPla, Crossbar, GnorPla, Wpla};
+use ambipla::fault::{repair, DefectMap, FaultyGnorPla, RepairOutcome};
+use ambipla::logic::ops::{disjoint_cover, intersect, minterm_count, sharp};
+use ambipla::logic::{
+    bdd_equivalent, espresso, exact_minimize, eval::check_implements, Cover, Cube, Tri,
+};
+use proptest::prelude::*;
+
+/// A random cube over `n` inputs and `o` outputs.
+fn arb_cube(n: usize, o: usize) -> impl Strategy<Value = Cube> {
+    (
+        proptest::collection::vec(0..3u8, n),
+        proptest::collection::vec(any::<bool>(), o),
+        0..o,
+    )
+        .prop_map(move |(tris, mut outs, force)| {
+            outs[force] = true; // at least one output
+            let tris: Vec<Tri> = tris
+                .iter()
+                .map(|&t| match t {
+                    0 => Tri::Zero,
+                    1 => Tri::One,
+                    _ => Tri::DontCare,
+                })
+                .collect();
+            Cube::from_tris(&tris, &outs)
+        })
+}
+
+/// A random cover with 1..=max_cubes cubes.
+fn arb_cover(n: usize, o: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(arb_cube(n, o), 1..=max_cubes)
+        .prop_map(move |cubes| Cover::from_cubes(n, o, cubes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ESPRESSO output implements exactly the same function (no DC set).
+    #[test]
+    fn espresso_preserves_function(f in arb_cover(5, 2, 10)) {
+        let (min, stats) = espresso(&f);
+        prop_assert!(stats.final_cubes <= stats.initial_cubes.max(1));
+        prop_assert_eq!(check_implements(&f, &Cover::new(5, 2), &min), None);
+        for bits in 0..32u64 {
+            prop_assert_eq!(min.eval_bits(bits), f.eval_bits(bits));
+        }
+    }
+
+    /// URP complement is the pointwise negation, and double complement is
+    /// the identity (as a function).
+    #[test]
+    fn complement_is_involutive(f in arb_cover(6, 1, 8)) {
+        let slice = f.output_slice(0);
+        let comp = slice.complement();
+        let back = comp.complement();
+        for bits in 0..64u64 {
+            prop_assert_eq!(comp.eval_bits(bits)[0], !slice.eval_bits(bits)[0]);
+            prop_assert_eq!(back.eval_bits(bits)[0], slice.eval_bits(bits)[0]);
+        }
+    }
+
+    /// Tautology check agrees with exhaustive evaluation.
+    #[test]
+    fn tautology_agrees_with_eval(f in arb_cover(5, 1, 8)) {
+        let slice = f.output_slice(0);
+        let taut = slice.is_tautology();
+        let exhaustive = (0..32u64).all(|b| slice.eval_bits(b)[0]);
+        prop_assert_eq!(taut, exhaustive);
+    }
+
+    /// The GNOR PLA and the classical PLA implement every cover
+    /// identically (the architectural equivalence behind Table 1).
+    #[test]
+    fn gnor_equals_classical(f in arb_cover(5, 2, 8)) {
+        let gnor = GnorPla::from_cover(&f);
+        let classical = ClassicalPla::from_cover(&f);
+        for bits in 0..32u64 {
+            prop_assert_eq!(gnor.simulate_bits(bits), f.eval_bits(bits));
+            prop_assert_eq!(classical.simulate_bits(bits), f.eval_bits(bits));
+        }
+    }
+
+    /// Charge programming is a lossless round trip.
+    #[test]
+    fn programming_roundtrip(f in arb_cover(4, 2, 6)) {
+        let pla = GnorPla::from_cover(&f);
+        let (m1, m2) = pla.program(1.0);
+        let back = GnorPla::from_programmed(&m1, &m2, pla.inverting_outputs().to_vec());
+        prop_assert_eq!(back, pla);
+    }
+
+    /// The buffered WPLA reference construction is always equivalent to
+    /// the two-level PLA.
+    #[test]
+    fn wpla_buffered_equals_two_level(f in arb_cover(4, 2, 6)) {
+        let two = GnorPla::from_cover(&f);
+        let four = Wpla::buffered_from_cover(&f);
+        for bits in 0..16u64 {
+            prop_assert_eq!(four.simulate_bits(bits), two.simulate_bits(bits));
+        }
+    }
+
+    /// Crossbar routing: a programmed permutation routes every signal to
+    /// exactly its target, regardless of the driven values.
+    #[test]
+    fn crossbar_permutation_routes(
+        perm in proptest::sample::subsequence((0..6usize).collect::<Vec<_>>(), 6),
+        values in proptest::collection::vec(any::<bool>(), 6),
+    ) {
+        // `perm` is 0..6 in order — build an actual permutation by rotating.
+        let n = 6;
+        let mut xbar = Crossbar::new(n, n);
+        for (h, &v) in perm.iter().enumerate() {
+            let _ = v;
+            xbar.connect(h, (h + 2) % n);
+        }
+        let routed = xbar.route(&values).expect("permutation has no shorts");
+        for h in 0..n {
+            prop_assert_eq!(routed[(h + 2) % n], Some(values[h]));
+        }
+    }
+
+    /// Fault repair, when it succeeds, always yields a verified array.
+    #[test]
+    fn repair_success_implies_verified(seed in 0u64..500) {
+        let f = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+        let defects = DefectMap::sample(4, 2, 1, 0.08, 0.7, seed);
+        if let RepairOutcome::Repaired { pla, .. } = repair(&f, &defects) {
+            let faulty = FaultyGnorPla::new(pla, defects);
+            prop_assert!(faulty.implements(&f));
+        }
+    }
+
+    /// SCC minimality never changes the function.
+    #[test]
+    fn scc_preserves_function(f in arb_cover(5, 2, 10)) {
+        let mut g = f.clone();
+        g.make_scc_minimal();
+        prop_assert!(g.len() <= f.len());
+        for bits in 0..32u64 {
+            prop_assert_eq!(g.eval_bits(bits), f.eval_bits(bits));
+        }
+    }
+
+    /// BDD equivalence agrees with exhaustive evaluation on random covers.
+    #[test]
+    fn bdd_agrees_with_exhaustive(f in arb_cover(5, 2, 8), g in arb_cover(5, 2, 8)) {
+        let exhaustive = (0..32u64).all(|b| f.eval_bits(b) == g.eval_bits(b));
+        prop_assert_eq!(bdd_equivalent(&f, &g), exhaustive);
+        prop_assert!(bdd_equivalent(&f, &f));
+    }
+
+    /// BDD proves every espresso run (independent of the eval checker).
+    #[test]
+    fn bdd_proves_espresso(f in arb_cover(6, 2, 10)) {
+        let (min, _) = espresso(&f);
+        prop_assert!(bdd_equivalent(&f, &min));
+    }
+
+    /// Sharp, intersect and disjoint covers behave pointwise.
+    #[test]
+    fn cover_algebra_pointwise(a in arb_cover(5, 1, 6), b in arb_cover(5, 1, 6)) {
+        let meet = intersect(&a, &b);
+        let diff = sharp(&a, &b);
+        let disj = disjoint_cover(&a);
+        for bits in 0..32u64 {
+            let (va, vb) = (a.eval_bits(bits)[0], b.eval_bits(bits)[0]);
+            prop_assert_eq!(meet.eval_bits(bits)[0], va && vb);
+            prop_assert_eq!(diff.eval_bits(bits)[0], va && !vb);
+            prop_assert_eq!(disj.eval_bits(bits)[0], va);
+        }
+        // Disjointness of the disjoint cover.
+        for (i, x) in disj.iter().enumerate() {
+            for y in disj.cubes().iter().skip(i + 1) {
+                prop_assert!(!x.intersects(y));
+            }
+        }
+        // Minterm counting agrees with exhaustive counting.
+        let count = (0..32u64).filter(|&m| a.eval_bits(m)[0]).count() as u64;
+        prop_assert_eq!(minterm_count(&a), count);
+    }
+
+    /// Exact minimization is equivalent and never beaten by espresso.
+    #[test]
+    fn exact_is_sound_and_minimal(f in arb_cover(4, 2, 6)) {
+        let dc = Cover::new(4, 2);
+        let exact = exact_minimize(&f, &dc);
+        prop_assert_eq!(check_implements(&f, &dc, &exact), None);
+        let (heur, _) = espresso(&f);
+        prop_assert!(exact.len() <= heur.len());
+    }
+
+    /// Activity analysis matches exhaustive switching counts.
+    #[test]
+    fn activity_matches_exhaustive(f in arb_cover(5, 2, 6)) {
+        let act = analyze_activity(&f);
+        let space = 32.0;
+        for (r, c) in f.iter().enumerate() {
+            let hits = (0..32u64).filter(|&m| c.covers_bits(m)).count() as f64;
+            prop_assert!((act.product_activity[r] - (1.0 - hits / space)).abs() < 1e-9);
+        }
+        for j in 0..2 {
+            let hits = (0..32u64).filter(|&m| f.eval_bits(m)[j]).count() as f64;
+            prop_assert!((act.output_activity[j] - hits / space).abs() < 1e-9);
+        }
+    }
+
+    /// Cover cofactor evaluated inside the cofactor space agrees with the
+    /// original cover (Shannon expansion sanity).
+    #[test]
+    fn cofactor_agrees_on_subspace(f in arb_cover(5, 1, 8), var in 0usize..5, phase in any::<bool>()) {
+        let mut p = Cube::universe(5, 1);
+        p.set_input(var, if phase { Tri::One } else { Tri::Zero });
+        let cf = f.cofactor(&p);
+        for bits in 0..32u64 {
+            let in_subspace = (bits >> var & 1 == 1) == phase;
+            if in_subspace {
+                prop_assert_eq!(cf.eval_bits(bits)[0], f.eval_bits(bits)[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration: the §5 synthesis extensions (phase optimization, WPLA) on
+//! top of the ESPRESSO + GNOR-PLA stack.
+
+use ambipla::benchmarks::{classics, RandomPla};
+use ambipla::core::{GnorPla, Wpla};
+use ambipla::logic::Cover;
+use ambipla::phase::{optimize_output_phases, synthesize_wpla, PhaseStrategy};
+
+/// Phase-optimized PLAs must implement the original function and never use
+/// more rows than the direct mapping, across seeds.
+#[test]
+fn phase_opt_is_sound_and_never_worse() {
+    for seed in 0..8u64 {
+        let f = RandomPla::new(6, 3, 16)
+            .seed(seed)
+            .literal_density(0.4)
+            .build();
+        let dc = Cover::new(6, 3);
+        let a = optimize_output_phases(&f, &dc, PhaseStrategy::Greedy);
+        assert!(a.after_products <= a.before_products, "seed {seed}");
+        if a.after_products == 0 {
+            continue; // constant function after complementation
+        }
+        let pla = a.to_gnor_pla();
+        assert!(pla.implements(&f), "seed {seed}: phase-opt PLA wrong");
+        let direct = GnorPla::from_cover(&ambipla::logic::espresso(&f).0);
+        assert!(
+            pla.dimensions().products <= direct.dimensions().products,
+            "seed {seed}: phase-opt grew the PLA"
+        );
+    }
+}
+
+/// Greedy and exhaustive agree on cost for tiny functions (greedy may find
+/// a different but equally-sized assignment).
+#[test]
+fn greedy_matches_exhaustive_on_small_functions() {
+    for seed in 0..5u64 {
+        let f = RandomPla::new(4, 2, 8).seed(seed).literal_density(0.5).build();
+        let dc = Cover::new(4, 2);
+        let g = optimize_output_phases(&f, &dc, PhaseStrategy::Greedy);
+        let e = optimize_output_phases(&f, &dc, PhaseStrategy::Exhaustive);
+        assert!(
+            g.after_products >= e.after_products,
+            "seed {seed}: greedy beat exhaustive?!"
+        );
+        assert!(
+            g.after_products <= e.after_products + 2,
+            "seed {seed}: greedy much worse than exhaustive"
+        );
+    }
+}
+
+/// WPLA synthesis is sound on the classics and on random covers, and the
+/// buffered reference construction agrees with the Doppio split.
+#[test]
+fn wpla_synthesis_is_sound() {
+    for b in classics() {
+        let r = synthesize_wpla(&b.on, &b.dc);
+        assert!(r.wpla.implements(&b.on), "{}", b.name);
+        let buffered = Wpla::buffered_from_cover(&b.on);
+        for bits in 0..(1u64 << b.on.n_inputs()) {
+            assert_eq!(
+                r.wpla.simulate_bits(bits),
+                buffered.simulate_bits(bits),
+                "{}: WPLA variants disagree at {bits:b}",
+                b.name
+            );
+        }
+    }
+    for seed in 0..6u64 {
+        let f = RandomPla::new(7, 2, 20).seed(seed).literal_density(0.5).build();
+        let dc = Cover::new(7, 2);
+        let minimized = ambipla::logic::espresso(&f).0;
+        let r = synthesize_wpla(&f, &dc);
+        assert!(r.wpla.implements(&minimized), "seed {seed}");
+    }
+}
+
+/// The WPLA split must never exceed the flat plane width by more than the
+/// per-output buffer rows it adds.
+#[test]
+fn wpla_width_is_bounded() {
+    for seed in 0..6u64 {
+        let f = RandomPla::new(7, 2, 20).seed(seed).literal_density(0.5).build();
+        let dc = Cover::new(7, 2);
+        let r = synthesize_wpla(&f, &dc);
+        let bound = r.two_level_width.div_ceil(2) + f.n_outputs();
+        assert!(
+            r.wpla_max_width <= bound,
+            "seed {seed}: width {} > bound {bound}",
+            r.wpla_max_width
+        );
+    }
+}
+
+/// Phase optimization composes with WPLA synthesis: synthesize the WPLA
+/// from the phase-optimized cover, restore polarity at the drivers.
+#[test]
+fn phase_opt_then_wpla() {
+    let f = Cover::parse("1-- 10\n-1- 10\n--1 10\n111 01", 3, 2).unwrap();
+    let dc = Cover::new(3, 2);
+    let a = optimize_output_phases(&f, &dc, PhaseStrategy::Exhaustive);
+    let r = synthesize_wpla(&a.cover, &dc);
+    // The WPLA realizes the phase-adjusted cover; XOR the phases back.
+    for bits in 0..8u64 {
+        let got = r.wpla.simulate_bits(bits);
+        let want = f.eval_bits(bits);
+        for j in 0..2 {
+            assert_eq!(got[j] ^ a.phases[j], want[j], "bits {bits:03b} out {j}");
+        }
+    }
+}
