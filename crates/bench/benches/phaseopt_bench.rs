@@ -19,7 +19,9 @@ fn bench_phaseopt(c: &mut Criterion) {
             BenchmarkId::new("greedy", format!("{inputs}i{outputs}o{products}p")),
             &(&f, &dc),
             |b, (f, dc)| {
-                b.iter(|| optimize_output_phases(f, dc, std::hint::black_box(PhaseStrategy::Greedy)))
+                b.iter(|| {
+                    optimize_output_phases(f, dc, std::hint::black_box(PhaseStrategy::Greedy))
+                })
             },
         );
         group.bench_with_input(

@@ -1,18 +1,25 @@
 //! Criterion micro-bench: GNOR-PLA functional simulation throughput
-//! (mapping, exhaustive simulation, programming round-trip).
+//! (mapping, exhaustive simulation, programming round-trip) and the
+//! 64-lane [`BatchSim`] engine against 64 sequential `simulate_bits`
+//! calls.
+//!
+//! The batch section prints an explicit `speedup:` line per architecture
+//! and asserts the acceptance floor: on a 16-input / 32-term / 8-output
+//! cover, `GnorPla::simulate_batch` must be at least 8× faster than 64
+//! independent `simulate_bits` calls.
 
-use ambipla_core::GnorPla;
+use ambipla_core::batch::pack_vectors;
+use ambipla_core::{BatchSim, ClassicalPla, GnorPla, Wpla};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcnc::RandomPla;
 
 fn bench_pla(c: &mut Criterion) {
     let mut group = c.benchmark_group("gnor_pla");
     for bench in mcnc::table1_benchmarks() {
         let pla = GnorPla::from_cover(&bench.on);
-        group.bench_with_input(
-            BenchmarkId::new("map", bench.name),
-            &bench.on,
-            |b, on| b.iter(|| GnorPla::from_cover(std::hint::black_box(on))),
-        );
+        group.bench_with_input(BenchmarkId::new("map", bench.name), &bench.on, |b, on| {
+            b.iter(|| GnorPla::from_cover(std::hint::black_box(on)))
+        });
         group.bench_with_input(
             BenchmarkId::new("simulate_1k", bench.name),
             &pla,
@@ -26,14 +33,107 @@ fn bench_pla(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("program", bench.name),
-            &pla,
-            |b, pla| b.iter(|| pla.program(std::hint::black_box(1e-3))),
-        );
+        group.bench_with_input(BenchmarkId::new("program", bench.name), &pla, |b, pla| {
+            b.iter(|| pla.program(std::hint::black_box(1e-3)))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_pla);
+/// The acceptance-criteria workload: 16 inputs, 32 product terms, 8
+/// outputs.
+fn acceptance_cover() -> logic::Cover {
+    RandomPla::new(16, 8, 32)
+        .seed(42)
+        .literal_density(0.4)
+        .build()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let cover = acceptance_cover();
+    let vectors: Vec<u64> = (0..64u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & 0xffff)
+        .collect();
+    let packed = pack_vectors(&vectors, cover.n_inputs());
+
+    let gnor = GnorPla::from_cover(&cover);
+    let classical = ClassicalPla::from_cover(&cover);
+    let wpla = Wpla::buffered_from_cover(&cover);
+
+    {
+        let mut group = c.benchmark_group("batch_16i32p8o");
+        group.bench_with_input(
+            BenchmarkId::new("scalar_64", "gnor"),
+            &(&gnor, &vectors),
+            |b, (pla, vectors)| {
+                b.iter(|| {
+                    vectors
+                        .iter()
+                        .map(|&bits| pla.simulate_bits(std::hint::black_box(bits)))
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch_64", "gnor"),
+            &(&gnor, &packed),
+            |b, (pla, packed)| b.iter(|| pla.simulate_batch(std::hint::black_box(packed))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scalar_64", "classical"),
+            &(&classical, &vectors),
+            |b, (pla, vectors)| {
+                b.iter(|| {
+                    vectors
+                        .iter()
+                        .map(|&bits| pla.simulate_bits(std::hint::black_box(bits)))
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch_64", "classical"),
+            &(&classical, &packed),
+            |b, (pla, packed)| b.iter(|| pla.simulate_batch(std::hint::black_box(packed))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scalar_64", "wpla"),
+            &(&wpla, &vectors),
+            |b, (pla, vectors)| {
+                b.iter(|| {
+                    vectors
+                        .iter()
+                        .map(|&bits| pla.simulate_bits(std::hint::black_box(bits)))
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch_64", "wpla"),
+            &(&wpla, &packed),
+            |b, (pla, packed)| b.iter(|| pla.simulate_batch(std::hint::black_box(packed))),
+        );
+        group.finish();
+    }
+
+    for arch in ["gnor", "classical", "wpla"] {
+        let scalar = c
+            .median_ns(&format!("scalar_64/{arch}"))
+            .expect("scalar measurement recorded");
+        let batch = c
+            .median_ns(&format!("batch_64/{arch}"))
+            .expect("batch measurement recorded");
+        let speedup = scalar / batch;
+        println!("batch_16i32p8o/{arch:<10} speedup: {speedup:.1}x (64 vectors per call)");
+        if arch == "gnor" {
+            assert!(
+                speedup >= 8.0,
+                "acceptance floor: BatchSim must be ≥ 8× faster than 64 \
+                 sequential simulate_bits calls, measured {speedup:.1}x"
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_pla, bench_batch);
 criterion_main!(benches);

@@ -19,15 +19,7 @@ fn bench_yield(c: &mut Criterion) {
             BenchmarkId::from_parameter(trials),
             &trials,
             |b, &trials| {
-                b.iter(|| {
-                    yield_curve(
-                        std::hint::black_box(&f),
-                        4,
-                        &[0.01, 0.05],
-                        trials,
-                        7,
-                    )
-                })
+                b.iter(|| yield_curve(std::hint::black_box(&f), 4, &[0.01, 0.05], trials, 7))
             },
         );
     }

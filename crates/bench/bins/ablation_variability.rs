@@ -37,12 +37,7 @@ fn main() {
         println!("|-----------|------------------------|------------|");
         for &w in &widths {
             let margin = model.gnor_noise_margin(w, 100, 42);
-            println!(
-                "| {:>9} | {:>22.1} | {:>10} |",
-                w,
-                margin,
-                margin > 1.0
-            );
+            println!("| {:>9} | {:>22.1} | {:>10} |", w, margin, margin > 1.0);
         }
         println!();
     }

@@ -30,7 +30,10 @@ fn main() {
         assert!(ok, "{}: WPLA must implement the function", b.name);
     }
     for seed in 0..5u64 {
-        let f = RandomPla::new(7, 2, 24).seed(seed).literal_density(0.5).build();
+        let f = RandomPla::new(7, 2, 24)
+            .seed(seed)
+            .literal_density(0.5)
+            .build();
         let dc = Cover::new(7, 2);
         let r = synthesize_wpla(&f, &dc);
         let ok = r.wpla.implements(&logic::espresso(&f).0);

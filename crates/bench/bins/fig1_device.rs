@@ -23,8 +23,16 @@ fn main() {
             "| {:<8} | {:<8} | {:<4} | {:<4} |",
             level.to_string(),
             d.polarity().to_string(),
-            if d.conduction(false).is_on() { "on" } else { "off" },
-            if d.conduction(true).is_on() { "on" } else { "off" },
+            if d.conduction(false).is_on() {
+                "on"
+            } else {
+                "off"
+            },
+            if d.conduction(true).is_on() {
+                "on"
+            } else {
+                "off"
+            },
         );
     }
 
@@ -44,7 +52,10 @@ fn main() {
     }
     println!();
     println!("Figures of merit:");
-    println!("  on/off ratio (V+ vs V0, CG=1): {:.0}", params.on_off_ratio());
+    println!(
+        "  on/off ratio (V+ vs V0, CG=1): {:.0}",
+        params.on_off_ratio()
+    );
     println!(
         "  R_on n-type: {:.1} kOhm   R_on p-type: {:.1} kOhm   R_off: {:.2} MOhm",
         params.r_on(cnfet::Polarity::NType) / 1e3,

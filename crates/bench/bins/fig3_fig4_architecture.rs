@@ -70,7 +70,10 @@ fn main() {
     let routed = xbar.route(&sample).expect("no shorts");
     println!("  PLA outputs (sum, carry) @ a=b=1,cin=0: {sample:?}");
     println!("  routed through swap crossbar          : {routed:?}");
-    println!("  programmed crosspoints                : {}", xbar.connection_count());
+    println!(
+        "  programmed crosspoints                : {}",
+        xbar.connection_count()
+    );
 
     // Dynamic-logic timing of the cascade.
     let timing: PlaTiming = TimingModel::nominal(32.0).pla_timing(&pla);

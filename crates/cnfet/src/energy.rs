@@ -30,8 +30,7 @@ impl EnergyModel {
     /// Capacitance (farads) of one dynamic line spanning `span_cells`
     /// cells and loading `fanout` gates.
     pub fn line_capacitance(&self, span_cells: usize, fanout: usize) -> f64 {
-        self.params.c_wire_per_cell * span_cells as f64
-            + self.params.c_gate * fanout.max(1) as f64
+        self.params.c_wire_per_cell * span_cells as f64 + self.params.c_gate * fanout.max(1) as f64
     }
 
     /// Energy of one full discharge+recharge of a line (joules).
@@ -75,16 +74,10 @@ impl EnergyModel {
     /// Energy advantage of the GNOR PLA over a classical PLA implementing
     /// the same `(inputs, outputs, products)` at equal activities: the
     /// classical input plane spans `2·inputs` columns per product line.
-    pub fn gnor_over_classical_ratio(
-        &self,
-        inputs: usize,
-        outputs: usize,
-        products: usize,
-    ) -> f64 {
+    pub fn gnor_over_classical_ratio(&self, inputs: usize, outputs: usize, products: usize) -> f64 {
         let act = 0.5;
         let gnor = self.pla_cycle_energy(inputs, outputs, products, act, act);
-        let classical_p1 =
-            products as f64 * act * self.line_switch_energy(2 * inputs, 1);
+        let classical_p1 = products as f64 * act * self.line_switch_energy(2 * inputs, 1);
         let classical_p2 = outputs as f64 * act * self.line_switch_energy(products, 1);
         gnor / (classical_p1 + classical_p2)
     }

@@ -63,10 +63,12 @@ impl DeviceParams {
         let mid = VDD / 2.0;
         // Electron branch: grows as PG rises above V0; gated by CG high.
         let e_over = (v_pg - mid) - self.off_window / 2.0;
-        let e_branch = self.i_on * sigmoid(e_over / self.slope) * sigmoid((v_cg - mid) / self.slope);
+        let e_branch =
+            self.i_on * sigmoid(e_over / self.slope) * sigmoid((v_cg - mid) / self.slope);
         // Hole branch: grows as PG falls below V0; gated by CG low.
         let h_over = (mid - v_pg) - self.off_window / 2.0;
-        let h_branch = self.i_on * sigmoid(h_over / self.slope) * sigmoid((mid - v_cg) / self.slope);
+        let h_branch =
+            self.i_on * sigmoid(h_over / self.slope) * sigmoid((mid - v_cg) / self.slope);
         self.i_off + e_branch + h_branch
     }
 
@@ -116,8 +118,7 @@ impl DeviceParams {
     /// On/off current ratio between a fully-driven n device and the `V0`
     /// minimum — the figure of merit that makes the third state usable.
     pub fn on_off_ratio(&self) -> f64 {
-        self.current(PgLevel::VPlus.voltage(), VDD)
-            / self.current(PgLevel::VZero.voltage(), VDD)
+        self.current(PgLevel::VPlus.voltage(), VDD) / self.current(PgLevel::VZero.voltage(), VDD)
     }
 
     /// RC time constant (seconds) of one device driving `fanout_cells` cell

@@ -243,13 +243,9 @@ impl ProgrammingMatrix {
     /// True if every cell decodes to `map`.
     pub fn verify(&self, map: &[Vec<PgLevel>]) -> bool {
         map.len() == self.rows
-            && map
-                .iter()
-                .enumerate()
-                .all(|(i, row)| {
-                    row.len() == self.cols
-                        && row.iter().enumerate().all(|(j, &l)| self.read(i, j) == l)
-                })
+            && map.iter().enumerate().all(|(i, row)| {
+                row.len() == self.cols && row.iter().enumerate().all(|(j, &l)| self.read(i, j) == l)
+            })
     }
 
     /// Let every node leak for `dt` seconds.

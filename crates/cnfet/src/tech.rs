@@ -38,7 +38,13 @@ impl CellGeometry {
 
 impl fmt::Display for CellGeometry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}L x {}L = {} L^2", self.width_l, self.height_l, self.area_l2())
+        write!(
+            f,
+            "{}L x {}L = {} L^2",
+            self.width_l,
+            self.height_l,
+            self.area_l2()
+        )
     }
 }
 

@@ -203,7 +203,10 @@ mod tests {
         let m = VariabilityModel::nominal().with_metallic_fraction(0.0);
         let samples = m.sample_many(5000, 11);
         let max = samples.iter().map(|s| s.i_on_factor).fold(0.0, f64::max);
-        let min = samples.iter().map(|s| s.i_on_factor).fold(f64::INFINITY, f64::min);
+        let min = samples
+            .iter()
+            .map(|s| s.i_on_factor)
+            .fold(f64::INFINITY, f64::min);
         assert!(max / min > 3.0, "spread too tight: {}", max / min);
         assert!(max / min < 300.0, "spread too wide: {}", max / min);
     }
@@ -224,7 +227,10 @@ mod tests {
         let clean_margin = clean.gnor_noise_margin(8, 40, 9);
         let dirty_margin = dirty.gnor_noise_margin(8, 40, 9);
         assert!(dirty_margin < clean_margin / 10.0);
-        assert!(dirty_margin <= 1.0 + 1e-9, "a metallic leak ties the margin");
+        assert!(
+            dirty_margin <= 1.0 + 1e-9,
+            "a metallic leak ties the margin"
+        );
     }
 
     #[test]

@@ -52,11 +52,7 @@ impl PlaDimensions {
 
 impl fmt::Display for PlaDimensions {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}i/{}o/{}p",
-            self.inputs, self.outputs, self.products
-        )
+        write!(f, "{}i/{}o/{}p", self.inputs, self.outputs, self.products)
     }
 }
 
@@ -83,11 +79,7 @@ pub enum Technology {
 
 impl Technology {
     /// The three technologies in Table 1 column order.
-    pub const ALL: [Technology; 3] = [
-        Technology::Flash,
-        Technology::Eeprom,
-        Technology::CnfetGnor,
-    ];
+    pub const ALL: [Technology; 3] = [Technology::Flash, Technology::Eeprom, Technology::CnfetGnor];
 
     /// The contacted basic-cell geometry.
     pub fn cell(&self) -> CellGeometry {

@@ -7,6 +7,7 @@
 //! covers as [`crate::GnorPla`]; structurally it pays `2i + o` columns.
 
 use crate::area::PlaDimensions;
+use crate::batch::{self, BatchSim};
 use logic::{Cover, Tri};
 
 /// A classical two-level PLA with complemented input columns.
@@ -139,7 +140,52 @@ impl ClassicalPla {
     /// up to [`logic::eval::EXHAUSTIVE_LIMIT`] inputs).
     pub fn implements(&self, cover: &Cover) -> bool {
         let n = self.n_inputs.min(logic::eval::EXHAUSTIVE_LIMIT);
-        (0..(1u64 << n)).all(|bits| self.simulate_bits(bits) == cover.eval_bits(bits))
+        batch::equivalent_to_cover(self, cover, n)
+    }
+}
+
+impl BatchSim for ClassicalPla {
+    fn batch_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    fn batch_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
+        // True/complement rails, one word pair per input.
+        let mut rails = Vec::with_capacity(2 * self.n_inputs);
+        for &x in inputs {
+            rails.push(x);
+            rails.push(!x);
+        }
+        let products: Vec<u64> = self
+            .and_plane
+            .iter()
+            .map(|row| {
+                let mut discharged = 0u64;
+                for (&connected, &rail) in row.iter().zip(&rails) {
+                    if connected {
+                        discharged |= rail;
+                    }
+                }
+                !discharged
+            })
+            .collect();
+        self.or_plane
+            .iter()
+            .map(|row| {
+                let mut asserted = 0u64;
+                for (&connected, &p) in row.iter().zip(&products) {
+                    if connected {
+                        asserted |= p;
+                    }
+                }
+                asserted
+            })
+            .collect()
     }
 }
 

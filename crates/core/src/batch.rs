@@ -1,0 +1,235 @@
+//! 64-lane bit-parallel batch simulation.
+//!
+//! Every functional simulator in this workspace originally evaluated one
+//! input vector at a time over `Vec<bool>` signals. The hot paths — yield
+//! Monte-Carlo, phase-optimization verification, exhaustive equivalence
+//! sweeps — all evaluate the *same* array on *many* vectors, which makes
+//! them ideal for word-level bit-slicing: pack one bit per **lane** (input
+//! vector) into a `u64`, keep one word per signal column, and every
+//! AND/OR/NOT over words advances all 64 lanes at once.
+//!
+//! The packing convention is *column-major*: `inputs[i]` holds input `i` of
+//! all 64 lanes; bit `L` of that word is input `i` of lane `L`. The same
+//! convention applies to outputs. [`pack_vectors`] / [`unpack_lane`]
+//! convert between this layout and the packed-assignment (`u64` per
+//! vector) layout the scalar `simulate_bits` APIs use.
+//!
+//! [`BatchSim`] is implemented by all four PLA architectures
+//! ([`GnorPla`](crate::GnorPla), [`ClassicalPla`](crate::ClassicalPla),
+//! [`DynamicPla`](crate::DynamicPla), [`Wpla`](crate::Wpla)) and by the
+//! fault simulator's defective array; [`equivalent_to_cover`] and
+//! [`agrees_on`] are the batch-powered verification loops behind every
+//! `implements` check.
+
+use logic::Cover;
+
+pub use logic::eval::{exhaustive_block, pack_vectors, unpack_lane, LANES};
+
+/// Bit-parallel functional simulation over 64 packed lanes.
+pub trait BatchSim {
+    /// Number of primary inputs (words expected by
+    /// [`simulate_batch`](BatchSim::simulate_batch)).
+    fn batch_inputs(&self) -> usize;
+
+    /// Number of primary outputs (words returned).
+    fn batch_outputs(&self) -> usize;
+
+    /// Evaluate 64 input vectors at once.
+    ///
+    /// `inputs[i]` carries input `i` of every lane (bit `L` = lane `L`);
+    /// the returned words carry the outputs in the same lane order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.batch_inputs()`.
+    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64>;
+
+    /// Evaluate up to 64 packed assignments (the `simulate_bits` layout:
+    /// bit `i` of `vectors[L]` is input `i`), returning one output vector
+    /// per assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] vectors are supplied.
+    fn simulate_block(&self, vectors: &[u64]) -> Vec<Vec<bool>> {
+        assert!(vectors.len() <= LANES, "at most {LANES} lanes per block");
+        let words = self.simulate_batch(&pack_vectors(vectors, self.batch_inputs()));
+        (0..vectors.len())
+            .map(|lane| unpack_lane(&words, lane))
+            .collect()
+    }
+}
+
+/// Exhaustively compare `sim` against `cover` over the low `n_checked`
+/// inputs (any higher input columns are held at 0), 64 assignments per
+/// step. Equivalent to — and replaces — the scalar loop
+/// `(0..1 << n_checked).all(|bits| sim.simulate_bits(bits) == cover.eval_bits(bits))`.
+///
+/// # Panics
+///
+/// Panics if `n_checked` exceeds the simulator's input count or 63.
+pub fn equivalent_to_cover<S: BatchSim + ?Sized>(sim: &S, cover: &Cover, n_checked: usize) -> bool {
+    let n = sim.batch_inputs();
+    assert!(
+        n_checked <= n,
+        "cannot check more inputs than the array has"
+    );
+    assert!(n_checked < 64, "exhaustive sweeps need n_checked < 64");
+    if sim.batch_outputs() != cover.n_outputs() {
+        // Mismatched output arity can never be equivalent (mirrors the
+        // scalar Vec comparison this sweep replaced).
+        return false;
+    }
+    let total = 1u64 << n_checked;
+    if total < LANES as u64 {
+        let inputs = exhaustive_block(0, n);
+        let mask = (1u64 << total) - 1;
+        return words_agree(
+            &sim.simulate_batch(&inputs),
+            &eval_cover_resized(cover, &inputs),
+            mask,
+        );
+    }
+    (0..total).step_by(LANES).all(|base| {
+        let inputs = exhaustive_block(base, n);
+        words_agree(
+            &sim.simulate_batch(&inputs),
+            &eval_cover_resized(cover, &inputs),
+            !0,
+        )
+    })
+}
+
+/// Compare `sim` against `cover` on an explicit list of packed
+/// assignments, 64 per step. Used by the sampled (wide-function) paths.
+pub fn agrees_on<S: BatchSim + ?Sized>(sim: &S, cover: &Cover, patterns: &[u64]) -> bool {
+    if sim.batch_outputs() != cover.n_outputs() {
+        return false;
+    }
+    patterns.chunks(LANES).all(|chunk| {
+        let inputs = pack_vectors(chunk, sim.batch_inputs());
+        let mask = if chunk.len() == LANES {
+            !0
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        words_agree(
+            &sim.simulate_batch(&inputs),
+            &eval_cover_resized(cover, &inputs),
+            mask,
+        )
+    })
+}
+
+/// Evaluate `cover` on lane words produced for a (possibly different-arity)
+/// simulator: excess simulator columns are dropped, missing ones read as 0
+/// — matching what `Cover::eval_bits` did with out-of-range bits held low.
+fn eval_cover_resized(cover: &Cover, inputs: &[u64]) -> Vec<u64> {
+    if cover.n_inputs() == inputs.len() {
+        cover.eval_batch(inputs)
+    } else {
+        let mut resized = inputs[..inputs.len().min(cover.n_inputs())].to_vec();
+        resized.resize(cover.n_inputs(), 0);
+        cover.eval_batch(&resized)
+    }
+}
+
+fn words_agree(a: &[u64], b: &[u64], mask: u64) -> bool {
+    assert_eq!(a.len(), b.len(), "output arity mismatch");
+    a.iter().zip(b).all(|(&x, &y)| (x ^ y) & mask == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pla::GnorPla;
+
+    fn adder() -> (Cover, GnorPla) {
+        let f = Cover::parse(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        )
+        .expect("valid cover");
+        let pla = GnorPla::from_cover(&f);
+        (f, pla)
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let vectors: Vec<u64> = (0..64).map(|v| v * 0x9e37 % 1024).collect();
+        let words = pack_vectors(&vectors, 10);
+        for (lane, &v) in vectors.iter().enumerate() {
+            let bools = unpack_lane(&words, lane);
+            for (i, &b) in bools.iter().enumerate() {
+                assert_eq!(b, v >> i & 1 == 1, "lane {lane} input {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_block_enumerates_consecutive_assignments() {
+        for base in [0u64, 64, 192] {
+            let words = exhaustive_block(base, 9);
+            for lane in 0..64 {
+                let assignment = base + lane as u64;
+                for (i, &w) in words.iter().enumerate() {
+                    assert_eq!(
+                        w >> lane & 1,
+                        assignment >> i & 1,
+                        "base {base} lane {lane} input {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_block_matches_scalar() {
+        let (_, pla) = adder();
+        let vectors: Vec<u64> = (0..8).collect();
+        let block = crate::batch::BatchSim::simulate_block(&pla, &vectors);
+        for (lane, &bits) in vectors.iter().enumerate() {
+            assert_eq!(block[lane], pla.simulate_bits(bits), "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn equivalent_to_cover_agrees_with_scalar_loop() {
+        let (f, pla) = adder();
+        assert!(equivalent_to_cover(&pla, &f, 3));
+        // Break one driver polarity: the sweep must notice.
+        let broken = GnorPla::from_parts(
+            pla.input_plane().clone(),
+            pla.output_plane().clone(),
+            vec![true, false],
+        );
+        assert!(!equivalent_to_cover(&broken, &f, 3));
+    }
+
+    #[test]
+    fn sub_word_spaces_mask_unused_lanes() {
+        // 2 inputs: only 4 of the 64 lanes are meaningful.
+        let f = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+        let pla = GnorPla::from_cover(&f);
+        assert!(equivalent_to_cover(&pla, &f, 2));
+    }
+
+    #[test]
+    fn mismatched_output_arity_is_never_equivalent() {
+        // The scalar Vec comparison this sweep replaced returned false for
+        // a cover with a different output count; the batch sweep must too
+        // (in release builds as well, not via a debug assertion).
+        let (_, pla) = adder(); // 3 inputs, 2 outputs
+        let narrow = Cover::parse("110 1\n011 1", 3, 1).expect("valid cover");
+        assert!(!equivalent_to_cover(&pla, &narrow, 3));
+        assert!(!agrees_on(&pla, &narrow, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn agrees_on_partial_chunks() {
+        let (f, pla) = adder();
+        let pats: Vec<u64> = (0..100).map(|x| x % 8).collect(); // 64 + 36 tail
+        assert!(agrees_on(&pla, &f, &pats));
+    }
+}

@@ -130,7 +130,12 @@ impl PlaNetwork {
         for k in 0..stages.len() - 1 {
             let up = stages[k].dimensions().outputs;
             let down = stages[k + 1].dimensions().inputs;
-            assert_eq!(up, down, "stage {k} outputs must match stage {} inputs", k + 1);
+            assert_eq!(
+                up,
+                down,
+                "stage {k} outputs must match stage {} inputs",
+                k + 1
+            );
             let mut x = Crossbar::new(up, down);
             for i in 0..up {
                 x.connect(i, i);
@@ -252,7 +257,10 @@ mod tests {
         x.connect(0, 1);
         assert_eq!(
             PlaNetwork::new(vec![s1, s2], vec![x]),
-            Err(NetworkError::Short { stage: 0, vertical: 0 })
+            Err(NetworkError::Short {
+                stage: 0,
+                vertical: 0
+            })
         );
     }
 
@@ -269,10 +277,7 @@ mod tests {
 
     #[test]
     fn empty_network_is_rejected() {
-        assert_eq!(
-            PlaNetwork::new(vec![], vec![]),
-            Err(NetworkError::Empty)
-        );
+        assert_eq!(PlaNetwork::new(vec![], vec![]), Err(NetworkError::Empty));
     }
 
     #[test]

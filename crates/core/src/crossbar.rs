@@ -188,7 +188,11 @@ impl Crossbar {
     /// writes.
     pub fn pg_map(&self) -> Vec<Vec<PgLevel>> {
         (0..self.horizontals)
-            .map(|h| (0..self.verticals).map(|v| self.state(h, v).pg_level()).collect())
+            .map(|h| {
+                (0..self.verticals)
+                    .map(|v| self.state(h, v).pg_level())
+                    .collect()
+            })
             .collect()
     }
 

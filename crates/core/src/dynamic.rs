@@ -9,6 +9,7 @@
 //! dynamic discipline reproduces the functional semantics, including the
 //! monotonic-discharge property that makes the cascade race-free.
 
+use crate::batch::BatchSim;
 use crate::gnor::{DynamicGnor, Phase};
 use crate::pla::GnorPla;
 
@@ -111,6 +112,44 @@ impl DynamicPla {
     }
 }
 
+/// 64-lane batch evaluation of the **settled full-cycle result**: every
+/// lane precharges (all lines high) and then evaluates through the domino
+/// ordering, exactly what [`DynamicPla::cycle`] computes per vector.
+/// Because a full cycle starts from the precharged state, the result is a
+/// pure function of the inputs, so batching needs no per-lane cell state
+/// and leaves the scalar simulator's phase tracking untouched.
+impl BatchSim for DynamicPla {
+    fn batch_inputs(&self) -> usize {
+        self.plane1.first().map_or(0, |c| c.gate().width())
+    }
+
+    fn batch_outputs(&self) -> usize {
+        self.plane2.len()
+    }
+
+    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+        // After precharge, a line discharges iff its pull-down column
+        // conducts — the combinational GNOR of the configured gate.
+        let products: Vec<u64> = self
+            .plane1
+            .iter()
+            .map(|c| c.gate().evaluate_batch(inputs))
+            .collect();
+        self.plane2
+            .iter()
+            .zip(&self.inverting_outputs)
+            .map(|(c, &inv)| {
+                let w = c.gate().evaluate_batch(&products);
+                if inv {
+                    !w
+                } else {
+                    w
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,7 +196,11 @@ mod tests {
         let mut dynamic = DynamicPla::new(&pla);
         let sequence = [0b111u64, 0b000, 0b101, 0b101, 0b010, 0b111];
         for &bits in &sequence {
-            assert_eq!(dynamic.cycle_bits(bits), f.eval_bits(bits), "bits {bits:03b}");
+            assert_eq!(
+                dynamic.cycle_bits(bits),
+                f.eval_bits(bits),
+                "bits {bits:03b}"
+            );
         }
     }
 

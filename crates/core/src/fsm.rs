@@ -189,7 +189,11 @@ pub fn counter_cover(state_bits: usize) -> Cover {
     let mut cover = Cover::new(n, o);
     for en in 0..2u64 {
         for s in 0..(1u64 << state_bits) {
-            let next = if en == 1 { (s + 1) & ((1 << state_bits) - 1) } else { s };
+            let next = if en == 1 {
+                (s + 1) & ((1 << state_bits) - 1)
+            } else {
+                s
+            };
             let carry = en == 1 && s == (1 << state_bits) - 1;
             let mut outs = vec![false; o];
             outs[0] = carry;

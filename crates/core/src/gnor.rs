@@ -149,15 +149,31 @@ impl GnorGate {
     /// Panics if `inputs.len() != width()`.
     pub fn evaluate(&self, inputs: &[bool]) -> bool {
         assert_eq!(inputs.len(), self.width(), "input arity mismatch");
-        !self
-            .controls
-            .iter()
-            .zip(inputs)
-            .any(|(c, &x)| match c {
-                InputPolarity::Pass => x,
-                InputPolarity::Invert => !x,
-                InputPolarity::Drop => false,
-            })
+        !self.controls.iter().zip(inputs).any(|(c, &x)| match c {
+            InputPolarity::Pass => x,
+            InputPolarity::Invert => !x,
+            InputPolarity::Drop => false,
+        })
+    }
+
+    /// Bit-parallel evaluation over 64 lanes: word `inputs[i]` carries
+    /// input `i` of every lane, and the returned word carries the gate
+    /// output per lane (see `crate::batch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != width()`.
+    pub fn evaluate_batch(&self, inputs: &[u64]) -> u64 {
+        assert_eq!(inputs.len(), self.width(), "input arity mismatch");
+        let mut discharged = 0u64;
+        for (c, &x) in self.controls.iter().zip(inputs) {
+            match c {
+                InputPolarity::Pass => discharged |= x,
+                InputPolarity::Invert => discharged |= !x,
+                InputPolarity::Drop => {}
+            }
+        }
+        !discharged
     }
 
     /// The PG levels programming this gate's input devices.
@@ -168,7 +184,10 @@ impl GnorGate {
     /// Rebuild a gate from PG levels (readback from a programmed array).
     pub fn from_pg_levels(levels: &[PgLevel]) -> GnorGate {
         GnorGate {
-            controls: levels.iter().map(|&l| InputPolarity::from_pg_level(l)).collect(),
+            controls: levels
+                .iter()
+                .map(|&l| InputPolarity::from_pg_level(l))
+                .collect(),
         }
     }
 }

@@ -25,6 +25,8 @@
 //!   simulation, and programming through the charge matrix,
 //! * [`baseline`] — the classical two-column-per-input PLA used as the
 //!   comparison point,
+//! * [`batch`] — the 64-lane bit-parallel [`BatchSim`] engine behind every
+//!   simulator's hot path,
 //! * [`area`] — the Table 1 area model (Flash / EEPROM / ambipolar CNFET),
 //! * [`crossbar`] — the pass-transistor interconnect array of Section 4,
 //! * [`timing`] — dynamic-logic cycle-time estimation on top of the device
@@ -35,6 +37,7 @@
 pub mod activity;
 pub mod area;
 pub mod baseline;
+pub mod batch;
 pub mod cascade;
 pub mod config;
 pub mod crossbar;
@@ -50,6 +53,7 @@ pub mod wpla;
 pub use activity::{analyze_activity, pla_energy_exact, ActivityReport};
 pub use area::{PlaDimensions, Technology};
 pub use baseline::ClassicalPla;
+pub use batch::{pack_vectors, unpack_lane, BatchSim, LANES};
 pub use cascade::{NetworkError, PlaNetwork};
 pub use config::{from_bitstream, to_bitstream, BitstreamError};
 pub use crossbar::{Crossbar, CrosspointState};

@@ -16,6 +16,7 @@
 //! input** (`i + o` columns total) instead of the classical `2i + o`.
 
 use crate::area::PlaDimensions;
+use crate::batch::{self, BatchSim};
 use crate::gnor::InputPolarity;
 use crate::plane::GnorPlane;
 use cnfet::ProgrammingMatrix;
@@ -209,25 +210,11 @@ impl GnorPla {
         assert_eq!(cover.n_inputs(), self.input_plane.cols());
         assert_eq!(cover.n_outputs(), self.output_plane.rows());
         let n = cover.n_inputs();
-        let check = |bits: u64| self.simulate_bits(bits) == cover.eval_bits(bits);
         if n <= logic::eval::EXHAUSTIVE_LIMIT {
-            (0..(1u64 << n)).all(check)
+            batch::equivalent_to_cover(self, cover, n)
         } else {
-            // Deterministic sample mirrors logic::eval.
-            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-            let mut x = 0x243f6a8885a308d3u64;
-            let mut pats: Vec<u64> = vec![0, mask];
-            for i in 0..n {
-                pats.push(1u64 << i);
-                pats.push(mask ^ (1u64 << i));
-            }
-            for _ in 0..4096 {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                pats.push(x & mask);
-            }
-            pats.into_iter().all(check)
+            // The canonical deterministic sample, swept 64 lanes at a time.
+            batch::agrees_on(self, cover, &logic::eval::sample_assignments(n))
         }
     }
 
@@ -307,6 +294,25 @@ impl GnorPla {
     }
 }
 
+impl BatchSim for GnorPla {
+    fn batch_inputs(&self) -> usize {
+        self.input_plane.cols()
+    }
+
+    fn batch_outputs(&self) -> usize {
+        self.output_plane.rows()
+    }
+
+    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+        let products = self.input_plane.evaluate_batch(inputs);
+        let nor = self.output_plane.evaluate_batch(&products);
+        nor.iter()
+            .zip(&self.inverting_outputs)
+            .map(|(&w, &inv)| if inv { !w } else { w })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,7 +340,11 @@ mod tests {
         let pla = GnorPla::from_cover(&f);
         assert!(pla.implements(&f));
         for bits in 0..8u64 {
-            assert_eq!(pla.simulate_bits(bits), f.eval_bits(bits), "bits={bits:03b}");
+            assert_eq!(
+                pla.simulate_bits(bits),
+                f.eval_bits(bits),
+                "bits={bits:03b}"
+            );
         }
     }
 
@@ -450,12 +460,7 @@ mod tests {
     #[test]
     fn proved_equivalence_on_wide_benchmark() {
         // 17 inputs: implements() samples, implements_proved() proves.
-        let b = Cover::parse(
-            "11111111111111111 1\n00000000000000000 1",
-            17,
-            1,
-        )
-        .unwrap();
+        let b = Cover::parse("11111111111111111 1\n00000000000000000 1", 17, 1).unwrap();
         let pla = GnorPla::from_cover(&b);
         assert!(pla.implements_proved(&b));
     }

@@ -98,6 +98,17 @@ impl GnorPlane {
         self.rows.iter().map(|g| g.evaluate(inputs)).collect()
     }
 
+    /// Bit-parallel evaluation over 64 lanes: one word per input column in,
+    /// one word per row out (see `crate::batch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != cols()`.
+    pub fn evaluate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.cols, "input arity mismatch");
+        self.rows.iter().map(|g| g.evaluate_batch(inputs)).collect()
+    }
+
     /// Number of programmed (non-`V0`) devices — the used crosspoints.
     pub fn active_devices(&self) -> usize {
         self.rows.iter().map(|g| g.active_inputs()).sum()

@@ -14,6 +14,7 @@
 //! halves) lives in the `phaseopt` crate.
 
 use crate::area::PlaDimensions;
+use crate::batch::{self, BatchSim};
 use crate::gnor::InputPolarity;
 use crate::plane::GnorPlane;
 use logic::Cover;
@@ -225,7 +226,33 @@ impl Wpla {
         assert_eq!(cover.n_inputs(), self.n_inputs());
         assert_eq!(cover.n_outputs(), self.n_outputs());
         let n = cover.n_inputs().min(logic::eval::EXHAUSTIVE_LIMIT);
-        (0..(1u64 << n)).all(|bits| self.simulate_bits(bits) == cover.eval_bits(bits))
+        batch::equivalent_to_cover(self, cover, n)
+    }
+}
+
+impl BatchSim for Wpla {
+    fn batch_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    fn batch_outputs(&self) -> usize {
+        self.planes[3].rows()
+    }
+
+    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
+        let mut signal = self.planes[0].evaluate_batch(inputs);
+        for (k, plane) in self.planes.iter().enumerate().skip(1) {
+            if self.primary_taps[k - 1] {
+                signal.extend_from_slice(inputs);
+            }
+            signal = plane.evaluate_batch(&signal);
+        }
+        signal
+            .iter()
+            .zip(&self.inverting_outputs)
+            .map(|(&w, &inv)| if inv { !w } else { w })
+            .collect()
     }
 }
 

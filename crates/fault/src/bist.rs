@@ -7,9 +7,9 @@
 //! coverage evaluator so the quality gap to full ATPG is measurable rather
 //! than assumed.
 
-use crate::testgen::{enumerate_faults, SingleFault, TESTGEN_INPUT_LIMIT};
 use crate::defect::DefectMap;
 use crate::inject::FaultyGnorPla;
+use crate::testgen::{enumerate_faults, SingleFault, TESTGEN_INPUT_LIMIT};
 use ambipla_core::GnorPla;
 use logic::Cover;
 
@@ -60,7 +60,10 @@ impl BistCoverage {
 pub fn measure_coverage(cover: &Cover, patterns: &[u64]) -> BistCoverage {
     assert!(!cover.is_empty(), "cover must have product terms");
     let n = cover.n_inputs();
-    assert!(n <= TESTGEN_INPUT_LIMIT, "coverage limited to {TESTGEN_INPUT_LIMIT} inputs");
+    assert!(
+        n <= TESTGEN_INPUT_LIMIT,
+        "coverage limited to {TESTGEN_INPUT_LIMIT} inputs"
+    );
     let pla = GnorPla::from_cover(cover);
     let dims = pla.dimensions();
     let space = 1u64 << n;
@@ -73,9 +76,7 @@ pub fn measure_coverage(cover: &Cover, patterns: &[u64]) -> BistCoverage {
         let mut map = DefectMap::clean(dims.products, dims.inputs, dims.outputs);
         match fault {
             SingleFault::Input { row, col, kind } => map.set_input_defect(row, col, kind),
-            SingleFault::Output { output, row, kind } => {
-                map.set_output_defect(output, row, kind)
-            }
+            SingleFault::Output { output, row, kind } => map.set_output_defect(output, row, kind),
         }
         let faulty = FaultyGnorPla::new(pla.clone(), map);
         let is_detectable = (0..space).any(|b| faulty.simulate_bits(b) != golden[b as usize]);

@@ -83,9 +83,16 @@ pub fn repair_with_columns(cover: &Cover, defects: &DefectMap) -> ColumnRepairOu
     let p = cover.len();
     let rows = defects.rows();
     let cols = defects.inputs();
-    assert!(cols >= n, "need at least as many physical columns as inputs");
+    assert!(
+        cols >= n,
+        "need at least as many physical columns as inputs"
+    );
     assert!(rows >= p, "need at least as many physical rows as cubes");
-    assert_eq!(defects.outputs(), cover.n_outputs(), "output count mismatch");
+    assert_eq!(
+        defects.outputs(),
+        cover.n_outputs(),
+        "output count mismatch"
+    );
 
     for j in 0..cover.n_outputs() {
         if defects.output_line_has_stuck_on(j) {
@@ -98,12 +105,7 @@ pub fn repair_with_columns(cover: &Cover, defects: &DefectMap) -> ColumnRepairOu
     // Stage 1: greedy column assignment. Inputs with the most literals get
     // the columns with the fewest stuck-off devices.
     let mut input_order: Vec<usize> = (0..n).collect();
-    let literal_load = |i: usize| {
-        cover
-            .iter()
-            .filter(|c| c.input(i) != Tri::DontCare)
-            .count()
-    };
+    let literal_load = |i: usize| cover.iter().filter(|c| c.input(i) != Tri::DontCare).count();
     input_order.sort_by_key(|&i| std::cmp::Reverse(literal_load(i)));
     let stuck_offs_in_col = |c: usize| {
         (0..rows)
@@ -150,13 +152,22 @@ pub fn repair_with_columns(cover: &Cover, defects: &DefectMap) -> ColumnRepairOu
     let mut assignment: Vec<Option<usize>> = vec![None; p];
     for c in 0..p {
         let mut visited = vec![false; rows];
-        if !kuhn(c, &compatible, &mut row_owner, &mut assignment, &mut visited) {
+        if !kuhn(
+            c,
+            &compatible,
+            &mut row_owner,
+            &mut assignment,
+            &mut visited,
+        ) {
             return ColumnRepairOutcome::Unrepairable {
                 reason: format!("matching failed at product term {c}"),
             };
         }
     }
-    let row_of_cube: Vec<usize> = assignment.into_iter().map(|a| a.expect("matched")).collect();
+    let row_of_cube: Vec<usize> = assignment
+        .into_iter()
+        .map(|a| a.expect("matched"))
+        .collect();
 
     // Build the physical configuration.
     let o = cover.n_outputs();

@@ -118,7 +118,10 @@ impl DefectMap {
     ///
     /// Panics if indices are out of bounds.
     pub fn input_defect(&self, row: usize, input: usize) -> Option<DefectKind> {
-        assert!(row < self.rows && input < self.inputs, "index out of bounds");
+        assert!(
+            row < self.rows && input < self.inputs,
+            "index out of bounds"
+        );
         self.input_plane[row * self.inputs + input]
     }
 
@@ -128,7 +131,10 @@ impl DefectMap {
     ///
     /// Panics if indices are out of bounds.
     pub fn output_defect(&self, output: usize, row: usize) -> Option<DefectKind> {
-        assert!(output < self.outputs && row < self.rows, "index out of bounds");
+        assert!(
+            output < self.outputs && row < self.rows,
+            "index out of bounds"
+        );
         self.output_plane[output * self.rows + row]
     }
 
@@ -138,7 +144,10 @@ impl DefectMap {
     ///
     /// Panics if indices are out of bounds.
     pub fn set_input_defect(&mut self, row: usize, input: usize, kind: DefectKind) {
-        assert!(row < self.rows && input < self.inputs, "index out of bounds");
+        assert!(
+            row < self.rows && input < self.inputs,
+            "index out of bounds"
+        );
         self.input_plane[row * self.inputs + input] = Some(kind);
     }
 
@@ -148,7 +157,10 @@ impl DefectMap {
     ///
     /// Panics if indices are out of bounds.
     pub fn set_output_defect(&mut self, output: usize, row: usize, kind: DefectKind) {
-        assert!(output < self.outputs && row < self.rows, "index out of bounds");
+        assert!(
+            output < self.outputs && row < self.rows,
+            "index out of bounds"
+        );
         self.output_plane[output * self.rows + row] = Some(kind);
     }
 

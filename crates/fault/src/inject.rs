@@ -8,8 +8,9 @@
 //!   phase — the line is constant 0 regardless of the inputs (and an
 //!   inverting output driver then publishes constant 1).
 
-use ambipla_core::{GnorPla, InputPolarity};
 use crate::defect::{DefectKind, DefectMap};
+use ambipla_core::batch;
+use ambipla_core::{BatchSim, GnorPla, InputPolarity};
 use logic::Cover;
 
 /// A GNOR PLA paired with its defect map.
@@ -110,7 +111,11 @@ impl FaultyGnorPla {
                 }
             }
             let y = !discharged;
-            out.push(if self.pla.inverting_outputs()[j] { !y } else { y });
+            out.push(if self.pla.inverting_outputs()[j] {
+                !y
+            } else {
+                y
+            });
         }
         out
     }
@@ -123,10 +128,67 @@ impl FaultyGnorPla {
     }
 
     /// True if the defective array still implements `cover` (exhaustive up
-    /// to [`logic::eval::EXHAUSTIVE_LIMIT`] inputs).
+    /// to [`logic::eval::EXHAUSTIVE_LIMIT`] inputs). This is the inner loop
+    /// of every yield Monte-Carlo trial, so it sweeps the space through the
+    /// 64-lane [`BatchSim`] engine.
     pub fn implements(&self, cover: &Cover) -> bool {
         let n = cover.n_inputs().min(logic::eval::EXHAUSTIVE_LIMIT);
-        (0..(1u64 << n)).all(|bits| self.simulate_bits(bits) == cover.eval_bits(bits))
+        batch::equivalent_to_cover(self, cover, n)
+    }
+}
+
+impl BatchSim for FaultyGnorPla {
+    fn batch_inputs(&self) -> usize {
+        self.pla.dimensions().inputs
+    }
+
+    fn batch_outputs(&self) -> usize {
+        self.pla.dimensions().outputs
+    }
+
+    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+        let dims = self.pla.dimensions();
+        assert_eq!(inputs.len(), dims.inputs, "input arity mismatch");
+        let mut products = Vec::with_capacity(dims.products);
+        for r in 0..dims.products {
+            let gate = self.pla.input_plane().gate(r);
+            let mut discharged = 0u64;
+            for (i, &x) in inputs.iter().enumerate() {
+                discharged |= match self.defects.input_defect(r, i) {
+                    Some(DefectKind::StuckOn) => !0,
+                    Some(DefectKind::StuckOff) => 0,
+                    None => match gate.control(i) {
+                        InputPolarity::Pass => x,
+                        InputPolarity::Invert => !x,
+                        InputPolarity::Drop => 0,
+                    },
+                };
+            }
+            products.push(!discharged);
+        }
+        let mut out = Vec::with_capacity(dims.outputs);
+        for j in 0..dims.outputs {
+            let gate = self.pla.output_plane().gate(j);
+            let mut discharged = 0u64;
+            for (r, &p) in products.iter().enumerate() {
+                discharged |= match self.defects.output_defect(j, r) {
+                    Some(DefectKind::StuckOn) => !0,
+                    Some(DefectKind::StuckOff) => 0,
+                    None => match gate.control(r) {
+                        InputPolarity::Pass => p,
+                        InputPolarity::Invert => !p,
+                        InputPolarity::Drop => 0,
+                    },
+                };
+            }
+            let y = !discharged;
+            out.push(if self.pla.inverting_outputs()[j] {
+                !y
+            } else {
+                y
+            });
+        }
+        out
     }
 }
 

@@ -26,7 +26,9 @@ pub mod testgen;
 pub mod yield_analysis;
 
 pub use bist::{bist_sequence, measure_coverage, BistCoverage};
-pub use column_repair::{repair_with_columns, verify_column_repair, ColumnRepairOutcome, ColumnRepairedPla};
+pub use column_repair::{
+    repair_with_columns, verify_column_repair, ColumnRepairOutcome, ColumnRepairedPla,
+};
 pub use defect::{DefectKind, DefectMap};
 pub use inject::FaultyGnorPla;
 pub use repair::{repair, RepairOutcome};

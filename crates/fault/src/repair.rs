@@ -64,7 +64,11 @@ pub fn repair(cover: &Cover, defects: &DefectMap) -> RepairOutcome {
     let rows = defects.rows();
     assert!(rows >= p, "need at least as many physical rows as cubes");
     assert_eq!(defects.inputs(), cover.n_inputs(), "input count mismatch");
-    assert_eq!(defects.outputs(), cover.n_outputs(), "output count mismatch");
+    assert_eq!(
+        defects.outputs(),
+        cover.n_outputs(),
+        "output count mismatch"
+    );
 
     // Global obstruction: a stuck-on output device pins its line low.
     for j in 0..cover.n_outputs() {
@@ -94,13 +98,22 @@ pub fn repair(cover: &Cover, defects: &DefectMap) -> RepairOutcome {
     let mut assignment: Vec<Option<usize>> = vec![None; p];
     for c in 0..p {
         let mut visited = vec![false; rows];
-        if !augment(c, &compatible, &mut row_owner, &mut assignment, &mut visited) {
+        if !augment(
+            c,
+            &compatible,
+            &mut row_owner,
+            &mut assignment,
+            &mut visited,
+        ) {
             return RepairOutcome::Unrepairable {
                 reason: format!("matching failed at product term {c}"),
             };
         }
     }
-    let assignment: Vec<usize> = assignment.into_iter().map(|a| a.expect("matched")).collect();
+    let assignment: Vec<usize> = assignment
+        .into_iter()
+        .map(|a| a.expect("matched"))
+        .collect();
 
     // Build the repaired configuration over the physical rows.
     let n = cover.n_inputs();
@@ -194,7 +207,9 @@ mod tests {
         let f = xor();
         let defects = DefectMap::clean(3, 2, 1); // one spare
         match repair(&f, &defects) {
-            RepairOutcome::Repaired { pla, spares_left, .. } => {
+            RepairOutcome::Repaired {
+                pla, spares_left, ..
+            } => {
                 assert_eq!(spares_left, 1);
                 let faulty = FaultyGnorPla::new(pla, defects);
                 assert!(faulty.implements(&f));
@@ -209,7 +224,9 @@ mod tests {
         let mut defects = DefectMap::clean(3, 2, 1);
         defects.set_input_defect(0, 0, DefectKind::StuckOn); // row 0 dead
         match repair(&f, &defects) {
-            RepairOutcome::Repaired { pla, assignment, .. } => {
+            RepairOutcome::Repaired {
+                pla, assignment, ..
+            } => {
                 assert!(!assignment.contains(&0), "dead row must be avoided");
                 let faulty = FaultyGnorPla::new(pla, defects);
                 assert!(faulty.implements(&f));
@@ -227,7 +244,9 @@ mod tests {
         // Row 0 column 1 stuck-off: cube A cannot live there, cube B can.
         defects.set_input_defect(0, 1, DefectKind::StuckOff);
         match repair(&f, &defects) {
-            RepairOutcome::Repaired { pla, assignment, .. } => {
+            RepairOutcome::Repaired {
+                pla, assignment, ..
+            } => {
                 assert_eq!(assignment[0], 1, "cube A must take the clean row");
                 assert_eq!(assignment[1], 0, "cube B tolerates the stuck-off");
                 let faulty = FaultyGnorPla::new(pla, defects);
@@ -266,7 +285,9 @@ mod tests {
         // neither may use row 0.
         defects.set_output_defect(0, 0, DefectKind::StuckOff);
         match repair(&f, &defects) {
-            RepairOutcome::Repaired { pla, assignment, .. } => {
+            RepairOutcome::Repaired {
+                pla, assignment, ..
+            } => {
                 assert!(!assignment.contains(&0));
                 let faulty = FaultyGnorPla::new(pla, defects);
                 assert!(faulty.implements(&f));
@@ -283,7 +304,9 @@ mod tests {
         let mut defects = DefectMap::clean(2, 2, 1);
         defects.set_input_defect(0, 1, DefectKind::StuckOff); // A can't use row 0
         match repair(&f, &defects) {
-            RepairOutcome::Repaired { assignment, pla, .. } => {
+            RepairOutcome::Repaired {
+                assignment, pla, ..
+            } => {
                 assert_eq!(assignment, vec![1, 0]);
                 let faulty = FaultyGnorPla::new(pla, defects);
                 assert!(faulty.implements(&f));

@@ -48,9 +48,7 @@ impl SingleFault {
         let mut map = DefectMap::clean(rows, inputs, outputs);
         match self {
             SingleFault::Input { row, col, kind } => map.set_input_defect(row, col, kind),
-            SingleFault::Output { output, row, kind } => {
-                map.set_output_defect(output, row, kind)
-            }
+            SingleFault::Output { output, row, kind } => map.set_output_defect(output, row, kind),
         }
         map
     }

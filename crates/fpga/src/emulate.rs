@@ -46,7 +46,12 @@ impl EmulationReport {
 /// # Panics
 ///
 /// Panics if the circuit does not fit the die under `flavor`.
-pub fn emulate(circuit: &Circuit, arch: &FpgaArch, flavor: FpgaFlavor, seed: u64) -> EmulationReport {
+pub fn emulate(
+    circuit: &Circuit,
+    arch: &FpgaArch,
+    flavor: FpgaFlavor,
+    seed: u64,
+) -> EmulationReport {
     let placement = place(circuit, arch, flavor, seed);
     let routing = route(circuit, &placement, arch);
     let timing = critical_path(circuit, &routing, arch);

@@ -39,6 +39,6 @@ pub use circuit::{Circuit, Net};
 pub use emulate::{emulate, EmulationReport};
 pub use mapping::{Block, MappedNetwork};
 pub use place::{place, Placement};
-pub use sweep::{channel_capacity_sweep, utilization_sweep, SweepPoint};
 pub use route::{route, RoutingResult};
+pub use sweep::{channel_capacity_sweep, utilization_sweep, SweepPoint};
 pub use timing::{critical_path, TimingReport};

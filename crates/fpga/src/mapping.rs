@@ -195,10 +195,7 @@ fn project_support(cover: &Cover, vars: &[usize]) -> (Cover, Vec<usize>) {
     if support.is_empty() {
         // Constant function: keep one dummy variable for a 1-input leaf.
         let keep = [0usize];
-        let cubes: Vec<Cube> = cover
-            .iter()
-            .map(|_| Cube::universe(1, 1))
-            .collect();
+        let cubes: Vec<Cube> = cover.iter().map(|_| Cube::universe(1, 1)).collect();
         let projected = Cover::from_cubes(1, 1, cubes);
         return (projected, vec![vars[keep[0]]]);
     }
@@ -217,12 +214,7 @@ fn project_support(cover: &Cover, vars: &[usize]) -> (Cover, Vec<usize>) {
 /// The variable used by the most cubes.
 fn most_used_var(cover: &Cover) -> usize {
     (0..cover.n_inputs())
-        .max_by_key(|&i| {
-            cover
-                .iter()
-                .filter(|c| c.input(i) != Tri::DontCare)
-                .count()
-        })
+        .max_by_key(|&i| cover.iter().filter(|c| c.input(i) != Tri::DontCare).count())
         .expect("cover has variables")
 }
 
@@ -267,11 +259,7 @@ mod tests {
     #[test]
     fn wide_function_gets_split() {
         // 6-variable parity-ish function with k=4 must introduce muxes.
-        let f = cover(
-            "111111 1\n000000 1\n110000 1\n001100 1\n000011 1",
-            6,
-            1,
-        );
+        let f = cover("111111 1\n000000 1\n110000 1\n001100 1\n000011 1", 6, 1);
         let net = MappedNetwork::decompose(&f, 4);
         assert!(net.n_blocks() > 1);
         assert!(net.implements(&f));
@@ -306,11 +294,7 @@ mod tests {
 
     #[test]
     fn mux_dag_is_index_ordered() {
-        let f = cover(
-            "111111 1\n000000 1\n101010 1\n010101 1",
-            6,
-            1,
-        );
+        let f = cover("111111 1\n000000 1\n101010 1\n010101 1", 6, 1);
         let net = MappedNetwork::decompose(&f, 3);
         for (idx, b) in net.blocks().iter().enumerate() {
             if let Block::Mux { hi, lo, .. } = b {
@@ -322,11 +306,7 @@ mod tests {
 
     #[test]
     fn to_circuit_is_routable_shape() {
-        let f = cover(
-            "111111 1\n000000 1\n101010 1\n010101 1",
-            6,
-            1,
-        );
+        let f = cover("111111 1\n000000 1\n101010 1\n010101 1", 6, 1);
         let net = MappedNetwork::decompose(&f, 3);
         let circuit = net.to_circuit(0.9);
         assert_eq!(circuit.n_blocks(), net.n_blocks());
@@ -342,11 +322,7 @@ mod tests {
     #[test]
     fn deep_split_still_correct() {
         // 10 variables at k=3: forces several mux levels.
-        let f = cover(
-            "1111100000 1\n0000011111 1\n1010101010 1",
-            10,
-            1,
-        );
+        let f = cover("1111100000 1\n0000011111 1\n1010101010 1", 10, 1);
         let net = MappedNetwork::decompose(&f, 3);
         assert!(net.n_blocks() >= 4);
         assert!(net.implements(&f));

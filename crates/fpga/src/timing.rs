@@ -27,8 +27,7 @@ pub struct TimingReport {
 /// pin switch (even block-to-block inside a tile), plus a switch and a tile
 /// of wire per channel segment, inflated by the local congestion.
 pub fn connection_delay(arch: &FpgaArch, hops: usize, mean_overuse: f64) -> f64 {
-    let base = arch.switch_delay
-        + hops as f64 * (arch.switch_delay + arch.wire_delay_per_tile);
+    let base = arch.switch_delay + hops as f64 * (arch.switch_delay + arch.wire_delay_per_tile);
     base * (1.0 + arch.congestion_penalty * mean_overuse)
 }
 

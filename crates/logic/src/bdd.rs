@@ -393,7 +393,14 @@ mod tests {
     #[test]
     fn sat_count_matches_exhaustive() {
         for text in ["10 1\n01 1", "1-- 1\n-1- 1\n--1 1", "11- 1\n-11 1\n1-1 1"] {
-            let ni = text.lines().next().unwrap().split(' ').next().unwrap().len();
+            let ni = text
+                .lines()
+                .next()
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .len();
             let f = Cover::parse(text, ni, 1).unwrap();
             let mut b = Bdd::new(ni);
             let r = b.from_cover(&f, 0);

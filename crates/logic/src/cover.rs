@@ -228,6 +228,42 @@ impl Cover {
         out
     }
 
+    /// Evaluate 64 packed input vectors at once (bit-parallel lanes).
+    ///
+    /// `inputs[i]` carries input `i` of all 64 lanes: bit `L` of that word
+    /// is input `i` of lane `L`. The returned words carry the outputs in
+    /// the same layout. This is the cover-side counterpart of the
+    /// `BatchSim` trait in `ambipla_core::batch` and the engine behind the
+    /// batched [`check_equivalent`](crate::eval::check_equivalent) /
+    /// [`check_implements`](crate::eval::check_implements) sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n_inputs()`.
+    pub fn eval_batch(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
+        let mut out = vec![0u64; self.n_outputs];
+        for c in &self.cubes {
+            let mut covered = !0u64;
+            for (i, &x) in inputs.iter().enumerate() {
+                match c.input(i) {
+                    Tri::DontCare => {}
+                    Tri::One => covered &= x,
+                    Tri::Zero => covered &= !x,
+                }
+                if covered == 0 {
+                    break;
+                }
+            }
+            if covered != 0 {
+                for j in c.outputs() {
+                    out[j] |= covered;
+                }
+            }
+        }
+        out
+    }
+
     /// Evaluate on an explicit boolean assignment.
     pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
         assert_eq!(assignment.len(), self.n_inputs, "assignment arity mismatch");
@@ -392,6 +428,26 @@ mod tests {
         for bits in 0..16u64 {
             let assignment: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
             assert_eq!(f.eval(&assignment)[0], f.eval_bits(bits)[0]);
+        }
+    }
+
+    #[test]
+    fn eval_batch_matches_eval_bits_lanewise() {
+        let f = cover("10-1 10\n0--- 01\n11-- 11", 4, 2);
+        // Lane L carries assignment L (only lanes 0..16 are meaningful).
+        let inputs: Vec<u64> = (0..4)
+            .map(|i| (0..64u64).fold(0u64, |w, lane| w | ((lane % 16) >> i & 1) << lane))
+            .collect();
+        let words = f.eval_batch(&inputs);
+        for lane in 0..64u64 {
+            let scalar = f.eval_bits(lane % 16);
+            for j in 0..2 {
+                assert_eq!(
+                    words[j] >> lane & 1 == 1,
+                    scalar[j],
+                    "lane {lane} output {j}"
+                );
+            }
         }
     }
 

@@ -154,7 +154,14 @@ impl Cube {
         assert!(n_inputs <= 64, "packed minterms support at most 64 inputs");
         let mut cube = Cube::universe(n_inputs, n_outputs);
         for i in 0..n_inputs {
-            cube.set_input(i, if bits >> i & 1 == 1 { Tri::One } else { Tri::Zero });
+            cube.set_input(
+                i,
+                if bits >> i & 1 == 1 {
+                    Tri::One
+                } else {
+                    Tri::Zero
+                },
+            );
         }
         cube
     }
@@ -447,7 +454,11 @@ impl Cube {
     pub fn covers_bits(&self, bits: u64) -> bool {
         debug_assert!(self.n_inputs <= 64);
         for i in 0..self.n_inputs {
-            let need = if bits >> i & 1 == 1 { Tri::One } else { Tri::Zero };
+            let need = if bits >> i & 1 == 1 {
+                Tri::One
+            } else {
+                Tri::Zero
+            };
             let t = self.input(i);
             if t != Tri::DontCare && t != need {
                 return false;

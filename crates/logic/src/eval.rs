@@ -14,6 +14,91 @@ pub const EXHAUSTIVE_LIMIT: usize = 20;
 /// Number of sampled assignments used beyond the exhaustive limit.
 const SAMPLES: usize = 1 << 14;
 
+/// Number of lanes (input vectors) evaluated per bit-parallel step.
+pub const LANES: usize = 64;
+
+/// Lane patterns of the low six input columns when lanes enumerate 64
+/// consecutive assignments: bit `L` of `EXHAUSTIVE_PATTERNS[i]` is bit `i`
+/// of the integer `L`.
+const EXHAUSTIVE_PATTERNS: [u64; 6] = [
+    0xaaaa_aaaa_aaaa_aaaa,
+    0xcccc_cccc_cccc_cccc,
+    0xf0f0_f0f0_f0f0_f0f0,
+    0xff00_ff00_ff00_ff00,
+    0xffff_0000_ffff_0000,
+    0xffff_ffff_0000_0000,
+];
+
+/// Column-major lane words for the 64 consecutive packed assignments
+/// `base .. base + 64` (bit `L` of word `i` is bit `i` of `base + L`).
+///
+/// # Panics
+///
+/// Panics if `base` is not 64-aligned or `n_inputs > 64`.
+pub fn exhaustive_block(base: u64, n_inputs: usize) -> Vec<u64> {
+    assert_eq!(base % LANES as u64, 0, "block base must be 64-aligned");
+    assert!(n_inputs <= 64, "at most 64 inputs");
+    (0..n_inputs)
+        .map(|i| match EXHAUSTIVE_PATTERNS.get(i) {
+            Some(&pattern) => pattern,
+            None => {
+                if base >> i & 1 == 1 {
+                    !0
+                } else {
+                    0
+                }
+            }
+        })
+        .collect()
+}
+
+/// Transpose up to 64 packed assignments (bit `i` of `vectors[L]` is input
+/// `i`) into column-major lane words (bit `L` of word `i` is input `i` of
+/// lane `L`). Unused lanes are zero.
+///
+/// # Panics
+///
+/// Panics if more than [`LANES`] vectors are supplied.
+pub fn pack_vectors(vectors: &[u64], n_inputs: usize) -> Vec<u64> {
+    assert!(vectors.len() <= LANES, "at most {LANES} lanes per block");
+    let mut words = vec![0u64; n_inputs];
+    for (lane, &v) in vectors.iter().enumerate() {
+        for (i, w) in words.iter_mut().enumerate() {
+            *w |= (v >> i & 1) << lane;
+        }
+    }
+    words
+}
+
+/// Extract lane `lane` of column-major words as a `Vec<bool>`.
+pub fn unpack_lane(words: &[u64], lane: usize) -> Vec<bool> {
+    assert!(lane < LANES, "lane out of range");
+    words.iter().map(|&w| w >> lane & 1 == 1).collect()
+}
+
+/// Lane mask covering the first `lanes` lanes of a block.
+fn lane_mask(lanes: usize) -> u64 {
+    if lanes >= LANES {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Earliest `(lane, output)` where per-output difference words are set
+/// under `mask`, in (lane, then output) order — the bit-parallel
+/// counterpart of the scalar "first differing assignment, first differing
+/// output" contract.
+fn first_set_lane(diffs: &[u64], mask: u64) -> Option<(usize, usize)> {
+    let lane = diffs
+        .iter()
+        .filter(|&&d| d & mask != 0)
+        .map(|&d| (d & mask).trailing_zeros() as usize)
+        .min()?;
+    let output = diffs.iter().position(|&d| (d & mask) >> lane & 1 == 1)?;
+    Some((lane, output))
+}
+
 /// Result of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Equivalence {
@@ -54,19 +139,35 @@ pub fn check_equivalent(a: &Cover, b: &Cover) -> Equivalence {
     assert_eq!(a.n_outputs(), b.n_outputs(), "output arity mismatch");
     let n = a.n_inputs();
     assert!(n <= 64, "evaluation supports at most 64 inputs");
+    let difference = |inputs: &[u64], lanes: usize| {
+        let va = a.eval_batch(inputs);
+        let vb = b.eval_batch(inputs);
+        let diffs: Vec<u64> = va.iter().zip(&vb).map(|(&x, &y)| x ^ y).collect();
+        first_set_lane(&diffs, lane_mask(lanes))
+    };
 
     if n <= EXHAUSTIVE_LIMIT {
-        for bits in 0..(1u64 << n) {
-            if let Some(j) = first_difference(a, b, bits) {
-                return Equivalence::Counterexample { bits, output: j };
+        let total = 1u64 << n;
+        let lanes_per_block = total.min(LANES as u64) as usize;
+        for base in (0..total).step_by(LANES) {
+            let inputs = exhaustive_block(base, n);
+            if let Some((lane, output)) = difference(&inputs, lanes_per_block) {
+                return Equivalence::Counterexample {
+                    bits: base + lane as u64,
+                    output,
+                };
             }
         }
         return Equivalence::Equivalent { exhaustive: true };
     }
 
-    for bits in sample_assignments(n) {
-        if let Some(j) = first_difference(a, b, bits) {
-            return Equivalence::Counterexample { bits, output: j };
+    for chunk in sample_assignments(n).chunks(LANES) {
+        let inputs = pack_vectors(chunk, n);
+        if let Some((lane, output)) = difference(&inputs, chunk.len()) {
+            return Equivalence::Counterexample {
+                bits: chunk[lane],
+                output,
+            };
         }
     }
     Equivalence::Equivalent { exhaustive: false }
@@ -80,24 +181,36 @@ pub fn check_equivalent(a: &Cover, b: &Cover) -> Equivalence {
 pub fn check_implements(on: &Cover, dc: &Cover, f: &Cover) -> Option<(u64, usize)> {
     assert_eq!(on.n_inputs(), f.n_inputs(), "input arity mismatch");
     assert_eq!(on.n_outputs(), f.n_outputs(), "output arity mismatch");
+    assert_eq!(on.n_inputs(), dc.n_inputs(), "dc input arity mismatch");
     let n = on.n_inputs();
     assert!(n <= 64, "evaluation supports at most 64 inputs");
-    let space: Box<dyn Iterator<Item = u64>> = if n <= EXHAUSTIVE_LIMIT {
-        Box::new(0..(1u64 << n))
-    } else {
-        Box::new(sample_assignments(n).into_iter())
+    // Per-lane violation: an ON-minterm `f` lost, or an OFF-minterm `f`
+    // asserts (outside ON ∪ DC).
+    let violation = |inputs: &[u64], lanes: usize| {
+        let von = on.eval_batch(inputs);
+        let vdc = dc.eval_batch(inputs);
+        let vf = f.eval_batch(inputs);
+        let diffs: Vec<u64> = (0..on.n_outputs())
+            .map(|j| (von[j] & !vf[j]) | (vf[j] & !von[j] & !vdc[j]))
+            .collect();
+        first_set_lane(&diffs, lane_mask(lanes))
     };
-    for bits in space {
-        let von = on.eval_bits(bits);
-        let vdc = dc.eval_bits(bits);
-        let vf = f.eval_bits(bits);
-        for j in 0..on.n_outputs() {
-            if von[j] && !vf[j] {
-                return Some((bits, j)); // lost an ON-minterm
+
+    if n <= EXHAUSTIVE_LIMIT {
+        let total = 1u64 << n;
+        let lanes_per_block = total.min(LANES as u64) as usize;
+        for base in (0..total).step_by(LANES) {
+            let inputs = exhaustive_block(base, n);
+            if let Some((lane, output)) = violation(&inputs, lanes_per_block) {
+                return Some((base + lane as u64, output));
             }
-            if vf[j] && !von[j] && !vdc[j] {
-                return Some((bits, j)); // asserted an OFF-minterm
-            }
+        }
+        return None;
+    }
+    for chunk in sample_assignments(n).chunks(LANES) {
+        let inputs = pack_vectors(chunk, n);
+        if let Some((lane, output)) = violation(&inputs, chunk.len()) {
+            return Some((chunk[lane], output));
         }
     }
     None
@@ -118,15 +231,13 @@ pub fn assert_equivalent(a: &Cover, b: &Cover) {
     }
 }
 
-fn first_difference(a: &Cover, b: &Cover, bits: u64) -> Option<usize> {
-    let va = a.eval_bits(bits);
-    let vb = b.eval_bits(bits);
-    (0..va.len()).find(|&j| va[j] != vb[j])
-}
-
-/// Deterministic sample of assignments: corners, walking ones/zeros, and an
-/// xorshift stream.
-fn sample_assignments(n: usize) -> Vec<u64> {
+/// Deterministic sample of assignments for functions too wide to sweep
+/// exhaustively: corners, walking ones/zeros, and an xorshift stream. The
+/// canonical sampling space for every wide-function check in the
+/// workspace — simulators beyond [`EXHAUSTIVE_LIMIT`] inputs (e.g.
+/// `GnorPla::implements`) sample exactly this list so all "sampled
+/// equivalence" verdicts refer to the same assignments.
+pub fn sample_assignments(n: usize) -> Vec<u64> {
     let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let mut v = Vec::with_capacity(SAMPLES + 2 * n + 2);
     v.push(0);

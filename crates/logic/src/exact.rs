@@ -44,8 +44,14 @@ pub const EXACT_OUTPUT_LIMIT: usize = 6;
 pub fn exact_minimize(on: &Cover, dc: &Cover) -> Cover {
     let n = on.n_inputs();
     let o = on.n_outputs();
-    assert!(n <= EXACT_INPUT_LIMIT, "exact minimization limited to {EXACT_INPUT_LIMIT} inputs");
-    assert!(o <= EXACT_OUTPUT_LIMIT, "exact minimization limited to {EXACT_OUTPUT_LIMIT} outputs");
+    assert!(
+        n <= EXACT_INPUT_LIMIT,
+        "exact minimization limited to {EXACT_INPUT_LIMIT} inputs"
+    );
+    assert!(
+        o <= EXACT_OUTPUT_LIMIT,
+        "exact minimization limited to {EXACT_OUTPUT_LIMIT} outputs"
+    );
     assert_eq!(dc.n_inputs(), n, "input arity mismatch");
     assert_eq!(dc.n_outputs(), o, "output arity mismatch");
 
@@ -124,7 +130,7 @@ fn multi_output_primes(on: &TruthTable, dc: &TruthTable) -> Vec<Cube> {
         loop {
             if i == n {
                 let _ = &mut stack; // silence unused in odd configurations
-                // Deduplicate (output-subset generation can repeat cubes).
+                                    // Deduplicate (output-subset generation can repeat cubes).
                 dedup(&mut primes);
                 return primes;
             }

@@ -46,8 +46,14 @@ pub fn render_kmap(on: &Cover, dc: Option<&Cover>, j: usize) -> Option<String> {
     let cols = gray(col_bits);
 
     let mut s = String::new();
-    let row_label: String = (0..row_bits).map(|i| format!("x{i}")).collect::<Vec<_>>().join("");
-    let col_label: String = (row_bits..n).map(|i| format!("x{i}")).collect::<Vec<_>>().join("");
+    let row_label: String = (0..row_bits)
+        .map(|i| format!("x{i}"))
+        .collect::<Vec<_>>()
+        .join("");
+    let col_label: String = (row_bits..n)
+        .map(|i| format!("x{i}"))
+        .collect::<Vec<_>>()
+        .join("");
     let _ = writeln!(s, "{row_label}\\{col_label}");
     // Header row.
     let _ = write!(s, "{:>width$} |", "", width = row_bits + 1);
@@ -61,7 +67,13 @@ pub fn render_kmap(on: &Cover, dc: Option<&Cover>, j: usize) -> Option<String> {
             let bits = r | c << row_bits;
             let on_v = on.eval_bits(bits)[j];
             let dc_v = dc.map(|d| d.eval_bits(bits)[j]).unwrap_or(false);
-            let ch = if dc_v { 'd' } else if on_v { '1' } else { '0' };
+            let ch = if dc_v {
+                'd'
+            } else if on_v {
+                '1'
+            } else {
+                '0'
+            };
             let _ = write!(s, " {ch:^w$} |", w = col_bits.max(1) + 1);
         }
         let _ = writeln!(s);

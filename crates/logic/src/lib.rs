@@ -45,8 +45,8 @@ pub use bdd::{bdd_equivalent, Bdd};
 pub use cover::Cover;
 pub use cube::{Cube, Tri};
 pub use espresso::{espresso, espresso_with_dc, relatively_essential, EspressoStats};
+pub use eval::{check_equivalent, Equivalence};
 pub use exact::exact_minimize;
 pub use ops::{disjoint_cover, intersect, minterm_count, sharp};
-pub use eval::{check_equivalent, Equivalence};
 pub use pla::{parse_pla, write_pla, ParsePlaError, Pla, PlaType};
 pub use tt::TruthTable;

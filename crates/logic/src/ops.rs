@@ -168,13 +168,7 @@ mod tests {
         Cover::parse(text, ni, 1).expect("parse cover")
     }
 
-    fn check_pointwise(
-        op: impl Fn(bool, bool) -> bool,
-        a: &Cover,
-        b: &Cover,
-        r: &Cover,
-        n: usize,
-    ) {
+    fn check_pointwise(op: impl Fn(bool, bool) -> bool, a: &Cover, b: &Cover, r: &Cover, n: usize) {
         for bits in 0..(1u64 << n) {
             assert_eq!(
                 r.eval_bits(bits)[0],
@@ -250,7 +244,14 @@ mod tests {
     #[test]
     fn minterm_count_matches_exhaustive() {
         for text in ["1-- 1\n-1- 1\n--1 1", "10 1\n01 1", "11- 1\n-11 1\n1-1 1"] {
-            let ni = text.lines().next().unwrap().split(' ').next().unwrap().len();
+            let ni = text
+                .lines()
+                .next()
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .len();
             let a = Cover::parse(text, ni, 1).unwrap();
             let exhaustive = (0..(1u64 << ni)).filter(|&b| a.eval_bits(b)[0]).count() as u64;
             assert_eq!(minterm_count(&a), exhaustive, "{text}");

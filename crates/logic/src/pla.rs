@@ -182,11 +182,13 @@ pub fn parse_pla(text: &str) -> Result<Pla, ParsePlaError> {
                 "i" => ni = Some(args.first().and_then(|a| a.parse().ok()).ok_or_else(bad)?),
                 "o" => no = Some(args.first().and_then(|a| a.parse().ok()).ok_or_else(bad)?),
                 "p" => {
-                    declared_p =
-                        Some(args.first().and_then(|a| a.parse().ok()).ok_or_else(bad)?)
+                    declared_p = Some(args.first().and_then(|a| a.parse().ok()).ok_or_else(bad)?)
                 }
                 "type" => {
-                    pla_type = args.first().and_then(|a| PlaType::parse(a)).ok_or_else(bad)?
+                    pla_type = args
+                        .first()
+                        .and_then(|a| PlaType::parse(a))
+                        .ok_or_else(bad)?
                 }
                 "ilb" => input_labels = Some(args.iter().map(|s| s.to_string()).collect()),
                 "ob" => output_labels = Some(args.iter().map(|s| s.to_string()).collect()),
@@ -263,7 +265,10 @@ pub fn parse_pla(text: &str) -> Result<Pla, ParsePlaError> {
 ///
 /// ON cubes are written with `1` outputs and DC cubes with `-` outputs (type
 /// `fd`); explicit OFF cubes are written with `0` outputs when the type
-/// includes `r`.
+/// includes `r`. Output positions a cube does not assert are written as `0`
+/// for `f`/`fd` files (where `0` carries no meaning) but as `~` for
+/// `fr`/`fdr` files — there `0` would wrongly enroll the position in the
+/// OFF-set, so `parse → write → parse` would not be a fixpoint.
 pub fn write_pla(pla: &Pla) -> String {
     let mut s = String::new();
     s.push_str(&format!(".i {}\n.o {}\n", pla.n_inputs(), pla.n_outputs()));
@@ -282,6 +287,11 @@ pub fn write_pla(pla: &Pla) -> String {
             0
         };
     s.push_str(&format!(".p {total}\n"));
+    let filler = if matches!(pla.pla_type, PlaType::Fr | PlaType::Fdr) {
+        '~'
+    } else {
+        '0'
+    };
     let emit = |s: &mut String, cover: &Cover, mark: char| {
         for c in cover.iter() {
             for i in 0..cover.n_inputs() {
@@ -289,7 +299,7 @@ pub fn write_pla(pla: &Pla) -> String {
             }
             s.push(' ');
             for j in 0..cover.n_outputs() {
-                s.push(if c.has_output(j) { mark } else { '0' });
+                s.push(if c.has_output(j) { mark } else { filler });
             }
             s.push('\n');
         }
@@ -360,7 +370,10 @@ mod tests {
 
     #[test]
     fn missing_header_detected() {
-        assert_eq!(parse_pla("11 1\n").unwrap_err(), ParsePlaError::MissingHeader);
+        assert_eq!(
+            parse_pla("11 1\n").unwrap_err(),
+            ParsePlaError::MissingHeader
+        );
     }
 
     #[test]

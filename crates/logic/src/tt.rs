@@ -184,7 +184,9 @@ impl fmt::Debug for TruthTable {
             "TruthTable({}i/{}o, on-counts: {:?})",
             self.n_inputs,
             self.n_outputs,
-            (0..self.n_outputs).map(|j| self.popcount(j)).collect::<Vec<_>>()
+            (0..self.n_outputs)
+                .map(|j| self.popcount(j))
+                .collect::<Vec<_>>()
         )
     }
 }

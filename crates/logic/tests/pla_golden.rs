@@ -1,0 +1,121 @@
+//! Golden-file round-trip tests for the `.pla` reader/writer.
+//!
+//! For every file under `tests/golden/`, `parse → print → parse` must be a
+//! fixpoint: the second parse reproduces the first one's covers, labels
+//! and type exactly, and printing the re-parsed file reproduces the first
+//! printed text byte-for-byte. Malformed inputs must come back as
+//! [`ParsePlaError`] values, never panics.
+
+use logic::{parse_pla, write_pla, ParsePlaError, Pla};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn golden_files() -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = fs::read_dir(golden_dir())
+        .expect("golden dir exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pla"))
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                fs::read_to_string(&p).expect("readable golden file"),
+            )
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() >= 5, "golden corpus went missing");
+    files
+}
+
+fn assert_same_pla(a: &Pla, b: &Pla, name: &str) {
+    assert_eq!(a.on, b.on, "{name}: ON-set drifted");
+    assert_eq!(a.dc, b.dc, "{name}: DC-set drifted");
+    assert_eq!(a.off, b.off, "{name}: OFF-set drifted");
+    assert_eq!(a.pla_type, b.pla_type, "{name}: type drifted");
+    assert_eq!(a.input_labels, b.input_labels, "{name}: .ilb drifted");
+    assert_eq!(a.output_labels, b.output_labels, "{name}: .ob drifted");
+}
+
+#[test]
+fn parse_print_parse_is_a_fixpoint() {
+    for (name, text) in golden_files() {
+        let first = parse_pla(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let printed = write_pla(&first);
+        let second = parse_pla(&printed).unwrap_or_else(|e| panic!("{name} reprint: {e}"));
+        assert_same_pla(&first, &second, &name);
+        // One more round: printing the re-parsed PLA must be byte-stable.
+        assert_eq!(write_pla(&second), printed, "{name}: printing not stable");
+    }
+}
+
+#[test]
+fn roundtrip_preserves_function_pointwise() {
+    for (name, text) in golden_files() {
+        let first = parse_pla(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let second = parse_pla(&write_pla(&first)).expect("reprint parses");
+        let n = first.n_inputs().min(10);
+        for bits in 0..(1u64 << n) {
+            assert_eq!(
+                first.on.eval_bits(bits),
+                second.on.eval_bits(bits),
+                "{name}: ON function drifted at {bits:b}"
+            );
+            assert_eq!(
+                first.dc.eval_bits(bits),
+                second.dc.eval_bits(bits),
+                "{name}: DC function drifted at {bits:b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_metadata_spot_checks() {
+    let text = fs::read_to_string(golden_dir().join("adder3.pla")).expect("adder3");
+    let pla = parse_pla(&text).expect("parses");
+    assert_eq!(pla.n_inputs(), 3);
+    assert_eq!(pla.n_outputs(), 2);
+    assert_eq!(pla.on.len(), 8);
+    assert_eq!(pla.input_labels.as_deref().unwrap(), ["a", "b", "cin"]);
+    assert_eq!(pla.output_labels.as_deref().unwrap(), ["sum", "carry"]);
+
+    let text = fs::read_to_string(golden_dir().join("fr_offset.pla")).expect("fr_offset");
+    let pla = parse_pla(&text).expect("parses");
+    assert_eq!(pla.on.len(), 2);
+    // Every '0' output position of an `fr` file enrolls in the OFF-set:
+    // the two pure-OFF rows plus the complementary halves of the ON rows.
+    assert_eq!(pla.off.len(), 4, "fr files carry an explicit OFF-set");
+    assert!(pla.dc.is_empty());
+}
+
+#[test]
+fn malformed_inputs_error_instead_of_panicking() {
+    let cases: &[(&str, &str)] = &[
+        ("empty", ""),
+        ("cubes with no header at all", "10 1\n01 1\n"),
+        ("bad i arg", ".i two\n.o 1\n"),
+        ("bad type", ".i 2\n.o 1\n.type zz\n"),
+        ("unknown directive", ".i 2\n.o 1\n.frobnicate\n"),
+        ("short cube", ".i 3\n.o 1\n10 1\n"),
+        ("long cube", ".i 2\n.o 1\n101 1\n"),
+        ("bad input char", ".i 2\n.o 1\nx0 1\n"),
+        ("bad output char", ".i 2\n.o 1\n10 z\n"),
+        ("p mismatch", ".i 2\n.o 1\n.p 9\n10 1\n.e\n"),
+        ("missing o", ".i 2\n10 1\n"),
+    ];
+    for (what, text) in cases {
+        let result = std::panic::catch_unwind(|| parse_pla(text));
+        let outcome = result.unwrap_or_else(|_| panic!("{what}: parser panicked"));
+        assert!(outcome.is_err(), "{what}: expected a ParsePlaError");
+    }
+}
+
+#[test]
+fn error_lines_are_reported() {
+    let err = parse_pla(".i 2\n.o 1\n10 1\nxx y\n").unwrap_err();
+    assert_eq!(err, ParsePlaError::BadCube { line: 4 });
+}

@@ -72,12 +72,7 @@ impl Benchmark {
 /// to host `products` distinct even-parity codewords
 /// (`2^(n_inputs-1) >= products` is required, and the code needs at most
 /// `n_inputs` bits).
-pub fn disjoint_code_cover(
-    n_inputs: usize,
-    n_outputs: usize,
-    products: usize,
-    seed: u64,
-) -> Cover {
+pub fn disjoint_code_cover(n_inputs: usize, n_outputs: usize, products: usize, seed: u64) -> Cover {
     assert!(products > 0, "need at least one product term");
     assert!(n_outputs > 0, "need at least one output");
     // Smallest k with 2^(k-1) >= products.
@@ -98,7 +93,11 @@ pub fn disjoint_code_cover(
         if (word.count_ones() & 1) == 0 {
             let mut tris = vec![Tri::DontCare; n_inputs];
             for (b, t) in tris.iter_mut().enumerate().take(k) {
-                *t = if word >> b & 1 == 1 { Tri::One } else { Tri::Zero };
+                *t = if word >> b & 1 == 1 {
+                    Tri::One
+                } else {
+                    Tri::Zero
+                };
             }
             // Sprinkle extra literals on the free inputs (never all of them,
             // to keep cube sizes varied).
@@ -306,7 +305,11 @@ impl RandomPla {
             let mut any = false;
             for t in tris.iter_mut() {
                 if rng.gen_bool(self.literal_density) {
-                    *t = if rng.gen_bool(0.5) { Tri::One } else { Tri::Zero };
+                    *t = if rng.gen_bool(0.5) {
+                        Tri::One
+                    } else {
+                        Tri::Zero
+                    };
                     any = true;
                 }
             }

@@ -47,7 +47,11 @@ impl InputPhaseAssignment {
 pub fn count_invert_devices(cover: &Cover) -> usize {
     cover
         .iter()
-        .map(|c| (0..cover.n_inputs()).filter(|&i| c.input(i) == Tri::One).count())
+        .map(|c| {
+            (0..cover.n_inputs())
+                .filter(|&i| c.input(i) == Tri::One)
+                .count()
+        })
         .sum()
 }
 
@@ -180,10 +184,21 @@ mod tests {
         // After balancing, no column has a p-type majority, so overall
         // p-type fraction is at most 1/2.
         for text in ["111 1\n11- 1\n1-1 1", "10 1\n01 1", "1111 1"] {
-            let ni = text.lines().next().unwrap().split(' ').next().unwrap().len();
+            let ni = text
+                .lines()
+                .next()
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .len();
             let f = cover(text, ni, 1);
             let a = balance_input_phases(&f);
-            assert!(a.ptype_fraction() <= 0.5 + 1e-9, "{text}: {}", a.ptype_fraction());
+            assert!(
+                a.ptype_fraction() <= 0.5 + 1e-9,
+                "{text}: {}",
+                a.ptype_fraction()
+            );
         }
     }
 

@@ -175,11 +175,7 @@ fn better(a: &Cover, b: &Cover) -> bool {
 ///
 /// Returns the first violating `(bits, output)`, or `None` if consistent
 /// (exhaustive up to [`logic::eval::EXHAUSTIVE_LIMIT`] inputs).
-pub fn verify_phases(
-    on: &Cover,
-    dc: &Cover,
-    assignment: &PhaseAssignment,
-) -> Option<(u64, usize)> {
+pub fn verify_phases(on: &Cover, dc: &Cover, assignment: &PhaseAssignment) -> Option<(u64, usize)> {
     let n = on.n_inputs();
     let space = 1u64 << n.min(logic::eval::EXHAUSTIVE_LIMIT);
     for bits in 0..space {
@@ -298,12 +294,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "limited to 10 outputs")]
     fn exhaustive_refuses_wide_outputs() {
-        let f = Cover::parse(
-            "1 11111111111",
-            1,
-            11,
-        )
-        .unwrap();
+        let f = Cover::parse("1 11111111111", 1, 11).unwrap();
         let dc = Cover::new(1, 11);
         let _ = optimize_output_phases(&f, &dc, PhaseStrategy::Exhaustive);
     }

@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! — under the same crate name — the API subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple (no outlier rejection, no HTML
+//! reports): each benchmark is warmed up, calibrated so one sample takes a
+//! few milliseconds, sampled [`Criterion::default`]-many times, and the
+//! median / min / max per-iteration times are printed in criterion's
+//! familiar `time: [low median high]` shape. Medians are stable enough for
+//! the ≥ 8× batch-vs-scalar speedup checks the repository's benches assert.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Timing loop handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the calibrated number of iterations, timing the whole
+    /// batch. The return value is passed through [`black_box`] so the
+    /// computation cannot be optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_sample<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+/// Measurement result for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time in nanoseconds.
+    pub max_ns: f64,
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn measure<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) -> Measurement {
+    // Warm-up and calibration: find an iteration count whose sample takes
+    // roughly `TARGET_SAMPLE`.
+    const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+    const MAX_CALIBRATION: Duration = Duration::from_millis(500);
+    let mut iters: u64 = 1;
+    let calibration_start = Instant::now();
+    loop {
+        let t = run_sample(&mut f, iters);
+        if t >= TARGET_SAMPLE || calibration_start.elapsed() >= MAX_CALIBRATION {
+            if t < TARGET_SAMPLE && t > Duration::ZERO {
+                let scale = TARGET_SAMPLE.as_secs_f64() / t.as_secs_f64();
+                iters = ((iters as f64 * scale).ceil() as u64).max(1);
+            }
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let samples = sample_size.clamp(3, 100);
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| run_sample(&mut f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let m = Measurement {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        max_ns: per_iter[per_iter.len() - 1],
+    };
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        format_time(m.min_ns),
+        format_time(m.median_ns),
+        format_time(m.max_ns),
+    );
+    m
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark `f`, handing it `input` alongside the [`Bencher`].
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.text);
+        let m = measure(&label, self.sample_size, |b| f(b, input));
+        self.criterion.results.push((label, m));
+        self
+    }
+
+    /// Benchmark a closure with no extra input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().text);
+        let m = measure(&label, self.sample_size, f);
+        self.criterion.results.push((label, m));
+        self
+    }
+
+    /// Finish the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Benchmark manager: collects results from every group it spawns.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Measurement)>,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 15,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let m = measure(id, 15, f);
+        self.results.push((id.to_string(), m));
+        self
+    }
+
+    /// All measurements recorded so far, as `(label, measurement)` pairs.
+    pub fn results(&self) -> &[(String, Measurement)] {
+        &self.results
+    }
+
+    /// Median per-iteration nanoseconds of the first result whose label
+    /// contains `needle`. Used by benches that assert speedup ratios.
+    pub fn median_ns(&self, needle: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(label, _)| label.contains(needle))
+            .map(|&(_, m)| m.median_ns)
+    }
+}
+
+/// Define a function running a list of benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running benchmark groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].1.median_ns > 0.0);
+        assert!(c.median_ns("spin").is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("map", "xor").text, "map/xor");
+        assert_eq!(BenchmarkId::from_parameter(64).text, "64");
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate vendors — under the same crate name and module paths — exactly
+//! the API subset the workspace uses:
+//!
+//! * [`rngs::StdRng`] seeded through [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen_bool`] and [`Rng::gen_range`] over primitive `Range`s.
+//!
+//! The generator is **xoshiro256++** seeded by a SplitMix64 expansion of the
+//! `u64` seed (the same seeding scheme the real `rand` uses for small
+//! seeds). Streams are deterministic per seed, which is all the Monte-Carlo
+//! code in this workspace relies on; they are *not* bit-compatible with the
+//! real `StdRng` (ChaCha12), and nothing in the workspace assumes they are.
+
+use std::ops::Range;
+
+/// Random number generators.
+pub mod rngs {
+    /// Deterministic 256-bit-state generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanded with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draw a uniform sample from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as u128) - (low as u128);
+                // Multiply-shift (Lemire): unbiased enough for simulation use.
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                low + draw as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (low as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_range(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Bernoulli draw with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} not in [0, 1]");
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+
+    /// Uniform draw from the half-open range `low..high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17u8);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.gen_range(0..5usize);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits} hits at p=0.3");
+    }
+
+    #[test]
+    fn uniform_int_covers_span() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[rng.gen_range(0..3u8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn gen_bool_rejects_bad_probability() {
+        StdRng::seed_from_u64(0).gen_bool(1.5);
+    }
+}

@@ -9,12 +9,8 @@ use ambipla::logic::{espresso_with_dc, Cover};
 
 fn main() {
     // A messy 4-variable single-output function with don't-cares.
-    let on = Cover::parse(
-        "0000 1\n0001 1\n0011 1\n0010 1\n1000 1\n1001 1",
-        4,
-        1,
-    )
-    .expect("valid cover");
+    let on =
+        Cover::parse("0000 1\n0001 1\n0011 1\n0010 1\n1000 1\n1001 1", 4, 1).expect("valid cover");
     let dc = Cover::parse("1100 1\n1101 1", 4, 1).expect("valid cover");
 
     println!("== ON/DC Karnaugh map (d = don't care) ==");

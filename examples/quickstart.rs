@@ -35,7 +35,11 @@ fn main() {
 
     // 3. Simulate: 1 + 1 + 0 = 10b.
     let out = pla.simulate(&[true, true, false]);
-    println!("1+1+0 -> sum={}, carry={}", u8::from(out[0]), u8::from(out[1]));
+    println!(
+        "1+1+0 -> sum={}, carry={}",
+        u8::from(out[0]),
+        u8::from(out[1])
+    );
     assert_eq!(out, vec![false, true]);
     assert!(pla.implements(&adder), "PLA must realize the adder exactly");
 

@@ -34,11 +34,7 @@ fn main() {
     println!(
         "flat 2-level width: {} rows; WPLA plane widths: {:?}",
         r.two_level_width,
-        r.wpla
-            .planes()
-            .iter()
-            .map(|p| p.rows())
-            .collect::<Vec<_>>()
+        r.wpla.planes().iter().map(|p| p.rows()).collect::<Vec<_>>()
     );
     println!(
         "width ratio {:.2}, cells {} (flat: {})",

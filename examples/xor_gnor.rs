@@ -15,8 +15,16 @@ fn main() {
     let g1 = GnorGate::new(vec![Pass, Invert]);
     // The sibling computes A·B̄ = NOR(Ā, B): controls swapped.
     let g2 = GnorGate::new(vec![Invert, Pass]);
-    println!("gate 1 controls: {:?} (PG charges {:?})", g1.controls(), g1.pg_levels());
-    println!("gate 2 controls: {:?} (PG charges {:?})", g2.controls(), g2.pg_levels());
+    println!(
+        "gate 1 controls: {:?} (PG charges {:?})",
+        g1.controls(),
+        g1.pg_levels()
+    );
+    println!(
+        "gate 2 controls: {:?} (PG charges {:?})",
+        g2.controls(),
+        g2.pg_levels()
+    );
     println!();
     println!("| A | B | g1 = A'·B | g2 = A·B' | OR = XOR |");
     println!("|---|---|-----------|-----------|----------|");

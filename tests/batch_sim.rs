@@ -1,0 +1,124 @@
+//! Property-based contracts of the 64-lane [`BatchSim`] engine.
+//!
+//! For random covers, one `simulate_batch` call must agree lane-for-lane
+//! with 64 independent `simulate_bits` calls on every architecture that
+//! implements the trait — and the GNOR PLA must agree with the classical
+//! PLA on every cover (the paper's functional-equivalence claim behind the
+//! Table 1 area comparison).
+
+use ambipla::core::batch::{pack_vectors, unpack_lane};
+use ambipla::core::{BatchSim, ClassicalPla, DynamicPla, GnorPla, Wpla};
+use ambipla::logic::{Cover, Cube, Tri};
+use proptest::prelude::*;
+
+/// A random cube over `n` inputs and `o` outputs.
+fn arb_cube(n: usize, o: usize) -> impl Strategy<Value = Cube> {
+    (
+        proptest::collection::vec(0..3u8, n),
+        proptest::collection::vec(any::<bool>(), o),
+        0..o,
+    )
+        .prop_map(move |(tris, mut outs, force)| {
+            outs[force] = true; // at least one output
+            let tris: Vec<Tri> = tris
+                .iter()
+                .map(|&t| match t {
+                    0 => Tri::Zero,
+                    1 => Tri::One,
+                    _ => Tri::DontCare,
+                })
+                .collect();
+            Cube::from_tris(&tris, &outs)
+        })
+}
+
+/// A random cover with 1..=max_cubes cubes.
+fn arb_cover(n: usize, o: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(arb_cube(n, o), 1..=max_cubes)
+        .prop_map(move |cubes| Cover::from_cubes(n, o, cubes))
+}
+
+/// 64 packed input vectors over `n` inputs.
+fn arb_vectors(n: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 64usize).prop_map(move |vs| {
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        vs.into_iter().map(|v| v & mask).collect()
+    })
+}
+
+/// One batch call must equal 64 scalar `simulate_bits` calls, lane for
+/// lane.
+fn batch_equals_scalar<S, F>(sim: &S, vectors: &[u64], mut scalar: F)
+where
+    S: BatchSim,
+    F: FnMut(u64) -> Vec<bool>,
+{
+    let words = sim.simulate_batch(&pack_vectors(vectors, sim.batch_inputs()));
+    for (lane, &bits) in vectors.iter().enumerate() {
+        assert_eq!(
+            unpack_lane(&words, lane),
+            scalar(bits),
+            "lane {lane}, bits {bits:#b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GnorPla: batch output equals 64 independent simulate_bits calls.
+    #[test]
+    fn gnor_batch_equals_scalar(f in arb_cover(7, 3, 10), vectors in arb_vectors(7)) {
+        let pla = GnorPla::from_cover(&f);
+        batch_equals_scalar(&pla, &vectors, |bits| pla.simulate_bits(bits));
+    }
+
+    /// ClassicalPla: batch output equals 64 independent simulate_bits calls.
+    #[test]
+    fn classical_batch_equals_scalar(f in arb_cover(7, 3, 10), vectors in arb_vectors(7)) {
+        let pla = ClassicalPla::from_cover(&f);
+        batch_equals_scalar(&pla, &vectors, |bits| pla.simulate_bits(bits));
+    }
+
+    /// Wpla: batch output equals 64 independent simulate_bits calls.
+    #[test]
+    fn wpla_batch_equals_scalar(f in arb_cover(6, 2, 8), vectors in arb_vectors(6)) {
+        let wpla = Wpla::buffered_from_cover(&f);
+        batch_equals_scalar(&wpla, &vectors, |bits| wpla.simulate_bits(bits));
+    }
+
+    /// DynamicPla: batch output equals 64 full precharge/evaluate cycles.
+    #[test]
+    fn dynamic_batch_equals_scalar(f in arb_cover(6, 2, 8), vectors in arb_vectors(6)) {
+        let pla = GnorPla::from_cover(&f);
+        let dynamic = DynamicPla::new(&pla);
+        let mut stepper = dynamic.clone();
+        batch_equals_scalar(&dynamic, &vectors, |bits| stepper.cycle_bits(bits));
+    }
+
+    /// The GNOR PLA and the classical PLA agree on every cover, both
+    /// scalar and batched (the paper's functional-equivalence claim).
+    #[test]
+    fn gnor_equals_classical_batched(f in arb_cover(7, 3, 10), vectors in arb_vectors(7)) {
+        let gnor = GnorPla::from_cover(&f);
+        let classical = ClassicalPla::from_cover(&f);
+        let packed = pack_vectors(&vectors, 7);
+        assert_eq!(
+            gnor.simulate_batch(&packed),
+            classical.simulate_batch(&packed),
+            "architectures disagree on some lane"
+        );
+        for bits in 0..128u64 {
+            assert_eq!(gnor.simulate_bits(bits), classical.simulate_bits(bits));
+        }
+    }
+
+    /// The batch engine agrees with the cover itself: simulate_batch of a
+    /// mapped PLA equals Cover::eval_batch lane-for-lane.
+    #[test]
+    fn batch_agrees_with_cover_eval(f in arb_cover(6, 2, 8), vectors in arb_vectors(6)) {
+        let pla = GnorPla::from_cover(&f);
+        let packed = pack_vectors(&vectors, 6);
+        assert_eq!(pla.simulate_batch(&packed), f.eval_batch(&packed));
+    }
+}

@@ -23,7 +23,11 @@ fn registry_pipeline_exhaustive() {
         let gnor = GnorPla::from_cover(&min);
         assert!(gnor.implements(&b.on), "{}: GNOR PLA wrong", b.name);
         let classical = ClassicalPla::from_cover(&min);
-        assert!(classical.implements(&b.on), "{}: classical PLA wrong", b.name);
+        assert!(
+            classical.implements(&b.on),
+            "{}: classical PLA wrong",
+            b.name
+        );
         // Architectures agree point-wise.
         for bits in 0..(1u64 << b.on.n_inputs().min(12)) {
             assert_eq!(

@@ -3,7 +3,9 @@
 
 use ambipla::benchmarks::RandomPla;
 use ambipla::core::GnorPla;
-use ambipla::fault::{repair, yield_curve, yield_curve_biased, DefectMap, FaultyGnorPla, RepairOutcome};
+use ambipla::fault::{
+    repair, yield_curve, yield_curve_biased, DefectMap, FaultyGnorPla, RepairOutcome,
+};
 use ambipla::logic::Cover;
 
 /// Whenever repair reports success, the repaired array must verify by
@@ -17,7 +19,10 @@ fn successful_repairs_always_verify() {
             .literal_density(0.5)
             .build();
         let defects = DefectMap::sample(f.len() + 3, 5, 2, 0.04, 0.7, seed * 31 + 1);
-        if let RepairOutcome::Repaired { pla, assignment, .. } = repair(&f, &defects) {
+        if let RepairOutcome::Repaired {
+            pla, assignment, ..
+        } = repair(&f, &defects)
+        {
             successes += 1;
             // Assignment is a valid injection into physical rows.
             let mut seen = vec![false; defects.rows()];
@@ -40,7 +45,10 @@ fn clean_fault_simulation_is_transparent() {
         let f = RandomPla::new(6, 2, 12).seed(seed).build();
         let pla = GnorPla::from_cover(&f);
         let d = pla.dimensions();
-        let faulty = FaultyGnorPla::new(pla.clone(), DefectMap::clean(d.products, d.inputs, d.outputs));
+        let faulty = FaultyGnorPla::new(
+            pla.clone(),
+            DefectMap::clean(d.products, d.inputs, d.outputs),
+        );
         for bits in 0..64u64 {
             assert_eq!(faulty.simulate_bits(bits), pla.simulate_bits(bits));
         }
@@ -53,7 +61,12 @@ fn clean_fault_simulation_is_transparent() {
 /// monotonicity is only promised for opens.)
 #[test]
 fn yield_is_monotone_in_spares_for_open_defects() {
-    let f = Cover::parse("110 01\n101 01\n011 01\n111 11\n100 10\n010 10\n001 10", 3, 2).unwrap();
+    let f = Cover::parse(
+        "110 01\n101 01\n011 01\n111 11\n100 10\n010 10\n001 10",
+        3,
+        2,
+    )
+    .unwrap();
     let rates = [0.02, 0.05];
     let y2 = yield_curve_biased(&f, 2, &rates, 60, 5, 1.0);
     let y6 = yield_curve_biased(&f, 6, &rates, 60, 5, 1.0);

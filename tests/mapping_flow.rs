@@ -69,7 +69,11 @@ fn bitstream_roundtrip_across_registry() {
         let mut bad = bits.clone();
         let idx = bits.len() - 6; // inside the code section
         bad[idx] ^= 0b01;
-        assert!(from_bitstream(&bad).is_err(), "{}: corruption accepted", b.name);
+        assert!(
+            from_bitstream(&bad).is_err(),
+            "{}: corruption accepted",
+            b.name
+        );
     }
 }
 
@@ -79,7 +83,10 @@ fn bitstream_roundtrip_across_registry() {
 fn t2_minimization_proved_by_bdd() {
     let b = ambipla::benchmarks::t2();
     let (min, _) = espresso(&b.on);
-    assert!(bdd_equivalent(&b.on, &min), "espresso(t2) proved equivalent");
+    assert!(
+        bdd_equivalent(&b.on, &min),
+        "espresso(t2) proved equivalent"
+    );
 }
 
 /// BDD and exhaustive checkers agree on small functions.
@@ -107,6 +114,10 @@ fn dynamic_simulation_of_programmed_array() {
     let back = GnorPla::from_programmed(&m1, &m2, pla.inverting_outputs().to_vec());
     let mut dynamic = DynamicPla::new(&back);
     for bits in 0..8u64 {
-        assert_eq!(dynamic.cycle_bits(bits), f.eval_bits(bits), "bits {bits:03b}");
+        assert_eq!(
+            dynamic.cycle_bits(bits),
+            f.eval_bits(bits),
+            "bits {bits:03b}"
+        );
     }
 }

@@ -31,7 +31,10 @@ fn parse_minimize_map_verify() {
     let (min, stats) = espresso_with_dc(&pla.on, &pla.dc);
     assert!(stats.final_cubes <= stats.initial_cubes);
     // Minimization must stay inside [ON, ON ∪ DC].
-    assert_eq!(ambipla::logic::eval::check_implements(&pla.on, &pla.dc, &min), None);
+    assert_eq!(
+        ambipla::logic::eval::check_implements(&pla.on, &pla.dc, &min),
+        None
+    );
 
     let mapped = GnorPla::from_cover(&min);
     // The PLA realizes the minimized cover exactly.

@@ -8,7 +8,7 @@ use ambipla::core::{analyze_activity, ClassicalPla, Crossbar, GnorPla, Wpla};
 use ambipla::fault::{repair, DefectMap, FaultyGnorPla, RepairOutcome};
 use ambipla::logic::ops::{disjoint_cover, intersect, minterm_count, sharp};
 use ambipla::logic::{
-    bdd_equivalent, espresso, exact_minimize, eval::check_implements, Cover, Cube, Tri,
+    bdd_equivalent, espresso, eval::check_implements, exact_minimize, Cover, Cube, Tri,
 };
 use proptest::prelude::*;
 

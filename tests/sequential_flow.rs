@@ -4,8 +4,8 @@
 use ambipla::core::fsm::{counter_cover, PlaFsm};
 use ambipla::core::{from_bitstream, to_bitstream, GnorPla};
 use ambipla::fault::{
-    bist_sequence, measure_coverage, repair_with_columns, ColumnRepairOutcome, DefectKind,
-    DefectMap, FaultyGnorPla, verify_column_repair,
+    bist_sequence, measure_coverage, repair_with_columns, verify_column_repair,
+    ColumnRepairOutcome, DefectKind, DefectMap, FaultyGnorPla,
 };
 use ambipla::logic::{espresso, Cover};
 

@@ -36,7 +36,10 @@ fn phase_opt_is_sound_and_never_worse() {
 #[test]
 fn greedy_matches_exhaustive_on_small_functions() {
     for seed in 0..5u64 {
-        let f = RandomPla::new(4, 2, 8).seed(seed).literal_density(0.5).build();
+        let f = RandomPla::new(4, 2, 8)
+            .seed(seed)
+            .literal_density(0.5)
+            .build();
         let dc = Cover::new(4, 2);
         let g = optimize_output_phases(&f, &dc, PhaseStrategy::Greedy);
         let e = optimize_output_phases(&f, &dc, PhaseStrategy::Exhaustive);
@@ -69,7 +72,10 @@ fn wpla_synthesis_is_sound() {
         }
     }
     for seed in 0..6u64 {
-        let f = RandomPla::new(7, 2, 20).seed(seed).literal_density(0.5).build();
+        let f = RandomPla::new(7, 2, 20)
+            .seed(seed)
+            .literal_density(0.5)
+            .build();
         let dc = Cover::new(7, 2);
         let minimized = ambipla::logic::espresso(&f).0;
         let r = synthesize_wpla(&f, &dc);
@@ -82,7 +88,10 @@ fn wpla_synthesis_is_sound() {
 #[test]
 fn wpla_width_is_bounded() {
     for seed in 0..6u64 {
-        let f = RandomPla::new(7, 2, 20).seed(seed).literal_density(0.5).build();
+        let f = RandomPla::new(7, 2, 20)
+            .seed(seed)
+            .literal_density(0.5)
+            .build();
         let dc = Cover::new(7, 2);
         let r = synthesize_wpla(&f, &dc);
         let bound = r.two_level_width.div_ceil(2) + f.n_outputs();
