@@ -18,7 +18,7 @@ fn bench_espresso(c: &mut Criterion) {
             |b, cover| b.iter(|| espresso(std::hint::black_box(cover))),
         );
     }
-    for bench in mcnc::table1_benchmarks() {
+    for bench in mcnc::table1_benchmarks_env() {
         group.bench_with_input(
             BenchmarkId::new("table1", bench.name),
             &bench.on,

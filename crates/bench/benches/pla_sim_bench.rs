@@ -15,7 +15,7 @@ use mcnc::RandomPla;
 
 fn bench_pla(c: &mut Criterion) {
     let mut group = c.benchmark_group("gnor_pla");
-    for bench in mcnc::table1_benchmarks() {
+    for bench in mcnc::table1_benchmarks_env() {
         let pla = GnorPla::from_cover(&bench.on);
         group.bench_with_input(BenchmarkId::new("map", bench.name), &bench.on, |b, on| {
             b.iter(|| GnorPla::from_cover(std::hint::black_box(on)))

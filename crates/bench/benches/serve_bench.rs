@@ -1,0 +1,127 @@
+//! Criterion micro-bench: the lane-packing simulation service against
+//! per-request scalar `simulate_bits` calls.
+//!
+//! The workload is a service-scale PLA (32 inputs / 256 products / 16
+//! outputs — the size regime where a hosted simulation service earns its
+//! keep) with 512 single-vector requests in flight, i.e. eight full
+//! 64-lane blocks. Three paths are measured:
+//!
+//! * `scalar_per_request` — the pre-service baseline: one
+//!   `GnorPla::simulate_bits` call per request,
+//! * `service_cold` — the batcher with the result cache **disabled**
+//!   (capacity 0), so every block pays `eval_batch`: this isolates the
+//!   lane-packing win and is what the ≥ 4× acceptance floor is asserted
+//!   on,
+//! * `service_warm` — the batcher with the cache on; the bench replays
+//!   the same request stream, so steady-state blocks are cache hits.
+//!
+//! Set `AMBIPLA_BENCH_SMOKE=1` (CI) for a shorter run; the floor is
+//! asserted either way.
+
+use ambipla_core::GnorPla;
+use ambipla_serve::{reply_channel, ServeConfig, SimService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcnc::RandomPla;
+use std::time::Duration;
+
+/// The service-scale workload: 32 inputs, 256 product terms, 16 outputs.
+/// (The canonical 16/32/8 acceptance cover lives in `pla_sim_bench`; at
+/// that size one scalar `simulate_bits` call costs ~0.5 µs, which is
+/// below the per-request channel overhead of *any* request/response
+/// service — batching pays off once requests carry real work.)
+fn service_cover() -> logic::Cover {
+    RandomPla::new(32, 16, 256)
+        .seed(42)
+        .literal_density(0.4)
+        .build()
+}
+
+fn service_config(cache_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        // Long enough that only full blocks flush in steady state; short
+        // enough that calibration tails cannot stall a sample.
+        max_wait: Duration::from_micros(500),
+        cache_capacity,
+        ..ServeConfig::default()
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let smoke = std::env::var("AMBIPLA_BENCH_SMOKE").is_ok();
+    let requests: u64 = 512; // 8 full 64-lane blocks in flight per round
+    let cover = service_cover();
+    let pla = GnorPla::from_cover(&cover);
+    let vectors: Vec<u64> = (0..requests)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & 0xffff_ffff)
+        .collect();
+
+    let cold = SimService::start(service_config(0));
+    let cold_id = cold.register(cover.clone());
+    let warm = SimService::start(service_config(4096));
+    let warm_id = warm.register(cover.clone());
+
+    {
+        let mut group = c.benchmark_group("serve_32i256p16o");
+        group.sample_size(if smoke { 5 } else { 15 });
+        group.bench_function("scalar_per_request", |b| {
+            b.iter(|| {
+                vectors
+                    .iter()
+                    .map(|&bits| pla.simulate_bits(std::hint::black_box(bits)))
+                    .collect::<Vec<_>>()
+            })
+        });
+        for (label, service, id) in [
+            ("service_cold", &cold, cold_id),
+            ("service_warm", &warm, warm_id),
+        ] {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let (sink, stream) = reply_channel();
+                    for (tag, &bits) in vectors.iter().enumerate() {
+                        service.submit_tagged(id, bits, tag as u64, &sink);
+                    }
+                    (0..vectors.len())
+                        .map(|_| stream.recv())
+                        .collect::<Vec<_>>()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    let scalar = c
+        .median_ns("scalar_per_request")
+        .expect("scalar measurement recorded");
+    for label in ["service_cold", "service_warm"] {
+        let service = c.median_ns(label).expect("service measurement recorded");
+        println!(
+            "serve_32i256p16o/{label:<14} speedup: {:.1}x ({requests} in-flight requests)",
+            scalar / service
+        );
+    }
+    let cold_speedup = scalar / c.median_ns("service_cold").expect("cold recorded");
+    assert!(
+        cold_speedup >= 4.0,
+        "acceptance floor: the lane-packing service must be ≥ 4× faster \
+         than per-request scalar simulate_bits at 64+ concurrent requests \
+         even with the cache disabled, measured {cold_speedup:.1}x"
+    );
+
+    let snap = cold.shutdown();
+    println!(
+        "service_cold final stats: occupancy {:.1}%, p50 flush ≤ {:.1} µs",
+        100.0 * snap.lane_occupancy,
+        snap.p50_flush_ns as f64 / 1_000.0
+    );
+    let snap = warm.shutdown();
+    println!(
+        "service_warm final stats: cache hit rate {:.1}% ({} hits / {} misses)",
+        100.0 * snap.cache_hit_rate,
+        snap.cache_hits,
+        snap.cache_misses
+    );
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -13,7 +13,7 @@ fn main() {
     let model = EnergyModel::nominal();
     println!("| benchmark | dims        | GNOR (fJ) | classical (fJ) | ratio |");
     println!("|-----------|-------------|-----------|----------------|-------|");
-    for b in mcnc::table1_benchmarks() {
+    for b in mcnc::table1_benchmarks_env() {
         let pla = GnorPla::from_cover(&b.on);
         let d: PlaDimensions = pla.dimensions();
         let act = 0.5;
@@ -34,7 +34,7 @@ fn main() {
     }
     println!();
     println!("Programming (one-off) energy per array:");
-    for b in mcnc::table1_benchmarks() {
+    for b in mcnc::table1_benchmarks_env() {
         let pla = GnorPla::from_cover(&b.on);
         let d = pla.dimensions();
         let devices = d.products * (d.inputs + d.outputs);

@@ -1,0 +1,147 @@
+//! End-to-end driver of the `ambipla_serve` subsystem — the CI
+//! `service-smoke` step.
+//!
+//! 1. Starts a [`SimService`], registers the whole MCNC benchmark
+//!    registry, and fires interleaved requests from four client threads,
+//!    verifying every reply against direct `eval_bits`.
+//! 2. Runs the offline bulk sweep ([`eval_covers_blocked`]) with 1 and N
+//!    worker threads and checks the results are identical.
+//! 3. Runs the yield Monte-Carlo sequentially and sharded
+//!    ([`fault::yield_curve_parallel`]) and checks bit-identical curves.
+//!
+//! Any mismatch panics (non-zero exit); the happy path prints the service
+//! stats table. Run:
+//! `cargo run --release -p bench --bin service_demo`
+
+use ambipla_serve::{eval_covers_blocked, reply_channel, SimService, WorkerPool};
+use std::time::Instant;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 2_000;
+
+/// Mask keeping the low `n` input bits of a packed assignment — the same
+/// saturating low-bits mask as `lane_mask`, reused so the workspace keeps
+/// one copy of the shift-overflow-sensitive math.
+fn input_mask(n: usize) -> u64 {
+    logic::eval::lane_mask(n)
+}
+
+fn main() {
+    println!("# ambipla_serve — service demo");
+    println!();
+
+    // ---- 1. Online: multi-threaded clients against the batcher. --------
+    let covers: Vec<logic::Cover> = mcnc::registry().into_iter().map(|b| b.on).collect();
+    let service = SimService::with_defaults();
+    let ids: Vec<_> = covers.iter().map(|c| service.register(c.clone())).collect();
+
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let service = &service;
+            let covers = &covers;
+            let ids = &ids;
+            s.spawn(move || {
+                let (sink, stream) = reply_channel();
+                // Deterministic per-client request stream, round-robin
+                // over the registered covers.
+                let pick = |i: usize| (client + i) % covers.len();
+                let bits_of = |i: usize| {
+                    (client as u64)
+                        .wrapping_mul(0xd134_2543_de82_ef95)
+                        .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                        & input_mask(covers[pick(i)].n_inputs())
+                };
+                for i in 0..REQUESTS_PER_CLIENT {
+                    service.submit_tagged(ids[pick(i)], bits_of(i), i as u64, &sink);
+                }
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let reply = stream.recv();
+                    let i = reply.tag as usize;
+                    assert_eq!(
+                        reply.outputs,
+                        covers[pick(i)].eval_bits(bits_of(i)),
+                        "client {client} request {i} got a wrong answer"
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let total = CLIENTS * REQUESTS_PER_CLIENT;
+    println!(
+        "online: {total} requests from {CLIENTS} clients over {} covers in {:.1} ms \
+         ({:.0}k req/s), all verified against eval_bits",
+        covers.len(),
+        elapsed.as_secs_f64() * 1e3,
+        total as f64 / elapsed.as_secs_f64() / 1e3,
+    );
+    println!();
+    println!("{}", service.stats());
+    println!();
+
+    // ---- 2. Offline: bulk sweep sharded across the worker pool. --------
+    let jobs: Vec<(logic::Cover, Vec<u64>)> = covers
+        .iter()
+        .map(|c| {
+            let mask = input_mask(c.n_inputs());
+            let vectors = (0..1_000u64)
+                .map(|i| i.wrapping_mul(0x2545_f491_4f6c_dd1d) & mask)
+                .collect();
+            (c.clone(), vectors)
+        })
+        .collect();
+    let t1 = Instant::now();
+    let sequential = eval_covers_blocked(&jobs, &WorkerPool::new(1));
+    let t1 = t1.elapsed();
+    let pool = WorkerPool::available();
+    let tn = Instant::now();
+    let sharded = eval_covers_blocked(&jobs, &pool);
+    let tn = tn.elapsed();
+    assert_eq!(sequential, sharded, "sharded bulk sweep diverged");
+    println!(
+        "bulk sweep: {} covers × 1000 vectors — {:.1} ms on 1 thread, {:.1} ms on {} \
+         threads, results identical",
+        jobs.len(),
+        t1.as_secs_f64() * 1e3,
+        tn.as_secs_f64() * 1e3,
+        pool.threads(),
+    );
+
+    // ---- 3. Monte-Carlo: sequential vs sharded yield curves. -----------
+    let adder = logic::Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover");
+    let rates = [0.005, 0.02, 0.05];
+    let trials = 400;
+    let t1 = Instant::now();
+    let seq = fault::yield_curve(&adder, 3, &rates, trials, 17);
+    let t1 = t1.elapsed();
+    let tn = Instant::now();
+    let par = fault::yield_curve_parallel(&adder, 3, &rates, trials, 17, pool.threads());
+    let tn = tn.elapsed();
+    assert_eq!(seq, par, "parallel Monte-Carlo diverged from sequential");
+    println!(
+        "yield Monte-Carlo: {trials} trials × {} rates — {:.1} ms sequential, {:.1} ms on \
+         {} threads, curves bit-identical",
+        rates.len(),
+        t1.as_secs_f64() * 1e3,
+        tn.as_secs_f64() * 1e3,
+        pool.threads(),
+    );
+    for p in &par {
+        println!(
+            "  rate {:>6.3}: raw yield {:.2}, repaired {:.2} (+{:.2})",
+            p.defect_rate,
+            p.raw_yield,
+            p.repaired_yield,
+            p.improvement()
+        );
+    }
+
+    println!();
+    println!("service demo OK");
+}

@@ -42,7 +42,7 @@ fn main() {
         PAPER[0].3,
     );
 
-    for (idx, bench) in mcnc::table1_benchmarks().iter().enumerate() {
+    for (idx, bench) in mcnc::table1_benchmarks_env().iter().enumerate() {
         let (min, stats) = espresso_with_dc(&bench.on, &bench.dc);
         let dims = PlaDimensions {
             inputs: min.n_inputs(),

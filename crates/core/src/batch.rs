@@ -23,7 +23,7 @@
 
 use logic::Cover;
 
-pub use logic::eval::{exhaustive_block, pack_vectors, unpack_lane, LANES};
+pub use logic::eval::{exhaustive_block, lane_mask, pack_vectors, unpack_lane, LANES};
 
 /// Bit-parallel functional simulation over 64 packed lanes.
 pub trait BatchSim {
@@ -83,7 +83,7 @@ pub fn equivalent_to_cover<S: BatchSim + ?Sized>(sim: &S, cover: &Cover, n_check
     let total = 1u64 << n_checked;
     if total < LANES as u64 {
         let inputs = exhaustive_block(0, n);
-        let mask = (1u64 << total) - 1;
+        let mask = lane_mask(total as usize);
         return words_agree(
             &sim.simulate_batch(&inputs),
             &eval_cover_resized(cover, &inputs),
@@ -108,11 +108,7 @@ pub fn agrees_on<S: BatchSim + ?Sized>(sim: &S, cover: &Cover, patterns: &[u64])
     }
     patterns.chunks(LANES).all(|chunk| {
         let inputs = pack_vectors(chunk, sim.batch_inputs());
-        let mask = if chunk.len() == LANES {
-            !0
-        } else {
-            (1u64 << chunk.len()) - 1
-        };
+        let mask = lane_mask(chunk.len());
         words_agree(
             &sim.simulate_batch(&inputs),
             &eval_cover_resized(cover, &inputs),

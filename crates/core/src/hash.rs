@@ -1,0 +1,99 @@
+//! Stable structural hashing of covers.
+//!
+//! The request-batching simulation service (`ambipla_serve`) caches block
+//! evaluation results keyed on *(cover hash, input block)*, so it needs a
+//! hash of a [`Cover`] that is
+//!
+//! * **stable across runs, platforms and compiler versions** — unlike
+//!   `std::collections::hash_map::DefaultHasher`, whose output is
+//!   deliberately randomized per process,
+//! * **structural** — two covers hash equal iff their cube lists are
+//!   identical (same cubes, same order, same arity).
+//!
+//! [`cover_hash`] is 64-bit FNV-1a over the arity and the canonical
+//! PLA-style text of every cube. It is *not* a semantic hash: two
+//! different cube lists implementing the same Boolean function hash
+//! differently, which is exactly what a result cache wants (the cache key
+//! must identify the registered object, not the function class).
+
+use logic::Cover;
+
+/// 64-bit FNV-1a offset basis (the initial hash state).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Absorb `bytes` into a 64-bit FNV-1a state, returning the new state.
+/// Start from [`FNV_OFFSET`]; chain calls to hash composite keys. Shared
+/// by [`cover_hash`] and the `ambipla_serve` cache's shard selector so
+/// the workspace has exactly one copy of the FNV constants.
+pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Stable 64-bit FNV-1a hash of a cover's structure (arity + ordered cube
+/// list, in canonical `.pla` cube text).
+///
+/// ```
+/// use ambipla_core::cover_hash;
+/// use logic::Cover;
+///
+/// let a = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+/// let b = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+/// let c = Cover::parse("01 1\n10 1", 2, 1).unwrap();
+/// assert_eq!(cover_hash(&a), cover_hash(&b));
+/// assert_ne!(cover_hash(&a), cover_hash(&c)); // order matters
+/// ```
+pub fn cover_hash(cover: &Cover) -> u64 {
+    let mut hash = FNV_OFFSET;
+    hash = fnv1a(hash, &(cover.n_inputs() as u64).to_le_bytes());
+    hash = fnv1a(hash, &(cover.n_outputs() as u64).to_le_bytes());
+    for cube in cover {
+        hash = fnv1a(hash, cube.to_string().as_bytes());
+        // Separator byte: `.pla` cube text never contains '\n'.
+        hash = fnv1a(hash, b"\n");
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_across_calls() {
+        let f = Cover::parse("110 01\n101 01", 3, 2).expect("valid cover");
+        assert_eq!(cover_hash(&f), cover_hash(&f.clone()));
+    }
+
+    #[test]
+    fn hash_is_a_fixed_golden_value() {
+        // Guards the "stable across runs / platforms" contract: if the
+        // hashing scheme ever changes, persisted cache keys would silently
+        // stop matching — fail loudly here instead.
+        let f = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+        assert_eq!(cover_hash(&f), 0x6d20_aafc_aef3_dc98);
+    }
+
+    #[test]
+    fn arity_enters_the_hash() {
+        let narrow = Cover::new(2, 1);
+        let wide = Cover::new(3, 1);
+        let tall = Cover::new(2, 2);
+        assert_ne!(cover_hash(&narrow), cover_hash(&wide));
+        assert_ne!(cover_hash(&narrow), cover_hash(&tall));
+    }
+
+    #[test]
+    fn cube_content_and_order_enter_the_hash() {
+        let a = Cover::parse("10 1\n0- 1", 2, 1).expect("valid cover");
+        let b = Cover::parse("10 1\n0- 1\n11 1", 2, 1).expect("valid cover");
+        let c = Cover::parse("0- 1\n10 1", 2, 1).expect("valid cover");
+        assert_ne!(cover_hash(&a), cover_hash(&b));
+        assert_ne!(cover_hash(&a), cover_hash(&c));
+    }
+}

@@ -27,6 +27,10 @@
 //!   comparison point,
 //! * [`batch`] — the 64-lane bit-parallel [`BatchSim`] engine behind every
 //!   simulator's hot path,
+//! * [`hash`] — stable structural cover hashing (cache keys for the
+//!   `ambipla_serve` result cache),
+//! * [`pool`] — the deterministic [`std::thread::scope`] worker pool behind
+//!   parallel Monte-Carlo and multi-cover sweeps,
 //! * [`area`] — the Table 1 area model (Flash / EEPROM / ambipolar CNFET),
 //! * [`crossbar`] — the pass-transistor interconnect array of Section 4,
 //! * [`timing`] — dynamic-logic cycle-time estimation on top of the device
@@ -44,9 +48,11 @@ pub mod crossbar;
 pub mod dynamic;
 pub mod fsm;
 pub mod gnor;
+pub mod hash;
 pub mod layout;
 pub mod pla;
 pub mod plane;
+pub mod pool;
 pub mod timing;
 pub mod wpla;
 
@@ -60,8 +66,10 @@ pub use crossbar::{Crossbar, CrosspointState};
 pub use dynamic::DynamicPla;
 pub use fsm::{FsmError, PlaFsm};
 pub use gnor::{DynamicGnor, GnorGate, InputPolarity, Phase};
+pub use hash::cover_hash;
 pub use layout::Floorplan;
 pub use pla::{GnorPla, MapError};
 pub use plane::GnorPlane;
+pub use pool::WorkerPool;
 pub use timing::{PlaTiming, TimingModel};
 pub use wpla::Wpla;

@@ -1,0 +1,168 @@
+//! Deterministic scoped worker pool.
+//!
+//! The build environment has no rayon (no crates.io access), so parallel
+//! sections in this workspace run on a tiny [`std::thread::scope`]-based
+//! pool instead. The design constraint — inherited by every caller — is
+//! **bit-for-bit determinism**: `pool.map(items, f)` with any thread count
+//! must return exactly what the sequential `items.iter().map(f)` loop
+//! returns, in the same order.
+//!
+//! That holds by construction: items are split into contiguous index
+//! ranges, each worker computes its range independently (`f` receives the
+//! *global* index, so seed-stream splitting is just "derive the seed from
+//! the index"), and results are reassembled in range order. Nothing about
+//! scheduling can reorder or perturb the output; threads only change
+//! wall-clock time.
+//!
+//! Used by `fault::yield_analysis` to shard Monte-Carlo trials and by
+//! `ambipla_serve` to shard batch evaluation across covers.
+
+use std::num::NonZeroUsize;
+
+/// A fixed-width fork-join worker pool over [`std::thread::scope`].
+///
+/// The pool holds no threads while idle — each [`map`](WorkerPool::map)
+/// call spawns, joins and tears down its scoped workers, which keeps the
+/// type trivially `Send + Sync` and free of shutdown protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool running `threads` workers per parallel section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> WorkerPool {
+        assert!(threads > 0, "pool needs at least one thread");
+        WorkerPool { threads }
+    }
+
+    /// A pool sized to the machine's available parallelism (1 if unknown).
+    pub fn available() -> WorkerPool {
+        WorkerPool::new(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Worker count per parallel section.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every item, in parallel, returning results in item
+    /// order. `f` gets the item's global index alongside the item, so
+    /// index-derived seeding is identical no matter how items are sharded.
+    ///
+    /// Equivalent to `items.iter().enumerate().map(|(i, t)| f(i, t))` —
+    /// including on panic: a panicking worker propagates the panic.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        self.map_range(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// [`map`](WorkerPool::map) over the index range `0..n` — the single
+    /// copy of the shard / scoped-spawn / reassemble machinery.
+    pub fn map_range<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(self.threads);
+        let mut shards: Vec<Vec<U>> = Vec::with_capacity(self.threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|lo| {
+                    let f = &f;
+                    let hi = (lo + chunk).min(n);
+                    s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(shard) => shards.push(shard),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        out.extend(shards.into_iter().flatten());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 7, 16, 300] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(
+                pool.map(&items, |_, &x| x * x + 1),
+                expected,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn map_hands_out_global_indices() {
+        let items = vec![(); 100];
+        for threads in [1, 3, 8] {
+            let idx = WorkerPool::new(threads).map(&items, |i, ()| i);
+            assert_eq!(idx, (0..100).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_range_matches_sequential_loop() {
+        // Index-seeded "Monte-Carlo" shape: result depends only on the
+        // global index, so any sharding must be bit-identical.
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 3;
+        let expected: Vec<u64> = (0..1000).map(f).collect();
+        for threads in [1, 2, 5, 13] {
+            assert_eq!(WorkerPool::new(threads).map_range(1000, f), expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.map(&[] as &[u8], |_, &x| x), Vec::<u8>::new());
+        assert_eq!(pool.map_range(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map(&[9u8], |i, &x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_is_rejected() {
+        WorkerPool::new(0);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            WorkerPool::new(4).map_range(64, |i| {
+                assert!(i != 40, "injected failure");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

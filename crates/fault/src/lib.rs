@@ -15,7 +15,8 @@
 //!   defect-compatible physical rows by bipartite matching, exploiting the
 //!   array's regularity (any cube can live on any row),
 //! * [`yield_analysis`] — Monte-Carlo yield curves with and without
-//!   repair.
+//!   repair, sequential or sharded bit-identically across a deterministic
+//!   worker pool (`ambipla_core::pool`).
 
 pub mod bist;
 pub mod column_repair;
@@ -33,4 +34,6 @@ pub use defect::{DefectKind, DefectMap};
 pub use inject::FaultyGnorPla;
 pub use repair::{repair, RepairOutcome};
 pub use testgen::{enumerate_faults, generate_tests, verify_tests, SingleFault, TestSet};
-pub use yield_analysis::{yield_curve, yield_curve_biased, YieldPoint};
+pub use yield_analysis::{
+    yield_curve, yield_curve_biased, yield_curve_biased_parallel, yield_curve_parallel, YieldPoint,
+};

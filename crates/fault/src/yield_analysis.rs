@@ -12,11 +12,18 @@
 //! matching the paper's expectation that the regular, individually
 //! programmable array "is expected to improve the yield of the unreliable
 //! devices making up the PLA".
+//!
+//! Trials are embarrassingly parallel and every trial derives its RNG
+//! stream from `(seed, rate, trial index)` alone, so the
+//! [`yield_curve_parallel`] / [`yield_curve_biased_parallel`] entry points
+//! shard trials across a deterministic
+//! [`WorkerPool`] with **bit-identical**
+//! results to the sequential path.
 
 use crate::defect::DefectMap;
 use crate::inject::FaultyGnorPla;
 use crate::repair::{repair, RepairOutcome};
-use ambipla_core::GnorPla;
+use ambipla_core::{GnorPla, WorkerPool};
 use logic::Cover;
 
 /// Yield measurements at one defect rate.
@@ -80,39 +87,92 @@ pub fn yield_curve_biased(
     seed: u64,
     stuck_off_bias: f64,
 ) -> Vec<YieldPoint> {
-    assert!((0.0..=1.0).contains(&stuck_off_bias), "bias in [0,1]");
-    assert!(!cover.is_empty(), "cover must have product terms");
-    assert!(trials > 0, "need at least one trial");
+    yield_curve_biased_parallel(cover, spares, rates, trials, seed, stuck_off_bias, 1)
+}
+
+/// [`yield_curve`] sharded over `threads` workers.
+///
+/// Results are **bit-identical** to the single-threaded [`yield_curve`]
+/// for any thread count: each trial's RNG stream is derived from
+/// `(seed, rate, trial index)` alone (never from a shared generator), so
+/// sharding the trial range across a deterministic
+/// [`WorkerPool`] changes only wall-clock
+/// time. The trials of a yield curve are embarrassingly parallel — this
+/// is the ROADMAP's "parallel Monte-Carlo" entry point.
+pub fn yield_curve_parallel(
+    cover: &Cover,
+    spares: usize,
+    rates: &[f64],
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<YieldPoint> {
+    yield_curve_biased_parallel(cover, spares, rates, trials, seed, 0.7, threads)
+}
+
+/// Outcome of one Monte-Carlo trial: (raw array works, repaired array
+/// works). Depends only on the arguments — in particular on the *global*
+/// trial index `t` — which is what makes trial sharding deterministic.
+fn trial_outcome(
+    cover: &Cover,
+    ideal: &GnorPla,
+    spares: usize,
+    rate: f64,
+    seed: u64,
+    stuck_off_bias: f64,
+    t: usize,
+) -> (bool, bool) {
     let p = cover.len();
     let n = cover.n_inputs();
     let o = cover.n_outputs();
+    let map_seed = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((rate.to_bits() ^ t as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+    // Raw array: exactly p rows, defects as fabricated.
+    let raw_map = DefectMap::sample(p, n, o, rate, stuck_off_bias, map_seed);
+    let raw = FaultyGnorPla::new(ideal.clone(), raw_map);
+    let raw_ok = raw.implements(cover);
+    // Repairable array: p + spares rows.
+    let big_map = DefectMap::sample(p + spares, n, o, rate, stuck_off_bias, map_seed ^ 0xabcd);
+    let rep_ok = if let RepairOutcome::Repaired { pla, .. } = repair(cover, &big_map) {
+        let fixed = FaultyGnorPla::new(pla, big_map);
+        fixed.implements(cover)
+    } else {
+        false
+    };
+    (raw_ok, rep_ok)
+}
+
+/// [`yield_curve_biased`] sharded over `threads` workers; bit-identical to
+/// the sequential path for any thread count (see [`yield_curve_parallel`]).
+///
+/// # Panics
+///
+/// Panics if the cover is empty, `trials == 0`, `threads == 0`, or the
+/// bias is outside `[0, 1]`.
+pub fn yield_curve_biased_parallel(
+    cover: &Cover,
+    spares: usize,
+    rates: &[f64],
+    trials: usize,
+    seed: u64,
+    stuck_off_bias: f64,
+    threads: usize,
+) -> Vec<YieldPoint> {
+    assert!((0.0..=1.0).contains(&stuck_off_bias), "bias in [0,1]");
+    assert!(!cover.is_empty(), "cover must have product terms");
+    assert!(trials > 0, "need at least one trial");
     let ideal = GnorPla::from_cover(cover);
+    let pool = WorkerPool::new(threads);
 
     rates
         .iter()
         .map(|&rate| {
-            let mut raw_ok = 0usize;
-            let mut rep_ok = 0usize;
-            for t in 0..trials {
-                let map_seed = seed
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add((rate.to_bits() ^ t as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
-                // Raw array: exactly p rows, defects as fabricated.
-                let raw_map = DefectMap::sample(p, n, o, rate, stuck_off_bias, map_seed);
-                let raw = FaultyGnorPla::new(ideal.clone(), raw_map);
-                if raw.implements(cover) {
-                    raw_ok += 1;
-                }
-                // Repairable array: p + spares rows.
-                let big_map =
-                    DefectMap::sample(p + spares, n, o, rate, stuck_off_bias, map_seed ^ 0xabcd);
-                if let RepairOutcome::Repaired { pla, .. } = repair(cover, &big_map) {
-                    let fixed = FaultyGnorPla::new(pla, big_map);
-                    if fixed.implements(cover) {
-                        rep_ok += 1;
-                    }
-                }
-            }
+            let outcomes = pool.map_range(trials, |t| {
+                trial_outcome(cover, &ideal, spares, rate, seed, stuck_off_bias, t)
+            });
+            let raw_ok = outcomes.iter().filter(|&&(raw, _)| raw).count();
+            let rep_ok = outcomes.iter().filter(|&&(_, rep)| rep).count();
             YieldPoint {
                 defect_rate: rate,
                 raw_yield: raw_ok as f64 / trials as f64,
@@ -178,5 +238,24 @@ mod tests {
         let a = yield_curve(&adder(), 2, &[0.02, 0.1], 15, 9);
         let b = yield_curve(&adder(), 2, &[0.02, 0.1], 15, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_curve_is_bit_identical_to_sequential() {
+        // The acceptance contract of the parallel Monte-Carlo path: for the
+        // same seeds, N-threaded results equal the 1-threaded baseline
+        // exactly (not statistically — YieldPoint derives PartialEq over
+        // the raw f64 bits of every field).
+        let cover = adder();
+        let rates = [0.005, 0.02, 0.08];
+        let sequential = yield_curve(&cover, 3, &rates, 48, 11);
+        for threads in [2, 3, 4, 8, 48, 64] {
+            let sharded = yield_curve_parallel(&cover, 3, &rates, 48, 11, threads);
+            assert_eq!(sequential, sharded, "{threads} threads diverged");
+        }
+        // The biased entry point shards the same way.
+        let seq_biased = yield_curve_biased(&cover, 3, &rates, 32, 5, 0.4);
+        let par_biased = yield_curve_biased_parallel(&cover, 3, &rates, 32, 5, 0.4, 4);
+        assert_eq!(seq_biased, par_biased);
     }
 }

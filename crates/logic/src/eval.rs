@@ -76,8 +76,26 @@ pub fn unpack_lane(words: &[u64], lane: usize) -> Vec<bool> {
     words.iter().map(|&w| w >> lane & 1 == 1).collect()
 }
 
-/// Lane mask covering the first `lanes` lanes of a block.
-fn lane_mask(lanes: usize) -> u64 {
+/// Lane mask covering the first `lanes` lanes of a block: bit `L` is set
+/// iff lane `L < lanes`.
+///
+/// [`Cover::eval_batch`] (and every `BatchSim` implementation in
+/// `ambipla_core`) always computes all 64 lanes; when fewer than 64 input
+/// vectors were packed, the remaining lanes of the output words are the
+/// evaluation of whatever the unused input lanes held (all-zero vectors
+/// after [`pack_vectors`], arbitrary garbage otherwise). Any consumer of a
+/// partial block **must** AND output words — or XOR-difference words —
+/// with `lane_mask(valid_lanes)` before interpreting them. This is the
+/// single helper all batched sweeps in the workspace use for their tails.
+///
+/// ```
+/// use logic::eval::{lane_mask, LANES};
+///
+/// assert_eq!(lane_mask(0), 0);
+/// assert_eq!(lane_mask(3), 0b111);
+/// assert_eq!(lane_mask(LANES), !0);
+/// ```
+pub fn lane_mask(lanes: usize) -> u64 {
     if lanes >= LANES {
         !0
     } else {
@@ -347,6 +365,52 @@ mod tests {
         match check_equivalent(&a, &b) {
             Equivalence::Equivalent { exhaustive } => assert!(!exhaustive),
             e => panic!("expected equivalence, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn lane_mask_covers_exactly_the_valid_lanes() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(5), 0b1_1111);
+        assert_eq!(lane_mask(63), !0 >> 1);
+        assert_eq!(lane_mask(64), !0);
+        assert_eq!(lane_mask(100), !0);
+    }
+
+    #[test]
+    fn partial_blocks_are_safe_under_lane_mask() {
+        // Regression: eval_batch on a partial block computes *something* in
+        // the unused lanes (the evaluation of whatever garbage those input
+        // lanes hold). Masking with lane_mask(valid) must make the result
+        // independent of that garbage.
+        let f = cover("10- 1\n0-1 1", 3, 1);
+        let vectors = [0b001u64, 0b101, 0b110];
+        let valid = vectors.len();
+        let clean = pack_vectors(&vectors, 3);
+        // Same three vectors, but the 61 unused lanes of every input word
+        // are filled with garbage instead of zeros.
+        let garbage: Vec<u64> = clean
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                w | (0xdead_beef_cafe_f00du64.rotate_left(i as u32 * 7) & !lane_mask(valid))
+            })
+            .collect();
+        let out_clean = f.eval_batch(&clean);
+        let out_garbage = f.eval_batch(&garbage);
+        // Unmasked, the garbage lanes generally differ...
+        // ...but under the mask the valid lanes are identical.
+        let mask = lane_mask(valid);
+        for (a, b) in out_clean.iter().zip(&out_garbage) {
+            assert_eq!(a & mask, b & mask, "masked lanes must agree");
+        }
+        for (lane, &bits) in vectors.iter().enumerate() {
+            assert_eq!(
+                out_garbage[0] >> lane & 1 == 1,
+                f.eval_bits(bits)[0],
+                "lane {lane}"
+            );
         }
     }
 

@@ -1,0 +1,624 @@
+//! The lane-packing request batcher.
+//!
+//! A [`SimService`] owns one batcher thread. Clients register covers and
+//! submit single-vector simulation requests; the batcher queues requests
+//! **per cover**, packs them into 64-lane blocks, and flushes a block when
+//! either
+//!
+//! * all 64 lanes fill (`FlushCause::Full`) — one `eval_batch` call now
+//!   serves 64 requests, or
+//! * the oldest queued request has waited `max_wait`
+//!   (`FlushCause::Deadline`) — a partial block is packed (unused lanes
+//!   zero-filled, results masked per [`logic::eval::lane_mask`]'s
+//!   contract) so tail latency stays bounded under light traffic.
+//!
+//! Before evaluating, the batcher consults the [`BlockCache`] keyed on
+//! *(cover hash, packed block)*; hits skip `eval_batch` entirely. Results
+//! are scattered back to callers over per-request or shared reply
+//! channels. Dropping the service (or calling
+//! [`shutdown`](SimService::shutdown)) drains every queue before the
+//! thread exits, so no submitted request is ever lost.
+
+use crate::cache::{BlockCache, BlockKey};
+use crate::stats::{FlushCause, ServiceStats, StatsSnapshot};
+use ambipla_core::cover_hash;
+use logic::eval::{pack_vectors, unpack_lane, LANES};
+use logic::Cover;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`SimService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Longest a queued request may wait before its partial block is
+    /// flushed anyway.
+    pub max_wait: Duration,
+    /// Result-cache capacity in blocks; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_wait: Duration::from_micros(200),
+            cache_capacity: 4096,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// Handle to a cover registered with a [`SimService`]. Stamped with the
+/// issuing service's identity, so submitting it to a *different* service
+/// panics instead of silently simulating that service's same-numbered
+/// cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoverId {
+    slot: usize,
+    service: u64,
+}
+
+/// One response: the caller's tag plus the simulated output vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReply {
+    /// Echo of the tag passed to [`SimService::submit_tagged`] (0 for
+    /// [`SimService::submit`]).
+    pub tag: u64,
+    /// One bool per cover output.
+    pub outputs: Vec<bool>,
+}
+
+/// Sending half of a shared reply channel (clonable; one per client).
+#[derive(Debug, Clone)]
+pub struct ReplySink(Sender<SimReply>);
+
+/// Receiving half of a shared reply channel.
+#[derive(Debug)]
+pub struct ReplyStream(Receiver<SimReply>);
+
+impl ReplyStream {
+    /// Block until the next reply arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every [`ReplySink`] half (including those held by
+    /// in-flight requests) is gone — replies can no longer arrive.
+    pub fn recv(&self) -> SimReply {
+        self.0.recv().expect("all reply sinks dropped")
+    }
+
+    /// Non-blocking poll for a reply.
+    pub fn try_recv(&self) -> Option<SimReply> {
+        self.0.try_recv().ok()
+    }
+}
+
+/// A shared reply channel: submit many requests against one `ReplySink`
+/// clone and drain their [`SimReply`]s (tag-matched) from the stream —
+/// one channel allocation per client instead of one per request.
+pub fn reply_channel() -> (ReplySink, ReplyStream) {
+    let (tx, rx) = channel();
+    (ReplySink(tx), ReplyStream(rx))
+}
+
+/// Pending response handle of a single [`SimService::submit`] call.
+#[derive(Debug)]
+pub struct SimTicket(Receiver<SimReply>);
+
+impl SimTicket {
+    /// Block until the result arrives (at most `max_wait` plus one block
+    /// evaluation after submission).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service thread died before answering.
+    pub fn wait(self) -> Vec<bool> {
+        self.0.recv().expect("simulation service dropped").outputs
+    }
+}
+
+enum Msg {
+    Register {
+        // Slot assigned by the handle's atomic counter. Carried in the
+        // message because concurrent register() calls can reach the
+        // channel in a different order than their fetch_adds.
+        id: usize,
+        cover: Arc<Cover>,
+        hash: u64,
+    },
+    Submit {
+        id: usize,
+        bits: u64,
+        tag: u64,
+        reply: Sender<SimReply>,
+    },
+    Shutdown,
+}
+
+/// The request-batching PLA simulation service.
+///
+/// See the [module docs](self) for the batching protocol. All methods
+/// take `&self`; the handle is `Sync` and can be shared across client
+/// threads.
+pub struct SimService {
+    tx: Sender<Msg>,
+    worker: Option<JoinHandle<()>>,
+    stats: Arc<ServiceStats>,
+    cache: Arc<BlockCache>,
+    registered: AtomicUsize,
+    /// Process-unique identity stamped into every issued [`CoverId`].
+    nonce: u64,
+}
+
+/// Source of per-service nonces (see [`CoverId`]).
+static NEXT_SERVICE: AtomicU64 = AtomicU64::new(0);
+
+impl SimService {
+    /// Start a service with the given configuration.
+    pub fn start(config: ServeConfig) -> SimService {
+        let (tx, rx) = channel();
+        let stats = Arc::new(ServiceStats::default());
+        let cache = Arc::new(BlockCache::new(config.cache_capacity, config.cache_shards));
+        let worker = {
+            let stats = Arc::clone(&stats);
+            let cache = Arc::clone(&cache);
+            std::thread::Builder::new()
+                .name("ambipla-batcher".into())
+                .spawn(move || batcher_loop(rx, config.max_wait, &stats, &cache))
+                .expect("spawn batcher thread")
+        };
+        SimService {
+            tx,
+            worker: Some(worker),
+            stats,
+            cache,
+            registered: AtomicUsize::new(0),
+            nonce: NEXT_SERVICE.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Start with [`ServeConfig::default`].
+    pub fn with_defaults() -> SimService {
+        SimService::start(ServeConfig::default())
+    }
+
+    /// Register a cover; requests are queued and lane-packed per cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover has more than 64 inputs (packed-assignment
+    /// requests are `u64`s).
+    pub fn register(&self, cover: Cover) -> CoverId {
+        assert!(cover.n_inputs() <= 64, "at most 64 inputs per cover");
+        let hash = cover_hash(&cover);
+        let id = self.registered.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .send(Msg::Register {
+                id,
+                cover: Arc::new(cover),
+                hash,
+            })
+            .expect("batcher thread alive");
+        CoverId {
+            slot: id,
+            service: self.nonce,
+        }
+    }
+
+    /// Submit one packed input assignment; returns a ticket to wait on.
+    pub fn submit(&self, cover: CoverId, bits: u64) -> SimTicket {
+        let (tx, rx) = channel();
+        self.submit_raw(cover, bits, 0, tx);
+        SimTicket(rx)
+    }
+
+    /// Submit against a shared reply channel with a caller-chosen tag —
+    /// the high-throughput path for clients with many requests in flight.
+    pub fn submit_tagged(&self, cover: CoverId, bits: u64, tag: u64, reply: &ReplySink) {
+        self.submit_raw(cover, bits, tag, reply.0.clone());
+    }
+
+    fn submit_raw(&self, cover: CoverId, bits: u64, tag: u64, reply: Sender<SimReply>) {
+        assert!(
+            cover.service == self.nonce,
+            "cover id was issued by a different service"
+        );
+        assert!(
+            cover.slot < self.registered.load(Ordering::Relaxed),
+            "unregistered cover id"
+        );
+        self.stats.record_request();
+        self.tx
+            .send(Msg::Submit {
+                id: cover.slot,
+                bits,
+                tag,
+                reply,
+            })
+            .expect("batcher thread alive");
+    }
+
+    /// Current metrics (flush counters merged with cache counters).
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        snap.cache_hits = self.cache.hits();
+        snap.cache_misses = self.cache.misses();
+        snap.cache_evictions = self.cache.evictions();
+        snap.cache_hit_rate = self.cache.hit_rate();
+        snap
+    }
+
+    /// Drain every pending queue, stop the batcher thread and return the
+    /// final metrics.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            worker.join().expect("batcher thread panicked");
+        }
+    }
+}
+
+impl Drop for SimService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One registered cover on the batcher side.
+struct Registered {
+    cover: Arc<Cover>,
+    hash: u64,
+    vectors: Vec<u64>,
+    replies: Vec<(u64, Sender<SimReply>)>,
+    opened: Option<Instant>,
+}
+
+impl Registered {
+    fn flush(&mut self, cause: FlushCause, stats: &ServiceStats, cache: &BlockCache) {
+        if self.vectors.is_empty() {
+            return;
+        }
+        let lanes = self.vectors.len();
+        let latency_ns = self
+            .opened
+            .map(|t| t.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        let packed = pack_vectors(&self.vectors, self.cover.n_inputs());
+        let words = if cache.is_disabled() {
+            // Skip key construction and shard locking entirely on the
+            // cache-off configuration (the cold-path bench measures this).
+            self.cover.eval_batch(&packed)
+        } else {
+            let key = BlockKey::new(self.hash, &packed);
+            match cache.lookup(&key) {
+                Some(words) => words,
+                None => {
+                    let words = self.cover.eval_batch(&packed);
+                    cache.insert(key, words.clone());
+                    words
+                }
+            }
+        };
+        // Scatter lane results. Only the `lanes` valid lanes are ever
+        // unpacked, which is what makes partial (deadline) blocks safe —
+        // see `logic::eval::lane_mask`.
+        for (lane, (tag, reply)) in self.replies.drain(..).enumerate() {
+            // A client may have dropped its ticket; that is not an error.
+            let _ = reply.send(SimReply {
+                tag,
+                outputs: unpack_lane(&words, lane),
+            });
+        }
+        self.vectors.clear();
+        self.opened = None;
+        stats.record_flush(cause, lanes, latency_ns);
+    }
+}
+
+fn batcher_loop(rx: Receiver<Msg>, max_wait: Duration, stats: &ServiceStats, cache: &BlockCache) {
+    // Slot-addressed by CoverId: concurrent register() calls may deliver
+    // their Register messages out of id order, so slots can fill in any
+    // order (None = id allocated but message not yet here).
+    let mut registry: Vec<Option<Registered>> = Vec::new();
+    // Cached min of all open queues' `opened` times, so the per-message
+    // cost stays O(1) in the number of registered covers. Opening a queue
+    // can only lower the min (updated inline); flushing can only remove
+    // it, which marks the cache stale and triggers one lazy rescan.
+    let mut oldest_open: Option<Instant> = None;
+    let mut oldest_stale = false;
+    loop {
+        if oldest_stale {
+            oldest_open = registry.iter().flatten().filter_map(|r| r.opened).min();
+            oldest_stale = false;
+        }
+        // The next deadline is the oldest open queue's first-enqueue time
+        // plus max_wait; with nothing queued, just block on the channel.
+        let deadline = oldest_open.map(|oldest| oldest + max_wait);
+        let msg = match deadline {
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break, // handle dropped without Shutdown
+            },
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    for r in registry.iter_mut().flatten() {
+                        if r.opened.is_some_and(|t| t + max_wait <= now) {
+                            r.flush(FlushCause::Deadline, stats, cache);
+                        }
+                    }
+                    oldest_stale = true;
+                    continue;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(msg) => msg,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        match msg {
+            Msg::Register { id, cover, hash } => {
+                if id >= registry.len() {
+                    registry.resize_with(id + 1, || None);
+                }
+                registry[id] = Some(Registered {
+                    cover,
+                    hash,
+                    vectors: Vec::with_capacity(LANES),
+                    replies: Vec::with_capacity(LANES),
+                    opened: None,
+                });
+            }
+            Msg::Submit {
+                id,
+                bits,
+                tag,
+                reply,
+            } => {
+                // A submit can only be sent with a CoverId returned by
+                // register(), whose Register message precedes it on this
+                // channel (same thread: FIFO; cross-thread: the id handoff
+                // orders the sends).
+                let r = registry
+                    .get_mut(id)
+                    .and_then(Option::as_mut)
+                    .expect("submit for a cover whose registration never arrived");
+                if r.vectors.is_empty() {
+                    let now = Instant::now();
+                    r.opened = Some(now);
+                    if oldest_open.is_none_or(|oldest| now < oldest) {
+                        oldest_open = Some(now);
+                    }
+                }
+                r.vectors.push(bits);
+                r.replies.push((tag, reply));
+                if r.vectors.len() == LANES {
+                    let was_oldest = r.opened == oldest_open;
+                    r.flush(FlushCause::Full, stats, cache);
+                    if was_oldest {
+                        oldest_stale = true;
+                    }
+                }
+            }
+            Msg::Shutdown => break,
+        }
+    }
+    for r in registry.iter_mut().flatten() {
+        r.flush(FlushCause::Shutdown, stats, cache);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder() -> Cover {
+        Cover::parse(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        )
+        .expect("valid cover")
+    }
+
+    fn quick() -> ServeConfig {
+        ServeConfig {
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_request_matches_direct_eval() {
+        let service = SimService::start(quick());
+        let cover = adder();
+        let id = service.register(cover.clone());
+        for bits in 0..8u64 {
+            assert_eq!(service.submit(id, bits).wait(), cover.eval_bits(bits));
+        }
+    }
+
+    #[test]
+    fn full_block_flushes_without_waiting_for_the_deadline() {
+        // A generous deadline: if the 64th request did not trigger the
+        // flush, this test would sit for 10 s and time out.
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let (sink, stream) = reply_channel();
+        for tag in 0..64u64 {
+            service.submit_tagged(id, tag % 8, tag, &sink);
+        }
+        for _ in 0..64 {
+            let reply = stream.recv();
+            assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
+        }
+        let snap = service.stats();
+        assert_eq!(snap.requests, 64);
+        assert_eq!(snap.full_flushes, 1);
+        assert_eq!(snap.deadline_flushes, 0);
+        assert_eq!(snap.lanes_filled, 64);
+        assert!((snap.lane_occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_block_flushes_at_the_deadline() {
+        let service = SimService::start(quick());
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let tickets: Vec<_> = (0..5u64)
+            .map(|bits| (bits, service.submit(id, bits)))
+            .collect();
+        for (bits, ticket) in tickets {
+            assert_eq!(ticket.wait(), cover.eval_bits(bits), "bits {bits:03b}");
+        }
+        let snap = service.stats();
+        assert_eq!(snap.requests, 5);
+        // ≥ 1, not == 1: a preempted submitter can split the five requests
+        // over several deadline windows on a loaded machine.
+        assert!(snap.deadline_flushes >= 1);
+        assert_eq!(snap.full_flushes, 0);
+        assert_eq!(snap.lanes_filled, 5);
+        assert!(snap.p99_flush_ns >= 1_000_000, "waited at least max_wait");
+    }
+
+    #[test]
+    fn repeated_blocks_hit_the_cache() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let (sink, stream) = reply_channel();
+        for round in 0..3 {
+            for tag in 0..64u64 {
+                service.submit_tagged(id, tag % 8, tag, &sink);
+            }
+            for _ in 0..64 {
+                let reply = stream.recv();
+                assert_eq!(
+                    reply.outputs,
+                    cover.eval_bits(reply.tag % 8),
+                    "round {round}"
+                );
+            }
+        }
+        let snap = service.stats();
+        assert_eq!(snap.blocks, 3);
+        assert_eq!(snap.cache_misses, 1, "first block populates");
+        assert_eq!(snap.cache_hits, 2, "identical blocks reuse it");
+        assert!(snap.cache_hit_rate > 0.6);
+    }
+
+    #[test]
+    fn covers_are_batched_independently() {
+        let service = SimService::start(quick());
+        let xor = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+        let and = Cover::parse("11 1", 2, 1).expect("valid cover");
+        let xid = service.register(xor.clone());
+        let aid = service.register(and.clone());
+        // Interleave submissions across the two covers.
+        let pairs: Vec<_> = (0..10u64)
+            .map(|bits| {
+                let bits = bits % 4;
+                (service.submit(xid, bits), service.submit(aid, bits), bits)
+            })
+            .collect();
+        for (xt, at, bits) in pairs {
+            assert_eq!(xt.wait(), xor.eval_bits(bits));
+            assert_eq!(at.wait(), and.eval_bits(bits));
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let tickets: Vec<_> = (0..3u64)
+            .map(|bits| (bits, service.submit(id, bits)))
+            .collect();
+        let snap = service.shutdown();
+        assert_eq!(snap.shutdown_flushes, 1);
+        for (bits, ticket) in tickets {
+            assert_eq!(ticket.wait(), cover.eval_bits(bits));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered cover id")]
+    fn submitting_against_an_unknown_cover_panics() {
+        let service = SimService::with_defaults();
+        let forged = CoverId {
+            slot: 3,
+            service: service.nonce,
+        };
+        service.submit(forged, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "issued by a different service")]
+    fn cover_ids_do_not_transfer_between_services() {
+        let a = SimService::with_defaults();
+        let b = SimService::with_defaults();
+        let id = a.register(adder());
+        b.submit(id, 0);
+    }
+
+    #[test]
+    fn concurrent_registration_binds_ids_to_the_right_covers() {
+        // Regression: ids are allocated by an atomic counter on the handle
+        // but Register messages from different threads can reach the
+        // batcher out of id order — each thread must still get answers
+        // from *its* cover.
+        let service = SimService::start(quick());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let service = &service;
+                s.spawn(move || {
+                    // Recognizer of the 3-bit pattern `t`: output is 1 on
+                    // exactly one assignment, different per thread.
+                    let text: String = (0..3)
+                        .map(|i| if t >> i & 1 == 1 { '1' } else { '0' })
+                        .collect::<String>()
+                        + " 1";
+                    let cover = Cover::parse(&text, 3, 1).expect("valid cover");
+                    let id = service.register(cover.clone());
+                    for bits in 0..8u64 {
+                        assert_eq!(
+                            service.submit(id, bits).wait(),
+                            vec![bits == t],
+                            "thread {t} bits {bits:03b}"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_tickets_do_not_wedge_the_service() {
+        let service = SimService::start(quick());
+        let id = service.register(adder());
+        drop(service.submit(id, 1)); // client walks away
+        let ticket = service.submit(id, 2);
+        assert_eq!(ticket.wait(), adder().eval_bits(2));
+    }
+}

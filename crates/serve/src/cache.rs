@@ -1,0 +1,384 @@
+//! Sharded LRU cache of block evaluation results.
+//!
+//! The batcher evaluates 64-lane input blocks; workloads dominated by
+//! recurring assignments (exhaustive sweeps, BIST replay, regression
+//! traffic) re-produce byte-identical blocks, so caching at block
+//! granularity amortizes whole `eval_batch` calls, not single lookups.
+//!
+//! Keys are [`BlockKey`] — *(stable cover hash, packed input block)*. The
+//! cover hash ([`ambipla_core::cover_hash`]) identifies the registered
+//! cover structurally; the block is the column-major lane words exactly as
+//! handed to `eval_batch` (unused lanes zero-filled by `pack_vectors`, so
+//! a partial block and a full block that happen to pack to the same words
+//! are interchangeable — every lane's output is correct for that lane's
+//! input). The value is the output lane words.
+//!
+//! The map is split into shards, each behind its own mutex, so the online
+//! batcher and any number of offline sweep threads can hit the cache
+//! concurrently without serializing on one lock. Each shard is an LRU
+//! over a slab-allocated intrusive list: O(1) lookup, promote, insert and
+//! eviction. Hit / miss / eviction counters are global atomics.
+
+use ambipla_core::hash::{fnv1a, FNV_OFFSET};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache key: stable cover hash plus the packed 64-lane input block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    /// [`ambipla_core::cover_hash`] of the registered cover.
+    pub cover: u64,
+    /// Column-major input lane words (one `u64` per input column).
+    pub block: Box<[u64]>,
+}
+
+impl BlockKey {
+    /// Build a key from a cover hash and packed input words.
+    pub fn new(cover: u64, block: &[u64]) -> BlockKey {
+        BlockKey {
+            cover,
+            block: block.into(),
+        }
+    }
+
+    /// Stable shard-selection hash (FNV-1a over the key; independent of
+    /// the `std` `Hash` impl used inside shard maps).
+    fn shard_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET ^ self.cover;
+        for &w in self.block.iter() {
+            h = fnv1a(h, &w.to_le_bytes());
+        }
+        h
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: BlockKey,
+    value: Box<[u64]>,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: hash map into a slab-backed intrusive MRU list.
+struct Shard {
+    map: HashMap<BlockKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &BlockKey) -> Option<Vec<u64>> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slab[i].value.to_vec())
+    }
+
+    /// Insert or refresh; returns true if an entry was evicted.
+    fn insert(&mut self, key: BlockKey, value: Box<[u64]>) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let old = std::mem::replace(
+                &mut self.slab[victim].key,
+                BlockKey {
+                    cover: 0,
+                    block: Box::new([]),
+                },
+            );
+            self.map.remove(&old);
+            self.free.push(victim);
+            evicted = true;
+        }
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot].key = key.clone();
+                self.slab[slot].value = value;
+                slot
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.push_front(i);
+        self.map.insert(key, i);
+        evicted
+    }
+}
+
+/// Sharded LRU cache of `(cover hash, input block) → output block`.
+///
+/// A `capacity` of 0 disables the cache entirely (lookups miss for free,
+/// inserts are dropped) — used to measure the cold path honestly.
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    disabled: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl BlockCache {
+    /// A cache of roughly `capacity` blocks split over `shards`
+    /// independently locked shards. Each shard holds
+    /// `ceil(capacity / shards)` blocks, so the real bound rounds up to
+    /// at most `capacity + shards − 1` — size `capacity` to a memory
+    /// budget with that slack in mind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(capacity: usize, shards: usize) -> BlockCache {
+        assert!(shards > 0, "need at least one shard");
+        let shards = shards.min(capacity.max(1));
+        let per_shard = capacity.div_ceil(shards);
+        BlockCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            disabled: capacity == 0,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &BlockKey) -> &Mutex<Shard> {
+        &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize]
+    }
+
+    /// True if the cache is a no-op (capacity 0). Lock-free, so hot paths
+    /// can branch around key construction and shard locking entirely.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// Look up a block, promoting it to most-recently-used on hit.
+    pub fn lookup(&self, key: &BlockKey) -> Option<Vec<u64>> {
+        let found = self.shard(key).lock().unwrap().get(key);
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a block's output words.
+    pub fn insert(&self, key: BlockKey, value: Vec<u64>) {
+        let mut shard = self.shard(&key).lock().unwrap();
+        if shard.capacity == 0 {
+            return;
+        }
+        if shard.insert(key, value.into_boxed_slice()) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found their block.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that did not.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries displaced to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(cover: u64, a: u64, b: u64) -> BlockKey {
+        BlockKey::new(cover, &[a, b])
+    }
+
+    #[test]
+    fn miss_then_hit_then_counters() {
+        let cache = BlockCache::new(8, 2);
+        let k = key(1, 10, 20);
+        assert_eq!(cache.lookup(&k), None);
+        cache.insert(k.clone(), vec![7, 8]);
+        assert_eq!(cache.lookup(&k), Some(vec![7, 8]));
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (1, 1, 0));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_covers_do_not_collide() {
+        let cache = BlockCache::new(8, 1);
+        cache.insert(key(1, 5, 5), vec![1]);
+        cache.insert(key(2, 5, 5), vec![2]);
+        assert_eq!(cache.lookup(&key(1, 5, 5)), Some(vec![1]));
+        assert_eq!(cache.lookup(&key(2, 5, 5)), Some(vec![2]));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // Single shard of capacity 3 so the LRU order is fully observable.
+        let cache = BlockCache::new(3, 1);
+        for i in 0..3 {
+            cache.insert(key(i, 0, 0), vec![i]);
+        }
+        // Touch 0 and 1; 2 becomes the LRU victim.
+        assert!(cache.lookup(&key(0, 0, 0)).is_some());
+        assert!(cache.lookup(&key(1, 0, 0)).is_some());
+        cache.insert(key(9, 0, 0), vec![9]);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.lookup(&key(2, 0, 0)), None, "victim was the LRU");
+        assert!(cache.lookup(&key(0, 0, 0)).is_some());
+        assert!(cache.lookup(&key(1, 0, 0)).is_some());
+        assert!(cache.lookup(&key(9, 0, 0)).is_some());
+    }
+
+    #[test]
+    fn refresh_updates_value_without_eviction() {
+        let cache = BlockCache::new(2, 1);
+        let k = key(3, 1, 2);
+        cache.insert(k.clone(), vec![1]);
+        cache.insert(k.clone(), vec![2]);
+        assert_eq!(cache.lookup(&k), Some(vec![2]));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_reuses_slab_slots() {
+        let cache = BlockCache::new(2, 1);
+        for i in 0..100u64 {
+            cache.insert(key(i, i, i), vec![i]);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 98);
+        // The two newest survive.
+        assert!(cache.lookup(&key(99, 99, 99)).is_some());
+        assert!(cache.lookup(&key(98, 98, 98)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = BlockCache::new(0, 4);
+        assert!(cache.is_disabled());
+        let k = key(1, 2, 3);
+        cache.insert(k.clone(), vec![1]);
+        assert_eq!(cache.lookup(&k), None);
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn shards_split_the_keyspace() {
+        // Per-shard capacity 32 over 8 shards: 64 keys cannot overflow a
+        // shard unless the hash piles more than half of them onto one
+        // shard, which the FNV mix does not do for this (fixed) pattern.
+        let cache = BlockCache::new(256, 8);
+        for i in 0..64u64 {
+            cache.insert(key(i, i * 3, i * 7), vec![i]);
+        }
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.evictions(), 0);
+        for i in 0..64u64 {
+            assert_eq!(cache.lookup(&key(i, i * 3, i * 7)), Some(vec![i]), "{i}");
+        }
+    }
+
+    #[test]
+    fn sharded_eviction_accounting_balances() {
+        // Overload a small sharded cache: whatever the per-shard load
+        // pattern, inserts − evictions must equal the surviving entries.
+        let cache = BlockCache::new(16, 4);
+        for i in 0..200u64 {
+            cache.insert(key(i, i * 3, i * 7), vec![i]);
+        }
+        assert_eq!(cache.len() as u64 + cache.evictions(), 200);
+        assert!(cache.len() <= 16);
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! # ambipla_serve — the request-batching PLA simulation service
+//!
+//! PR 1's `BatchSim` engine made one *call* evaluate 64 input vectors;
+//! this crate makes one *service* do it for many independent callers. It
+//! is the serve-at-scale front end of the workspace: requests arrive one
+//! vector at a time, and leave in 64-lane blocks.
+//!
+//! ```text
+//!  clients        ┌───────────────────────── SimService ─────────────────────────┐
+//!  submit(bits) ──┤  per-cover queues        result cache          evaluation    │
+//!  submit(bits) ──┼─▶ [cover A: ██████░░]   (cover_hash, block)   eval_batch on  │
+//!  submit(bits) ──┤   [cover B: ██░░░░░░] ─▶  sharded LRU      ─▶ 64-lane words  │
+//!       ...       │    flush on 64 lanes       hit? skip eval        │           │
+//!                 │    or max_wait deadline                          ▼           │
+//!  replies  ◀─────┴────────────────── scatter lanes back over channels ──────────┘
+//! ```
+//!
+//! * [`batcher`] — the [`SimService`]: per-cover lane-packing queues,
+//!   full-block / deadline flushes, channel-based scatter,
+//! * [`cache`] — the sharded LRU [`BlockCache`] keyed on
+//!   *(stable cover hash, packed input block)* with hit/miss/eviction
+//!   counters,
+//! * [`stats`] — request/flush/occupancy counters and p50/p99 flush
+//!   latency ([`StatsSnapshot`]),
+//! * [`sweep`] — offline bulk evaluation sharded across the deterministic
+//!   [`WorkerPool`] (re-exported from `ambipla_core::pool`; the same pool
+//!   shards `fault::yield_analysis` Monte-Carlo trials).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ambipla_serve::{ServeConfig, SimService};
+//! use logic::Cover;
+//!
+//! let service = SimService::with_defaults();
+//! let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+//! let id = service.register(xor);
+//! assert_eq!(service.submit(id, 0b01).wait(), vec![true]);
+//! assert_eq!(service.submit(id, 0b11).wait(), vec![false]);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.requests, 2);
+//! ```
+
+pub mod batcher;
+pub mod cache;
+pub mod stats;
+pub mod sweep;
+
+/// Lanes per block (re-exported from `logic::eval`).
+pub use logic::eval::LANES;
+
+pub use ambipla_core::{cover_hash, WorkerPool};
+pub use batcher::{
+    reply_channel, CoverId, ReplySink, ReplyStream, ServeConfig, SimReply, SimService, SimTicket,
+};
+pub use cache::{BlockCache, BlockKey};
+pub use stats::{FlushCause, ServiceStats, StatsSnapshot};
+pub use sweep::eval_covers_blocked;

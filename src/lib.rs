@@ -12,7 +12,10 @@
 //! * [`phase`] — output/product-term phase optimization and
 //!   Doppio-Espresso WPLA synthesis,
 //! * [`fpga`] — island-style FPGA model used for the Table 2 emulation,
-//! * [`fault`] — defect injection, repair and yield analysis.
+//! * [`fault`] — defect injection, repair and yield analysis (with
+//!   deterministic parallel Monte-Carlo),
+//! * [`serve`] — the request-batching simulation service: lane-packing
+//!   batcher, sharded result cache, worker-pool bulk sweeps.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@
 //! ```
 
 pub use ambipla_core as core;
+pub use ambipla_serve as serve;
 pub use cnfet as device;
 pub use fault;
 pub use fpga;

@@ -1,0 +1,132 @@
+//! Property contracts of the `ambipla_serve` request-batching service.
+//!
+//! For random covers and arbitrary interleavings of requests — mixed
+//! across covers, mixed between per-request tickets and shared reply
+//! channels, with block boundaries and deadline flushes landing wherever
+//! they land — every reply must equal the direct scalar
+//! `GnorPla::simulate_bits` answer for that request. Batching, packing,
+//! caching and flush timing are pure throughput mechanics; they must
+//! never be observable in the results.
+
+use ambipla::core::GnorPla;
+use ambipla::logic::{Cover, Cube, Tri};
+use ambipla::serve::{reply_channel, ServeConfig, SimService};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A random cube over `n` inputs and `o` outputs.
+fn arb_cube(n: usize, o: usize) -> impl Strategy<Value = Cube> {
+    (
+        proptest::collection::vec(0..3u8, n),
+        proptest::collection::vec(any::<bool>(), o),
+        0..o,
+    )
+        .prop_map(move |(tris, mut outs, force)| {
+            outs[force] = true; // at least one output
+            let tris: Vec<Tri> = tris
+                .iter()
+                .map(|&t| match t {
+                    0 => Tri::Zero,
+                    1 => Tri::One,
+                    _ => Tri::DontCare,
+                })
+                .collect();
+            Cube::from_tris(&tris, &outs)
+        })
+}
+
+/// A random cover with 1..=max_cubes cubes.
+fn arb_cover(n: usize, o: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(arb_cube(n, o), 1..=max_cubes)
+        .prop_map(move |cubes| Cover::from_cubes(n, o, cubes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_service_matches_scalar_simulate_bits(
+        covers in (arb_cover(4, 2, 6), arb_cover(6, 3, 10), arb_cover(3, 1, 4)),
+        schedule in proptest::collection::vec(
+            (0..3usize, any::<u64>(), any::<bool>()),
+            1..300,
+        ),
+    ) {
+        let covers = [covers.0, covers.1, covers.2];
+        let plas: Vec<GnorPla> = covers.iter().map(GnorPla::from_cover).collect();
+        // A short deadline so runs exercise deadline flushes alongside
+        // full-block flushes (schedules longer than 64 per cover), and a
+        // tiny cache so eviction happens under load too.
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_micros(200),
+            cache_capacity: 8,
+            cache_shards: 2,
+        });
+        let ids: Vec<_> = covers.iter().map(|c| service.register(c.clone())).collect();
+
+        // Interleave the two submission styles in schedule order: shared
+        // reply channel (tagged with the schedule index) and per-request
+        // tickets.
+        let (sink, stream) = reply_channel();
+        let mut tagged = 0usize;
+        let mut tickets = Vec::new();
+        for (i, &(cover, bits, use_ticket)) in schedule.iter().enumerate() {
+            if use_ticket {
+                tickets.push((i, service.submit(ids[cover], bits)));
+            } else {
+                service.submit_tagged(ids[cover], bits, i as u64, &sink);
+                tagged += 1;
+            }
+        }
+
+        let expected = |i: usize| {
+            let (cover, bits, _) = schedule[i];
+            plas[cover].simulate_bits(bits)
+        };
+        for _ in 0..tagged {
+            let reply = stream.recv();
+            prop_assert_eq!(&reply.outputs, &expected(reply.tag as usize));
+        }
+        for (i, ticket) in tickets {
+            prop_assert_eq!(&ticket.wait(), &expected(i));
+        }
+
+        let snap = service.shutdown();
+        prop_assert_eq!(snap.requests, schedule.len() as u64);
+        prop_assert_eq!(snap.lanes_filled, schedule.len() as u64);
+        prop_assert_eq!(
+            snap.cache_hits + snap.cache_misses,
+            snap.blocks,
+            "every flushed block consults the cache exactly once"
+        );
+    }
+}
+
+/// The service's per-cover queues must not leak results across covers
+/// even when the same bit patterns are in flight for all of them.
+#[test]
+fn identical_bits_to_different_covers_stay_separate() {
+    let service = SimService::with_defaults();
+    let covers: Vec<Cover> = ambipla::benchmarks::classics()
+        .into_iter()
+        .map(|b| b.on)
+        .collect();
+    let ids: Vec<_> = covers.iter().map(|c| service.register(c.clone())).collect();
+    let tickets: Vec<_> = (0..3 * covers.len())
+        .map(|i| {
+            let c = i % covers.len();
+            (
+                c,
+                (i / covers.len()) as u64,
+                service.submit(ids[c], (i / covers.len()) as u64),
+            )
+        })
+        .collect();
+    for (c, bits, ticket) in tickets {
+        assert_eq!(
+            ticket.wait(),
+            covers[c].eval_bits(bits),
+            "cover {c} bits {bits}"
+        );
+    }
+}
