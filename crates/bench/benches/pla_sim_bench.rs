@@ -1,15 +1,15 @@
 //! Criterion micro-bench: GNOR-PLA functional simulation throughput
 //! (mapping, exhaustive simulation, programming round-trip) and the
-//! 64-lane [`BatchSim`] engine against 64 sequential `simulate_bits`
+//! 64-lane [`Simulator`] engine against 64 sequential `simulate_bits`
 //! calls.
 //!
 //! The batch section prints an explicit `speedup:` line per architecture
 //! and asserts the acceptance floor: on a 16-input / 32-term / 8-output
-//! cover, `GnorPla::simulate_batch` must be at least 8× faster than 64
+//! cover, `GnorPla`'s `Simulator::eval_block` must be at least 8× faster than 64
 //! independent `simulate_bits` calls.
 
-use ambipla_core::batch::pack_vectors;
-use ambipla_core::{BatchSim, ClassicalPla, GnorPla, Wpla};
+use ambipla_core::sim::pack_vectors;
+use ambipla_core::{ClassicalPla, GnorPla, Simulator, Wpla};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcnc::RandomPla;
 
@@ -77,7 +77,7 @@ fn bench_batch(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("batch_64", "gnor"),
             &(&gnor, &packed),
-            |b, (pla, packed)| b.iter(|| pla.simulate_batch(std::hint::black_box(packed))),
+            |b, (pla, packed)| b.iter(|| pla.eval_block(std::hint::black_box(packed))),
         );
         group.bench_with_input(
             BenchmarkId::new("scalar_64", "classical"),
@@ -94,7 +94,7 @@ fn bench_batch(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("batch_64", "classical"),
             &(&classical, &packed),
-            |b, (pla, packed)| b.iter(|| pla.simulate_batch(std::hint::black_box(packed))),
+            |b, (pla, packed)| b.iter(|| pla.eval_block(std::hint::black_box(packed))),
         );
         group.bench_with_input(
             BenchmarkId::new("scalar_64", "wpla"),
@@ -111,7 +111,7 @@ fn bench_batch(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("batch_64", "wpla"),
             &(&wpla, &packed),
-            |b, (pla, packed)| b.iter(|| pla.simulate_batch(std::hint::black_box(packed))),
+            |b, (pla, packed)| b.iter(|| pla.eval_block(std::hint::black_box(packed))),
         );
         group.finish();
     }
@@ -128,7 +128,7 @@ fn bench_batch(c: &mut Criterion) {
         if arch == "gnor" {
             assert!(
                 speedup >= 8.0,
-                "acceptance floor: BatchSim must be ≥ 8× faster than 64 \
+                "acceptance floor: eval_block must be ≥ 8× faster than 64 \
                  sequential simulate_bits calls, measured {speedup:.1}x"
             );
         }

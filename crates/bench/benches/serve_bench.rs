@@ -18,7 +18,7 @@
 //! Set `AMBIPLA_BENCH_SMOKE=1` (CI) for a shorter run; the floor is
 //! asserted either way.
 
-use ambipla_core::GnorPla;
+use ambipla_core::{GnorPla, Simulator};
 use ambipla_serve::{reply_channel, ServeConfig, SimService};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcnc::RandomPla;

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin fig3_fig4_architecture`
 
-use ambipla_core::{Crossbar, GnorPla, PlaTiming, TimingModel};
+use ambipla_core::{Crossbar, GnorPla, PlaTiming, Simulator, TimingModel};
 use logic::Cover;
 
 fn main() {

@@ -4,16 +4,25 @@
 //! 1. Starts a [`SimService`], registers the whole MCNC benchmark
 //!    registry, and fires interleaved requests from four client threads,
 //!    verifying every reply against direct `eval_bits`.
-//! 2. Runs the offline bulk sweep ([`eval_covers_blocked`]) with 1 and N
-//!    worker threads and checks the results are identical.
-//! 3. Runs the yield Monte-Carlo sequentially and sharded
+//! 2. Registers **heterogeneous backends** on the same service — a GNOR
+//!    PLA and its `FaultyGnorPla` twin under their own `SimKey`s — and
+//!    verifies their replies against each backend's own `simulate_bits`
+//!    (the twins must also disagree somewhere, proving the queues do not
+//!    leak).
+//! 3. Runs the offline bulk sweep ([`eval_sims_blocked`], mixed backend
+//!    types) with 1 and N worker threads and checks the results are
+//!    identical.
+//! 4. Runs the yield Monte-Carlo sequentially and sharded
 //!    ([`fault::yield_curve_parallel`]) and checks bit-identical curves.
 //!
 //! Any mismatch panics (non-zero exit); the happy path prints the service
 //! stats table. Run:
 //! `cargo run --release -p bench --bin service_demo`
 
-use ambipla_serve::{eval_covers_blocked, reply_channel, SimService, WorkerPool};
+use ambipla_core::GnorPla;
+use ambipla_serve::{eval_sims_blocked, reply_channel, SimKey, SimService, Simulator, WorkerPool};
+use fault::{DefectKind, DefectMap, FaultyGnorPla};
+use std::sync::Arc;
 use std::time::Instant;
 
 const CLIENTS: usize = 4;
@@ -80,35 +89,91 @@ fn main() {
     println!("{}", service.stats());
     println!();
 
-    // ---- 2. Offline: bulk sweep sharded across the worker pool. --------
-    let jobs: Vec<(logic::Cover, Vec<u64>)> = covers
+    // ---- 2. Heterogeneous backends: a PLA and its faulty twin. ---------
+    // The Simulator redesign's acceptance scenario: one service batching
+    // a `Cover`, a `GnorPla` and a `FaultyGnorPla` side by side, each
+    // under its own stable `SimKey`, with every reply verified against
+    // that backend's own scalar answer.
+    let spec = covers[0].clone();
+    let base_key = SimKey::of_cover(&spec);
+    let nominal = GnorPla::from_cover(&spec);
+    let mut defects = {
+        let d = nominal.dimensions();
+        DefectMap::clean(d.products, d.inputs, d.outputs)
+    };
+    defects.set_input_defect(0, 0, DefectKind::StuckOn);
+    let faulty = FaultyGnorPla::new(nominal.clone(), defects);
+    // Derived backends mix the base cover's key with a tag of what
+    // changed — here simply which twin it is.
+    let nid = service.register_sim(Arc::new(nominal.clone()), SimKey::new(base_key.raw() ^ 1));
+    let fid = service.register_sim(Arc::new(faulty.clone()), SimKey::new(base_key.raw() ^ 2));
+    let mask = input_mask(spec.n_inputs());
+    let probes: Vec<u64> = (0..500u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & mask)
+        .collect();
+    let mut twins_differ = false;
+    let pairs: Vec<_> = probes
+        .iter()
+        .map(|&bits| (bits, service.submit(nid, bits), service.submit(fid, bits)))
+        .collect();
+    for (bits, nt, ft) in pairs {
+        let n = nt.wait();
+        let f = ft.wait();
+        assert_eq!(
+            n,
+            nominal.simulate_bits(bits),
+            "nominal twin answered wrong"
+        );
+        assert_eq!(f, faulty.simulate_bits(bits), "faulty twin answered wrong");
+        twins_differ |= n != f;
+    }
+    assert!(
+        twins_differ,
+        "the stuck-on defect must be visible somewhere in 500 probes"
+    );
+    println!(
+        "heterogeneous: GnorPla + FaultyGnorPla twins on one service — {} probes each, \
+         all verified against their own simulate_bits (twins disagree: {twins_differ})",
+        probes.len(),
+    );
+    println!();
+
+    // ---- 3. Offline: bulk sweep sharded across the worker pool. --------
+    // Mixed backend types in one eval_sims_blocked call: every cover plus
+    // the nominal/faulty twins.
+    let mut jobs: Vec<(&(dyn Simulator + Sync), Vec<u64>)> = covers
         .iter()
         .map(|c| {
             let mask = input_mask(c.n_inputs());
-            let vectors = (0..1_000u64)
+            let vectors: Vec<u64> = (0..1_000u64)
                 .map(|i| i.wrapping_mul(0x2545_f491_4f6c_dd1d) & mask)
                 .collect();
-            (c.clone(), vectors)
+            (c as &(dyn Simulator + Sync), vectors)
         })
         .collect();
+    let twin_vectors: Vec<u64> = (0..1_000u64)
+        .map(|i| i.wrapping_mul(0x2545_f491_4f6c_dd1d) & mask)
+        .collect();
+    jobs.push((&nominal, twin_vectors.clone()));
+    jobs.push((&faulty, twin_vectors));
     let t1 = Instant::now();
-    let sequential = eval_covers_blocked(&jobs, &WorkerPool::new(1));
+    let sequential = eval_sims_blocked(&jobs, &WorkerPool::new(1));
     let t1 = t1.elapsed();
     let pool = WorkerPool::available();
     let tn = Instant::now();
-    let sharded = eval_covers_blocked(&jobs, &pool);
+    let sharded = eval_sims_blocked(&jobs, &pool);
     let tn = tn.elapsed();
     assert_eq!(sequential, sharded, "sharded bulk sweep diverged");
     println!(
-        "bulk sweep: {} covers × 1000 vectors — {:.1} ms on 1 thread, {:.1} ms on {} \
-         threads, results identical",
+        "bulk sweep: {} mixed-backend jobs × 1000 vectors — {:.1} ms on 1 thread, {:.1} ms \
+         on {} threads, results identical",
         jobs.len(),
         t1.as_secs_f64() * 1e3,
         tn.as_secs_f64() * 1e3,
         pool.threads(),
     );
 
-    // ---- 3. Monte-Carlo: sequential vs sharded yield curves. -----------
+    // ---- 4. Monte-Carlo: sequential vs sharded yield curves. -----------
     let adder = logic::Cover::parse(
         "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
         3,

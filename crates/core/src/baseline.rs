@@ -7,7 +7,7 @@
 //! covers as [`crate::GnorPla`]; structurally it pays `2i + o` columns.
 
 use crate::area::PlaDimensions;
-use crate::batch::{self, BatchSim};
+use crate::sim::{self, Simulator};
 use logic::{Cover, Tri};
 
 /// A classical two-level PLA with complemented input columns.
@@ -18,7 +18,7 @@ use logic::{Cover, Tri};
 /// # Example
 ///
 /// ```
-/// use ambipla_core::ClassicalPla;
+/// use ambipla_core::{ClassicalPla, Simulator};
 /// use logic::Cover;
 ///
 /// let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
@@ -104,56 +104,24 @@ impl ClassicalPla {
         and + or
     }
 
-    /// Evaluate on an explicit assignment.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs.len() != n_inputs`.
-    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
-        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
-        // Build the true/complement rails the external inverters provide.
-        let mut rails = Vec::with_capacity(2 * self.n_inputs);
-        for &x in inputs {
-            rails.push(x);
-            rails.push(!x);
-        }
-        // First NOR plane: product row = NOR of connected rails.
-        let products: Vec<bool> = self
-            .and_plane
-            .iter()
-            .map(|row| !row.iter().zip(&rails).any(|(&c, &x)| c && x))
-            .collect();
-        // Second NOR plane + inverting drivers: F = NOT(NOR(products)).
-        self.or_plane
-            .iter()
-            .map(|row| row.iter().zip(&products).any(|(&c, &p)| c && p))
-            .collect()
-    }
-
-    /// Evaluate on a packed assignment.
-    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
-        let inputs: Vec<bool> = (0..self.n_inputs).map(|i| bits >> i & 1 == 1).collect();
-        self.simulate(&inputs)
-    }
-
     /// True if the PLA implements `cover` on every assignment (exhaustive
     /// up to [`logic::eval::EXHAUSTIVE_LIMIT`] inputs).
     pub fn implements(&self, cover: &Cover) -> bool {
         let n = self.n_inputs.min(logic::eval::EXHAUSTIVE_LIMIT);
-        batch::equivalent_to_cover(self, cover, n)
+        sim::equivalent_to_cover(self, cover, n)
     }
 }
 
-impl BatchSim for ClassicalPla {
-    fn batch_inputs(&self) -> usize {
+impl Simulator for ClassicalPla {
+    fn n_inputs(&self) -> usize {
         self.n_inputs
     }
 
-    fn batch_outputs(&self) -> usize {
+    fn n_outputs(&self) -> usize {
         self.n_outputs
     }
 
-    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
         assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
         // True/complement rails, one word pair per input.
         let mut rails = Vec::with_capacity(2 * self.n_inputs);

@@ -10,6 +10,7 @@
 
 use crate::crossbar::Crossbar;
 use crate::pla::GnorPla;
+use crate::sim::Simulator;
 use logic::Cover;
 use std::error::Error;
 use std::fmt;
@@ -65,7 +66,7 @@ impl Error for NetworkError {}
 /// # Example
 ///
 /// ```
-/// use ambipla_core::PlaNetwork;
+/// use ambipla_core::{PlaNetwork, Simulator};
 /// use logic::Cover;
 ///
 /// // Two buffer stages chained with identity routing.
@@ -172,18 +173,38 @@ impl PlaNetwork {
         pla + xbar
     }
 
-    /// Evaluate the cascade.
+    /// Evaluate on a packed assignment.
     ///
-    /// # Panics
-    ///
-    /// Panics if `inputs.len()` differs from the first stage's input count.
-    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
-        let mut signal = self.stages[0].simulate(inputs);
+    /// Deprecated compatibility shim: this is the one surviving inherent
+    /// scalar entry point of the pre-[`Simulator`] API, kept because
+    /// external callers drove cascades through it directly. New code
+    /// imports [`Simulator`] and gets the same method (plus `simulate`
+    /// and the block path) from the trait.
+    #[deprecated(
+        since = "0.1.0",
+        note = "import `ambipla_core::Simulator` and use the trait's `simulate_bits`"
+    )]
+    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
+        Simulator::simulate_bits(self, bits)
+    }
+}
+
+impl Simulator for PlaNetwork {
+    fn n_inputs(&self) -> usize {
+        PlaNetwork::n_inputs(self)
+    }
+
+    fn n_outputs(&self) -> usize {
+        PlaNetwork::n_outputs(self)
+    }
+
+    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
+        let mut signal = self.stages[0].eval_block(inputs);
         for (link, stage) in self.links.iter().zip(self.stages.iter().skip(1)) {
             let routed = link
-                .route(&signal)
+                .route_block(&signal)
                 .expect("validated network has no shorts");
-            signal = stage.simulate(
+            signal = stage.eval_block(
                 &routed
                     .into_iter()
                     .map(|v| v.expect("validated network has no floats"))
@@ -191,13 +212,6 @@ impl PlaNetwork {
             );
         }
         signal
-    }
-
-    /// Evaluate on a packed assignment.
-    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
-        let n = self.n_inputs();
-        let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-        self.simulate(&inputs)
     }
 }
 
@@ -218,7 +232,7 @@ mod tests {
         let net = PlaNetwork::chain_of_covers(&[s1.clone(), s2]);
         for bits in 0..4u64 {
             let inner = s1.eval_bits(bits);
-            let got = net.simulate_bits(bits);
+            let got = Simulator::simulate_bits(&net, bits);
             assert_eq!(got, vec![inner[1], inner[0]], "bits {bits:02b}");
         }
     }
@@ -232,7 +246,22 @@ mod tests {
         assert_eq!(net.n_stages(), 3);
         for bits in 0..4u64 {
             let want = vec![bits & 1 == 1, bits >> 1 & 1 == 1];
-            assert_eq!(net.simulate_bits(bits), want);
+            assert_eq!(Simulator::simulate_bits(&net, bits), want);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_inherent_shim_matches_the_trait() {
+        // The one surviving pre-`Simulator` inherent method must keep
+        // answering exactly like the trait it forwards to.
+        let buf = cover("1- 10\n-1 01", 2, 2);
+        let net = PlaNetwork::chain_of_covers(&[buf.clone(), buf]);
+        for bits in 0..4u64 {
+            assert_eq!(
+                PlaNetwork::simulate_bits(&net, bits),
+                Simulator::simulate_bits(&net, bits)
+            );
         }
     }
 

@@ -157,6 +157,30 @@ impl Crossbar {
             .count()
     }
 
+    /// The horizontal wire driving each vertical wire, or `None` for a
+    /// floating vertical — the electrical structure both routing flavors
+    /// ([`route`](Crossbar::route) / [`route_block`](Crossbar::route_block))
+    /// copy values along.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::MultipleDrivers`] if a vertical wire is connected to
+    /// more than one horizontal.
+    pub fn driver_map(&self) -> Result<Vec<Option<usize>>, RouteError> {
+        let mut drivers = vec![None; self.verticals];
+        for (v, slot) in drivers.iter_mut().enumerate() {
+            for h in 0..self.horizontals {
+                if matches!(self.state(h, v), CrosspointState::Connected) {
+                    if slot.is_some() {
+                        return Err(RouteError::MultipleDrivers { vertical: v });
+                    }
+                    *slot = Some(h);
+                }
+            }
+        }
+        Ok(drivers)
+    }
+
     /// Drive the horizontal wires with `values` and read the vertical
     /// wires. Unconnected verticals float (`None`).
     ///
@@ -170,18 +194,32 @@ impl Crossbar {
     /// Panics if `values.len() != horizontals()`.
     pub fn route(&self, values: &[bool]) -> Result<Vec<Option<bool>>, RouteError> {
         assert_eq!(values.len(), self.horizontals, "driver arity mismatch");
-        let mut out = vec![None; self.verticals];
-        for (v, slot) in out.iter_mut().enumerate() {
-            for (h, &value) in values.iter().enumerate() {
-                if matches!(self.state(h, v), CrosspointState::Connected) {
-                    if slot.is_some() {
-                        return Err(RouteError::MultipleDrivers { vertical: v });
-                    }
-                    *slot = Some(value);
-                }
-            }
-        }
-        Ok(out)
+        Ok(self
+            .driver_map()?
+            .into_iter()
+            .map(|d| d.map(|h| values[h]))
+            .collect())
+    }
+
+    /// [`route`](Crossbar::route) for 64-lane signal words: each vertical
+    /// wire carries its driver's whole lane word (pass transistors are
+    /// polarity-agnostic wires, so routing is lane-independent).
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::MultipleDrivers`] if a vertical wire is connected to
+    /// more than one horizontal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != horizontals()`.
+    pub fn route_block(&self, words: &[u64]) -> Result<Vec<Option<u64>>, RouteError> {
+        assert_eq!(words.len(), self.horizontals, "driver arity mismatch");
+        Ok(self
+            .driver_map()?
+            .into_iter()
+            .map(|d| d.map(|h| words[h]))
+            .collect())
     }
 
     /// The PG-level map (horizontal-major) the configuration protocol

@@ -9,9 +9,9 @@
 //! dynamic discipline reproduces the functional semantics, including the
 //! monotonic-discharge property that makes the cascade race-free.
 
-use crate::batch::BatchSim;
 use crate::gnor::{DynamicGnor, Phase};
 use crate::pla::GnorPla;
+use crate::sim::Simulator;
 
 /// A GNOR PLA instantiated as dynamic cells with explicit clocking.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,16 +118,16 @@ impl DynamicPla {
 /// Because a full cycle starts from the precharged state, the result is a
 /// pure function of the inputs, so batching needs no per-lane cell state
 /// and leaves the scalar simulator's phase tracking untouched.
-impl BatchSim for DynamicPla {
-    fn batch_inputs(&self) -> usize {
+impl Simulator for DynamicPla {
+    fn n_inputs(&self) -> usize {
         self.plane1.first().map_or(0, |c| c.gate().width())
     }
 
-    fn batch_outputs(&self) -> usize {
+    fn n_outputs(&self) -> usize {
         self.plane2.len()
     }
 
-    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
         // After precharge, a line discharges iff its pull-down column
         // conducts — the combinational GNOR of the configured gate.
         let products: Vec<u64> = self

@@ -13,6 +13,7 @@
 
 use crate::area::PlaDimensions;
 use crate::pla::GnorPla;
+use crate::sim::Simulator;
 use logic::Cover;
 use std::error::Error;
 use std::fmt;

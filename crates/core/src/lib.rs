@@ -25,8 +25,9 @@
 //!   simulation, and programming through the charge matrix,
 //! * [`baseline`] — the classical two-column-per-input PLA used as the
 //!   comparison point,
-//! * [`batch`] — the 64-lane bit-parallel [`BatchSim`] engine behind every
-//!   simulator's hot path,
+//! * [`sim`] — the object-safe [`Simulator`] trait: the 64-lane
+//!   bit-parallel evaluation API every PLA flavor, fault model and FPGA
+//!   mapping implements, plus the `&dyn Simulator` verification sweeps,
 //! * [`hash`] — stable structural cover hashing (cache keys for the
 //!   `ambipla_serve` result cache),
 //! * [`pool`] — the deterministic [`std::thread::scope`] worker pool behind
@@ -41,7 +42,6 @@
 pub mod activity;
 pub mod area;
 pub mod baseline;
-pub mod batch;
 pub mod cascade;
 pub mod config;
 pub mod crossbar;
@@ -53,13 +53,13 @@ pub mod layout;
 pub mod pla;
 pub mod plane;
 pub mod pool;
+pub mod sim;
 pub mod timing;
 pub mod wpla;
 
 pub use activity::{analyze_activity, pla_energy_exact, ActivityReport};
 pub use area::{PlaDimensions, Technology};
 pub use baseline::ClassicalPla;
-pub use batch::{pack_vectors, unpack_lane, BatchSim, LANES};
 pub use cascade::{NetworkError, PlaNetwork};
 pub use config::{from_bitstream, to_bitstream, BitstreamError};
 pub use crossbar::{Crossbar, CrosspointState};
@@ -71,5 +71,6 @@ pub use layout::Floorplan;
 pub use pla::{GnorPla, MapError};
 pub use plane::GnorPlane;
 pub use pool::WorkerPool;
+pub use sim::{pack_vectors, unpack_lane, Simulator, LANES};
 pub use timing::{PlaTiming, TimingModel};
 pub use wpla::Wpla;

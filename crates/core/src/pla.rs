@@ -16,9 +16,9 @@
 //! input** (`i + o` columns total) instead of the classical `2i + o`.
 
 use crate::area::PlaDimensions;
-use crate::batch::{self, BatchSim};
 use crate::gnor::InputPolarity;
 use crate::plane::GnorPlane;
+use crate::sim::{self, Simulator};
 use cnfet::ProgrammingMatrix;
 use logic::{Cover, Tri};
 
@@ -50,7 +50,7 @@ impl Error for MapError {}
 /// # Example
 ///
 /// ```
-/// use ambipla_core::GnorPla;
+/// use ambipla_core::{GnorPla, Simulator};
 /// use logic::Cover;
 ///
 /// let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
@@ -179,27 +179,6 @@ impl GnorPla {
         self.input_plane.active_devices() + self.output_plane.active_devices()
     }
 
-    /// Evaluate the PLA on an explicit input assignment.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs.len()` differs from the input-plane width.
-    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
-        let products = self.input_plane.evaluate(inputs);
-        let nor = self.output_plane.evaluate(&products);
-        nor.iter()
-            .zip(&self.inverting_outputs)
-            .map(|(&y, &inv)| if inv { !y } else { y })
-            .collect()
-    }
-
-    /// Evaluate on a packed assignment (bit `i` = input `i`).
-    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
-        let n = self.input_plane.cols();
-        let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-        self.simulate(&inputs)
-    }
-
     /// True if the PLA implements `cover` exactly (exhaustive up to
     /// [`logic::eval::EXHAUSTIVE_LIMIT`] inputs, sampled beyond).
     ///
@@ -209,13 +188,7 @@ impl GnorPla {
     pub fn implements(&self, cover: &Cover) -> bool {
         assert_eq!(cover.n_inputs(), self.input_plane.cols());
         assert_eq!(cover.n_outputs(), self.output_plane.rows());
-        let n = cover.n_inputs();
-        if n <= logic::eval::EXHAUSTIVE_LIMIT {
-            batch::equivalent_to_cover(self, cover, n)
-        } else {
-            // The canonical deterministic sample, swept 64 lanes at a time.
-            batch::agrees_on(self, cover, &logic::eval::sample_assignments(n))
-        }
+        sim::implements_cover(self, cover)
     }
 
     /// Reconstruct the cover this PLA realizes, when the configuration is a
@@ -294,16 +267,16 @@ impl GnorPla {
     }
 }
 
-impl BatchSim for GnorPla {
-    fn batch_inputs(&self) -> usize {
+impl Simulator for GnorPla {
+    fn n_inputs(&self) -> usize {
         self.input_plane.cols()
     }
 
-    fn batch_outputs(&self) -> usize {
+    fn n_outputs(&self) -> usize {
         self.output_plane.rows()
     }
 
-    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
         let products = self.input_plane.evaluate_batch(inputs);
         let nor = self.output_plane.evaluate_batch(&products);
         nor.iter()

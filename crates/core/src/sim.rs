@@ -1,0 +1,429 @@
+//! The [`Simulator`] trait: one object-safe evaluation API for every
+//! functional simulator in the workspace.
+//!
+//! Before this module existed, each PLA flavor carried its own hand-rolled
+//! `simulate_bits(&self, u64) -> Vec<bool>` plus a per-type batch trait
+//! implementation, and every consumer (verification sweeps, the
+//! `ambipla_serve` batcher, benches) was written against one concrete
+//! type. [`Simulator`] collapses all of that into a single trait:
+//!
+//! * the **required** method is word-level: [`Simulator::eval_block`]
+//!   evaluates 64 input vectors per call,
+//! * the **scalar** entry points ([`Simulator::simulate_bits`],
+//!   [`Simulator::simulate`], [`Simulator::eval_vectors`]) are provided
+//!   adapters over `eval_block`, so implementors write the fast path once
+//!   and get the convenience API for free,
+//! * the trait is **object-safe**: heterogeneous backends (a plain
+//!   [`Cover`], a `GnorPla`, a faulty array, an FPGA mapping) ride the
+//!   same `&dyn Simulator` sweeps and the same `Arc<dyn Simulator>`
+//!   service registrations.
+//!
+//! # Lane layout
+//!
+//! A **block** packs 64 input vectors ("lanes") column-major: argument
+//! `inputs[i]` of [`eval_block`](Simulator::eval_block) carries input `i`
+//! of all 64 lanes — bit `L` of that word is input `i` of lane `L`. The
+//! returned words carry the outputs in the same layout: bit `L` of output
+//! word `j` is output `j` of lane `L`. [`pack_vectors`] / [`unpack_lane`]
+//! convert between this layout and the packed-assignment (`u64` per
+//! vector, bit `i` = input `i`) layout the scalar API uses.
+//!
+//! # Partial blocks: the `lane_mask` garbage-lane contract
+//!
+//! `eval_block` always computes all 64 lanes. When fewer than 64 vectors
+//! are packed, the unused lanes of the input words hold whatever the
+//! packer left there (zeros after [`pack_vectors`], arbitrary garbage
+//! otherwise) and the corresponding output lanes are the evaluation of
+//! that garbage — **not** zeros, and not an error. Any consumer of a
+//! partial block must mask output (or difference) words with
+//! [`lane_mask`]`(valid_lanes)` before interpreting them, and must only
+//! [`unpack_lane`] lanes it actually packed. Every sweep in this module,
+//! the `ambipla_serve` batcher and the bulk sweeps follow this contract;
+//! see [`logic::eval::lane_mask`] for the canonical statement.
+
+use logic::eval::EXHAUSTIVE_LIMIT;
+use logic::Cover;
+
+pub use logic::eval::{exhaustive_block, lane_mask, pack_vectors, unpack_lane, LANES};
+pub use logic::Equivalence;
+
+/// Object-safe bit-parallel functional simulation: 64 lanes per call,
+/// scalar adapters provided.
+///
+/// Implementors supply the arity ([`n_inputs`](Simulator::n_inputs) /
+/// [`n_outputs`](Simulator::n_outputs)) and the word-level
+/// [`eval_block`](Simulator::eval_block); everything else is derived.
+/// See the [module docs](self) for the lane layout and the partial-block
+/// (`lane_mask`) contract.
+///
+/// # Example
+///
+/// ```
+/// use ambipla_core::{GnorPla, Simulator};
+/// use logic::Cover;
+///
+/// let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+/// let pla = GnorPla::from_cover(&xor);
+/// // The same trait serves the cover and the array it was mapped to.
+/// let sims: [&dyn Simulator; 2] = [&xor, &pla];
+/// for sim in sims {
+///     assert_eq!(sim.simulate_bits(0b01), vec![true]);
+///     assert_eq!(sim.simulate_bits(0b11), vec![false]);
+/// }
+/// ```
+pub trait Simulator {
+    /// Number of primary inputs: the word count expected by
+    /// [`eval_block`](Simulator::eval_block).
+    fn n_inputs(&self) -> usize;
+
+    /// Number of primary outputs: the word count returned by
+    /// [`eval_block`](Simulator::eval_block).
+    fn n_outputs(&self) -> usize;
+
+    /// Evaluate 64 input vectors at once.
+    ///
+    /// `inputs[i]` carries input `i` of every lane (bit `L` = lane `L`);
+    /// the returned words carry the outputs in the same lane order. All
+    /// 64 lanes are always computed — for partial blocks the unused
+    /// output lanes are garbage the caller must mask (see the
+    /// [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.n_inputs()`.
+    fn eval_block(&self, inputs: &[u64]) -> Vec<u64>;
+
+    /// Evaluate one packed assignment (bit `i` of `bits` is input `i`),
+    /// returning one `bool` per output.
+    ///
+    /// Provided: packs `bits` into lane 0 of a block, evaluates, and
+    /// extracts lane 0.
+    fn simulate_bits(&self, bits: u64) -> Vec<bool> {
+        let inputs: Vec<u64> = (0..self.n_inputs()).map(|i| bits >> i & 1).collect();
+        unpack_lane(&self.eval_block(&inputs), 0)
+    }
+
+    /// Evaluate one explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.n_inputs()`.
+    fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.n_inputs(), "input arity mismatch");
+        let words: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
+        unpack_lane(&self.eval_block(&words), 0)
+    }
+
+    /// Evaluate up to 64 packed assignments, returning one output vector
+    /// per assignment. Only the supplied lanes are unpacked, which is
+    /// what makes partial blocks safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] vectors are supplied.
+    fn eval_vectors(&self, vectors: &[u64]) -> Vec<Vec<bool>> {
+        assert!(vectors.len() <= LANES, "at most {LANES} lanes per block");
+        let words = self.eval_block(&pack_vectors(vectors, self.n_inputs()));
+        (0..vectors.len())
+            .map(|lane| unpack_lane(&words, lane))
+            .collect()
+    }
+}
+
+/// A [`Cover`] simulates itself: the SOP evaluation `Cover::eval_batch`
+/// is the block path. This is what lets specification covers, synthesized
+/// arrays and fault models ride the same `&dyn Simulator` machinery.
+impl Simulator for Cover {
+    fn n_inputs(&self) -> usize {
+        Cover::n_inputs(self)
+    }
+
+    fn n_outputs(&self) -> usize {
+        Cover::n_outputs(self)
+    }
+
+    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
+        self.eval_batch(inputs)
+    }
+}
+
+/// Exhaustively compare two simulators over the low `n_checked` inputs
+/// (any higher input columns are held at 0), 64 assignments per step,
+/// reporting the first counterexample in (assignment, output) order.
+///
+/// # Panics
+///
+/// Panics if the arities of `a` and `b` differ, if `n_checked` exceeds
+/// either simulator's input count, or if `n_checked >= 64`.
+pub fn check_equivalent(a: &dyn Simulator, b: &dyn Simulator, n_checked: usize) -> Equivalence {
+    assert_eq!(a.n_inputs(), b.n_inputs(), "input arity mismatch");
+    assert_eq!(a.n_outputs(), b.n_outputs(), "output arity mismatch");
+    assert!(
+        n_checked <= a.n_inputs(),
+        "cannot check more inputs than the simulators have"
+    );
+    assert!(n_checked < 64, "exhaustive sweeps need n_checked < 64");
+    let n = a.n_inputs();
+    let total = 1u64 << n_checked;
+    let lanes_per_block = total.min(LANES as u64) as usize;
+    for base in (0..total).step_by(LANES) {
+        let inputs = exhaustive_block(base, n);
+        let diffs: Vec<u64> = a
+            .eval_block(&inputs)
+            .iter()
+            .zip(&b.eval_block(&inputs))
+            .map(|(&x, &y)| x ^ y)
+            .collect();
+        if let Some((lane, output)) = first_set_lane(&diffs, lane_mask(lanes_per_block)) {
+            return Equivalence::Counterexample {
+                bits: base + lane as u64,
+                output,
+            };
+        }
+    }
+    Equivalence::Equivalent { exhaustive: true }
+}
+
+/// Exhaustively compare `sim` against `cover` over the low `n_checked`
+/// inputs, 64 assignments per step. Equivalent to — and replacing — the
+/// scalar loop
+/// `(0..1 << n_checked).all(|bits| sim.simulate_bits(bits) == cover.eval_bits(bits))`,
+/// including its arity tolerance: excess simulator inputs are held at 0
+/// on the cover side, mismatched output arity is never equivalent.
+///
+/// # Panics
+///
+/// Panics if `n_checked` exceeds the simulator's input count or 63.
+pub fn equivalent_to_cover(sim: &dyn Simulator, cover: &Cover, n_checked: usize) -> bool {
+    let n = sim.n_inputs();
+    assert!(
+        n_checked <= n,
+        "cannot check more inputs than the array has"
+    );
+    assert!(n_checked < 64, "exhaustive sweeps need n_checked < 64");
+    if sim.n_outputs() != cover.n_outputs() {
+        // Mismatched output arity can never be equivalent (mirrors the
+        // scalar Vec comparison this sweep replaced).
+        return false;
+    }
+    let total = 1u64 << n_checked;
+    let lanes_per_block = total.min(LANES as u64) as usize;
+    (0..total).step_by(LANES).all(|base| {
+        let inputs = exhaustive_block(base, n);
+        words_agree(
+            &sim.eval_block(&inputs),
+            &eval_cover_resized(cover, &inputs),
+            lane_mask(lanes_per_block),
+        )
+    })
+}
+
+/// Compare `sim` against `cover` on an explicit list of packed
+/// assignments, 64 per step. Used by the sampled (wide-function) paths.
+pub fn agrees_on(sim: &dyn Simulator, cover: &Cover, patterns: &[u64]) -> bool {
+    if sim.n_outputs() != cover.n_outputs() {
+        return false;
+    }
+    patterns.chunks(LANES).all(|chunk| {
+        let inputs = pack_vectors(chunk, sim.n_inputs());
+        words_agree(
+            &sim.eval_block(&inputs),
+            &eval_cover_resized(cover, &inputs),
+            lane_mask(chunk.len()),
+        )
+    })
+}
+
+/// True if `sim` realizes `cover`: exhaustive up to
+/// [`logic::eval::EXHAUSTIVE_LIMIT`] inputs, the canonical deterministic
+/// sample ([`logic::eval::sample_assignments`]) beyond. The shared body
+/// behind every per-type `implements` method.
+pub fn implements_cover(sim: &dyn Simulator, cover: &Cover) -> bool {
+    let n = cover.n_inputs().min(sim.n_inputs());
+    if n <= EXHAUSTIVE_LIMIT {
+        equivalent_to_cover(sim, cover, n)
+    } else {
+        agrees_on(sim, cover, &logic::eval::sample_assignments(n))
+    }
+}
+
+/// Evaluate `cover` on lane words produced for a (possibly different-arity)
+/// simulator: excess simulator columns are dropped, missing ones read as 0
+/// — matching what `Cover::eval_bits` did with out-of-range bits held low.
+fn eval_cover_resized(cover: &Cover, inputs: &[u64]) -> Vec<u64> {
+    if cover.n_inputs() == inputs.len() {
+        cover.eval_batch(inputs)
+    } else {
+        let mut resized = inputs[..inputs.len().min(cover.n_inputs())].to_vec();
+        resized.resize(cover.n_inputs(), 0);
+        cover.eval_batch(&resized)
+    }
+}
+
+fn words_agree(a: &[u64], b: &[u64], mask: u64) -> bool {
+    assert_eq!(a.len(), b.len(), "output arity mismatch");
+    a.iter().zip(b).all(|(&x, &y)| (x ^ y) & mask == 0)
+}
+
+/// Earliest `(lane, output)` where per-output difference words are set
+/// under `mask`, in (lane, then output) order — the bit-parallel
+/// counterpart of the scalar "first differing assignment, first differing
+/// output" contract.
+fn first_set_lane(diffs: &[u64], mask: u64) -> Option<(usize, usize)> {
+    let lane = diffs
+        .iter()
+        .filter(|&&d| d & mask != 0)
+        .map(|&d| (d & mask).trailing_zeros() as usize)
+        .min()?;
+    let output = diffs.iter().position(|&d| (d & mask) >> lane & 1 == 1)?;
+    Some((lane, output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pla::GnorPla;
+
+    fn adder() -> (Cover, GnorPla) {
+        let f = Cover::parse(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        )
+        .expect("valid cover");
+        let pla = GnorPla::from_cover(&f);
+        (f, pla)
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let vectors: Vec<u64> = (0..64).map(|v| v * 0x9e37 % 1024).collect();
+        let words = pack_vectors(&vectors, 10);
+        for (lane, &v) in vectors.iter().enumerate() {
+            let bools = unpack_lane(&words, lane);
+            for (i, &b) in bools.iter().enumerate() {
+                assert_eq!(b, v >> i & 1 == 1, "lane {lane} input {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_block_enumerates_consecutive_assignments() {
+        for base in [0u64, 64, 192] {
+            let words = exhaustive_block(base, 9);
+            for lane in 0..64 {
+                let assignment = base + lane as u64;
+                for (i, &w) in words.iter().enumerate() {
+                    assert_eq!(
+                        w >> lane & 1,
+                        assignment >> i & 1,
+                        "base {base} lane {lane} input {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_is_a_simulator() {
+        let (f, _) = adder();
+        let sim: &dyn Simulator = &f;
+        for bits in 0..8u64 {
+            assert_eq!(
+                sim.simulate_bits(bits),
+                f.eval_bits(bits),
+                "bits {bits:03b}"
+            );
+        }
+        assert_eq!(sim.n_inputs(), 3);
+        assert_eq!(sim.n_outputs(), 2);
+    }
+
+    #[test]
+    fn provided_scalar_adapters_agree() {
+        let (_, pla) = adder();
+        for bits in 0..8u64 {
+            let explicit: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(pla.simulate(&explicit), pla.simulate_bits(bits));
+        }
+    }
+
+    #[test]
+    fn eval_vectors_matches_scalar() {
+        let (_, pla) = adder();
+        let vectors: Vec<u64> = (0..8).collect();
+        let block = pla.eval_vectors(&vectors);
+        for (lane, &bits) in vectors.iter().enumerate() {
+            assert_eq!(block[lane], pla.simulate_bits(bits), "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn equivalent_to_cover_agrees_with_scalar_loop() {
+        let (f, pla) = adder();
+        assert!(equivalent_to_cover(&pla, &f, 3));
+        // Break one driver polarity: the sweep must notice.
+        let broken = GnorPla::from_parts(
+            pla.input_plane().clone(),
+            pla.output_plane().clone(),
+            vec![true, false],
+        );
+        assert!(!equivalent_to_cover(&broken, &f, 3));
+    }
+
+    #[test]
+    fn check_equivalent_reports_the_first_counterexample() {
+        let (f, pla) = adder();
+        assert!(check_equivalent(&pla, &f, 3).is_equivalent());
+        let broken = GnorPla::from_parts(
+            pla.input_plane().clone(),
+            pla.output_plane().clone(),
+            vec![true, false],
+        );
+        match check_equivalent(&broken, &f, 3) {
+            Equivalence::Counterexample { bits, output } => {
+                assert_eq!(output, 1, "the flipped driver is output 1");
+                assert_ne!(
+                    broken.simulate_bits(bits)[output],
+                    f.eval_bits(bits)[output]
+                );
+            }
+            e => panic!("expected counterexample, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_word_spaces_mask_unused_lanes() {
+        // 2 inputs: only 4 of the 64 lanes are meaningful.
+        let f = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+        let pla = GnorPla::from_cover(&f);
+        assert!(equivalent_to_cover(&pla, &f, 2));
+    }
+
+    #[test]
+    fn mismatched_output_arity_is_never_equivalent() {
+        // The scalar Vec comparison this sweep replaced returned false for
+        // a cover with a different output count; the batch sweep must too
+        // (in release builds as well, not via a debug assertion).
+        let (_, pla) = adder(); // 3 inputs, 2 outputs
+        let narrow = Cover::parse("110 1\n011 1", 3, 1).expect("valid cover");
+        assert!(!equivalent_to_cover(&pla, &narrow, 3));
+        assert!(!agrees_on(&pla, &narrow, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn agrees_on_partial_chunks() {
+        let (f, pla) = adder();
+        let pats: Vec<u64> = (0..100).map(|x| x % 8).collect(); // 64 + 36 tail
+        assert!(agrees_on(&pla, &f, &pats));
+    }
+
+    #[test]
+    fn implements_cover_samples_beyond_the_exhaustive_limit() {
+        // 22 inputs: implements_cover must take the sampled path and still
+        // accept the identity pairing.
+        let wide = Cover::parse("1111111111111111111111 1\n0000000000000000000000 1", 22, 1)
+            .expect("valid cover");
+        assert!(implements_cover(&wide, &wide));
+    }
+}

@@ -14,9 +14,9 @@
 //! halves) lives in the `phaseopt` crate.
 
 use crate::area::PlaDimensions;
-use crate::batch::{self, BatchSim};
 use crate::gnor::InputPolarity;
 use crate::plane::GnorPlane;
+use crate::sim::{self, Simulator};
 use logic::Cover;
 
 /// A four-plane Whirlpool GNOR PLA.
@@ -188,34 +188,6 @@ impl Wpla {
         }
     }
 
-    /// Evaluate the cascade.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs.len() != n_inputs()`.
-    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
-        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
-        let mut signal = self.planes[0].evaluate(inputs);
-        for (k, plane) in self.planes.iter().enumerate().skip(1) {
-            if self.primary_taps[k - 1] {
-                signal.extend_from_slice(inputs);
-            }
-            signal = plane.evaluate(&signal);
-        }
-        signal
-            .iter()
-            .zip(&self.inverting_outputs)
-            .map(|(&y, &inv)| if inv { !y } else { y })
-            .collect()
-    }
-
-    /// Evaluate on a packed assignment.
-    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
-        let n = self.n_inputs();
-        let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-        self.simulate(&inputs)
-    }
-
     /// True if the WPLA implements `cover` (exhaustive up to
     /// [`logic::eval::EXHAUSTIVE_LIMIT`] inputs).
     ///
@@ -226,20 +198,20 @@ impl Wpla {
         assert_eq!(cover.n_inputs(), self.n_inputs());
         assert_eq!(cover.n_outputs(), self.n_outputs());
         let n = cover.n_inputs().min(logic::eval::EXHAUSTIVE_LIMIT);
-        batch::equivalent_to_cover(self, cover, n)
+        sim::equivalent_to_cover(self, cover, n)
     }
 }
 
-impl BatchSim for Wpla {
-    fn batch_inputs(&self) -> usize {
+impl Simulator for Wpla {
+    fn n_inputs(&self) -> usize {
         self.n_inputs
     }
 
-    fn batch_outputs(&self) -> usize {
+    fn n_outputs(&self) -> usize {
         self.planes[3].rows()
     }
 
-    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
         assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
         let mut signal = self.planes[0].evaluate_batch(inputs);
         for (k, plane) in self.planes.iter().enumerate().skip(1) {

@@ -10,7 +10,7 @@
 use crate::defect::DefectMap;
 use crate::inject::FaultyGnorPla;
 use crate::testgen::{enumerate_faults, SingleFault, TESTGEN_INPUT_LIMIT};
-use ambipla_core::GnorPla;
+use ambipla_core::{GnorPla, Simulator};
 use logic::Cover;
 
 /// The deterministic BIST sequence over `n` inputs: `0…0`, `1…1`, the `n`

@@ -1,6 +1,6 @@
 //! Two-dimensional redundancy: spare rows *and* spare input columns.
 //!
-//! Row re-assignment (see [`crate::repair`]) cannot help when one input
+//! Row re-assignment (see [`mod@crate::repair`]) cannot help when one input
 //! column accumulates stuck-off devices: every cube with a literal on that
 //! input is blocked from rows whose device there is dead. Because the
 //! Fig. 3 interconnect can route any primary input to any physical column,
@@ -9,7 +9,7 @@
 //!
 //! 1. map each logical input to a healthy physical column (greedy, fewest
 //!    stuck-off devices first for the literal-heaviest inputs),
-//! 2. run the bipartite row matching of [`crate::repair`] under that
+//! 2. run the bipartite row matching of [`mod@crate::repair`] under that
 //!    column mapping.
 //!
 //! Stuck-on devices still kill their whole physical row (they discharge it
@@ -17,7 +17,7 @@
 //! composes with — rather than replaces — spare rows.
 
 use crate::defect::{DefectKind, DefectMap};
-use ambipla_core::{GnorPla, GnorPlane, InputPolarity};
+use ambipla_core::{GnorPla, GnorPlane, InputPolarity, Simulator};
 use logic::{Cover, Tri};
 
 /// Result of a 2D repair attempt.

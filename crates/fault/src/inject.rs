@@ -9,8 +9,8 @@
 //!   inverting output driver then publishes constant 1).
 
 use crate::defect::{DefectKind, DefectMap};
-use ambipla_core::batch;
-use ambipla_core::{BatchSim, GnorPla, InputPolarity};
+use ambipla_core::sim;
+use ambipla_core::{GnorPla, InputPolarity, Simulator};
 use logic::Cover;
 
 /// A GNOR PLA paired with its defect map.
@@ -60,93 +60,26 @@ impl FaultyGnorPla {
         &self.defects
     }
 
-    /// Evaluate the defective array.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs.len()` differs from the PLA's input count.
-    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
-        let dims = self.pla.dimensions();
-        assert_eq!(inputs.len(), dims.inputs, "input arity mismatch");
-        // Input plane with defects.
-        let mut products = Vec::with_capacity(dims.products);
-        for r in 0..dims.products {
-            let gate = self.pla.input_plane().gate(r);
-            let mut discharged = false;
-            for (i, &x) in inputs.iter().enumerate() {
-                let conducts = match self.defects.input_defect(r, i) {
-                    Some(DefectKind::StuckOn) => true,
-                    Some(DefectKind::StuckOff) => false,
-                    None => match gate.control(i) {
-                        InputPolarity::Pass => x,
-                        InputPolarity::Invert => !x,
-                        InputPolarity::Drop => false,
-                    },
-                };
-                if conducts {
-                    discharged = true;
-                    break;
-                }
-            }
-            products.push(!discharged);
-        }
-        // Output plane with defects.
-        let mut out = Vec::with_capacity(dims.outputs);
-        for j in 0..dims.outputs {
-            let gate = self.pla.output_plane().gate(j);
-            let mut discharged = false;
-            for (r, &p) in products.iter().enumerate() {
-                let conducts = match self.defects.output_defect(j, r) {
-                    Some(DefectKind::StuckOn) => true,
-                    Some(DefectKind::StuckOff) => false,
-                    None => match gate.control(r) {
-                        InputPolarity::Pass => p,
-                        InputPolarity::Invert => !p,
-                        InputPolarity::Drop => false,
-                    },
-                };
-                if conducts {
-                    discharged = true;
-                    break;
-                }
-            }
-            let y = !discharged;
-            out.push(if self.pla.inverting_outputs()[j] {
-                !y
-            } else {
-                y
-            });
-        }
-        out
-    }
-
-    /// Evaluate on a packed assignment.
-    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
-        let n = self.pla.dimensions().inputs;
-        let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-        self.simulate(&inputs)
-    }
-
     /// True if the defective array still implements `cover` (exhaustive up
     /// to [`logic::eval::EXHAUSTIVE_LIMIT`] inputs). This is the inner loop
     /// of every yield Monte-Carlo trial, so it sweeps the space through the
-    /// 64-lane [`BatchSim`] engine.
+    /// 64-lane [`Simulator`] engine.
     pub fn implements(&self, cover: &Cover) -> bool {
         let n = cover.n_inputs().min(logic::eval::EXHAUSTIVE_LIMIT);
-        batch::equivalent_to_cover(self, cover, n)
+        sim::equivalent_to_cover(self, cover, n)
     }
 }
 
-impl BatchSim for FaultyGnorPla {
-    fn batch_inputs(&self) -> usize {
+impl Simulator for FaultyGnorPla {
+    fn n_inputs(&self) -> usize {
         self.pla.dimensions().inputs
     }
 
-    fn batch_outputs(&self) -> usize {
+    fn n_outputs(&self) -> usize {
         self.pla.dimensions().outputs
     }
 
-    fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
         let dims = self.pla.dimensions();
         assert_eq!(inputs.len(), dims.inputs, "input arity mismatch");
         let mut products = Vec::with_capacity(dims.products);

@@ -11,7 +11,7 @@
 //!   Bernoulli defect maps,
 //! * [`inject`] — fault simulation of a defective GNOR PLA (what the array
 //!   actually computes given its defect map),
-//! * [`repair`] — spare-row repair: product terms are re-assigned to
+//! * [`mod@repair`] — spare-row repair: product terms are re-assigned to
 //!   defect-compatible physical rows by bipartite matching, exploiting the
 //!   array's regularity (any cube can live on any row),
 //! * [`yield_analysis`] — Monte-Carlo yield curves with and without

@@ -13,7 +13,7 @@
 
 use crate::defect::{DefectKind, DefectMap};
 use crate::inject::FaultyGnorPla;
-use ambipla_core::GnorPla;
+use ambipla_core::{GnorPla, Simulator};
 use logic::Cover;
 
 /// Maximum input count for exhaustive test generation.

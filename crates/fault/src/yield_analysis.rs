@@ -1,7 +1,7 @@
 //! Monte-Carlo yield analysis of defective GNOR-PLA arrays.
 //!
 //! For a given per-crosspoint defect rate the simulator samples defect
-//! maps, attempts spare-row [`repair`](crate::repair::repair), and verifies
+//! maps, attempts spare-row [`repair`](fn@crate::repair::repair), and verifies
 //! the repaired configuration by fault simulation. Three yields are
 //! reported per defect rate:
 //!

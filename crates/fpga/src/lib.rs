@@ -19,10 +19,10 @@
 //!   rails (the signals a classical FPGA must route but a GNOR FPGA
 //!   generates internally),
 //! * [`arch`] — the tile grid, channel capacities and delay constants,
-//! * [`place`] — simulated-annealing placement (seeded, deterministic),
-//! * [`route`] — congestion-aware maze routing over the channel graph,
+//! * [`mod@place`] — simulated-annealing placement (seeded, deterministic),
+//! * [`mod@route`] — congestion-aware maze routing over the channel graph,
 //! * [`timing`] — Elmore-flavoured net delays and critical-path analysis,
-//! * [`emulate`] — the Table 2 harness comparing [`FpgaFlavor::Standard`]
+//! * [`mod@emulate`] — the Table 2 harness comparing [`FpgaFlavor::Standard`]
 //!   against [`FpgaFlavor::CnfetPla`] on the same circuit.
 
 pub mod arch;

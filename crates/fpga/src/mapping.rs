@@ -16,6 +16,7 @@
 //! original cover.
 
 use crate::circuit::{Circuit, Net};
+use ambipla_core::{sim, Simulator};
 use logic::{Cover, Cube, Tri};
 
 /// One CLB-sized block of a mapped network.
@@ -129,37 +130,12 @@ impl MappedNetwork {
         self.k
     }
 
-    /// Evaluate the mapped network on a packed assignment.
-    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
-        let mut value = vec![false; self.blocks.len()];
-        for (idx, block) in self.blocks.iter().enumerate() {
-            value[idx] = match block {
-                Block::Leaf { inputs, cover } => {
-                    let mut local = 0u64;
-                    for (pos, &pi) in inputs.iter().enumerate() {
-                        if bits >> pi & 1 == 1 {
-                            local |= 1 << pos;
-                        }
-                    }
-                    cover.eval_bits(local)[0]
-                }
-                Block::Mux { sel, hi, lo } => {
-                    if bits >> sel & 1 == 1 {
-                        value[*hi]
-                    } else {
-                        value[*lo]
-                    }
-                }
-            };
-        }
-        self.roots.iter().map(|&r| value[r]).collect()
-    }
-
     /// True if the network implements `cover` (exhaustive up to
-    /// [`logic::eval::EXHAUSTIVE_LIMIT`] inputs).
+    /// [`logic::eval::EXHAUSTIVE_LIMIT`] inputs), swept 64 lanes per step
+    /// through the block path.
     pub fn implements(&self, cover: &Cover) -> bool {
         let n = self.n_inputs.min(logic::eval::EXHAUSTIVE_LIMIT);
-        (0..(1u64 << n)).all(|bits| self.simulate_bits(bits) == cover.eval_bits(bits))
+        sim::equivalent_to_cover(self, cover, n)
     }
 
     /// Convert into a routable [`Circuit`]: one circuit block per mapped
@@ -180,6 +156,40 @@ impl MappedNetwork {
             }
         }
         Circuit::new(self.blocks.len(), nets)
+    }
+}
+
+/// The FPGA flow's block path: the mapped DAG evaluates word-level, one
+/// `u64` of 64 lanes per net. Leaves gather their primary-input words and
+/// evaluate their local cover with `Cover::eval_batch`; a mux block is
+/// three word ops (`sel & hi | !sel & lo`). This is what lets mapped
+/// networks ride the same verification sweeps and `SimService` batching
+/// as the PLA architectures.
+impl Simulator for MappedNetwork {
+    fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    fn n_outputs(&self) -> usize {
+        self.roots.len()
+    }
+
+    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
+        let mut value = vec![0u64; self.blocks.len()];
+        for (idx, block) in self.blocks.iter().enumerate() {
+            value[idx] = match block {
+                Block::Leaf { inputs: pis, cover } => {
+                    let local: Vec<u64> = pis.iter().map(|&pi| inputs[pi]).collect();
+                    cover.eval_batch(&local)[0]
+                }
+                Block::Mux { sel, hi, lo } => {
+                    let s = inputs[*sel];
+                    (s & value[*hi]) | (!s & value[*lo])
+                }
+            };
+        }
+        self.roots.iter().map(|&r| value[r]).collect()
     }
 }
 

@@ -232,9 +232,10 @@ impl Cover {
     ///
     /// `inputs[i]` carries input `i` of all 64 lanes: bit `L` of that word
     /// is input `i` of lane `L`. The returned words carry the outputs in
-    /// the same layout. This is the cover-side counterpart of the
-    /// `BatchSim` trait in `ambipla_core::batch` and the engine behind the
-    /// batched [`check_equivalent`](crate::eval::check_equivalent) /
+    /// the same layout. This is the cover-side block path — what the
+    /// `Simulator` trait in `ambipla_core::sim` exposes as `eval_block`
+    /// for every backend — and the engine behind the batched
+    /// [`check_equivalent`](crate::eval::check_equivalent) /
     /// [`check_implements`](crate::eval::check_implements) sweeps.
     ///
     /// # Panics

@@ -79,8 +79,8 @@ pub fn unpack_lane(words: &[u64], lane: usize) -> Vec<bool> {
 /// Lane mask covering the first `lanes` lanes of a block: bit `L` is set
 /// iff lane `L < lanes`.
 ///
-/// [`Cover::eval_batch`] (and every `BatchSim` implementation in
-/// `ambipla_core`) always computes all 64 lanes; when fewer than 64 input
+/// [`Cover::eval_batch`] (and every `Simulator::eval_block`
+/// implementation in the workspace) always computes all 64 lanes; when fewer than 64 input
 /// vectors were packed, the remaining lanes of the output words are the
 /// evaluation of whatever the unused input lanes held (all-zero vectors
 /// after [`pack_vectors`], arbitrary garbage otherwise). Any consumer of a

@@ -10,7 +10,7 @@
 //! * [`Cover`] — a set of cubes implementing a multi-output Boolean function,
 //! * [`urp`] — the Unate Recursive Paradigm: tautology checking and
 //!   complementation,
-//! * [`espresso`] — the EXPAND / IRREDUNDANT / REDUCE minimization loop,
+//! * [`mod@espresso`] — the EXPAND / IRREDUNDANT / REDUCE minimization loop,
 //! * [`pla`] — reader/writer for the espresso `.pla` format so that real MCNC
 //!   benchmark files can be dropped in unchanged,
 //! * [`eval`] — fast functional evaluation and (exhaustive or sampled)

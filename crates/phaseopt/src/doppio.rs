@@ -151,6 +151,7 @@ fn product_controls(cover: &Cover, r: usize, n: usize) -> Vec<InputPolarity> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ambipla_core::Simulator;
 
     fn cover(text: &str, ni: usize, no: usize) -> Cover {
         Cover::parse(text, ni, no).expect("parse cover")

@@ -1,11 +1,12 @@
 //! The lane-packing request batcher.
 //!
-//! A [`SimService`] owns one batcher thread. Clients register covers and
-//! submit single-vector simulation requests; the batcher queues requests
-//! **per cover**, packs them into 64-lane blocks, and flushes a block when
-//! either
+//! A [`SimService`] owns one batcher thread. Clients register **any
+//! [`Simulator`] backend** — plain covers, GNOR/classical/Whirlpool PLAs,
+//! faulty arrays, FPGA mappings — and submit single-vector simulation
+//! requests; the batcher queues requests **per registered simulator**,
+//! packs them into 64-lane blocks, and flushes a block when either
 //!
-//! * all 64 lanes fill (`FlushCause::Full`) — one `eval_batch` call now
+//! * all 64 lanes fill (`FlushCause::Full`) — one `eval_block` call now
 //!   serves 64 requests, or
 //! * the oldest queued request has waited `max_wait`
 //!   (`FlushCause::Deadline`) — a partial block is packed (unused lanes
@@ -13,22 +14,33 @@
 //!   contract) so tail latency stays bounded under light traffic.
 //!
 //! Before evaluating, the batcher consults the [`BlockCache`] keyed on
-//! *(cover hash, packed block)*; hits skip `eval_batch` entirely. Results
-//! are scattered back to callers over per-request or shared reply
-//! channels. Dropping the service (or calling
+//! *(the registration's [`SimKey`], packed block)*; hits skip
+//! `eval_block` entirely. Results are scattered back to callers over
+//! per-request or shared reply channels. Backpressure is opt-in per
+//! submission: [`SimService::try_submit`] refuses with [`QueueFull`] once
+//! a simulator's pending queue reaches `ServeConfig::queue_depth`, while
+//! the plain `submit` paths stay unbounded for trusted in-process
+//! callers. Dropping the service (or calling
 //! [`shutdown`](SimService::shutdown)) drains every queue before the
 //! thread exits, so no submitted request is ever lost.
 
-use crate::cache::{BlockCache, BlockKey};
+use crate::cache::{BlockCache, BlockKey, SimKey};
 use crate::stats::{FlushCause, ServiceStats, StatsSnapshot};
-use ambipla_core::cover_hash;
+use ambipla_core::Simulator;
 use logic::eval::{pack_vectors, unpack_lane, LANES};
 use logic::Cover;
+use std::error::Error;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// A shareable simulation backend: what [`SimService::register_sim`]
+/// accepts. The service's batcher thread evaluates through the trait
+/// object, so any `Simulator` that is `Send + Sync` can be served.
+pub type SharedSim = Arc<dyn Simulator + Send + Sync>;
 
 /// Tuning knobs of a [`SimService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +52,11 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Number of independently locked cache shards.
     pub cache_shards: usize,
+    /// Pending-request bound per registered simulator enforced by
+    /// [`SimService::try_submit`] (the unbounded `submit` /
+    /// `submit_tagged` paths ignore it, but their requests still occupy
+    /// the queue `try_submit` measures).
+    pub queue_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -48,19 +65,41 @@ impl Default for ServeConfig {
             max_wait: Duration::from_micros(200),
             cache_capacity: 4096,
             cache_shards: 8,
+            queue_depth: 256,
         }
     }
 }
 
-/// Handle to a cover registered with a [`SimService`]. Stamped with the
-/// issuing service's identity, so submitting it to a *different* service
-/// panics instead of silently simulating that service's same-numbered
-/// cover.
+/// Handle to a simulator registered with a [`SimService`]. Stamped with
+/// the issuing service's identity, so submitting it to a *different*
+/// service panics instead of silently simulating that service's
+/// same-numbered backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CoverId {
+pub struct SimId {
     slot: usize,
     service: u64,
 }
+
+/// Former name of [`SimId`], from when the service could only register
+/// plain covers.
+#[deprecated(since = "0.1.0", note = "renamed to `SimId`")]
+pub type CoverId = SimId;
+
+/// Rejection returned by [`SimService::try_submit`]: the target
+/// simulator already has `queue_depth` requests pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured per-simulator bound that was hit.
+    pub depth: usize,
+}
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulator queue full ({} requests pending)", self.depth)
+    }
+}
+
+impl Error for QueueFull {}
 
 /// One response: the caller's tag plus the simulated output vector.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +107,7 @@ pub struct SimReply {
     /// Echo of the tag passed to [`SimService::submit_tagged`] (0 for
     /// [`SimService::submit`]).
     pub tag: u64,
-    /// One bool per cover output.
+    /// One bool per simulator output.
     pub outputs: Vec<bool>,
 }
 
@@ -127,8 +166,11 @@ enum Msg {
         // message because concurrent register() calls can reach the
         // channel in a different order than their fetch_adds.
         id: usize,
-        cover: Arc<Cover>,
-        hash: u64,
+        sim: SharedSim,
+        key: SimKey,
+        // Shared with the handle (see SimService::pending): the batcher
+        // decrements it as lanes flush.
+        pending: Arc<AtomicUsize>,
     },
     Submit {
         id: usize,
@@ -139,7 +181,7 @@ enum Msg {
     Shutdown,
 }
 
-/// The request-batching PLA simulation service.
+/// The request-batching simulation service.
 ///
 /// See the [module docs](self) for the batching protocol. All methods
 /// take `&self`; the handle is `Sync` and can be shared across client
@@ -149,12 +191,17 @@ pub struct SimService {
     worker: Option<JoinHandle<()>>,
     stats: Arc<ServiceStats>,
     cache: Arc<BlockCache>,
-    registered: AtomicUsize,
-    /// Process-unique identity stamped into every issued [`CoverId`].
+    /// Per-slot pending-request counters, indexed by `SimId::slot`.
+    /// Incremented on every submission (bounded or not), decremented by
+    /// the batcher as lanes flush — the shared state `try_submit`'s
+    /// backpressure check reads.
+    pending: RwLock<Vec<Arc<AtomicUsize>>>,
+    queue_depth: usize,
+    /// Process-unique identity stamped into every issued [`SimId`].
     nonce: u64,
 }
 
-/// Source of per-service nonces (see [`CoverId`]).
+/// Source of per-service nonces (see [`SimId`]).
 static NEXT_SERVICE: AtomicU64 = AtomicU64::new(0);
 
 impl SimService {
@@ -176,7 +223,8 @@ impl SimService {
             worker: Some(worker),
             stats,
             cache,
-            registered: AtomicUsize::new(0),
+            pending: RwLock::new(Vec::new()),
+            queue_depth: config.queue_depth,
             nonce: NEXT_SERVICE.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -186,55 +234,111 @@ impl SimService {
         SimService::start(ServeConfig::default())
     }
 
-    /// Register a cover; requests are queued and lane-packed per cover.
+    /// Register a simulation backend under a caller-supplied [`SimKey`];
+    /// requests are queued and lane-packed per registration.
+    ///
+    /// The key is the backend's identity in the shared result cache — see
+    /// [`SimKey`] for the stability and injectivity obligations. Distinct
+    /// backend *types* coexist freely: a cover, the `GnorPla` mapped from
+    /// it and its `FaultyGnorPla` twin can all be registered on one
+    /// service (under distinct keys) and are batched, cached and
+    /// scattered independently.
     ///
     /// # Panics
     ///
-    /// Panics if the cover has more than 64 inputs (packed-assignment
+    /// Panics if the backend has more than 64 inputs (packed-assignment
     /// requests are `u64`s).
-    pub fn register(&self, cover: Cover) -> CoverId {
-        assert!(cover.n_inputs() <= 64, "at most 64 inputs per cover");
-        let hash = cover_hash(&cover);
-        let id = self.registered.fetch_add(1, Ordering::Relaxed);
+    pub fn register_sim(&self, sim: SharedSim, key: SimKey) -> SimId {
+        assert!(sim.n_inputs() <= 64, "at most 64 inputs per simulator");
+        let pending = Arc::new(AtomicUsize::new(0));
+        let id = {
+            let mut slots = self.pending.write().unwrap();
+            slots.push(Arc::clone(&pending));
+            slots.len() - 1
+        };
         self.tx
             .send(Msg::Register {
                 id,
-                cover: Arc::new(cover),
-                hash,
+                sim,
+                key,
+                pending,
             })
             .expect("batcher thread alive");
-        CoverId {
+        SimId {
             slot: id,
             service: self.nonce,
         }
     }
 
+    /// Register a plain cover backend — the compatibility wrapper around
+    /// [`register_sim`](SimService::register_sim) with the cover's
+    /// canonical key ([`SimKey::of_cover`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover has more than 64 inputs.
+    pub fn register(&self, cover: Cover) -> SimId {
+        let key = SimKey::of_cover(&cover);
+        self.register_sim(Arc::new(cover), key)
+    }
+
     /// Submit one packed input assignment; returns a ticket to wait on.
-    pub fn submit(&self, cover: CoverId, bits: u64) -> SimTicket {
+    /// Unbounded: trusted in-process callers may queue past
+    /// `queue_depth` (use [`try_submit`](SimService::try_submit) for
+    /// backpressure).
+    pub fn submit(&self, sim: SimId, bits: u64) -> SimTicket {
         let (tx, rx) = channel();
-        self.submit_raw(cover, bits, 0, tx);
+        self.counter(sim).fetch_add(1, Ordering::Relaxed);
+        self.submit_raw(sim, bits, 0, tx);
         SimTicket(rx)
+    }
+
+    /// Bounded submission: like [`submit`](SimService::submit), but
+    /// refuses with [`QueueFull`] — and bumps the `queue_full` counter in
+    /// [`stats`](SimService::stats) — once the target simulator already
+    /// has `ServeConfig::queue_depth` requests pending (queued in the
+    /// batcher or in flight on the channel). The caller decides whether
+    /// to retry, shed load or spill to a bulk sweep.
+    pub fn try_submit(&self, sim: SimId, bits: u64) -> Result<SimTicket, QueueFull> {
+        let counter = self.counter(sim);
+        let depth = self.queue_depth;
+        if counter
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| {
+                (p < depth).then_some(p + 1)
+            })
+            .is_err()
+        {
+            self.stats.record_queue_full();
+            return Err(QueueFull { depth });
+        }
+        let (tx, rx) = channel();
+        self.submit_raw(sim, bits, 0, tx);
+        Ok(SimTicket(rx))
     }
 
     /// Submit against a shared reply channel with a caller-chosen tag —
     /// the high-throughput path for clients with many requests in flight.
-    pub fn submit_tagged(&self, cover: CoverId, bits: u64, tag: u64, reply: &ReplySink) {
-        self.submit_raw(cover, bits, tag, reply.0.clone());
+    /// Unbounded, like [`submit`](SimService::submit).
+    pub fn submit_tagged(&self, sim: SimId, bits: u64, tag: u64, reply: &ReplySink) {
+        self.counter(sim).fetch_add(1, Ordering::Relaxed);
+        self.submit_raw(sim, bits, tag, reply.0.clone());
     }
 
-    fn submit_raw(&self, cover: CoverId, bits: u64, tag: u64, reply: Sender<SimReply>) {
+    /// The pending counter of `sim`, validating the id en route.
+    fn counter(&self, sim: SimId) -> Arc<AtomicUsize> {
         assert!(
-            cover.service == self.nonce,
-            "cover id was issued by a different service"
+            sim.service == self.nonce,
+            "sim id was issued by a different service"
         );
-        assert!(
-            cover.slot < self.registered.load(Ordering::Relaxed),
-            "unregistered cover id"
-        );
+        let slots = self.pending.read().unwrap();
+        Arc::clone(slots.get(sim.slot).expect("unregistered sim id"))
+    }
+
+    fn submit_raw(&self, sim: SimId, bits: u64, tag: u64, reply: Sender<SimReply>) {
         self.stats.record_request();
         self.tx
             .send(Msg::Submit {
-                id: cover.slot,
+                id: sim.slot,
                 bits,
                 tag,
                 reply,
@@ -273,10 +377,13 @@ impl Drop for SimService {
     }
 }
 
-/// One registered cover on the batcher side.
+/// One registered backend on the batcher side.
 struct Registered {
-    cover: Arc<Cover>,
-    hash: u64,
+    sim: SharedSim,
+    key: SimKey,
+    /// Cached `sim.n_inputs()` (the packer needs it on every flush).
+    n_inputs: usize,
+    pending: Arc<AtomicUsize>,
     vectors: Vec<u64>,
     replies: Vec<(u64, Sender<SimReply>)>,
     opened: Option<Instant>,
@@ -292,22 +399,29 @@ impl Registered {
             .opened
             .map(|t| t.elapsed().as_nanos() as u64)
             .unwrap_or(0);
-        let packed = pack_vectors(&self.vectors, self.cover.n_inputs());
+        let packed = pack_vectors(&self.vectors, self.n_inputs);
         let words = if cache.is_disabled() {
             // Skip key construction and shard locking entirely on the
             // cache-off configuration (the cold-path bench measures this).
-            self.cover.eval_batch(&packed)
+            self.sim.eval_block(&packed)
         } else {
-            let key = BlockKey::new(self.hash, &packed);
+            let key = BlockKey::new(self.key, &packed);
             match cache.lookup(&key) {
                 Some(words) => words,
                 None => {
-                    let words = self.cover.eval_batch(&packed);
+                    let words = self.sim.eval_block(&packed);
                     cache.insert(key, words.clone());
                     words
                 }
             }
         };
+        // Account before scattering: a reply is the caller's signal that
+        // its request fully left the service, so by the time a ticket
+        // resolves the flush must already be visible in the stats and the
+        // pending count (a drain-then-try_submit or drain-then-stats
+        // sequence must not race these updates).
+        stats.record_flush(cause, lanes, latency_ns);
+        self.pending.fetch_sub(lanes, Ordering::Relaxed);
         // Scatter lane results. Only the `lanes` valid lanes are ever
         // unpacked, which is what makes partial (deadline) blocks safe —
         // see `logic::eval::lane_mask`.
@@ -320,19 +434,18 @@ impl Registered {
         }
         self.vectors.clear();
         self.opened = None;
-        stats.record_flush(cause, lanes, latency_ns);
     }
 }
 
 fn batcher_loop(rx: Receiver<Msg>, max_wait: Duration, stats: &ServiceStats, cache: &BlockCache) {
-    // Slot-addressed by CoverId: concurrent register() calls may deliver
+    // Slot-addressed by SimId: concurrent register() calls may deliver
     // their Register messages out of id order, so slots can fill in any
     // order (None = id allocated but message not yet here).
     let mut registry: Vec<Option<Registered>> = Vec::new();
     // Cached min of all open queues' `opened` times, so the per-message
-    // cost stays O(1) in the number of registered covers. Opening a queue
-    // can only lower the min (updated inline); flushing can only remove
-    // it, which marks the cache stale and triggers one lazy rescan.
+    // cost stays O(1) in the number of registered backends. Opening a
+    // queue can only lower the min (updated inline); flushing can only
+    // remove it, which marks the cache stale and triggers one lazy rescan.
     let mut oldest_open: Option<Instant> = None;
     let mut oldest_stale = false;
     loop {
@@ -367,13 +480,21 @@ fn batcher_loop(rx: Receiver<Msg>, max_wait: Duration, stats: &ServiceStats, cac
             }
         };
         match msg {
-            Msg::Register { id, cover, hash } => {
+            Msg::Register {
+                id,
+                sim,
+                key,
+                pending,
+            } => {
                 if id >= registry.len() {
                     registry.resize_with(id + 1, || None);
                 }
+                let n_inputs = sim.n_inputs();
                 registry[id] = Some(Registered {
-                    cover,
-                    hash,
+                    sim,
+                    key,
+                    n_inputs,
+                    pending,
                     vectors: Vec::with_capacity(LANES),
                     replies: Vec::with_capacity(LANES),
                     opened: None,
@@ -385,14 +506,14 @@ fn batcher_loop(rx: Receiver<Msg>, max_wait: Duration, stats: &ServiceStats, cac
                 tag,
                 reply,
             } => {
-                // A submit can only be sent with a CoverId returned by
-                // register(), whose Register message precedes it on this
-                // channel (same thread: FIFO; cross-thread: the id handoff
-                // orders the sends).
+                // A submit can only be sent with a SimId returned by a
+                // register call, whose Register message precedes it on
+                // this channel (same thread: FIFO; cross-thread: the id
+                // handoff orders the sends).
                 let r = registry
                     .get_mut(id)
                     .and_then(Option::as_mut)
-                    .expect("submit for a cover whose registration never arrived");
+                    .expect("submit for a backend whose registration never arrived");
                 if r.vectors.is_empty() {
                     let now = Instant::now();
                     r.opened = Some(now);
@@ -421,6 +542,8 @@ fn batcher_loop(rx: Receiver<Msg>, max_wait: Duration, stats: &ServiceStats, cac
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ambipla_core::GnorPla;
+    use fault::{DefectKind, DefectMap, FaultyGnorPla};
 
     fn adder() -> Cover {
         Cover::parse(
@@ -429,6 +552,16 @@ mod tests {
             2,
         )
         .expect("valid cover")
+    }
+
+    /// The adder's faulty twin: one stuck-on crosspoint in the input
+    /// plane, which visibly corrupts the function.
+    fn faulty_adder() -> FaultyGnorPla {
+        let pla = GnorPla::from_cover(&adder());
+        let d = pla.dimensions();
+        let mut defects = DefectMap::clean(d.products, d.inputs, d.outputs);
+        defects.set_input_defect(0, 0, DefectKind::StuckOn);
+        FaultyGnorPla::new(pla, defects)
     }
 
     fn quick() -> ServeConfig {
@@ -446,6 +579,157 @@ mod tests {
         for bits in 0..8u64 {
             assert_eq!(service.submit(id, bits).wait(), cover.eval_bits(bits));
         }
+    }
+
+    #[test]
+    fn heterogeneous_backends_share_one_service() {
+        // The tentpole scenario: a nominal PLA and its faulty twin served
+        // side by side, plus the raw specification cover — three backend
+        // types, one batcher, one cache.
+        let service = SimService::start(quick());
+        let cover = adder();
+        let nominal = GnorPla::from_cover(&cover);
+        let faulty = faulty_adder();
+
+        let cid = service.register(cover.clone());
+        let nid = service.register_sim(
+            Arc::new(nominal.clone()),
+            SimKey::new(SimKey::of_cover(&cover).raw() ^ 0x1),
+        );
+        let fid = service.register_sim(
+            Arc::new(faulty.clone()),
+            SimKey::new(SimKey::of_cover(&cover).raw() ^ 0x2),
+        );
+
+        // The fault must actually distinguish the twins somewhere.
+        assert!((0..8u64).any(|b| faulty.simulate_bits(b) != nominal.simulate_bits(b)));
+
+        let tickets: Vec<_> = (0..24u64)
+            .map(|i| {
+                let bits = i % 8;
+                (
+                    bits,
+                    service.submit(cid, bits),
+                    service.submit(nid, bits),
+                    service.submit(fid, bits),
+                )
+            })
+            .collect();
+        for (bits, ct, nt, ft) in tickets {
+            assert_eq!(ct.wait(), cover.eval_bits(bits), "cover bits {bits:03b}");
+            assert_eq!(
+                nt.wait(),
+                nominal.simulate_bits(bits),
+                "nominal bits {bits:03b}"
+            );
+            assert_eq!(
+                ft.wait(),
+                faulty.simulate_bits(bits),
+                "faulty bits {bits:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_key_same_blocks_share_cached_results() {
+        // A cover and the (functionally identical) PLA mapped from it may
+        // legitimately share a SimKey: the second registration's blocks
+        // then hit the first one's cache entries.
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let cover = adder();
+        let key = SimKey::of_cover(&cover);
+        let cid = service.register(cover.clone());
+        let pid = service.register_sim(Arc::new(GnorPla::from_cover(&cover)), key);
+        let (sink, stream) = reply_channel();
+        for id in [cid, pid] {
+            for tag in 0..64u64 {
+                service.submit_tagged(id, tag % 8, tag, &sink);
+            }
+            for _ in 0..64 {
+                let reply = stream.recv();
+                assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
+            }
+        }
+        let snap = service.stats();
+        assert_eq!(snap.blocks, 2);
+        assert_eq!(snap.cache_misses, 1, "the cover's block populates");
+        assert_eq!(snap.cache_hits, 1, "the PLA's identical block reuses it");
+    }
+
+    #[test]
+    fn try_submit_rejects_once_the_queue_is_full() {
+        let service = SimService::start(ServeConfig {
+            // Nothing flushes until shutdown: the queue can only grow.
+            max_wait: Duration::from_secs(10),
+            queue_depth: 4,
+            ..ServeConfig::default()
+        });
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let tickets: Vec<_> = (0..4u64)
+            .map(|bits| (bits, service.try_submit(id, bits).expect("below depth")))
+            .collect();
+        assert_eq!(
+            service.try_submit(id, 0).unwrap_err(),
+            QueueFull { depth: 4 }
+        );
+        assert_eq!(
+            service.try_submit(id, 1).unwrap_err(),
+            QueueFull { depth: 4 }
+        );
+        // The unbounded path is not subject to the bound.
+        let overflow = service.submit(id, 5);
+        let snap = service.stats();
+        assert_eq!(snap.queue_full, 2);
+        assert_eq!(snap.requests, 5, "rejected submissions are not requests");
+        // Draining still answers everything that was accepted.
+        let snap = service.shutdown();
+        assert_eq!(snap.queue_full, 2);
+        for (bits, ticket) in tickets {
+            assert_eq!(ticket.wait(), cover.eval_bits(bits));
+        }
+        assert_eq!(overflow.wait(), cover.eval_bits(5));
+    }
+
+    #[test]
+    fn flushes_free_queue_capacity() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_millis(1),
+            queue_depth: 2,
+            ..ServeConfig::default()
+        });
+        let cover = adder();
+        let id = service.register(cover.clone());
+        for round in 0..5u64 {
+            let a = service.try_submit(id, round % 8).expect("capacity freed");
+            let b = service
+                .try_submit(id, (round + 1) % 8)
+                .expect("second slot free");
+            // Once a ticket resolves, its lane has left the pending count
+            // (the flush decrements before scattering).
+            assert_eq!(a.wait(), cover.eval_bits(round % 8), "round {round}");
+            assert_eq!(b.wait(), cover.eval_bits((round + 1) % 8));
+        }
+        assert_eq!(service.shutdown().queue_full, 0);
+    }
+
+    #[test]
+    fn queues_are_bounded_per_simulator() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            queue_depth: 2,
+            ..ServeConfig::default()
+        });
+        let a = service.register(adder());
+        let b = service.register_sim(Arc::new(faulty_adder()), SimKey::new(7));
+        let _a1 = service.try_submit(a, 0).expect("a has capacity");
+        let _a2 = service.try_submit(a, 1).expect("a has capacity");
+        assert!(service.try_submit(a, 2).is_err(), "a is full");
+        // b's queue is independent.
+        let _b1 = service.try_submit(b, 0).expect("b has its own bound");
     }
 
     #[test]
@@ -563,10 +847,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unregistered cover id")]
-    fn submitting_against_an_unknown_cover_panics() {
+    #[should_panic(expected = "unregistered sim id")]
+    fn submitting_against_an_unknown_backend_panics() {
         let service = SimService::with_defaults();
-        let forged = CoverId {
+        let forged = SimId {
             slot: 3,
             service: service.nonce,
         };
@@ -575,7 +859,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "issued by a different service")]
-    fn cover_ids_do_not_transfer_between_services() {
+    fn sim_ids_do_not_transfer_between_services() {
         let a = SimService::with_defaults();
         let b = SimService::with_defaults();
         let id = a.register(adder());
@@ -583,11 +867,11 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_registration_binds_ids_to_the_right_covers() {
-        // Regression: ids are allocated by an atomic counter on the handle
-        // but Register messages from different threads can reach the
-        // batcher out of id order — each thread must still get answers
-        // from *its* cover.
+    fn concurrent_registration_binds_ids_to_the_right_backends() {
+        // Regression: ids are allocated under the handle's slot lock but
+        // Register messages from different threads can reach the batcher
+        // out of id order — each thread must still get answers from *its*
+        // backend.
         let service = SimService::start(quick());
         std::thread::scope(|s| {
             for t in 0..8u64 {

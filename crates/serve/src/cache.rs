@@ -5,13 +5,13 @@
 //! traffic) re-produce byte-identical blocks, so caching at block
 //! granularity amortizes whole `eval_batch` calls, not single lookups.
 //!
-//! Keys are [`BlockKey`] — *(stable cover hash, packed input block)*. The
-//! cover hash ([`ambipla_core::cover_hash`]) identifies the registered
-//! cover structurally; the block is the column-major lane words exactly as
-//! handed to `eval_batch` (unused lanes zero-filled by `pack_vectors`, so
-//! a partial block and a full block that happen to pack to the same words
-//! are interchangeable — every lane's output is correct for that lane's
-//! input). The value is the output lane words.
+//! Keys are [`BlockKey`] — *(caller-supplied [`SimKey`], packed input
+//! block)*. The `SimKey` identifies the registered simulator; the block is
+//! the column-major lane words exactly as handed to `eval_block` (unused
+//! lanes zero-filled by `pack_vectors`, so a partial block and a full
+//! block that happen to pack to the same words are interchangeable —
+//! every lane's output is correct for that lane's input). The value is
+//! the output lane words.
 //!
 //! The map is split into shards, each behind its own mutex, so the online
 //! batcher and any number of offline sweep threads can hit the cache
@@ -19,25 +19,73 @@
 //! over a slab-allocated intrusive list: O(1) lookup, promote, insert and
 //! eviction. Hit / miss / eviction counters are global atomics.
 
+use ambipla_core::cover_hash;
 use ambipla_core::hash::{fnv1a, FNV_OFFSET};
+use logic::Cover;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Cache key: stable cover hash plus the packed 64-lane input block.
+/// Caller-supplied stable identity of a registered simulator — the cache
+/// half of every [`BlockKey`].
+///
+/// # Stability requirement (cache correctness)
+///
+/// The result cache assumes **one key ⇔ one Boolean function**: two
+/// registrations sharing a `SimKey` are served each other's cached output
+/// blocks. A caller therefore must guarantee
+///
+/// * **injectivity** — functionally different backends (a cover and its
+///   faulty twin, two different defect maps, remapped networks) get
+///   *different* keys, and
+/// * **stability** — the same backend gets the *same* key across
+///   registrations, processes and runs, or recurring traffic silently
+///   stops hitting (a correctness-safe but throughput-killing mistake;
+///   it also underpins the planned cache warm-start, where keys persist
+///   to disk).
+///
+/// [`SimKey::of_cover`] derives a conforming key from a cover's stable
+/// structural hash ([`ambipla_core::cover_hash`]); for derived backends,
+/// mix the underlying cover's key with a stable encoding of whatever was
+/// changed (defect coordinates, mapping parameters, …) via
+/// [`ambipla_core::hash::fnv1a`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimKey(u64);
+
+impl SimKey {
+    /// Wrap a caller-chosen 64-bit key. The stability and injectivity
+    /// obligations above are the caller's.
+    pub const fn new(raw: u64) -> SimKey {
+        SimKey(raw)
+    }
+
+    /// The canonical key of a plain cover backend: its stable structural
+    /// hash ([`ambipla_core::cover_hash`]).
+    pub fn of_cover(cover: &Cover) -> SimKey {
+        SimKey(cover_hash(cover))
+    }
+
+    /// The raw 64-bit key.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Cache key: the registered simulator's [`SimKey`] plus the packed
+/// 64-lane input block.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BlockKey {
-    /// [`ambipla_core::cover_hash`] of the registered cover.
-    pub cover: u64,
+    /// Identity of the registered simulator.
+    pub sim: SimKey,
     /// Column-major input lane words (one `u64` per input column).
     pub block: Box<[u64]>,
 }
 
 impl BlockKey {
-    /// Build a key from a cover hash and packed input words.
-    pub fn new(cover: u64, block: &[u64]) -> BlockKey {
+    /// Build a key from a simulator key and packed input words.
+    pub fn new(sim: SimKey, block: &[u64]) -> BlockKey {
         BlockKey {
-            cover,
+            sim,
             block: block.into(),
         }
     }
@@ -45,7 +93,7 @@ impl BlockKey {
     /// Stable shard-selection hash (FNV-1a over the key; independent of
     /// the `std` `Hash` impl used inside shard maps).
     fn shard_hash(&self) -> u64 {
-        let mut h = FNV_OFFSET ^ self.cover;
+        let mut h = FNV_OFFSET ^ self.sim.raw();
         for &w in self.block.iter() {
             h = fnv1a(h, &w.to_le_bytes());
         }
@@ -128,7 +176,7 @@ impl Shard {
             let old = std::mem::replace(
                 &mut self.slab[victim].key,
                 BlockKey {
-                    cover: 0,
+                    sim: SimKey::new(0),
                     block: Box::new([]),
                 },
             );
@@ -274,8 +322,15 @@ impl BlockCache {
 mod tests {
     use super::*;
 
-    fn key(cover: u64, a: u64, b: u64) -> BlockKey {
-        BlockKey::new(cover, &[a, b])
+    fn key(sim: u64, a: u64, b: u64) -> BlockKey {
+        BlockKey::new(SimKey::new(sim), &[a, b])
+    }
+
+    #[test]
+    fn sim_key_of_cover_is_the_stable_cover_hash() {
+        let f = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+        assert_eq!(SimKey::of_cover(&f).raw(), cover_hash(&f));
+        assert_eq!(SimKey::of_cover(&f), SimKey::of_cover(&f.clone()));
     }
 
     #[test]

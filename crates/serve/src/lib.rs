@@ -1,30 +1,35 @@
-//! # ambipla_serve — the request-batching PLA simulation service
+//! # ambipla_serve — the request-batching simulation service
 //!
-//! PR 1's `BatchSim` engine made one *call* evaluate 64 input vectors;
-//! this crate makes one *service* do it for many independent callers. It
-//! is the serve-at-scale front end of the workspace: requests arrive one
-//! vector at a time, and leave in 64-lane blocks.
+//! The core's [`Simulator`] trait made one *call* evaluate 64 input
+//! vectors on any backend; this crate makes one *service* do it for many
+//! independent callers. It is the serve-at-scale front end of the
+//! workspace: requests arrive one vector at a time, and leave in 64-lane
+//! blocks — whatever the backend behind each queue is.
 //!
 //! ```text
-//!  clients        ┌───────────────────────── SimService ─────────────────────────┐
-//!  submit(bits) ──┤  per-cover queues        result cache          evaluation    │
-//!  submit(bits) ──┼─▶ [cover A: ██████░░]   (cover_hash, block)   eval_batch on  │
-//!  submit(bits) ──┤   [cover B: ██░░░░░░] ─▶  sharded LRU      ─▶ 64-lane words  │
-//!       ...       │    flush on 64 lanes       hit? skip eval        │           │
-//!                 │    or max_wait deadline                          ▼           │
+//!  clients        ┌────────────────────────── SimService ────────────────────────┐
+//!  submit(bits) ──┤  per-sim queues          result cache          evaluation    │
+//!  submit(bits) ──┼─▶ [Cover      ██████░░]    (SimKey, block)    eval_block on  │
+//!  submit(bits) ──┤   [GnorPla    ██░░░░░░] ─▶  sharded LRU    ─▶ &dyn Simulator │
+//!  try_submit ────┼─▶ [FaultyPla  ████████]     hit? skip eval        │          │
+//!   └─ QueueFull ◀┤    flush on 64 lanes                              ▼          │
 //!  replies  ◀─────┴────────────────── scatter lanes back over channels ──────────┘
 //! ```
 //!
-//! * [`batcher`] — the [`SimService`]: per-cover lane-packing queues,
-//!   full-block / deadline flushes, channel-based scatter,
+//! * [`batcher`] — the [`SimService`]: per-simulator lane-packing queues
+//!   over `Arc<dyn Simulator>` backends ([`SimService::register_sim`],
+//!   with [`SimService::register`] as the `Cover` convenience), full-block
+//!   / deadline flushes, channel-based scatter, and bounded-queue
+//!   backpressure ([`SimService::try_submit`] / [`QueueFull`]),
 //! * [`cache`] — the sharded LRU [`BlockCache`] keyed on
-//!   *(stable cover hash, packed input block)* with hit/miss/eviction
-//!   counters,
-//! * [`stats`] — request/flush/occupancy counters and p50/p99 flush
-//!   latency ([`StatsSnapshot`]),
-//! * [`sweep`] — offline bulk evaluation sharded across the deterministic
-//!   [`WorkerPool`] (re-exported from `ambipla_core::pool`; the same pool
-//!   shards `fault::yield_analysis` Monte-Carlo trials).
+//!   *(caller-supplied stable [`SimKey`], packed input block)* with
+//!   hit/miss/eviction counters,
+//! * [`stats`] — request/flush/occupancy/backpressure counters and
+//!   p50/p99 flush latency ([`StatsSnapshot`]),
+//! * [`sweep`] — offline bulk evaluation of `&dyn Simulator` jobs sharded
+//!   across the deterministic [`WorkerPool`] (re-exported from
+//!   `ambipla_core::pool`; the same pool shards `fault::yield_analysis`
+//!   Monte-Carlo trials).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +45,22 @@
 //! let stats = service.shutdown();
 //! assert_eq!(stats.requests, 2);
 //! ```
+//!
+//! Heterogeneous backends ride the same batcher — register a synthesized
+//! PLA (or its faulty twin) under its own [`SimKey`]:
+//!
+//! ```
+//! use ambipla_core::{GnorPla, Simulator};
+//! use ambipla_serve::{SimKey, SimService};
+//! use logic::Cover;
+//! use std::sync::Arc;
+//!
+//! let service = SimService::with_defaults();
+//! let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+//! let pla = GnorPla::from_cover(&xor);
+//! let id = service.register_sim(Arc::new(pla), SimKey::of_cover(&xor));
+//! assert_eq!(service.submit(id, 0b10).wait(), vec![true]);
+//! ```
 
 pub mod batcher;
 pub mod cache;
@@ -49,10 +70,13 @@ pub mod sweep;
 /// Lanes per block (re-exported from `logic::eval`).
 pub use logic::eval::LANES;
 
-pub use ambipla_core::{cover_hash, WorkerPool};
+pub use ambipla_core::{cover_hash, Simulator, WorkerPool};
+#[allow(deprecated)]
+pub use batcher::CoverId;
 pub use batcher::{
-    reply_channel, CoverId, ReplySink, ReplyStream, ServeConfig, SimReply, SimService, SimTicket,
+    reply_channel, QueueFull, ReplySink, ReplyStream, ServeConfig, SharedSim, SimId, SimReply,
+    SimService, SimTicket,
 };
-pub use cache::{BlockCache, BlockKey};
+pub use cache::{BlockCache, BlockKey, SimKey};
 pub use stats::{FlushCause, ServiceStats, StatsSnapshot};
-pub use sweep::eval_covers_blocked;
+pub use sweep::{eval_covers_blocked, eval_sims_blocked};

@@ -75,6 +75,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct ServiceStats {
     requests: AtomicU64,
+    queue_full: AtomicU64,
     blocks: AtomicU64,
     full_flushes: AtomicU64,
     deadline_flushes: AtomicU64,
@@ -87,6 +88,13 @@ impl ServiceStats {
     /// Count one accepted request.
     pub fn record_request(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one submission rejected by backpressure
+    /// ([`SimService::try_submit`](crate::SimService::try_submit) against
+    /// a full per-simulator queue).
+    pub fn record_queue_full(&self) {
+        self.queue_full.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one flushed block: its cause, how many of the 64 lanes were
@@ -110,6 +118,7 @@ impl ServiceStats {
         let latency = self.flush_latency.lock().unwrap();
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
+            queue_full: self.queue_full.load(Ordering::Relaxed),
             blocks,
             full_flushes: self.full_flushes.load(Ordering::Relaxed),
             deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
@@ -136,6 +145,10 @@ impl ServiceStats {
 pub struct StatsSnapshot {
     /// Requests accepted.
     pub requests: u64,
+    /// Submissions rejected by backpressure (`try_submit` against a full
+    /// per-simulator queue). Rejected submissions are *not* counted in
+    /// `requests`.
+    pub queue_full: u64,
     /// Blocks flushed.
     pub blocks: u64,
     /// Blocks flushed because all 64 lanes filled.
@@ -166,8 +179,9 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests: {}  blocks: {} (full {} / deadline {} / shutdown {})",
+            "requests: {} (+{} rejected: queue full)  blocks: {} (full {} / deadline {} / shutdown {})",
             self.requests,
+            self.queue_full,
             self.blocks,
             self.full_flushes,
             self.deadline_flushes,
@@ -235,10 +249,13 @@ mod tests {
         for _ in 0..70 {
             stats.record_request();
         }
+        stats.record_queue_full();
+        stats.record_queue_full();
         stats.record_flush(FlushCause::Full, 64, 2_000);
         stats.record_flush(FlushCause::Deadline, 6, 150_000);
         let snap = stats.snapshot();
         assert_eq!(snap.requests, 70);
+        assert_eq!(snap.queue_full, 2);
         assert_eq!(snap.blocks, 2);
         assert_eq!(snap.full_flushes, 1);
         assert_eq!(snap.deadline_flushes, 1);

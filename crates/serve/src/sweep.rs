@@ -1,51 +1,71 @@
-//! Offline bulk evaluation: many covers, many vectors, sharded across the
-//! deterministic worker pool.
+//! Offline bulk evaluation: many simulators, many vectors, sharded across
+//! the deterministic worker pool.
 //!
 //! The online batcher ([`crate::SimService`]) optimizes *latency-bounded*
 //! traffic; this module is its bulk counterpart for *throughput-bound*
 //! jobs that already know their whole workload (verification sweeps,
-//! test-set replay, dataset scoring). Covers are sharded across a
-//! [`WorkerPool`] — each worker chunks its cover's vectors into 64-lane
-//! blocks and evaluates with `eval_batch` — and results come back in job
-//! order, bit-identical to the sequential loop for any thread count.
+//! test-set replay, dataset scoring). Jobs are sharded across a
+//! [`WorkerPool`] — each worker chunks its simulator's vectors into
+//! 64-lane blocks and evaluates with [`Simulator::eval_block`] — and
+//! results come back in job order, bit-identical to the sequential loop
+//! for any thread count.
+//!
+//! Like the online service, the sweep is backend-agnostic:
+//! [`eval_sims_blocked`] takes `&dyn Simulator` jobs (mix covers, PLAs,
+//! faulty arrays and FPGA mappings in one call), and
+//! [`eval_covers_blocked`] is the cover-owning convenience wrapper the
+//! original API shipped.
 
-use ambipla_core::WorkerPool;
+use ambipla_core::{Simulator, WorkerPool};
 use logic::eval::{pack_vectors, unpack_lane, LANES};
 use logic::Cover;
 
-/// Evaluate each job's vectors on its cover, 64 lanes at a time, with the
-/// jobs (covers) sharded across `pool`.
+/// Evaluate one simulator's vectors, 64 lanes at a time — the shared body
+/// of both sweep entry points. Only the valid lanes of the (possibly
+/// partial) tail block are unpacked — the `logic::eval::lane_mask`
+/// contract.
+fn eval_blocked_one(sim: &dyn Simulator, vectors: &[u64]) -> Vec<Vec<bool>> {
+    let mut results = Vec::with_capacity(vectors.len());
+    for chunk in vectors.chunks(LANES) {
+        let words = sim.eval_block(&pack_vectors(chunk, sim.n_inputs()));
+        results.extend((0..chunk.len()).map(|lane| unpack_lane(&words, lane)));
+    }
+    results
+}
+
+/// Evaluate each job's vectors on its simulator, 64 lanes at a time, with
+/// the jobs sharded across `pool`.
 ///
 /// Returns, per job and in job order, one output `Vec<bool>` per input
-/// vector — exactly what `cover.eval_bits(vector)` returns, for any
-/// thread count (determinism inherited from
-/// [`WorkerPool::map`]).
+/// vector — exactly what `sim.simulate_bits(vector)` returns, for any
+/// thread count (determinism inherited from [`WorkerPool::map`]). The
+/// jobs may mix backend types freely.
+pub fn eval_sims_blocked(
+    jobs: &[(&(dyn Simulator + Sync), Vec<u64>)],
+    pool: &WorkerPool,
+) -> Vec<Vec<Vec<bool>>> {
+    pool.map(jobs, |_, (sim, vectors)| eval_blocked_one(*sim, vectors))
+}
+
+/// [`eval_sims_blocked`] for jobs that own plain covers — the original
+/// cover-only API, kept as a convenience wrapper.
 pub fn eval_covers_blocked(jobs: &[(Cover, Vec<u64>)], pool: &WorkerPool) -> Vec<Vec<Vec<bool>>> {
-    pool.map(jobs, |_, (cover, vectors)| {
-        let mut results = Vec::with_capacity(vectors.len());
-        for chunk in vectors.chunks(LANES) {
-            let words = cover.eval_batch(&pack_vectors(chunk, cover.n_inputs()));
-            // Unpack only the valid lanes of the (possibly partial) tail
-            // block — the `logic::eval::lane_mask` contract.
-            results.extend((0..chunk.len()).map(|lane| unpack_lane(&words, lane)));
-        }
-        results
-    })
+    pool.map(jobs, |_, (cover, vectors)| eval_blocked_one(cover, vectors))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ambipla_core::GnorPla;
 
-    #[test]
-    fn sharded_bulk_eval_matches_scalar_loop() {
+    fn test_jobs() -> Vec<(Cover, Vec<u64>)> {
         let covers = [
             Cover::parse("10 1\n01 1", 2, 1).expect("valid cover"),
             Cover::parse("110 01\n101 01\n011 01\n111 01", 3, 2).expect("valid cover"),
             Cover::parse("1--- 10\n--11 01", 4, 2).expect("valid cover"),
         ];
         // 150 vectors per cover: two full blocks plus a partial tail.
-        let jobs: Vec<(Cover, Vec<u64>)> = covers
+        covers
             .iter()
             .enumerate()
             .map(|(j, c)| {
@@ -55,7 +75,12 @@ mod tests {
                     .collect();
                 (c.clone(), vectors)
             })
-            .collect();
+            .collect()
+    }
+
+    #[test]
+    fn sharded_bulk_eval_matches_scalar_loop() {
+        let jobs = test_jobs();
         let sequential = eval_covers_blocked(&jobs, &WorkerPool::new(1));
         for threads in [2, 3, 8] {
             assert_eq!(
@@ -67,6 +92,28 @@ mod tests {
         for (job, results) in jobs.iter().zip(&sequential) {
             for (&bits, outputs) in job.1.iter().zip(results) {
                 assert_eq!(outputs, &job.0.eval_bits(bits));
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_jobs_sweep_together() {
+        // One call, three backend types: the cover, the PLA mapped from
+        // it, and the cover again under a different vector set.
+        let cover = Cover::parse("110 01\n101 01\n011 01\n111 01", 3, 2).expect("valid cover");
+        let pla = GnorPla::from_cover(&cover);
+        let vectors: Vec<u64> = (0..100u64).map(|i| i % 8).collect();
+        let jobs: Vec<(&(dyn Simulator + Sync), Vec<u64>)> = vec![
+            (&cover, vectors.clone()),
+            (&pla, vectors.clone()),
+            (&cover, vectors.iter().rev().copied().collect()),
+        ];
+        for threads in [1, 4] {
+            let out = eval_sims_blocked(&jobs, &WorkerPool::new(threads));
+            for ((sim, vectors), results) in jobs.iter().zip(&out) {
+                for (&bits, outputs) in vectors.iter().zip(results) {
+                    assert_eq!(outputs, &sim.simulate_bits(bits), "{threads} threads");
+                }
             }
         }
     }

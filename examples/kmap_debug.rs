@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run -p ambipla --example kmap_debug`
 
-use ambipla::core::GnorPla;
+use ambipla::core::{GnorPla, Simulator};
 use ambipla::logic::kmap::render_kmap;
 use ambipla::logic::{espresso_with_dc, Cover};
 

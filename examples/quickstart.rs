@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use ambipla::core::{GnorPla, Technology};
+use ambipla::core::{GnorPla, Simulator, Technology};
 use ambipla::logic::{espresso, Cover};
 
 fn main() {

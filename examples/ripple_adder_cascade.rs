@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run -p ambipla --example ripple_adder_cascade`
 
-use ambipla::core::PlaNetwork;
+use ambipla::core::{PlaNetwork, Simulator};
 use ambipla::logic::Cover;
 
 fn main() {
@@ -50,7 +50,7 @@ fn main() {
         for b in 0..4u64 {
             // Pack as (a0, b0, a1, b1).
             let bits = (a & 1) | (b & 1) << 1 | (a >> 1 & 1) << 2 | (b >> 1 & 1) << 3;
-            let out = net.simulate_bits(bits); // [s0, s1, c2]
+            let out = Simulator::simulate_bits(&net, bits); // [s0, s1, c2]
             let sum = u64::from(out[0]) | u64::from(out[1]) << 1 | u64::from(out[2]) << 2;
             if sum != a + b {
                 errors += 1;

@@ -20,7 +20,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use ambipla::core::{GnorPla, Technology};
+//! use ambipla::core::{GnorPla, Simulator, Technology};
 //! use ambipla::logic::Cover;
 //!
 //! // A full adder: sum and carry from a, b, cin.

@@ -1,13 +1,23 @@
-//! Property-based contracts of the 64-lane [`BatchSim`] engine.
+//! Property-based contracts of the [`Simulator`] trait.
 //!
-//! For random covers, one `simulate_batch` call must agree lane-for-lane
-//! with 64 independent `simulate_bits` calls on every architecture that
-//! implements the trait — and the GNOR PLA must agree with the classical
-//! PLA on every cover (the paper's functional-equivalence claim behind the
-//! Table 1 area comparison).
+//! Every implementor in the workspace — the specification [`Cover`]
+//! itself, all four PLA architectures, the interconnect cascade, the
+//! fault model and the FPGA mapping — must satisfy the same law: the
+//! scalar `simulate_bits` adapter agrees lane-for-lane with the
+//! word-level `eval_block` path on arbitrary vector streams, **including
+//! partial (non-multiple-of-64) blocks**, whose unused lanes are garbage
+//! by contract (`logic::eval::lane_mask`) and must never leak into valid
+//! lanes. The macro below stamps out one proptest per implementor.
+//!
+//! On top of the per-type contract, the GNOR PLA must agree with the
+//! classical PLA on every cover (the paper's functional-equivalence claim
+//! behind the Table 1 area comparison), and with `Cover::eval_batch`
+//! itself.
 
-use ambipla::core::batch::{pack_vectors, unpack_lane};
-use ambipla::core::{BatchSim, ClassicalPla, DynamicPla, GnorPla, Wpla};
+use ambipla::core::sim::{pack_vectors, unpack_lane, LANES};
+use ambipla::core::{ClassicalPla, DynamicPla, GnorPla, PlaNetwork, Simulator, Wpla};
+use ambipla::fault::{DefectKind, DefectMap, FaultyGnorPla};
+use ambipla::fpga::MappedNetwork;
 use ambipla::logic::{Cover, Cube, Tri};
 use proptest::prelude::*;
 
@@ -38,87 +48,136 @@ fn arb_cover(n: usize, o: usize, max_cubes: usize) -> impl Strategy<Value = Cove
         .prop_map(move |cubes| Cover::from_cubes(n, o, cubes))
 }
 
-/// 64 packed input vectors over `n` inputs.
-fn arb_vectors(n: usize) -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(any::<u64>(), 64usize).prop_map(move |vs| {
+/// A stream of 1..=150 packed input vectors over `n` inputs: lengths are
+/// drawn so most streams end in a partial block (150 = 2×64 + 22), and
+/// many are shorter than one block outright.
+fn arb_vector_stream(n: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 1..=150usize).prop_map(move |vs| {
         let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         vs.into_iter().map(|v| v & mask).collect()
     })
 }
 
-/// One batch call must equal 64 scalar `simulate_bits` calls, lane for
-/// lane.
-fn batch_equals_scalar<S, F>(sim: &S, vectors: &[u64], mut scalar: F)
-where
-    S: BatchSim,
-    F: FnMut(u64) -> Vec<bool>,
-{
-    let words = sim.simulate_batch(&pack_vectors(vectors, sim.batch_inputs()));
-    for (lane, &bits) in vectors.iter().enumerate() {
-        assert_eq!(
-            unpack_lane(&words, lane),
-            scalar(bits),
-            "lane {lane}, bits {bits:#b}"
-        );
+/// The trait law: chunk the stream into (partial) blocks, evaluate each
+/// through `eval_block`, and require every valid lane to equal the scalar
+/// `simulate_bits` answer — plus the `eval_vectors` adapter on the tail.
+fn assert_scalar_matches_block(sim: &dyn Simulator, vectors: &[u64]) {
+    for chunk in vectors.chunks(LANES) {
+        let words = sim.eval_block(&pack_vectors(chunk, sim.n_inputs()));
+        assert_eq!(words.len(), sim.n_outputs(), "one word per output");
+        for (lane, &bits) in chunk.iter().enumerate() {
+            assert_eq!(
+                unpack_lane(&words, lane),
+                sim.simulate_bits(bits),
+                "lane {lane} of a {}-lane block, bits {bits:#b}",
+                chunk.len()
+            );
+        }
+        // The provided adapter must implement exactly the same contract.
+        let unpacked = sim.eval_vectors(chunk);
+        for (lane, &bits) in chunk.iter().enumerate() {
+            assert_eq!(
+                unpacked[lane],
+                sim.simulate_bits(bits),
+                "eval_vectors lane {lane}"
+            );
+        }
     }
+}
+
+/// One proptest per `Simulator` implementor: build the backend from a
+/// random cover and check the scalar/block contract on a random stream.
+macro_rules! simulator_contract {
+    ($($name:ident: ($n:expr, $o:expr, $cubes:expr) => $build:expr;)+) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            $(
+                #[test]
+                fn $name(f in arb_cover($n, $o, $cubes), vectors in arb_vector_stream($n)) {
+                    #[allow(clippy::redundant_closure_call)]
+                    let sim = ($build)(&f);
+                    assert_scalar_matches_block(&sim, &vectors);
+                }
+            )+
+        }
+    };
+}
+
+/// A faulty twin with deterministic defects: one stuck-on and one
+/// stuck-off crosspoint, placed from the PLA's dimensions so every cover
+/// gets a structurally valid (and usually function-changing) defect map.
+fn faulty_from_cover(f: &Cover) -> FaultyGnorPla {
+    let pla = GnorPla::from_cover(f);
+    let d = pla.dimensions();
+    let mut defects = DefectMap::clean(d.products, d.inputs, d.outputs);
+    defects.set_input_defect(0, 0, DefectKind::StuckOn);
+    defects.set_output_defect(d.outputs - 1, d.products - 1, DefectKind::StuckOff);
+    FaultyGnorPla::new(pla, defects)
+}
+
+simulator_contract! {
+    cover_scalar_matches_block: (7, 3, 10) => |f: &Cover| f.clone();
+    gnor_scalar_matches_block: (7, 3, 10) => GnorPla::from_cover;
+    classical_scalar_matches_block: (7, 3, 10) => ClassicalPla::from_cover;
+    dynamic_scalar_matches_block: (6, 2, 8) => |f: &Cover| DynamicPla::new(&GnorPla::from_cover(f));
+    wpla_scalar_matches_block: (6, 2, 8) => Wpla::buffered_from_cover;
+    cascade_scalar_matches_block: (5, 2, 6) => |f: &Cover| PlaNetwork::chain_of_covers(std::slice::from_ref(f));
+    faulty_scalar_matches_block: (6, 2, 8) => faulty_from_cover;
+    mapped_scalar_matches_block: (7, 2, 8) => |f: &Cover| MappedNetwork::decompose(f, 4);
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// GnorPla: batch output equals 64 independent simulate_bits calls.
+    /// DynamicPla's stateful cycle simulation agrees with the stateless
+    /// trait path — an independent scalar engine, so this is not a
+    /// tautology of the contract above.
     #[test]
-    fn gnor_batch_equals_scalar(f in arb_cover(7, 3, 10), vectors in arb_vectors(7)) {
-        let pla = GnorPla::from_cover(&f);
-        batch_equals_scalar(&pla, &vectors, |bits| pla.simulate_bits(bits));
-    }
-
-    /// ClassicalPla: batch output equals 64 independent simulate_bits calls.
-    #[test]
-    fn classical_batch_equals_scalar(f in arb_cover(7, 3, 10), vectors in arb_vectors(7)) {
-        let pla = ClassicalPla::from_cover(&f);
-        batch_equals_scalar(&pla, &vectors, |bits| pla.simulate_bits(bits));
-    }
-
-    /// Wpla: batch output equals 64 independent simulate_bits calls.
-    #[test]
-    fn wpla_batch_equals_scalar(f in arb_cover(6, 2, 8), vectors in arb_vectors(6)) {
-        let wpla = Wpla::buffered_from_cover(&f);
-        batch_equals_scalar(&wpla, &vectors, |bits| wpla.simulate_bits(bits));
-    }
-
-    /// DynamicPla: batch output equals 64 full precharge/evaluate cycles.
-    #[test]
-    fn dynamic_batch_equals_scalar(f in arb_cover(6, 2, 8), vectors in arb_vectors(6)) {
+    fn dynamic_cycles_match_the_trait(f in arb_cover(6, 2, 8), vectors in arb_vector_stream(6)) {
         let pla = GnorPla::from_cover(&f);
         let dynamic = DynamicPla::new(&pla);
         let mut stepper = dynamic.clone();
-        batch_equals_scalar(&dynamic, &vectors, |bits| stepper.cycle_bits(bits));
+        for &bits in &vectors {
+            prop_assert_eq!(stepper.cycle_bits(bits), dynamic.simulate_bits(bits));
+        }
+    }
+
+    /// Cover::eval_bits is the other independent scalar engine: the
+    /// mapped PLA's trait path must reproduce it exactly.
+    #[test]
+    fn gnor_matches_cover_eval_bits(f in arb_cover(7, 3, 10), vectors in arb_vector_stream(7)) {
+        let pla = GnorPla::from_cover(&f);
+        for &bits in &vectors {
+            prop_assert_eq!(pla.simulate_bits(bits), f.eval_bits(bits));
+        }
     }
 
     /// The GNOR PLA and the classical PLA agree on every cover, both
     /// scalar and batched (the paper's functional-equivalence claim).
     #[test]
-    fn gnor_equals_classical_batched(f in arb_cover(7, 3, 10), vectors in arb_vectors(7)) {
+    fn gnor_equals_classical_batched(f in arb_cover(7, 3, 10), vectors in arb_vector_stream(7)) {
         let gnor = GnorPla::from_cover(&f);
         let classical = ClassicalPla::from_cover(&f);
-        let packed = pack_vectors(&vectors, 7);
-        assert_eq!(
-            gnor.simulate_batch(&packed),
-            classical.simulate_batch(&packed),
-            "architectures disagree on some lane"
-        );
-        for bits in 0..128u64 {
-            assert_eq!(gnor.simulate_bits(bits), classical.simulate_bits(bits));
+        for chunk in vectors.chunks(LANES) {
+            let packed = pack_vectors(chunk, 7);
+            let mask = ambipla::logic::eval::lane_mask(chunk.len());
+            for (g, c) in gnor.eval_block(&packed).iter().zip(&classical.eval_block(&packed)) {
+                prop_assert_eq!(g & mask, c & mask, "architectures disagree on a valid lane");
+            }
         }
     }
 
-    /// The batch engine agrees with the cover itself: simulate_batch of a
+    /// The trait engine agrees with the cover itself: eval_block of a
     /// mapped PLA equals Cover::eval_batch lane-for-lane.
     #[test]
-    fn batch_agrees_with_cover_eval(f in arb_cover(6, 2, 8), vectors in arb_vectors(6)) {
+    fn block_agrees_with_cover_eval(f in arb_cover(6, 2, 8), vectors in arb_vector_stream(6)) {
         let pla = GnorPla::from_cover(&f);
-        let packed = pack_vectors(&vectors, 6);
-        assert_eq!(pla.simulate_batch(&packed), f.eval_batch(&packed));
+        for chunk in vectors.chunks(LANES) {
+            let packed = pack_vectors(chunk, 6);
+            let mask = ambipla::logic::eval::lane_mask(chunk.len());
+            for (p, c) in pla.eval_block(&packed).iter().zip(&f.eval_batch(&packed)) {
+                prop_assert_eq!(p & mask, c & mask);
+            }
+        }
     }
 }

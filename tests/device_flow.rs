@@ -2,7 +2,7 @@
 //! variability feeding yield, activity feeding energy, retention feeding
 //! refresh scheduling.
 
-use ambipla::core::{analyze_activity, pla_energy_exact, GnorPla};
+use ambipla::core::{analyze_activity, pla_energy_exact, GnorPla, Simulator};
 use ambipla::device::{DeviceParams, EnergyModel, PgLevel, VariabilityModel};
 use ambipla::fault::yield_curve_biased;
 use ambipla::logic::Cover;

@@ -3,7 +3,7 @@
 //! PLA as a cross-check at every step.
 
 use ambipla::benchmarks as mcnc;
-use ambipla::core::{ClassicalPla, GnorPla, PlaDimensions, Technology};
+use ambipla::core::{ClassicalPla, GnorPla, PlaDimensions, Simulator, Technology};
 use ambipla::logic::{espresso_with_dc, Cover};
 
 /// The full pipeline on every registry benchmark that is small enough to

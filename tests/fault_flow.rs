@@ -2,7 +2,7 @@
 //! across many seeds, plus the yield-monotonicity claims.
 
 use ambipla::benchmarks::RandomPla;
-use ambipla::core::GnorPla;
+use ambipla::core::{GnorPla, Simulator};
 use ambipla::fault::{
     repair, yield_curve, yield_curve_biased, DefectMap, FaultyGnorPla, RepairOutcome,
 };

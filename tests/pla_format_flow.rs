@@ -1,7 +1,7 @@
 //! Integration: `.pla` exchange format → minimizer → architecture. Real
 //! MCNC files follow exactly this path.
 
-use ambipla::core::GnorPla;
+use ambipla::core::{GnorPla, Simulator};
 use ambipla::logic::{check_equivalent, espresso_with_dc, parse_pla, write_pla, Pla};
 
 const SAMPLE: &str = "\

@@ -4,7 +4,7 @@
 //! equivalence checks stay exhaustive) and assert the contracts every
 //! transformation promises.
 
-use ambipla::core::{analyze_activity, ClassicalPla, Crossbar, GnorPla, Wpla};
+use ambipla::core::{analyze_activity, ClassicalPla, Crossbar, GnorPla, Simulator, Wpla};
 use ambipla::fault::{repair, DefectMap, FaultyGnorPla, RepairOutcome};
 use ambipla::logic::ops::{disjoint_cover, intersect, minterm_count, sharp};
 use ambipla::logic::{

@@ -2,7 +2,7 @@
 //! minimization, bitstream deployment, defect injection and 2D repair.
 
 use ambipla::core::fsm::{counter_cover, PlaFsm};
-use ambipla::core::{from_bitstream, to_bitstream, GnorPla};
+use ambipla::core::{from_bitstream, to_bitstream, GnorPla, Simulator};
 use ambipla::fault::{
     bist_sequence, measure_coverage, repair_with_columns, verify_column_repair,
     ColumnRepairOutcome, DefectKind, DefectMap, FaultyGnorPla,

@@ -8,10 +8,12 @@
 //! caching and flush timing are pure throughput mechanics; they must
 //! never be observable in the results.
 
-use ambipla::core::GnorPla;
+use ambipla::core::{GnorPla, Simulator};
+use ambipla::fault::{DefectKind, DefectMap, FaultyGnorPla};
 use ambipla::logic::{Cover, Cube, Tri};
-use ambipla::serve::{reply_channel, ServeConfig, SimService};
+use ambipla::serve::{reply_channel, ServeConfig, SimKey, SimService};
 use proptest::prelude::*;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A random cube over `n` inputs and `o` outputs.
@@ -61,6 +63,7 @@ proptest! {
             max_wait: Duration::from_micros(200),
             cache_capacity: 8,
             cache_shards: 2,
+            ..ServeConfig::default()
         });
         let ids: Vec<_> = covers.iter().map(|c| service.register(c.clone())).collect();
 
@@ -100,6 +103,59 @@ proptest! {
             "every flushed block consults the cache exactly once"
         );
     }
+}
+
+/// The redesigned registration API end to end through the facade: a
+/// specification cover and its defective twin served side by side, with
+/// identical bit patterns in flight for both, must scatter each reply to
+/// the right backend — and the cache, keyed on distinct `SimKey`s, must
+/// never serve one twin's block to the other.
+#[test]
+fn cover_and_faulty_twin_are_served_side_by_side() {
+    let service = SimService::with_defaults();
+    let spec = Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover");
+    let pla = GnorPla::from_cover(&spec);
+    let d = pla.dimensions();
+    let mut defects = DefectMap::clean(d.products, d.inputs, d.outputs);
+    defects.set_input_defect(0, 1, DefectKind::StuckOff);
+    let faulty = FaultyGnorPla::new(pla, defects);
+    assert!(
+        (0..8u64).any(|b| faulty.simulate_bits(b) != spec.eval_bits(b)),
+        "the defect must corrupt the function for this test to mean anything"
+    );
+
+    let cid = service.register(spec.clone());
+    let fid = service.register_sim(
+        Arc::new(faulty.clone()),
+        SimKey::new(SimKey::of_cover(&spec).raw() ^ 0xdef),
+    );
+    // Three rounds of every assignment to both backends: identical input
+    // blocks, distinct SimKeys, so the cache must keep them apart.
+    for _ in 0..3 {
+        let tickets: Vec<_> = (0..8u64)
+            .map(|bits| (bits, service.submit(cid, bits), service.submit(fid, bits)))
+            .collect();
+        for (bits, ct, ft) in tickets {
+            assert_eq!(ct.wait(), spec.eval_bits(bits), "cover bits {bits:03b}");
+            assert_eq!(
+                ft.wait(),
+                faulty.simulate_bits(bits),
+                "faulty bits {bits:03b}"
+            );
+        }
+    }
+    let snap = service.shutdown();
+    assert_eq!(snap.requests, 48);
+    assert_eq!(
+        snap.cache_hits + snap.cache_misses,
+        snap.blocks,
+        "every flushed block consults the cache exactly once"
+    );
 }
 
 /// The service's per-cover queues must not leak results across covers

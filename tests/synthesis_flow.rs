@@ -2,7 +2,7 @@
 //! top of the ESPRESSO + GNOR-PLA stack.
 
 use ambipla::benchmarks::{classics, RandomPla};
-use ambipla::core::{GnorPla, Wpla};
+use ambipla::core::{GnorPla, Simulator, Wpla};
 use ambipla::logic::Cover;
 use ambipla::phase::{optimize_output_phases, synthesize_wpla, PhaseStrategy};
 
