@@ -1,31 +1,137 @@
-//! Criterion micro-bench: ESPRESSO minimization throughput on random and
-//! Table 1 workloads.
+//! Criterion micro-bench: ESPRESSO minimization throughput, word-parallel
+//! pipeline vs the retained naive reference.
+//!
+//! Every workload (random covers of three sizes plus the Table 1
+//! benchmarks) is minimized by both `logic::espresso` (blocking-matrix
+//! EXPAND, arena-based URP, incremental rest-covers) and the naive
+//! scalar reference kernels retained under `crates/logic/tests/naive/`
+//! (`#[path]`-included below so the two copies cannot drift). The bench
+//!
+//! * prints the measured speedup for **all** workloads,
+//! * asserts the acceptance floor — ≥ 3× on the 10-input / 4-output /
+//!   64-product random workload,
+//! * emits machine-readable `BENCH_espresso.json` (override the path
+//!   with `AMBIPLA_BENCH_JSON`) so future PRs can track the perf
+//!   trajectory.
+//!
+//! Set `AMBIPLA_BENCH_SMOKE=1` (CI) for a shorter run; the floor is
+//! asserted and the JSON emitted either way.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use logic::espresso;
 use mcnc::RandomPla;
 
-fn bench_espresso(c: &mut Criterion) {
-    let mut group = c.benchmark_group("espresso");
-    for &(inputs, outputs, products) in &[(6, 2, 16), (8, 4, 32), (10, 4, 64)] {
-        let cover = RandomPla::new(inputs, outputs, products)
-            .seed(42)
-            .literal_density(0.5)
-            .build();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{inputs}i{outputs}o{products}p")),
-            &cover,
-            |b, cover| b.iter(|| espresso(std::hint::black_box(cover))),
-        );
-    }
+/// The naive pre-word-parallel kernels, shared with the differential
+/// tests in `crates/logic/tests/espresso_diff.rs`.
+#[path = "../../logic/tests/naive/mod.rs"]
+mod reference;
+
+/// One measured workload: label plus ON-set dimensions.
+struct Workload {
+    label: String,
+    cover: logic::Cover,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut out: Vec<Workload> = [(6usize, 2usize, 16usize), (8, 4, 32), (10, 4, 64)]
+        .iter()
+        .map(|&(inputs, outputs, products)| Workload {
+            label: format!("{inputs}i{outputs}o{products}p"),
+            cover: RandomPla::new(inputs, outputs, products)
+                .seed(42)
+                .literal_density(0.5)
+                .build(),
+        })
+        .collect();
     for bench in mcnc::table1_benchmarks_env() {
-        group.bench_with_input(
-            BenchmarkId::new("table1", bench.name),
-            &bench.on,
-            |b, on| b.iter(|| espresso(std::hint::black_box(on))),
-        );
+        out.push(Workload {
+            label: format!("table1_{}", bench.name),
+            cover: bench.on,
+        });
     }
-    group.finish();
+    out
+}
+
+fn bench_espresso(c: &mut Criterion) {
+    let smoke = std::env::var("AMBIPLA_BENCH_SMOKE").is_ok();
+    let loads = workloads();
+
+    {
+        let mut group = c.benchmark_group("espresso");
+        group.sample_size(if smoke { 5 } else { 15 });
+        for load in &loads {
+            group.bench_with_input(
+                BenchmarkId::new("new", &load.label),
+                &load.cover,
+                |b, cover| b.iter(|| espresso(std::hint::black_box(cover))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("reference", &load.label),
+                &load.cover,
+                |b, cover| b.iter(|| reference::espresso(std::hint::black_box(cover))),
+            );
+        }
+        group.finish();
+    }
+
+    let mut rows = Vec::new();
+    for load in &loads {
+        let new_ns = c
+            .median_ns(&format!("new/{}", load.label))
+            .expect("new measurement recorded");
+        let ref_ns = c
+            .median_ns(&format!("reference/{}", load.label))
+            .expect("reference measurement recorded");
+        let speedup = ref_ns / new_ns;
+        println!(
+            "espresso/{:<16} speedup: {speedup:.1}x (word-parallel vs naive reference)",
+            load.label
+        );
+        rows.push((load, new_ns, ref_ns, speedup));
+    }
+
+    write_json(&rows, if smoke { "smoke" } else { "full" });
+
+    let &(_, _, _, floor) = rows
+        .iter()
+        .find(|(l, ..)| l.label == "10i4o64p")
+        .expect("acceptance workload measured");
+    assert!(
+        floor >= 3.0,
+        "acceptance floor: the word-parallel pipeline must be ≥ 3× faster \
+         than the naive reference on 10i4o64p, measured {floor:.1}x"
+    );
+}
+
+/// Emit `BENCH_espresso.json`. Labels are alphanumeric plus `_`, so no
+/// JSON string escaping is needed.
+fn write_json(rows: &[(&Workload, f64, f64, f64)], mode: &str) {
+    let path =
+        std::env::var("AMBIPLA_BENCH_JSON").unwrap_or_else(|_| "BENCH_espresso.json".to_string());
+    let mut body = String::new();
+    body.push_str("{\n  \"bench\": \"espresso\",\n");
+    body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    body.push_str("  \"workloads\": [\n");
+    for (i, (load, new_ns, ref_ns, speedup)) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n_inputs\": {}, \"n_outputs\": {}, \
+             \"products\": {}, \"optimized_ns_per_iter\": {:.1}, \
+             \"reference_ns_per_iter\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            load.label,
+            load.cover.n_inputs(),
+            load.cover.n_outputs(),
+            load.cover.len(),
+            new_ns,
+            ref_ns,
+            speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_espresso);

@@ -172,21 +172,6 @@ impl PlaNetwork {
         let xbar: usize = self.links.iter().map(Crossbar::connection_count).sum();
         pla + xbar
     }
-
-    /// Evaluate on a packed assignment.
-    ///
-    /// Deprecated compatibility shim: this is the one surviving inherent
-    /// scalar entry point of the pre-[`Simulator`] API, kept because
-    /// external callers drove cascades through it directly. New code
-    /// imports [`Simulator`] and gets the same method (plus `simulate`
-    /// and the block path) from the trait.
-    #[deprecated(
-        since = "0.1.0",
-        note = "import `ambipla_core::Simulator` and use the trait's `simulate_bits`"
-    )]
-    pub fn simulate_bits(&self, bits: u64) -> Vec<bool> {
-        Simulator::simulate_bits(self, bits)
-    }
 }
 
 impl Simulator for PlaNetwork {
@@ -247,21 +232,6 @@ mod tests {
         for bits in 0..4u64 {
             let want = vec![bits & 1 == 1, bits >> 1 & 1 == 1];
             assert_eq!(Simulator::simulate_bits(&net, bits), want);
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_inherent_shim_matches_the_trait() {
-        // The one surviving pre-`Simulator` inherent method must keep
-        // answering exactly like the trait it forwards to.
-        let buf = cover("1- 10\n-1 01", 2, 2);
-        let net = PlaNetwork::chain_of_covers(&[buf.clone(), buf]);
-        for bits in 0..4u64 {
-            assert_eq!(
-                PlaNetwork::simulate_bits(&net, bits),
-                Simulator::simulate_bits(&net, bits)
-            );
         }
     }
 

@@ -76,6 +76,11 @@ impl Cover {
         &self.cubes
     }
 
+    /// Consume the cover, returning its cubes.
+    pub fn into_cubes(self) -> Vec<Cube> {
+        self.cubes
+    }
+
     /// Number of cubes (product terms / PLA rows).
     pub fn len(&self) -> usize {
         self.cubes.len()
@@ -162,11 +167,7 @@ impl Cover {
         let mut out = Cover::new(self.n_inputs, 1);
         for c in &self.cubes {
             if c.has_output(j) {
-                let mut tris = Vec::with_capacity(self.n_inputs);
-                for i in 0..self.n_inputs {
-                    tris.push(c.input(i));
-                }
-                out.push(Cube::from_tris(&tris, &[true]));
+                out.push(c.input_part());
             }
         }
         out

@@ -266,9 +266,12 @@ impl Cube {
 
     /// Number of input positions carrying a literal (not don't-care).
     pub fn literal_count(&self) -> usize {
-        (0..self.n_inputs)
-            .filter(|&i| self.input(i) != Tri::DontCare)
-            .count()
+        // Word-parallel: a literal position is `01` or `10`, i.e. the low
+        // and high pair bits differ.
+        self.input
+            .iter()
+            .map(|&w| (((w >> 1) ^ w) & LO_MASK).count_ones() as usize)
+            .sum()
     }
 
     /// Intersection of two cubes (AND of parts). May be empty.
@@ -294,15 +297,19 @@ impl Cube {
 
     /// True if the input parts alone share at least one point (outputs are
     /// ignored). Used when testing against per-output OFF-sets.
+    ///
+    /// Unlike most binary cube operations this only requires the *input*
+    /// arities to match, so multi-output cubes can be tested directly
+    /// against single-output OFF-set cubes without materializing
+    /// [`Cube::input_part`].
     pub fn inputs_intersect(&self, other: &Cube) -> bool {
-        self.check_dims(other);
-        let meet = Cube {
-            n_inputs: self.n_inputs,
-            n_outputs: self.n_outputs,
-            input: zip_words(&self.input, &other.input, |a, b| a & b),
-            output: self.output.clone(),
-        };
-        !meet.has_empty_input()
+        assert_eq!(self.n_inputs, other.n_inputs, "input arity mismatch");
+        for (w, (&a, &b)) in self.input.iter().zip(&other.input).enumerate() {
+            if conflict_word(a & b, self.n_inputs, w) != 0 {
+                return false;
+            }
+        }
+        true
     }
 
     /// True if `self` contains `other` as a set (both parts).
@@ -332,20 +339,12 @@ impl Cube {
     /// cubes conflict (their pairwise AND is `00`).
     pub fn input_distance(&self, other: &Cube) -> usize {
         self.check_dims(other);
-        let mut d = 0;
-        for (w, (&a, &b)) in self.input.iter().zip(&other.input).enumerate() {
-            let meet = a & b;
-            let lo = meet & LO_MASK;
-            let hi = (meet >> 1) & LO_MASK;
-            let mut empty = !(lo | hi) & LO_MASK;
-            let first = w * VARS_PER_WORD;
-            let valid = self.n_inputs.saturating_sub(first).min(VARS_PER_WORD);
-            if valid < VARS_PER_WORD {
-                empty &= (1u64 << (2 * valid)).wrapping_sub(1);
-            }
-            d += empty.count_ones() as usize;
-        }
-        d
+        self.input
+            .iter()
+            .zip(&other.input)
+            .enumerate()
+            .map(|(w, (&a, &b))| conflict_word(a & b, self.n_inputs, w).count_ones() as usize)
+            .sum()
     }
 
     /// Full distance à la ESPRESSO: input distance plus one when the output
@@ -471,10 +470,67 @@ impl Cube {
         assert_eq!(self.n_inputs, other.n_inputs, "input arity mismatch");
         assert_eq!(self.n_outputs, other.n_outputs, "output arity mismatch");
     }
+
+    /// The packed pair-word input part (32 variables per `u64`, 2 bits
+    /// each). This is the raw representation the word-parallel URP and
+    /// EXPAND kernels operate on directly.
+    pub(crate) fn input_words(&self) -> &[u64] {
+        &self.input
+    }
+
+    /// Write the LO-aligned conflict mask between the input parts of
+    /// `self` and `other` into `out`: bit `2·(i % 32)` of `out[i / 32]` is
+    /// set iff the two cubes carry opposite literals on variable `i`.
+    /// Only the input arities must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input arities differ or `out` is shorter than the input
+    /// word count.
+    pub(crate) fn conflict_mask_into(&self, other: &Cube, out: &mut [u64]) {
+        assert_eq!(self.n_inputs, other.n_inputs, "input arity mismatch");
+        for (w, (&a, &b)) in self.input.iter().zip(&other.input).enumerate() {
+            out[w] = conflict_word(a & b, self.n_inputs, w);
+        }
+    }
+
+    /// Raise every variable whose LO-aligned mask bit is set to
+    /// don't-care, word-parallel (mask geometry as produced by
+    /// [`Cube::conflict_mask_into`]).
+    pub(crate) fn raise_vars(&mut self, mask: &[u64]) {
+        for (word, &m) in self.input.iter_mut().zip(mask) {
+            debug_assert_eq!(m & !LO_MASK, 0, "mask must be LO-aligned");
+            *word |= m | (m << 1);
+        }
+    }
+
+    /// Replace the input part with `other`'s input part, word-parallel.
+    /// Only the input arities must match; the output part is untouched.
+    pub(crate) fn copy_input_from(&mut self, other: &Cube) {
+        assert_eq!(self.n_inputs, other.n_inputs, "input arity mismatch");
+        self.input.copy_from_slice(&other.input);
+    }
+}
+
+/// Empty (`00`) pairs of a meet word, as an LO-aligned mask with the tail
+/// beyond `n_inputs` cleared. `w` is the word's index in the input array.
+/// (Passing a cube's own word finds its empty pairs; passing the AND of two
+/// cubes' words finds their conflicts — the URP matrix loaders use both.)
+#[inline]
+pub(crate) fn conflict_word(meet: u64, n_inputs: usize, w: usize) -> u64 {
+    let lo = meet & LO_MASK;
+    let hi = (meet >> 1) & LO_MASK;
+    let mut empty = !(lo | hi) & LO_MASK;
+    let first = w * VARS_PER_WORD;
+    let valid = n_inputs.saturating_sub(first).min(VARS_PER_WORD);
+    if valid < VARS_PER_WORD {
+        empty &= (1u64 << (2 * valid)).wrapping_sub(1);
+    }
+    empty
 }
 
 /// Mask selecting the low bit of every pair.
-const LO_MASK: u64 = 0x5555_5555_5555_5555;
+pub(crate) const LO_MASK: u64 = 0x5555_5555_5555_5555;
 
 fn zip_words(a: &[u64], b: &[u64], f: impl Fn(u64, u64) -> u64) -> Vec<u64> {
     a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()

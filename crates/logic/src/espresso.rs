@@ -2,9 +2,31 @@
 //!
 //! Implements the classical EXPAND / IRREDUNDANT / REDUCE loop over
 //! multi-output covers with optional don't-care sets, as in Brayton et al.
-//! The implementation favours clarity over the last few percent of quality:
-//! every pass is function-preserving by construction, and the test-suite
-//! re-verifies equivalence exhaustively.
+//! Every pass is function-preserving by construction, and the test-suite
+//! re-verifies equivalence exhaustively (plus differentially against a
+//! retained naive reference implementation under `tests/`).
+//!
+//! # Word-parallel hot path
+//!
+//! The loop is built on three word-parallel kernels:
+//!
+//! * **EXPAND** uses the classic *blocking matrix*: one pass over the
+//!   OFF-set yields, per OFF-cube, the LO-aligned word-mask of literals
+//!   whose raising it blocks. Raising a literal is then a handful of word
+//!   ops (clear the bit in every blocking row, fold rows that became
+//!   singletons into the blocked mask) instead of re-scanning the whole
+//!   OFF-set per literal. Literals contested by no OFF-cube are raised
+//!   upfront in one word-parallel step.
+//! * **IRREDUNDANT / REDUCE** keep per-output index lists of the cubes
+//!   currently driving each output — updated incrementally as output bits
+//!   clear — and feed them straight into the allocation-free
+//!   [`UrpContext`] cofactor kernels, instead of rebuilding a `rest` cover
+//!   cube-by-cube for every (cube, output) pair.
+//! * The per-output **OFF-set complements** (independent single-output URP
+//!   runs) and the per-cube EXPAND step are sharded over
+//!   [`Pool`](crate::par::Pool), a deterministic scoped-thread pool:
+//!   results are bit-identical to the sequential loop for any thread
+//!   count.
 //!
 //! The paper's Table 1 relies on this minimizer only through the product-term
 //! counts of the minimized MCNC covers; the `mcnc` crate's stand-in
@@ -12,7 +34,9 @@
 //! recognizes as a fixed point.
 
 use crate::cover::Cover;
-use crate::cube::Cube;
+use crate::cube::{Cube, LO_MASK};
+use crate::par;
+use crate::urp::UrpContext;
 
 /// Statistics reported by a minimization run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,22 +89,32 @@ pub fn espresso_with_dc(on: &Cover, dc: &Cover) -> (Cover, EspressoStats) {
     let initial_cubes = f.len();
     let initial_literals = f.literal_count();
 
-    // Per-output OFF-sets (input-part covers), computed once.
-    let off: Vec<Cover> = (0..on.n_outputs())
-        .map(|j| on.output_slice(j).union(&dc.output_slice(j)).complement())
-        .collect();
+    // Per-output OFF-sets (input-part covers), computed once. The
+    // complements are independent single-output URP runs, so they shard
+    // across the deterministic pool; the gate keeps thread spawns away
+    // from trivial workloads.
+    let pool = par::Pool::available();
+    let off_pool = if pool.threads() > 1 && on.n_outputs() >= 2 && on.len() + dc.len() >= 16 {
+        pool
+    } else {
+        par::Pool::new(1)
+    };
+    let off: Vec<Cover> = off_pool.map_range(on.n_outputs(), |j| {
+        on.output_slice(j).union(&dc.output_slice(j)).complement()
+    });
 
-    f = expand(&f, &off);
-    f = irredundant(&f, dc);
+    let mut ctx = UrpContext::new();
+    f = expand(&f, &off, &pool);
+    f = irredundant(&f, dc, &mut ctx);
     let mut best = f.clone();
     let mut best_cost = cost(&best);
 
     let mut iterations = 0;
     loop {
         iterations += 1;
-        f = reduce(&f, dc);
-        f = expand(&f, &off);
-        f = irredundant(&f, dc);
+        f = reduce(&f, dc, &mut ctx);
+        f = expand(&f, &off, &pool);
+        f = irredundant(&f, dc, &mut ctx);
         let c = cost(&f);
         if c < best_cost {
             best = f.clone();
@@ -122,81 +156,144 @@ pub fn relatively_essential(f: &Cover, dc: &Cover) -> Vec<bool> {
     assert_eq!(f.n_inputs(), dc.n_inputs(), "input arity mismatch");
     assert_eq!(f.n_outputs(), dc.n_outputs(), "output arity mismatch");
     let cubes = f.cubes();
+    let mut ctx = UrpContext::new();
     (0..cubes.len())
         .map(|idx| {
-            let ip = cubes[idx].input_part();
             cubes[idx].outputs().any(|j| {
-                let mut rest = Cover::new(f.n_inputs(), 1);
-                for (k, other) in cubes.iter().enumerate() {
-                    if k != idx && other.has_output(j) {
-                        rest.push(other.input_part());
-                    }
-                }
-                for d in dc.iter() {
-                    if d.has_output(j) {
-                        rest.push(d.input_part());
-                    }
-                }
-                !rest.cofactor(&ip).is_tautology()
+                !ctx.cofactor_tautology(
+                    f.n_inputs(),
+                    cubes
+                        .iter()
+                        .enumerate()
+                        .filter(|&(k, o)| k != idx && o.has_output(j))
+                        .map(|(_, o)| o)
+                        .chain(dc.iter().filter(|d| d.has_output(j))),
+                    &cubes[idx],
+                )
             })
         })
         .collect()
 }
 
 /// EXPAND: enlarge each cube to a prime implicant against the per-output
-/// OFF-sets, then drop cubes that became covered.
-fn expand(f: &Cover, off: &[Cover]) -> Cover {
-    let n_inputs = f.n_inputs();
-    let n_outputs = f.n_outputs();
-    let mut cubes: Vec<Cube> = f.cubes().to_vec();
-    // Expand literal-heavy cubes first: they have the most freedom left and
-    // expanding them first maximizes the chance of covering others.
-    let mut order: Vec<usize> = (0..cubes.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(cubes[i].literal_count()));
-
-    for &idx in &order {
-        let mut c = cubes[idx].clone();
-        // Raise input literals greedily. Try positions in a fixed order so
-        // the run is deterministic.
-        for i in 0..n_inputs {
-            if c.input(i) == crate::cube::Tri::DontCare {
-                continue;
-            }
-            let mut trial = c.clone();
-            trial.set_input(i, crate::cube::Tri::DontCare);
-            if is_off_disjoint(&trial, off) {
-                c = trial;
-            }
-        }
-        // Raise output parts: adding output j is legal when the (expanded)
-        // input part avoids OFF_j entirely.
-        for (j, off_j) in off.iter().enumerate() {
-            if c.has_output(j) {
-                continue;
-            }
-            let ip = c.input_part();
-            if off_j.iter().all(|o| !ip.inputs_intersect(o)) {
-                c.set_output(j);
-            }
-        }
-        cubes[idx] = c;
-    }
-    let mut out = Cover::from_cubes(n_inputs, n_outputs, cubes);
+/// OFF-sets, then drop cubes that became covered. Cube expansions are
+/// independent of each other, so they shard across the pool.
+fn expand(f: &Cover, off: &[Cover], pool: &par::Pool) -> Cover {
+    let cubes = f.cubes();
+    let expanded: Vec<Cube> = if pool.threads() > 1 && cubes.len() >= 32 {
+        pool.map_range(cubes.len(), |i| expand_cube(&cubes[i], off))
+    } else {
+        cubes.iter().map(|c| expand_cube(c, off)).collect()
+    };
+    let mut out = Cover::from_cubes(f.n_inputs(), f.n_outputs(), expanded);
     out.make_scc_minimal();
     out
 }
 
-/// True if the cube's input part avoids `off[j]` for every output `j` it
-/// drives.
-fn is_off_disjoint(c: &Cube, off: &[Cover]) -> bool {
-    let ip = c.input_part();
-    c.outputs()
-        .all(|j| off[j].iter().all(|o| !ip.inputs_intersect(o)))
+/// Expand one cube to a prime implicant via the blocking matrix.
+///
+/// Row `r` of the matrix is the LO-aligned mask of input variables where
+/// the cube conflicts with the `r`-th relevant OFF-cube (OFF-cubes of
+/// every output the cube drives). The cube stays OFF-disjoint iff every
+/// row keeps at least one conflict, so:
+///
+/// * variables in no row are raised upfront, word-parallel;
+/// * a contested variable may be raised iff no row currently holds it as
+///   its *only* remaining conflict (the `blocked` mask, maintained
+///   incrementally as rows shrink to singletons).
+///
+/// Output-part raising then adds output `j` when the expanded input part
+/// avoids `OFF_j` entirely.
+fn expand_cube(c: &Cube, off: &[Cover]) -> Cube {
+    let mut c = c.clone();
+    let words = c.input_words().len();
+
+    // Build the blocking matrix (flat, stride `words`) plus per-row
+    // remaining-conflict counts.
+    let mut rows: Vec<u64> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let outs: Vec<usize> = c.outputs().collect();
+    for &j in &outs {
+        for o in off[j].iter() {
+            let base = rows.len();
+            rows.resize(base + words, 0);
+            c.conflict_mask_into(o, &mut rows[base..]);
+            let cnt: u32 = rows[base..].iter().map(|w| w.count_ones()).sum();
+            debug_assert!(cnt > 0, "ON cube must be disjoint from its OFF-set");
+            counts.push(cnt);
+        }
+    }
+
+    // Variables no OFF-cube contests: raise them all at once.
+    let mut contested = vec![0u64; words];
+    for r in 0..counts.len() {
+        for (w, m) in contested.iter_mut().enumerate() {
+            *m |= rows[r * words + w];
+        }
+    }
+    let free: Vec<u64> = c
+        .input_words()
+        .iter()
+        .zip(&contested)
+        .map(|(&word, &cont)| (word ^ (word >> 1)) & LO_MASK & !cont)
+        .collect();
+    c.raise_vars(&free);
+
+    // Blocked = union of singleton rows (their last conflict must stay).
+    let mut blocked = vec![0u64; words];
+    for (r, &cnt) in counts.iter().enumerate() {
+        if cnt == 1 {
+            for (w, m) in blocked.iter_mut().enumerate() {
+                *m |= rows[r * words + w];
+            }
+        }
+    }
+
+    // Greedy raising in ascending variable order, exactly the order the
+    // scalar per-literal implementation used.
+    for w in 0..words {
+        loop {
+            let word = c.input_words()[w];
+            let lits = (word ^ (word >> 1)) & LO_MASK;
+            let cand = lits & !blocked[w];
+            if cand == 0 {
+                break;
+            }
+            let bit = cand & cand.wrapping_neg();
+            let v = w * 32 + bit.trailing_zeros() as usize / 2;
+            c.set_input(v, crate::cube::Tri::DontCare);
+            for (r, cnt) in counts.iter_mut().enumerate() {
+                let rw = rows[r * words + w];
+                if rw & bit != 0 {
+                    rows[r * words + w] = rw & !bit;
+                    *cnt -= 1;
+                    debug_assert!(*cnt >= 1, "raised a row's last conflict");
+                    if *cnt == 1 {
+                        for (w2, m) in blocked.iter_mut().enumerate() {
+                            *m |= rows[r * words + w2];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Raise output parts: adding output j is legal when the (expanded)
+    // input part avoids OFF_j entirely.
+    for (j, off_j) in off.iter().enumerate() {
+        if c.has_output(j) {
+            continue;
+        }
+        if off_j.iter().all(|o| !c.inputs_intersect(o)) {
+            c.set_output(j);
+        }
+    }
+    c
 }
 
 /// IRREDUNDANT: remove cubes (or individual output bits of cubes) covered by
 /// the rest of the cover plus the don't-care set.
-fn irredundant(f: &Cover, dc: &Cover) -> Cover {
+fn irredundant(f: &Cover, dc: &Cover, ctx: &mut UrpContext) -> Cover {
     let n_inputs = f.n_inputs();
     let n_outputs = f.n_outputs();
     let mut cubes: Vec<Cube> = f.cubes().to_vec();
@@ -205,25 +302,35 @@ fn irredundant(f: &Cover, dc: &Cover) -> Cover {
     let mut order: Vec<usize> = (0..cubes.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(cubes[i].literal_count()));
 
+    // Per-output lists of the cubes currently driving each output,
+    // maintained incrementally as output bits clear.
+    let mut lists: Vec<Vec<usize>> = vec![Vec::new(); n_outputs];
+    for (k, c) in cubes.iter().enumerate() {
+        for j in c.outputs() {
+            lists[j].push(k);
+        }
+    }
+
     let mut alive = vec![true; cubes.len()];
     for &idx in &order {
-        let ip = cubes[idx].input_part();
         let outs: Vec<usize> = cubes[idx].outputs().collect();
         for j in outs {
-            // Rest-of-cover for output j, as input parts.
-            let mut rest = Cover::new(n_inputs, 1);
-            for (k, other) in cubes.iter().enumerate() {
-                if k != idx && alive[k] && other.has_output(j) {
-                    rest.push(other.input_part());
-                }
-            }
-            for d in dc.iter() {
-                if d.has_output(j) {
-                    rest.push(d.input_part());
-                }
-            }
-            if rest.cofactor(&ip).is_tautology() {
+            let covered = ctx.cofactor_tautology(
+                n_inputs,
+                lists[j]
+                    .iter()
+                    .filter(|&&k| k != idx)
+                    .map(|&k| &cubes[k])
+                    .chain(dc.iter().filter(|d| d.has_output(j))),
+                &cubes[idx],
+            );
+            if covered {
                 cubes[idx].clear_output(j);
+                let pos = lists[j]
+                    .iter()
+                    .position(|&k| k == idx)
+                    .expect("cube listed for its output");
+                lists[j].remove(pos);
             }
         }
         if cubes[idx].is_empty() {
@@ -240,7 +347,7 @@ fn irredundant(f: &Cover, dc: &Cover) -> Cover {
 
 /// REDUCE: shrink each cube to the smallest cube still covering the part of
 /// the ON-set only it covers, enabling the next EXPAND to move elsewhere.
-fn reduce(f: &Cover, dc: &Cover) -> Cover {
+fn reduce(f: &Cover, dc: &Cover, ctx: &mut UrpContext) -> Cover {
     let n_inputs = f.n_inputs();
     let n_outputs = f.n_outputs();
     let mut cubes: Vec<Cube> = f.cubes().to_vec();
@@ -248,30 +355,40 @@ fn reduce(f: &Cover, dc: &Cover) -> Cover {
     let mut order: Vec<usize> = (0..cubes.len()).collect();
     order.sort_by_key(|&i| cubes[i].literal_count());
 
+    // Output parts never change during REDUCE (only input parts shrink,
+    // and never to empty), so the per-output lists are computed once.
+    let mut lists: Vec<Vec<usize>> = vec![Vec::new(); n_outputs];
+    for (k, c) in cubes.iter().enumerate() {
+        if c.is_empty() {
+            continue;
+        }
+        for j in c.outputs() {
+            lists[j].push(k);
+        }
+    }
+
     for &idx in &order {
-        let ip = cubes[idx].input_part();
         let outs: Vec<usize> = cubes[idx].outputs().collect();
         let mut new_input: Option<Cube> = None;
         for &j in &outs {
-            let mut rest = Cover::new(n_inputs, 1);
-            for (k, other) in cubes.iter().enumerate() {
-                if k != idx && !other.is_empty() && other.has_output(j) {
-                    rest.push(other.input_part());
-                }
-            }
-            for d in dc.iter() {
-                if d.has_output(j) {
-                    rest.push(d.input_part());
-                }
-            }
-            // Part of cube idx (for output j) not covered by anything else:
-            // complement of the cofactored rest, intersected back with the
-            // cube.
-            let uncovered = rest.cofactor(&ip).complement();
+            // Part of cube idx (for output j) not covered by anything
+            // else: complement of the cofactored rest, clipped back to
+            // the cube. Rows read the *current* (possibly already
+            // reduced) cube shapes.
+            let uncovered = ctx.cofactor_complement(
+                n_inputs,
+                lists[j]
+                    .iter()
+                    .filter(|&&k| k != idx)
+                    .map(|&k| &cubes[k])
+                    .chain(dc.iter().filter(|d| d.has_output(j))),
+                &cubes[idx],
+            );
             if uncovered.is_empty() {
                 // Fully covered for this output; IRREDUNDANT will clean it.
                 continue;
             }
+            let ip = cubes[idx].input_part();
             let mut sup: Option<Cube> = None;
             for u in uncovered.iter() {
                 let clipped = u.intersect(&ip);
@@ -292,9 +409,7 @@ fn reduce(f: &Cover, dc: &Cover) -> Cover {
         }
         if let Some(ni) = new_input {
             // Keep the output part, shrink the input part.
-            for i in 0..n_inputs {
-                cubes[idx].set_input(i, ni.input(i));
-            }
+            cubes[idx].copy_input_from(&ni);
         }
         // If nothing required this cube (new_input none), leave it; the
         // following IRREDUNDANT pass removes it.
@@ -307,6 +422,7 @@ fn reduce(f: &Cover, dc: &Cover) -> Cover {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cube::Tri;
     use crate::eval::assert_equivalent;
 
     fn cover(text: &str, ni: usize, no: usize) -> Cover {
@@ -448,6 +564,19 @@ mod tests {
     #[test]
     fn constant_one_single_output() {
         let f = cover("1 1\n0 1", 1, 1);
+        let (min, _) = espresso(&f);
+        assert_eq!(min.len(), 1);
+        assert!(min.cubes()[0].input_is_full());
+    }
+
+    #[test]
+    fn wide_multi_word_cover_minimizes() {
+        // 40 inputs → two pair-words; redundant pair collapses.
+        let mut a = Cube::universe(40, 1);
+        a.set_input(35, Tri::One);
+        let mut b = Cube::universe(40, 1);
+        b.set_input(35, Tri::Zero);
+        let f = Cover::from_cubes(40, 1, vec![a, b]);
         let (min, _) = espresso(&f);
         assert_eq!(min.len(), 1);
         assert!(min.cubes()[0].input_is_full());

@@ -37,6 +37,7 @@ pub mod eval;
 pub mod exact;
 pub mod kmap;
 pub mod ops;
+pub mod par;
 pub mod pla;
 pub mod tt;
 pub mod urp;
@@ -50,3 +51,4 @@ pub use exact::exact_minimize;
 pub use ops::{disjoint_cover, intersect, minterm_count, sharp};
 pub use pla::{parse_pla, write_pla, ParsePlaError, Pla, PlaType};
 pub use tt::TruthTable;
+pub use urp::UrpContext;

@@ -1,0 +1,116 @@
+//! Deterministic scoped-thread parallelism for the minimization kernels.
+//!
+//! The `logic` crate sits at the bottom of the workspace dependency graph,
+//! below `ambipla_core`, so it cannot use `ambipla_core::pool::WorkerPool`
+//! directly. This module carries a minimal pool with the **same
+//! bit-identical contract**: `pool.map_range(n, f)` returns exactly what
+//! the sequential `(0..n).map(f)` loop returns, in the same order, for any
+//! thread count — items are split into contiguous index ranges, each
+//! worker computes its range independently, and results are reassembled in
+//! range order. Threads only change wall-clock time, never results.
+//!
+//! Used by [`mod@crate::espresso`] to shard the per-output OFF-set
+//! complements and the per-cube EXPAND step, both of which are
+//! embarrassingly parallel.
+
+use std::num::NonZeroUsize;
+
+/// A fixed-width fork-join pool over [`std::thread::scope`].
+///
+/// Holds no threads while idle — each [`map_range`](Pool::map_range) call
+/// spawns, joins and tears down its scoped workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool running `threads` workers per parallel section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Pool {
+        assert!(threads > 0, "pool needs at least one thread");
+        Pool { threads }
+    }
+
+    /// A pool sized to the machine's available parallelism (1 if unknown).
+    pub fn available() -> Pool {
+        Pool::new(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Worker count per parallel section.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every index in `0..n`, in parallel, returning results
+    /// in index order — bit-identical to `(0..n).map(f).collect()`,
+    /// including on panic (a panicking worker propagates the panic).
+    pub fn map_range<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(self.threads);
+        let mut shards: Vec<Vec<U>> = Vec::with_capacity(self.threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|lo| {
+                    let f = &f;
+                    let hi = (lo + chunk).min(n);
+                    s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(shard) => shards.push(shard),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        out.extend(shards.into_iter().flatten());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_range_matches_sequential_loop_for_any_thread_count() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 3;
+        let expected: Vec<u64> = (0..500).map(f).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            assert_eq!(
+                Pool::new(threads).map_range(500, f),
+                expected,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_ranges_are_fine() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.map_range(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map_range(1, |i| i * 2), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_is_rejected() {
+        Pool::new(0);
+    }
+}

@@ -5,176 +5,483 @@
 //! al., *Logic Minimization Algorithms for VLSI Synthesis*): both recurse on
 //! the Shannon expansion around the "most binate" variable and exploit unate
 //! covers in the base cases.
+//!
+//! # Word-parallel, allocation-free implementation
+//!
+//! The kernels here never materialize intermediate [`Cover`]s. A call loads
+//! the cover once into a flat **row matrix** (the packed pair-words of each
+//! cube's input part, 32 variables per `u64`), and the Shannon recursion
+//! operates on two stack arenas owned by a reusable [`UrpContext`]:
+//!
+//! * an **index arena** — each node's active cube set is a contiguous range
+//!   of row indices, pushed when descending into a cofactor and truncated on
+//!   return;
+//! * a **raised-variable arena** — the cofactor cube of the path from the
+//!   root, kept as an LO-aligned bit mask per node so "this variable was
+//!   cofactored away" is a single AND-NOT during mask extraction.
+//!
+//! Variable usage (`pos`/`neg` counts, the binate test, the quick
+//! unateness rejects) is computed with masked popcounts over the pair-words
+//! instead of per-variable [`Cube::input`] calls, and — unlike the scalar
+//! implementation this replaced — usage is derived **once** per node: the
+//! quick-reject masks and the most-binate selection share a single scan.
 
 use crate::cover::Cover;
-use crate::cube::{Cube, Tri};
+use crate::cube::{conflict_word, Cube, Tri, LO_MASK};
 
-/// How a variable appears across a cover.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct VarUse {
-    pos: usize,
-    neg: usize,
-}
+/// Number of input variables packed into one pair-word.
+const VARS_PER_WORD: usize = 32;
 
-impl VarUse {
-    fn is_binate(self) -> bool {
-        self.pos > 0 && self.neg > 0
+/// Mask of the pair bits belonging to valid variables in word `w`.
+#[inline]
+fn pair_tail_mask(n_inputs: usize, w: usize) -> u64 {
+    let first = w * VARS_PER_WORD;
+    let valid = n_inputs.saturating_sub(first).min(VARS_PER_WORD);
+    if valid == VARS_PER_WORD {
+        !0
+    } else {
+        (1u64 << (2 * valid)).wrapping_sub(1)
     }
 }
 
-fn var_usage(cover: &Cover) -> Vec<VarUse> {
-    let mut use_ = vec![VarUse { pos: 0, neg: 0 }; cover.n_inputs()];
-    for c in cover.iter() {
-        for (i, u) in use_.iter_mut().enumerate() {
-            match c.input(i) {
-                Tri::One => u.pos += 1,
-                Tri::Zero => u.neg += 1,
-                Tri::DontCare => {}
+/// Reusable scratch state for the word-parallel URP kernels.
+///
+/// All recursion-level storage (active row index lists, raised-variable
+/// masks, usage accumulators and per-variable counters) lives in arenas
+/// inside the context, so repeated calls — e.g. the thousands of
+/// per-(cube, output) tautology checks of one ESPRESSO IRREDUNDANT pass —
+/// stop touching the allocator once the arenas are warm.
+///
+/// A context is cheap to create and can be dropped freely; holding one
+/// across calls is purely a performance optimization. Results are
+/// independent of context reuse.
+#[derive(Debug, Default)]
+pub struct UrpContext {
+    n_inputs: usize,
+    words: usize,
+    /// Row matrix: packed input pair-words, `words` per row.
+    rows: Vec<u64>,
+    /// Stack arena of active row indices (one contiguous range per node).
+    idx: Vec<u32>,
+    /// Stack arena of raised-variable masks (`words` per node frame).
+    raised: Vec<u64>,
+    /// Per-level usage accumulators `[all_one, all_zero, ever_one,
+    /// ever_zero]`, each `words` long. Consumed before recursing, so one
+    /// block serves every level.
+    acc: Vec<u64>,
+    /// Per-variable phase counters; only candidate entries are touched and
+    /// they are reset after each split selection.
+    cnt_one: Vec<u32>,
+    cnt_zero: Vec<u32>,
+}
+
+impl UrpContext {
+    /// A fresh context with empty arenas.
+    pub fn new() -> UrpContext {
+        UrpContext::default()
+    }
+
+    /// True if the single-output cover covers the whole input space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover is not single-output.
+    pub fn tautology(&mut self, cover: &Cover) -> bool {
+        assert_eq!(cover.n_outputs(), 1, "tautology is defined per output");
+        self.load_cover(cover);
+        self.taut_node(0, self.idx.len(), 0)
+    }
+
+    /// Complement of a single-output cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover is not single-output.
+    pub fn complement(&mut self, cover: &Cover) -> Cover {
+        assert_eq!(cover.n_outputs(), 1, "complement is defined per output");
+        self.load_cover(cover);
+        let mut r = self.comp_node(0, self.idx.len(), 0);
+        r.make_scc_minimal();
+        r
+    }
+
+    /// True if the cofactor (w.r.t. the input part of `p`) of the input
+    /// parts of `cubes` is a tautology.
+    ///
+    /// Equivalent to collecting `cubes` into a single-output cover of
+    /// their input parts and asking `cover.cofactor(&p).is_tautology()`,
+    /// without building either cover. Output parts of `cubes` and `p` are
+    /// ignored — callers filter by output beforehand (this is exactly the
+    /// per-(cube, output) containment check of ESPRESSO's IRREDUNDANT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube's (or `p`'s) input arity differs from
+    /// `n_inputs`.
+    pub fn cofactor_tautology<'a, I>(&mut self, n_inputs: usize, cubes: I, p: &Cube) -> bool
+    where
+        I: IntoIterator<Item = &'a Cube>,
+    {
+        self.load_cofactor(n_inputs, cubes, p);
+        self.taut_node(0, self.idx.len(), 0)
+    }
+
+    /// Complement of the cofactor (w.r.t. the input part of `p`) of the
+    /// input parts of `cubes`, as a single-output cover.
+    ///
+    /// The cover-free counterpart of
+    /// `rest.cofactor(&p).complement()` — the inner computation of
+    /// ESPRESSO's REDUCE pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube's (or `p`'s) input arity differs from
+    /// `n_inputs`.
+    pub fn cofactor_complement<'a, I>(&mut self, n_inputs: usize, cubes: I, p: &Cube) -> Cover
+    where
+        I: IntoIterator<Item = &'a Cube>,
+    {
+        self.load_cofactor(n_inputs, cubes, p);
+        let mut r = self.comp_node(0, self.idx.len(), 0);
+        r.make_scc_minimal();
+        r
+    }
+
+    /// Reset arenas and record the dimensions of a new run.
+    fn begin(&mut self, n_inputs: usize) {
+        self.n_inputs = n_inputs;
+        self.words = n_inputs.div_ceil(VARS_PER_WORD).max(1);
+        self.rows.clear();
+        self.idx.clear();
+        self.raised.clear();
+        self.acc.clear();
+        self.acc.resize(4 * self.words, 0);
+        self.cnt_one.clear();
+        self.cnt_one.resize(n_inputs, 0);
+        self.cnt_zero.clear();
+        self.cnt_zero.resize(n_inputs, 0);
+    }
+
+    /// Load the input parts of a cover as matrix rows. Cubes denoting the
+    /// empty set (an empty input pair) contribute nothing and are skipped.
+    fn load_cover(&mut self, cover: &Cover) {
+        self.begin(cover.n_inputs());
+        for c in cover.iter() {
+            let src = c.input_words();
+            if (0..self.words).any(|w| conflict_word(src[w], self.n_inputs, w) != 0) {
+                continue;
+            }
+            self.rows.extend_from_slice(&src[..self.words]);
+        }
+        self.finish_load();
+    }
+
+    /// Load the cofactor of `cubes` w.r.t. `p`: rows conflicting with `p`
+    /// drop out, surviving rows raise the positions `p` fixes.
+    fn load_cofactor<'a, I>(&mut self, n_inputs: usize, cubes: I, p: &Cube)
+    where
+        I: IntoIterator<Item = &'a Cube>,
+    {
+        assert_eq!(p.n_inputs(), n_inputs, "cofactor cube input arity mismatch");
+        self.begin(n_inputs);
+        let pw = p.input_words();
+        for c in cubes {
+            assert_eq!(c.n_inputs(), n_inputs, "cube input arity mismatch");
+            let src = c.input_words();
+            if (0..self.words).any(|w| conflict_word(src[w] & pw[w], n_inputs, w) != 0) {
+                continue;
+            }
+            for w in 0..self.words {
+                self.rows
+                    .push((src[w] | !pw[w]) & pair_tail_mask(n_inputs, w));
             }
         }
+        self.finish_load();
     }
-    use_
-}
 
-/// Pick the most binate variable (largest `min(pos, neg)`, ties broken by
-/// total literal count). Returns `None` if the cover is unate in every
-/// variable.
-fn most_binate_var(cover: &Cover) -> Option<usize> {
-    let usage = var_usage(cover);
-    usage
-        .iter()
-        .enumerate()
-        .filter(|(_, u)| u.is_binate())
-        .max_by_key(|(_, u)| (u.pos.min(u.neg), u.pos + u.neg))
-        .map(|(i, _)| i)
-}
+    /// Initialize the root node: all rows active, nothing raised.
+    fn finish_load(&mut self) {
+        let n_rows = self.rows.len() / self.words;
+        self.idx.extend(0..n_rows as u32);
+        self.raised.extend(std::iter::repeat_n(0, self.words));
+    }
 
-/// Shannon cofactor of a single-output cover with respect to literal
-/// `x_i = value`.
-fn shannon_cofactor(cover: &Cover, i: usize, value: bool) -> Cover {
-    let mut p = Cube::universe(cover.n_inputs(), 1);
-    p.set_input(i, if value { Tri::One } else { Tri::Zero });
-    cover.cofactor(&p)
+    /// One scan over the active rows `idx[lo..hi]`: fills the
+    /// `[all_one, all_zero, ever_one, ever_zero]` accumulators with the
+    /// effective (raised-adjusted) literal masks. Returns `true` — with
+    /// the accumulators only partially filled — as soon as a row without
+    /// any effective literal (a full cube of the subspace) is found.
+    fn scan_level(&mut self, lo: usize, hi: usize, rlo: usize) -> bool {
+        let words = self.words;
+        for w in 0..words {
+            self.acc[w] = !0;
+            self.acc[words + w] = !0;
+            self.acc[2 * words + w] = 0;
+            self.acc[3 * words + w] = 0;
+        }
+        for t in lo..hi {
+            let base = self.idx[t] as usize * words;
+            let mut any = 0u64;
+            for w in 0..words {
+                let word = self.rows[base + w];
+                let raised = self.raised[rlo + w];
+                let lo_b = word & LO_MASK;
+                let hi_b = (word >> 1) & LO_MASK;
+                let one = hi_b & !lo_b & !raised;
+                let zero = lo_b & !hi_b & !raised;
+                self.acc[w] &= one;
+                self.acc[words + w] &= zero;
+                self.acc[2 * words + w] |= one;
+                self.acc[3 * words + w] |= zero;
+                any |= one | zero;
+            }
+            if any == 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if some variable is binate per the `ever_*` accumulators.
+    fn has_binate_var(&self) -> bool {
+        let words = self.words;
+        (0..words).any(|w| self.acc[2 * words + w] & self.acc[3 * words + w] != 0)
+    }
+
+    /// Pick the split variable from the accumulators filled by
+    /// [`UrpContext::scan_level`]: the most binate variable (largest
+    /// `min(pos, neg)`, ties by total count, last maximum — matching
+    /// `Iterator::max_by_key`) when `binate_only`, otherwise the most
+    /// frequent variable over all literals (the unate-split fallback of
+    /// complementation).
+    fn select_split_var(&mut self, lo: usize, hi: usize, rlo: usize, binate_only: bool) -> usize {
+        let words = self.words;
+        // Candidate mask goes into acc[0..words]; the all_* slices are
+        // dead by the time a split is needed.
+        for w in 0..words {
+            let e1 = self.acc[2 * words + w];
+            let e0 = self.acc[3 * words + w];
+            self.acc[w] = if binate_only { e1 & e0 } else { e1 | e0 };
+        }
+        for t in lo..hi {
+            let base = self.idx[t] as usize * words;
+            for w in 0..words {
+                let word = self.rows[base + w];
+                let raised = self.raised[rlo + w];
+                let lo_b = word & LO_MASK;
+                let hi_b = (word >> 1) & LO_MASK;
+                let mut one = hi_b & !lo_b & !raised & self.acc[w];
+                let mut zero = lo_b & !hi_b & !raised & self.acc[w];
+                while one != 0 {
+                    self.cnt_one[w * VARS_PER_WORD + one.trailing_zeros() as usize / 2] += 1;
+                    one &= one - 1;
+                }
+                while zero != 0 {
+                    self.cnt_zero[w * VARS_PER_WORD + zero.trailing_zeros() as usize / 2] += 1;
+                    zero &= zero - 1;
+                }
+            }
+        }
+        let mut best: Option<(usize, (u32, u32))> = None;
+        for w in 0..words {
+            let mut m = self.acc[w];
+            while m != 0 {
+                let var = w * VARS_PER_WORD + m.trailing_zeros() as usize / 2;
+                let p = self.cnt_one[var];
+                let q = self.cnt_zero[var];
+                let key = if binate_only {
+                    (p.min(q), p + q)
+                } else {
+                    (p + q, 0)
+                };
+                if best.is_none_or(|(_, k)| key >= k) {
+                    best = Some((var, key));
+                }
+                m &= m - 1;
+            }
+        }
+        // Reset the touched counters for the next selection.
+        for w in 0..words {
+            let mut m = self.acc[w];
+            while m != 0 {
+                let var = w * VARS_PER_WORD + m.trailing_zeros() as usize / 2;
+                self.cnt_one[var] = 0;
+                self.cnt_zero[var] = 0;
+                m &= m - 1;
+            }
+        }
+        best.expect("candidate variable exists").0
+    }
+
+    /// Push the child node for the cofactor `x_v = value`: rows carrying
+    /// the opposite literal at `v` drop, `v` joins the raised mask.
+    /// Returns `(child_lo, child_hi, child_raised)`.
+    fn push_child(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        rlo: usize,
+        v: usize,
+        value: bool,
+    ) -> (usize, usize, usize) {
+        let words = self.words;
+        let wv = v / VARS_PER_WORD;
+        let bit = 1u64 << (2 * (v % VARS_PER_WORD));
+        let rchild = self.raised.len();
+        for w in 0..words {
+            let m = self.raised[rlo + w];
+            self.raised.push(if w == wv { m | bit } else { m });
+        }
+        let clo = self.idx.len();
+        for t in lo..hi {
+            let r = self.idx[t] as usize;
+            let word = self.rows[r * words + wv];
+            let lo_b = word & LO_MASK;
+            let hi_b = (word >> 1) & LO_MASK;
+            let conflict = if value { lo_b & !hi_b } else { hi_b & !lo_b } & bit;
+            if conflict == 0 {
+                self.idx.push(r as u32);
+            }
+        }
+        (clo, self.idx.len(), rchild)
+    }
+
+    /// Pop a child node pushed by [`UrpContext::push_child`].
+    fn pop_child(&mut self, clo: usize, rchild: usize) {
+        self.idx.truncate(clo);
+        self.raised.truncate(rchild);
+    }
+
+    /// URP tautology over the node `idx[lo..hi]` / raised frame `rlo`.
+    fn taut_node(&mut self, lo: usize, hi: usize, rlo: usize) -> bool {
+        if lo == hi {
+            return false;
+        }
+        // Quick accept: an effectively-full row covers the subspace.
+        if self.scan_level(lo, hi, rlo) {
+            return true;
+        }
+        // Quick reject: a variable appearing in one phase in *every* row
+        // leaves the opposite half-space uncovered.
+        let words = self.words;
+        for w in 0..words {
+            if self.acc[w] != 0 || self.acc[words + w] != 0 {
+                return false;
+            }
+        }
+        if !self.has_binate_var() {
+            // Unate cover without a full cube: never a tautology.
+            return false;
+        }
+        let v = self.select_split_var(lo, hi, rlo, true);
+        for value in [true, false] {
+            let (clo, chi, rchild) = self.push_child(lo, hi, rlo, v, value);
+            let ok = self.taut_node(clo, chi, rchild);
+            self.pop_child(clo, rchild);
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// URP complementation over the node `idx[lo..hi]` / raised frame
+    /// `rlo`. Returns an SCC-minimal single-output cover of the
+    /// complement.
+    fn comp_node(&mut self, lo: usize, hi: usize, rlo: usize) -> Cover {
+        let n = self.n_inputs;
+        if lo == hi {
+            return Cover::from_cubes(n, 1, vec![Cube::universe(n, 1)]);
+        }
+        if self.scan_level(lo, hi, rlo) {
+            // A full row covers the subspace: empty complement.
+            return Cover::new(n, 1);
+        }
+        if hi - lo == 1 {
+            return self.demorgan_leaf(self.idx[lo] as usize, rlo);
+        }
+        // Split on the most binate variable; a unate node (no binate
+        // variable) splits on the most frequent one, which guarantees
+        // progress — some row loses a literal each level.
+        let binate = self.has_binate_var();
+        let v = self.select_split_var(lo, hi, rlo, binate);
+        let mut cubes: Vec<Cube> = Vec::new();
+        for value in [true, false] {
+            let (clo, chi, rchild) = self.push_child(lo, hi, rlo, v, value);
+            let part = self.comp_node(clo, chi, rchild);
+            self.pop_child(clo, rchild);
+            for mut c in part.into_cubes() {
+                c.set_input(v, if value { Tri::One } else { Tri::Zero });
+                cubes.push(c);
+            }
+        }
+        // No SCC pass here: each part is SCC-minimal by induction and the
+        // lifted literal at `v` makes cross-part containment impossible,
+        // so the merge is already SCC-minimal.
+        Cover::from_cubes(n, 1, cubes)
+    }
+
+    /// De Morgan complement of a single effective row: one cube per
+    /// remaining literal, in ascending variable order.
+    fn demorgan_leaf(&self, r: usize, rlo: usize) -> Cover {
+        let n = self.n_inputs;
+        let words = self.words;
+        let mut out = Cover::new(n, 1);
+        let base = r * words;
+        for w in 0..words {
+            let word = self.rows[base + w];
+            let raised = self.raised[rlo + w];
+            let lo_b = word & LO_MASK;
+            let hi_b = (word >> 1) & LO_MASK;
+            let one = hi_b & !lo_b & !raised;
+            let zero = lo_b & !hi_b & !raised;
+            let mut lits = one | zero;
+            while lits != 0 {
+                let b = lits.trailing_zeros() as usize;
+                let var = w * VARS_PER_WORD + b / 2;
+                let mut c = Cube::universe(n, 1);
+                c.set_input(
+                    var,
+                    if one >> b & 1 == 1 {
+                        Tri::Zero
+                    } else {
+                        Tri::One
+                    },
+                );
+                out.push(c);
+                lits &= lits - 1;
+            }
+        }
+        out
+    }
 }
 
 /// True if the single-output cover covers the whole input space.
 ///
 /// This is the classic URP tautology check: unate leaves answer immediately
 /// (a unate cover is a tautology iff it contains the full cube), binate nodes
-/// split on the most binate variable.
+/// split on the most binate variable. Convenience wrapper creating a fresh
+/// [`UrpContext`]; hot paths should hold a context and call
+/// [`UrpContext::tautology`] to reuse its arenas.
 ///
 /// # Panics
 ///
 /// Panics if the cover is not single-output.
 pub fn tautology(cover: &Cover) -> bool {
-    assert_eq!(cover.n_outputs(), 1, "tautology is defined per output");
-    tautology_rec(cover)
-}
-
-fn tautology_rec(cover: &Cover) -> bool {
-    // Quick accept: any all-don't-care cube covers everything.
-    if cover.iter().any(|c| c.input_is_full()) {
-        return true;
-    }
-    if cover.is_empty() {
-        return false;
-    }
-    // Quick reject: a variable appearing in only one phase and in *every*
-    // cube means the opposite half-space is uncovered.
-    let usage = var_usage(cover);
-    let n = cover.len();
-    for u in &usage {
-        if (u.pos == n && u.neg == 0) || (u.neg == n && u.pos == 0) {
-            return false;
-        }
-    }
-    match most_binate_var(cover) {
-        None => {
-            // Unate cover without a full cube: never a tautology.
-            false
-        }
-        Some(i) => {
-            tautology_rec(&shannon_cofactor(cover, i, true))
-                && tautology_rec(&shannon_cofactor(cover, i, false))
-        }
-    }
+    UrpContext::new().tautology(cover)
 }
 
 /// Complement of a single-output cover via URP.
 ///
 /// Returns a cover `R` with `R(x) = !F(x)` for all assignments `x`. The
 /// result is SCC-minimal but not necessarily minimal in the ESPRESSO sense.
+/// Convenience wrapper creating a fresh [`UrpContext`].
 ///
 /// # Panics
 ///
 /// Panics if the cover is not single-output.
 pub fn complement(cover: &Cover) -> Cover {
-    assert_eq!(cover.n_outputs(), 1, "complement is defined per output");
-    let mut r = complement_rec(cover);
-    r.make_scc_minimal();
-    r
-}
-
-fn complement_rec(cover: &Cover) -> Cover {
-    let n = cover.n_inputs();
-    if cover.iter().any(|c| c.input_is_full()) {
-        return Cover::new(n, 1);
-    }
-    if cover.is_empty() {
-        return Cover::from_cubes(n, 1, vec![Cube::universe(n, 1)]);
-    }
-    if cover.len() == 1 {
-        return complement_cube(&cover.cubes()[0]);
-    }
-    match most_binate_var(cover) {
-        Some(i) => merge_complement(cover, i),
-        None => {
-            // Unate cover: still split, on the most frequent variable, which
-            // guarantees progress (some cube loses a literal each level).
-            let usage = var_usage(cover);
-            let (i, _) = usage
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, u)| u.pos + u.neg)
-                .expect("nonempty cover has variables");
-            merge_complement(cover, i)
-        }
-    }
-}
-
-/// `R = x̄·comp(F_x̄) + x·comp(F_x)`, with single-literal lifting.
-fn merge_complement(cover: &Cover, i: usize) -> Cover {
-    let n = cover.n_inputs();
-    let comp_pos = complement_rec(&shannon_cofactor(cover, i, true));
-    let comp_neg = complement_rec(&shannon_cofactor(cover, i, false));
-    let mut cubes = Vec::with_capacity(comp_pos.len() + comp_neg.len());
-    for (value, part) in [(true, comp_pos), (false, comp_neg)] {
-        for c in part.iter() {
-            let mut c = c.clone();
-            c.set_input(i, if value { Tri::One } else { Tri::Zero });
-            cubes.push(c);
-        }
-    }
-    let mut r = Cover::from_cubes(n, 1, cubes);
-    r.make_scc_minimal();
-    r
-}
-
-/// De Morgan complement of a single cube: one cube per literal.
-fn complement_cube(cube: &Cube) -> Cover {
-    let n = cube.n_inputs();
-    let mut out = Cover::new(n, 1);
-    for i in 0..n {
-        match cube.input(i) {
-            Tri::DontCare => {}
-            t => {
-                let mut c = Cube::universe(n, 1);
-                c.set_input(i, if t == Tri::One { Tri::Zero } else { Tri::One });
-                out.push(c);
-            }
-        }
-    }
-    out
+    UrpContext::new().complement(cover)
 }
 
 #[cfg(test)]
@@ -231,6 +538,43 @@ mod tests {
     }
 
     #[test]
+    fn context_reuse_is_transparent() {
+        let mut ctx = UrpContext::new();
+        assert!(ctx.tautology(&cover("1- 1\n0- 1", 2)));
+        assert!(!ctx.tautology(&cover("10 1\n01 1", 2)));
+        // A wider cover after a narrow one must resize cleanly.
+        assert!(ctx.tautology(&cover("1---------- 1\n0---------- 1", 11)));
+        let comp = ctx.complement(&cover("10 1", 2));
+        for bits in 0..4u64 {
+            assert_eq!(comp.eval_bits(bits)[0], bits != 0b01);
+        }
+    }
+
+    #[test]
+    fn cofactor_tautology_matches_cover_path() {
+        let rest = cover("1-- 1\n-1- 1\n--1 1\n000 1", 3);
+        let mut ctx = UrpContext::new();
+        for text in ["1-- 1", "-00 1", "111 1", "--- 1"] {
+            let p = Cube::parse(text, 3, 1).unwrap();
+            let want = rest.cofactor(&p).is_tautology();
+            let got = ctx.cofactor_tautology(3, rest.iter(), &p);
+            assert_eq!(got, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn cofactor_complement_matches_cover_path() {
+        let rest = cover("11- 1\n0-1 1", 3);
+        let mut ctx = UrpContext::new();
+        for text in ["1-- 1", "-1- 1", "--- 1"] {
+            let p = Cube::parse(text, 3, 1).unwrap();
+            let want = rest.cofactor(&p).complement();
+            let got = ctx.cofactor_complement(3, rest.iter(), &p);
+            assert_eq!(got.to_string(), want.to_string(), "p={p}");
+        }
+    }
+
+    #[test]
     fn complement_of_empty_is_universe() {
         let r = complement(&Cover::new(3, 1));
         assert_eq!(r.len(), 1);
@@ -283,6 +627,29 @@ mod tests {
         // f is x0+x1+x2, complement is x0'x1'x2' — a single cube.
         assert_eq!(r.len(), 1);
         assert_eq!(r.literal_count(), 3);
+    }
+
+    #[test]
+    fn cross_word_covers_recurse_correctly() {
+        // 40 variables spans two pair-words; literals on both sides.
+        let mut a = Cube::universe(40, 1);
+        a.set_input(0, Tri::One);
+        a.set_input(35, Tri::Zero);
+        let mut b = Cube::universe(40, 1);
+        b.set_input(0, Tri::Zero);
+        let mut c = Cube::universe(40, 1);
+        c.set_input(35, Tri::One);
+        let f = Cover::from_cubes(40, 1, vec![a, b, c]);
+        // f = x0·x̄35 + x̄0 + x35 — a tautology.
+        assert!(tautology(&f));
+        let g = Cover::from_cubes(40, 1, f.cubes()[..2].to_vec());
+        // x0·x̄35 + x̄0 misses x0·x35.
+        assert!(!tautology(&g));
+        let r = complement(&g);
+        let mut probe = vec![false; 40];
+        probe[0] = true;
+        probe[35] = true;
+        assert!(r.eval(&probe)[0]);
     }
 
     #[test]

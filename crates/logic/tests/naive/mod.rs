@@ -1,0 +1,390 @@
+//! Naive reference copy of the pre-word-parallel minimization kernels.
+//!
+//! This module preserves, verbatim in algorithm and idiom, the scalar
+//! `Tri`-at-a-time implementation of the URP (tautology, complement) and
+//! the ESPRESSO loop (per-literal EXPAND with full OFF-set rescans,
+//! per-(cube, output) `rest`-cover rebuilds in IRREDUNDANT/REDUCE,
+//! clone-per-level Shannon recursion) that the word-parallel kernels in
+//! `logic::urp` / `logic::espresso` replaced. It exists so the optimized
+//! code is *differentially* tested: `tests/espresso_diff.rs` asserts the
+//! two pipelines produce identical covers on random workloads.
+//!
+//! `crates/bench/benches/espresso_bench.rs` `#[path]`-includes this very
+//! file to measure and assert the speedup floor of the optimized pipeline
+//! over this reference, so the differential tests and the bench can never
+//! drift apart.
+//!
+//! Reference code is retained as-is; parts of it are exercised only by
+//! some of the including binaries.
+#![allow(dead_code)]
+
+use logic::{Cover, Cube, EspressoStats, Tri};
+
+/// Scalar literal count, one `input(i)` call per variable (the seed's
+/// `Cube::literal_count`).
+fn literal_count(c: &Cube) -> usize {
+    (0..c.n_inputs())
+        .filter(|&i| c.input(i) != Tri::DontCare)
+        .count()
+}
+
+/// Scalar cover literal count.
+fn cover_literal_count(f: &Cover) -> usize {
+    f.iter().map(literal_count).sum()
+}
+
+/// Scalar single-output projection (the seed's `Cover::output_slice`):
+/// per-variable `Tri` extraction and re-packing.
+fn output_slice(f: &Cover, j: usize) -> Cover {
+    let mut out = Cover::new(f.n_inputs(), 1);
+    for c in f.iter() {
+        if c.has_output(j) {
+            let mut tris = Vec::with_capacity(f.n_inputs());
+            for i in 0..f.n_inputs() {
+                tris.push(c.input(i));
+            }
+            out.push(Cube::from_tris(&tris, &[true]));
+        }
+    }
+    out
+}
+
+/// How a variable appears across a cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct VarUse {
+    pos: usize,
+    neg: usize,
+}
+
+impl VarUse {
+    fn is_binate(self) -> bool {
+        self.pos > 0 && self.neg > 0
+    }
+}
+
+fn var_usage(cover: &Cover) -> Vec<VarUse> {
+    let mut use_ = vec![VarUse { pos: 0, neg: 0 }; cover.n_inputs()];
+    for c in cover.iter() {
+        for (i, u) in use_.iter_mut().enumerate() {
+            match c.input(i) {
+                Tri::One => u.pos += 1,
+                Tri::Zero => u.neg += 1,
+                Tri::DontCare => {}
+            }
+        }
+    }
+    use_
+}
+
+/// Pick the most binate variable (largest `min(pos, neg)`, ties broken by
+/// total literal count).
+fn most_binate_var(cover: &Cover) -> Option<usize> {
+    let usage = var_usage(cover);
+    usage
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.is_binate())
+        .max_by_key(|(_, u)| (u.pos.min(u.neg), u.pos + u.neg))
+        .map(|(i, _)| i)
+}
+
+/// Shannon cofactor of a single-output cover with respect to literal
+/// `x_i = value`, materialized as a fresh cover.
+fn shannon_cofactor(cover: &Cover, i: usize, value: bool) -> Cover {
+    let mut p = Cube::universe(cover.n_inputs(), 1);
+    p.set_input(i, if value { Tri::One } else { Tri::Zero });
+    cover.cofactor(&p)
+}
+
+/// Reference URP tautology check (clone-per-level recursion, `var_usage`
+/// computed twice per level — once for the quick reject, once again inside
+/// `most_binate_var` — exactly as the seed did).
+pub fn tautology(cover: &Cover) -> bool {
+    assert_eq!(cover.n_outputs(), 1, "tautology is defined per output");
+    tautology_rec(cover)
+}
+
+fn tautology_rec(cover: &Cover) -> bool {
+    if cover.iter().any(|c| c.input_is_full()) {
+        return true;
+    }
+    if cover.is_empty() {
+        return false;
+    }
+    let usage = var_usage(cover);
+    let n = cover.len();
+    for u in &usage {
+        if (u.pos == n && u.neg == 0) || (u.neg == n && u.pos == 0) {
+            return false;
+        }
+    }
+    match most_binate_var(cover) {
+        None => false,
+        Some(i) => {
+            tautology_rec(&shannon_cofactor(cover, i, true))
+                && tautology_rec(&shannon_cofactor(cover, i, false))
+        }
+    }
+}
+
+/// Reference URP complement.
+pub fn complement(cover: &Cover) -> Cover {
+    assert_eq!(cover.n_outputs(), 1, "complement is defined per output");
+    let mut r = complement_rec(cover);
+    r.make_scc_minimal();
+    r
+}
+
+fn complement_rec(cover: &Cover) -> Cover {
+    let n = cover.n_inputs();
+    if cover.iter().any(|c| c.input_is_full()) {
+        return Cover::new(n, 1);
+    }
+    if cover.is_empty() {
+        return Cover::from_cubes(n, 1, vec![Cube::universe(n, 1)]);
+    }
+    if cover.len() == 1 {
+        return complement_cube(&cover.cubes()[0]);
+    }
+    match most_binate_var(cover) {
+        Some(i) => merge_complement(cover, i),
+        None => {
+            let usage = var_usage(cover);
+            let (i, _) = usage
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, u)| u.pos + u.neg)
+                .expect("nonempty cover has variables");
+            merge_complement(cover, i)
+        }
+    }
+}
+
+fn merge_complement(cover: &Cover, i: usize) -> Cover {
+    let n = cover.n_inputs();
+    let comp_pos = complement_rec(&shannon_cofactor(cover, i, true));
+    let comp_neg = complement_rec(&shannon_cofactor(cover, i, false));
+    let mut cubes = Vec::with_capacity(comp_pos.len() + comp_neg.len());
+    for (value, part) in [(true, comp_pos), (false, comp_neg)] {
+        for c in part.iter() {
+            let mut c = c.clone();
+            c.set_input(i, if value { Tri::One } else { Tri::Zero });
+            cubes.push(c);
+        }
+    }
+    let mut r = Cover::from_cubes(n, 1, cubes);
+    r.make_scc_minimal();
+    r
+}
+
+fn complement_cube(cube: &Cube) -> Cover {
+    let n = cube.n_inputs();
+    let mut out = Cover::new(n, 1);
+    for i in 0..n {
+        match cube.input(i) {
+            Tri::DontCare => {}
+            t => {
+                let mut c = Cube::universe(n, 1);
+                c.set_input(i, if t == Tri::One { Tri::Zero } else { Tri::One });
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Reference ESPRESSO: minimize `on` with an empty don't-care set.
+pub fn espresso(on: &Cover) -> (Cover, EspressoStats) {
+    espresso_with_dc(on, &Cover::new(on.n_inputs(), on.n_outputs()))
+}
+
+/// Reference ESPRESSO against a don't-care cover.
+pub fn espresso_with_dc(on: &Cover, dc: &Cover) -> (Cover, EspressoStats) {
+    assert_eq!(on.n_inputs(), dc.n_inputs(), "input arity mismatch");
+    assert_eq!(on.n_outputs(), dc.n_outputs(), "output arity mismatch");
+
+    let mut f = on.clone();
+    f.make_scc_minimal();
+    let initial_cubes = f.len();
+    let initial_literals = cover_literal_count(&f);
+
+    let off: Vec<Cover> = (0..on.n_outputs())
+        .map(|j| complement(&output_slice(on, j).union(&output_slice(dc, j))))
+        .collect();
+
+    f = expand(&f, &off);
+    f = irredundant(&f, dc);
+    let mut best = f.clone();
+    let mut best_cost = cost(&best);
+
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        f = reduce(&f, dc);
+        f = expand(&f, &off);
+        f = irredundant(&f, dc);
+        let c = cost(&f);
+        if c < best_cost {
+            best = f.clone();
+            best_cost = c;
+        } else {
+            break;
+        }
+        if iterations >= 16 {
+            break;
+        }
+    }
+
+    let stats = EspressoStats {
+        initial_cubes,
+        initial_literals,
+        final_cubes: best.len(),
+        final_literals: cover_literal_count(&best),
+        iterations,
+    };
+    (best, stats)
+}
+
+fn cost(f: &Cover) -> (usize, usize) {
+    (f.len(), cover_literal_count(f))
+}
+
+/// Per-literal EXPAND: every raise attempt clones the cube and rescans the
+/// whole relevant OFF-set.
+fn expand(f: &Cover, off: &[Cover]) -> Cover {
+    let n_inputs = f.n_inputs();
+    let n_outputs = f.n_outputs();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(literal_count(&cubes[i])));
+
+    for &idx in &order {
+        let mut c = cubes[idx].clone();
+        for i in 0..n_inputs {
+            if c.input(i) == Tri::DontCare {
+                continue;
+            }
+            let mut trial = c.clone();
+            trial.set_input(i, Tri::DontCare);
+            if is_off_disjoint(&trial, off) {
+                c = trial;
+            }
+        }
+        for (j, off_j) in off.iter().enumerate() {
+            if c.has_output(j) {
+                continue;
+            }
+            let ip = c.input_part();
+            if off_j.iter().all(|o| !ip.inputs_intersect(o)) {
+                c.set_output(j);
+            }
+        }
+        cubes[idx] = c;
+    }
+    let mut out = Cover::from_cubes(n_inputs, n_outputs, cubes);
+    out.make_scc_minimal();
+    out
+}
+
+fn is_off_disjoint(c: &Cube, off: &[Cover]) -> bool {
+    let ip = c.input_part();
+    c.outputs()
+        .all(|j| off[j].iter().all(|o| !ip.inputs_intersect(o)))
+}
+
+/// IRREDUNDANT with per-(cube, output) `rest`-cover rebuilds.
+fn irredundant(f: &Cover, dc: &Cover) -> Cover {
+    let n_inputs = f.n_inputs();
+    let n_outputs = f.n_outputs();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(literal_count(&cubes[i])));
+
+    let mut alive = vec![true; cubes.len()];
+    for &idx in &order {
+        let ip = cubes[idx].input_part();
+        let outs: Vec<usize> = cubes[idx].outputs().collect();
+        for j in outs {
+            let mut rest = Cover::new(n_inputs, 1);
+            for (k, other) in cubes.iter().enumerate() {
+                if k != idx && alive[k] && other.has_output(j) {
+                    rest.push(other.input_part());
+                }
+            }
+            for d in dc.iter() {
+                if d.has_output(j) {
+                    rest.push(d.input_part());
+                }
+            }
+            if tautology(&rest.cofactor(&ip)) {
+                cubes[idx].clear_output(j);
+            }
+        }
+        if cubes[idx].is_empty() {
+            alive[idx] = false;
+        }
+    }
+    let kept: Vec<Cube> = cubes
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(c, a)| a.then_some(c))
+        .collect();
+    Cover::from_cubes(n_inputs, n_outputs, kept)
+}
+
+/// REDUCE with per-(cube, output) `rest`-cover rebuilds.
+fn reduce(f: &Cover, dc: &Cover) -> Cover {
+    let n_inputs = f.n_inputs();
+    let n_outputs = f.n_outputs();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| literal_count(&cubes[i]));
+
+    for &idx in &order {
+        let ip = cubes[idx].input_part();
+        let outs: Vec<usize> = cubes[idx].outputs().collect();
+        let mut new_input: Option<Cube> = None;
+        for &j in &outs {
+            let mut rest = Cover::new(n_inputs, 1);
+            for (k, other) in cubes.iter().enumerate() {
+                if k != idx && !other.is_empty() && other.has_output(j) {
+                    rest.push(other.input_part());
+                }
+            }
+            for d in dc.iter() {
+                if d.has_output(j) {
+                    rest.push(d.input_part());
+                }
+            }
+            let uncovered = complement(&rest.cofactor(&ip));
+            if uncovered.is_empty() {
+                continue;
+            }
+            let mut sup: Option<Cube> = None;
+            for u in uncovered.iter() {
+                let clipped = u.intersect(&ip);
+                if clipped.is_empty() {
+                    continue;
+                }
+                sup = Some(match sup {
+                    None => clipped,
+                    Some(s) => s.supercube(&clipped),
+                });
+            }
+            if let Some(s) = sup {
+                new_input = Some(match new_input {
+                    None => s,
+                    Some(t) => t.supercube(&s),
+                });
+            }
+        }
+        if let Some(ni) = new_input {
+            for i in 0..n_inputs {
+                cubes[idx].set_input(i, ni.input(i));
+            }
+        }
+    }
+    let mut out = Cover::from_cubes(n_inputs, n_outputs, cubes);
+    out.make_scc_minimal();
+    out
+}
