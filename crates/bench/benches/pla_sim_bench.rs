@@ -1,20 +1,39 @@
 //! Criterion micro-bench: GNOR-PLA functional simulation throughput
 //! (mapping, exhaustive simulation, programming round-trip) and the
-//! 64-lane [`Simulator`] engine against 64 sequential `simulate_bits`
+//! bit-parallel [`Simulator`] engine against sequential `simulate_bits`
 //! calls.
 //!
 //! The batch section prints an explicit `speedup:` line per architecture
 //! and asserts the acceptance floor: on a 16-input / 32-term / 8-output
-//! cover, `GnorPla`'s `Simulator::eval_block` must be at least 8× faster than 64
-//! independent `simulate_bits` calls.
+//! cover, `GnorPla`'s `Simulator::eval_block` must be at least 8× faster
+//! than 64 independent `simulate_bits` calls.
+//!
+//! The width section measures `eval_words` at 1 / 2 / 4 / 8 lane words
+//! per signal (64–512 vectors per call, caller-reused buffers), prints a
+//! per-vector scaling table, asserts that `words = 4` is **not slower
+//! per vector** than `words = 1` (≥ 1.0× throughput), and emits
+//! machine-readable `BENCH_sim.json` (override the path with
+//! `AMBIPLA_BENCH_JSON`) so the perf trajectory has simulation
+//! datapoints alongside `BENCH_espresso.json`.
 
-use ambipla_core::sim::pack_vectors;
+use ambipla_core::sim::{pack_vectors, pack_vectors_words};
 use ambipla_core::{ClassicalPla, GnorPla, Simulator, Wpla};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcnc::RandomPla;
 
+/// Samples per benchmark: 5 under `AMBIPLA_BENCH_SMOKE` (CI), 15 in a
+/// full run — the same convention as `espresso_bench` / `serve_bench`.
+fn samples() -> usize {
+    if std::env::var("AMBIPLA_BENCH_SMOKE").is_ok() {
+        5
+    } else {
+        15
+    }
+}
+
 fn bench_pla(c: &mut Criterion) {
     let mut group = c.benchmark_group("gnor_pla");
+    group.sample_size(samples());
     for bench in mcnc::table1_benchmarks_env() {
         let pla = GnorPla::from_cover(&bench.on);
         group.bench_with_input(BenchmarkId::new("map", bench.name), &bench.on, |b, on| {
@@ -62,6 +81,7 @@ fn bench_batch(c: &mut Criterion) {
 
     {
         let mut group = c.benchmark_group("batch_16i32p8o");
+        group.sample_size(samples());
         group.bench_with_input(
             BenchmarkId::new("scalar_64", "gnor"),
             &(&gnor, &vectors),
@@ -135,5 +155,119 @@ fn bench_batch(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_pla, bench_batch);
+/// Lane-word widths of the scaling table: 64 to 512 vectors per call.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Width scaling of the redesigned `eval_words` path on the acceptance
+/// cover: same per-vector work at every width, so wider calls may only
+/// win (amortized per-call overhead, per-literal control decode shared
+/// across lane words). Runs after `bench_batch` so the JSON report can
+/// fold in the batch-vs-scalar medians already recorded on `c`.
+fn bench_width(c: &mut Criterion) {
+    let cover = acceptance_cover();
+    let gnor = GnorPla::from_cover(&cover);
+    let n = Simulator::n_inputs(&gnor);
+    let o = Simulator::n_outputs(&gnor);
+
+    {
+        let mut group = c.benchmark_group("width_16i32p8o");
+        group.sample_size(samples());
+        for &words in &WIDTHS {
+            let vectors: Vec<u64> = (0..(words * 64) as u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & 0xffff)
+                .collect();
+            let mut packed = vec![0u64; n * words];
+            pack_vectors_words(&vectors, n, words, &mut packed);
+            // The caller-owned output buffer is reused across iterations —
+            // the allocation-free contract the redesign establishes.
+            let mut out = vec![0u64; o * words];
+            group.bench_with_input(
+                BenchmarkId::new("eval_words", words),
+                &packed,
+                |b, packed| {
+                    b.iter(|| {
+                        gnor.eval_words(std::hint::black_box(packed), &mut out, words);
+                        out[0]
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+
+    let per_vector = |words: usize| {
+        c.median_ns(&format!("eval_words/{words}"))
+            .expect("width measurement recorded")
+            / (words * 64) as f64
+    };
+    let base = per_vector(1);
+    println!("width_16i32p8o (gnor eval_words, ns per vector):");
+    let mut width_rows = Vec::new();
+    for &words in &WIDTHS {
+        let ns = per_vector(words);
+        let ratio = base / ns;
+        println!(
+            "  words={words} ({:>3} lanes): {ns:7.2} ns/vector, {ratio:.2}x vs words=1",
+            words * 64
+        );
+        width_rows.push((words, ns, ratio));
+    }
+    let &(_, _, ratio4) = width_rows
+        .iter()
+        .find(|&&(w, ..)| w == 4)
+        .expect("words=4 measured");
+    write_json(c, &width_rows);
+    assert!(
+        ratio4 >= 1.0,
+        "acceptance floor: eval_words at words=4 must not be slower per \
+         vector than words=1, measured {ratio4:.2}x"
+    );
+}
+
+/// Emit `BENCH_sim.json` (batch-vs-scalar speedups + width scaling),
+/// following the `BENCH_espresso.json` / `AMBIPLA_BENCH_JSON` convention.
+fn write_json(c: &Criterion, width_rows: &[(usize, f64, f64)]) {
+    let path = std::env::var("AMBIPLA_BENCH_JSON").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+    let mode = if std::env::var("AMBIPLA_BENCH_SMOKE").is_ok() {
+        "smoke"
+    } else {
+        "full"
+    };
+    let mut body = String::new();
+    body.push_str("{\n  \"bench\": \"sim\",\n");
+    body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    body.push_str("  \"workload\": \"16i32p8o\",\n");
+    body.push_str("  \"batch_vs_scalar\": [\n");
+    let archs = ["gnor", "classical", "wpla"];
+    for (k, arch) in archs.iter().enumerate() {
+        let scalar = c
+            .median_ns(&format!("scalar_64/{arch}"))
+            .expect("scalar measurement recorded");
+        let batch = c
+            .median_ns(&format!("batch_64/{arch}"))
+            .expect("batch measurement recorded");
+        body.push_str(&format!(
+            "    {{\"arch\": \"{arch}\", \"scalar_ns_per_block\": {scalar:.1}, \
+             \"batch_ns_per_block\": {batch:.1}, \"speedup\": {:.3}}}{}\n",
+            scalar / batch,
+            if k + 1 == archs.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ],\n  \"width_scaling\": [\n");
+    for (k, &(words, ns, ratio)) in width_rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"words\": {words}, \"lanes\": {}, \"ns_per_vector\": {ns:.3}, \
+             \"throughput_vs_words1\": {ratio:.3}}}{}\n",
+            words * 64,
+            if k + 1 == width_rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_pla, bench_batch, bench_width);
 criterion_main!(benches);

@@ -42,6 +42,10 @@ fn service_config(cache_capacity: usize) -> ServeConfig {
         // enough that calibration tails cannot stall a sample.
         max_wait: Duration::from_micros(500),
         cache_capacity,
+        // Ride the width-generic eval path: one flush serves 4 × 64
+        // requests in a single eval_words call (cache entries stay keyed
+        // per 64-lane sub-block, so the warm path is unaffected).
+        block_words: 4,
         ..ServeConfig::default()
     }
 }

@@ -121,39 +121,46 @@ impl Simulator for ClassicalPla {
         self.n_outputs
     }
 
-    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
-        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
-        // True/complement rails, one word pair per input.
-        let mut rails = Vec::with_capacity(2 * self.n_inputs);
-        for &x in inputs {
-            rails.push(x);
-            rails.push(!x);
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        assert!(words > 0, "at least one lane word per signal");
+        assert_eq!(inputs.len(), self.n_inputs * words, "input arity mismatch");
+        assert_eq!(
+            out.len(),
+            self.n_outputs * words,
+            "output buffer size mismatch"
+        );
+        // The rails are virtual: AND-plane column 2i reads input word i
+        // directly, column 2i+1 reads its complement.
+        let mut products = vec![0u64; self.and_plane.len() * words];
+        for (row, prow) in self.and_plane.iter().zip(products.chunks_exact_mut(words)) {
+            for (i, rails) in row.chunks_exact(2).enumerate() {
+                let x = &inputs[i * words..(i + 1) * words];
+                if rails[0] {
+                    for (p, &xv) in prow.iter_mut().zip(x) {
+                        *p |= xv;
+                    }
+                }
+                if rails[1] {
+                    for (p, &xv) in prow.iter_mut().zip(x) {
+                        *p |= !xv;
+                    }
+                }
+            }
+            for p in prow.iter_mut() {
+                *p = !*p;
+            }
         }
-        let products: Vec<u64> = self
-            .and_plane
-            .iter()
-            .map(|row| {
-                let mut discharged = 0u64;
-                for (&connected, &rail) in row.iter().zip(&rails) {
-                    if connected {
-                        discharged |= rail;
+        out.fill(0);
+        for (row, orow) in self.or_plane.iter().zip(out.chunks_exact_mut(words)) {
+            for (r, &connected) in row.iter().enumerate() {
+                if connected {
+                    let p = &products[r * words..(r + 1) * words];
+                    for (o, &pv) in orow.iter_mut().zip(p) {
+                        *o |= pv;
                     }
                 }
-                !discharged
-            })
-            .collect();
-        self.or_plane
-            .iter()
-            .map(|row| {
-                let mut asserted = 0u64;
-                for (&connected, &p) in row.iter().zip(&products) {
-                    if connected {
-                        asserted |= p;
-                    }
-                }
-                asserted
-            })
-            .collect()
+            }
+        }
     }
 }
 

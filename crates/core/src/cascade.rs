@@ -80,6 +80,10 @@ pub struct PlaNetwork {
     /// `links[k]` routes stage `k`'s outputs to stage `k+1`'s inputs;
     /// `links.len() == stages.len() - 1`.
     links: Vec<Crossbar>,
+    /// `driver_maps[k][v]` is the horizontal wire driving vertical `v` of
+    /// `links[k]` — the builder-validated (short- and float-free) routing
+    /// resolved once, so block evaluation never rescans a crossbar.
+    driver_maps: Vec<Vec<usize>>,
 }
 
 impl PlaNetwork {
@@ -96,25 +100,32 @@ impl PlaNetwork {
         if links.len() != stages.len() - 1 {
             return Err(NetworkError::ArityMismatch { stage: links.len() });
         }
+        let mut driver_maps = Vec::with_capacity(links.len());
         for (k, link) in links.iter().enumerate() {
             let up = stages[k].dimensions().outputs;
             let down = stages[k + 1].dimensions().inputs;
             if link.horizontals() != up || link.verticals() != down {
                 return Err(NetworkError::ArityMismatch { stage: k });
             }
-            // Probe with all-false drivers to detect shorts/floats.
-            match link.route(&vec![false; up]) {
+            // Resolve the routing once: shorts and floats surface here,
+            // and the validated map is what block evaluation indexes.
+            match link.driver_map() {
                 Err(crate::crossbar::RouteError::MultipleDrivers { vertical }) => {
                     return Err(NetworkError::Short { stage: k, vertical })
                 }
-                Ok(values) => {
-                    if let Some(input) = values.iter().position(Option::is_none) {
+                Ok(drivers) => {
+                    if let Some(input) = drivers.iter().position(Option::is_none) {
                         return Err(NetworkError::UndrivenInput { stage: k, input });
                     }
+                    driver_maps.push(drivers.into_iter().flatten().collect());
                 }
             }
         }
-        Ok(PlaNetwork { stages, links })
+        Ok(PlaNetwork {
+            stages,
+            links,
+            driver_maps,
+        })
     }
 
     /// Convenience: chain covers with identity routing (output `i` of each
@@ -183,20 +194,37 @@ impl Simulator for PlaNetwork {
         PlaNetwork::n_outputs(self)
     }
 
-    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
-        let mut signal = self.stages[0].eval_block(inputs);
-        for (link, stage) in self.links.iter().zip(self.stages.iter().skip(1)) {
-            let routed = link
-                .route_block(&signal)
-                .expect("validated network has no shorts");
-            signal = stage.eval_block(
-                &routed
-                    .into_iter()
-                    .map(|v| v.expect("validated network has no floats"))
-                    .collect::<Vec<_>>(),
-            );
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        let last = self.stages.len() - 1;
+        if last == 0 {
+            self.stages[0].eval_words(inputs, out, words);
+            return;
         }
-        signal
+        // Ping-pong stage/routing buffers per call; routing indexes the
+        // driver maps the builder resolved and validated (short- and
+        // float-free), so no crossbar is rescanned per block.
+        let mut signal = vec![0u64; Simulator::n_outputs(&self.stages[0]) * words];
+        self.stages[0].eval_words(inputs, &mut signal, words);
+        let mut routed = Vec::new();
+        for (k, (drivers, stage)) in self
+            .driver_maps
+            .iter()
+            .zip(self.stages.iter().skip(1))
+            .enumerate()
+        {
+            routed.clear();
+            routed.resize(drivers.len() * words, 0);
+            for (&h, vrow) in drivers.iter().zip(routed.chunks_exact_mut(words)) {
+                vrow.copy_from_slice(&signal[h * words..(h + 1) * words]);
+            }
+            if k + 1 == last {
+                stage.eval_words(&routed, out, words);
+            } else {
+                signal.clear();
+                signal.resize(Simulator::n_outputs(stage) * words, 0);
+                stage.eval_words(&routed, &mut signal, words);
+            }
+        }
     }
 }
 

@@ -127,26 +127,31 @@ impl Simulator for DynamicPla {
         self.plane2.len()
     }
 
-    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        assert_eq!(
+            out.len(),
+            self.plane2.len() * words,
+            "output buffer size mismatch"
+        );
         // After precharge, a line discharges iff its pull-down column
         // conducts — the combinational GNOR of the configured gate.
-        let products: Vec<u64> = self
-            .plane1
-            .iter()
-            .map(|c| c.gate().evaluate_batch(inputs))
-            .collect();
-        self.plane2
+        let mut products = vec![0u64; self.plane1.len() * words];
+        for (c, prow) in self.plane1.iter().zip(products.chunks_exact_mut(words)) {
+            c.gate().evaluate_words(inputs, prow, words);
+        }
+        for ((c, &inv), orow) in self
+            .plane2
             .iter()
             .zip(&self.inverting_outputs)
-            .map(|(c, &inv)| {
-                let w = c.gate().evaluate_batch(&products);
-                if inv {
-                    !w
-                } else {
-                    w
+            .zip(out.chunks_exact_mut(words))
+        {
+            c.gate().evaluate_words(&products, orow, words);
+            if inv {
+                for w in orow {
+                    *w = !*w;
                 }
-            })
-            .collect()
+            }
+        }
     }
 }
 

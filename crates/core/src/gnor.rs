@@ -156,24 +156,54 @@ impl GnorGate {
         })
     }
 
+    /// Width-generic bit-parallel evaluation: `inputs[i·words + w]`
+    /// carries lanes `w·64 .. (w+1)·64` of input `i`, and `out` (length
+    /// `words`) receives the gate output in the same lane order. Each
+    /// control is decoded once per call, so wider blocks amortize the
+    /// per-literal branch over `words × 64` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`, `inputs.len() != width() × words`, or
+    /// `out.len() != words`.
+    pub fn evaluate_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        assert!(words > 0, "at least one lane word per signal");
+        assert_eq!(inputs.len(), self.width() * words, "input arity mismatch");
+        assert_eq!(out.len(), words, "one output word per lane word");
+        // `out` doubles as the discharge accumulator.
+        out.fill(0);
+        for (i, c) in self.controls.iter().enumerate() {
+            let row = &inputs[i * words..(i + 1) * words];
+            match c {
+                InputPolarity::Pass => {
+                    for (o, &x) in out.iter_mut().zip(row) {
+                        *o |= x;
+                    }
+                }
+                InputPolarity::Invert => {
+                    for (o, &x) in out.iter_mut().zip(row) {
+                        *o |= !x;
+                    }
+                }
+                InputPolarity::Drop => {}
+            }
+        }
+        for o in out.iter_mut() {
+            *o = !*o;
+        }
+    }
+
     /// Bit-parallel evaluation over 64 lanes: word `inputs[i]` carries
     /// input `i` of every lane, and the returned word carries the gate
-    /// output per lane (see `crate::batch`).
+    /// output per lane — [`GnorGate::evaluate_words`] with `words = 1`.
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != width()`.
     pub fn evaluate_batch(&self, inputs: &[u64]) -> u64 {
-        assert_eq!(inputs.len(), self.width(), "input arity mismatch");
-        let mut discharged = 0u64;
-        for (c, &x) in self.controls.iter().zip(inputs) {
-            match c {
-                InputPolarity::Pass => discharged |= x,
-                InputPolarity::Invert => discharged |= !x,
-                InputPolarity::Drop => {}
-            }
-        }
-        !discharged
+        let mut out = [0u64];
+        self.evaluate_words(inputs, &mut out, 1);
+        out[0]
     }
 
     /// The PG levels programming this gate's input devices.

@@ -25,9 +25,11 @@
 //!   simulation, and programming through the charge matrix,
 //! * [`baseline`] — the classical two-column-per-input PLA used as the
 //!   comparison point,
-//! * [`sim`] — the object-safe [`Simulator`] trait: the 64-lane
-//!   bit-parallel evaluation API every PLA flavor, fault model and FPGA
-//!   mapping implements, plus the `&dyn Simulator` verification sweeps,
+//! * [`sim`] — the object-safe [`Simulator`] trait: the width-generic
+//!   bit-parallel evaluation API (`eval_words`, up to `words × 64` lanes
+//!   per call into caller-reused buffers) every PLA flavor, fault model
+//!   and FPGA mapping implements, plus the `&dyn Simulator` verification
+//!   sweeps,
 //! * [`hash`] — stable structural cover hashing (cache keys for the
 //!   `ambipla_serve` result cache),
 //! * [`pool`] — the deterministic [`std::thread::scope`] worker pool behind
@@ -71,6 +73,6 @@ pub use layout::Floorplan;
 pub use pla::{GnorPla, MapError};
 pub use plane::GnorPlane;
 pub use pool::WorkerPool;
-pub use sim::{pack_vectors, unpack_lane, Simulator, LANES};
+pub use sim::{pack_vectors, pack_vectors_words, unpack_lane, unpack_lane_words, Simulator, LANES};
 pub use timing::{PlaTiming, TimingModel};
 pub use wpla::Wpla;

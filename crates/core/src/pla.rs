@@ -276,13 +276,20 @@ impl Simulator for GnorPla {
         self.output_plane.rows()
     }
 
-    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
-        let products = self.input_plane.evaluate_batch(inputs);
-        let nor = self.output_plane.evaluate_batch(&products);
-        nor.iter()
-            .zip(&self.inverting_outputs)
-            .map(|(&w, &inv)| if inv { !w } else { w })
-            .collect()
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        // One product-line buffer per call, amortized over words × 64
+        // lanes; the planes assert all arities.
+        let mut products = vec![0u64; self.input_plane.rows() * words];
+        self.input_plane
+            .evaluate_words(inputs, &mut products, words);
+        self.output_plane.evaluate_words(&products, out, words);
+        for (row, &inv) in out.chunks_exact_mut(words).zip(&self.inverting_outputs) {
+            if inv {
+                for w in row {
+                    *w = !*w;
+                }
+            }
+        }
     }
 }
 

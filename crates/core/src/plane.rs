@@ -98,15 +98,38 @@ impl GnorPlane {
         self.rows.iter().map(|g| g.evaluate(inputs)).collect()
     }
 
+    /// Width-generic bit-parallel evaluation: `words` lane words per
+    /// input column in (`inputs[i·words + w]`, signal-major), `words`
+    /// lane words per row out. See [`GnorGate::evaluate_words`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`, `inputs.len() != cols() × words`, or
+    /// `out.len() != rows() × words`.
+    pub fn evaluate_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        assert!(words > 0, "at least one lane word per signal");
+        assert_eq!(inputs.len(), self.cols * words, "input arity mismatch");
+        assert_eq!(
+            out.len(),
+            self.rows.len() * words,
+            "output buffer size mismatch"
+        );
+        for (g, row) in self.rows.iter().zip(out.chunks_exact_mut(words)) {
+            g.evaluate_words(inputs, row, words);
+        }
+    }
+
     /// Bit-parallel evaluation over 64 lanes: one word per input column in,
-    /// one word per row out (see `crate::batch`).
+    /// one word per row out — [`GnorPlane::evaluate_words`] with
+    /// `words = 1`.
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != cols()`.
     pub fn evaluate_batch(&self, inputs: &[u64]) -> Vec<u64> {
-        assert_eq!(inputs.len(), self.cols, "input arity mismatch");
-        self.rows.iter().map(|g| g.evaluate_batch(inputs)).collect()
+        let mut out = vec![0u64; self.rows.len()];
+        self.evaluate_words(inputs, &mut out, 1);
+        out
     }
 
     /// Number of programmed (non-`V0`) devices — the used crosspoints.

@@ -7,54 +7,88 @@
 //! `ambipla_serve` batcher, benches) was written against one concrete
 //! type. [`Simulator`] collapses all of that into a single trait:
 //!
-//! * the **required** method is word-level: [`Simulator::eval_block`]
-//!   evaluates 64 input vectors per call,
-//! * the **scalar** entry points ([`Simulator::simulate_bits`],
-//!   [`Simulator::simulate`], [`Simulator::eval_vectors`]) are provided
-//!   adapters over `eval_block`, so implementors write the fast path once
-//!   and get the convenience API for free,
+//! * the **required** method is width-generic and allocation-free:
+//!   [`Simulator::eval_words`] evaluates up to `words × 64` input vectors
+//!   per call into a caller-allocated buffer,
+//! * the classic 64-lane [`Simulator::eval_block`] survives as a
+//!   **provided adapter** (`words = 1`, allocating its result), as do the
+//!   scalar entry points ([`Simulator::simulate_bits`],
+//!   [`Simulator::simulate`], [`Simulator::eval_vectors`]) — implementors
+//!   write the wide fast path once and get the whole convenience API for
+//!   free,
 //! * the trait is **object-safe**: heterogeneous backends (a plain
 //!   [`Cover`], a `GnorPla`, a faulty array, an FPGA mapping) ride the
 //!   same `&dyn Simulator` sweeps and the same `Arc<dyn Simulator>`
 //!   service registrations.
 //!
-//! # Lane layout
+//! # The multi-word block layout (signal-major, column-major lanes)
 //!
-//! A **block** packs 64 input vectors ("lanes") column-major: argument
-//! `inputs[i]` of [`eval_block`](Simulator::eval_block) carries input `i`
-//! of all 64 lanes — bit `L` of that word is input `i` of lane `L`. The
-//! returned words carry the outputs in the same layout: bit `L` of output
-//! word `j` is output `j` of lane `L`. [`pack_vectors`] / [`unpack_lane`]
-//! convert between this layout and the packed-assignment (`u64` per
-//! vector, bit `i` = input `i`) layout the scalar API uses.
+//! A **block** packs up to `words × 64` input vectors ("lanes"). Each
+//! signal (input or output) owns `words` consecutive `u64` lane words:
+//!
+//! * `inputs[i·words .. (i+1)·words]` carries input `i` of every lane,
+//! * lane `L` of the block lives in bit `L % 64` of word `L / 64`,
+//! * on return, `out[j·words .. (j+1)·words]` carries output `j` in the
+//!   same lane order.
+//!
+//! Buffer sizing follows directly: `inputs.len() == n_inputs × words` and
+//! `out.len() == n_outputs × words`. With `words == 1` this degenerates
+//! to the classic column-major 64-lane block (one `u64` per signal), so
+//! `eval_block` is exactly `eval_words` with `words = 1`.
+//! [`pack_vectors_words`] / [`unpack_lane_words`] convert between this
+//! layout and the packed-assignment (`u64` per vector, bit `i` = input
+//! `i`) layout the scalar API uses; [`exhaustive_words`] enumerates
+//! consecutive assignments directly in block form.
 //!
 //! # Partial blocks: the `lane_mask` garbage-lane contract
 //!
-//! `eval_block` always computes all 64 lanes. When fewer than 64 vectors
-//! are packed, the unused lanes of the input words hold whatever the
-//! packer left there (zeros after [`pack_vectors`], arbitrary garbage
-//! otherwise) and the corresponding output lanes are the evaluation of
-//! that garbage — **not** zeros, and not an error. Any consumer of a
-//! partial block must mask output (or difference) words with
-//! [`lane_mask`]`(valid_lanes)` before interpreting them, and must only
-//! [`unpack_lane`] lanes it actually packed. Every sweep in this module,
-//! the `ambipla_serve` batcher and the bulk sweeps follow this contract;
-//! see [`logic::eval::lane_mask`] for the canonical statement.
+//! `eval_words` always computes all `words × 64` lanes. When fewer
+//! vectors are packed, the unused lanes of the input words hold whatever
+//! the packer left there (zeros after [`pack_vectors_words`], arbitrary
+//! garbage otherwise) and the corresponding output lanes are the
+//! evaluation of that garbage — **not** zeros, and not an error. Any
+//! consumer of a partial block must mask output (or difference) words
+//! with [`lane_mask_words`]`(valid_lanes, word)` before interpreting
+//! them, and must only unpack lanes it actually packed. Every sweep in
+//! this module, the `ambipla_serve` batcher and the bulk sweeps follow
+//! this contract; see [`logic::eval::lane_mask`] for the canonical
+//! single-word statement. There is no alignment requirement beyond the
+//! layout itself: `words` is any positive count, and a tail block simply
+//! packs fewer than `words × 64` lanes.
+//!
+//! # Migrating an external `eval_block` implementor
+//!
+//! Pre-redesign, `eval_block` was the required method. If you maintain an
+//! out-of-tree `Simulator`, rename your `eval_block` body into
+//!
+//! ```text
+//! fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize)
+//! ```
+//!
+//! indexing signal `i`'s lane words as `inputs[i*words + w]` and writing
+//! output `j`'s as `out[j*words + w]` (a loop over `w in 0..words` around
+//! your old per-word code is a correct first cut), and delete your
+//! `eval_block` — the provided adapter reproduces it. Callers of
+//! `eval_block` and the scalar adapters are unaffected.
 
-use logic::eval::EXHAUSTIVE_LIMIT;
+use logic::eval::{first_set_lane_words, sweep_words, EXHAUSTIVE_LIMIT, SWEEP_WORDS};
 use logic::Cover;
 
-pub use logic::eval::{exhaustive_block, lane_mask, pack_vectors, unpack_lane, LANES};
+pub use logic::eval::{
+    exhaustive_block, exhaustive_words, lane_mask, lane_mask_words, pack_vectors,
+    pack_vectors_words, unpack_lane, unpack_lane_words, LANES,
+};
 pub use logic::Equivalence;
 
-/// Object-safe bit-parallel functional simulation: 64 lanes per call,
-/// scalar adapters provided.
+/// Object-safe bit-parallel functional simulation: up to `words × 64`
+/// lanes per call into caller-allocated buffers, with the 64-lane block
+/// path and the scalar adapters provided.
 ///
 /// Implementors supply the arity ([`n_inputs`](Simulator::n_inputs) /
-/// [`n_outputs`](Simulator::n_outputs)) and the word-level
-/// [`eval_block`](Simulator::eval_block); everything else is derived.
-/// See the [module docs](self) for the lane layout and the partial-block
-/// (`lane_mask`) contract.
+/// [`n_outputs`](Simulator::n_outputs)) and the width-generic
+/// [`eval_words`](Simulator::eval_words); everything else is derived.
+/// See the [module docs](self) for the signal-major lane layout and the
+/// partial-block (`lane_mask`) contract.
 ///
 /// # Example
 ///
@@ -72,26 +106,47 @@ pub use logic::Equivalence;
 /// }
 /// ```
 pub trait Simulator {
-    /// Number of primary inputs: the word count expected by
-    /// [`eval_block`](Simulator::eval_block).
+    /// Number of primary inputs: `eval_words` expects
+    /// `n_inputs × words` input lane words.
     fn n_inputs(&self) -> usize;
 
-    /// Number of primary outputs: the word count returned by
-    /// [`eval_block`](Simulator::eval_block).
+    /// Number of primary outputs: `eval_words` fills
+    /// `n_outputs × words` output lane words.
     fn n_outputs(&self) -> usize;
 
-    /// Evaluate 64 input vectors at once.
+    /// Evaluate up to `words × 64` input vectors at once into `out`.
     ///
-    /// `inputs[i]` carries input `i` of every lane (bit `L` = lane `L`);
-    /// the returned words carry the outputs in the same lane order. All
-    /// 64 lanes are always computed — for partial blocks the unused
-    /// output lanes are garbage the caller must mask (see the
-    /// [module docs](self)).
+    /// `inputs[i·words + w]` carries lanes `w·64 .. (w+1)·64` of input
+    /// `i` (bit `L % 64` = lane `L`); on return `out[j·words + w]`
+    /// carries output `j` in the same lane order. All lanes are always
+    /// computed — for partial blocks the unused output lanes are garbage
+    /// the caller must mask (see the [module docs](self)). Callers own
+    /// (and should reuse) both buffers. Single-stage backends (the
+    /// [`Cover`] kernel) do not allocate per call; multi-stage backends
+    /// (plane cascades, mapped networks) allocate only their internal
+    /// stage buffers, once per call, amortized over `words × 64` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`, `inputs.len() != n_inputs × words`, or
+    /// `out.len() != n_outputs × words`.
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize);
+
+    /// Evaluate 64 input vectors at once, allocating the result — the
+    /// classic single-word block path.
+    ///
+    /// Provided: [`eval_words`](Simulator::eval_words) with `words = 1`
+    /// into a fresh buffer. Hot paths should call `eval_words` with a
+    /// reused buffer instead.
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != self.n_inputs()`.
-    fn eval_block(&self, inputs: &[u64]) -> Vec<u64>;
+    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.n_outputs()];
+        self.eval_words(inputs, &mut out, 1);
+        out
+    }
 
     /// Evaluate one packed assignment (bit `i` of `bits` is input `i`),
     /// returning one `bool` per output.
@@ -130,9 +185,10 @@ pub trait Simulator {
     }
 }
 
-/// A [`Cover`] simulates itself: the SOP evaluation `Cover::eval_batch`
-/// is the block path. This is what lets specification covers, synthesized
-/// arrays and fault models ride the same `&dyn Simulator` machinery.
+/// A [`Cover`] simulates itself: the width-generic SOP kernel
+/// `Cover::eval_words` is the block path. This is what lets specification
+/// covers, synthesized arrays and fault models ride the same
+/// `&dyn Simulator` machinery.
 impl Simulator for Cover {
     fn n_inputs(&self) -> usize {
         Cover::n_inputs(self)
@@ -142,14 +198,15 @@ impl Simulator for Cover {
         Cover::n_outputs(self)
     }
 
-    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
-        self.eval_batch(inputs)
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        Cover::eval_words(self, inputs, out, words);
     }
 }
 
 /// Exhaustively compare two simulators over the low `n_checked` inputs
-/// (any higher input columns are held at 0), 64 assignments per step,
-/// reporting the first counterexample in (assignment, output) order.
+/// (any higher input columns are held at 0), `SWEEP_WORDS × 64`
+/// assignments per step with buffers reused across blocks, reporting the
+/// first counterexample in (assignment, output) order.
 ///
 /// # Panics
 ///
@@ -164,29 +221,34 @@ pub fn check_equivalent(a: &dyn Simulator, b: &dyn Simulator, n_checked: usize) 
     );
     assert!(n_checked < 64, "exhaustive sweeps need n_checked < 64");
     let n = a.n_inputs();
+    let o = a.n_outputs();
     let total = 1u64 << n_checked;
-    let lanes_per_block = total.min(LANES as u64) as usize;
-    for base in (0..total).step_by(LANES) {
-        let inputs = exhaustive_block(base, n);
-        let diffs: Vec<u64> = a
-            .eval_block(&inputs)
-            .iter()
-            .zip(&b.eval_block(&inputs))
-            .map(|(&x, &y)| x ^ y)
-            .collect();
-        if let Some((lane, output)) = first_set_lane(&diffs, lane_mask(lanes_per_block)) {
+    let words = sweep_words(n_checked);
+    let step = (words * LANES) as u64;
+    let mut inputs = vec![0u64; n * words];
+    let mut va = vec![0u64; o * words];
+    let mut vb = vec![0u64; o * words];
+    let mut base = 0u64;
+    while base < total {
+        exhaustive_words(base, n, words, &mut inputs);
+        a.eval_words(&inputs, &mut va, words);
+        b.eval_words(&inputs, &mut vb, words);
+        let valid = (total - base).min(step) as usize;
+        let diff = |j: usize, w: usize| va[j * words + w] ^ vb[j * words + w];
+        if let Some((lane, output)) = first_set_lane_words(diff, o, words, valid) {
             return Equivalence::Counterexample {
                 bits: base + lane as u64,
                 output,
             };
         }
+        base += step;
     }
     Equivalence::Equivalent { exhaustive: true }
 }
 
 /// Exhaustively compare `sim` against `cover` over the low `n_checked`
-/// inputs, 64 assignments per step. Equivalent to — and replacing — the
-/// scalar loop
+/// inputs, `SWEEP_WORDS × 64` assignments per step with buffers reused
+/// across blocks. Equivalent to — and replacing — the scalar loop
 /// `(0..1 << n_checked).all(|bits| sim.simulate_bits(bits) == cover.eval_bits(bits))`,
 /// including its arity tolerance: excess simulator inputs are held at 0
 /// on the cover side, mismatched output arity is never equivalent.
@@ -206,31 +268,53 @@ pub fn equivalent_to_cover(sim: &dyn Simulator, cover: &Cover, n_checked: usize)
         // scalar Vec comparison this sweep replaced).
         return false;
     }
+    let o = sim.n_outputs();
     let total = 1u64 << n_checked;
-    let lanes_per_block = total.min(LANES as u64) as usize;
-    (0..total).step_by(LANES).all(|base| {
-        let inputs = exhaustive_block(base, n);
-        words_agree(
-            &sim.eval_block(&inputs),
-            &eval_cover_resized(cover, &inputs),
-            lane_mask(lanes_per_block),
-        )
-    })
+    let words = sweep_words(n_checked);
+    let step = (words * LANES) as u64;
+    let mut inputs = vec![0u64; n * words];
+    let mut vs = vec![0u64; o * words];
+    let mut vc = vec![0u64; o * words];
+    let mut resized = Vec::new();
+    let mut base = 0u64;
+    while base < total {
+        exhaustive_words(base, n, words, &mut inputs);
+        sim.eval_words(&inputs, &mut vs, words);
+        eval_cover_words_resized(cover, &inputs, n, words, &mut resized, &mut vc);
+        let valid = (total - base).min(step) as usize;
+        if !words_agree(&vs, &vc, words, valid) {
+            return false;
+        }
+        base += step;
+    }
+    true
 }
 
 /// Compare `sim` against `cover` on an explicit list of packed
-/// assignments, 64 per step. Used by the sampled (wide-function) paths.
+/// assignments, `SWEEP_WORDS × 64` per step. Used by the sampled
+/// (wide-function) paths.
 pub fn agrees_on(sim: &dyn Simulator, cover: &Cover, patterns: &[u64]) -> bool {
     if sim.n_outputs() != cover.n_outputs() {
         return false;
     }
-    patterns.chunks(LANES).all(|chunk| {
-        let inputs = pack_vectors(chunk, sim.n_inputs());
-        words_agree(
-            &sim.eval_block(&inputs),
-            &eval_cover_resized(cover, &inputs),
-            lane_mask(chunk.len()),
-        )
+    let n = sim.n_inputs();
+    let o = sim.n_outputs();
+    let mut inputs = vec![0u64; n * SWEEP_WORDS];
+    let mut vs = vec![0u64; o * SWEEP_WORDS];
+    let mut vc = vec![0u64; o * SWEEP_WORDS];
+    let mut resized = Vec::new();
+    patterns.chunks(SWEEP_WORDS * LANES).all(|chunk| {
+        // A partial tail chunk only pays for the lane words it needs.
+        let words = chunk.len().div_ceil(LANES);
+        let (inputs, vs, vc) = (
+            &mut inputs[..n * words],
+            &mut vs[..o * words],
+            &mut vc[..o * words],
+        );
+        pack_vectors_words(chunk, n, words, inputs);
+        sim.eval_words(inputs, vs, words);
+        eval_cover_words_resized(cover, inputs, n, words, &mut resized, vc);
+        words_agree(vs, vc, words, chunk.len())
     })
 }
 
@@ -247,36 +331,37 @@ pub fn implements_cover(sim: &dyn Simulator, cover: &Cover) -> bool {
     }
 }
 
-/// Evaluate `cover` on lane words produced for a (possibly different-arity)
-/// simulator: excess simulator columns are dropped, missing ones read as 0
-/// — matching what `Cover::eval_bits` did with out-of-range bits held low.
-fn eval_cover_resized(cover: &Cover, inputs: &[u64]) -> Vec<u64> {
-    if cover.n_inputs() == inputs.len() {
-        cover.eval_batch(inputs)
+/// Evaluate `cover` on lane words produced for a (possibly
+/// different-arity) simulator with `n` inputs: excess simulator signals
+/// are dropped, missing ones read as 0 — matching what `Cover::eval_bits`
+/// did with out-of-range bits held low. The signal-major layout makes the
+/// resize a whole-signal copy into the reusable `scratch` buffer.
+fn eval_cover_words_resized(
+    cover: &Cover,
+    inputs: &[u64],
+    n: usize,
+    words: usize,
+    scratch: &mut Vec<u64>,
+    out: &mut [u64],
+) {
+    if cover.n_inputs() == n {
+        cover.eval_words(inputs, out, words);
     } else {
-        let mut resized = inputs[..inputs.len().min(cover.n_inputs())].to_vec();
-        resized.resize(cover.n_inputs(), 0);
-        cover.eval_batch(&resized)
+        let cn = cover.n_inputs();
+        scratch.clear();
+        scratch.extend_from_slice(&inputs[..n.min(cn) * words]);
+        scratch.resize(cn * words, 0);
+        cover.eval_words(scratch, out, words);
     }
 }
 
-fn words_agree(a: &[u64], b: &[u64], mask: u64) -> bool {
+/// True if the two signal-major output blocks agree on the first `valid`
+/// lanes of every output.
+fn words_agree(a: &[u64], b: &[u64], words: usize, valid: usize) -> bool {
     assert_eq!(a.len(), b.len(), "output arity mismatch");
-    a.iter().zip(b).all(|(&x, &y)| (x ^ y) & mask == 0)
-}
-
-/// Earliest `(lane, output)` where per-output difference words are set
-/// under `mask`, in (lane, then output) order — the bit-parallel
-/// counterpart of the scalar "first differing assignment, first differing
-/// output" contract.
-fn first_set_lane(diffs: &[u64], mask: u64) -> Option<(usize, usize)> {
-    let lane = diffs
-        .iter()
-        .filter(|&&d| d & mask != 0)
-        .map(|&d| (d & mask).trailing_zeros() as usize)
-        .min()?;
-    let output = diffs.iter().position(|&d| (d & mask) >> lane & 1 == 1)?;
-    Some((lane, output))
+    a.chunks_exact(words)
+        .zip(b.chunks_exact(words))
+        .all(|(x, y)| (0..words).all(|w| (x[w] ^ y[w]) & lane_mask_words(valid, w) == 0))
 }
 
 #[cfg(test)]
@@ -308,6 +393,20 @@ mod tests {
     }
 
     #[test]
+    fn multi_word_pack_unpack_roundtrip() {
+        let vectors: Vec<u64> = (0..150).map(|v| v * 0x9e37 % 1024).collect();
+        let words = 3;
+        let mut packed = vec![0u64; 10 * words];
+        pack_vectors_words(&vectors, 10, words, &mut packed);
+        for (lane, &v) in vectors.iter().enumerate() {
+            let bools = unpack_lane_words(&packed, lane, words);
+            for (i, &b) in bools.iter().enumerate() {
+                assert_eq!(b, v >> i & 1 == 1, "lane {lane} input {i}");
+            }
+        }
+    }
+
+    #[test]
     fn exhaustive_block_enumerates_consecutive_assignments() {
         for base in [0u64, 64, 192] {
             let words = exhaustive_block(base, 9);
@@ -316,6 +415,26 @@ mod tests {
                 for (i, &w) in words.iter().enumerate() {
                     assert_eq!(
                         w >> lane & 1,
+                        assignment >> i & 1,
+                        "base {base} lane {lane} input {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_words_enumerates_across_word_boundaries() {
+        let (n, words) = (9, 4);
+        let mut block = vec![0u64; n * words];
+        for base in [0u64, 256] {
+            exhaustive_words(base, n, words, &mut block);
+            for lane in 0..words * 64 {
+                let assignment = base + lane as u64;
+                let (w, bit) = (lane / 64, lane % 64);
+                for i in 0..n {
+                    assert_eq!(
+                        block[i * words + w] >> bit & 1,
                         assignment >> i & 1,
                         "base {base} lane {lane} input {i}"
                     );
@@ -359,6 +478,17 @@ mod tests {
     }
 
     #[test]
+    fn eval_block_adapter_matches_eval_words() {
+        let (_, pla) = adder();
+        let vectors: Vec<u64> = (0..64u64).map(|v| v % 8).collect();
+        let packed = pack_vectors(&vectors, 3);
+        let block = pla.eval_block(&packed);
+        let mut out = vec![0u64; 2];
+        pla.eval_words(&packed, &mut out, 1);
+        assert_eq!(block, out);
+    }
+
+    #[test]
     fn equivalent_to_cover_agrees_with_scalar_loop() {
         let (f, pla) = adder();
         assert!(equivalent_to_cover(&pla, &f, 3));
@@ -393,6 +523,23 @@ mod tests {
     }
 
     #[test]
+    fn counterexamples_beyond_the_first_lane_word_are_found() {
+        // 9 inputs = 512 assignments = 2 full SWEEP_WORDS steps. A cover
+        // differing only at assignment 300 (middle of the second step at
+        // SWEEP_WORDS = 4) exercises the multi-word diff scan and the
+        // global lane indexing.
+        let mut a = Cover::new(9, 1);
+        let b = Cover::new(9, 1);
+        a.push(logic::Cube::minterm(300, 9, 1));
+        match check_equivalent(&a, &b, 9) {
+            Equivalence::Counterexample { bits, output } => {
+                assert_eq!((bits, output), (300, 0));
+            }
+            e => panic!("expected counterexample, got {e:?}"),
+        }
+    }
+
+    #[test]
     fn sub_word_spaces_mask_unused_lanes() {
         // 2 inputs: only 4 of the 64 lanes are meaningful.
         let f = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
@@ -414,7 +561,7 @@ mod tests {
     #[test]
     fn agrees_on_partial_chunks() {
         let (f, pla) = adder();
-        let pats: Vec<u64> = (0..100).map(|x| x % 8).collect(); // 64 + 36 tail
+        let pats: Vec<u64> = (0..300).map(|x| x % 8).collect(); // 256 + 44 tail
         assert!(agrees_on(&pla, &f, &pats));
     }
 

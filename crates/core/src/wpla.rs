@@ -211,20 +211,36 @@ impl Simulator for Wpla {
         self.planes[3].rows()
     }
 
-    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
-        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
-        let mut signal = self.planes[0].evaluate_batch(inputs);
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        assert_eq!(inputs.len(), self.n_inputs * words, "input arity mismatch");
+        assert_eq!(
+            out.len(),
+            self.planes[3].rows() * words,
+            "output buffer size mismatch"
+        );
+        // Two ping-pong stage buffers per call; a primary tap appends the
+        // input signals, which the signal-major layout makes a plain copy.
+        let mut signal = vec![0u64; self.planes[0].rows() * words];
+        self.planes[0].evaluate_words(inputs, &mut signal, words);
+        let mut next = Vec::new();
         for (k, plane) in self.planes.iter().enumerate().skip(1) {
             if self.primary_taps[k - 1] {
                 signal.extend_from_slice(inputs);
             }
-            signal = plane.evaluate_batch(&signal);
+            next.clear();
+            next.resize(plane.rows() * words, 0);
+            plane.evaluate_words(&signal, &mut next, words);
+            std::mem::swap(&mut signal, &mut next);
         }
-        signal
-            .iter()
+        for ((orow, srow), &inv) in out
+            .chunks_exact_mut(words)
+            .zip(signal.chunks_exact(words))
             .zip(&self.inverting_outputs)
-            .map(|(&w, &inv)| if inv { !w } else { w })
-            .collect()
+        {
+            for (o, &s) in orow.iter_mut().zip(srow) {
+                *o = if inv { !s } else { s };
+            }
+        }
     }
 }
 

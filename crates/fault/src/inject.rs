@@ -79,49 +79,73 @@ impl Simulator for FaultyGnorPla {
         self.pla.dimensions().outputs
     }
 
-    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
         let dims = self.pla.dimensions();
-        assert_eq!(inputs.len(), dims.inputs, "input arity mismatch");
-        let mut products = Vec::with_capacity(dims.products);
-        for r in 0..dims.products {
+        assert!(words > 0, "at least one lane word per signal");
+        assert_eq!(inputs.len(), dims.inputs * words, "input arity mismatch");
+        assert_eq!(
+            out.len(),
+            dims.outputs * words,
+            "output buffer size mismatch"
+        );
+        // Each (row, column) defect is resolved once per call, so wider
+        // blocks amortize the defect-map lookups over words × 64 lanes.
+        let mut products = vec![0u64; dims.products * words];
+        for (r, prow) in products.chunks_exact_mut(words).enumerate() {
             let gate = self.pla.input_plane().gate(r);
-            let mut discharged = 0u64;
-            for (i, &x) in inputs.iter().enumerate() {
-                discharged |= match self.defects.input_defect(r, i) {
-                    Some(DefectKind::StuckOn) => !0,
-                    Some(DefectKind::StuckOff) => 0,
+            for i in 0..dims.inputs {
+                let x = &inputs[i * words..(i + 1) * words];
+                match self.defects.input_defect(r, i) {
+                    Some(DefectKind::StuckOn) => prow.fill(!0),
+                    Some(DefectKind::StuckOff) => {}
                     None => match gate.control(i) {
-                        InputPolarity::Pass => x,
-                        InputPolarity::Invert => !x,
-                        InputPolarity::Drop => 0,
+                        InputPolarity::Pass => {
+                            for (p, &xv) in prow.iter_mut().zip(x) {
+                                *p |= xv;
+                            }
+                        }
+                        InputPolarity::Invert => {
+                            for (p, &xv) in prow.iter_mut().zip(x) {
+                                *p |= !xv;
+                            }
+                        }
+                        InputPolarity::Drop => {}
                     },
-                };
+                }
             }
-            products.push(!discharged);
+            for p in prow.iter_mut() {
+                *p = !*p;
+            }
         }
-        let mut out = Vec::with_capacity(dims.outputs);
-        for j in 0..dims.outputs {
+        out.fill(0);
+        for (j, orow) in out.chunks_exact_mut(words).enumerate() {
             let gate = self.pla.output_plane().gate(j);
-            let mut discharged = 0u64;
-            for (r, &p) in products.iter().enumerate() {
-                discharged |= match self.defects.output_defect(j, r) {
-                    Some(DefectKind::StuckOn) => !0,
-                    Some(DefectKind::StuckOff) => 0,
+            for (r, p) in products.chunks_exact(words).enumerate() {
+                match self.defects.output_defect(j, r) {
+                    Some(DefectKind::StuckOn) => orow.fill(!0),
+                    Some(DefectKind::StuckOff) => {}
                     None => match gate.control(r) {
-                        InputPolarity::Pass => p,
-                        InputPolarity::Invert => !p,
-                        InputPolarity::Drop => 0,
+                        InputPolarity::Pass => {
+                            for (o, &pv) in orow.iter_mut().zip(p) {
+                                *o |= pv;
+                            }
+                        }
+                        InputPolarity::Invert => {
+                            for (o, &pv) in orow.iter_mut().zip(p) {
+                                *o |= !pv;
+                            }
+                        }
+                        InputPolarity::Drop => {}
                     },
-                };
+                }
             }
-            let y = !discharged;
-            out.push(if self.pla.inverting_outputs()[j] {
-                !y
-            } else {
-                y
-            });
+            let inv = self.pla.inverting_outputs()[j];
+            for o in orow.iter_mut() {
+                // NOR of the (possibly defective) discharge, then the
+                // driver polarity.
+                *o = if inv { *o } else { !*o };
+            }
         }
-        out
     }
 }
 

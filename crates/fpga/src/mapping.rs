@@ -159,12 +159,13 @@ impl MappedNetwork {
     }
 }
 
-/// The FPGA flow's block path: the mapped DAG evaluates word-level, one
-/// `u64` of 64 lanes per net. Leaves gather their primary-input words and
-/// evaluate their local cover with `Cover::eval_batch`; a mux block is
-/// three word ops (`sel & hi | !sel & lo`). This is what lets mapped
-/// networks ride the same verification sweeps and `SimService` batching
-/// as the PLA architectures.
+/// The FPGA flow's block path: the mapped DAG evaluates word-level,
+/// `words` lane words of 64 lanes each per net. Leaves gather their
+/// primary-input word groups (whole-signal copies in the signal-major
+/// layout) and evaluate their local cover with `Cover::eval_words`; a mux
+/// block is three word ops per lane word (`sel & hi | !sel & lo`). This
+/// is what lets mapped networks ride the same verification sweeps and
+/// `SimService` batching as the PLA architectures.
 impl Simulator for MappedNetwork {
     fn n_inputs(&self) -> usize {
         self.n_inputs
@@ -174,22 +175,37 @@ impl Simulator for MappedNetwork {
         self.roots.len()
     }
 
-    fn eval_block(&self, inputs: &[u64]) -> Vec<u64> {
-        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
-        let mut value = vec![0u64; self.blocks.len()];
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        assert!(words > 0, "at least one lane word per signal");
+        assert_eq!(inputs.len(), self.n_inputs * words, "input arity mismatch");
+        assert_eq!(
+            out.len(),
+            self.roots.len() * words,
+            "output buffer size mismatch"
+        );
+        let mut value = vec![0u64; self.blocks.len() * words];
+        let mut local: Vec<u64> = Vec::new();
         for (idx, block) in self.blocks.iter().enumerate() {
-            value[idx] = match block {
+            match block {
                 Block::Leaf { inputs: pis, cover } => {
-                    let local: Vec<u64> = pis.iter().map(|&pi| inputs[pi]).collect();
-                    cover.eval_batch(&local)[0]
+                    local.clear();
+                    for &pi in pis {
+                        local.extend_from_slice(&inputs[pi * words..(pi + 1) * words]);
+                    }
+                    cover.eval_words(&local, &mut value[idx * words..(idx + 1) * words], words);
                 }
                 Block::Mux { sel, hi, lo } => {
-                    let s = inputs[*sel];
-                    (s & value[*hi]) | (!s & value[*lo])
+                    for w in 0..words {
+                        let s = inputs[sel * words + w];
+                        value[idx * words + w] =
+                            (s & value[hi * words + w]) | (!s & value[lo * words + w]);
+                    }
                 }
-            };
+            }
         }
-        self.roots.iter().map(|&r| value[r]).collect()
+        for (orow, &r) in out.chunks_exact_mut(words).zip(&self.roots) {
+            orow.copy_from_slice(&value[r * words..(r + 1) * words]);
+        }
     }
 }
 

@@ -124,8 +124,17 @@ impl Cover {
 
     /// Drop empty cubes and cubes single-cube-contained in another cube
     /// (SCC). Keeps the first of two identical cubes.
+    ///
+    /// The pairwise loop is prefiltered by per-cube word signatures (the
+    /// OR-fold of each cube's packed input and output words; word-wise
+    /// containment implies fold containment): a pair whose signatures
+    /// refute containment is rejected in two word ops, so the full
+    /// [`Cube::contains`] test only runs on genuine candidates. The
+    /// result is identical to the unfiltered O(n²) loop (differentially
+    /// tested in `espresso_diff.rs`).
     pub fn make_scc_minimal(&mut self) {
         self.cubes.retain(|c| !c.is_empty());
+        let sigs: Vec<(u64, u64)> = self.cubes.iter().map(Cube::containment_signature).collect();
         let mut keep = vec![true; self.cubes.len()];
         for i in 0..self.cubes.len() {
             if !keep[i] {
@@ -133,6 +142,10 @@ impl Cover {
             }
             for j in 0..self.cubes.len() {
                 if i == j || !keep[j] {
+                    continue;
+                }
+                // sig(i) ⊄ sig(j) proves cube j cannot contain cube i.
+                if sigs[i].0 & !sigs[j].0 != 0 || sigs[i].1 & !sigs[j].1 != 0 {
                     continue;
                 }
                 if self.cubes[j].contains(&self.cubes[i])
@@ -229,40 +242,85 @@ impl Cover {
         out
     }
 
-    /// Evaluate 64 packed input vectors at once (bit-parallel lanes).
+    /// Evaluate up to `words × 64` packed input vectors at once into a
+    /// caller-allocated buffer — the width-generic, allocation-free SOP
+    /// kernel behind every block-level consumer in the workspace.
     ///
-    /// `inputs[i]` carries input `i` of all 64 lanes: bit `L` of that word
-    /// is input `i` of lane `L`. The returned words carry the outputs in
-    /// the same layout. This is the cover-side block path — what the
-    /// `Simulator` trait in `ambipla_core::sim` exposes as `eval_block`
-    /// for every backend — and the engine behind the batched
+    /// Layout is **signal-major**: `inputs[i·words .. (i+1)·words]` are
+    /// the `words` lane words of input `i` (lane `L` of the block is bit
+    /// `L % 64` of word `L / 64`), and `out[j·words .. (j+1)·words]` are
+    /// the lane words of output `j` on return. With `words == 1` this is
+    /// exactly the classic 64-lane column-major block. This is what the
+    /// `Simulator` trait in `ambipla_core::sim` exposes as `eval_words`
+    /// for every backend, and the engine behind the batched
     /// [`check_equivalent`](crate::eval::check_equivalent) /
     /// [`check_implements`](crate::eval::check_implements) sweeps.
     ///
     /// # Panics
     ///
+    /// Panics if `words == 0`, `inputs.len() != n_inputs() × words`, or
+    /// `out.len() != n_outputs() × words`.
+    pub fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        /// Lane words processed per pass over the cube list: cube literals
+        /// are decoded once per tile, so wider blocks amortize the decode;
+        /// 8 words (512 lanes) of live state still fit in registers / L1.
+        const EVAL_TILE: usize = 8;
+        assert!(words > 0, "at least one lane word per signal");
+        assert_eq!(inputs.len(), self.n_inputs * words, "input arity mismatch");
+        assert_eq!(
+            out.len(),
+            self.n_outputs * words,
+            "output buffer size mismatch"
+        );
+        out.fill(0);
+        let mut base = 0;
+        while base < words {
+            let tile = (words - base).min(EVAL_TILE);
+            'cube: for c in &self.cubes {
+                let mut covered = [!0u64; EVAL_TILE];
+                for i in 0..self.n_inputs {
+                    let row = &inputs[i * words + base..i * words + base + tile];
+                    match c.input(i) {
+                        Tri::DontCare => continue,
+                        Tri::One => {
+                            for (cw, &x) in covered.iter_mut().zip(row) {
+                                *cw &= x;
+                            }
+                        }
+                        Tri::Zero => {
+                            for (cw, &x) in covered.iter_mut().zip(row) {
+                                *cw &= !x;
+                            }
+                        }
+                    }
+                    if covered[..tile].iter().all(|&w| w == 0) {
+                        continue 'cube;
+                    }
+                }
+                for j in c.outputs() {
+                    let orow = &mut out[j * words + base..j * words + base + tile];
+                    for (o, &cw) in orow.iter_mut().zip(&covered) {
+                        *o |= cw;
+                    }
+                }
+            }
+            base += tile;
+        }
+    }
+
+    /// Evaluate 64 packed input vectors at once (bit-parallel lanes).
+    ///
+    /// `inputs[i]` carries input `i` of all 64 lanes: bit `L` of that word
+    /// is input `i` of lane `L`. The returned words carry the outputs in
+    /// the same layout. The allocating single-word form of
+    /// [`Cover::eval_words`].
+    ///
+    /// # Panics
+    ///
     /// Panics if `inputs.len() != n_inputs()`.
     pub fn eval_batch(&self, inputs: &[u64]) -> Vec<u64> {
-        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
         let mut out = vec![0u64; self.n_outputs];
-        for c in &self.cubes {
-            let mut covered = !0u64;
-            for (i, &x) in inputs.iter().enumerate() {
-                match c.input(i) {
-                    Tri::DontCare => {}
-                    Tri::One => covered &= x,
-                    Tri::Zero => covered &= !x,
-                }
-                if covered == 0 {
-                    break;
-                }
-            }
-            if covered != 0 {
-                for j in c.outputs() {
-                    out[j] |= covered;
-                }
-            }
-        }
+        self.eval_words(inputs, &mut out, 1);
         out
     }
 

@@ -510,6 +510,19 @@ impl Cube {
         assert_eq!(self.n_inputs, other.n_inputs, "input arity mismatch");
         self.input.copy_from_slice(&other.input);
     }
+
+    /// Cheap containment prefilter summary: the OR-fold of the packed
+    /// input pair-words and of the output mask words. Word-wise
+    /// containment implies fold containment, so for cubes `a ⊆ b` it
+    /// holds that `sig(a).0 & !sig(b).0 == 0` and
+    /// `sig(a).1 & !sig(b).1 == 0` — two word ops reject a pair that
+    /// cannot be in containment without touching the full parts. For
+    /// covers of ≤ 32 inputs / ≤ 64 outputs the fold is the exact part,
+    /// so the prefilter *is* the containment test there.
+    pub(crate) fn containment_signature(&self) -> (u64, u64) {
+        let fold = |ws: &[u64]| ws.iter().fold(0u64, |acc, &w| acc | w);
+        (fold(&self.input), fold(&self.output))
+    }
 }
 
 /// Empty (`00`) pairs of a meet word, as an LO-aligned mask with the tail

@@ -14,8 +14,15 @@ pub const EXHAUSTIVE_LIMIT: usize = 20;
 /// Number of sampled assignments used beyond the exhaustive limit.
 const SAMPLES: usize = 1 << 14;
 
-/// Number of lanes (input vectors) evaluated per bit-parallel step.
+/// Number of lanes (input vectors) carried by one `u64` lane word.
 pub const LANES: usize = 64;
+
+/// Lane words per signal used by the built-in verification sweeps
+/// ([`check_equivalent`], [`check_implements`], and the `&dyn Simulator`
+/// sweeps in `ambipla_core::sim`): 4 words = 256 assignments per
+/// `eval_words` call, which amortizes per-call overhead without inflating
+/// the reusable buffers.
+pub const SWEEP_WORDS: usize = 4;
 
 /// Lane patterns of the low six input columns when lanes enumerate 64
 /// consecutive assignments: bit `L` of `EXHAUSTIVE_PATTERNS[i]` is bit `i`
@@ -29,51 +36,113 @@ const EXHAUSTIVE_PATTERNS: [u64; 6] = [
     0xffff_ffff_0000_0000,
 ];
 
+/// Fill `out` with column-major lane words for the `words × 64`
+/// consecutive packed assignments `base .. base + words·64`, in the
+/// signal-major multi-word layout: `out[i·words + w]` carries input `i`
+/// of lanes `w·64 .. (w+1)·64`, and bit `L` of that word is bit `i` of
+/// the assignment `base + w·64 + L`.
+///
+/// # Panics
+///
+/// Panics if `base` is not 64-aligned, `n_inputs > 64`, `words == 0`, or
+/// `out.len() != n_inputs × words`.
+pub fn exhaustive_words(base: u64, n_inputs: usize, words: usize, out: &mut [u64]) {
+    assert_eq!(base % LANES as u64, 0, "block base must be 64-aligned");
+    assert!(n_inputs <= 64, "at most 64 inputs");
+    assert!(words > 0, "at least one lane word per signal");
+    assert_eq!(out.len(), n_inputs * words, "buffer size mismatch");
+    for i in 0..n_inputs {
+        for w in 0..words {
+            out[i * words + w] = match EXHAUSTIVE_PATTERNS.get(i) {
+                Some(&pattern) => pattern,
+                None => {
+                    let word_base = base + (w as u64) * LANES as u64;
+                    if word_base >> i & 1 == 1 {
+                        !0
+                    } else {
+                        0
+                    }
+                }
+            };
+        }
+    }
+}
+
 /// Column-major lane words for the 64 consecutive packed assignments
-/// `base .. base + 64` (bit `L` of word `i` is bit `i` of `base + L`).
+/// `base .. base + 64` (bit `L` of word `i` is bit `i` of `base + L`) —
+/// the allocating single-word form of [`exhaustive_words`].
 ///
 /// # Panics
 ///
 /// Panics if `base` is not 64-aligned or `n_inputs > 64`.
 pub fn exhaustive_block(base: u64, n_inputs: usize) -> Vec<u64> {
-    assert_eq!(base % LANES as u64, 0, "block base must be 64-aligned");
-    assert!(n_inputs <= 64, "at most 64 inputs");
-    (0..n_inputs)
-        .map(|i| match EXHAUSTIVE_PATTERNS.get(i) {
-            Some(&pattern) => pattern,
-            None => {
-                if base >> i & 1 == 1 {
-                    !0
-                } else {
-                    0
-                }
-            }
-        })
-        .collect()
+    let mut out = vec![0u64; n_inputs];
+    exhaustive_words(base, n_inputs, 1, &mut out);
+    out
+}
+
+/// Transpose up to `words × 64` packed assignments (bit `i` of
+/// `vectors[L]` is input `i`) into signal-major lane words: lane `L` of
+/// input `i` lands in bit `L % 64` of `out[i·words + L/64]`. Unused lanes
+/// are zero.
+///
+/// # Panics
+///
+/// Panics if `words == 0`, more than `words × 64` vectors are supplied,
+/// or `out.len() != n_inputs × words`.
+pub fn pack_vectors_words(vectors: &[u64], n_inputs: usize, words: usize, out: &mut [u64]) {
+    assert!(words > 0, "at least one lane word per signal");
+    assert!(
+        vectors.len() <= words * LANES,
+        "at most {words}×{LANES} lanes per block"
+    );
+    assert_eq!(out.len(), n_inputs * words, "buffer size mismatch");
+    out.fill(0);
+    for (lane, &v) in vectors.iter().enumerate() {
+        let (w, bit) = (lane / LANES, lane % LANES);
+        for i in 0..n_inputs {
+            out[i * words + w] |= (v >> i & 1) << bit;
+        }
+    }
 }
 
 /// Transpose up to 64 packed assignments (bit `i` of `vectors[L]` is input
 /// `i`) into column-major lane words (bit `L` of word `i` is input `i` of
-/// lane `L`). Unused lanes are zero.
+/// lane `L`). Unused lanes are zero — the allocating single-word form of
+/// [`pack_vectors_words`].
 ///
 /// # Panics
 ///
 /// Panics if more than [`LANES`] vectors are supplied.
 pub fn pack_vectors(vectors: &[u64], n_inputs: usize) -> Vec<u64> {
-    assert!(vectors.len() <= LANES, "at most {LANES} lanes per block");
     let mut words = vec![0u64; n_inputs];
-    for (lane, &v) in vectors.iter().enumerate() {
-        for (i, w) in words.iter_mut().enumerate() {
-            *w |= (v >> i & 1) << lane;
-        }
-    }
+    pack_vectors_words(vectors, n_inputs, 1, &mut words);
     words
 }
 
-/// Extract lane `lane` of column-major words as a `Vec<bool>`.
+/// Extract lane `lane` (in `0 .. words × 64`) of a signal-major
+/// multi-word block (`words` lane words per signal, as produced by
+/// `eval_words`) as a `Vec<bool>`.
+///
+/// # Panics
+///
+/// Panics if `words == 0`, the lane is out of range, or `block.len()` is
+/// not a multiple of `words`.
+pub fn unpack_lane_words(block: &[u64], lane: usize, words: usize) -> Vec<bool> {
+    assert!(words > 0, "at least one lane word per signal");
+    assert!(lane < words * LANES, "lane out of range");
+    assert_eq!(block.len() % words, 0, "ragged multi-word block");
+    let (w, bit) = (lane / LANES, lane % LANES);
+    block
+        .chunks_exact(words)
+        .map(|signal| signal[w] >> bit & 1 == 1)
+        .collect()
+}
+
+/// Extract lane `lane` of column-major words as a `Vec<bool>` — the
+/// single-word form of [`unpack_lane_words`].
 pub fn unpack_lane(words: &[u64], lane: usize) -> Vec<bool> {
-    assert!(lane < LANES, "lane out of range");
-    words.iter().map(|&w| w >> lane & 1 == 1).collect()
+    unpack_lane_words(words, lane, 1)
 }
 
 /// Lane mask covering the first `lanes` lanes of a block: bit `L` is set
@@ -103,18 +172,55 @@ pub fn lane_mask(lanes: usize) -> u64 {
     }
 }
 
-/// Earliest `(lane, output)` where per-output difference words are set
-/// under `mask`, in (lane, then output) order — the bit-parallel
-/// counterpart of the scalar "first differing assignment, first differing
-/// output" contract.
-fn first_set_lane(diffs: &[u64], mask: u64) -> Option<(usize, usize)> {
-    let lane = diffs
-        .iter()
-        .filter(|&&d| d & mask != 0)
-        .map(|&d| (d & mask).trailing_zeros() as usize)
-        .min()?;
-    let output = diffs.iter().position(|&d| (d & mask) >> lane & 1 == 1)?;
-    Some((lane, output))
+/// [`lane_mask`] for one lane word of a multi-word block: the mask for
+/// word `word` when the first `lanes` lanes of the whole block are valid.
+/// All-ones for fully valid words, all-zero for words past the tail.
+///
+/// ```
+/// use logic::eval::lane_mask_words;
+///
+/// assert_eq!(lane_mask_words(130, 0), !0);     // lanes 0..64 all valid
+/// assert_eq!(lane_mask_words(130, 1), !0);     // lanes 64..128 all valid
+/// assert_eq!(lane_mask_words(130, 2), 0b11);   // lanes 128, 129 only
+/// assert_eq!(lane_mask_words(130, 3), 0);      // past the tail
+/// ```
+pub fn lane_mask_words(lanes: usize, word: usize) -> u64 {
+    lane_mask(lanes.saturating_sub(word * LANES))
+}
+
+/// Earliest `(lane, output)` over a signal-major multi-word difference
+/// block where `diff(output, word)` has a bit set under the valid-lane
+/// masks, in (lane, then output) order — the bit-parallel counterpart of
+/// the scalar "first differing assignment, first differing output"
+/// contract. `lane` is the global lane index (`word·64 + bit`). Shared
+/// by the cover sweeps here and the `&dyn Simulator` sweeps in
+/// `ambipla_core::sim`.
+pub fn first_set_lane_words(
+    diff: impl Fn(usize, usize) -> u64,
+    n_outputs: usize,
+    words: usize,
+    valid: usize,
+) -> Option<(usize, usize)> {
+    for w in 0..words {
+        let mask = lane_mask_words(valid, w);
+        if mask == 0 {
+            break;
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for j in 0..n_outputs {
+            let d = diff(j, w) & mask;
+            if d != 0 {
+                let lane = d.trailing_zeros() as usize;
+                if best.is_none_or(|(l, _)| lane < l) {
+                    best = Some((lane, j));
+                }
+            }
+        }
+        if let Some((lane, j)) = best {
+            return Some((w * LANES + lane, j));
+        }
+    }
+    None
 }
 
 /// Result of an equivalence check.
@@ -156,32 +262,49 @@ pub fn check_equivalent(a: &Cover, b: &Cover) -> Equivalence {
     assert_eq!(a.n_inputs(), b.n_inputs(), "input arity mismatch");
     assert_eq!(a.n_outputs(), b.n_outputs(), "output arity mismatch");
     let n = a.n_inputs();
+    let o = a.n_outputs();
     assert!(n <= 64, "evaluation supports at most 64 inputs");
-    let difference = |inputs: &[u64], lanes: usize| {
-        let va = a.eval_batch(inputs);
-        let vb = b.eval_batch(inputs);
-        let diffs: Vec<u64> = va.iter().zip(&vb).map(|(&x, &y)| x ^ y).collect();
-        first_set_lane(&diffs, lane_mask(lanes))
-    };
+
+    // All buffers are allocated once per sweep and reused across blocks.
+    let words = sweep_words(n);
+    let mut inputs = vec![0u64; n * words];
+    let mut va = vec![0u64; o * words];
+    let mut vb = vec![0u64; o * words];
+    let step = (words * LANES) as u64;
 
     if n <= EXHAUSTIVE_LIMIT {
         let total = 1u64 << n;
-        let lanes_per_block = total.min(LANES as u64) as usize;
-        for base in (0..total).step_by(LANES) {
-            let inputs = exhaustive_block(base, n);
-            if let Some((lane, output)) = difference(&inputs, lanes_per_block) {
+        let mut base = 0u64;
+        while base < total {
+            exhaustive_words(base, n, words, &mut inputs);
+            a.eval_words(&inputs, &mut va, words);
+            b.eval_words(&inputs, &mut vb, words);
+            let valid = (total - base).min(step) as usize;
+            let diff = |j: usize, w: usize| va[j * words + w] ^ vb[j * words + w];
+            if let Some((lane, output)) = first_set_lane_words(diff, o, words, valid) {
                 return Equivalence::Counterexample {
                     bits: base + lane as u64,
                     output,
                 };
             }
+            base += step;
         }
         return Equivalence::Equivalent { exhaustive: true };
     }
 
-    for chunk in sample_assignments(n).chunks(LANES) {
-        let inputs = pack_vectors(chunk, n);
-        if let Some((lane, output)) = difference(&inputs, chunk.len()) {
+    for chunk in sample_assignments(n).chunks(words * LANES) {
+        // A partial tail chunk only pays for the lane words it needs.
+        let words = chunk.len().div_ceil(LANES);
+        let (inputs, va, vb) = (
+            &mut inputs[..n * words],
+            &mut va[..o * words],
+            &mut vb[..o * words],
+        );
+        pack_vectors_words(chunk, n, words, inputs);
+        a.eval_words(inputs, va, words);
+        b.eval_words(inputs, vb, words);
+        let diff = |j: usize, w: usize| va[j * words + w] ^ vb[j * words + w];
+        if let Some((lane, output)) = first_set_lane_words(diff, o, words, chunk.len()) {
             return Equivalence::Counterexample {
                 bits: chunk[lane],
                 output,
@@ -189,6 +312,16 @@ pub fn check_equivalent(a: &Cover, b: &Cover) -> Equivalence {
         }
     }
     Equivalence::Equivalent { exhaustive: false }
+}
+
+/// Lane words per sweep step for an `n`-input space: [`SWEEP_WORDS`],
+/// but never more than the whole space needs. Shared by the cover sweeps
+/// here and the `&dyn Simulator` sweeps in `ambipla_core::sim`.
+pub fn sweep_words(n: usize) -> usize {
+    if n >= 64 {
+        return SWEEP_WORDS;
+    }
+    SWEEP_WORDS.min(((1u64 << n) as usize).div_ceil(LANES))
 }
 
 /// Check that `f` lies between `on` and `on ∪ dc` (the contract of
@@ -201,33 +334,52 @@ pub fn check_implements(on: &Cover, dc: &Cover, f: &Cover) -> Option<(u64, usize
     assert_eq!(on.n_outputs(), f.n_outputs(), "output arity mismatch");
     assert_eq!(on.n_inputs(), dc.n_inputs(), "dc input arity mismatch");
     let n = on.n_inputs();
+    let o = on.n_outputs();
     assert!(n <= 64, "evaluation supports at most 64 inputs");
+
+    // All buffers are allocated once per sweep and reused across blocks.
+    let words = sweep_words(n);
+    let mut inputs = vec![0u64; n * words];
+    let mut von = vec![0u64; o * words];
+    let mut vdc = vec![0u64; o * words];
+    let mut vf = vec![0u64; o * words];
+    let step = (words * LANES) as u64;
     // Per-lane violation: an ON-minterm `f` lost, or an OFF-minterm `f`
     // asserts (outside ON ∪ DC).
-    let violation = |inputs: &[u64], lanes: usize| {
-        let von = on.eval_batch(inputs);
-        let vdc = dc.eval_batch(inputs);
-        let vf = f.eval_batch(inputs);
-        let diffs: Vec<u64> = (0..on.n_outputs())
-            .map(|j| (von[j] & !vf[j]) | (vf[j] & !von[j] & !vdc[j]))
-            .collect();
-        first_set_lane(&diffs, lane_mask(lanes))
-    };
+    macro_rules! violation {
+        () => {
+            |j: usize, w: usize| {
+                let (von, vdc, vf) = (von[j * words + w], vdc[j * words + w], vf[j * words + w]);
+                (von & !vf) | (vf & !von & !vdc)
+            }
+        };
+    }
 
     if n <= EXHAUSTIVE_LIMIT {
         let total = 1u64 << n;
-        let lanes_per_block = total.min(LANES as u64) as usize;
-        for base in (0..total).step_by(LANES) {
-            let inputs = exhaustive_block(base, n);
-            if let Some((lane, output)) = violation(&inputs, lanes_per_block) {
+        let mut base = 0u64;
+        while base < total {
+            exhaustive_words(base, n, words, &mut inputs);
+            on.eval_words(&inputs, &mut von, words);
+            dc.eval_words(&inputs, &mut vdc, words);
+            f.eval_words(&inputs, &mut vf, words);
+            let valid = (total - base).min(step) as usize;
+            if let Some((lane, output)) = first_set_lane_words(violation!(), o, words, valid) {
                 return Some((base + lane as u64, output));
             }
+            base += step;
         }
         return None;
     }
-    for chunk in sample_assignments(n).chunks(LANES) {
-        let inputs = pack_vectors(chunk, n);
-        if let Some((lane, output)) = violation(&inputs, chunk.len()) {
+    for chunk in sample_assignments(n).chunks(words * LANES) {
+        // A partial tail chunk only pays for the lane words it needs.
+        let words = chunk.len().div_ceil(LANES);
+        let inputs = &mut inputs[..n * words];
+        pack_vectors_words(chunk, n, words, inputs);
+        on.eval_words(inputs, &mut von[..o * words], words);
+        dc.eval_words(inputs, &mut vdc[..o * words], words);
+        f.eval_words(inputs, &mut vf[..o * words], words);
+        if let Some((lane, output)) = first_set_lane_words(violation!(), o, words, chunk.len()) {
             return Some((chunk[lane], output));
         }
     }
@@ -409,6 +561,47 @@ mod tests {
             assert_eq!(
                 out_garbage[0] >> lane & 1 == 1,
                 f.eval_bits(bits)[0],
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_word_partial_blocks_are_safe_under_lane_mask_words() {
+        // The multi-word generalization of the garbage-lane regression:
+        // 130 vectors fill 2 lane words plus 2 lanes of a third; filling
+        // the 62 unused tail lanes (and nothing else) with garbage must
+        // not change any masked lane of any output word.
+        let f = cover("10- 1\n0-1 1", 3, 1);
+        let vectors: Vec<u64> = (0..130u64).map(|i| i % 8).collect();
+        let words = vectors.len().div_ceil(LANES);
+        assert_eq!(words, 3);
+        let mut clean = vec![0u64; 3 * words];
+        pack_vectors_words(&vectors, 3, words, &mut clean);
+        let mut garbage = clean.clone();
+        for i in 0..3 {
+            for w in 0..words {
+                garbage[i * words + w] |= 0xdead_beef_cafe_f00du64
+                    .rotate_left((i * words + w) as u32 * 7)
+                    & !lane_mask_words(vectors.len(), w);
+            }
+        }
+        let mut out_clean = vec![0u64; words];
+        let mut out_garbage = vec![0u64; words];
+        f.eval_words(&clean, &mut out_clean, words);
+        f.eval_words(&garbage, &mut out_garbage, words);
+        for w in 0..words {
+            let mask = lane_mask_words(vectors.len(), w);
+            assert_eq!(
+                out_clean[w] & mask,
+                out_garbage[w] & mask,
+                "masked lanes of word {w} must agree"
+            );
+        }
+        for (lane, &bits) in vectors.iter().enumerate() {
+            assert_eq!(
+                unpack_lane_words(&out_garbage, lane, words),
+                f.eval_bits(bits),
                 "lane {lane}"
             );
         }

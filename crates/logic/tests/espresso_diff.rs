@@ -98,8 +98,48 @@ fn assert_implements(on: &Cover, dc: &Cover, r: &Cover) {
     }
 }
 
+/// The unfiltered O(n²) SCC loop exactly as it was before the
+/// word-signature prefilter: the reference `make_scc_minimal` must now be
+/// a drop-in replacement for.
+fn naive_scc(cover: &Cover) -> Cover {
+    let mut cubes: Vec<Cube> = cover.iter().filter(|c| !c.is_empty()).cloned().collect();
+    let mut keep = vec![true; cubes.len()];
+    for i in 0..cubes.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..cubes.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if cubes[j].contains(&cubes[i]) && (i > j || cubes[i] != cubes[j]) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let mut it = keep.iter();
+    cubes.retain(|_| *it.next().unwrap());
+    Cover::from_cubes(cover.n_inputs(), cover.n_outputs(), cubes)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The signature-prefiltered `make_scc_minimal` keeps exactly the
+    /// cubes the naive pairwise-containment loop keeps, in the same
+    /// order (identical covers, not merely equivalent ones).
+    #[test]
+    fn scc_minimal_matches_naive(
+        ni in 1..13usize,
+        no in 1..4usize,
+        rows in arb_rows(12),
+    ) {
+        let f = build_cover(ni, no, &rows);
+        let mut fast = f.clone();
+        fast.make_scc_minimal();
+        prop_assert_eq!(fast.to_string(), naive_scc(&f).to_string());
+    }
 
     /// Word-parallel tautology answers exactly like the naive recursion.
     #[test]
@@ -195,6 +235,11 @@ fn wide_covers_match_naive() {
         f.complement().to_string(),
         naive::complement(&f).to_string()
     );
+    // The SCC signature prefilter folds across both pair-words at 40
+    // inputs; the result must still match the unfiltered loop exactly.
+    let mut scc = f.clone();
+    scc.make_scc_minimal();
+    assert_eq!(scc.to_string(), naive_scc(&f).to_string());
     let (fast, fast_stats) = espresso(&f);
     let (slow, slow_stats) = naive::espresso(&f);
     assert_eq!(fast.to_string(), slow.to_string());

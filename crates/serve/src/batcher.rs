@@ -4,18 +4,27 @@
 //! [`Simulator`] backend** — plain covers, GNOR/classical/Whirlpool PLAs,
 //! faulty arrays, FPGA mappings — and submit single-vector simulation
 //! requests; the batcher queues requests **per registered simulator**,
-//! packs them into 64-lane blocks, and flushes a block when either
+//! packs them into multi-word lane blocks of up to
+//! `ServeConfig::block_words × 64` lanes, and flushes a block when either
 //!
-//! * all 64 lanes fill (`FlushCause::Full`) — one `eval_block` call now
-//!   serves 64 requests, or
+//! * all `block_words × 64` lanes fill (`FlushCause::Full`) — one
+//!   `eval_words` call now serves the whole block, or
 //! * the oldest queued request has waited `max_wait`
 //!   (`FlushCause::Deadline`) — a partial block is packed (unused lanes
 //!   zero-filled, results masked per [`logic::eval::lane_mask`]'s
 //!   contract) so tail latency stays bounded under light traffic.
 //!
-//! Before evaluating, the batcher consults the [`BlockCache`] keyed on
-//! *(the registration's [`SimKey`], packed block)*; hits skip
-//! `eval_block` entirely. Results are scattered back to callers over
+//! The packing, evaluation and scatter buffers live on the registration
+//! and are **reused across flushes** — the flush path performs no
+//! per-block `Vec` allocation beyond the reply payloads themselves.
+//!
+//! Before evaluating, the batcher consults the [`BlockCache`] **per
+//! 64-lane sub-block**, keyed on *(the registration's [`SimKey`], that
+//! sub-block's packed words)* — exactly the keys a `block_words = 1`
+//! service would use, so warm-path hit semantics are independent of the
+//! configured width. Sub-blocks that hit are copied from the cache; the
+//! misses are gathered into one narrower block and evaluated with a
+//! single `eval_words` call. Results are scattered back to callers over
 //! per-request or shared reply channels. Backpressure is opt-in per
 //! submission: [`SimService::try_submit`] refuses with [`QueueFull`] once
 //! a simulator's pending queue reaches `ServeConfig::queue_depth`, while
@@ -27,7 +36,7 @@
 use crate::cache::{BlockCache, BlockKey, SimKey};
 use crate::stats::{FlushCause, ServiceStats, StatsSnapshot};
 use ambipla_core::Simulator;
-use logic::eval::{pack_vectors, unpack_lane, LANES};
+use logic::eval::{pack_vectors_words, unpack_lane_words, LANES};
 use logic::Cover;
 use std::error::Error;
 use std::fmt;
@@ -57,6 +66,12 @@ pub struct ServeConfig {
     /// `submit_tagged` paths ignore it, but their requests still occupy
     /// the queue `try_submit` measures).
     pub queue_depth: usize,
+    /// Lane words per flushed block: a full flush packs
+    /// `block_words × 64` queued requests into **one** backend
+    /// `eval_words` call. Cache entries stay keyed per 64-lane sub-block,
+    /// so changing the width never changes warm-path hit semantics.
+    /// Default 1 (the classic 64-lane block).
+    pub block_words: usize,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +81,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             queue_depth: 256,
+            block_words: 1,
         }
     }
 }
@@ -79,11 +95,6 @@ pub struct SimId {
     slot: usize,
     service: u64,
 }
-
-/// Former name of [`SimId`], from when the service could only register
-/// plain covers.
-#[deprecated(since = "0.1.0", note = "renamed to `SimId`")]
-pub type CoverId = SimId;
 
 /// Rejection returned by [`SimService::try_submit`]: the target
 /// simulator already has `queue_depth` requests pending.
@@ -206,7 +217,12 @@ static NEXT_SERVICE: AtomicU64 = AtomicU64::new(0);
 
 impl SimService {
     /// Start a service with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.block_words == 0`.
     pub fn start(config: ServeConfig) -> SimService {
+        assert!(config.block_words >= 1, "need at least one lane word");
         let (tx, rx) = channel();
         let stats = Arc::new(ServiceStats::default());
         let cache = Arc::new(BlockCache::new(config.cache_capacity, config.cache_shards));
@@ -215,7 +231,9 @@ impl SimService {
             let cache = Arc::clone(&cache);
             std::thread::Builder::new()
                 .name("ambipla-batcher".into())
-                .spawn(move || batcher_loop(rx, config.max_wait, &stats, &cache))
+                .spawn(move || {
+                    batcher_loop(rx, config.max_wait, config.block_words, &stats, &cache)
+                })
                 .expect("spawn batcher thread")
         };
         SimService {
@@ -378,49 +396,170 @@ impl Drop for SimService {
 }
 
 /// One registered backend on the batcher side.
+///
+/// The pack / evaluate / gather buffers are owned here and reused across
+/// flushes — after the first full-width flush the flush path allocates
+/// nothing but cache keys (when caching) and the reply payloads.
 struct Registered {
     sim: SharedSim,
     key: SimKey,
     /// Cached `sim.n_inputs()` (the packer needs it on every flush).
     n_inputs: usize,
+    /// Cached `sim.n_outputs()` (sizes the output buffer).
+    n_outputs: usize,
+    /// Lane words per full block (`ServeConfig::block_words`).
+    block_words: usize,
     pending: Arc<AtomicUsize>,
     vectors: Vec<u64>,
     replies: Vec<(u64, Sender<SimReply>)>,
     opened: Option<Instant>,
+    /// Packed input block, `n_inputs × words`, signal-major.
+    packed: Vec<u64>,
+    /// Output block, `n_outputs × words`, signal-major.
+    out: Vec<u64>,
+    /// One 64-lane sub-block's input words (cache-key scratch).
+    subkey: Vec<u64>,
+    /// Word indices of *distinct* sub-blocks that missed the cache.
+    miss_words: Vec<usize>,
+    /// The lookup-built cache key of each distinct miss, kept so the
+    /// insert after evaluation does not construct (and clone) it again.
+    miss_keys: Vec<BlockKey>,
+    /// Missed sub-blocks identical to an earlier miss of the same flush:
+    /// `(word, index into miss_words)` — they reuse that evaluation.
+    miss_alias: Vec<(usize, usize)>,
+    /// Gathered input / output blocks of the missing sub-blocks.
+    miss_in: Vec<u64>,
+    miss_out: Vec<u64>,
 }
 
 impl Registered {
+    fn new(
+        sim: SharedSim,
+        key: SimKey,
+        block_words: usize,
+        pending: Arc<AtomicUsize>,
+    ) -> Registered {
+        let n_inputs = sim.n_inputs();
+        let n_outputs = sim.n_outputs();
+        Registered {
+            sim,
+            key,
+            n_inputs,
+            n_outputs,
+            block_words,
+            pending,
+            vectors: Vec::with_capacity(block_words * LANES),
+            replies: Vec::with_capacity(block_words * LANES),
+            opened: None,
+            packed: Vec::new(),
+            out: Vec::new(),
+            subkey: vec![0u64; n_inputs],
+            miss_words: Vec::new(),
+            miss_keys: Vec::new(),
+            miss_alias: Vec::new(),
+            miss_in: Vec::new(),
+            miss_out: Vec::new(),
+        }
+    }
+
     fn flush(&mut self, cause: FlushCause, stats: &ServiceStats, cache: &BlockCache) {
         if self.vectors.is_empty() {
             return;
         }
         let lanes = self.vectors.len();
+        // A partial (deadline / shutdown) flush only pays for the lane
+        // words it actually needs.
+        let words = lanes.div_ceil(LANES);
         let latency_ns = self
             .opened
             .map(|t| t.elapsed().as_nanos() as u64)
             .unwrap_or(0);
-        let packed = pack_vectors(&self.vectors, self.n_inputs);
-        let words = if cache.is_disabled() {
+        self.packed.clear();
+        self.packed.resize(self.n_inputs * words, 0);
+        pack_vectors_words(&self.vectors, self.n_inputs, words, &mut self.packed);
+        self.out.clear();
+        self.out.resize(self.n_outputs * words, 0);
+        if cache.is_disabled() {
             // Skip key construction and shard locking entirely on the
             // cache-off configuration (the cold-path bench measures this).
-            self.sim.eval_block(&packed)
+            self.sim.eval_words(&self.packed, &mut self.out, words);
         } else {
-            let key = BlockKey::new(self.key, &packed);
-            match cache.lookup(&key) {
-                Some(words) => words,
-                None => {
-                    let words = self.sim.eval_block(&packed);
-                    cache.insert(key, words.clone());
-                    words
+            // Consult the cache per 64-lane sub-block — the same keys a
+            // block_words = 1 service would use, so hit semantics do not
+            // depend on the configured width.
+            self.miss_words.clear();
+            self.miss_keys.clear();
+            self.miss_alias.clear();
+            for w in 0..words {
+                for i in 0..self.n_inputs {
+                    self.subkey[i] = self.packed[i * words + w];
+                }
+                let key = BlockKey::new(self.key, &self.subkey);
+                match cache.lookup(&key) {
+                    Some(cached) => {
+                        for (j, &v) in cached.iter().enumerate() {
+                            self.out[j * words + w] = v;
+                        }
+                    }
+                    None => {
+                        // A sub-block identical to an earlier miss of
+                        // this flush is evaluated (and inserted) once.
+                        let dup = self.miss_words.iter().position(|&u| {
+                            (0..self.n_inputs)
+                                .all(|i| self.packed[i * words + u] == self.packed[i * words + w])
+                        });
+                        match dup {
+                            Some(k) => self.miss_alias.push((w, k)),
+                            None => {
+                                self.miss_words.push(w);
+                                self.miss_keys.push(key);
+                            }
+                        }
+                    }
                 }
             }
-        };
+            if !self.miss_words.is_empty() {
+                // Gather the missing sub-blocks into one narrower block
+                // and evaluate them with a single eval_words call.
+                let mw = self.miss_words.len();
+                self.miss_in.clear();
+                self.miss_in.resize(self.n_inputs * mw, 0);
+                self.miss_out.clear();
+                self.miss_out.resize(self.n_outputs * mw, 0);
+                for (k, &w) in self.miss_words.iter().enumerate() {
+                    for i in 0..self.n_inputs {
+                        self.miss_in[i * mw + k] = self.packed[i * words + w];
+                    }
+                }
+                self.sim.eval_words(&self.miss_in, &mut self.miss_out, mw);
+                for ((k, &w), key) in self
+                    .miss_words
+                    .iter()
+                    .enumerate()
+                    .zip(self.miss_keys.drain(..))
+                {
+                    let value: Vec<u64> = (0..self.n_outputs)
+                        .map(|j| self.miss_out[j * mw + k])
+                        .collect();
+                    for (j, &v) in value.iter().enumerate() {
+                        self.out[j * words + w] = v;
+                    }
+                    cache.insert(key, value);
+                }
+                for &(w, k) in &self.miss_alias {
+                    let u = self.miss_words[k];
+                    for j in 0..self.n_outputs {
+                        self.out[j * words + w] = self.out[j * words + u];
+                    }
+                }
+            }
+        }
         // Account before scattering: a reply is the caller's signal that
         // its request fully left the service, so by the time a ticket
         // resolves the flush must already be visible in the stats and the
         // pending count (a drain-then-try_submit or drain-then-stats
         // sequence must not race these updates).
-        stats.record_flush(cause, lanes, latency_ns);
+        stats.record_flush(cause, lanes, words, latency_ns);
         self.pending.fetch_sub(lanes, Ordering::Relaxed);
         // Scatter lane results. Only the `lanes` valid lanes are ever
         // unpacked, which is what makes partial (deadline) blocks safe —
@@ -429,7 +568,7 @@ impl Registered {
             // A client may have dropped its ticket; that is not an error.
             let _ = reply.send(SimReply {
                 tag,
-                outputs: unpack_lane(&words, lane),
+                outputs: unpack_lane_words(&self.out, lane, words),
             });
         }
         self.vectors.clear();
@@ -437,7 +576,13 @@ impl Registered {
     }
 }
 
-fn batcher_loop(rx: Receiver<Msg>, max_wait: Duration, stats: &ServiceStats, cache: &BlockCache) {
+fn batcher_loop(
+    rx: Receiver<Msg>,
+    max_wait: Duration,
+    block_words: usize,
+    stats: &ServiceStats,
+    cache: &BlockCache,
+) {
     // Slot-addressed by SimId: concurrent register() calls may deliver
     // their Register messages out of id order, so slots can fill in any
     // order (None = id allocated but message not yet here).
@@ -489,16 +634,7 @@ fn batcher_loop(rx: Receiver<Msg>, max_wait: Duration, stats: &ServiceStats, cac
                 if id >= registry.len() {
                     registry.resize_with(id + 1, || None);
                 }
-                let n_inputs = sim.n_inputs();
-                registry[id] = Some(Registered {
-                    sim,
-                    key,
-                    n_inputs,
-                    pending,
-                    vectors: Vec::with_capacity(LANES),
-                    replies: Vec::with_capacity(LANES),
-                    opened: None,
-                });
+                registry[id] = Some(Registered::new(sim, key, block_words, pending));
             }
             Msg::Submit {
                 id,
@@ -523,7 +659,7 @@ fn batcher_loop(rx: Receiver<Msg>, max_wait: Duration, stats: &ServiceStats, cac
                 }
                 r.vectors.push(bits);
                 r.replies.push((tag, reply));
-                if r.vectors.len() == LANES {
+                if r.vectors.len() == r.block_words * LANES {
                     let was_oldest = r.opened == oldest_open;
                     r.flush(FlushCause::Full, stats, cache);
                     if was_oldest {
@@ -904,5 +1040,181 @@ mod tests {
         drop(service.submit(id, 1)); // client walks away
         let ticket = service.submit(id, 2);
         assert_eq!(ticket.wait(), adder().eval_bits(2));
+    }
+
+    #[test]
+    fn wide_blocks_flush_full_at_block_words_times_64() {
+        // block_words = 2: 128 requests are exactly one full flush, and
+        // the generous deadline proves the 128th request triggered it.
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            block_words: 2,
+            ..ServeConfig::default()
+        });
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let (sink, stream) = reply_channel();
+        for tag in 0..128u64 {
+            service.submit_tagged(id, tag % 8, tag, &sink);
+        }
+        for _ in 0..128 {
+            let reply = stream.recv();
+            assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
+        }
+        let snap = service.stats();
+        assert_eq!(snap.requests, 128);
+        assert_eq!(snap.full_flushes, 1);
+        assert_eq!(snap.deadline_flushes, 0);
+        assert_eq!(snap.lanes_filled, 128);
+        assert_eq!(snap.lane_capacity, 128);
+        assert!((snap.lane_occupancy - 1.0).abs() < 1e-12);
+        // Per-sub-block cache keys: one flush, two 64-lane lookups (both
+        // sub-blocks pack the same tag%8 pattern, so they miss together
+        // and the flush deduplicates them into one evaluation + entry).
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.cache_hits, 0);
+    }
+
+    /// Identical 64-lane sub-blocks inside one wide flush are evaluated
+    /// (and inserted) once: the counting backend sees exactly one lane
+    /// word for a 2-word flush whose halves pack the same columns.
+    #[test]
+    fn identical_sub_blocks_within_one_flush_evaluate_once() {
+        struct Counting {
+            inner: Cover,
+            words_evaluated: AtomicUsize,
+        }
+        impl Simulator for Counting {
+            fn n_inputs(&self) -> usize {
+                self.inner.n_inputs()
+            }
+            fn n_outputs(&self) -> usize {
+                Cover::n_outputs(&self.inner)
+            }
+            fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+                self.words_evaluated.fetch_add(words, Ordering::Relaxed);
+                self.inner.eval_words(inputs, out, words);
+            }
+        }
+        let cover = adder();
+        let counting = Arc::new(Counting {
+            inner: cover.clone(),
+            words_evaluated: AtomicUsize::new(0),
+        });
+        let stats = ServiceStats::default();
+        let cache = BlockCache::new(64, 2);
+        let mut reg = Registered::new(
+            Arc::clone(&counting) as SharedSim,
+            SimKey::of_cover(&cover),
+            2,
+            Arc::new(AtomicUsize::new(128)),
+        );
+        let (tx, rx) = channel();
+        for i in 0..128u64 {
+            reg.vectors.push(i % 8); // both 64-lane halves pack identically
+            reg.replies.push((i, tx.clone()));
+        }
+        reg.flush(FlushCause::Full, &stats, &cache);
+        for _ in 0..128 {
+            let reply = rx.recv().expect("flush scattered every lane");
+            assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
+        }
+        assert_eq!(
+            counting.words_evaluated.load(Ordering::Relaxed),
+            1,
+            "the duplicate sub-block must reuse the first one's evaluation"
+        );
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert_eq!(cache.len(), 1, "one entry covers both sub-blocks");
+    }
+
+    /// The multi-word generalization of the garbage-lane regression test:
+    /// a flush of 130 requests (2 full lane words + 2 lanes of a third)
+    /// must never leak the 62 masked tail lanes into replies or cache
+    /// entries. Drives `Registered::flush` directly so the 130-lane
+    /// partial block is deterministic (a live service may split it across
+    /// deadline windows under load).
+    #[test]
+    fn multi_word_partial_flush_masks_tail_lanes() {
+        let cover = adder();
+        let stats = ServiceStats::default();
+        let cache = BlockCache::new(64, 2);
+        let mut reg = Registered::new(
+            Arc::new(cover.clone()),
+            SimKey::of_cover(&cover),
+            3,
+            Arc::new(AtomicUsize::new(260)),
+        );
+        let (tx, rx) = channel();
+        for round in 0..2 {
+            for i in 0..130u64 {
+                reg.vectors.push(i % 8);
+                reg.replies.push((i, tx.clone()));
+            }
+            reg.flush(FlushCause::Deadline, &stats, &cache);
+            for _ in 0..130 {
+                let reply = rx.recv().expect("flush scattered every lane");
+                assert_eq!(
+                    reply.outputs,
+                    cover.eval_bits(reply.tag % 8),
+                    "round {round} tag {}",
+                    reply.tag
+                );
+            }
+        }
+        // Round one populates three 64-lane sub-blocks (the partial tail
+        // packs zero-filled, so its entry is the deterministic evaluation
+        // of those zero lanes); round two hits all three.
+        assert_eq!(cache.misses(), 3, "three sub-blocks populate");
+        assert_eq!(cache.hits(), 3, "identical sub-blocks are reused");
+        let snap = stats.snapshot();
+        assert_eq!(snap.lanes_filled, 260);
+        assert_eq!(snap.lane_capacity, 2 * 192);
+    }
+
+    /// Mixed hit/miss flushes: when some sub-blocks of a wide flush are
+    /// cached and others are not, only the misses are evaluated (gathered
+    /// into one narrower eval_words call) and every lane still scatters
+    /// the right answer.
+    #[test]
+    fn partially_cached_wide_flushes_evaluate_only_the_misses() {
+        let cover = adder();
+        let stats = ServiceStats::default();
+        let cache = BlockCache::new(64, 2);
+        let mut reg = Registered::new(
+            Arc::new(cover.clone()),
+            SimKey::of_cover(&cover),
+            2,
+            Arc::new(AtomicUsize::new(64 + 128)),
+        );
+        let (tx, rx) = channel();
+        // Warm exactly one sub-block: lanes 0..64 of the wide flush below.
+        for i in 0..64u64 {
+            reg.vectors.push(i % 8);
+            reg.replies.push((i, tx.clone()));
+        }
+        reg.flush(FlushCause::Deadline, &stats, &cache);
+        for _ in 0..64 {
+            let reply = rx.recv().expect("warm flush scattered");
+            assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
+        }
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Wide flush: sub-block 0 repeats the warmed pattern, sub-block 1
+        // is fresh.
+        for i in 0..128u64 {
+            reg.vectors.push(if i < 64 { i % 8 } else { (i + 3) % 8 });
+            reg.replies.push((i, tx.clone()));
+        }
+        reg.flush(FlushCause::Full, &stats, &cache);
+        for _ in 0..128 {
+            let reply = rx.recv().expect("wide flush scattered");
+            let bits = if reply.tag < 64 {
+                reply.tag % 8
+            } else {
+                (reply.tag + 3) % 8
+            };
+            assert_eq!(reply.outputs, cover.eval_bits(bits), "tag {}", reply.tag);
+        }
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
     }
 }

@@ -5,12 +5,15 @@
 //! traffic) re-produce byte-identical blocks, so caching at block
 //! granularity amortizes whole `eval_batch` calls, not single lookups.
 //!
-//! Keys are [`BlockKey`] — *(caller-supplied [`SimKey`], packed input
-//! block)*. The `SimKey` identifies the registered simulator; the block is
-//! the column-major lane words exactly as handed to `eval_block` (unused
-//! lanes zero-filled by `pack_vectors`, so a partial block and a full
+//! Keys are [`BlockKey`] — *(caller-supplied [`SimKey`], packed 64-lane
+//! input sub-block)*. The `SimKey` identifies the registered simulator;
+//! the block is one column-major 64-lane word group (one `u64` per input
+//! signal). Multi-word flushes (`ServeConfig::block_words > 1`) consult
+//! the cache once per 64-lane sub-block with exactly these keys, so the
+//! hit semantics are independent of the configured block width. Unused
+//! lanes are zero-filled by the packer, so a partial block and a full
 //! block that happen to pack to the same words are interchangeable —
-//! every lane's output is correct for that lane's input). The value is
+//! every lane's output is correct for that lane's input. The value is
 //! the output lane words.
 //!
 //! The map is split into shards, each behind its own mutex, so the online

@@ -1,29 +1,33 @@
 //! # ambipla_serve — the request-batching simulation service
 //!
-//! The core's [`Simulator`] trait made one *call* evaluate 64 input
-//! vectors on any backend; this crate makes one *service* do it for many
-//! independent callers. It is the serve-at-scale front end of the
-//! workspace: requests arrive one vector at a time, and leave in 64-lane
-//! blocks — whatever the backend behind each queue is.
+//! The core's [`Simulator`] trait made one *call* evaluate up to
+//! `words × 64` input vectors on any backend; this crate makes one
+//! *service* do it for many independent callers. It is the
+//! serve-at-scale front end of the workspace: requests arrive one vector
+//! at a time, and leave in multi-word lane blocks of up to
+//! `ServeConfig::block_words × 64` requests — whatever the backend
+//! behind each queue is.
 //!
 //! ```text
 //!  clients        ┌────────────────────────── SimService ────────────────────────┐
 //!  submit(bits) ──┤  per-sim queues          result cache          evaluation    │
-//!  submit(bits) ──┼─▶ [Cover      ██████░░]    (SimKey, block)    eval_block on  │
-//!  submit(bits) ──┤   [GnorPla    ██░░░░░░] ─▶  sharded LRU    ─▶ &dyn Simulator │
-//!  try_submit ────┼─▶ [FaultyPla  ████████]     hit? skip eval        │          │
-//!   └─ QueueFull ◀┤    flush on 64 lanes                              ▼          │
-//!  replies  ◀─────┴────────────────── scatter lanes back over channels ──────────┘
+//!  submit(bits) ──┼─▶ [Cover      ██████░░]  (SimKey, 64-lane    eval_words on   │
+//!  submit(bits) ──┤   [GnorPla    ██░░░░░░] ─▶ sub-block)     ─▶ &dyn Simulator  │
+//!  try_submit ────┼─▶ [FaultyPla  ████████]    sharded LRU,       (reused        │
+//!   └─ QueueFull ◀┤    flush on block_words    hit? skip eval      buffers)      │
+//!  replies  ◀─────┴──── × 64 lanes ──── scatter lanes back over channels ────────┘
 //! ```
 //!
 //! * [`batcher`] — the [`SimService`]: per-simulator lane-packing queues
 //!   over `Arc<dyn Simulator>` backends ([`SimService::register_sim`],
-//!   with [`SimService::register`] as the `Cover` convenience), full-block
-//!   / deadline flushes, channel-based scatter, and bounded-queue
-//!   backpressure ([`SimService::try_submit`] / [`QueueFull`]),
+//!   with [`SimService::register`] as the `Cover` convenience),
+//!   full-block / deadline flushes of up to `block_words × 64` lanes
+//!   through one `eval_words` call on reused buffers, channel-based
+//!   scatter, and bounded-queue backpressure
+//!   ([`SimService::try_submit`] / [`QueueFull`]),
 //! * [`cache`] — the sharded LRU [`BlockCache`] keyed on
-//!   *(caller-supplied stable [`SimKey`], packed input block)* with
-//!   hit/miss/eviction counters,
+//!   *(caller-supplied stable [`SimKey`], packed 64-lane sub-block)*
+//!   with hit/miss/eviction counters,
 //! * [`stats`] — request/flush/occupancy/backpressure counters and
 //!   p50/p99 flush latency ([`StatsSnapshot`]),
 //! * [`sweep`] — offline bulk evaluation of `&dyn Simulator` jobs sharded
@@ -71,8 +75,6 @@ pub mod sweep;
 pub use logic::eval::LANES;
 
 pub use ambipla_core::{cover_hash, Simulator, WorkerPool};
-#[allow(deprecated)]
-pub use batcher::CoverId;
 pub use batcher::{
     reply_channel, QueueFull, ReplySink, ReplyStream, ServeConfig, SharedSim, SimId, SimReply,
     SimService, SimTicket,

@@ -15,7 +15,7 @@ use std::sync::Mutex;
 /// Why a block left the pending queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlushCause {
-    /// All 64 lanes filled.
+    /// All `block_words × 64` lanes filled.
     Full,
     /// The oldest queued request hit the configured `max_wait`.
     Deadline,
@@ -81,6 +81,7 @@ pub struct ServiceStats {
     deadline_flushes: AtomicU64,
     shutdown_flushes: AtomicU64,
     lanes_filled: AtomicU64,
+    lane_capacity: AtomicU64,
     flush_latency: Mutex<Histogram>,
 }
 
@@ -97,11 +98,15 @@ impl ServiceStats {
         self.queue_full.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Count one flushed block: its cause, how many of the 64 lanes were
-    /// occupied, and the queue latency (first enqueue → flush) in ns.
-    pub fn record_flush(&self, cause: FlushCause, lanes: usize, latency_ns: u64) {
+    /// Count one flushed block: its cause, how many lanes were occupied,
+    /// how many lane `words` the flush evaluated (so lane occupancy stays
+    /// meaningful for multi-word blocks), and the queue latency (first
+    /// enqueue → flush) in ns.
+    pub fn record_flush(&self, cause: FlushCause, lanes: usize, words: usize, latency_ns: u64) {
         self.blocks.fetch_add(1, Ordering::Relaxed);
         self.lanes_filled.fetch_add(lanes as u64, Ordering::Relaxed);
+        self.lane_capacity
+            .fetch_add((words * crate::LANES) as u64, Ordering::Relaxed);
         match cause {
             FlushCause::Full => &self.full_flushes,
             FlushCause::Deadline => &self.deadline_flushes,
@@ -115,6 +120,7 @@ impl ServiceStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         let blocks = self.blocks.load(Ordering::Relaxed);
         let lanes = self.lanes_filled.load(Ordering::Relaxed);
+        let capacity = self.lane_capacity.load(Ordering::Relaxed);
         let latency = self.flush_latency.lock().unwrap();
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
@@ -124,10 +130,11 @@ impl ServiceStats {
             deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
             shutdown_flushes: self.shutdown_flushes.load(Ordering::Relaxed),
             lanes_filled: lanes,
-            lane_occupancy: if blocks == 0 {
+            lane_capacity: capacity,
+            lane_occupancy: if capacity == 0 {
                 0.0
             } else {
-                lanes as f64 / (blocks * crate::LANES as u64) as f64
+                lanes as f64 / capacity as f64
             },
             p50_flush_ns: latency.quantile_ns(0.50),
             p99_flush_ns: latency.quantile_ns(0.99),
@@ -159,7 +166,10 @@ pub struct StatsSnapshot {
     pub shutdown_flushes: u64,
     /// Total occupied lanes over all flushed blocks.
     pub lanes_filled: u64,
-    /// `lanes_filled / (blocks × 64)` — mean fraction of useful lanes.
+    /// Total lane capacity of all flushed blocks (`Σ words × 64`; partial
+    /// flushes only pay for the lane words they actually evaluate).
+    pub lane_capacity: u64,
+    /// `lanes_filled / lane_capacity` — mean fraction of useful lanes.
     pub lane_occupancy: f64,
     /// Flush latency median (ns, log₂-bucket upper bound).
     pub p50_flush_ns: u64,
@@ -251,8 +261,8 @@ mod tests {
         }
         stats.record_queue_full();
         stats.record_queue_full();
-        stats.record_flush(FlushCause::Full, 64, 2_000);
-        stats.record_flush(FlushCause::Deadline, 6, 150_000);
+        stats.record_flush(FlushCause::Full, 64, 1, 2_000);
+        stats.record_flush(FlushCause::Deadline, 6, 1, 150_000);
         let snap = stats.snapshot();
         assert_eq!(snap.requests, 70);
         assert_eq!(snap.queue_full, 2);
@@ -269,5 +279,17 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("requests: 70"));
         assert!(text.contains("lane occupancy"));
+    }
+
+    #[test]
+    fn multi_word_flushes_widen_the_capacity() {
+        let stats = ServiceStats::default();
+        // A full 3-word block and a partial 130-lane (3-word) flush.
+        stats.record_flush(FlushCause::Full, 192, 3, 1_000);
+        stats.record_flush(FlushCause::Deadline, 130, 3, 1_000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.lanes_filled, 322);
+        assert_eq!(snap.lane_capacity, 384);
+        assert!((snap.lane_occupancy - 322.0 / 384.0).abs() < 1e-12);
     }
 }

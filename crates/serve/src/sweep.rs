@@ -6,9 +6,10 @@
 //! jobs that already know their whole workload (verification sweeps,
 //! test-set replay, dataset scoring). Jobs are sharded across a
 //! [`WorkerPool`] — each worker chunks its simulator's vectors into
-//! 64-lane blocks and evaluates with [`Simulator::eval_block`] — and
-//! results come back in job order, bit-identical to the sequential loop
-//! for any thread count.
+//! multi-word blocks of [`SWEEP_WORDS`]` × 64` lanes and evaluates with
+//! [`Simulator::eval_words`] into per-job reused buffers — and results
+//! come back in job order, bit-identical to the sequential loop for any
+//! thread count.
 //!
 //! Like the online service, the sweep is backend-agnostic:
 //! [`eval_sims_blocked`] takes `&dyn Simulator` jobs (mix covers, PLAs,
@@ -17,18 +18,24 @@
 //! original API shipped.
 
 use ambipla_core::{Simulator, WorkerPool};
-use logic::eval::{pack_vectors, unpack_lane, LANES};
+use logic::eval::{pack_vectors_words, unpack_lane_words, LANES, SWEEP_WORDS};
 use logic::Cover;
 
-/// Evaluate one simulator's vectors, 64 lanes at a time — the shared body
-/// of both sweep entry points. Only the valid lanes of the (possibly
-/// partial) tail block are unpacked — the `logic::eval::lane_mask`
-/// contract.
+/// Evaluate one simulator's vectors, `SWEEP_WORDS × 64` lanes at a time
+/// with buffers reused across blocks — the shared body of both sweep
+/// entry points. Only the valid lanes of the (possibly partial) tail
+/// block are unpacked — the `logic::eval::lane_mask` contract.
 fn eval_blocked_one(sim: &dyn Simulator, vectors: &[u64]) -> Vec<Vec<bool>> {
+    let (n, o) = (sim.n_inputs(), sim.n_outputs());
+    let mut packed = vec![0u64; n * SWEEP_WORDS];
+    let mut out = vec![0u64; o * SWEEP_WORDS];
     let mut results = Vec::with_capacity(vectors.len());
-    for chunk in vectors.chunks(LANES) {
-        let words = sim.eval_block(&pack_vectors(chunk, sim.n_inputs()));
-        results.extend((0..chunk.len()).map(|lane| unpack_lane(&words, lane)));
+    for chunk in vectors.chunks(SWEEP_WORDS * LANES) {
+        let words = chunk.len().div_ceil(LANES);
+        let (packed, out) = (&mut packed[..n * words], &mut out[..o * words]);
+        pack_vectors_words(chunk, n, words, packed);
+        sim.eval_words(packed, out, words);
+        results.extend((0..chunk.len()).map(|lane| unpack_lane_words(out, lane, words)));
     }
     results
 }
@@ -64,7 +71,8 @@ mod tests {
             Cover::parse("110 01\n101 01\n011 01\n111 01", 3, 2).expect("valid cover"),
             Cover::parse("1--- 10\n--11 01", 4, 2).expect("valid cover"),
         ];
-        // 150 vectors per cover: two full blocks plus a partial tail.
+        // 150 vectors per cover: two full lane words plus a partial tail
+        // word within one SWEEP_WORDS-wide block.
         covers
             .iter()
             .enumerate()

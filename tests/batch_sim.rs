@@ -4,17 +4,22 @@
 //! itself, all four PLA architectures, the interconnect cascade, the
 //! fault model and the FPGA mapping — must satisfy the same law: the
 //! scalar `simulate_bits` adapter agrees lane-for-lane with the
-//! word-level `eval_block` path on arbitrary vector streams, **including
-//! partial (non-multiple-of-64) blocks**, whose unused lanes are garbage
-//! by contract (`logic::eval::lane_mask`) and must never leak into valid
-//! lanes. The macro below stamps out one proptest per implementor.
+//! width-generic `eval_words` path at every block width (`words ∈
+//! {1, 2, 4}`, with the provided `eval_block` adapter covering `words =
+//! 1`) on arbitrary vector streams, **including partial
+//! (non-multiple-of-64) blocks**, whose unused lanes are garbage by
+//! contract (`logic::eval::lane_mask`) and must never leak into valid
+//! lanes — the multi-word sweep below actively poisons them to prove it.
+//! The macro stamps out one proptest per implementor.
 //!
 //! On top of the per-type contract, the GNOR PLA must agree with the
 //! classical PLA on every cover (the paper's functional-equivalence claim
 //! behind the Table 1 area comparison), and with `Cover::eval_batch`
 //! itself.
 
-use ambipla::core::sim::{pack_vectors, unpack_lane, LANES};
+use ambipla::core::sim::{
+    lane_mask_words, pack_vectors, pack_vectors_words, unpack_lane, unpack_lane_words, LANES,
+};
 use ambipla::core::{ClassicalPla, DynamicPla, GnorPla, PlaNetwork, Simulator, Wpla};
 use ambipla::fault::{DefectKind, DefectMap, FaultyGnorPla};
 use ambipla::fpga::MappedNetwork;
@@ -85,6 +90,38 @@ fn assert_scalar_matches_block(sim: &dyn Simulator, vectors: &[u64]) {
     }
 }
 
+/// The width-generic law: at `words ∈ {1, 2, 4}`, every valid lane of an
+/// `eval_words` block equals the scalar `simulate_bits` answer — with the
+/// unused tail lanes deliberately poisoned, so an implementor that lets
+/// garbage lanes bleed into valid ones (or reads lanes it should not)
+/// fails here for every backend type.
+fn assert_scalar_matches_words(sim: &dyn Simulator, vectors: &[u64]) {
+    let (n, o) = (sim.n_inputs(), sim.n_outputs());
+    for words in [1usize, 2, 4] {
+        let mut packed = vec![0u64; n * words];
+        let mut out = vec![0u64; o * words];
+        for chunk in vectors.chunks(words * LANES) {
+            pack_vectors_words(chunk, n, words, &mut packed);
+            for i in 0..n {
+                for w in 0..words {
+                    packed[i * words + w] |= 0xdead_beef_cafe_f00du64
+                        .rotate_left((i * words + w) as u32 * 7)
+                        & !lane_mask_words(chunk.len(), w);
+                }
+            }
+            sim.eval_words(&packed, &mut out, words);
+            for (lane, &bits) in chunk.iter().enumerate() {
+                assert_eq!(
+                    unpack_lane_words(&out, lane, words),
+                    sim.simulate_bits(bits),
+                    "words {words} lane {lane} of a {}-lane block, bits {bits:#b}",
+                    chunk.len()
+                );
+            }
+        }
+    }
+}
+
 /// One proptest per `Simulator` implementor: build the backend from a
 /// random cover and check the scalar/block contract on a random stream.
 macro_rules! simulator_contract {
@@ -97,6 +134,7 @@ macro_rules! simulator_contract {
                     #[allow(clippy::redundant_closure_call)]
                     let sim = ($build)(&f);
                     assert_scalar_matches_block(&sim, &vectors);
+                    assert_scalar_matches_words(&sim, &vectors);
                 }
             )+
         }
