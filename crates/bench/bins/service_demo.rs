@@ -9,19 +9,24 @@
 //!    verifies their replies against each backend's own `simulate_bits`
 //!    (the twins must also disagree somewhere, proving the queues do not
 //!    leak).
-//! 3. Runs the offline bulk sweep ([`eval_sims_blocked`], mixed backend
+//! 3. Hot-swaps the faulty twin's registration mid-traffic — defect
+//!    injection, column repair, re-minimization — and verifies every
+//!    reply against the epoch that served it ([`EpochOracle`]).
+//! 4. Runs the offline bulk sweep ([`eval_sims_blocked`], mixed backend
 //!    types) with 1 and N worker threads and checks the results are
 //!    identical.
-//! 4. Runs the yield Monte-Carlo sequentially and sharded
+//! 5. Runs the yield Monte-Carlo sequentially and sharded
 //!    ([`fault::yield_curve_parallel`]) and checks bit-identical curves.
 //!
 //! Any mismatch panics (non-zero exit); the happy path prints the service
 //! stats table. Run:
 //! `cargo run --release -p bench --bin service_demo`
 
-use ambipla_core::GnorPla;
-use ambipla_serve::{eval_sims_blocked, reply_channel, SimKey, SimService, Simulator, WorkerPool};
-use fault::{DefectKind, DefectMap, FaultyGnorPla};
+use ambipla_core::{EpochOracle, GnorPla};
+use ambipla_serve::{
+    eval_sims_blocked, reply_channel, SharedSim, SimKey, SimService, Simulator, WorkerPool,
+};
+use fault::{repair_with_columns, ColumnRepairOutcome, DefectKind, DefectMap, FaultyGnorPla};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -138,7 +143,66 @@ fn main() {
     );
     println!();
 
-    // ---- 3. Offline: bulk sweep sharded across the worker pool. --------
+    // ---- 3. Hot swaps: reconfigure the faulty slot mid-traffic. --------
+    // The epoch contract end to end: swap the faulty twin's registration
+    // through fresh defect draws, a column-repaired view and the
+    // re-minimized specification while probes stay in flight, verifying
+    // every reply against the generation that served it.
+    let adder = logic::Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover");
+    let adder_pla = GnorPla::from_cover(&adder);
+    let hot: SharedSim = Arc::new(adder_pla.clone());
+    let oracle = EpochOracle::new(Arc::clone(&hot));
+    let hid = service.register_sim(hot, SimKey::new(base_key.raw() ^ 3));
+    let swap_rounds = 12u64;
+    let mut in_flight = Vec::new();
+    for k in 1..=swap_rounds {
+        // Keep requests in flight across each swap: these are drained by
+        // the swap under the *outgoing* epoch.
+        for bits in 0..8u64 {
+            in_flight.push((bits, service.submit(hid, bits)));
+        }
+        let d = adder_pla.dimensions();
+        let candidate: SharedSim = match k % 3 {
+            0 => Arc::new(logic::espresso::espresso(&adder).0),
+            1 => Arc::new(FaultyGnorPla::new(
+                adder_pla.clone(),
+                DefectMap::sample(d.products, d.inputs, d.outputs, 0.08, 0.7, 0x5eed ^ k),
+            )),
+            _ => {
+                let defects = DefectMap::sample(adder.len() + 2, 5, 2, 0.05, 0.8, 0xfee1 ^ k);
+                match repair_with_columns(&adder, &defects) {
+                    ColumnRepairOutcome::Repaired(r) => Arc::new(r.faulty_view(&defects)),
+                    ColumnRepairOutcome::Unrepairable { .. } => Arc::new(adder_pla.clone()),
+                }
+            }
+        };
+        let promised = oracle.push(Arc::clone(&candidate));
+        let installed = service.swap_sim(hid, candidate);
+        assert_eq!(installed, promised, "oracle and service epochs diverged");
+    }
+    for (bits, ticket) in in_flight {
+        let reply = ticket.wait_reply();
+        assert!(
+            oracle.matches(reply.epoch, bits, &reply.outputs),
+            "hot-swap reply for bits {bits:03b} does not match epoch {}",
+            reply.epoch
+        );
+    }
+    assert_eq!(service.epoch(hid), swap_rounds);
+    println!(
+        "hot swaps: {swap_rounds} backend generations (defect injection, column repair, \
+         re-minimization) on one registration — {} in-flight probes all matched \
+         the epoch that served them",
+        8 * swap_rounds,
+    );
+    println!();
+
+    // ---- 4. Offline: bulk sweep sharded across the worker pool. --------
     // Mixed backend types in one eval_sims_blocked call: every cover plus
     // the nominal/faulty twins.
     let mut jobs: Vec<(&(dyn Simulator + Sync), Vec<u64>)> = covers
@@ -173,13 +237,7 @@ fn main() {
         pool.threads(),
     );
 
-    // ---- 4. Monte-Carlo: sequential vs sharded yield curves. -----------
-    let adder = logic::Cover::parse(
-        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
-        3,
-        2,
-    )
-    .expect("valid cover");
+    // ---- 5. Monte-Carlo: sequential vs sharded yield curves. -----------
     let rates = [0.005, 0.02, 0.05];
     let trials = 400;
     let t1 = Instant::now();

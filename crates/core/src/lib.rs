@@ -73,6 +73,9 @@ pub use layout::Floorplan;
 pub use pla::{GnorPla, MapError};
 pub use plane::GnorPlane;
 pub use pool::WorkerPool;
-pub use sim::{pack_vectors, pack_vectors_words, unpack_lane, unpack_lane_words, Simulator, LANES};
+pub use sim::{
+    pack_vectors, pack_vectors_words, unpack_lane, unpack_lane_words, EpochOracle, SharedSimulator,
+    Simulator, LANES,
+};
 pub use timing::{PlaTiming, TimingModel};
 pub use wpla::Wpla;

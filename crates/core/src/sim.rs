@@ -73,6 +73,7 @@
 
 use logic::eval::{first_set_lane_words, sweep_words, EXHAUSTIVE_LIMIT, SWEEP_WORDS};
 use logic::Cover;
+use std::sync::{Arc, RwLock};
 
 pub use logic::eval::{
     exhaustive_block, exhaustive_words, lane_mask, lane_mask_words, pack_vectors,
@@ -182,6 +183,100 @@ pub trait Simulator {
         (0..vectors.len())
             .map(|lane| unpack_lane(&words, lane))
             .collect()
+    }
+}
+
+/// A shareable simulation backend: the form every multi-threaded consumer
+/// (the `ambipla_serve` registration table, the [`EpochOracle`]) passes
+/// around. Any `Simulator` that is `Send + Sync` qualifies.
+pub type SharedSimulator = Arc<dyn Simulator + Send + Sync>;
+
+/// Epoch-tagged scalar oracle for hot-swap verification.
+///
+/// A service that hot-swaps backends serves every reply under *some*
+/// epoch; to check such a reply, a verifier needs the backend that was
+/// live at that epoch, not whatever is live now. `EpochOracle` keeps the
+/// full backend history — epoch `e` is the backend installed by the
+/// `e`-th swap (epoch 0 is the initial registration) — behind an `RwLock`
+/// so checker threads can verify replies while a mutator thread keeps
+/// appending new epochs.
+///
+/// The intended discipline (what makes the chaos harnesses sound): the
+/// mutator [`push`](EpochOracle::push)es the new backend **before**
+/// triggering the swap that makes it live, so by the time any reply
+/// tagged with the new epoch can exist, the oracle already answers for
+/// it.
+///
+/// # Example
+///
+/// ```
+/// use ambipla_core::sim::EpochOracle;
+/// use logic::Cover;
+/// use std::sync::Arc;
+///
+/// let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+/// let and = Cover::parse("11 1", 2, 1).unwrap();
+/// let oracle = EpochOracle::new(Arc::new(xor));
+/// assert_eq!(oracle.push(Arc::new(and)), 1); // the epoch it will serve
+/// assert!(oracle.matches(0, 0b01, &[true])); // xor era
+/// assert!(oracle.matches(1, 0b01, &[false])); // and era
+/// ```
+pub struct EpochOracle {
+    epochs: RwLock<Vec<SharedSimulator>>,
+}
+
+impl EpochOracle {
+    /// An oracle whose epoch 0 is `initial` (the backend registered
+    /// before any swap).
+    pub fn new(initial: SharedSimulator) -> EpochOracle {
+        EpochOracle {
+            epochs: RwLock::new(vec![initial]),
+        }
+    }
+
+    /// Record the backend the *next* swap will install, returning the
+    /// epoch it will serve under. Call before triggering the swap.
+    pub fn push(&self, sim: SharedSimulator) -> u64 {
+        let mut epochs = self.epochs.write().unwrap();
+        epochs.push(sim);
+        (epochs.len() - 1) as u64
+    }
+
+    /// Number of recorded epochs (latest epoch + 1).
+    pub fn len(&self) -> usize {
+        self.epochs.read().unwrap().len()
+    }
+
+    /// Never true: epoch 0 exists from construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The backend serving `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` was never recorded — under the push-before-swap
+    /// discipline that means the verifier saw a reply from an epoch the
+    /// mutator never created, which is a test failure, not a race.
+    pub fn backend(&self, epoch: u64) -> SharedSimulator {
+        let epochs = self.epochs.read().unwrap();
+        Arc::clone(
+            epochs
+                .get(epoch as usize)
+                .unwrap_or_else(|| panic!("epoch {epoch} was never recorded")),
+        )
+    }
+
+    /// The scalar truth of `epoch`'s backend on one packed assignment —
+    /// what a reply served under that epoch must equal.
+    pub fn expected(&self, epoch: u64, bits: u64) -> Vec<bool> {
+        self.backend(epoch).simulate_bits(bits)
+    }
+
+    /// True if `outputs` is exactly `epoch`'s scalar truth on `bits`.
+    pub fn matches(&self, epoch: u64, bits: u64, outputs: &[bool]) -> bool {
+        self.expected(epoch, bits) == outputs
     }
 }
 
@@ -563,6 +658,37 @@ mod tests {
         let (f, pla) = adder();
         let pats: Vec<u64> = (0..300).map(|x| x % 8).collect(); // 256 + 44 tail
         assert!(agrees_on(&pla, &f, &pats));
+    }
+
+    #[test]
+    fn epoch_oracle_answers_per_epoch() {
+        let (f, pla) = adder();
+        // Epoch 1 swaps in a visibly different backend: output 1's driver
+        // polarity flipped.
+        let broken = GnorPla::from_parts(
+            pla.input_plane().clone(),
+            pla.output_plane().clone(),
+            vec![true, false],
+        );
+        let oracle = EpochOracle::new(std::sync::Arc::new(pla.clone()));
+        assert_eq!(oracle.push(std::sync::Arc::new(broken.clone())), 1);
+        assert_eq!(oracle.len(), 2);
+        assert!(!oracle.is_empty());
+        for bits in 0..8u64 {
+            assert_eq!(oracle.expected(0, bits), f.eval_bits(bits));
+            assert_eq!(oracle.expected(1, bits), broken.simulate_bits(bits));
+            assert!(oracle.matches(0, bits, &pla.simulate_bits(bits)));
+        }
+        // The two eras disagree somewhere, so the per-epoch answers are
+        // genuinely distinct.
+        assert!((0..8u64).any(|b| oracle.expected(0, b) != oracle.expected(1, b)));
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch 7 was never recorded")]
+    fn epoch_oracle_rejects_unknown_epochs() {
+        let (_, pla) = adder();
+        EpochOracle::new(std::sync::Arc::new(pla)).expected(7, 0);
     }
 
     #[test]

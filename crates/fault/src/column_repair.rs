@@ -58,6 +58,68 @@ impl ColumnRepairedPla {
         self.pla.simulate(&phys)
     }
 
+    /// The repaired array fault-simulated under `defects` as a servable
+    /// [`Simulator`] over *logical* inputs: the interconnect permutation
+    /// is applied inside `eval_words`, so the view drops straight into
+    /// anything that serves `&dyn Simulator` — including a hot swap that
+    /// replaces a defective backend with its repaired twin. The view is
+    /// cheap to clone (the array is shared, see
+    /// [`FaultyGnorPla`](crate::inject::FaultyGnorPla)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the defect map dimensions do not match the physical
+    /// array.
+    pub fn faulty_view(&self, defects: &DefectMap) -> RepairedView {
+        RepairedView {
+            faulty: crate::inject::FaultyGnorPla::new(self.pla.clone(), defects.clone()),
+            column_of_input: self.column_of_input.clone(),
+        }
+    }
+}
+
+/// A column-repaired PLA under its defect map, simulated on logical
+/// inputs — see [`ColumnRepairedPla::faulty_view`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairedView {
+    faulty: crate::inject::FaultyGnorPla,
+    column_of_input: Vec<usize>,
+}
+
+impl RepairedView {
+    /// The underlying fault-simulated physical array.
+    pub fn faulty(&self) -> &crate::inject::FaultyGnorPla {
+        &self.faulty
+    }
+}
+
+impl Simulator for RepairedView {
+    fn n_inputs(&self) -> usize {
+        self.column_of_input.len()
+    }
+
+    fn n_outputs(&self) -> usize {
+        self.faulty.n_outputs()
+    }
+
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        let n = self.column_of_input.len();
+        assert!(words > 0, "at least one lane word per signal");
+        assert_eq!(inputs.len(), n * words, "input arity mismatch");
+        // Route each logical signal's lane words onto its physical
+        // column; unrouted (spare) columns read 0, matching
+        // `physical_inputs`. Signal-major layout makes this whole-word
+        // copies.
+        let phys_n = self.faulty.n_inputs();
+        let mut phys = vec![0u64; phys_n * words];
+        for (i, &c) in self.column_of_input.iter().enumerate() {
+            phys[c * words..(c + 1) * words].copy_from_slice(&inputs[i * words..(i + 1) * words]);
+        }
+        self.faulty.eval_words(&phys, out, words);
+    }
+}
+
+impl ColumnRepairedPla {
     /// Spread logical inputs onto the physical columns (unused columns are
     /// driven low; their devices are all `V0` so the value is irrelevant).
     pub fn physical_inputs(&self, inputs: &[bool]) -> Vec<bool> {
@@ -225,19 +287,18 @@ fn kuhn(
 }
 
 /// Fault-simulate a column-repaired PLA against its cover (exhaustive up
-/// to [`logic::eval::EXHAUSTIVE_LIMIT`] logical inputs).
+/// to [`logic::eval::EXHAUSTIVE_LIMIT`] logical inputs) — the
+/// repair-then-re-inject round trip: applying the *same* defect map to
+/// the repaired configuration must reproduce the cover's original truth
+/// table. Sweeps through the logical [`RepairedView`] backend, 64+ lanes
+/// per `eval_words` call.
 pub fn verify_column_repair(
     cover: &Cover,
     repaired: &ColumnRepairedPla,
     defects: &DefectMap,
 ) -> bool {
     let n = cover.n_inputs().min(logic::eval::EXHAUSTIVE_LIMIT);
-    let faulty = crate::inject::FaultyGnorPla::new(repaired.pla.clone(), defects.clone());
-    (0..(1u64 << n)).all(|bits| {
-        let logical: Vec<bool> = (0..cover.n_inputs()).map(|i| bits >> i & 1 == 1).collect();
-        let phys = repaired.physical_inputs(&logical);
-        faulty.simulate(&phys) == cover.eval_bits(bits)
-    })
+    ambipla_core::sim::equivalent_to_cover(&repaired.faulty_view(defects), cover, n)
 }
 
 #[cfg(test)]

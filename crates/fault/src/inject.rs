@@ -12,8 +12,16 @@ use crate::defect::{DefectKind, DefectMap};
 use ambipla_core::sim;
 use ambipla_core::{GnorPla, InputPolarity, Simulator};
 use logic::Cover;
+use std::sync::Arc;
 
 /// A GNOR PLA paired with its defect map.
+///
+/// The PLA is held behind an [`Arc`], so cloning a `FaultyGnorPla` — or
+/// deriving a new one from the same array with
+/// [`with_defects`](FaultyGnorPla::with_defects) — copies only the defect
+/// map, never the array configuration. That is what makes defect
+/// injection / repair churn cheap enough to construct a fresh backend per
+/// hot swap in a serving loop.
 ///
 /// # Example
 ///
@@ -29,10 +37,13 @@ use logic::Cover;
 /// let faulty = FaultyGnorPla::new(pla, defects);
 /// // Row 0 lost its x0 literal: the faulty PLA no longer matches XOR.
 /// assert!(!faulty.implements(&f));
+/// // A defect-map mutation shares the array: no PLA copy.
+/// let healed = faulty.with_defects(DefectMap::clean(2, 2, 1));
+/// assert!(healed.implements(&f));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultyGnorPla {
-    pla: GnorPla,
+    pla: Arc<GnorPla>,
     defects: DefectMap,
 }
 
@@ -43,6 +54,17 @@ impl FaultyGnorPla {
     ///
     /// Panics if the map dimensions do not match the PLA.
     pub fn new(pla: GnorPla, defects: DefectMap) -> FaultyGnorPla {
+        FaultyGnorPla::from_shared(Arc::new(pla), defects)
+    }
+
+    /// Pair an already-shared PLA with a defect map — the zero-copy
+    /// constructor for callers that stamp out many faulty twins of one
+    /// array (Monte-Carlo trials, hot-swap mutators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map dimensions do not match the PLA.
+    pub fn from_shared(pla: Arc<GnorPla>, defects: DefectMap) -> FaultyGnorPla {
         let d = pla.dimensions();
         assert_eq!(defects.rows(), d.products, "defect map rows mismatch");
         assert_eq!(defects.inputs(), d.inputs, "defect map inputs mismatch");
@@ -50,8 +72,25 @@ impl FaultyGnorPla {
         FaultyGnorPla { pla, defects }
     }
 
+    /// The same array under a different defect map, sharing the PLA
+    /// allocation — the cheap way to model a device whose defect map just
+    /// changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map dimensions do not match the PLA.
+    pub fn with_defects(&self, defects: DefectMap) -> FaultyGnorPla {
+        FaultyGnorPla::from_shared(Arc::clone(&self.pla), defects)
+    }
+
     /// The underlying (intended) PLA.
     pub fn pla(&self) -> &GnorPla {
+        &self.pla
+    }
+
+    /// The shared handle to the underlying PLA (clone it to build derived
+    /// twins without copying the array).
+    pub fn shared_pla(&self) -> &Arc<GnorPla> {
         &self.pla
     }
 
@@ -234,5 +273,26 @@ mod tests {
     fn dimension_mismatch_panics() {
         let (_, pla) = xor_pla();
         let _ = FaultyGnorPla::new(pla, DefectMap::clean(3, 2, 1));
+    }
+
+    #[test]
+    fn with_defects_shares_the_array() {
+        let (f, pla) = xor_pla();
+        let faulty = FaultyGnorPla::new(pla, DefectMap::clean(2, 2, 1));
+        let mut d = DefectMap::clean(2, 2, 1);
+        d.set_input_defect(0, 1, DefectKind::StuckOn);
+        let twin = faulty.with_defects(d);
+        // Same allocation, different function.
+        assert!(Arc::ptr_eq(faulty.shared_pla(), twin.shared_pla()));
+        assert!(faulty.implements(&f));
+        assert!(!twin.implements(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "defect map inputs mismatch")]
+    fn with_defects_still_checks_dimensions() {
+        let (_, pla) = xor_pla();
+        let faulty = FaultyGnorPla::new(pla, DefectMap::clean(2, 2, 1));
+        let _ = faulty.with_defects(DefectMap::clean(2, 3, 1));
     }
 }

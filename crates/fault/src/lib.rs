@@ -28,7 +28,7 @@ pub mod yield_analysis;
 
 pub use bist::{bist_sequence, measure_coverage, BistCoverage};
 pub use column_repair::{
-    repair_with_columns, verify_column_repair, ColumnRepairOutcome, ColumnRepairedPla,
+    repair_with_columns, verify_column_repair, ColumnRepairOutcome, ColumnRepairedPla, RepairedView,
 };
 pub use defect::{DefectKind, DefectMap};
 pub use inject::FaultyGnorPla;

@@ -1,7 +1,8 @@
 //! The lane-packing request batcher.
 //!
 //! A [`SimService`] owns one batcher thread. Clients register **any
-//! [`Simulator`] backend** — plain covers, GNOR/classical/Whirlpool PLAs,
+//! [`Simulator`](ambipla_core::sim::Simulator) backend** — plain covers,
+//! GNOR/classical/Whirlpool PLAs,
 //! faulty arrays, FPGA mappings — and submit single-vector simulation
 //! requests; the batcher queues requests **per registered simulator**,
 //! packs them into multi-word lane blocks of up to
@@ -19,23 +20,56 @@
 //! per-block `Vec` allocation beyond the reply payloads themselves.
 //!
 //! Before evaluating, the batcher consults the [`BlockCache`] **per
-//! 64-lane sub-block**, keyed on *(the registration's [`SimKey`], that
-//! sub-block's packed words)* — exactly the keys a `block_words = 1`
-//! service would use, so warm-path hit semantics are independent of the
-//! configured width. Sub-blocks that hit are copied from the cache; the
-//! misses are gathered into one narrower block and evaluated with a
-//! single `eval_words` call. Results are scattered back to callers over
-//! per-request or shared reply channels. Backpressure is opt-in per
-//! submission: [`SimService::try_submit`] refuses with [`QueueFull`] once
-//! a simulator's pending queue reaches `ServeConfig::queue_depth`, while
-//! the plain `submit` paths stay unbounded for trusted in-process
-//! callers. Dropping the service (or calling
-//! [`shutdown`](SimService::shutdown)) drains every queue before the
-//! thread exits, so no submitted request is ever lost.
+//! 64-lane sub-block**, keyed on *(the registration's [`SimKey`], its
+//! current epoch, that sub-block's packed words)* — exactly the keys a
+//! `block_words = 1` service would use, so warm-path hit semantics are
+//! independent of the configured width. Sub-blocks that hit are copied
+//! from the cache; the misses are gathered into one narrower block and
+//! evaluated with a single `eval_words` call. Results are scattered back
+//! to callers over per-request or shared reply channels. Backpressure is
+//! opt-in per submission: [`SimService::try_submit`] refuses with
+//! [`QueueFull`] once a simulator's pending queue reaches
+//! `ServeConfig::queue_depth`, while the plain `submit` paths stay
+//! unbounded for trusted in-process callers. Dropping the service (or
+//! calling [`shutdown`](SimService::shutdown)) drains every queue before
+//! the thread exits, so no submitted request is ever lost.
+//!
+//! # Hot swaps: the epoch contract
+//!
+//! [`SimService::swap_sim`] replaces a registration's backend
+//! **mid-traffic**. Each registration carries an **epoch** — 0 at
+//! registration, incremented by every swap — and the service guarantees:
+//!
+//! * **Every reply is consistent with exactly one epoch.** A flush
+//!   evaluates one backend; the swap *drains* the target's queued
+//!   requests through the outgoing backend ([`FlushCause::Swap`]) before
+//!   installing the new one, so no flushed block ever mixes generations,
+//!   and [`SimReply::epoch`] names the generation that produced it.
+//!   Requests already accepted when the swap lands are answered by the
+//!   *old* backend; requests submitted after
+//!   [`swap_sim`](SimService::swap_sim) returns are
+//!   answered by the *new* one (in between, whichever epoch their flush
+//!   falls under — "some single epoch", never a mixture).
+//! * **Zero dropped requests.** A swap never sheds queued work; the drain
+//!   flush answers every ticket exactly as a deadline flush would.
+//! * **Exact cache invalidation.** The epoch is part of every
+//!   [`BlockKey`], so the swapped registration's cached blocks from
+//!   superseded epochs become unreachable at the bump, while *other*
+//!   registrations' entries (and the new epoch's own entries, as they
+//!   fill) keep their warm hit rate. Nothing is scanned or purged
+//!   eagerly; stale entries age out through LRU eviction.
+//! * **Arity is fixed per registration.** The replacement backend must
+//!   match the registered `n_inputs`/`n_outputs` (checked before the swap
+//!   is sent), so in-flight requests remain well-formed across the bump.
+//!
+//! `swap_sim` blocks until the batcher has performed the drain + install
+//! and returns the new epoch; [`SimService::epoch`] reads a
+//! registration's current epoch at any time, and
+//! [`stats`](SimService::stats) reports `swaps` / `swap_flushes`
+//! counters that reconcile with a driver's swap log.
 
 use crate::cache::{BlockCache, BlockKey, SimKey};
 use crate::stats::{FlushCause, ServiceStats, StatsSnapshot};
-use ambipla_core::Simulator;
 use logic::eval::{pack_vectors_words, unpack_lane_words, LANES};
 use logic::Cover;
 use std::error::Error;
@@ -46,10 +80,12 @@ use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A shareable simulation backend: what [`SimService::register_sim`]
-/// accepts. The service's batcher thread evaluates through the trait
-/// object, so any `Simulator` that is `Send + Sync` can be served.
-pub type SharedSim = Arc<dyn Simulator + Send + Sync>;
+/// A shareable simulation backend: what [`SimService::register_sim`] and
+/// [`SimService::swap_sim`] accept. The service's batcher thread
+/// evaluates through the trait object, so any `Simulator` that is
+/// `Send + Sync` can be served. (Re-exported alias of
+/// [`ambipla_core::sim::SharedSimulator`].)
+pub type SharedSim = ambipla_core::sim::SharedSimulator;
 
 /// Tuning knobs of a [`SimService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,12 +148,17 @@ impl fmt::Display for QueueFull {
 
 impl Error for QueueFull {}
 
-/// One response: the caller's tag plus the simulated output vector.
+/// One response: the caller's tag, the epoch that served it, and the
+/// simulated output vector.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimReply {
     /// Echo of the tag passed to [`SimService::submit_tagged`] (0 for
     /// [`SimService::submit`]).
     pub tag: u64,
+    /// The registration epoch whose backend evaluated this request — the
+    /// generation a verifier must check `outputs` against. See the
+    /// [module docs](self) on the epoch contract.
+    pub epoch: u64,
     /// One bool per simulator output.
     pub outputs: Vec<bool>,
 }
@@ -167,8 +208,35 @@ impl SimTicket {
     ///
     /// Panics if the service thread died before answering.
     pub fn wait(self) -> Vec<bool> {
-        self.0.recv().expect("simulation service dropped").outputs
+        self.wait_reply().outputs
     }
+
+    /// Like [`wait`](SimTicket::wait), but returns the full [`SimReply`]
+    /// — epoch-aware callers (hot-swap verifiers) need to know which
+    /// generation answered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service thread died before answering.
+    pub fn wait_reply(self) -> SimReply {
+        self.0.recv().expect("simulation service dropped")
+    }
+}
+
+/// Handle-side state of one registration slot, shared with the batcher.
+struct SlotState {
+    /// Requests submitted but not yet flushed — incremented by every
+    /// submission (bounded or not), decremented by the batcher as lanes
+    /// flush; what `try_submit`'s backpressure check reads.
+    pending: AtomicUsize,
+    /// The slot's current epoch: written by the batcher at registration
+    /// (0) and on every completed swap, read by [`SimService::epoch`].
+    epoch: AtomicU64,
+    /// Registered input arity — fixed for the slot's lifetime; swap
+    /// candidates must match.
+    n_inputs: usize,
+    /// Registered output arity — fixed for the slot's lifetime.
+    n_outputs: usize,
 }
 
 enum Msg {
@@ -179,15 +247,20 @@ enum Msg {
         id: usize,
         sim: SharedSim,
         key: SimKey,
-        // Shared with the handle (see SimService::pending): the batcher
-        // decrements it as lanes flush.
-        pending: Arc<AtomicUsize>,
+        // Shared with the handle (see SimService::slots).
+        slot: Arc<SlotState>,
     },
     Submit {
         id: usize,
         bits: u64,
         tag: u64,
         reply: Sender<SimReply>,
+    },
+    Swap {
+        id: usize,
+        sim: SharedSim,
+        // Acked with the new epoch once the drain + install completed.
+        ack: Sender<u64>,
     },
     Shutdown,
 }
@@ -202,11 +275,9 @@ pub struct SimService {
     worker: Option<JoinHandle<()>>,
     stats: Arc<ServiceStats>,
     cache: Arc<BlockCache>,
-    /// Per-slot pending-request counters, indexed by `SimId::slot`.
-    /// Incremented on every submission (bounded or not), decremented by
-    /// the batcher as lanes flush — the shared state `try_submit`'s
-    /// backpressure check reads.
-    pending: RwLock<Vec<Arc<AtomicUsize>>>,
+    /// Per-slot shared state (pending counter, epoch, fixed arity),
+    /// indexed by `SimId::slot`.
+    slots: RwLock<Vec<Arc<SlotState>>>,
     queue_depth: usize,
     /// Process-unique identity stamped into every issued [`SimId`].
     nonce: u64,
@@ -241,7 +312,7 @@ impl SimService {
             worker: Some(worker),
             stats,
             cache,
-            pending: RwLock::new(Vec::new()),
+            slots: RwLock::new(Vec::new()),
             queue_depth: config.queue_depth,
             nonce: NEXT_SERVICE.fetch_add(1, Ordering::Relaxed),
         }
@@ -268,24 +339,72 @@ impl SimService {
     /// requests are `u64`s).
     pub fn register_sim(&self, sim: SharedSim, key: SimKey) -> SimId {
         assert!(sim.n_inputs() <= 64, "at most 64 inputs per simulator");
-        let pending = Arc::new(AtomicUsize::new(0));
+        let slot = Arc::new(SlotState {
+            pending: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            n_inputs: sim.n_inputs(),
+            n_outputs: sim.n_outputs(),
+        });
         let id = {
-            let mut slots = self.pending.write().unwrap();
-            slots.push(Arc::clone(&pending));
+            let mut slots = self.slots.write().unwrap();
+            slots.push(Arc::clone(&slot));
             slots.len() - 1
         };
         self.tx
-            .send(Msg::Register {
-                id,
-                sim,
-                key,
-                pending,
-            })
+            .send(Msg::Register { id, sim, key, slot })
             .expect("batcher thread alive");
         SimId {
             slot: id,
             service: self.nonce,
         }
+    }
+
+    /// Hot-swap the backend behind a registration: atomically (from any
+    /// observer's point of view) drain the slot's queued requests through
+    /// the outgoing backend, install `sim`, and bump the slot's epoch.
+    /// Blocks until the batcher has completed the drain + install and
+    /// returns the **new epoch**; after return, every later submission is
+    /// served by `sim` and cached under the new epoch's keys. See the
+    /// [module docs](self) for the full epoch contract (zero dropped
+    /// requests, no torn blocks, exact cache invalidation).
+    ///
+    /// The registration's [`SimKey`] is deliberately kept: the epoch, not
+    /// the key, fences off the old generation's cache entries, so the key
+    /// can stay caller-stable across the backend's whole lifetime
+    /// (re-minimized covers, mutated defect maps, repairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim`'s input/output arity differs from the registered
+    /// backend's, or if `id` was issued by a different service.
+    pub fn swap_sim(&self, id: SimId, sim: SharedSim) -> u64 {
+        let slot = self.slot(id);
+        assert_eq!(
+            sim.n_inputs(),
+            slot.n_inputs,
+            "swap candidate input arity differs from the registration"
+        );
+        assert_eq!(
+            sim.n_outputs(),
+            slot.n_outputs,
+            "swap candidate output arity differs from the registration"
+        );
+        let (ack, done) = channel();
+        self.tx
+            .send(Msg::Swap {
+                id: id.slot,
+                sim,
+                ack,
+            })
+            .expect("batcher thread alive");
+        done.recv().expect("batcher thread alive")
+    }
+
+    /// The current epoch of a registration: 0 until the first
+    /// [`swap_sim`](SimService::swap_sim), then the number of completed
+    /// swaps.
+    pub fn epoch(&self, sim: SimId) -> u64 {
+        self.slot(sim).epoch.load(Ordering::Acquire)
     }
 
     /// Register a plain cover backend — the compatibility wrapper around
@@ -306,7 +425,7 @@ impl SimService {
     /// backpressure).
     pub fn submit(&self, sim: SimId, bits: u64) -> SimTicket {
         let (tx, rx) = channel();
-        self.counter(sim).fetch_add(1, Ordering::Relaxed);
+        self.slot(sim).pending.fetch_add(1, Ordering::Relaxed);
         self.submit_raw(sim, bits, 0, tx);
         SimTicket(rx)
     }
@@ -318,9 +437,10 @@ impl SimService {
     /// batcher or in flight on the channel). The caller decides whether
     /// to retry, shed load or spill to a bulk sweep.
     pub fn try_submit(&self, sim: SimId, bits: u64) -> Result<SimTicket, QueueFull> {
-        let counter = self.counter(sim);
+        let slot = self.slot(sim);
         let depth = self.queue_depth;
-        if counter
+        if slot
+            .pending
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| {
                 (p < depth).then_some(p + 1)
             })
@@ -338,17 +458,17 @@ impl SimService {
     /// the high-throughput path for clients with many requests in flight.
     /// Unbounded, like [`submit`](SimService::submit).
     pub fn submit_tagged(&self, sim: SimId, bits: u64, tag: u64, reply: &ReplySink) {
-        self.counter(sim).fetch_add(1, Ordering::Relaxed);
+        self.slot(sim).pending.fetch_add(1, Ordering::Relaxed);
         self.submit_raw(sim, bits, tag, reply.0.clone());
     }
 
-    /// The pending counter of `sim`, validating the id en route.
-    fn counter(&self, sim: SimId) -> Arc<AtomicUsize> {
+    /// The shared slot state of `sim`, validating the id en route.
+    fn slot(&self, sim: SimId) -> Arc<SlotState> {
         assert!(
             sim.service == self.nonce,
             "sim id was issued by a different service"
         );
-        let slots = self.pending.read().unwrap();
+        let slots = self.slots.read().unwrap();
         Arc::clone(slots.get(sim.slot).expect("unregistered sim id"))
     }
 
@@ -409,7 +529,12 @@ struct Registered {
     n_outputs: usize,
     /// Lane words per full block (`ServeConfig::block_words`).
     block_words: usize,
-    pending: Arc<AtomicUsize>,
+    /// State shared with the handle: the pending counter this side
+    /// decrements on flush, and the epoch this side publishes on swap.
+    slot: Arc<SlotState>,
+    /// The serving generation: 0 at registration, +1 per completed swap.
+    /// Part of every cache key and stamped into every reply.
+    epoch: u64,
     vectors: Vec<u64>,
     replies: Vec<(u64, Sender<SimReply>)>,
     opened: Option<Instant>,
@@ -433,12 +558,7 @@ struct Registered {
 }
 
 impl Registered {
-    fn new(
-        sim: SharedSim,
-        key: SimKey,
-        block_words: usize,
-        pending: Arc<AtomicUsize>,
-    ) -> Registered {
+    fn new(sim: SharedSim, key: SimKey, block_words: usize, slot: Arc<SlotState>) -> Registered {
         let n_inputs = sim.n_inputs();
         let n_outputs = sim.n_outputs();
         Registered {
@@ -447,7 +567,8 @@ impl Registered {
             n_inputs,
             n_outputs,
             block_words,
-            pending,
+            slot,
+            epoch: 0,
             vectors: Vec::with_capacity(block_words * LANES),
             replies: Vec::with_capacity(block_words * LANES),
             opened: None,
@@ -494,7 +615,7 @@ impl Registered {
                 for i in 0..self.n_inputs {
                     self.subkey[i] = self.packed[i * words + w];
                 }
-                let key = BlockKey::new(self.key, &self.subkey);
+                let key = BlockKey::new(self.key, self.epoch, &self.subkey);
                 match cache.lookup(&key) {
                     Some(cached) => {
                         for (j, &v) in cached.iter().enumerate() {
@@ -560,7 +681,7 @@ impl Registered {
         // pending count (a drain-then-try_submit or drain-then-stats
         // sequence must not race these updates).
         stats.record_flush(cause, lanes, words, latency_ns);
-        self.pending.fetch_sub(lanes, Ordering::Relaxed);
+        self.slot.pending.fetch_sub(lanes, Ordering::Relaxed);
         // Scatter lane results. Only the `lanes` valid lanes are ever
         // unpacked, which is what makes partial (deadline) blocks safe —
         // see `logic::eval::lane_mask`.
@@ -568,6 +689,7 @@ impl Registered {
             // A client may have dropped its ticket; that is not an error.
             let _ = reply.send(SimReply {
                 tag,
+                epoch: self.epoch,
                 outputs: unpack_lane_words(&self.out, lane, words),
             });
         }
@@ -625,16 +747,11 @@ fn batcher_loop(
             }
         };
         match msg {
-            Msg::Register {
-                id,
-                sim,
-                key,
-                pending,
-            } => {
+            Msg::Register { id, sim, key, slot } => {
                 if id >= registry.len() {
                     registry.resize_with(id + 1, || None);
                 }
-                registry[id] = Some(Registered::new(sim, key, block_words, pending));
+                registry[id] = Some(Registered::new(sim, key, block_words, slot));
             }
             Msg::Submit {
                 id,
@@ -667,6 +784,29 @@ fn batcher_loop(
                     }
                 }
             }
+            Msg::Swap { id, sim, ack } => {
+                // Same ordering argument as Submit: the SimId handoff puts
+                // the Register message ahead of the Swap on this channel.
+                let r = registry
+                    .get_mut(id)
+                    .and_then(Option::as_mut)
+                    .expect("swap for a backend whose registration never arrived");
+                // Drain the outgoing generation: everything queued before
+                // the swap message is already ahead of it on the channel,
+                // so this flush answers every such request under the old
+                // epoch — zero drops, no torn blocks.
+                let had_open = r.opened.is_some();
+                r.flush(FlushCause::Swap, stats, cache);
+                r.sim = sim;
+                r.epoch += 1;
+                r.slot.epoch.store(r.epoch, Ordering::Release);
+                stats.record_swap();
+                if had_open {
+                    oldest_stale = true;
+                }
+                // The swapper may have given up waiting; not an error.
+                let _ = ack.send(r.epoch);
+            }
             Msg::Shutdown => break,
         }
     }
@@ -678,7 +818,7 @@ fn batcher_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ambipla_core::GnorPla;
+    use ambipla_core::{GnorPla, Simulator};
     use fault::{DefectKind, DefectMap, FaultyGnorPla};
 
     fn adder() -> Cover {
@@ -705,6 +845,16 @@ mod tests {
             max_wait: Duration::from_millis(1),
             ..ServeConfig::default()
         }
+    }
+
+    /// A standalone slot for driving `Registered::flush` directly.
+    fn test_slot(pending: usize, n_inputs: usize, n_outputs: usize) -> Arc<SlotState> {
+        Arc::new(SlotState {
+            pending: AtomicUsize::new(pending),
+            epoch: AtomicU64::new(0),
+            n_inputs,
+            n_outputs,
+        })
     }
 
     #[test]
@@ -1107,7 +1257,7 @@ mod tests {
             Arc::clone(&counting) as SharedSim,
             SimKey::of_cover(&cover),
             2,
-            Arc::new(AtomicUsize::new(128)),
+            test_slot(128, 3, 2),
         );
         let (tx, rx) = channel();
         for i in 0..128u64 {
@@ -1143,7 +1293,7 @@ mod tests {
             Arc::new(cover.clone()),
             SimKey::of_cover(&cover),
             3,
-            Arc::new(AtomicUsize::new(260)),
+            test_slot(260, 3, 2),
         );
         let (tx, rx) = channel();
         for round in 0..2 {
@@ -1185,7 +1335,7 @@ mod tests {
             Arc::new(cover.clone()),
             SimKey::of_cover(&cover),
             2,
-            Arc::new(AtomicUsize::new(64 + 128)),
+            test_slot(64 + 128, 3, 2),
         );
         let (tx, rx) = channel();
         // Warm exactly one sub-block: lanes 0..64 of the wide flush below.
@@ -1216,5 +1366,123 @@ mod tests {
             assert_eq!(reply.outputs, cover.eval_bits(bits), "tag {}", reply.tag);
         }
         assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    /// Requests queued before a swap are answered by the *old* backend
+    /// under the old epoch; requests after it by the *new* backend under
+    /// the bumped epoch — the per-reply half of the epoch contract.
+    #[test]
+    fn swap_splits_replies_by_epoch() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10), // only swaps flush
+            ..ServeConfig::default()
+        });
+        let cover = adder();
+        let nominal = GnorPla::from_cover(&cover);
+        let faulty = faulty_adder();
+        // The fault must distinguish the generations somewhere.
+        let split = (0..8u64)
+            .find(|&b| faulty.simulate_bits(b) != nominal.simulate_bits(b))
+            .expect("injected fault is visible");
+
+        let id = service.register_sim(Arc::new(nominal.clone()), SimKey::new(1));
+        assert_eq!(service.epoch(id), 0);
+        let before = service.submit(id, split);
+        let epoch = service.swap_sim(id, Arc::new(faulty.clone()));
+        assert_eq!(epoch, 1);
+        assert_eq!(service.epoch(id), 1);
+        let after = service.submit(id, split);
+
+        let r0 = before.wait_reply();
+        assert_eq!(r0.epoch, 0);
+        assert_eq!(r0.outputs, nominal.simulate_bits(split));
+        drop(service); // shutdown drains the post-swap queue
+        let r1 = after.wait_reply();
+        assert_eq!(r1.epoch, 1);
+        assert_eq!(r1.outputs, faulty.simulate_bits(split));
+    }
+
+    #[test]
+    fn swapping_an_empty_queue_still_bumps_the_epoch() {
+        let service = SimService::start(quick());
+        let id = service.register(adder());
+        for expect in 1..=5u64 {
+            assert_eq!(service.swap_sim(id, Arc::new(adder())), expect);
+        }
+        assert_eq!(service.epoch(id), 5);
+        let snap = service.shutdown();
+        assert_eq!(snap.swaps, 5);
+        assert_eq!(snap.swap_flushes, 0, "nothing was queued to drain");
+    }
+
+    #[test]
+    fn swap_drain_answers_every_queued_request() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let tickets: Vec<_> = (0..5u64)
+            .map(|bits| (bits, service.submit(id, bits)))
+            .collect();
+        service.swap_sim(id, Arc::new(cover.clone()));
+        for (bits, ticket) in tickets {
+            let reply = ticket.wait_reply();
+            assert_eq!(reply.epoch, 0, "drained under the outgoing epoch");
+            assert_eq!(reply.outputs, cover.eval_bits(bits));
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.swaps, 1);
+        assert_eq!(snap.swap_flushes, 1);
+        assert_eq!(snap.lanes_filled, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "input arity differs")]
+    fn swap_rejects_mismatched_arity() {
+        let service = SimService::start(quick());
+        let id = service.register(adder());
+        let xor = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+        service.swap_sim(id, Arc::new(xor));
+    }
+
+    /// A swap must invalidate exactly the swapped registration's cached
+    /// blocks: the same packed pattern misses once per epoch, while an
+    /// untouched registration keeps hitting its warm entries.
+    #[test]
+    fn swap_invalidates_only_the_swapped_keys_cache() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let cover = adder();
+        let swapped = service.register_sim(Arc::new(cover.clone()), SimKey::new(1));
+        let bystander = service.register_sim(Arc::new(cover.clone()), SimKey::new(2));
+        let (sink, stream) = reply_channel();
+        let fill = |id| {
+            for tag in 0..64u64 {
+                service.submit_tagged(id, tag % 8, tag, &sink);
+            }
+            for _ in 0..64 {
+                let reply = stream.recv();
+                assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
+            }
+        };
+        // Warm both registrations, then prove both patterns are warm.
+        fill(swapped);
+        fill(bystander);
+        fill(swapped);
+        fill(bystander);
+        let snap = service.stats();
+        assert_eq!((snap.cache_misses, snap.cache_hits), (2, 2));
+        // Swap one; its next identical block must miss (new epoch keys)
+        // while the bystander keeps its warm hit rate.
+        service.swap_sim(swapped, Arc::new(cover.clone()));
+        fill(swapped);
+        fill(bystander);
+        let snap = service.stats();
+        assert_eq!(snap.cache_misses, 3, "only the swapped epoch repopulates");
+        assert_eq!(snap.cache_hits, 3, "the bystander still hits");
     }
 }

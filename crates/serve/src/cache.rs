@@ -5,16 +5,23 @@
 //! traffic) re-produce byte-identical blocks, so caching at block
 //! granularity amortizes whole `eval_batch` calls, not single lookups.
 //!
-//! Keys are [`BlockKey`] — *(caller-supplied [`SimKey`], packed 64-lane
-//! input sub-block)*. The `SimKey` identifies the registered simulator;
-//! the block is one column-major 64-lane word group (one `u64` per input
-//! signal). Multi-word flushes (`ServeConfig::block_words > 1`) consult
-//! the cache once per 64-lane sub-block with exactly these keys, so the
-//! hit semantics are independent of the configured block width. Unused
-//! lanes are zero-filled by the packer, so a partial block and a full
-//! block that happen to pack to the same words are interchangeable —
-//! every lane's output is correct for that lane's input. The value is
-//! the output lane words.
+//! Keys are [`BlockKey`] — *(caller-supplied [`SimKey`], registration
+//! epoch, packed 64-lane input sub-block)*. The `SimKey` identifies the
+//! registered simulator, the epoch its current backend generation (bumped
+//! by every `SimService::swap_sim`), and the block is one column-major
+//! 64-lane word group (one `u64` per input signal). Keying on the epoch
+//! is what makes hot-swap invalidation **exact**: entries written under a
+//! superseded epoch can never be looked up again (their keys are
+//! unconstructible after the bump) while every other `SimKey`'s entries —
+//! and the swapped key's entries under its *new* epoch — stay live and
+//! warm. Stale entries age out through normal LRU eviction. Multi-word
+//! flushes (`ServeConfig::block_words > 1`) consult the cache once per
+//! 64-lane sub-block with exactly these keys, so the hit semantics are
+//! independent of the configured block width. Unused lanes are
+//! zero-filled by the packer, so a partial block and a full block that
+//! happen to pack to the same words are interchangeable — every lane's
+//! output is correct for that lane's input. The value is the output lane
+//! words.
 //!
 //! The map is split into shards, each behind its own mutex, so the online
 //! batcher and any number of offline sweep threads can hit the cache
@@ -47,6 +54,17 @@ use std::sync::Mutex;
 ///   it also underpins the planned cache warm-start, where keys persist
 ///   to disk).
 ///
+/// **Hot swaps do not weaken either rule, and do not require a new key.**
+/// `SimService::swap_sim` replaces the backend *behind* an existing
+/// `SimKey` and bumps the registration's epoch, which is a separate
+/// [`BlockKey`] component — so a re-minimized cover or a re-injected
+/// defect map keeps its caller-stable key, and the epoch (not the key)
+/// fences off the old generation's cached blocks. Minting a fresh key per
+/// swap would *work* but silently forfeits warm-start stability; the
+/// injectivity rule only bites **across** registrations live at the same
+/// time (two simultaneously registered, functionally different backends
+/// must still differ in key, because they can sit at equal epochs).
+///
 /// [`SimKey::of_cover`] derives a conforming key from a cover's stable
 /// structural hash ([`ambipla_core::cover_hash`]); for derived backends,
 /// mix the underlying cover's key with a stable encoding of whatever was
@@ -74,21 +92,26 @@ impl SimKey {
     }
 }
 
-/// Cache key: the registered simulator's [`SimKey`] plus the packed
-/// 64-lane input block.
+/// Cache key: the registered simulator's [`SimKey`], the registration
+/// epoch the block was evaluated under, and the packed 64-lane input
+/// block.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BlockKey {
     /// Identity of the registered simulator.
     pub sim: SimKey,
+    /// Backend generation (0 at registration, +1 per hot swap). Entries
+    /// from superseded epochs are unreachable — see the module docs.
+    pub epoch: u64,
     /// Column-major input lane words (one `u64` per input column).
     pub block: Box<[u64]>,
 }
 
 impl BlockKey {
-    /// Build a key from a simulator key and packed input words.
-    pub fn new(sim: SimKey, block: &[u64]) -> BlockKey {
+    /// Build a key from a simulator key, its epoch and packed input words.
+    pub fn new(sim: SimKey, epoch: u64, block: &[u64]) -> BlockKey {
         BlockKey {
             sim,
+            epoch,
             block: block.into(),
         }
     }
@@ -97,6 +120,7 @@ impl BlockKey {
     /// the `std` `Hash` impl used inside shard maps).
     fn shard_hash(&self) -> u64 {
         let mut h = FNV_OFFSET ^ self.sim.raw();
+        h = fnv1a(h, &self.epoch.to_le_bytes());
         for &w in self.block.iter() {
             h = fnv1a(h, &w.to_le_bytes());
         }
@@ -180,6 +204,7 @@ impl Shard {
                 &mut self.slab[victim].key,
                 BlockKey {
                     sim: SimKey::new(0),
+                    epoch: 0,
                     block: Box::new([]),
                 },
             );
@@ -326,7 +351,23 @@ mod tests {
     use super::*;
 
     fn key(sim: u64, a: u64, b: u64) -> BlockKey {
-        BlockKey::new(SimKey::new(sim), &[a, b])
+        BlockKey::new(SimKey::new(sim), 0, &[a, b])
+    }
+
+    #[test]
+    fn epochs_partition_the_keyspace() {
+        // Identical (SimKey, block) under different epochs are different
+        // entries: an old epoch's value can never answer a new epoch's
+        // lookup, and vice versa.
+        let cache = BlockCache::new(8, 2);
+        let old = BlockKey::new(SimKey::new(9), 0, &[5, 6]);
+        let new = BlockKey::new(SimKey::new(9), 1, &[5, 6]);
+        cache.insert(old.clone(), vec![1]);
+        assert_eq!(cache.lookup(&new), None, "epoch 1 must not see epoch 0");
+        cache.insert(new.clone(), vec![2]);
+        assert_eq!(cache.lookup(&old), Some(vec![1]));
+        assert_eq!(cache.lookup(&new), Some(vec![2]));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

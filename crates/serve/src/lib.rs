@@ -23,13 +23,17 @@
 //!   with [`SimService::register`] as the `Cover` convenience),
 //!   full-block / deadline flushes of up to `block_words × 64` lanes
 //!   through one `eval_words` call on reused buffers, channel-based
-//!   scatter, and bounded-queue backpressure
-//!   ([`SimService::try_submit`] / [`QueueFull`]),
+//!   scatter, bounded-queue backpressure
+//!   ([`SimService::try_submit`] / [`QueueFull`]), and **epoch-versioned
+//!   hot swaps** ([`SimService::swap_sim`]: drain, install, bump — see
+//!   the [`batcher`] module docs for the full contract),
 //! * [`cache`] — the sharded LRU [`BlockCache`] keyed on
-//!   *(caller-supplied stable [`SimKey`], packed 64-lane sub-block)*
-//!   with hit/miss/eviction counters,
-//! * [`stats`] — request/flush/occupancy/backpressure counters and
-//!   p50/p99 flush latency ([`StatsSnapshot`]),
+//!   *(caller-supplied stable [`SimKey`], registration epoch, packed
+//!   64-lane sub-block)* with hit/miss/eviction counters — the epoch in
+//!   the key is what makes a hot swap's cache invalidation exact,
+//! * [`stats`] — request/flush/occupancy/backpressure counters,
+//!   p50/p99 flush latency, and `swaps` / `swap_flushes` hot-swap
+//!   counters ([`StatsSnapshot`]),
 //! * [`sweep`] — offline bulk evaluation of `&dyn Simulator` jobs sharded
 //!   across the deterministic [`WorkerPool`] (re-exported from
 //!   `ambipla_core::pool`; the same pool shards `fault::yield_analysis`
@@ -64,6 +68,30 @@
 //! let pla = GnorPla::from_cover(&xor);
 //! let id = service.register_sim(Arc::new(pla), SimKey::of_cover(&xor));
 //! assert_eq!(service.submit(id, 0b10).wait(), vec![true]);
+//! ```
+//!
+//! ## Hot swaps
+//!
+//! A registration's backend can be replaced mid-traffic without dropping
+//! a request or serving a stale cache entry: [`SimService::swap_sim`]
+//! drains the queue through the outgoing backend, installs the new one
+//! and bumps the registration's *epoch* — every [`SimReply`] names the
+//! epoch that served it, so a verifier can check each answer against the
+//! right generation:
+//!
+//! ```
+//! use ambipla_serve::{SimKey, SimService};
+//! use logic::Cover;
+//! use std::sync::Arc;
+//!
+//! let service = SimService::with_defaults();
+//! let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+//! let nor = Cover::parse("00 1", 2, 1).unwrap();
+//! let id = service.register_sim(Arc::new(xor), SimKey::new(1));
+//! assert_eq!(service.epoch(id), 0);
+//! assert_eq!(service.swap_sim(id, Arc::new(nor)), 1);
+//! let reply = service.submit(id, 0b00).wait_reply();
+//! assert_eq!((reply.epoch, reply.outputs), (1, vec![true]));
 //! ```
 
 pub mod batcher;

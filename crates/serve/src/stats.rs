@@ -19,6 +19,10 @@ pub enum FlushCause {
     Full,
     /// The oldest queued request hit the configured `max_wait`.
     Deadline,
+    /// A hot swap ([`SimService::swap_sim`](crate::SimService::swap_sim))
+    /// drained the queue under the outgoing epoch before installing the
+    /// new backend.
+    Swap,
     /// Service shutdown drained the queue.
     Shutdown,
 }
@@ -79,7 +83,9 @@ pub struct ServiceStats {
     blocks: AtomicU64,
     full_flushes: AtomicU64,
     deadline_flushes: AtomicU64,
+    swap_flushes: AtomicU64,
     shutdown_flushes: AtomicU64,
+    swaps: AtomicU64,
     lanes_filled: AtomicU64,
     lane_capacity: AtomicU64,
     flush_latency: Mutex<Histogram>,
@@ -110,10 +116,20 @@ impl ServiceStats {
         match cause {
             FlushCause::Full => &self.full_flushes,
             FlushCause::Deadline => &self.deadline_flushes,
+            FlushCause::Swap => &self.swap_flushes,
             FlushCause::Shutdown => &self.shutdown_flushes,
         }
         .fetch_add(1, Ordering::Relaxed);
         self.flush_latency.lock().unwrap().record(latency_ns);
+    }
+
+    /// Count one completed hot swap (epoch bump). Every swap is counted,
+    /// whether or not it had queued requests to drain — `swaps` is the
+    /// total number of epoch bumps across all registrations, while
+    /// `swap_flushes` only counts the drains that flushed a non-empty
+    /// queue.
+    pub fn record_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Copy the counters out (see module docs on consistency).
@@ -128,7 +144,9 @@ impl ServiceStats {
             blocks,
             full_flushes: self.full_flushes.load(Ordering::Relaxed),
             deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            swap_flushes: self.swap_flushes.load(Ordering::Relaxed),
             shutdown_flushes: self.shutdown_flushes.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
             lanes_filled: lanes,
             lane_capacity: capacity,
             lane_occupancy: if capacity == 0 {
@@ -162,8 +180,17 @@ pub struct StatsSnapshot {
     pub full_flushes: u64,
     /// Blocks flushed because the oldest request hit `max_wait`.
     pub deadline_flushes: u64,
+    /// Blocks drained by a hot swap (the outgoing epoch's last flush).
+    /// Swaps that found an empty queue drain nothing, so
+    /// `swap_flushes <= swaps`.
+    pub swap_flushes: u64,
     /// Blocks drained at shutdown.
     pub shutdown_flushes: u64,
+    /// Completed hot swaps (epoch bumps) across all registrations. A
+    /// registration's current epoch equals the number of swaps applied to
+    /// it, so on a single-registration service this reconciles directly
+    /// with `SimService::epoch`.
+    pub swaps: u64,
     /// Total occupied lanes over all flushed blocks.
     pub lanes_filled: u64,
     /// Total lane capacity of all flushed blocks (`Σ words × 64`; partial
@@ -189,14 +216,22 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests: {} (+{} rejected: queue full)  blocks: {} (full {} / deadline {} / shutdown {})",
+            "requests: {} (+{} rejected: queue full)  blocks: {} (full {} / deadline {} / swap {} / shutdown {})",
             self.requests,
             self.queue_full,
             self.blocks,
             self.full_flushes,
             self.deadline_flushes,
+            self.swap_flushes,
             self.shutdown_flushes,
         )?;
+        if self.swaps > 0 {
+            writeln!(
+                f,
+                "hot swaps: {} epoch bumps ({} drained a non-empty queue)",
+                self.swaps, self.swap_flushes,
+            )?;
+        }
         writeln!(
             f,
             "lane occupancy: {:.1}% ({} lanes over {} blocks)",
@@ -263,13 +298,16 @@ mod tests {
         stats.record_queue_full();
         stats.record_flush(FlushCause::Full, 64, 1, 2_000);
         stats.record_flush(FlushCause::Deadline, 6, 1, 150_000);
+        stats.record_swap();
         let snap = stats.snapshot();
         assert_eq!(snap.requests, 70);
         assert_eq!(snap.queue_full, 2);
         assert_eq!(snap.blocks, 2);
         assert_eq!(snap.full_flushes, 1);
         assert_eq!(snap.deadline_flushes, 1);
+        assert_eq!(snap.swap_flushes, 0);
         assert_eq!(snap.shutdown_flushes, 0);
+        assert_eq!(snap.swaps, 1);
         assert_eq!(snap.lanes_filled, 70);
         assert!((snap.lane_occupancy - 70.0 / 128.0).abs() < 1e-12);
         assert!(snap.p50_flush_ns >= 2_000);
@@ -279,6 +317,22 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("requests: 70"));
         assert!(text.contains("lane occupancy"));
+    }
+
+    #[test]
+    fn swap_drains_count_separately_from_swaps() {
+        let stats = ServiceStats::default();
+        // First swap drains a 10-lane partial queue; the second finds the
+        // queue empty (no flush recorded).
+        stats.record_swap();
+        stats.record_flush(FlushCause::Swap, 10, 1, 500);
+        stats.record_swap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.swaps, 2);
+        assert_eq!(snap.swap_flushes, 1);
+        assert_eq!(snap.blocks, 1);
+        assert!(snap.swap_flushes <= snap.swaps);
+        assert!(snap.to_string().contains("hot swaps: 2 epoch bumps"));
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! — under the same crate name and module paths — the property-testing
 //! subset the workspace uses: the [`Strategy`](strategy::Strategy) trait
 //! with `prop_map`, range / tuple / [`collection::vec`] /
-//! [`sample::subsequence`] / [`any`](arbitrary::any) strategies, the
-//! [`proptest!`] test macro driven by [`ProptestConfig`], and the
-//! `prop_assert*` macros.
+//! [`sample::subsequence`] / [`any`](arbitrary::any) /
+//! weighted-[`prop_oneof!`] strategies, the [`proptest!`] test macro
+//! driven by [`ProptestConfig`], and the `prop_assert*` macros.
 //!
 //! Differences from the real proptest, deliberately accepted:
 //!
@@ -134,6 +134,42 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
     impl_tuple_strategy!(A, B, C, D, E, G);
+
+    /// Weighted choice among boxed strategies of one value type — what
+    /// the [`prop_oneof!`](crate::prop_oneof) macro builds.
+    pub struct Union<V> {
+        options: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// A union drawing each option with probability proportional to
+        /// its weight.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty or every weight is 0.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Union<V> {
+            let total: u64 = options.iter().map(|&(w, _)| w as u64).sum();
+            assert!(total > 0, "prop_oneof needs a positive total weight");
+            Union { options, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let mut draw = rng.gen_range(0..self.total);
+            for (weight, strategy) in &self.options {
+                if draw < *weight as u64 {
+                    return strategy.generate(rng);
+                }
+                draw -= *weight as u64;
+            }
+            unreachable!("draw below total weight always lands in an option")
+        }
+    }
 }
 
 pub mod arbitrary {
@@ -305,7 +341,21 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted (`3 => strat`) or uniform (`strat, strat`) choice among
+/// strategies that generate the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, Box::new($strategy) as Box<dyn $crate::strategy::Strategy<Value = _>>)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1u32 => $strategy),+]
+    };
 }
 
 /// Assert a condition inside a [`proptest!`] body.
@@ -406,6 +456,35 @@ mod tests {
         }
         let full = crate::sample::subsequence((0..6usize).collect::<Vec<_>>(), 6);
         assert_eq!(full.generate(&mut rng), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn oneof_respects_weights_and_variants() {
+        let mut rng = crate::new_rng(4, 0);
+        // 3:1 bias towards the low range; both arms must appear and the
+        // heavy arm must dominate over many draws.
+        let strat = prop_oneof![
+            3 => (0..10u32).prop_map(|v| v),
+            1 => (100..110u32).prop_map(|v| v),
+        ];
+        let (mut low, mut high) = (0u32, 0u32);
+        for _ in 0..400 {
+            let v: u32 = strat.generate(&mut rng);
+            match v {
+                v if v < 10 => low += 1,
+                v if (100..110).contains(&v) => high += 1,
+                v => panic!("value {v} from neither arm"),
+            }
+        }
+        assert!(low > high, "3:1 weights must favor the first arm");
+        assert!(high > 0, "the light arm still fires");
+        // Unweighted form defaults every arm to weight 1.
+        let uniform = prop_oneof![Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[uniform.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
     }
 
     proptest! {

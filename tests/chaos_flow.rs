@@ -1,0 +1,438 @@
+//! Chaos harness: epoch-versioned hot swaps under sustained concurrent
+//! load.
+//!
+//! Issue 6's acceptance scenario, end to end: a [`SimService`] serves a
+//! PLA while client threads hammer it and a mutator thread keeps
+//! replacing the backend — injecting fresh defects into a
+//! [`FaultyGnorPla`], applying `fault::repair_with_columns` and serving
+//! the repaired view, and swapping in re-minimized covers — for at least
+//! 50 hot swaps. The harness asserts the full epoch contract:
+//!
+//! * **(a)** every reply bit-matches the scalar truth of the epoch it was
+//!   served under (checked against an [`EpochOracle`] that records every
+//!   generation *before* its swap lands),
+//! * **(b)** a superseded epoch's cache entries never serve a reply after
+//!   the swap — instrumented with counting backends that observe every
+//!   real evaluation,
+//! * **(c)** the service's `stats()` swap/epoch counters reconcile
+//!   exactly with the driver's own swap log.
+//!
+//! Zero requests may be dropped: every submission must produce exactly
+//! one reply. `AMBIPLA_CHAOS_ITERS` overrides the default 60 swaps (CI
+//! runs a bounded smoke with it; soak locally with a larger value).
+
+use ambipla::core::{EpochOracle, GnorPla, Simulator};
+use ambipla::fault::{repair_with_columns, ColumnRepairOutcome, DefectMap, FaultyGnorPla};
+use ambipla::logic::espresso::espresso;
+use ambipla::logic::Cover;
+use ambipla::serve::{reply_channel, ServeConfig, SharedSim, SimKey, SimService};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The harness's specification: the 3-input full adder (sum, carry).
+fn spec() -> Cover {
+    Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover")
+}
+
+/// Number of hot swaps the chaos runs drive (`AMBIPLA_CHAOS_ITERS`
+/// overrides; the acceptance floor is 50).
+fn chaos_iters() -> u64 {
+    std::env::var("AMBIPLA_CHAOS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+/// A pass-through backend that counts how many lane words it actually
+/// evaluated — the probe for assertion (b): a cache hit never reaches
+/// the backend, so the counter separates real evaluations from replays.
+struct Counting {
+    inner: SharedSim,
+    words: AtomicUsize,
+}
+
+impl Counting {
+    fn over(inner: SharedSim) -> Arc<Counting> {
+        Arc::new(Counting {
+            inner,
+            words: AtomicUsize::new(0),
+        })
+    }
+
+    fn words_evaluated(&self) -> usize {
+        self.words.load(Ordering::Relaxed)
+    }
+}
+
+impl Simulator for Counting {
+    fn n_inputs(&self) -> usize {
+        self.inner.n_inputs()
+    }
+
+    fn n_outputs(&self) -> usize {
+        self.inner.n_outputs()
+    }
+
+    fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+        self.words.fetch_add(words, Ordering::Relaxed);
+        self.inner.eval_words(inputs, out, words);
+    }
+}
+
+/// Build swap candidate number `k` (all share the spec's 3×2 arity):
+/// cycling through a re-minimized cover, a freshly defect-injected
+/// faulty array, and a column-repaired view of a defective array —
+/// the three reconfiguration shapes the issue's mutator must exercise.
+fn swap_candidate(k: u64, spec: &Cover, base_faulty: &FaultyGnorPla) -> SharedSim {
+    let d = base_faulty.shared_pla().dimensions();
+    match k % 3 {
+        0 => Arc::new(espresso(spec).0),
+        1 => Arc::new(base_faulty.with_defects(DefectMap::sample(
+            d.products,
+            d.inputs,
+            d.outputs,
+            0.08,
+            0.7,
+            0x9e37 ^ k,
+        ))),
+        _ => {
+            // Two spare rows and two spare columns; if this particular
+            // defect draw is unrepairable, fall back to a clean ideal
+            // array — the harness cares that swaps keep landing, not
+            // that every draw is repairable.
+            let defects = DefectMap::sample(
+                spec.len() + 2,
+                spec.n_inputs() + 2,
+                2,
+                0.05,
+                0.8,
+                0xc0de ^ k,
+            );
+            match repair_with_columns(spec, &defects) {
+                ColumnRepairOutcome::Repaired(r) => Arc::new(r.faulty_view(&defects)),
+                ColumnRepairOutcome::Unrepairable { .. } => Arc::new(GnorPla::from_cover(spec)),
+            }
+        }
+    }
+}
+
+/// The tentpole scenario: ≥ `chaos_iters()` hot swaps under sustained
+/// multi-threaded load, with every reply verified against the epoch that
+/// served it, zero drops, exact cache invalidation and reconciled
+/// counters.
+#[test]
+fn chaos_hot_swaps_under_load_keep_every_reply_epoch_consistent() {
+    const CLIENTS: u64 = 4;
+    const BURST: u64 = 32;
+    let swaps = chaos_iters();
+    assert!(swaps >= 50, "acceptance floor: at least 50 hot swaps");
+
+    let spec = spec();
+    let nominal = GnorPla::from_cover(&spec);
+    let dims = nominal.dimensions();
+    let base_faulty = FaultyGnorPla::new(
+        nominal.clone(),
+        DefectMap::clean(dims.products, dims.inputs, dims.outputs),
+    );
+
+    let service = SimService::start(ServeConfig {
+        max_wait: Duration::from_micros(100),
+        cache_capacity: 256,
+        cache_shards: 4,
+        block_words: 2,
+        ..ServeConfig::default()
+    });
+    let initial: SharedSim = Arc::new(nominal);
+    let oracle = EpochOracle::new(Arc::clone(&initial));
+    let fid = service.register_sim(initial, SimKey::new(0xfad));
+
+    let running = AtomicBool::new(true);
+    let mut swap_log = Vec::new();
+    let (client_submitted, epochs_seen) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let service = &service;
+                let oracle = &oracle;
+                let running = &running;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xabad1dea ^ c);
+                    let (sink, stream) = reply_channel();
+                    let mut submitted = 0u64;
+                    let mut epochs = BTreeSet::new();
+                    while running.load(Ordering::Relaxed) {
+                        // Burst-submit, then drain the burst: the input
+                        // bits ride in the tag, so each reply is
+                        // self-describing and order never matters.
+                        for _ in 0..BURST {
+                            let bits = rng.gen_range(0..8u64);
+                            service.submit_tagged(fid, bits, submitted << 3 | bits, &sink);
+                            submitted += 1;
+                        }
+                        for _ in 0..BURST {
+                            let reply = stream.recv();
+                            let bits = reply.tag & 0b111;
+                            assert!(
+                                oracle.matches(reply.epoch, bits, &reply.outputs),
+                                "client {c}: reply for bits {bits:03b} does not match \
+                                 the truth of epoch {} that served it",
+                                reply.epoch
+                            );
+                            epochs.insert(reply.epoch);
+                        }
+                    }
+                    (submitted, epochs)
+                })
+            })
+            .collect();
+
+        // The mutator: push each generation into the oracle *before* its
+        // swap lands, so a concurrent client can always resolve whatever
+        // epoch its reply names.
+        for k in 1..=swaps {
+            let candidate = swap_candidate(k, &spec, &base_faulty);
+            let promised = oracle.push(Arc::clone(&candidate));
+            let installed = service.swap_sim(fid, candidate);
+            assert_eq!(installed, promised, "oracle and service disagree on epochs");
+            assert_eq!(installed, k, "epochs count completed swaps");
+            swap_log.push(installed);
+        }
+        running.store(false, Ordering::Relaxed);
+
+        let mut total = 0u64;
+        let mut seen = BTreeSet::new();
+        for h in handles {
+            let (submitted, epochs) = h.join().expect("client thread panicked");
+            total += submitted;
+            seen.extend(epochs);
+        }
+        (total, seen)
+    });
+
+    // Traffic genuinely straddled swaps: replies were served under many
+    // generations, starting at 0 (pre-first-swap) and reaching the final
+    // epoch (clients keep submitting after the mutator stops).
+    assert!(
+        epochs_seen.len() >= 2,
+        "chaos run never interleaved a swap with traffic: {epochs_seen:?}"
+    );
+    assert_eq!(*epochs_seen.last().expect("some epoch"), swaps);
+    assert!(epochs_seen.iter().all(|&e| e <= swaps));
+
+    // (b) instrumented: after quiesce, swap in a counting probe. The
+    // chaos run cached plenty of blocks under epochs 0..=swaps, yet none
+    // of them may serve the probe's epoch: its traffic must reach the
+    // probe backend for real, and every answer must be the probe's truth
+    // under the probe's epoch. (The *exact* per-block evaluation count is
+    // proven by the deterministic regression test below — here deadline
+    // flushes may legitimately split blocks, so only the reach-through
+    // and correctness are asserted.)
+    let probe = Counting::over(Arc::new(spec.clone()));
+    let probe_epoch = oracle.push(Arc::clone(&probe) as SharedSim);
+    assert_eq!(
+        service.swap_sim(fid, Arc::clone(&probe) as SharedSim),
+        probe_epoch
+    );
+    let (sink, stream) = reply_channel();
+    let mut probed = 0u64;
+    for tag in 0..128u64 {
+        service.submit_tagged(fid, tag % 8, tag, &sink);
+        probed += 1;
+    }
+    for _ in 0..128 {
+        let reply = stream.recv();
+        assert_eq!(reply.epoch, probe_epoch, "no reply predates the probe swap");
+        assert_eq!(reply.outputs, spec.eval_bits(reply.tag % 8));
+    }
+    assert!(
+        probe.words_evaluated() >= 1,
+        "post-swap traffic must evaluate on the new backend — a superseded \
+         epoch's cache entry can never serve it"
+    );
+
+    // (c) the service's counters reconcile with the driver's log.
+    let snap = service.shutdown();
+    assert_eq!(swap_log.len() as u64, swaps);
+    assert_eq!(
+        snap.swaps,
+        swaps + 1,
+        "every logged swap plus the counting probe bumped an epoch"
+    );
+    assert!(snap.swap_flushes <= snap.swaps);
+    let submitted = client_submitted + probed;
+    assert_eq!(snap.requests, submitted, "every submission was counted");
+    assert_eq!(
+        snap.lanes_filled, submitted,
+        "zero dropped requests: every submission left through a flush"
+    );
+}
+
+/// Satellite (b) regression, fully deterministic: a swap invalidates
+/// exactly the swapped registration's cache entries. The swapped slot's
+/// next identical block re-evaluates (its counting probe fires), while a
+/// bystander registration — same function, same traffic, different
+/// [`SimKey`] — keeps replaying its warm entries untouched.
+#[test]
+fn swap_invalidates_exactly_the_swapped_registrations_entries() {
+    let spec = spec();
+    let service = SimService::start(ServeConfig {
+        max_wait: Duration::from_secs(10), // only full blocks flush
+        ..ServeConfig::default()
+    });
+    let swapped_gen0 = Counting::over(Arc::new(spec.clone()));
+    let bystander_gen = Counting::over(Arc::new(spec.clone()));
+    let sid = service.register_sim(Arc::clone(&swapped_gen0) as SharedSim, SimKey::new(1));
+    let bid = service.register_sim(Arc::clone(&bystander_gen) as SharedSim, SimKey::new(2));
+
+    let (sink, stream) = reply_channel();
+    let fill = |id| {
+        for tag in 0..64u64 {
+            service.submit_tagged(id, tag % 8, tag, &sink);
+        }
+        for _ in 0..64 {
+            let reply = stream.recv();
+            assert_eq!(reply.outputs, spec.eval_bits(reply.tag % 8));
+        }
+    };
+
+    // Warm both registrations and prove the pattern is warm: the second
+    // identical block replays from cache, the probes never fire again.
+    for _ in 0..2 {
+        fill(sid);
+        fill(bid);
+    }
+    assert_eq!(swapped_gen0.words_evaluated(), 1);
+    assert_eq!(bystander_gen.words_evaluated(), 1);
+
+    // Swap one registration. Its next identical block must be a real
+    // evaluation on the *new* backend; the old generation's probe stays
+    // quiet forever, and the bystander's warm entry still replays.
+    let swapped_gen1 = Counting::over(Arc::new(spec.clone()));
+    assert_eq!(
+        service.swap_sim(sid, Arc::clone(&swapped_gen1) as SharedSim),
+        1
+    );
+    fill(sid);
+    fill(bid);
+    assert_eq!(
+        swapped_gen1.words_evaluated(),
+        1,
+        "the swapped slot's first post-swap block is a real evaluation"
+    );
+    assert_eq!(
+        swapped_gen0.words_evaluated(),
+        1,
+        "the superseded backend is never consulted again"
+    );
+    assert_eq!(
+        bystander_gen.words_evaluated(),
+        1,
+        "the bystander's warm entries survived the other slot's swap"
+    );
+    // And the new epoch's own entry is warm from here on.
+    fill(sid);
+    assert_eq!(swapped_gen1.words_evaluated(), 1);
+
+    let snap = service.shutdown();
+    assert_eq!(snap.swaps, 1);
+    assert_eq!(snap.cache_misses, 3, "gen0, bystander, gen1 — one each");
+    assert_eq!(snap.cache_hits, 4);
+}
+
+/// One step of the proptest chaos driver: submit a request or hot-swap
+/// the backend.
+#[derive(Debug, Clone)]
+enum ChaosOp {
+    Submit { bits: u64 },
+    Swap { seed: u64 },
+}
+
+fn arb_chaos_op() -> impl Strategy<Value = ChaosOp> {
+    prop_oneof![
+        4 => (0..8u64).prop_map(|bits| ChaosOp::Submit { bits }),
+        1 => any::<u64>().prop_map(|seed| ChaosOp::Swap { seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite (1): deterministic single-threaded chaos. For arbitrary
+    /// submit/swap interleavings (defect draws seeded through the rand
+    /// shim, so every failure replays exactly), every reply must match
+    /// the truth of the epoch that served it, requests after the final
+    /// swap must be served by the final epoch, and nothing is dropped.
+    #[test]
+    fn arbitrary_submit_swap_interleavings_stay_epoch_consistent(
+        ops in proptest::collection::vec(arb_chaos_op(), 1..120),
+    ) {
+        let spec = spec();
+        let nominal = GnorPla::from_cover(&spec);
+        let dims = nominal.dimensions();
+        let base_faulty = FaultyGnorPla::new(
+            nominal.clone(),
+            DefectMap::clean(dims.products, dims.inputs, dims.outputs),
+        );
+        // A huge deadline makes flush points deterministic: full blocks,
+        // swap drains and the shutdown drain — nothing else.
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            cache_capacity: 8,
+            cache_shards: 2,
+            ..ServeConfig::default()
+        });
+        let initial: SharedSim = Arc::new(nominal);
+        let oracle = EpochOracle::new(Arc::clone(&initial));
+        let fid = service.register_sim(initial, SimKey::new(0xfad));
+
+        let mut pending = Vec::new();
+        let mut n_swaps = 0u64;
+        let mut last_swap_at = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                ChaosOp::Submit { bits } => {
+                    pending.push((i, bits, service.submit(fid, bits)));
+                }
+                ChaosOp::Swap { seed } => {
+                    let candidate = swap_candidate(seed, &spec, &base_faulty);
+                    let promised = oracle.push(Arc::clone(&candidate));
+                    prop_assert_eq!(service.swap_sim(fid, candidate), promised);
+                    n_swaps += 1;
+                    last_swap_at = i;
+                    prop_assert_eq!(promised, n_swaps);
+                }
+            }
+        }
+        let submitted = pending.len() as u64;
+        // Shut down *first*: the drain answers every still-queued ticket
+        // immediately instead of making them sit out the 10 s deadline.
+        let snap = service.shutdown();
+        for (i, bits, ticket) in pending {
+            let reply = ticket.wait_reply();
+            prop_assert!(
+                oracle.matches(reply.epoch, bits, &reply.outputs),
+                "op {}: reply for bits {:03b} does not match epoch {}",
+                i, bits, reply.epoch
+            );
+            prop_assert!(reply.epoch <= n_swaps);
+            if i > last_swap_at {
+                // Deterministically: nothing flushes a post-final-swap
+                // request except a full block or the shutdown drain, both
+                // under the final epoch.
+                prop_assert_eq!(reply.epoch, n_swaps);
+            }
+        }
+        prop_assert_eq!(snap.swaps, n_swaps);
+        prop_assert_eq!(snap.requests, submitted);
+        prop_assert_eq!(snap.lanes_filled, submitted, "zero drops");
+        prop_assert!(snap.swap_flushes <= snap.swaps);
+    }
+}

@@ -2,9 +2,11 @@
 //! across many seeds, plus the yield-monotonicity claims.
 
 use ambipla::benchmarks::RandomPla;
+use ambipla::core::sim::equivalent_to_cover;
 use ambipla::core::{GnorPla, Simulator};
 use ambipla::fault::{
-    repair, yield_curve, yield_curve_biased, DefectMap, FaultyGnorPla, RepairOutcome,
+    repair, repair_with_columns, yield_curve, yield_curve_biased, ColumnRepairOutcome, DefectMap,
+    FaultyGnorPla, RepairOutcome,
 };
 use ambipla::logic::Cover;
 
@@ -78,6 +80,79 @@ fn yield_is_monotone_in_spares_for_open_defects() {
             a.repaired_yield,
             b.repaired_yield
         );
+    }
+}
+
+/// Column repair round-trips on the chaos harness's configurations (the
+/// full-adder spec under sampled defect maps, the same shapes
+/// `tests/chaos_flow.rs` hot-swaps into its service): whenever 2D repair
+/// succeeds, the repaired array *fault-simulated under the very defects
+/// it was repaired around* — the `RepairedView` the chaos mutator serves
+/// — must reproduce the original truth table exactly.
+#[test]
+fn column_repair_round_trips_on_chaos_configs() {
+    let spec = Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover");
+    let mut repaired_count = 0;
+    for seed in 0..40u64 {
+        // Two spare rows, two spare columns, the chaos rates.
+        let defects = DefectMap::sample(
+            spec.len() + 2,
+            spec.n_inputs() + 2,
+            2,
+            0.05,
+            0.8,
+            0xc0de ^ seed,
+        );
+        if let ColumnRepairOutcome::Repaired(r) = repair_with_columns(&spec, &defects) {
+            repaired_count += 1;
+            let view = r.faulty_view(&defects);
+            assert_eq!(view.n_inputs(), spec.n_inputs(), "logical arity survives");
+            assert!(
+                equivalent_to_cover(&view, &spec, spec.n_inputs()),
+                "seed {seed}: re-injecting the repaired-around defects must \
+                 yield the original truth table"
+            );
+        }
+    }
+    assert!(
+        repaired_count > 20,
+        "5% defects with 2+2 spares should usually repair ({repaired_count}/40)"
+    );
+}
+
+/// `FaultyGnorPla::with_defects` re-injection round-trips: clearing the
+/// defects restores the ideal truth table, re-injecting the original map
+/// restores the faulty one — all three views sharing one physical array.
+#[test]
+fn defect_reinjection_round_trips_on_a_shared_array() {
+    let f = RandomPla::new(5, 2, 10)
+        .seed(11)
+        .literal_density(0.5)
+        .build();
+    let pla = GnorPla::from_cover(&f);
+    let d = pla.dimensions();
+    for seed in 0..10u64 {
+        let defects = DefectMap::sample(d.products, d.inputs, d.outputs, 0.08, 0.7, seed);
+        let faulty = FaultyGnorPla::new(pla.clone(), defects.clone());
+        let cleaned = faulty.with_defects(DefectMap::clean(d.products, d.inputs, d.outputs));
+        let reinjected = cleaned.with_defects(defects);
+        for bits in 0..32u64 {
+            assert_eq!(
+                cleaned.simulate_bits(bits),
+                pla.simulate_bits(bits),
+                "seed {seed}: clearing defects restores the ideal array"
+            );
+            assert_eq!(
+                reinjected.simulate_bits(bits),
+                faulty.simulate_bits(bits),
+                "seed {seed}: re-injection restores the faulty behavior"
+            );
+        }
     }
 }
 

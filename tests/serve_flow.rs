@@ -163,6 +163,114 @@ fn cover_and_faulty_twin_are_served_side_by_side() {
     );
 }
 
+/// Backpressure and hot swaps compose: a queue filled to `queue_depth`
+/// refuses further `try_submit`s, a swap *drains* that queue (answering
+/// every accepted request under the outgoing epoch), and the freed
+/// capacity is immediately usable under the new epoch — with the
+/// `queue_full` / `swap_flushes` counters accounting for all of it.
+#[test]
+fn try_submit_composes_with_swap_drains() {
+    let service = SimService::start(ServeConfig {
+        max_wait: Duration::from_secs(10), // only swaps and shutdown flush
+        queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    let spec = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+    let id = service.register(spec.clone());
+    let before: Vec<_> = (0..4u64)
+        .map(|bits| {
+            (
+                bits % 4,
+                service.try_submit(id, bits % 4).expect("below depth"),
+            )
+        })
+        .collect();
+    assert!(service.try_submit(id, 0).is_err(), "queue is full");
+
+    // The swap drains all four: they resolve under epoch 0, and the queue
+    // has room again without any deadline ever firing.
+    assert_eq!(service.swap_sim(id, Arc::new(spec.clone())), 1);
+    for (bits, ticket) in before {
+        let reply = ticket.wait_reply();
+        assert_eq!(reply.epoch, 0, "drained under the outgoing epoch");
+        assert_eq!(reply.outputs, spec.eval_bits(bits));
+    }
+    let after = service
+        .try_submit(id, 1)
+        .expect("the swap drain freed the queue");
+    let snap = service.shutdown();
+    let reply = after.wait_reply();
+    assert_eq!(
+        reply.epoch, 1,
+        "post-swap requests serve under the new epoch"
+    );
+    assert_eq!(reply.outputs, spec.eval_bits(1));
+    assert_eq!(snap.queue_full, 1);
+    assert_eq!(snap.swaps, 1);
+    assert_eq!(snap.swap_flushes, 1);
+    assert_eq!(snap.lanes_filled, 5, "every accepted request was answered");
+}
+
+/// Bounded submitters hammering `try_submit` while another thread swaps
+/// repeatedly must never deadlock, and the books must balance: every
+/// accepted ticket resolves (under some epoch ≤ the swap count), every
+/// rejection is counted.
+#[test]
+fn concurrent_try_submit_during_swaps_never_deadlocks() {
+    const SWAPS: u64 = 20;
+    const SUBMITTERS: u64 = 2;
+    const ATTEMPTS: u64 = 200;
+    let service = SimService::start(ServeConfig {
+        max_wait: Duration::from_micros(100),
+        queue_depth: 16,
+        ..ServeConfig::default()
+    });
+    let spec = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+    let id = service.register(spec.clone());
+
+    let accepted: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                let service = &service;
+                let spec = &spec;
+                s.spawn(move || {
+                    let mut accepted = 0u64;
+                    for i in 0..ATTEMPTS {
+                        let bits = (t + i) % 4;
+                        if let Ok(ticket) = service.try_submit(id, bits) {
+                            accepted += 1;
+                            let reply = ticket.wait_reply();
+                            assert_eq!(reply.outputs, spec.eval_bits(bits));
+                            assert!(reply.epoch <= SWAPS);
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        for k in 1..=SWAPS {
+            assert_eq!(service.swap_sim(id, Arc::new(spec.clone())), k);
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter panicked"))
+            .sum()
+    });
+
+    let snap = service.shutdown();
+    assert_eq!(snap.swaps, SWAPS);
+    assert_eq!(snap.requests, accepted);
+    assert_eq!(
+        snap.lanes_filled, accepted,
+        "every accepted request flushed"
+    );
+    assert_eq!(
+        snap.requests + snap.queue_full,
+        SUBMITTERS * ATTEMPTS,
+        "every attempt either served or counted as a rejection"
+    );
+}
+
 /// The service's per-cover queues must not leak results across covers
 /// even when the same bit patterns are in flight for all of them.
 #[test]
