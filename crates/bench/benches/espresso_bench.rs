@@ -18,7 +18,7 @@
 //! asserted and the JSON emitted either way.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use logic::espresso;
+use logic::{espresso, espresso_traced, MinimizeTrace, Pass};
 use mcnc::RandomPla;
 
 /// The naive pre-word-parallel kernels, shared with the differential
@@ -87,12 +87,15 @@ fn bench_espresso(c: &mut Criterion) {
             "espresso/{:<16} speedup: {speedup:.1}x (word-parallel vs naive reference)",
             load.label
         );
-        rows.push((load, new_ns, ref_ns, speedup));
+        // One traced run per workload for the per-pass breakdown — the
+        // timing above stays on the untraced (hook-free) entry point.
+        let (_, _, trace) = espresso_traced(&load.cover);
+        rows.push((load, new_ns, ref_ns, speedup, trace));
     }
 
     write_json(&rows, if smoke { "smoke" } else { "full" });
 
-    let &(_, _, _, floor) = rows
+    let &(_, _, _, floor, _) = rows
         .iter()
         .find(|(l, ..)| l.label == "10i4o64p")
         .expect("acceptance workload measured");
@@ -103,20 +106,22 @@ fn bench_espresso(c: &mut Criterion) {
     );
 }
 
-/// Emit `BENCH_espresso.json`. Labels are alphanumeric plus `_`, so no
-/// JSON string escaping is needed.
-fn write_json(rows: &[(&Workload, f64, f64, f64)], mode: &str) {
+/// Emit `BENCH_espresso.json` (schema 2: per-workload `passes`
+/// breakdown and cube trajectory from one traced minimization run).
+/// Labels are alphanumeric plus `_`, so no JSON string escaping is
+/// needed.
+fn write_json(rows: &[(&Workload, f64, f64, f64, MinimizeTrace)], mode: &str) {
     let path =
         std::env::var("AMBIPLA_BENCH_JSON").unwrap_or_else(|_| "BENCH_espresso.json".to_string());
     let mut body = String::new();
-    body.push_str("{\n  \"bench\": \"espresso\",\n");
+    body.push_str("{\n  \"bench\": \"espresso\",\n  \"schema\": 2,\n");
     body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     body.push_str("  \"workloads\": [\n");
-    for (i, (load, new_ns, ref_ns, speedup)) in rows.iter().enumerate() {
+    for (i, (load, new_ns, ref_ns, speedup, trace)) in rows.iter().enumerate() {
         body.push_str(&format!(
             "    {{\"name\": \"{}\", \"n_inputs\": {}, \"n_outputs\": {}, \
              \"products\": {}, \"optimized_ns_per_iter\": {:.1}, \
-             \"reference_ns_per_iter\": {:.1}, \"speedup\": {:.3}}}{}\n",
+             \"reference_ns_per_iter\": {:.1}, \"speedup\": {:.3},\n",
             load.label,
             load.cover.n_inputs(),
             load.cover.n_outputs(),
@@ -124,6 +129,28 @@ fn write_json(rows: &[(&Workload, f64, f64, f64)], mode: &str) {
             new_ns,
             ref_ns,
             speedup,
+        ));
+        body.push_str(&format!(
+            "     \"iterations\": {}, \"passes\": {{",
+            trace.iterations()
+        ));
+        for (j, pass) in [Pass::Urp, Pass::Expand, Pass::Irredundant, Pass::Reduce]
+            .iter()
+            .enumerate()
+        {
+            let (runs, wall_ns) = trace.pass_totals(*pass);
+            body.push_str(&format!(
+                "{}\"{}\": {{\"runs\": {runs}, \"wall_ns\": {wall_ns}}}",
+                if j == 0 { "" } else { ", " },
+                pass.label(),
+            ));
+        }
+        body.push_str("},\n     \"cube_trajectory\": [");
+        for (j, cubes) in trace.cube_trajectory().iter().enumerate() {
+            body.push_str(&format!("{}{cubes}", if j == 0 { "" } else { ", " }));
+        }
+        body.push_str(&format!(
+            "]}}{}\n",
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

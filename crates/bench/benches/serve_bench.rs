@@ -13,15 +13,21 @@
 //!   lane-packing win and is what the ≥ 4× acceptance floor is asserted
 //!   on,
 //! * `service_warm` — the batcher with the cache on; the bench replays
-//!   the same request stream, so steady-state blocks are cache hits.
+//!   the same request stream, so steady-state blocks are cache hits,
+//! * `service_instrumented` — the cold configuration with an
+//!   [`EventRing`] recorder installed: the measured gap against
+//!   `service_cold` is the full cost of the observability layer, and the
+//!   bench asserts it stays within 5 %.
 //!
-//! Set `AMBIPLA_BENCH_SMOKE=1` (CI) for a shorter run; the floor is
+//! Set `AMBIPLA_BENCH_SMOKE=1` (CI) for a shorter run; the floors are
 //! asserted either way.
 
 use ambipla_core::{GnorPla, Simulator};
+use ambipla_obs::EventRing;
 use ambipla_serve::{reply_channel, ServeConfig, SimService};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcnc::RandomPla;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The service-scale workload: 32 inputs, 256 product terms, 16 outputs.
@@ -63,6 +69,9 @@ fn bench_serve(c: &mut Criterion) {
     let cold_id = cold.register(cover.clone());
     let warm = SimService::start(service_config(4096));
     let warm_id = warm.register(cover.clone());
+    let ring = Arc::new(EventRing::with_capacity(1 << 16));
+    let instrumented = SimService::start_with_recorder(service_config(0), ring.clone());
+    let instrumented_id = instrumented.register(cover.clone());
 
     {
         let mut group = c.benchmark_group("serve_32i256p16o");
@@ -78,6 +87,7 @@ fn bench_serve(c: &mut Criterion) {
         for (label, service, id) in [
             ("service_cold", &cold, cold_id),
             ("service_warm", &warm, warm_id),
+            ("service_instrumented", &instrumented, instrumented_id),
         ] {
             group.bench_function(label, |b| {
                 b.iter(|| {
@@ -97,7 +107,7 @@ fn bench_serve(c: &mut Criterion) {
     let scalar = c
         .median_ns("scalar_per_request")
         .expect("scalar measurement recorded");
-    for label in ["service_cold", "service_warm"] {
+    for label in ["service_cold", "service_warm", "service_instrumented"] {
         let service = c.median_ns(label).expect("service measurement recorded");
         println!(
             "serve_32i256p16o/{label:<14} speedup: {:.1}x ({requests} in-flight requests)",
@@ -112,12 +122,39 @@ fn bench_serve(c: &mut Criterion) {
          even with the cache disabled, measured {cold_speedup:.1}x"
     );
 
+    // Metrics-overhead floor: a ring-buffer recorder on the cold path
+    // must cost within 5 % of the recorder-disabled service. Medians of
+    // the same sample count keep run-to-run noise mostly out of the
+    // ratio.
+    let cold_ns = c.median_ns("service_cold").expect("cold recorded");
+    let instr_ns = c
+        .median_ns("service_instrumented")
+        .expect("instrumented recorded");
+    let overhead = instr_ns / cold_ns;
+    println!(
+        "serve_32i256p16o/instrumented overhead: {:.1}% ({} events recorded, {} dropped)",
+        100.0 * (overhead - 1.0),
+        ring.pushed(),
+        ring.dropped()
+    );
+    assert!(
+        ring.pushed() > 0,
+        "the instrumented service must have emitted events into the ring"
+    );
+    assert!(
+        overhead <= 1.05,
+        "metrics-overhead floor: the instrumented service must stay within \
+         5% of the recorder-disabled service, measured {:.1}%",
+        100.0 * (overhead - 1.0)
+    );
+
     let snap = cold.shutdown();
     println!(
         "service_cold final stats: occupancy {:.1}%, p50 flush ≤ {:.1} µs",
         100.0 * snap.lane_occupancy,
         snap.p50_flush_ns as f64 / 1_000.0
     );
+    instrumented.shutdown();
     let snap = warm.shutdown();
     println!(
         "service_warm final stats: cache hit rate {:.1}% ({} hits / {} misses)",

@@ -1,0 +1,123 @@
+//! Exporter smoke driver — the CI `stats-dump` step.
+//!
+//! Drives a multi-registration, multi-swap workload through a
+//! [`SimService`] with an [`EventRing`] recorder installed, then renders
+//! the service's metric families through **both** exporters. Run:
+//!
+//! ```text
+//! cargo run --release -p bench --bin stats_dump -- prometheus
+//! cargo run --release -p bench --bin stats_dump -- json
+//! cargo run --release -p bench --bin stats_dump            # both, with headers
+//! ```
+//!
+//! With a format argument the selected exposition is the *only* stdout
+//! output, so CI can pipe it straight into a validator. The workload
+//! guarantees the properties the smoke step greps for: at least three
+//! registrations, at least one registration with three epochs (two hot
+//! swaps), cache traffic, and a rejected submission (queue-full).
+
+use ambipla_core::GnorPla;
+use ambipla_obs::{json_text, prometheus_text, EventKind, EventRing};
+use ambipla_serve::{ServeConfig, SimKey, SimService};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn workload(service: &SimService) {
+    let xor = logic::Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+    let adder = logic::Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover");
+    let majority = logic::Cover::parse("11- 1\n1-1 1\n-11 1", 3, 1).expect("valid cover");
+
+    let a = service.register(xor.clone());
+    let b = service.register(adder.clone());
+    let c = service.register_sim(Arc::new(GnorPla::from_cover(&majority)), SimKey::new(99));
+
+    // Traffic over all three registrations; the repeated vectors give the
+    // block cache hits as well as misses.
+    for round in 0..4u64 {
+        let tickets: Vec<_> = (0..64u64)
+            .flat_map(|i| {
+                [
+                    service.submit(a, i % 4),
+                    service.submit(b, (i + round) % 8),
+                    service.submit(c, i % 8),
+                ]
+            })
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+    }
+
+    // Two hot swaps on the adder registration — its series then span
+    // epochs 0, 1 and 2 in the same scrape.
+    service.swap_sim(b, Arc::new(GnorPla::from_cover(&adder)));
+    for i in 0..32u64 {
+        service.submit(b, i % 8).wait();
+    }
+    service.swap_sim(b, Arc::new(adder.clone()));
+    for i in 0..32u64 {
+        service.submit(b, i % 8).wait();
+    }
+
+    // Drive the bounded queue to rejection so queue_full is non-zero.
+    let mut tickets = Vec::new();
+    let mut rejected = 0usize;
+    for i in 0..100_000u64 {
+        match service.try_submit(a, i % 4) {
+            Ok(t) => tickets.push(t),
+            Err(_) => {
+                rejected += 1;
+                break;
+            }
+        }
+    }
+    for t in tickets {
+        t.wait();
+    }
+    assert!(rejected > 0, "workload must exercise backpressure");
+}
+
+fn main() {
+    let format = std::env::args().nth(1);
+    let ring = Arc::new(EventRing::with_capacity(1 << 14));
+    let config = ServeConfig {
+        max_wait: Duration::from_micros(200),
+        queue_depth: 256,
+        ..ServeConfig::default()
+    };
+    let service = SimService::start_with_recorder(config, ring.clone());
+    workload(&service);
+
+    let families = service.metric_families();
+    match format.as_deref() {
+        Some("prometheus") => print!("{}", prometheus_text(&families)),
+        Some("json") => println!("{}", json_text(&families)),
+        Some(other) => {
+            eprintln!("unknown format {other:?}: expected `prometheus` or `json`");
+            std::process::exit(2);
+        }
+        None => {
+            println!("# ---- prometheus ----");
+            print!("{}", prometheus_text(&families));
+            println!("# ---- json ----");
+            println!("{}", json_text(&families));
+            let events = ring.drain();
+            let swaps = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Swap { .. }))
+                .count();
+            println!(
+                "# ---- events: {} recorded ({} dropped), {} swaps ----",
+                events.len(),
+                ring.dropped(),
+                swaps
+            );
+        }
+    }
+    service.shutdown();
+}

@@ -38,7 +38,7 @@ pub use arch::{FpgaArch, FpgaFlavor};
 pub use circuit::{Circuit, Net};
 pub use emulate::{emulate, EmulationReport};
 pub use mapping::{Block, MappedNetwork};
-pub use place::{place, Placement};
+pub use place::{place, place_traced, AnnealStage, AnnealTrace, Placement};
 pub use route::{route, RoutingResult};
 pub use sweep::{channel_capacity_sweep, utilization_sweep, SweepPoint};
 pub use timing::{critical_path, TimingReport};

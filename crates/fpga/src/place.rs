@@ -9,6 +9,55 @@ use crate::arch::{FpgaArch, FpgaFlavor};
 use crate::circuit::Circuit;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// One temperature stage of the annealing schedule, as observed by
+/// [`place_traced`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealStage {
+    /// Temperature the stage ran at.
+    pub temperature: f64,
+    /// Moves attempted (skipped self-moves are not counted).
+    pub moves: usize,
+    /// Moves accepted (downhill, or uphill by Metropolis).
+    pub accepts: usize,
+    /// HPWL cost at the end of the stage.
+    pub cost: f64,
+    /// Wall time spent in the stage, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Profile of one annealing run: one [`AnnealStage`] per temperature,
+/// in schedule order. Same hook shape as
+/// `logic::MinimizeTrace` — the traced entry point is [`place_traced`],
+/// and [`place`] itself never reads a clock.
+#[derive(Debug, Clone, Default)]
+pub struct AnnealTrace {
+    /// Per-temperature samples, hottest first.
+    pub stages: Vec<AnnealStage>,
+}
+
+impl AnnealTrace {
+    /// Total moves attempted across all stages.
+    pub fn total_moves(&self) -> usize {
+        self.stages.iter().map(|s| s.moves).sum()
+    }
+
+    /// Total moves accepted across all stages.
+    pub fn total_accepts(&self) -> usize {
+        self.stages.iter().map(|s| s.accepts).sum()
+    }
+
+    /// Cost at the end of each stage, hottest first.
+    pub fn cost_trajectory(&self) -> Vec<f64> {
+        self.stages.iter().map(|s| s.cost).collect()
+    }
+
+    /// Total wall time across all stages, in nanoseconds.
+    pub fn wall_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.wall_ns).sum()
+    }
+}
 
 /// A placement: one tile per block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +116,31 @@ impl Placement {
 ///
 /// Panics if the circuit does not fit the die's slots.
 pub fn place(circuit: &Circuit, arch: &FpgaArch, flavor: FpgaFlavor, seed: u64) -> Placement {
+    anneal(circuit, arch, flavor, seed, None)
+}
+
+/// [`place`], also returning a per-temperature [`AnnealTrace`].
+///
+/// The placement is identical to the untraced run for the same seed;
+/// the only extra cost is one clock read per temperature stage.
+pub fn place_traced(
+    circuit: &Circuit,
+    arch: &FpgaArch,
+    flavor: FpgaFlavor,
+    seed: u64,
+) -> (Placement, AnnealTrace) {
+    let mut trace = AnnealTrace::default();
+    let placement = anneal(circuit, arch, flavor, seed, Some(&mut trace));
+    (placement, trace)
+}
+
+fn anneal(
+    circuit: &Circuit,
+    arch: &FpgaArch,
+    flavor: FpgaFlavor,
+    seed: u64,
+    mut trace: Option<&mut AnnealTrace>,
+) -> Placement {
     let slots_per_tile = flavor.clbs_per_tile();
     let capacity = arch.slots(flavor);
     let n = circuit.n_blocks();
@@ -96,7 +170,10 @@ pub fn place(circuit: &Circuit, arch: &FpgaArch, flavor: FpgaFlavor, seed: u64) 
     let moves_per_temp = (16 * n).max(64);
     let mut temp = (cost / n.max(1) as f64).max(1.0);
     let t_min = 0.01;
+    let mut started = trace.as_ref().map(|_| Instant::now());
     while temp > t_min {
+        let mut moves = 0usize;
+        let mut accepts = 0usize;
         for _ in 0..moves_per_temp {
             let b = rng.gen_range(0..n);
             let old_tile = tile_of[b];
@@ -104,6 +181,7 @@ pub fn place(circuit: &Circuit, arch: &FpgaArch, flavor: FpgaFlavor, seed: u64) 
             if new_tile == old_tile {
                 continue;
             }
+            moves += 1;
             // Either move into free capacity or swap with a block there.
             let swap_with: Option<usize> = if used[new_tile] < slots_per_tile {
                 None
@@ -121,6 +199,7 @@ pub fn place(circuit: &Circuit, arch: &FpgaArch, flavor: FpgaFlavor, seed: u64) 
             let delta = new_cost - cost;
             let accept = delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0));
             if accept {
+                accepts += 1;
                 used[old_tile] -= 1;
                 used[new_tile] += 1;
                 if let Some(o) = swap_with {
@@ -137,6 +216,17 @@ pub fn place(circuit: &Circuit, arch: &FpgaArch, flavor: FpgaFlavor, seed: u64) 
                 }
                 placement.tile_of.clone_from(&tile_of);
             }
+        }
+        if let Some(tr) = trace.as_deref_mut() {
+            let now = Instant::now();
+            tr.stages.push(AnnealStage {
+                temperature: temp,
+                moves,
+                accepts,
+                cost,
+                wall_ns: (now - started.unwrap()).as_nanos() as u64,
+            });
+            started = Some(now);
         }
         temp *= 0.8;
     }
@@ -207,6 +297,27 @@ mod tests {
         let std_p = place(&circuit, &arch, FpgaFlavor::Standard, 9);
         let cn_p = place(&circuit, &arch, FpgaFlavor::CnfetPla, 9);
         assert!(cn_p.hpwl(&circuit) <= std_p.hpwl(&circuit));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_profiles_every_stage() {
+        let circuit = Circuit::random(30, 3, 0.9, 5);
+        let arch = FpgaArch::sized_for(30, 0.99);
+        let plain = place(&circuit, &arch, FpgaFlavor::Standard, 7);
+        let (traced, trace) = place_traced(&circuit, &arch, FpgaFlavor::Standard, 7);
+        // Tracing must not perturb the anneal: same RNG stream, same result.
+        assert_eq!(plain, traced);
+        // Geometric cooling from T0 to 0.01 gives a known stage count.
+        assert!(!trace.stages.is_empty());
+        let temps: Vec<f64> = trace.stages.iter().map(|s| s.temperature).collect();
+        assert!(temps.windows(2).all(|w| w[1] < w[0]), "cooling monotone");
+        assert!(trace.total_moves() >= trace.total_accepts());
+        assert!(trace.total_accepts() > 0);
+        assert_eq!(
+            trace.cost_trajectory().last().copied().unwrap(),
+            traced.hpwl(&circuit) as f64
+        );
+        assert_eq!(trace.cost_trajectory().len(), trace.stages.len());
     }
 
     #[test]

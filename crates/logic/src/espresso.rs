@@ -37,6 +37,88 @@ use crate::cover::Cover;
 use crate::cube::{Cube, LO_MASK};
 use crate::par;
 use crate::urp::UrpContext;
+use std::time::Instant;
+
+/// One pass of the minimization loop, for profiling purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// The per-output OFF-set complements (URP runs) computed up front.
+    Urp,
+    /// EXPAND: raise cubes to prime implicants.
+    Expand,
+    /// IRREDUNDANT: drop covered cubes / output bits.
+    Irredundant,
+    /// REDUCE: shrink cubes to let the next EXPAND move elsewhere.
+    Reduce,
+}
+
+impl Pass {
+    /// Stable lowercase name (bench JSON / exporter label).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Pass::Urp => "urp",
+            Pass::Expand => "expand",
+            Pass::Irredundant => "irredundant",
+            Pass::Reduce => "reduce",
+        }
+    }
+}
+
+/// One profiled pass execution: which pass, in which improvement
+/// iteration (0 is the pre-loop EXPAND/IRREDUNDANT prologue, and the URP
+/// complements), the cube count *after* the pass, and its wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassSample {
+    /// Which pass ran.
+    pub pass: Pass,
+    /// Improvement-loop iteration (0 = prologue).
+    pub iteration: usize,
+    /// Cover cube count when the pass finished.
+    pub cubes: usize,
+    /// Wall time of the pass in ns.
+    pub wall_ns: u64,
+}
+
+/// Per-pass profile of one minimization run, recorded by
+/// [`espresso_traced`] / [`espresso_with_dc_traced`]: the full pass
+/// sequence with iteration numbers, the cube-count trajectory, and wall
+/// time per pass. The untraced entry points take no timestamps at all —
+/// the trace is strictly opt-in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MinimizeTrace {
+    /// Every pass execution, in run order.
+    pub samples: Vec<PassSample>,
+}
+
+impl MinimizeTrace {
+    fn record(&mut self, pass: Pass, iteration: usize, cubes: usize, started: Instant) {
+        self.samples.push(PassSample {
+            pass,
+            iteration,
+            cubes,
+            wall_ns: started.elapsed().as_nanos() as u64,
+        });
+    }
+
+    /// `(executions, total wall ns)` of one pass kind across the run.
+    pub fn pass_totals(&self, pass: Pass) -> (usize, u64) {
+        self.samples
+            .iter()
+            .filter(|s| s.pass == pass)
+            .fold((0, 0), |(n, ns), s| (n + 1, ns + s.wall_ns))
+    }
+
+    /// Cube counts after each pass, in run order — the trajectory the
+    /// EXPAND/IRREDUNDANT/REDUCE loop walked.
+    pub fn cube_trajectory(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.cubes).collect()
+    }
+
+    /// Highest improvement-loop iteration recorded.
+    pub fn iterations(&self) -> usize {
+        self.samples.iter().map(|s| s.iteration).max().unwrap_or(0)
+    }
+}
 
 /// Statistics reported by a minimization run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +154,24 @@ pub fn espresso(on: &Cover) -> (Cover, EspressoStats) {
     espresso_with_dc(on, &Cover::new(on.n_inputs(), on.n_outputs()))
 }
 
+/// Like [`espresso`], but also records a per-pass [`MinimizeTrace`]
+/// (iteration counts, cube-count trajectory, wall time per pass).
+pub fn espresso_traced(on: &Cover) -> (Cover, EspressoStats, MinimizeTrace) {
+    espresso_with_dc_traced(on, &Cover::new(on.n_inputs(), on.n_outputs()))
+}
+
+/// Like [`espresso_with_dc`], but also records a per-pass
+/// [`MinimizeTrace`].
+///
+/// # Panics
+///
+/// Panics if the arities of `on` and `dc` differ.
+pub fn espresso_with_dc_traced(on: &Cover, dc: &Cover) -> (Cover, EspressoStats, MinimizeTrace) {
+    let mut trace = MinimizeTrace::default();
+    let (min, stats) = minimize(on, dc, Some(&mut trace));
+    (min, stats, trace)
+}
+
 /// Minimize `on` against the don't-care cover `dc`.
 ///
 /// The result `R` satisfies, for every output `j` and assignment `x`:
@@ -81,6 +181,18 @@ pub fn espresso(on: &Cover) -> (Cover, EspressoStats) {
 ///
 /// Panics if the arities of `on` and `dc` differ.
 pub fn espresso_with_dc(on: &Cover, dc: &Cover) -> (Cover, EspressoStats) {
+    minimize(on, dc, None)
+}
+
+/// The shared minimization loop. `trace` is strictly opt-in: with `None`
+/// (the [`espresso`] / [`espresso_with_dc`] entry points) no clock is
+/// read and no sample is built — profiling costs nothing unless a caller
+/// asked for it.
+fn minimize(
+    on: &Cover,
+    dc: &Cover,
+    mut trace: Option<&mut MinimizeTrace>,
+) -> (Cover, EspressoStats) {
     assert_eq!(on.n_inputs(), dc.n_inputs(), "input arity mismatch");
     assert_eq!(on.n_outputs(), dc.n_outputs(), "output arity mismatch");
 
@@ -99,22 +211,47 @@ pub fn espresso_with_dc(on: &Cover, dc: &Cover) -> (Cover, EspressoStats) {
     } else {
         par::Pool::new(1)
     };
+    // Each traced stage reads the clock only when a trace was requested.
+    let mut started = trace.as_ref().map(|_| Instant::now());
     let off: Vec<Cover> = off_pool.map_range(on.n_outputs(), |j| {
         on.output_slice(j).union(&dc.output_slice(j)).complement()
     });
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.record(Pass::Urp, 0, f.len(), started.unwrap());
+        started = Some(Instant::now());
+    }
 
     let mut ctx = UrpContext::new();
     f = expand(&f, &off, &pool);
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.record(Pass::Expand, 0, f.len(), started.unwrap());
+        started = Some(Instant::now());
+    }
     f = irredundant(&f, dc, &mut ctx);
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.record(Pass::Irredundant, 0, f.len(), started.unwrap());
+    }
     let mut best = f.clone();
     let mut best_cost = cost(&best);
 
     let mut iterations = 0;
     loop {
         iterations += 1;
+        started = trace.as_ref().map(|_| Instant::now());
         f = reduce(&f, dc, &mut ctx);
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.record(Pass::Reduce, iterations, f.len(), started.unwrap());
+            started = Some(Instant::now());
+        }
         f = expand(&f, &off, &pool);
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.record(Pass::Expand, iterations, f.len(), started.unwrap());
+            started = Some(Instant::now());
+        }
         f = irredundant(&f, dc, &mut ctx);
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.record(Pass::Irredundant, iterations, f.len(), started.unwrap());
+        }
         let c = cost(&f);
         if c < best_cost {
             best = f.clone();
@@ -567,6 +704,41 @@ mod tests {
         let (min, _) = espresso(&f);
         assert_eq!(min.len(), 1);
         assert!(min.cubes()[0].input_is_full());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_profiles_every_pass() {
+        let f = cover(
+            "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+            3,
+            2,
+        );
+        let (plain, plain_stats) = espresso(&f);
+        let (traced, traced_stats, trace) = espresso_traced(&f);
+        // Tracing must not perturb the result.
+        assert_eq!(plain, traced);
+        assert_eq!(plain_stats, traced_stats);
+        // Prologue: URP complements + EXPAND + IRREDUNDANT, then ≥ 1
+        // improvement iteration of REDUCE/EXPAND/IRREDUNDANT.
+        assert_eq!(trace.samples[0].pass, Pass::Urp);
+        assert_eq!(trace.samples[1].pass, Pass::Expand);
+        assert_eq!(trace.samples[2].pass, Pass::Irredundant);
+        assert_eq!(trace.iterations(), traced_stats.iterations);
+        let (urp_runs, _) = trace.pass_totals(Pass::Urp);
+        assert_eq!(urp_runs, 1);
+        let (reduce_runs, _) = trace.pass_totals(Pass::Reduce);
+        assert_eq!(reduce_runs, traced_stats.iterations);
+        let (expand_runs, _) = trace.pass_totals(Pass::Expand);
+        assert_eq!(expand_runs, 1 + traced_stats.iterations);
+        // The trajectory ends at the final pass's cube count and never
+        // grows across an IRREDUNDANT pass.
+        let traj = trace.cube_trajectory();
+        assert_eq!(*traj.last().unwrap(), traced.len());
+        for w in trace.samples.windows(2) {
+            if w[1].pass == Pass::Irredundant {
+                assert!(w[1].cubes <= w[0].cubes);
+            }
+        }
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod urp;
 pub use bdd::{bdd_equivalent, Bdd};
 pub use cover::Cover;
 pub use cube::{Cube, Tri};
-pub use espresso::{espresso, espresso_with_dc, relatively_essential, EspressoStats};
+pub use espresso::{
+    espresso, espresso_traced, espresso_with_dc, espresso_with_dc_traced, relatively_essential,
+    EspressoStats, MinimizeTrace, Pass, PassSample,
+};
 pub use eval::{check_equivalent, Equivalence};
 pub use exact::exact_minimize;
 pub use ops::{disjoint_cover, intersect, minterm_count, sharp};

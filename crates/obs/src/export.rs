@@ -1,0 +1,398 @@
+//! Snapshot exporters: Prometheus text exposition and JSON.
+//!
+//! Subsystems describe their metrics as a list of [`MetricFamily`]
+//! values — a name, help text, a [`MetricKind`], and labeled
+//! [`Sample`]s — and the two renderers turn that one model into either
+//! Prometheus text-exposition format ([`prometheus_text`]) or a JSON
+//! document ([`json_text`]). Both are hand-rolled (no `serde` in the
+//! offline build) and handle the full escaping rules of their formats.
+
+/// Prometheus metric type, controlling the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time value that can go up or down.
+    Gauge,
+    /// Cumulative-bucket distribution (`_bucket`/`_count`/`_sum` samples).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lowercase Prometheus / JSON type name.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One sample row of a family: label set, optional name suffix
+/// (`_bucket`, `_count`, `_sum` for histograms; empty otherwise), value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// `(label, value)` pairs, rendered in order.
+    pub labels: Vec<(String, String)>,
+    /// Metric-name suffix (`""`, `"_bucket"`, `"_count"`, `"_sum"`).
+    pub suffix: &'static str,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Plain sample (no suffix) with the given labels.
+    pub fn new(labels: Vec<(String, String)>, value: f64) -> Sample {
+        Sample {
+            labels,
+            suffix: "",
+            value,
+        }
+    }
+
+    /// Suffixed sample (histogram `_bucket` / `_count` / `_sum` rows).
+    pub fn suffixed(suffix: &'static str, labels: Vec<(String, String)>, value: f64) -> Sample {
+        Sample {
+            labels,
+            suffix,
+            value,
+        }
+    }
+}
+
+/// A named metric with help text and its sample rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// Metric name (`snake_case`, no suffix).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Prometheus type.
+    pub kind: MetricKind,
+    /// Sample rows. A family with no samples still renders its
+    /// `# HELP` / `# TYPE` header (zero-count registrations stay visible).
+    pub samples: Vec<Sample>,
+}
+
+impl MetricFamily {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        help: impl Into<String>,
+        kind: MetricKind,
+        samples: Vec<Sample>,
+    ) -> MetricFamily {
+        MetricFamily {
+            name: name.into(),
+            help: help.into(),
+            kind,
+            samples,
+        }
+    }
+}
+
+/// Format a sample value the way Prometheus text exposition expects:
+/// integral values without a fractional part, non-finite values as
+/// `+Inf` / `-Inf` / `NaN`, everything else via shortest-roundtrip
+/// `f64` formatting.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escape a Prometheus label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape Prometheus `# HELP` text: `\` → `\\`, newline → `\n`.
+fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render families in Prometheus text exposition format (version 0.0.4):
+/// `# HELP` / `# TYPE` headers followed by one line per sample, with
+/// label values escaped per the format's rules.
+pub fn prometheus_text(families: &[MetricFamily]) -> String {
+    let mut out = String::new();
+    for fam in families {
+        out.push_str("# HELP ");
+        out.push_str(&fam.name);
+        out.push(' ');
+        out.push_str(&escape_help(&fam.help));
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(&fam.name);
+        out.push(' ');
+        out.push_str(fam.kind.label());
+        out.push('\n');
+        for s in &fam.samples {
+            out.push_str(&fam.name);
+            out.push_str(s.suffix);
+            if !s.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in s.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    out.push_str(&escape_label(v));
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            out.push(' ');
+            out.push_str(&fmt_value(s.value));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Escape a string for a JSON string literal (without the quotes).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON number for a sample value. JSON has no `Inf`/`NaN`, so
+/// non-finite values render as `null`.
+fn json_value(v: f64) -> String {
+    if v.is_finite() {
+        fmt_value(v)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render families as a JSON document:
+///
+/// ```json
+/// {"families":[{"name":"...","help":"...","kind":"counter",
+///   "samples":[{"labels":{"sim":"0"},"suffix":"","value":12}]}]}
+/// ```
+///
+/// Strings are fully escaped; non-finite values become `null`.
+pub fn json_text(families: &[MetricFamily]) -> String {
+    let mut out = String::from("{\"families\":[");
+    for (fi, fam) in families.iter().enumerate() {
+        if fi > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        out.push_str(&escape_json(&fam.name));
+        out.push_str("\",\"help\":\"");
+        out.push_str(&escape_json(&fam.help));
+        out.push_str("\",\"kind\":\"");
+        out.push_str(fam.kind.label());
+        out.push_str("\",\"samples\":[");
+        for (si, s) in fam.samples.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"labels\":{");
+            for (li, (k, v)) in s.labels.iter().enumerate() {
+                if li > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape_json(k));
+                out.push_str("\":\"");
+                out.push_str(&escape_json(v));
+                out.push('"');
+            }
+            out.push_str("},\"suffix\":\"");
+            out.push_str(s.suffix);
+            out.push_str("\",\"value\":");
+            out.push_str(&json_value(s.value));
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lbl(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn prometheus_golden_counter() {
+        let fams = vec![MetricFamily::new(
+            "ambipla_requests_total",
+            "Total requests submitted.",
+            MetricKind::Counter,
+            vec![
+                Sample::new(lbl(&[("sim", "0"), ("epoch", "0")]), 42.0),
+                Sample::new(lbl(&[("sim", "1"), ("epoch", "2")]), 7.0),
+            ],
+        )];
+        let expected = "\
+# HELP ambipla_requests_total Total requests submitted.
+# TYPE ambipla_requests_total counter
+ambipla_requests_total{sim=\"0\",epoch=\"0\"} 42
+ambipla_requests_total{sim=\"1\",epoch=\"2\"} 7
+";
+        assert_eq!(prometheus_text(&fams), expected);
+    }
+
+    #[test]
+    fn prometheus_golden_histogram() {
+        let fams = vec![MetricFamily::new(
+            "flush_latency_ns",
+            "Flush latency.",
+            MetricKind::Histogram,
+            vec![
+                Sample::suffixed("_bucket", lbl(&[("sim", "0"), ("le", "1024")]), 3.0),
+                Sample::suffixed("_bucket", lbl(&[("sim", "0"), ("le", "+Inf")]), 5.0),
+                Sample::suffixed("_count", lbl(&[("sim", "0")]), 5.0),
+                Sample::suffixed("_sum", lbl(&[("sim", "0")]), 8192.0),
+            ],
+        )];
+        let expected = "\
+# HELP flush_latency_ns Flush latency.
+# TYPE flush_latency_ns histogram
+flush_latency_ns_bucket{sim=\"0\",le=\"1024\"} 3
+flush_latency_ns_bucket{sim=\"0\",le=\"+Inf\"} 5
+flush_latency_ns_count{sim=\"0\"} 5
+flush_latency_ns_sum{sim=\"0\"} 8192
+";
+        assert_eq!(prometheus_text(&fams), expected);
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values_and_help() {
+        let fams = vec![MetricFamily::new(
+            "weird",
+            "help with \\ backslash\nand newline",
+            MetricKind::Gauge,
+            vec![Sample::new(lbl(&[("name", "a\"b\\c\nd")]), 1.0)],
+        )];
+        let text = prometheus_text(&fams);
+        assert!(text.contains("# HELP weird help with \\\\ backslash\\nand newline\n"));
+        assert!(text.contains("weird{name=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn prometheus_zero_sample_family_keeps_header() {
+        let fams = vec![MetricFamily::new(
+            "empty_total",
+            "No samples yet.",
+            MetricKind::Counter,
+            vec![],
+        )];
+        assert_eq!(
+            prometheus_text(&fams),
+            "# HELP empty_total No samples yet.\n# TYPE empty_total counter\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_unlabeled_sample_has_no_braces() {
+        let fams = vec![MetricFamily::new(
+            "up",
+            "Service liveness.",
+            MetricKind::Gauge,
+            vec![Sample::new(vec![], 1.0)],
+        )];
+        assert_eq!(
+            prometheus_text(&fams),
+            "# HELP up Service liveness.\n# TYPE up gauge\nup 1\n"
+        );
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(42.0), "42");
+        assert_eq!(fmt_value(-3.0), "-3");
+        assert_eq!(fmt_value(0.5), "0.5");
+        assert_eq!(fmt_value(0.1 + 0.2), "0.30000000000000004");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+        // Large integral floats fall back to float formatting rather
+        // than a lossy i64 cast.
+        assert_eq!(fmt_value(1e18), "1000000000000000000");
+    }
+
+    #[test]
+    fn json_golden() {
+        let fams = vec![MetricFamily::new(
+            "requests_total",
+            "Total requests.",
+            MetricKind::Counter,
+            vec![Sample::new(lbl(&[("sim", "0")]), 3.0)],
+        )];
+        assert_eq!(
+            json_text(&fams),
+            "{\"families\":[{\"name\":\"requests_total\",\"help\":\"Total requests.\",\
+             \"kind\":\"counter\",\"samples\":[{\"labels\":{\"sim\":\"0\"},\
+             \"suffix\":\"\",\"value\":3}]}]}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings_and_nulls_non_finite() {
+        let fams = vec![MetricFamily::new(
+            "m",
+            "quote \" backslash \\ tab \t",
+            MetricKind::Gauge,
+            vec![Sample::new(lbl(&[("k", "v\n2")]), f64::INFINITY)],
+        )];
+        let text = json_text(&fams);
+        assert!(text.contains("quote \\\" backslash \\\\ tab \\t"));
+        assert!(text.contains("\"k\":\"v\\n2\""));
+        assert!(text.contains("\"value\":null"));
+    }
+
+    #[test]
+    fn json_empty_families_is_valid() {
+        assert_eq!(json_text(&[]), "{\"families\":[]}");
+    }
+}

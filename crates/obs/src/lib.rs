@@ -1,0 +1,45 @@
+//! # ambipla_obs — the observability layer
+//!
+//! The serving and synthesis subsystems emit structured telemetry through
+//! this crate: a fixed-capacity lock-free event ring for high-frequency
+//! structured events, the [`Recorder`] trait that keeps recording a no-op
+//! unless a sink is installed, and text renderers (Prometheus exposition
+//! format and JSON) for metric snapshots. Everything is hand-rolled on
+//! `std` — the offline build environment has no `tracing`, `prometheus`
+//! or `serde` crates — and nothing here depends on any other workspace
+//! crate, so every layer (logic, fpga, serve, bench) can emit into it.
+//!
+//! * [`event`] — the [`Event`] / [`EventKind`] vocabulary (flush, swap,
+//!   queue-full, registration) with monotonic [`monotonic_ns`] timestamps,
+//! * [`ring`] — the [`EventRing`], a bounded lock-free multi-producer
+//!   queue of events with loss accounting ([`EventRing::dropped`]),
+//! * [`recorder`] — the [`Recorder`] trait and its disabled-path
+//!   contract (see the trait docs: producers skip event construction
+//!   entirely when no recorder is installed),
+//! * [`export`] — [`MetricFamily`] / [`Sample`] plus
+//!   [`prometheus_text`] and [`json_text`] renderers with full label and
+//!   string escaping.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ambipla_obs::{Event, EventKind, EventRing, FlushCause, Recorder};
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(EventRing::with_capacity(1024));
+//! let sink: Arc<dyn Recorder> = Arc::clone(&ring) as _;
+//! sink.record(Event::now(EventKind::QueueFull { slot: 3 }));
+//! let drained = ring.drain();
+//! assert!(matches!(drained[0].kind, EventKind::QueueFull { slot: 3 }));
+//! assert_eq!(ring.dropped(), 0);
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod recorder;
+pub mod ring;
+
+pub use event::{monotonic_ns, Event, EventKind, FlushCause};
+pub use export::{json_text, prometheus_text, MetricFamily, MetricKind, Sample};
+pub use recorder::Recorder;
+pub use ring::EventRing;

@@ -1,0 +1,70 @@
+//! The [`Recorder`] sink trait and its disabled-path contract.
+
+use crate::event::Event;
+
+/// A sink for structured [`Event`]s.
+///
+/// Instrumented subsystems hold an `Option<Arc<dyn Recorder>>` and emit
+/// events only through it. The contract has two halves:
+///
+/// * **Disabled path** (`None` installed): recording is a *no-op before
+///   it starts*. Producers must not construct the [`Event`], must not
+///   read the clock ([`monotonic_ns`](crate::monotonic_ns)), and must
+///   not gather per-event payloads whose only consumer is the recorder.
+///   The entire cost of an uninstalled recorder is one branch on the
+///   `Option` — this is what makes it safe to leave instrumentation in
+///   hot paths like the batcher's flush loop, and what the
+///   `serve_bench` overhead floor (instrumented within 5% of
+///   recorder-disabled) is measured against.
+/// * **Enabled path**: [`record`](Recorder::record) must be cheap,
+///   non-blocking, and safe to call from any thread concurrently. It
+///   must never panic and never block the caller on a slow consumer —
+///   sinks with bounded storage (like [`EventRing`](crate::EventRing))
+///   drop and count rather than wait.
+///
+/// The canonical producer shape:
+///
+/// ```
+/// use ambipla_obs::{Event, EventKind, Recorder};
+/// use std::sync::Arc;
+///
+/// fn on_queue_full(recorder: &Option<Arc<dyn Recorder>>, slot: u32) {
+///     // Event construction and timestamping happen inside the branch:
+///     // with no recorder installed this is a single `is_some` check.
+///     if let Some(r) = recorder {
+///         r.record(Event::now(EventKind::QueueFull { slot }));
+///     }
+/// }
+///
+/// on_queue_full(&None, 7); // no clock read, no event built
+/// ```
+pub trait Recorder: Send + Sync {
+    /// Deliver one event to the sink. Must be non-blocking and
+    /// panic-free; bounded sinks drop (and account for) events rather
+    /// than stall the producer.
+    fn record(&self, event: Event);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct Counting(AtomicU64);
+    impl Recorder for Counting {
+        fn record(&self, _event: Event) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn custom_sinks_receive_events_through_dyn_dispatch() {
+        let sink = Arc::new(Counting(AtomicU64::new(0)));
+        let recorder: Arc<dyn Recorder> = Arc::clone(&sink) as _;
+        recorder.record(Event::now(EventKind::Register { slot: 0 }));
+        recorder.record(Event::now(EventKind::QueueFull { slot: 0 }));
+        assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+    }
+}

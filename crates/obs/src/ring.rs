@@ -1,0 +1,303 @@
+//! Bounded lock-free event ring.
+//!
+//! [`EventRing`] is a fixed-capacity multi-producer/multi-consumer queue
+//! in the style of Dmitry Vyukov's bounded MPMC queue: each slot carries
+//! a sequence number that encodes whether it is free for the producer or
+//! ready for the consumer at the current lap, so both `push` and `pop`
+//! are a single CAS on the respective cursor plus one release store —
+//! no locks, no allocation after construction. A full ring never blocks
+//! a producer: the event is discarded and counted in
+//! [`EventRing::dropped`], which is what lets consumers assert "no
+//! events lost below capacity".
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+
+struct Slot {
+    /// Vyukov sequence: `index` when free for the producer of lap
+    /// `index / cap`, `index + 1` once the event is published.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<Event>>,
+}
+
+/// Fixed-capacity lock-free event queue with drop-on-full semantics.
+///
+/// Producers never block and never allocate: when the ring is full the
+/// event is discarded and [`dropped`](EventRing::dropped) is
+/// incremented. Capacity is rounded up to the next power of two.
+///
+/// ```
+/// use ambipla_obs::{Event, EventKind, EventRing};
+///
+/// let ring = EventRing::with_capacity(8);
+/// for slot in 0..3 {
+///     ring.push(Event::now(EventKind::Register { slot }));
+/// }
+/// assert_eq!(ring.drain().len(), 3);
+/// assert_eq!(ring.dropped(), 0);
+/// ```
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    pushed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots are only written by the producer that won the tail CAS
+// for that sequence value and only read by the consumer that won the
+// head CAS after the matching release store of `seq`; the sequence
+// protocol makes the accesses data-race free.
+unsafe impl Send for EventRing {}
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    /// Create a ring holding at least `capacity` events (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> EventRing {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EventRing {
+            slots,
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count (the power of two `with_capacity` rounded up to).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueue `event`. Returns `true` if stored, `false` if the ring was
+    /// full (the event is discarded and counted in [`dropped`](Self::dropped)).
+    pub fn push(&self, event: Event) -> bool {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // Slot free at this lap: claim it.
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS for `pos` gives this
+                        // thread exclusive write access to the slot until
+                        // the release store below publishes it.
+                        unsafe { (*slot.value.get()).write(event) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        self.pushed.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if (seq as isize).wrapping_sub(pos as isize) < 0 {
+                // Slot still holds an unconsumed event from the previous
+                // lap: the ring is full. Drop, never block.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                // Another producer advanced past us; reload and retry.
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeue the oldest event, if any.
+    pub fn pop(&self) -> Option<Event> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let expected = pos.wrapping_add(1);
+            if seq == expected {
+                // Slot published at this lap: claim it.
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS for `pos` gives this
+                        // thread exclusive read access; the acquire load
+                        // of `seq` ordered the producer's write before us.
+                        let event = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(event);
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if (seq as isize).wrapping_sub(expected as isize) < 0 {
+                // Slot not yet published: ring is empty.
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain every currently queued event, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Total events successfully enqueued over the ring's lifetime.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Total events discarded because the ring was full. Zero here means
+    /// the event log is complete: every recorded event was (or still can
+    /// be) observed by a consumer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Recorder for EventRing {
+    fn record(&self, event: Event) {
+        self.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::sync::Arc;
+
+    fn ev(slot: u32) -> Event {
+        Event::now(EventKind::Register { slot })
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventRing::with_capacity(1).capacity(), 2);
+        assert_eq!(EventRing::with_capacity(5).capacity(), 8);
+        assert_eq!(EventRing::with_capacity(64).capacity(), 64);
+    }
+
+    #[test]
+    fn fifo_below_capacity_loses_nothing() {
+        let ring = EventRing::with_capacity(16);
+        for i in 0..16 {
+            assert!(ring.push(ev(i)));
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 16);
+        for (i, event) in drained.iter().enumerate() {
+            assert_eq!(event.kind, EventKind::Register { slot: i as u32 });
+        }
+        assert_eq!(ring.pushed(), 16);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_newest_and_counts() {
+        let ring = EventRing::with_capacity(4);
+        for i in 0..4 {
+            assert!(ring.push(ev(i)));
+        }
+        assert!(!ring.push(ev(99)));
+        assert!(!ring.push(ev(100)));
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.pushed(), 4);
+        // The original four survive untouched.
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(drained[0].kind, EventKind::Register { slot: 0 });
+        assert_eq!(drained[3].kind, EventKind::Register { slot: 3 });
+    }
+
+    #[test]
+    fn ring_reuses_slots_across_laps() {
+        let ring = EventRing::with_capacity(4);
+        for lap in 0..10u32 {
+            for i in 0..4 {
+                assert!(ring.push(ev(lap * 4 + i)));
+            }
+            let drained = ring.drain();
+            assert_eq!(drained.len(), 4);
+            assert_eq!(
+                drained[0].kind,
+                EventKind::Register { slot: lap * 4 },
+                "lap {lap}"
+            );
+        }
+        assert_eq!(ring.pushed(), 40);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_account_for_every_event() {
+        let ring = Arc::new(EventRing::with_capacity(128));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        ring.push(ev(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        // Concurrent consumer drains while producers run.
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    match ring.pop() {
+                        Some(event) => seen.push(event),
+                        None if seen.len() as u64 + ring.dropped() >= 4000 => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                seen
+            })
+        };
+        for t in threads {
+            t.join().unwrap();
+        }
+        let seen = consumer.join().unwrap();
+        // Every push either landed (and was drained) or was counted dropped.
+        assert_eq!(seen.len() as u64 + ring.dropped(), 4000);
+        assert_eq!(ring.pushed(), seen.len() as u64);
+        // Per-producer order is preserved.
+        let mut last = [None::<u32>; 4];
+        for event in &seen {
+            let EventKind::Register { slot } = event.kind else {
+                panic!("unexpected event kind");
+            };
+            let t = (slot / 1000) as usize;
+            if let Some(prev) = last[t] {
+                assert!(slot > prev, "producer {t} order violated");
+            }
+            last[t] = Some(slot);
+        }
+    }
+}

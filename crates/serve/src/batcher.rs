@@ -69,7 +69,8 @@
 //! counters that reconcile with a driver's swap log.
 
 use crate::cache::{BlockCache, BlockKey, SimKey};
-use crate::stats::{FlushCause, ServiceStats, StatsSnapshot};
+use crate::stats::{EpochStats, FlushCause, RegSnapshot, RegStats, ServiceStats, StatsSnapshot};
+use ambipla_obs::{Event, EventKind, MetricFamily, Recorder};
 use logic::eval::{pack_vectors_words, unpack_lane_words, LANES};
 use logic::Cover;
 use std::error::Error;
@@ -227,7 +228,8 @@ impl SimTicket {
 struct SlotState {
     /// Requests submitted but not yet flushed — incremented by every
     /// submission (bounded or not), decremented by the batcher as lanes
-    /// flush; what `try_submit`'s backpressure check reads.
+    /// flush; what `try_submit`'s backpressure check reads (and what
+    /// [`RegSnapshot::queue_depth`] gauges).
     pending: AtomicUsize,
     /// The slot's current epoch: written by the batcher at registration
     /// (0) and on every completed swap, read by [`SimService::epoch`].
@@ -237,6 +239,10 @@ struct SlotState {
     n_inputs: usize,
     /// Registered output arity — fixed for the slot's lifetime.
     n_outputs: usize,
+    /// This registration's per-epoch metrics, shared between the handle
+    /// (request / backpressure counters, snapshots) and the batcher
+    /// (flush counters).
+    stats: Arc<RegStats>,
 }
 
 enum Msg {
@@ -279,6 +285,10 @@ pub struct SimService {
     /// indexed by `SimId::slot`.
     slots: RwLock<Vec<Arc<SlotState>>>,
     queue_depth: usize,
+    /// Event sink shared with the batcher thread. `None` (the default)
+    /// keeps every record site a single branch — see
+    /// [`Recorder`]'s disabled-path contract.
+    recorder: Option<Arc<dyn Recorder>>,
     /// Process-unique identity stamped into every issued [`SimId`].
     nonce: u64,
 }
@@ -293,17 +303,34 @@ impl SimService {
     ///
     /// Panics if `config.block_words == 0`.
     pub fn start(config: ServeConfig) -> SimService {
+        SimService::start_inner(config, None)
+    }
+
+    /// Start a service with an event sink installed: the batcher emits a
+    /// structured [`Event`] for every registration, flush, completed
+    /// swap and backpressure rejection. With [`start`](SimService::start)
+    /// (no recorder) those record sites cost one branch each — the
+    /// disabled-path contract `serve_bench` holds the service to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.block_words == 0`.
+    pub fn start_with_recorder(config: ServeConfig, recorder: Arc<dyn Recorder>) -> SimService {
+        SimService::start_inner(config, Some(recorder))
+    }
+
+    fn start_inner(config: ServeConfig, recorder: Option<Arc<dyn Recorder>>) -> SimService {
         assert!(config.block_words >= 1, "need at least one lane word");
         let (tx, rx) = channel();
         let stats = Arc::new(ServiceStats::default());
         let cache = Arc::new(BlockCache::new(config.cache_capacity, config.cache_shards));
         let worker = {
-            let stats = Arc::clone(&stats);
             let cache = Arc::clone(&cache);
+            let recorder = recorder.clone();
             std::thread::Builder::new()
                 .name("ambipla-batcher".into())
                 .spawn(move || {
-                    batcher_loop(rx, config.max_wait, config.block_words, &stats, &cache)
+                    batcher_loop(rx, config.max_wait, config.block_words, &cache, recorder)
                 })
                 .expect("spawn batcher thread")
         };
@@ -314,6 +341,7 @@ impl SimService {
             cache,
             slots: RwLock::new(Vec::new()),
             queue_depth: config.queue_depth,
+            recorder,
             nonce: NEXT_SERVICE.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -339,16 +367,19 @@ impl SimService {
     /// requests are `u64`s).
     pub fn register_sim(&self, sim: SharedSim, key: SimKey) -> SimId {
         assert!(sim.n_inputs() <= 64, "at most 64 inputs per simulator");
-        let slot = Arc::new(SlotState {
-            pending: AtomicUsize::new(0),
-            epoch: AtomicU64::new(0),
-            n_inputs: sim.n_inputs(),
-            n_outputs: sim.n_outputs(),
-        });
-        let id = {
+        // The stats registry is appended under the slot lock so its slot
+        // numbering always matches the id numbering.
+        let (id, slot) = {
             let mut slots = self.slots.write().unwrap();
+            let slot = Arc::new(SlotState {
+                pending: AtomicUsize::new(0),
+                epoch: AtomicU64::new(0),
+                n_inputs: sim.n_inputs(),
+                n_outputs: sim.n_outputs(),
+                stats: self.stats.register(),
+            });
             slots.push(Arc::clone(&slot));
-            slots.len() - 1
+            (slots.len() - 1, slot)
         };
         self.tx
             .send(Msg::Register { id, sim, key, slot })
@@ -425,8 +456,9 @@ impl SimService {
     /// backpressure).
     pub fn submit(&self, sim: SimId, bits: u64) -> SimTicket {
         let (tx, rx) = channel();
-        self.slot(sim).pending.fetch_add(1, Ordering::Relaxed);
-        self.submit_raw(sim, bits, 0, tx);
+        let slot = self.slot(sim);
+        slot.pending.fetch_add(1, Ordering::Relaxed);
+        self.submit_raw(&slot, sim, bits, 0, tx);
         SimTicket(rx)
     }
 
@@ -446,11 +478,16 @@ impl SimService {
             })
             .is_err()
         {
-            self.stats.record_queue_full();
+            slot.stats.record_queue_full();
+            if let Some(r) = &self.recorder {
+                r.record(Event::now(EventKind::QueueFull {
+                    slot: sim.slot as u32,
+                }));
+            }
             return Err(QueueFull { depth });
         }
         let (tx, rx) = channel();
-        self.submit_raw(sim, bits, 0, tx);
+        self.submit_raw(&slot, sim, bits, 0, tx);
         Ok(SimTicket(rx))
     }
 
@@ -458,8 +495,9 @@ impl SimService {
     /// the high-throughput path for clients with many requests in flight.
     /// Unbounded, like [`submit`](SimService::submit).
     pub fn submit_tagged(&self, sim: SimId, bits: u64, tag: u64, reply: &ReplySink) {
-        self.slot(sim).pending.fetch_add(1, Ordering::Relaxed);
-        self.submit_raw(sim, bits, tag, reply.0.clone());
+        let slot = self.slot(sim);
+        slot.pending.fetch_add(1, Ordering::Relaxed);
+        self.submit_raw(&slot, sim, bits, tag, reply.0.clone());
     }
 
     /// The shared slot state of `sim`, validating the id en route.
@@ -472,8 +510,15 @@ impl SimService {
         Arc::clone(slots.get(sim.slot).expect("unregistered sim id"))
     }
 
-    fn submit_raw(&self, sim: SimId, bits: u64, tag: u64, reply: Sender<SimReply>) {
-        self.stats.record_request();
+    fn submit_raw(
+        &self,
+        slot: &SlotState,
+        sim: SimId,
+        bits: u64,
+        tag: u64,
+        reply: Sender<SimReply>,
+    ) {
+        slot.stats.record_request();
         self.tx
             .send(Msg::Submit {
                 id: sim.slot,
@@ -484,14 +529,44 @@ impl SimService {
             .expect("batcher thread alive");
     }
 
-    /// Current metrics (flush counters merged with cache counters).
+    /// Current aggregate metrics: the fold over every registration's
+    /// per-epoch counters (see [`StatsSnapshot::fold`]), with eviction
+    /// counts joined in from the block cache. One snapshot path — the
+    /// per-registration data *is* the source of the aggregate.
     pub fn stats(&self) -> StatsSnapshot {
-        let mut snap = self.stats.snapshot();
-        snap.cache_hits = self.cache.hits();
-        snap.cache_misses = self.cache.misses();
-        snap.cache_evictions = self.cache.evictions();
-        snap.cache_hit_rate = self.cache.hit_rate();
-        snap
+        StatsSnapshot::fold(&self.stats_per_registration(), self.cache.evictions())
+    }
+
+    /// Per-registration metrics of one backend, keyed by `(SimId, epoch)`:
+    /// lifetime request / backpressure counters, the live queue-depth
+    /// gauge, and one [`EpochSnapshot`](crate::stats::EpochSnapshot) per
+    /// epoch the registration has served (flush causes, lane occupancy,
+    /// cache hits/misses, flush-latency histogram).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` was issued by a different service.
+    pub fn stats_for(&self, sim: SimId) -> RegSnapshot {
+        let slot = self.slot(sim);
+        slot.stats
+            .snapshot(slot.pending.load(Ordering::Relaxed) as u64)
+    }
+
+    /// Every registration's [`RegSnapshot`], slot order, with live
+    /// queue-depth gauges.
+    pub fn stats_per_registration(&self) -> Vec<RegSnapshot> {
+        let slots = self.slots.read().unwrap();
+        slots
+            .iter()
+            .map(|s| s.stats.snapshot(s.pending.load(Ordering::Relaxed) as u64))
+            .collect()
+    }
+
+    /// The service's metrics as exporter-ready families: per-registration
+    /// `(sim, epoch)` series plus the aggregate, renderable with
+    /// [`ambipla_obs::prometheus_text`] or [`ambipla_obs::json_text`].
+    pub fn metric_families(&self) -> Vec<MetricFamily> {
+        crate::export::metric_families(&self.stats_per_registration(), &self.stats())
     }
 
     /// Drain every pending queue, stop the batcher thread and return the
@@ -535,6 +610,10 @@ struct Registered {
     /// The serving generation: 0 at registration, +1 per completed swap.
     /// Part of every cache key and stamped into every reply.
     epoch: u64,
+    /// The live epoch's stats — cached so the flush hot path records
+    /// straight into atomics without touching the registry lock; replaced
+    /// by `RegStats::begin_epoch` on every swap.
+    epoch_stats: Arc<EpochStats>,
     vectors: Vec<u64>,
     replies: Vec<(u64, Sender<SimReply>)>,
     opened: Option<Instant>,
@@ -561,6 +640,7 @@ impl Registered {
     fn new(sim: SharedSim, key: SimKey, block_words: usize, slot: Arc<SlotState>) -> Registered {
         let n_inputs = sim.n_inputs();
         let n_outputs = sim.n_outputs();
+        let epoch_stats = slot.stats.current_epoch();
         Registered {
             sim,
             key,
@@ -569,6 +649,7 @@ impl Registered {
             block_words,
             slot,
             epoch: 0,
+            epoch_stats,
             vectors: Vec::with_capacity(block_words * LANES),
             replies: Vec::with_capacity(block_words * LANES),
             opened: None,
@@ -583,11 +664,18 @@ impl Registered {
         }
     }
 
-    fn flush(&mut self, cause: FlushCause, stats: &ServiceStats, cache: &BlockCache) {
+    fn flush(
+        &mut self,
+        cause: FlushCause,
+        cache: &BlockCache,
+        recorder: &Option<Arc<dyn Recorder>>,
+    ) {
         if self.vectors.is_empty() {
             return;
         }
         let lanes = self.vectors.len();
+        let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
         // A partial (deadline / shutdown) flush only pays for the lane
         // words it actually needs.
         let words = lanes.div_ceil(LANES);
@@ -618,6 +706,7 @@ impl Registered {
                 let key = BlockKey::new(self.key, self.epoch, &self.subkey);
                 match cache.lookup(&key) {
                     Some(cached) => {
+                        cache_hits += 1;
                         for (j, &v) in cached.iter().enumerate() {
                             self.out[j * words + w] = v;
                         }
@@ -639,6 +728,9 @@ impl Registered {
                     }
                 }
             }
+            // Duplicate sub-blocks within this flush were cache lookups
+            // too, so they count as misses like the entries they alias.
+            cache_misses = self.miss_words.len() + self.miss_alias.len();
             if !self.miss_words.is_empty() {
                 // Gather the missing sub-blocks into one narrower block
                 // and evaluate them with a single eval_words call.
@@ -680,8 +772,21 @@ impl Registered {
         // resolves the flush must already be visible in the stats and the
         // pending count (a drain-then-try_submit or drain-then-stats
         // sequence must not race these updates).
-        stats.record_flush(cause, lanes, words, latency_ns);
+        self.epoch_stats
+            .record_flush(cause, lanes, words, latency_ns, cache_hits, cache_misses);
         self.slot.pending.fetch_sub(lanes, Ordering::Relaxed);
+        if let Some(rec) = recorder {
+            rec.record(Event::now(EventKind::Flush {
+                slot: self.slot.stats.slot(),
+                epoch: self.epoch,
+                cause,
+                lanes: lanes as u32,
+                words: words as u32,
+                latency_ns,
+                cache_hits: cache_hits as u32,
+                cache_misses: cache_misses as u32,
+            }));
+        }
         // Scatter lane results. Only the `lanes` valid lanes are ever
         // unpacked, which is what makes partial (deadline) blocks safe —
         // see `logic::eval::lane_mask`.
@@ -702,8 +807,8 @@ fn batcher_loop(
     rx: Receiver<Msg>,
     max_wait: Duration,
     block_words: usize,
-    stats: &ServiceStats,
     cache: &BlockCache,
+    recorder: Option<Arc<dyn Recorder>>,
 ) {
     // Slot-addressed by SimId: concurrent register() calls may deliver
     // their Register messages out of id order, so slots can fill in any
@@ -733,7 +838,7 @@ fn batcher_loop(
                 if now >= deadline {
                     for r in registry.iter_mut().flatten() {
                         if r.opened.is_some_and(|t| t + max_wait <= now) {
-                            r.flush(FlushCause::Deadline, stats, cache);
+                            r.flush(FlushCause::Deadline, cache, &recorder);
                         }
                     }
                     oldest_stale = true;
@@ -752,6 +857,9 @@ fn batcher_loop(
                     registry.resize_with(id + 1, || None);
                 }
                 registry[id] = Some(Registered::new(sim, key, block_words, slot));
+                if let Some(rec) = &recorder {
+                    rec.record(Event::now(EventKind::Register { slot: id as u32 }));
+                }
             }
             Msg::Submit {
                 id,
@@ -778,7 +886,7 @@ fn batcher_loop(
                 r.replies.push((tag, reply));
                 if r.vectors.len() == r.block_words * LANES {
                     let was_oldest = r.opened == oldest_open;
-                    r.flush(FlushCause::Full, stats, cache);
+                    r.flush(FlushCause::Full, cache, &recorder);
                     if was_oldest {
                         oldest_stale = true;
                     }
@@ -796,11 +904,21 @@ fn batcher_loop(
                 // so this flush answers every such request under the old
                 // epoch — zero drops, no torn blocks.
                 let had_open = r.opened.is_some();
-                r.flush(FlushCause::Swap, stats, cache);
+                let drained_lanes = r.vectors.len();
+                r.flush(FlushCause::Swap, cache, &recorder);
                 r.sim = sim;
                 r.epoch += 1;
+                r.epoch_stats = r.slot.stats.begin_epoch();
+                debug_assert_eq!(r.epoch_stats.epoch(), r.epoch);
                 r.slot.epoch.store(r.epoch, Ordering::Release);
-                stats.record_swap();
+                if let Some(rec) = &recorder {
+                    rec.record(Event::now(EventKind::Swap {
+                        slot: id as u32,
+                        from_epoch: r.epoch - 1,
+                        to_epoch: r.epoch,
+                        drained_lanes: drained_lanes as u32,
+                    }));
+                }
                 if had_open {
                     oldest_stale = true;
                 }
@@ -811,7 +929,7 @@ fn batcher_loop(
         }
     }
     for r in registry.iter_mut().flatten() {
-        r.flush(FlushCause::Shutdown, stats, cache);
+        r.flush(FlushCause::Shutdown, cache, &recorder);
     }
 }
 
@@ -854,6 +972,7 @@ mod tests {
             epoch: AtomicU64::new(0),
             n_inputs,
             n_outputs,
+            stats: Arc::new(RegStats::new(0)),
         })
     }
 
@@ -1251,7 +1370,6 @@ mod tests {
             inner: cover.clone(),
             words_evaluated: AtomicUsize::new(0),
         });
-        let stats = ServiceStats::default();
         let cache = BlockCache::new(64, 2);
         let mut reg = Registered::new(
             Arc::clone(&counting) as SharedSim,
@@ -1264,7 +1382,7 @@ mod tests {
             reg.vectors.push(i % 8); // both 64-lane halves pack identically
             reg.replies.push((i, tx.clone()));
         }
-        reg.flush(FlushCause::Full, &stats, &cache);
+        reg.flush(FlushCause::Full, &cache, &None);
         for _ in 0..128 {
             let reply = rx.recv().expect("flush scattered every lane");
             assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
@@ -1287,13 +1405,13 @@ mod tests {
     #[test]
     fn multi_word_partial_flush_masks_tail_lanes() {
         let cover = adder();
-        let stats = ServiceStats::default();
         let cache = BlockCache::new(64, 2);
+        let slot = test_slot(260, 3, 2);
         let mut reg = Registered::new(
             Arc::new(cover.clone()),
             SimKey::of_cover(&cover),
             3,
-            test_slot(260, 3, 2),
+            Arc::clone(&slot),
         );
         let (tx, rx) = channel();
         for round in 0..2 {
@@ -1301,7 +1419,7 @@ mod tests {
                 reg.vectors.push(i % 8);
                 reg.replies.push((i, tx.clone()));
             }
-            reg.flush(FlushCause::Deadline, &stats, &cache);
+            reg.flush(FlushCause::Deadline, &cache, &None);
             for _ in 0..130 {
                 let reply = rx.recv().expect("flush scattered every lane");
                 assert_eq!(
@@ -1317,9 +1435,12 @@ mod tests {
         // of those zero lanes); round two hits all three.
         assert_eq!(cache.misses(), 3, "three sub-blocks populate");
         assert_eq!(cache.hits(), 3, "identical sub-blocks are reused");
-        let snap = stats.snapshot();
+        let snap = StatsSnapshot::fold(&[slot.stats.snapshot(0)], cache.evictions());
         assert_eq!(snap.lanes_filled, 260);
         assert_eq!(snap.lane_capacity, 2 * 192);
+        // The per-flush cache accounting folds to the cache's own totals.
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_misses, 3);
     }
 
     /// Mixed hit/miss flushes: when some sub-blocks of a wide flush are
@@ -1329,7 +1450,6 @@ mod tests {
     #[test]
     fn partially_cached_wide_flushes_evaluate_only_the_misses() {
         let cover = adder();
-        let stats = ServiceStats::default();
         let cache = BlockCache::new(64, 2);
         let mut reg = Registered::new(
             Arc::new(cover.clone()),
@@ -1343,7 +1463,7 @@ mod tests {
             reg.vectors.push(i % 8);
             reg.replies.push((i, tx.clone()));
         }
-        reg.flush(FlushCause::Deadline, &stats, &cache);
+        reg.flush(FlushCause::Deadline, &cache, &None);
         for _ in 0..64 {
             let reply = rx.recv().expect("warm flush scattered");
             assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
@@ -1355,7 +1475,7 @@ mod tests {
             reg.vectors.push(if i < 64 { i % 8 } else { (i + 3) % 8 });
             reg.replies.push((i, tx.clone()));
         }
-        reg.flush(FlushCause::Full, &stats, &cache);
+        reg.flush(FlushCause::Full, &cache, &None);
         for _ in 0..128 {
             let reply = rx.recv().expect("wide flush scattered");
             let bits = if reply.tag < 64 {

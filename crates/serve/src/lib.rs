@@ -31,9 +31,16 @@
 //!   *(caller-supplied stable [`SimKey`], registration epoch, packed
 //!   64-lane sub-block)* with hit/miss/eviction counters — the epoch in
 //!   the key is what makes a hot swap's cache invalidation exact,
-//! * [`stats`] — request/flush/occupancy/backpressure counters,
-//!   p50/p99 flush latency, and `swaps` / `swap_flushes` hot-swap
-//!   counters ([`StatsSnapshot`]),
+//! * [`stats`] — per-registration, per-epoch metrics on lock-free atomic
+//!   counters ([`RegStats`] / [`RegSnapshot`], served by
+//!   [`SimService::stats_for`]), with the aggregate [`StatsSnapshot`]
+//!   defined as the fold over registrations
+//!   ([`StatsSnapshot::fold`]),
+//! * [`export`] — snapshot → [`ambipla_obs`] metric families
+//!   ([`metric_families`]), renderable as Prometheus text or JSON;
+//!   structured events (flush / swap / queue-full / registration) flow to
+//!   any [`ambipla_obs::Recorder`] installed via
+//!   [`SimService::start_with_recorder`],
 //! * [`sweep`] — offline bulk evaluation of `&dyn Simulator` jobs sharded
 //!   across the deterministic [`WorkerPool`] (re-exported from
 //!   `ambipla_core::pool`; the same pool shards `fault::yield_analysis`
@@ -96,6 +103,7 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod export;
 pub mod stats;
 pub mod sweep;
 
@@ -108,5 +116,9 @@ pub use batcher::{
     SimService, SimTicket,
 };
 pub use cache::{BlockCache, BlockKey, SimKey};
-pub use stats::{FlushCause, ServiceStats, StatsSnapshot};
+pub use export::metric_families;
+pub use stats::{
+    AtomicHistogram, EpochSnapshot, EpochStats, FlushCause, HistogramSnapshot, RegSnapshot,
+    RegStats, ServiceStats, StatsSnapshot,
+};
 pub use sweep::{eval_covers_blocked, eval_sims_blocked};

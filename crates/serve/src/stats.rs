@@ -1,97 +1,251 @@
-//! Service-facing metrics: request/flush counters, lane occupancy and
-//! flush-latency quantiles.
+//! Service-facing metrics: per-registration, per-epoch counters with
+//! lock-free recording and fold-based aggregation.
 //!
-//! Counters are relaxed atomics bumped from the batcher thread; the flush
-//! latency distribution is a log₂-bucketed histogram (64 buckets cover the
-//! full `u64` nanosecond range), cheap enough to record on every flush and
-//! precise enough for the p50/p99 figures the service reports. A
-//! [`StatsSnapshot`] is a consistent-enough copy for dashboards and bench
-//! output — it is not a transactional read, matching what production
-//! metric scrapes do.
+//! Stats are segmented the way the service itself is: a [`RegStats`] per
+//! registration (requests, backpressure rejections, live queue depth)
+//! holding one [`EpochStats`] per epoch (flush counters, lane occupancy,
+//! cache hit/miss, flush-latency histogram). Every counter — including
+//! the histogram buckets ([`AtomicHistogram`]) — is a relaxed atomic, so
+//! the batcher's flush hot path never takes a lock and `stats()` scrapes
+//! never contend with it. The aggregate [`StatsSnapshot`] is no longer a
+//! separate set of counters: it is [`StatsSnapshot::fold`] over the
+//! per-registration snapshots, with cache evictions joined in from the
+//! [`BlockCache`](crate::BlockCache) — one snapshot path, no fabricated
+//! fields. A snapshot is a consistent-enough copy for dashboards and
+//! bench output — it is not a transactional read, matching what
+//! production metric scrapes do.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
 
-/// Why a block left the pending queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FlushCause {
-    /// All `block_words × 64` lanes filled.
-    Full,
-    /// The oldest queued request hit the configured `max_wait`.
-    Deadline,
-    /// A hot swap ([`SimService::swap_sim`](crate::SimService::swap_sim))
-    /// drained the queue under the outgoing epoch before installing the
-    /// new backend.
-    Swap,
-    /// Service shutdown drained the queue.
-    Shutdown,
-}
+pub use ambipla_obs::FlushCause;
 
-/// Log₂-bucketed latency histogram over nanoseconds.
+/// Log₂-bucketed latency histogram over nanoseconds with atomic bucket
+/// counters: `record` is a pair of relaxed `fetch_add`s (bucket + sum),
+/// safe from any thread, and scrapes read the buckets without blocking
+/// recorders.
 #[derive(Debug)]
-pub struct Histogram {
-    buckets: [u64; 64],
-    count: u64,
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; 64],
+    sum_ns: AtomicU64,
 }
 
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram {
-            buckets: [0; 64],
-            count: 0,
+impl Default for AtomicHistogram {
+    fn default() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
         }
     }
 }
 
-impl Histogram {
+impl AtomicHistogram {
     /// Record one observation.
-    pub fn record(&mut self, ns: u64) {
+    pub fn record(&self, ns: u64) {
         let bucket = (64 - ns.leading_zeros() as usize).min(63);
-        self.buckets[bucket] += 1;
-        self.count += 1;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Copy the bucket counters out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; 64];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of an [`AtomicHistogram`]: mergeable (for folding
+/// per-epoch histograms into an aggregate) and queryable for quantiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation count per log₂ bucket; bucket `b` covers values whose
+    /// bit length is `b` (upper bound `2^b`, bucket 0 holds exact zeros).
+    pub buckets: [u64; 64],
+    /// Sum of all recorded values in ns (Prometheus histogram `_sum`).
+    pub sum_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; 64],
+            sum_ns: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Accumulate another snapshot's buckets into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum_ns += other.sum_ns;
     }
 
     /// Upper bound (in ns) of the bucket containing quantile `q` in
     /// `[0, 1]`, or 0 if nothing was recorded. Log₂ buckets bound the
     /// relative error at 2×, which is plenty for p50/p99 reporting.
     pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.count == 0 {
+        let count = self.count();
+        if count == 0 {
             return 0;
         }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut seen = 0u64;
         for (bucket, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return if bucket == 0 { 0 } else { 1u64 << bucket };
+                return Self::bucket_bound(bucket);
             }
         }
         unreachable!("rank is clamped to the recorded count");
     }
 
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.count
+    /// Upper bound in ns of bucket `b` (the `le` boundary exporters use).
+    pub fn bucket_bound(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << bucket
+        }
     }
 }
 
-/// Live counters of one [`SimService`](crate::SimService).
-#[derive(Debug, Default)]
-pub struct ServiceStats {
-    requests: AtomicU64,
-    queue_full: AtomicU64,
+/// Flush-side counters of one `(registration, epoch)` pair. All fields
+/// are relaxed atomics; the batcher caches an `Arc<EpochStats>` for the
+/// live epoch so recording a flush touches no locks and no registry.
+#[derive(Debug)]
+pub struct EpochStats {
+    epoch: u64,
     blocks: AtomicU64,
     full_flushes: AtomicU64,
     deadline_flushes: AtomicU64,
     swap_flushes: AtomicU64,
     shutdown_flushes: AtomicU64,
-    swaps: AtomicU64,
     lanes_filled: AtomicU64,
     lane_capacity: AtomicU64,
-    flush_latency: Mutex<Histogram>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    flush_latency: AtomicHistogram,
 }
 
-impl ServiceStats {
+impl EpochStats {
+    fn new(epoch: u64) -> EpochStats {
+        EpochStats {
+            epoch,
+            blocks: AtomicU64::new(0),
+            full_flushes: AtomicU64::new(0),
+            deadline_flushes: AtomicU64::new(0),
+            swap_flushes: AtomicU64::new(0),
+            shutdown_flushes: AtomicU64::new(0),
+            lanes_filled: AtomicU64::new(0),
+            lane_capacity: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            flush_latency: AtomicHistogram::default(),
+        }
+    }
+
+    /// The epoch these counters belong to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Count one flushed block: its cause, how many lanes were occupied,
+    /// how many lane `words` the flush evaluated (so lane occupancy stays
+    /// meaningful for multi-word blocks), the queue latency (first
+    /// enqueue → flush) in ns, and the flush's sub-block cache hit/miss
+    /// burst — cache counters are first-class here, not merged in later.
+    pub fn record_flush(
+        &self,
+        cause: FlushCause,
+        lanes: usize,
+        words: usize,
+        latency_ns: u64,
+        cache_hits: usize,
+        cache_misses: usize,
+    ) {
+        self.blocks.fetch_add(1, Ordering::Relaxed);
+        self.lanes_filled.fetch_add(lanes as u64, Ordering::Relaxed);
+        self.lane_capacity
+            .fetch_add((words * crate::LANES) as u64, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(cache_hits as u64, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(cache_misses as u64, Ordering::Relaxed);
+        match cause {
+            FlushCause::Full => &self.full_flushes,
+            FlushCause::Deadline => &self.deadline_flushes,
+            FlushCause::Swap => &self.swap_flushes,
+            FlushCause::Shutdown => &self.shutdown_flushes,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.flush_latency.record(latency_ns);
+    }
+
+    /// Copy the counters out.
+    pub fn snapshot(&self) -> EpochSnapshot {
+        let latency = self.flush_latency.snapshot();
+        EpochSnapshot {
+            epoch: self.epoch,
+            blocks: self.blocks.load(Ordering::Relaxed),
+            full_flushes: self.full_flushes.load(Ordering::Relaxed),
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            swap_flushes: self.swap_flushes.load(Ordering::Relaxed),
+            shutdown_flushes: self.shutdown_flushes.load(Ordering::Relaxed),
+            lanes_filled: self.lanes_filled.load(Ordering::Relaxed),
+            lane_capacity: self.lane_capacity.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            latency,
+        }
+    }
+}
+
+/// Counters of one registration, segmented by epoch.
+///
+/// `requests` and `queue_full` are registration-lifetime counters (the
+/// submit path doesn't know which epoch will eventually flush a
+/// request); everything flush-shaped lives in the per-epoch
+/// [`EpochStats`]. The epoch list only grows — a swap appends via
+/// [`begin_epoch`](RegStats::begin_epoch) — so historical epochs stay
+/// queryable after the swap that retired them.
+#[derive(Debug)]
+pub struct RegStats {
+    slot: u32,
+    requests: AtomicU64,
+    queue_full: AtomicU64,
+    epochs: RwLock<Vec<Arc<EpochStats>>>,
+}
+
+impl RegStats {
+    /// Fresh registration stats with epoch 0 already begun.
+    pub fn new(slot: u32) -> RegStats {
+        RegStats {
+            slot,
+            requests: AtomicU64::new(0),
+            queue_full: AtomicU64::new(0),
+            epochs: RwLock::new(vec![Arc::new(EpochStats::new(0))]),
+        }
+    }
+
+    /// Registration slot index.
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
     /// Count one accepted request.
     pub fn record_request(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -104,68 +258,147 @@ impl ServiceStats {
         self.queue_full.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Count one flushed block: its cause, how many lanes were occupied,
-    /// how many lane `words` the flush evaluated (so lane occupancy stays
-    /// meaningful for multi-word blocks), and the queue latency (first
-    /// enqueue → flush) in ns.
-    pub fn record_flush(&self, cause: FlushCause, lanes: usize, words: usize, latency_ns: u64) {
-        self.blocks.fetch_add(1, Ordering::Relaxed);
-        self.lanes_filled.fetch_add(lanes as u64, Ordering::Relaxed);
-        self.lane_capacity
-            .fetch_add((words * crate::LANES) as u64, Ordering::Relaxed);
-        match cause {
-            FlushCause::Full => &self.full_flushes,
-            FlushCause::Deadline => &self.deadline_flushes,
-            FlushCause::Swap => &self.swap_flushes,
-            FlushCause::Shutdown => &self.shutdown_flushes,
-        }
-        .fetch_add(1, Ordering::Relaxed);
-        self.flush_latency.lock().unwrap().record(latency_ns);
+    /// The live epoch's counters. The batcher caches this `Arc` per
+    /// registration, so the flush path pays this lock only once per swap.
+    pub fn current_epoch(&self) -> Arc<EpochStats> {
+        Arc::clone(self.epochs.read().unwrap().last().expect("epoch 0 exists"))
     }
 
-    /// Count one completed hot swap (epoch bump). Every swap is counted,
-    /// whether or not it had queued requests to drain — `swaps` is the
-    /// total number of epoch bumps across all registrations, while
-    /// `swap_flushes` only counts the drains that flushed a non-empty
-    /// queue.
-    pub fn record_swap(&self) {
-        self.swaps.fetch_add(1, Ordering::Relaxed);
+    /// Begin the next epoch (a completed hot swap) and return its
+    /// counters. The number of completed swaps on this registration is
+    /// exactly the current epoch number.
+    pub fn begin_epoch(&self) -> Arc<EpochStats> {
+        let mut epochs = self.epochs.write().unwrap();
+        let next = EpochStats::new(epochs.len() as u64);
+        let stats = Arc::new(next);
+        epochs.push(Arc::clone(&stats));
+        stats
     }
 
-    /// Copy the counters out (see module docs on consistency).
-    pub fn snapshot(&self) -> StatsSnapshot {
-        let blocks = self.blocks.load(Ordering::Relaxed);
-        let lanes = self.lanes_filled.load(Ordering::Relaxed);
-        let capacity = self.lane_capacity.load(Ordering::Relaxed);
-        let latency = self.flush_latency.lock().unwrap();
-        StatsSnapshot {
+    /// Copy the counters out, with the caller-supplied live queue depth
+    /// gauge (the batcher's pending-lane count for this registration).
+    pub fn snapshot(&self, queue_depth: u64) -> RegSnapshot {
+        let epochs: Vec<EpochSnapshot> = self
+            .epochs
+            .read()
+            .unwrap()
+            .iter()
+            .map(|e| e.snapshot())
+            .collect();
+        RegSnapshot {
+            slot: self.slot,
             requests: self.requests.load(Ordering::Relaxed),
             queue_full: self.queue_full.load(Ordering::Relaxed),
-            blocks,
-            full_flushes: self.full_flushes.load(Ordering::Relaxed),
-            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
-            swap_flushes: self.swap_flushes.load(Ordering::Relaxed),
-            shutdown_flushes: self.shutdown_flushes.load(Ordering::Relaxed),
-            swaps: self.swaps.load(Ordering::Relaxed),
-            lanes_filled: lanes,
-            lane_capacity: capacity,
-            lane_occupancy: if capacity == 0 {
-                0.0
-            } else {
-                lanes as f64 / capacity as f64
-            },
-            p50_flush_ns: latency.quantile_ns(0.50),
-            p99_flush_ns: latency.quantile_ns(0.99),
-            cache_hits: 0,
-            cache_misses: 0,
-            cache_evictions: 0,
-            cache_hit_rate: 0.0,
+            queue_depth,
+            epoch: epochs.last().map(|e| e.epoch).unwrap_or(0),
+            epochs,
         }
     }
 }
 
-/// Point-in-time copy of a service's metrics (flush counters from
-/// [`ServiceStats`], cache counters merged in by the service handle).
+/// Registry of every registration's stats for one
+/// [`SimService`](crate::SimService). Registrations are append-only and
+/// indexed by slot, mirroring the service's own slot table.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    regs: RwLock<Vec<Arc<RegStats>>>,
+}
+
+impl ServiceStats {
+    /// Add stats for the next registration slot and return them.
+    pub fn register(&self) -> Arc<RegStats> {
+        let mut regs = self.regs.write().unwrap();
+        let stats = Arc::new(RegStats::new(regs.len() as u32));
+        regs.push(Arc::clone(&stats));
+        stats
+    }
+
+    /// Stats of one registration by slot index.
+    pub fn reg(&self, slot: usize) -> Option<Arc<RegStats>> {
+        self.regs.read().unwrap().get(slot).cloned()
+    }
+
+    /// All registrations, slot order.
+    pub fn registrations(&self) -> Vec<Arc<RegStats>> {
+        self.regs.read().unwrap().clone()
+    }
+
+    /// Aggregate snapshot: the fold over all registrations (queue-depth
+    /// gauges read as 0 here — the service handle supplies live depths
+    /// for [`RegSnapshot`]s it hands out). `cache_evictions` joins in
+    /// from the block cache, the one counter that has no per-registration
+    /// home (eviction happens to whichever entry is coldest globally).
+    pub fn snapshot(&self, cache_evictions: u64) -> StatsSnapshot {
+        let regs: Vec<RegSnapshot> = self
+            .regs
+            .read()
+            .unwrap()
+            .iter()
+            .map(|r| r.snapshot(0))
+            .collect();
+        StatsSnapshot::fold(&regs, cache_evictions)
+    }
+}
+
+/// Point-in-time copy of one `(registration, epoch)`'s flush counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSnapshot {
+    /// Epoch number (0 is the initial registration).
+    pub epoch: u64,
+    /// Blocks flushed under this epoch.
+    pub blocks: u64,
+    /// Blocks flushed because all lanes filled.
+    pub full_flushes: u64,
+    /// Blocks flushed because the oldest request hit `max_wait`.
+    pub deadline_flushes: u64,
+    /// Blocks drained by the hot swap that ended this epoch (0 or 1).
+    pub swap_flushes: u64,
+    /// Blocks drained at shutdown.
+    pub shutdown_flushes: u64,
+    /// Total occupied lanes over this epoch's flushed blocks.
+    pub lanes_filled: u64,
+    /// Total lane capacity of this epoch's flushed blocks.
+    pub lane_capacity: u64,
+    /// Sub-block cache hits under this epoch.
+    pub cache_hits: u64,
+    /// Sub-block cache misses under this epoch.
+    pub cache_misses: u64,
+    /// Flush-latency distribution (mergeable log₂ buckets).
+    pub latency: HistogramSnapshot,
+}
+
+impl EpochSnapshot {
+    /// Flush latency median (ns, log₂-bucket upper bound).
+    pub fn p50_flush_ns(&self) -> u64 {
+        self.latency.quantile_ns(0.50)
+    }
+
+    /// Flush latency 99th percentile (ns, log₂-bucket upper bound).
+    pub fn p99_flush_ns(&self) -> u64 {
+        self.latency.quantile_ns(0.99)
+    }
+}
+
+/// Point-in-time copy of one registration's stats: lifetime counters,
+/// the live queue-depth gauge, and every epoch's [`EpochSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegSnapshot {
+    /// Registration slot index.
+    pub slot: u32,
+    /// Requests accepted for this registration.
+    pub requests: u64,
+    /// Submissions rejected by backpressure.
+    pub queue_full: u64,
+    /// Live queue depth (pending lanes) when the snapshot was taken.
+    pub queue_depth: u64,
+    /// Current epoch (== completed swaps on this registration).
+    pub epoch: u64,
+    /// Per-epoch counters, epoch order (index == epoch number).
+    pub epochs: Vec<EpochSnapshot>,
+}
+
+/// Point-in-time copy of a service's aggregate metrics — the fold
+/// ([`StatsSnapshot::fold`]) of its per-registration snapshots.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatsSnapshot {
     /// Requests accepted.
@@ -198,7 +431,8 @@ pub struct StatsSnapshot {
     pub lane_capacity: u64,
     /// `lanes_filled / lane_capacity` — mean fraction of useful lanes.
     pub lane_occupancy: f64,
-    /// Flush latency median (ns, log₂-bucket upper bound).
+    /// Flush latency median (ns, log₂-bucket upper bound) over all
+    /// registrations' merged histograms.
     pub p50_flush_ns: u64,
     /// Flush latency 99th percentile (ns, log₂-bucket upper bound).
     pub p99_flush_ns: u64,
@@ -210,6 +444,64 @@ pub struct StatsSnapshot {
     pub cache_evictions: u64,
     /// `hits / (hits + misses)`, 0 with no lookups.
     pub cache_hit_rate: f64,
+}
+
+impl StatsSnapshot {
+    /// Fold per-registration snapshots into the aggregate view. This *is*
+    /// the definition of the aggregate: every counter (including the
+    /// latency quantiles, computed from the merged bucket arrays, and the
+    /// cache hit/miss totals) comes from the per-registration data —
+    /// `cache_evictions` is the one global joined in from the block
+    /// cache.
+    pub fn fold(regs: &[RegSnapshot], cache_evictions: u64) -> StatsSnapshot {
+        let mut out = StatsSnapshot {
+            requests: 0,
+            queue_full: 0,
+            blocks: 0,
+            full_flushes: 0,
+            deadline_flushes: 0,
+            swap_flushes: 0,
+            shutdown_flushes: 0,
+            swaps: 0,
+            lanes_filled: 0,
+            lane_capacity: 0,
+            lane_occupancy: 0.0,
+            p50_flush_ns: 0,
+            p99_flush_ns: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions,
+            cache_hit_rate: 0.0,
+        };
+        let mut latency = HistogramSnapshot::default();
+        for reg in regs {
+            out.requests += reg.requests;
+            out.queue_full += reg.queue_full;
+            out.swaps += reg.epoch;
+            for e in &reg.epochs {
+                out.blocks += e.blocks;
+                out.full_flushes += e.full_flushes;
+                out.deadline_flushes += e.deadline_flushes;
+                out.swap_flushes += e.swap_flushes;
+                out.shutdown_flushes += e.shutdown_flushes;
+                out.lanes_filled += e.lanes_filled;
+                out.lane_capacity += e.lane_capacity;
+                out.cache_hits += e.cache_hits;
+                out.cache_misses += e.cache_misses;
+                latency.merge(&e.latency);
+            }
+        }
+        if out.lane_capacity > 0 {
+            out.lane_occupancy = out.lanes_filled as f64 / out.lane_capacity as f64;
+        }
+        let lookups = out.cache_hits + out.cache_misses;
+        if lookups > 0 {
+            out.cache_hit_rate = out.cache_hits as f64 / lookups as f64;
+        }
+        out.p50_flush_ns = latency.quantile_ns(0.50);
+        out.p99_flush_ns = latency.quantile_ns(0.99);
+        out
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -262,44 +554,81 @@ mod tests {
 
     #[test]
     fn histogram_quantiles_track_log2_buckets() {
-        let mut h = Histogram::default();
+        let h = AtomicHistogram::default();
         for ns in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 100_000] {
             h.record(ns);
         }
-        assert_eq!(h.count(), 10);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 10);
         // 100 ns lands in bucket 7 (64..128); p50 reports its upper bound.
-        assert_eq!(h.quantile_ns(0.50), 128);
+        assert_eq!(snap.quantile_ns(0.50), 128);
         // The single 100 µs outlier only surfaces at the very top.
-        assert_eq!(h.quantile_ns(0.99), 131_072);
-        assert_eq!(h.quantile_ns(0.0), 128); // rank clamps to 1
+        assert_eq!(snap.quantile_ns(0.99), 131_072);
+        assert_eq!(snap.quantile_ns(0.0), 128); // rank clamps to 1
+        assert_eq!(snap.sum_ns, 9 * 100 + 100_000);
     }
 
     #[test]
     fn empty_histogram_reports_zero() {
-        let h = Histogram::default();
-        assert_eq!(h.quantile_ns(0.5), 0);
-        assert_eq!(h.count(), 0);
+        let snap = AtomicHistogram::default().snapshot();
+        assert_eq!(snap.quantile_ns(0.5), 0);
+        assert_eq!(snap.count(), 0);
     }
 
     #[test]
     fn zero_latency_is_representable() {
-        let mut h = Histogram::default();
+        let h = AtomicHistogram::default();
         h.record(0);
-        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.snapshot().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_records_concurrently_without_loss() {
+        let h = Arc::new(AtomicHistogram::default());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise() {
+        let a = AtomicHistogram::default();
+        let b = AtomicHistogram::default();
+        a.record(100);
+        b.record(100);
+        b.record(100_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.quantile_ns(0.50), 128);
+        assert_eq!(m.sum_ns, 200 + 100_000);
     }
 
     #[test]
     fn stats_accumulate_and_snapshot() {
         let stats = ServiceStats::default();
+        let reg = stats.register();
         for _ in 0..70 {
-            stats.record_request();
+            reg.record_request();
         }
-        stats.record_queue_full();
-        stats.record_queue_full();
-        stats.record_flush(FlushCause::Full, 64, 1, 2_000);
-        stats.record_flush(FlushCause::Deadline, 6, 1, 150_000);
-        stats.record_swap();
-        let snap = stats.snapshot();
+        reg.record_queue_full();
+        reg.record_queue_full();
+        let epoch = reg.current_epoch();
+        epoch.record_flush(FlushCause::Full, 64, 1, 2_000, 0, 1);
+        epoch.record_flush(FlushCause::Deadline, 6, 1, 150_000, 1, 0);
+        reg.begin_epoch();
+        let snap = stats.snapshot(0);
         assert_eq!(snap.requests, 70);
         assert_eq!(snap.queue_full, 2);
         assert_eq!(snap.blocks, 2);
@@ -310,6 +639,9 @@ mod tests {
         assert_eq!(snap.swaps, 1);
         assert_eq!(snap.lanes_filled, 70);
         assert!((snap.lane_occupancy - 70.0 / 128.0).abs() < 1e-12);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert!((snap.cache_hit_rate - 0.5).abs() < 1e-12);
         assert!(snap.p50_flush_ns >= 2_000);
         assert!(snap.p99_flush_ns >= snap.p50_flush_ns);
         // Display renders without panicking and mentions the headline
@@ -322,12 +654,14 @@ mod tests {
     #[test]
     fn swap_drains_count_separately_from_swaps() {
         let stats = ServiceStats::default();
-        // First swap drains a 10-lane partial queue; the second finds the
-        // queue empty (no flush recorded).
-        stats.record_swap();
-        stats.record_flush(FlushCause::Swap, 10, 1, 500);
-        stats.record_swap();
-        let snap = stats.snapshot();
+        let reg = stats.register();
+        // First swap drains a 10-lane partial queue under the outgoing
+        // epoch; the second finds the queue empty (no flush recorded).
+        reg.current_epoch()
+            .record_flush(FlushCause::Swap, 10, 1, 500, 0, 0);
+        reg.begin_epoch();
+        reg.begin_epoch();
+        let snap = stats.snapshot(0);
         assert_eq!(snap.swaps, 2);
         assert_eq!(snap.swap_flushes, 1);
         assert_eq!(snap.blocks, 1);
@@ -338,12 +672,58 @@ mod tests {
     #[test]
     fn multi_word_flushes_widen_the_capacity() {
         let stats = ServiceStats::default();
+        let reg = stats.register();
+        let epoch = reg.current_epoch();
         // A full 3-word block and a partial 130-lane (3-word) flush.
-        stats.record_flush(FlushCause::Full, 192, 3, 1_000);
-        stats.record_flush(FlushCause::Deadline, 130, 3, 1_000);
-        let snap = stats.snapshot();
+        epoch.record_flush(FlushCause::Full, 192, 3, 1_000, 0, 0);
+        epoch.record_flush(FlushCause::Deadline, 130, 3, 1_000, 0, 0);
+        let snap = stats.snapshot(0);
         assert_eq!(snap.lanes_filled, 322);
         assert_eq!(snap.lane_capacity, 384);
         assert!((snap.lane_occupancy - 322.0 / 384.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_epoch_counters_stay_segmented() {
+        let reg = RegStats::new(4);
+        reg.current_epoch()
+            .record_flush(FlushCause::Full, 64, 1, 1_000, 2, 0);
+        let e1 = reg.begin_epoch();
+        e1.record_flush(FlushCause::Deadline, 10, 1, 9_000, 0, 3);
+        let snap = reg.snapshot(7);
+        assert_eq!(snap.slot, 4);
+        assert_eq!(snap.queue_depth, 7);
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.epochs.len(), 2);
+        assert_eq!(snap.epochs[0].epoch, 0);
+        assert_eq!(snap.epochs[0].full_flushes, 1);
+        assert_eq!(snap.epochs[0].cache_hits, 2);
+        assert_eq!(snap.epochs[1].epoch, 1);
+        assert_eq!(snap.epochs[1].deadline_flushes, 1);
+        assert_eq!(snap.epochs[1].cache_misses, 3);
+        assert!(snap.epochs[1].p50_flush_ns() >= 9_000);
+    }
+
+    #[test]
+    fn fold_of_registrations_matches_manual_totals() {
+        let stats = ServiceStats::default();
+        let a = stats.register();
+        let b = stats.register();
+        a.record_request();
+        a.record_request();
+        b.record_request();
+        a.current_epoch()
+            .record_flush(FlushCause::Full, 64, 1, 1_000, 1, 1);
+        b.current_epoch()
+            .record_flush(FlushCause::Deadline, 32, 1, 64_000, 0, 2);
+        let folded = stats.snapshot(5);
+        assert_eq!(folded.requests, 3);
+        assert_eq!(folded.blocks, 2);
+        assert_eq!(folded.cache_hits, 1);
+        assert_eq!(folded.cache_misses, 3);
+        assert_eq!(folded.cache_evictions, 5);
+        // Merged histogram spans both registrations' observations.
+        assert_eq!(folded.p50_flush_ns, 1_024);
+        assert_eq!(folded.p99_flush_ns, 65_536);
     }
 }

@@ -15,7 +15,11 @@
 //! * [`fault`] — defect injection, repair and yield analysis (with
 //!   deterministic parallel Monte-Carlo),
 //! * [`serve`] — the request-batching simulation service: lane-packing
-//!   batcher, sharded result cache, worker-pool bulk sweeps.
+//!   batcher, sharded result cache, worker-pool bulk sweeps,
+//! * [`obs`] — the observability layer: structured-event ring buffer,
+//!   [`Recorder`](obs::Recorder) sink trait, Prometheus-text and JSON
+//!   metric exporters (per-registration serve metrics plug in via
+//!   `serve::metric_families`).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +42,7 @@
 //! ```
 
 pub use ambipla_core as core;
+pub use ambipla_obs as obs;
 pub use ambipla_serve as serve;
 pub use cnfet as device;
 pub use fault;

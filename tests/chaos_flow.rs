@@ -15,7 +15,12 @@
 //!   the swap — instrumented with counting backends that observe every
 //!   real evaluation,
 //! * **(c)** the service's `stats()` swap/epoch counters reconcile
-//!   exactly with the driver's own swap log.
+//!   exactly with the driver's own swap log,
+//! * **(d)** the structured event log is consistent: an [`EventRing`]
+//!   recorder drained by a concurrent collector thread sees every swap
+//!   in the driver's log exactly once, with the correct
+//!   `(from_epoch, to_epoch)` pair, and — the ring being drained faster
+//!   than it fills — loses nothing (`dropped() == 0`).
 //!
 //! Zero requests may be dropped: every submission must produce exactly
 //! one reply. `AMBIPLA_CHAOS_ITERS` overrides the default 60 swaps (CI
@@ -25,6 +30,7 @@ use ambipla::core::{EpochOracle, GnorPla, Simulator};
 use ambipla::fault::{repair_with_columns, ColumnRepairOutcome, DefectMap, FaultyGnorPla};
 use ambipla::logic::espresso::espresso;
 use ambipla::logic::Cover;
+use ambipla::obs::{Event, EventKind, EventRing};
 use ambipla::serve::{reply_channel, ServeConfig, SharedSim, SimKey, SimService};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -144,13 +150,38 @@ fn chaos_hot_swaps_under_load_keep_every_reply_epoch_consistent() {
         DefectMap::clean(dims.products, dims.inputs, dims.outputs),
     );
 
-    let service = SimService::start(ServeConfig {
-        max_wait: Duration::from_micros(100),
-        cache_capacity: 256,
-        cache_shards: 4,
-        block_words: 2,
-        ..ServeConfig::default()
-    });
+    // (d) the event recorder: a lock-free ring drained by a concurrent
+    // collector thread, so the producers never see a full ring and the
+    // chaos run's complete structured-event history is available for the
+    // consistency checks at the end.
+    let ring = Arc::new(EventRing::with_capacity(1 << 14));
+    let collector_stop = Arc::new(AtomicBool::new(false));
+    let collector = {
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&collector_stop);
+        std::thread::spawn(move || {
+            let mut events: Vec<Event> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                match ring.pop() {
+                    Some(e) => events.push(e),
+                    None => std::thread::yield_now(),
+                }
+            }
+            events.extend(ring.drain());
+            events
+        })
+    };
+
+    let service = SimService::start_with_recorder(
+        ServeConfig {
+            max_wait: Duration::from_micros(100),
+            cache_capacity: 256,
+            cache_shards: 4,
+            block_words: 2,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&ring) as Arc<dyn ambipla::obs::Recorder>,
+    );
     let initial: SharedSim = Arc::new(nominal);
     let oracle = EpochOracle::new(Arc::clone(&initial));
     let fid = service.register_sim(initial, SimKey::new(0xfad));
@@ -272,6 +303,66 @@ fn chaos_hot_swaps_under_load_keep_every_reply_epoch_consistent() {
     assert_eq!(
         snap.lanes_filled, submitted,
         "zero dropped requests: every submission left through a flush"
+    );
+
+    // (d) event-log consistency. The shutdown above flushed the final
+    // events, so the collector now holds the complete history.
+    collector_stop.store(true, Ordering::Relaxed);
+    let events = collector.join().expect("collector thread panicked");
+    assert_eq!(
+        ring.dropped(),
+        0,
+        "the drained ring never filled: no event may be lost below capacity"
+    );
+    assert_eq!(ring.pushed(), events.len() as u64);
+
+    // Exactly one Register for the chaos registration.
+    let registers = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Register { slot: 0 }))
+        .count();
+    assert_eq!(registers, 1);
+
+    // Every swap in the driver's log — plus the counting-probe swap —
+    // appears in the ring exactly once, with the correct epoch pair.
+    let mut swap_pairs: Vec<(u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Swap {
+                slot: 0,
+                from_epoch,
+                to_epoch,
+                ..
+            } => Some((from_epoch, to_epoch)),
+            _ => None,
+        })
+        .collect();
+    // Swap events are emitted by the single batcher thread in order, so
+    // the ring preserves their sequence — but sort anyway so the check
+    // only relies on "exactly once", not on FIFO.
+    swap_pairs.sort_unstable();
+    let expected: Vec<(u64, u64)> = (1..=swaps + 1).map(|k| (k - 1, k)).collect();
+    assert_eq!(
+        swap_pairs, expected,
+        "each driver-logged swap k must appear exactly once as (k-1, k)"
+    );
+
+    // Flush events reconcile with the counter fold: same lane total,
+    // every flush stamped with an epoch the driver actually created.
+    let mut flush_lanes = 0u64;
+    for e in &events {
+        if let EventKind::Flush {
+            slot, epoch, lanes, ..
+        } = e.kind
+        {
+            assert_eq!(slot, 0);
+            assert!(epoch <= swaps + 1);
+            flush_lanes += lanes as u64;
+        }
+    }
+    assert_eq!(
+        flush_lanes, snap.lanes_filled,
+        "the event log and the counters tell the same lane story"
     );
 }
 
