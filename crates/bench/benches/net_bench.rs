@@ -1,0 +1,195 @@
+//! Wall-clock loopback throughput of the TCP front end (`ambipla_net`).
+//!
+//! Four pipelined client connections (one thread each, two tenants)
+//! stream single-vector requests at a two-shard service hosting two
+//! registrations of the 3-input full adder — one per batcher shard.
+//! Every reply is verified against the adder's truth table, and the run
+//! counts aggregate requests per second over the full stack: wire
+//! codec, hello authentication, token-bucket admission, DRR scheduling,
+//! dispatch, batching, reply streaming.
+//!
+//! This is a plain wall-clock harness rather than a criterion loop
+//! because the quantity of interest — aggregate req/s across
+//! concurrent connections and batcher shards — only exists across
+//! threads.
+//!
+//! Floors: the ≥ 1,000,000 req/s aggregate target is asserted on hosts
+//! with ≥ 4 hardware threads (clients, shards and the dispatcher need
+//! real parallelism to hit it); a 100,000 req/s sanity floor is asserted
+//! everywhere, and the measured number is always written to
+//! `BENCH_net.json` (path override: `AMBIPLA_BENCH_JSON`, smoke mode:
+//! `AMBIPLA_BENCH_SMOKE=1` — the same convention as the other bench
+//! reports).
+
+use ambipla_net::{Frame, NetClient, NetConfig, NetServer, TenantId};
+use ambipla_serve::{shard_for_key, ServeConfig, SimKey, SimService};
+use logic::Cover;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Requests per connection per round.
+const PER_CONN: u64 = 16_384;
+/// Pipelined requests in flight per connection.
+const WINDOW: u64 = 128;
+/// Concurrent client connections (the issue floor is ≥ 4).
+const CONNS: u64 = 4;
+
+fn adder() -> Cover {
+    Cover::parse(
+        "110 01\n101 01\n011 01\n111 01\n100 10\n010 10\n001 10\n111 10",
+        3,
+        2,
+    )
+    .expect("valid cover")
+}
+
+/// One timed round: `CONNS` fresh connections each pump `per_conn`
+/// verified requests. Returns aggregate requests per second.
+fn round(addr: std::net::SocketAddr, keys: &[SimKey], truth: &[Vec<bool>], per_conn: u64) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for conn in 0..CONNS {
+            let keys = &keys;
+            let truth = &truth;
+            s.spawn(move || {
+                // Two tenants across the four connections.
+                let mut client =
+                    NetClient::connect(addr, TenantId::new(conn % 2)).expect("connect");
+                let mut received = 0u64;
+                let mut sent = 0u64;
+                while received < per_conn {
+                    while sent < per_conn && sent - received < WINDOW {
+                        let bits = sent & 0b111;
+                        let key = keys[(sent & 1) as usize];
+                        client.queue_request(key, sent << 3 | bits, bits);
+                        sent += 1;
+                    }
+                    client.flush().expect("flush window");
+                    match client.recv().expect("recv reply") {
+                        Frame::Reply {
+                            req_id, outputs, ..
+                        } => {
+                            assert_eq!(
+                                outputs,
+                                truth[(req_id & 0b111) as usize],
+                                "conn {conn}: wrong answer for request {req_id}"
+                            );
+                            received += 1;
+                        }
+                        other => panic!("conn {conn}: unexpected frame {other:?}"),
+                    }
+                    // Drain whatever else is already buffered.
+                    while received < sent {
+                        match client.recv().expect("recv reply") {
+                            Frame::Reply {
+                                req_id, outputs, ..
+                            } => {
+                                assert_eq!(outputs, truth[(req_id & 0b111) as usize]);
+                                received += 1;
+                            }
+                            other => panic!("conn {conn}: unexpected frame {other:?}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (CONNS * per_conn) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = std::env::var("AMBIPLA_BENCH_SMOKE").is_ok();
+    let per_conn = if smoke { PER_CONN / 4 } else { PER_CONN };
+    let rounds = if smoke { 2 } else { 4 };
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let spec = adder();
+    let truth: Vec<Vec<bool>> = (0..8u64).map(|bits| spec.eval_bits(bits)).collect();
+
+    let service = Arc::new(
+        SimService::start(ServeConfig {
+            shards: 2,
+            block_words: 4,
+            max_wait: Duration::from_micros(100),
+            queue_depth: 16_384,
+            ..ServeConfig::default()
+        })
+        .expect("valid config"),
+    );
+    // One registration per shard, so the run provably spans both
+    // batcher threads.
+    let key_a = (0..64u64)
+        .map(SimKey::new)
+        .find(|&k| shard_for_key(k, 2) == 0)
+        .expect("a key on shard 0");
+    let key_b = (0..64u64)
+        .map(SimKey::new)
+        .find(|&k| shard_for_key(k, 2) == 1)
+        .expect("a key on shard 1");
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
+        .expect("bind loopback");
+    server.register_sim(Arc::new(spec.clone()), key_a);
+    server.register_sim(Arc::new(spec), key_b);
+    let addr = server.local_addr();
+    let keys = [key_a, key_b];
+
+    // Warmup round, then best-of-`rounds` timed rounds.
+    let mut best = 0f64;
+    round(addr, &keys, &truth, per_conn.min(2048));
+    for r in 0..rounds {
+        let rps = round(addr, &keys, &truth, per_conn);
+        println!(
+            "net_loopback round {r}: {:.0} req/s ({CONNS} conns × {per_conn} requests)",
+            rps
+        );
+        best = best.max(rps);
+    }
+    println!(
+        "net_loopback best: {best:.0} req/s aggregate ({CONNS} connections, 2 shards, \
+         {hw_threads} hw threads)"
+    );
+
+    // Per-tenant accounting must balance exactly: every request was
+    // admitted and answered, nothing rejected.
+    let total = CONNS * (per_conn * rounds as u64 + per_conn.min(2048));
+    let stats = server.tenant_stats();
+    let accepted: u64 = stats.iter().map(|s| s.accepted).sum();
+    let replies: u64 = stats.iter().map(|s| s.replies).sum();
+    assert_eq!(accepted, total, "every request admitted");
+    assert_eq!(replies, total, "every request answered");
+    assert!(stats
+        .iter()
+        .all(|s| s.quota_rejected + s.queue_full + s.unknown_sim + s.bad_arity == 0));
+    server.shutdown();
+
+    assert!(
+        best >= 100_000.0,
+        "sanity floor: loopback front end must sustain ≥ 100k req/s aggregate \
+         on any host, measured {best:.0}"
+    );
+    if hw_threads >= 4 {
+        assert!(
+            best >= 1_000_000.0,
+            "acceptance floor: ≥ 1M req/s aggregate across {CONNS} connections \
+             and 2 shards on a ≥4-thread host, measured {best:.0}"
+        );
+    } else {
+        println!("net_loopback: 1M req/s floor not asserted ({hw_threads} hw threads < 4)");
+    }
+
+    let path = std::env::var("AMBIPLA_BENCH_JSON").unwrap_or_else(|_| "BENCH_net.json".to_string());
+    let mode = if smoke { "smoke" } else { "full" };
+    let body = format!(
+        "{{\n  \"bench\": \"net\",\n  \"mode\": \"{mode}\",\n  \"workload\": \"adder3_loopback\",\n  \
+         \"connections\": {CONNS},\n  \"shards\": 2,\n  \"hw_threads\": {hw_threads},\n  \
+         \"requests_per_conn\": {per_conn},\n  \"best_req_per_sec\": {best:.0},\n  \
+         \"million_rps_floor_asserted\": {}\n}}\n",
+        hw_threads >= 4
+    );
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -17,14 +17,19 @@
 //!    identical.
 //! 5. Runs the yield Monte-Carlo sequentially and sharded
 //!    ([`fault::yield_curve_parallel`]) and checks bit-identical curves.
+//! 6. Puts the TCP front end (`ambipla_net`) in front of a two-shard
+//!    service on loopback: two tenants, verified replies, a rate-limited
+//!    tenant driven into quota rejection, per-tenant counters checked.
 //!
 //! Any mismatch panics (non-zero exit); the happy path prints the service
 //! stats table. Run:
 //! `cargo run --release -p bench --bin service_demo`
 
 use ambipla_core::{EpochOracle, GnorPla};
+use ambipla_net::{Frame, NetClient, NetConfig, NetServer, QuotaConfig, TenantId};
 use ambipla_serve::{
-    eval_sims_blocked, reply_channel, SharedSim, SimKey, SimService, Simulator, WorkerPool,
+    eval_sims_blocked, reply_channel, shard_for_key, ServeConfig, SharedSim, SimKey, SimService,
+    Simulator, WorkerPool,
 };
 use fault::{repair_with_columns, ColumnRepairOutcome, DefectKind, DefectMap, FaultyGnorPla};
 use std::sync::Arc;
@@ -264,6 +269,116 @@ fn main() {
             p.improvement()
         );
     }
+
+    println!();
+
+    // ---- 6. Network front end: multi-tenant TCP over loopback. ---------
+    // A two-shard service behind a NetServer, with the two exposed
+    // registrations provably on different batcher shards. Tenant 1 runs
+    // unlimited and verified; tenant 9 gets a burst-25, zero-refill
+    // quota and is driven into QuotaExceeded rejections.
+    let net_service = Arc::new(
+        SimService::start(ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        })
+        .expect("valid config"),
+    );
+    let net_key_a = (0..64u64)
+        .map(SimKey::new)
+        .find(|&k| shard_for_key(k, 2) == 0)
+        .expect("a key on shard 0");
+    let net_key_b = (0..64u64)
+        .map(SimKey::new)
+        .find(|&k| shard_for_key(k, 2) == 1)
+        .expect("a key on shard 1");
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&net_service),
+        NetConfig::default(),
+    )
+    .expect("bind loopback");
+    let net_id_a = server.register_sim(Arc::new(adder.clone()), net_key_a);
+    let net_id_b = server.register_sim(Arc::new(adder_pla.clone()), net_key_b);
+    assert_ne!(
+        net_service.shard_of(net_id_a),
+        net_service.shard_of(net_id_b),
+        "the demo's two network registrations must span both shards"
+    );
+    server.set_quota(
+        TenantId::new(9),
+        QuotaConfig {
+            rate_per_sec: 0,
+            burst: 25,
+        },
+    );
+
+    // Tenant 1: 200 pipelined requests across both registrations, every
+    // reply verified against the adder truth.
+    let mut t1_client =
+        NetClient::connect(server.local_addr(), TenantId::new(1)).expect("connect tenant 1");
+    let t1_requests = 200u64;
+    for i in 0..t1_requests {
+        let key = if i % 2 == 0 { net_key_a } else { net_key_b };
+        t1_client.queue_request(key, i, i % 8);
+    }
+    t1_client.flush().expect("flush tenant 1");
+    for _ in 0..t1_requests {
+        match t1_client.recv().expect("recv tenant 1") {
+            Frame::Reply {
+                req_id, outputs, ..
+            } => assert_eq!(
+                outputs,
+                adder.eval_bits(req_id % 8),
+                "tenant 1 request {req_id} answered wrong over the wire"
+            ),
+            other => panic!("tenant 1: unexpected frame {other:?}"),
+        }
+    }
+
+    // Tenant 9: 40 requests against a 25-token bucket — the overflow
+    // must come back as typed QuotaExceeded errors, not drops.
+    let mut t9_client =
+        NetClient::connect(server.local_addr(), TenantId::new(9)).expect("connect tenant 9");
+    let mut t9_served = 0u64;
+    let mut t9_rejected = 0u64;
+    for i in 0..40u64 {
+        match t9_client.call(net_key_a, i, i % 8).expect("call tenant 9") {
+            Frame::Reply { .. } => t9_served += 1,
+            Frame::Error { code, .. } => {
+                assert_eq!(code.to_string(), "quota_exceeded");
+                t9_rejected += 1;
+            }
+            other => panic!("tenant 9: unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(
+        (t9_served, t9_rejected),
+        (25, 15),
+        "a zero-refill 25-token bucket serves exactly its burst"
+    );
+
+    // Per-tenant counters reconcile with what the demo just drove.
+    let tenant_stats = server.tenant_stats();
+    let of = |t: u64| {
+        tenant_stats
+            .iter()
+            .find(|s| s.id == TenantId::new(t))
+            .expect("tenant seen")
+    };
+    assert_eq!(of(1).accepted, t1_requests);
+    assert_eq!(of(1).replies, t1_requests);
+    assert_eq!(of(1).quota_rejected, 0);
+    assert_eq!(of(9).accepted, t9_served);
+    assert_eq!(of(9).quota_rejected, t9_rejected);
+    println!(
+        "network: {} verified replies for tenant 1 over 2 shards; tenant 9's zero-refill \
+         quota served {t9_served} and rejected {t9_rejected} with typed errors",
+        t1_requests
+    );
+    drop(t1_client);
+    drop(t9_client);
+    server.shutdown();
 
     println!();
     println!("service demo OK");

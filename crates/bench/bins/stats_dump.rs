@@ -14,9 +14,14 @@
 //! output, so CI can pipe it straight into a validator. The workload
 //! guarantees the properties the smoke step greps for: at least three
 //! registrations, at least one registration with three epochs (two hot
-//! swaps), cache traffic, and a rejected submission (queue-full).
+//! swaps), cache traffic, a rejected submission (queue-full), and — via
+//! a loopback [`NetServer`] workload — tenant-labeled front-end
+//! families with a non-zero quota rejection. The scrape concatenates
+//! `SimService::metric_families` (12 families) with
+//! `NetServer::metric_families` (7 tenant-labeled families).
 
 use ambipla_core::GnorPla;
+use ambipla_net::{Frame, NetClient, NetConfig, NetServer, QuotaConfig, TenantId};
 use ambipla_obs::{json_text, prometheus_text, EventKind, EventRing};
 use ambipla_serve::{ServeConfig, SimKey, SimService};
 use std::sync::Arc;
@@ -82,6 +87,46 @@ fn workload(service: &SimService) {
     assert!(rejected > 0, "workload must exercise backpressure");
 }
 
+/// Loopback TCP traffic so the seven `ambipla_net_*` families carry
+/// tenant-labeled samples: tenant 1 streams verified requests, tenant 9
+/// runs into a zero-refill quota so `quota_rejects_total` is non-zero.
+fn net_workload(server: &NetServer) {
+    let xor = logic::Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
+    let key = SimKey::new(7);
+    server.register_sim(Arc::new(xor.clone()), key);
+    let addr = server.local_addr();
+
+    let mut client = NetClient::connect(addr, TenantId::new(1)).expect("connect tenant 1");
+    for i in 0..64u64 {
+        let bits = i % 4;
+        match client.call(key, i, bits).expect("round trip") {
+            Frame::Reply { outputs, .. } => assert_eq!(outputs, xor.eval_bits(bits)),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    server.set_quota(
+        TenantId::new(9),
+        QuotaConfig {
+            rate_per_sec: 0,
+            burst: 4,
+        },
+    );
+    let mut client = NetClient::connect(addr, TenantId::new(9)).expect("connect tenant 9");
+    let mut rejected = 0usize;
+    for i in 0..8u64 {
+        match client.call(key, i, i % 4).expect("round trip") {
+            Frame::Reply { .. } => {}
+            Frame::Error { code, .. } => {
+                assert_eq!(code.to_string(), "quota_exceeded");
+                rejected += 1;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(rejected, 4, "zero-refill quota must reject past its burst");
+}
+
 fn main() {
     let format = std::env::args().nth(1);
     let ring = Arc::new(EventRing::with_capacity(1 << 14));
@@ -90,10 +135,16 @@ fn main() {
         queue_depth: 256,
         ..ServeConfig::default()
     };
-    let service = SimService::start_with_recorder(config, ring.clone());
+    let service =
+        Arc::new(SimService::start_with_recorder(config, ring.clone()).expect("valid config"));
     workload(&service);
 
-    let families = service.metric_families();
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
+        .expect("bind loopback");
+    net_workload(&server);
+
+    let mut families = service.metric_families();
+    families.extend(server.metric_families());
     match format.as_deref() {
         Some("prometheus") => print!("{}", prometheus_text(&families)),
         Some("json") => println!("{}", json_text(&families)),
@@ -119,5 +170,8 @@ fn main() {
             );
         }
     }
-    service.shutdown();
+    server.shutdown();
+    Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("all service handles released"))
+        .shutdown();
 }

@@ -1,0 +1,120 @@
+//! Blocking client for the wire protocol — the reference peer used by
+//! tests, benches and demos (and a template for real clients).
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ambipla_serve::SimKey;
+
+use crate::protocol::{encode_frame, Frame, FrameReader, WireError};
+use crate::tenant::TenantId;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level error (includes `UnexpectedEof` when the server
+    /// closes mid-frame).
+    Io(std::io::Error),
+    /// The server sent bytes the codec rejects.
+    Wire(WireError),
+    /// The server sent a well-formed frame the client did not expect
+    /// here (e.g. something other than `HelloOk` during the handshake).
+    UnexpectedFrame,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::UnexpectedFrame => f.write_str("unexpected frame"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to a [`NetServer`](crate::NetServer),
+/// authenticated as one tenant.
+///
+/// Requests can be pipelined: queue many with
+/// [`queue_request`](NetClient::queue_request), [`flush`](NetClient::flush)
+/// once, then collect replies with [`recv`](NetClient::recv) —
+/// correlating by `req_id`, since the server replies out of order.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+}
+
+impl NetClient {
+    /// Connect, send the hello for `tenant`, and wait for `HelloOk`.
+    pub fn connect<A: ToSocketAddrs>(addr: A, tenant: TenantId) -> Result<NetClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = NetClient {
+            stream,
+            reader: FrameReader::new(),
+            rbuf: vec![0u8; 16 * 1024],
+            wbuf: Vec::new(),
+        };
+        encode_frame(&Frame::Hello { tenant }, &mut client.wbuf);
+        client.flush()?;
+        match client.recv()? {
+            Frame::HelloOk => Ok(client),
+            _ => Err(ClientError::UnexpectedFrame),
+        }
+    }
+
+    /// Encode a request into the write buffer (nothing hits the socket
+    /// until [`flush`](NetClient::flush)).
+    pub fn queue_request(&mut self, sim: SimKey, req_id: u64, bits: u64) {
+        encode_frame(&Frame::Request { req_id, sim, bits }, &mut self.wbuf);
+    }
+
+    /// Write every buffered frame to the socket.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.stream.write_all(&self.wbuf)?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// Block until the next frame arrives from the server.
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        loop {
+            if let Some(frame) = self.reader.next_frame()? {
+                return Ok(frame);
+            }
+            let n = self.stream.read(&mut self.rbuf)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.reader.extend(&self.rbuf[..n]);
+        }
+    }
+
+    /// One full round trip: send a single request, wait for its
+    /// `Reply` or `Error` frame.
+    pub fn call(&mut self, sim: SimKey, req_id: u64, bits: u64) -> Result<Frame, ClientError> {
+        self.queue_request(sim, req_id, bits);
+        self.flush()?;
+        self.recv()
+    }
+}

@@ -1,0 +1,573 @@
+//! Length-prefixed binary wire protocol for the TCP front end.
+//!
+//! Every frame on the wire is `[u32 length (LE)][payload]`, where
+//! `length` counts the payload bytes only and the payload is
+//! `[u8 kind][body]` with every integer little-endian. The five frame
+//! kinds:
+//!
+//! | kind | frame       | body layout                                             | payload bytes |
+//! |------|-------------|---------------------------------------------------------|---------------|
+//! | 0x01 | `Hello`     | magic `u32`, version `u8`, tenant `u64`                 | 14            |
+//! | 0x02 | `HelloOk`   | magic `u32`, version `u8`                               | 6             |
+//! | 0x03 | `Request`   | req_id `u64`, sim key `u64`, input bits `u64`           | 25            |
+//! | 0x04 | `Reply`     | req_id `u64`, epoch `u64`, n_outputs `u16`, output words| 19 + 8·⌈n/64⌉ |
+//! | 0x05 | `Error`     | req_id `u64`, error code `u8`                           | 10            |
+//!
+//! Reply output words pack output `i` into bit `i % 64` of word
+//! `i / 64` — the same signal-major lane packing the simulator core
+//! uses. Decoding is *exact*: a payload shorter than its layout is
+//! [`WireError::Truncated`], a longer one is
+//! [`WireError::TrailingBytes`], and nothing in this module panics on
+//! attacker-controlled bytes (the codec proptest drives arbitrary junk
+//! through [`decode_payload`] and [`FrameReader`]).
+
+use ambipla_serve::SimKey;
+
+use crate::tenant::TenantId;
+
+/// Protocol magic carried by `Hello` / `HelloOk` frames: `"AMBP"` as a
+/// big-endian u32 literal, written little-endian on the wire.
+pub const MAGIC: u32 = 0x414d_4250;
+
+/// Wire protocol version negotiated in the hello exchange.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a frame's payload size in bytes.
+///
+/// A length prefix above this is rejected as [`WireError::Oversized`]
+/// before any buffering happens, so a hostile peer cannot make
+/// [`FrameReader`] allocate unboundedly.
+pub const MAX_FRAME: usize = 4096;
+
+const KIND_HELLO: u8 = 0x01;
+const KIND_HELLO_OK: u8 = 0x02;
+const KIND_REQUEST: u8 = 0x03;
+const KIND_REPLY: u8 = 0x04;
+const KIND_ERROR: u8 = 0x05;
+
+/// Typed request-rejection codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The target registration's bounded queue was full (service
+    /// backpressure, the TCP face of `ambipla_serve::QueueFull`).
+    QueueFull = 1,
+    /// The request named a `SimKey` the server has not exposed.
+    UnknownSim = 2,
+    /// The request set input bits above the registration's input arity.
+    BadArity = 3,
+    /// The connection's tenant ran out of token-bucket quota.
+    QuotaExceeded = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(raw: u8) -> Option<ErrorCode> {
+        match raw {
+            1 => Some(ErrorCode::QueueFull),
+            2 => Some(ErrorCode::UnknownSim),
+            3 => Some(ErrorCode::BadArity),
+            4 => Some(ErrorCode::QuotaExceeded),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::UnknownSim => "unknown_sim",
+            ErrorCode::BadArity => "bad_arity",
+            ErrorCode::QuotaExceeded => "quota_exceeded",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A decoded protocol frame.
+///
+/// `Hello`/`HelloOk` are the connection handshake, `Request`/`Reply`
+/// carry traffic (correlated by `req_id`, never by ordering — replies
+/// stream back out of order), and `Error` is the typed per-request
+/// rejection path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: authenticate the connection as `tenant`.
+    Hello {
+        /// Tenant every subsequent request on this connection bills to.
+        tenant: TenantId,
+    },
+    /// Server → client: hello accepted, requests may flow.
+    HelloOk,
+    /// Client → server: evaluate `bits` on the registration exposed as
+    /// `sim`.
+    Request {
+        /// Caller-chosen correlation id echoed in the `Reply`/`Error`.
+        req_id: u64,
+        /// Stable key of the target registration.
+        sim: SimKey,
+        /// Packed input vector (bit `i` = input `i`).
+        bits: u64,
+    },
+    /// Server → client: outputs for the request tagged `req_id`.
+    Reply {
+        /// Correlation id of the request this answers.
+        req_id: u64,
+        /// Registration epoch that served the request (hot-swap
+        /// generation — see `ambipla_serve::SimService::swap_sim`).
+        epoch: u64,
+        /// Output bits, `outputs[i]` = output `i`.
+        outputs: Vec<bool>,
+    },
+    /// Server → client: the request tagged `req_id` was rejected.
+    Error {
+        /// Correlation id of the rejected request.
+        req_id: u64,
+        /// Why it was rejected.
+        code: ErrorCode,
+    },
+}
+
+/// Typed decode failures. Every malformed input maps to one of these —
+/// the decoder never panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before its layout was complete.
+    Truncated {
+        /// Bytes the layout requires.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversized {
+        /// The offending length prefix.
+        len: usize,
+    },
+    /// A hello-family frame carried the wrong magic.
+    BadMagic {
+        /// The magic actually found.
+        found: u32,
+    },
+    /// A hello-family frame carried an unsupported version.
+    BadVersion {
+        /// The version actually found.
+        found: u8,
+    },
+    /// The payload's kind byte is not a known frame kind.
+    UnknownKind {
+        /// The kind byte actually found.
+        found: u8,
+    },
+    /// An `Error` frame carried a code outside [`ErrorCode`].
+    BadErrorCode {
+        /// The code byte actually found.
+        found: u8,
+    },
+    /// The payload was longer than its layout.
+    TrailingBytes {
+        /// Bytes the layout requires.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::Oversized { len } => {
+                write!(f, "oversized frame: length prefix {len} > {MAX_FRAME}")
+            }
+            WireError::BadMagic { found } => write!(f, "bad magic {found:#010x}"),
+            WireError::BadVersion { found } => write!(f, "unsupported protocol version {found}"),
+            WireError::UnknownKind { found } => write!(f, "unknown frame kind {found:#04x}"),
+            WireError::BadErrorCode { found } => write!(f, "unknown error code {found}"),
+            WireError::TrailingBytes { expected, got } => {
+                write!(f, "trailing bytes: layout is {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(buf[at..at + 2].try_into().expect("bounds checked"))
+}
+
+fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn get_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Append `frame` to `out` in wire form: `[u32 payload length][payload]`.
+///
+/// Encoding is infallible; `out` is appended to, not cleared, so a
+/// caller can pack several frames into one write buffer.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let len_at = out.len();
+    put_u32(out, 0); // patched below once the payload length is known
+    match frame {
+        Frame::Hello { tenant } => {
+            out.push(KIND_HELLO);
+            put_u32(out, MAGIC);
+            out.push(VERSION);
+            put_u64(out, tenant.raw());
+        }
+        Frame::HelloOk => {
+            out.push(KIND_HELLO_OK);
+            put_u32(out, MAGIC);
+            out.push(VERSION);
+        }
+        Frame::Request { req_id, sim, bits } => {
+            out.push(KIND_REQUEST);
+            put_u64(out, *req_id);
+            put_u64(out, sim.raw());
+            put_u64(out, *bits);
+        }
+        Frame::Reply {
+            req_id,
+            epoch,
+            outputs,
+        } => {
+            out.push(KIND_REPLY);
+            put_u64(out, *req_id);
+            put_u64(out, *epoch);
+            put_u16(out, outputs.len() as u16);
+            for chunk in outputs.chunks(64) {
+                let mut word = 0u64;
+                for (i, &bit) in chunk.iter().enumerate() {
+                    word |= (bit as u64) << i;
+                }
+                put_u64(out, word);
+            }
+        }
+        Frame::Error { req_id, code } => {
+            out.push(KIND_ERROR);
+            put_u64(out, *req_id);
+            out.push(*code as u8);
+        }
+    }
+    let payload_len = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+}
+
+fn check_exact(payload: &[u8], expected: usize) -> Result<(), WireError> {
+    match payload.len().cmp(&expected) {
+        std::cmp::Ordering::Less => Err(WireError::Truncated {
+            needed: expected,
+            got: payload.len(),
+        }),
+        std::cmp::Ordering::Greater => Err(WireError::TrailingBytes {
+            expected,
+            got: payload.len(),
+        }),
+        std::cmp::Ordering::Equal => Ok(()),
+    }
+}
+
+fn check_hello_header(payload: &[u8]) -> Result<(), WireError> {
+    let magic = get_u32(payload, 1);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let version = payload[5];
+    if version != VERSION {
+        return Err(WireError::BadVersion { found: version });
+    }
+    Ok(())
+}
+
+/// Decode one frame payload (the bytes *after* the length prefix).
+///
+/// Exact-length: short payloads are [`WireError::Truncated`], long ones
+/// [`WireError::TrailingBytes`]. Never panics, whatever the input.
+pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+    if payload.is_empty() {
+        return Err(WireError::Truncated { needed: 1, got: 0 });
+    }
+    match payload[0] {
+        KIND_HELLO => {
+            check_exact(payload, 14)?;
+            check_hello_header(payload)?;
+            Ok(Frame::Hello {
+                tenant: TenantId::new(get_u64(payload, 6)),
+            })
+        }
+        KIND_HELLO_OK => {
+            check_exact(payload, 6)?;
+            check_hello_header(payload)?;
+            Ok(Frame::HelloOk)
+        }
+        KIND_REQUEST => {
+            check_exact(payload, 25)?;
+            Ok(Frame::Request {
+                req_id: get_u64(payload, 1),
+                sim: SimKey::new(get_u64(payload, 9)),
+                bits: get_u64(payload, 17),
+            })
+        }
+        KIND_REPLY => {
+            if payload.len() < 19 {
+                return Err(WireError::Truncated {
+                    needed: 19,
+                    got: payload.len(),
+                });
+            }
+            let n_outputs = get_u16(payload, 17) as usize;
+            let words = n_outputs.div_ceil(64);
+            check_exact(payload, 19 + 8 * words)?;
+            let mut outputs = Vec::with_capacity(n_outputs);
+            for i in 0..n_outputs {
+                let word = get_u64(payload, 19 + 8 * (i / 64));
+                outputs.push(word >> (i % 64) & 1 == 1);
+            }
+            Ok(Frame::Reply {
+                req_id: get_u64(payload, 1),
+                epoch: get_u64(payload, 9),
+                outputs,
+            })
+        }
+        KIND_ERROR => {
+            check_exact(payload, 10)?;
+            let code = ErrorCode::from_u8(payload[9])
+                .ok_or(WireError::BadErrorCode { found: payload[9] })?;
+            Ok(Frame::Error {
+                req_id: get_u64(payload, 1),
+                code,
+            })
+        }
+        other => Err(WireError::UnknownKind { found: other }),
+    }
+}
+
+/// Incremental frame extractor over a byte stream.
+///
+/// Feed read chunks in with [`extend`](FrameReader::extend) — at
+/// whatever fragmentation TCP hands them over — and pull complete
+/// frames out with [`next_frame`](FrameReader::next_frame). Partial
+/// frames stay buffered; an oversized length prefix or a malformed
+/// payload surfaces as the typed [`WireError`], at which point the
+/// stream is unrecoverable and the connection should be dropped.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    consumed: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Buffer another chunk of stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the dead prefix dominates the buffer.
+        if self.consumed > 0 && self.consumed * 2 >= self.buf.len() {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extract the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; `Err` means the stream is
+    /// corrupt (the offending bytes are consumed, but a framing error
+    /// leaves no way to resynchronize — drop the connection).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.consumed..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = get_u32(avail, 0) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized { len });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = &avail[4..4 + len];
+        let result = decode_payload(payload);
+        self.consumed += 4 + len;
+        result.map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire);
+        let len = get_u32(&wire, 0) as usize;
+        assert_eq!(wire.len(), 4 + len);
+        assert_eq!(decode_payload(&wire[4..]), Ok(frame));
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        round_trip(Frame::Hello {
+            tenant: TenantId::new(42),
+        });
+        round_trip(Frame::HelloOk);
+        round_trip(Frame::Request {
+            req_id: u64::MAX,
+            sim: SimKey::new(7),
+            bits: 0b1011,
+        });
+        round_trip(Frame::Reply {
+            req_id: 3,
+            epoch: 9,
+            outputs: vec![],
+        });
+        round_trip(Frame::Reply {
+            req_id: 3,
+            epoch: 9,
+            outputs: (0..130).map(|i| i % 3 == 0).collect(),
+        });
+        round_trip(Frame::Error {
+            req_id: 11,
+            code: ErrorCode::QuotaExceeded,
+        });
+    }
+
+    #[test]
+    fn exact_length_is_enforced_both_ways() {
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Request {
+                req_id: 1,
+                sim: SimKey::new(2),
+                bits: 3,
+            },
+            &mut wire,
+        );
+        let payload = &wire[4..];
+        assert_eq!(
+            decode_payload(&payload[..payload.len() - 1]),
+            Err(WireError::Truncated {
+                needed: 25,
+                got: 24
+            })
+        );
+        let mut long = payload.to_vec();
+        long.push(0);
+        assert_eq!(
+            decode_payload(&long),
+            Err(WireError::TrailingBytes {
+                expected: 25,
+                got: 26
+            })
+        );
+    }
+
+    #[test]
+    fn hello_magic_and_version_are_checked() {
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Hello {
+                tenant: TenantId::new(1),
+            },
+            &mut wire,
+        );
+        let mut payload = wire[4..].to_vec();
+        payload[1] ^= 0xff;
+        assert!(matches!(
+            decode_payload(&payload),
+            Err(WireError::BadMagic { .. })
+        ));
+        let mut payload = wire[4..].to_vec();
+        payload[5] = 99;
+        assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::BadVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn unknown_kind_and_error_code_are_typed() {
+        assert_eq!(
+            decode_payload(&[0x77]),
+            Err(WireError::UnknownKind { found: 0x77 })
+        );
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Error {
+                req_id: 5,
+                code: ErrorCode::BadArity,
+            },
+            &mut wire,
+        );
+        let mut payload = wire[4..].to_vec();
+        payload[9] = 200;
+        assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::BadErrorCode { found: 200 })
+        );
+    }
+
+    #[test]
+    fn reader_reassembles_fragmented_frames() {
+        let mut wire = Vec::new();
+        for i in 0..10u64 {
+            encode_frame(
+                &Frame::Request {
+                    req_id: i,
+                    sim: SimKey::new(i * 3),
+                    bits: i * 7,
+                },
+                &mut wire,
+            );
+        }
+        // Feed one byte at a time — worst-case fragmentation.
+        let mut reader = FrameReader::new();
+        let mut seen = 0u64;
+        for &b in &wire {
+            reader.extend(&[b]);
+            while let Some(frame) = reader.next_frame().expect("clean stream") {
+                match frame {
+                    Frame::Request { req_id, sim, bits } => {
+                        assert_eq!(req_id, seen);
+                        assert_eq!(sim.raw(), seen * 3);
+                        assert_eq!(bits, seen * 7);
+                        seen += 1;
+                    }
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+        }
+        assert_eq!(seen, 10);
+        assert_eq!(reader.next_frame(), Ok(None));
+    }
+
+    #[test]
+    fn reader_rejects_oversized_length_prefix() {
+        let mut reader = FrameReader::new();
+        reader.extend(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert_eq!(
+            reader.next_frame(),
+            Err(WireError::Oversized { len: MAX_FRAME + 1 })
+        );
+    }
+}

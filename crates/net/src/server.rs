@@ -1,0 +1,937 @@
+//! The TCP front end: accept loop, per-connection poll threads, and the
+//! deficit-round-robin dispatcher feeding the sharded [`SimService`].
+//!
+//! ```text
+//!  TCP clients      ┌────────────────────────── NetServer ─────────────────────────┐
+//!  Hello{tenant} ───┤ conn threads         DRR scheduler          dispatcher       │
+//!  Request ─────────┼▶ decode → route      [tenant 1  ████░]      try_submit_tagged│
+//!  Request ─────────┤  → arity → quota  ─▶ [tenant 2  █░░░░] ──▶  → SimService     │
+//!   └─ Error ◀──────┤  (token bucket)      quantum per turn        shards          │
+//!  Reply ◀──────────┴── per-conn reply stream ◀── scatter ◀── batcher flush ───────┘
+//! ```
+//!
+//! Each connection authenticates one [`TenantId`] in its hello frame,
+//! then streams requests; admission control (unknown sim, arity, quota)
+//! happens on the connection thread, fair scheduling across tenants
+//! happens in the internal scheduler (deficit round robin, one queue
+//! per tenant), and a single dispatcher thread drains scheduled batches
+//! into the sharded service. Replies come back per-connection over the
+//! service's shared reply channel and are streamed out of order,
+//! correlated by `req_id`.
+//!
+//! Everything is plain blocking/nonblocking `std::net` — no async
+//! runtime exists in the offline build environment, so connections use
+//! nonblocking sockets with a yield-then-sleep poll loop.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ambipla_obs::{monotonic_ns, Event, EventKind, MetricFamily, MetricKind, Recorder, Sample};
+use ambipla_serve::{reply_channel, ReplySink, SharedSim, SimId, SimKey, SimService};
+
+use crate::protocol::{encode_frame, ErrorCode, Frame, FrameReader};
+use crate::tenant::{QuotaConfig, TenantId, TenantRegistry, TenantSnapshot, TenantState};
+
+/// Front-end configuration (the service itself is configured by
+/// `ambipla_serve::ServeConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Quota handed to tenants on first hello (default: unlimited).
+    pub default_quota: QuotaConfig,
+    /// Deficit-round-robin quantum: how many requests one tenant may
+    /// dispatch per scheduling turn before the next tenant runs.
+    pub quantum: usize,
+    /// Per-tenant cap on requests waiting in the scheduler; admissions
+    /// beyond it are rejected as `QueueFull` before reaching the
+    /// service.
+    pub tenant_pending: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            default_quota: QuotaConfig::unlimited(),
+            quantum: 64,
+            tenant_pending: 4096,
+        }
+    }
+}
+
+/// An exposed registration: service id plus its input mask.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    id: SimId,
+    /// Bits a request may legally set: `(1 << n_inputs) - 1`.
+    mask: u64,
+}
+
+/// Error frames the dispatcher owes a connection (service-level
+/// `QueueFull` discovered after the scheduler already accepted the
+/// request).
+#[derive(Debug, Default)]
+struct ConnShared {
+    errors: Mutex<Vec<(u64, ErrorCode)>>,
+}
+
+/// One admitted request waiting for dispatch.
+struct Pending {
+    route: Route,
+    bits: u64,
+    req_id: u64,
+    sink: ReplySink,
+    tenant: Arc<TenantState>,
+    conn: Arc<ConnShared>,
+}
+
+/// One tenant's scheduler queue.
+struct TenantQueue {
+    deficit: usize,
+    q: VecDeque<Pending>,
+    /// Whether this queue currently sits in the active rotation.
+    active: bool,
+}
+
+struct SchedInner {
+    queues: Vec<TenantQueue>,
+    /// Tenant raw id → index into `queues`.
+    slot_of: HashMap<u64, usize>,
+    /// Round-robin rotation of queues with work.
+    rotation: VecDeque<usize>,
+    stopping: bool,
+}
+
+/// Deficit-round-robin scheduler: per-tenant FIFO queues, each granted
+/// `quantum` dispatch credits per rotation turn, so a firehose tenant
+/// cannot starve a trickle tenant however deep its backlog.
+struct Scheduler {
+    inner: Mutex<SchedInner>,
+    cv: Condvar,
+    quantum: usize,
+    tenant_pending: usize,
+}
+
+impl Scheduler {
+    fn new(quantum: usize, tenant_pending: usize) -> Scheduler {
+        Scheduler {
+            inner: Mutex::new(SchedInner {
+                queues: Vec::new(),
+                slot_of: HashMap::new(),
+                rotation: VecDeque::new(),
+                stopping: false,
+            }),
+            cv: Condvar::new(),
+            quantum: quantum.max(1),
+            tenant_pending: tenant_pending.max(1),
+        }
+    }
+
+    /// The queue slot for a tenant, created on first use.
+    fn tenant_slot(&self, raw: u64) -> usize {
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        if let Some(&slot) = inner.slot_of.get(&raw) {
+            return slot;
+        }
+        let slot = inner.queues.len();
+        inner.queues.push(TenantQueue {
+            deficit: 0,
+            q: VecDeque::new(),
+            active: false,
+        });
+        inner.slot_of.insert(raw, slot);
+        slot
+    }
+
+    /// Queue a batch of admitted requests for `slot`; returns the ones
+    /// rejected by the per-tenant pending cap.
+    fn enqueue(&self, slot: usize, batch: Vec<Pending>) -> Vec<Pending> {
+        let mut rejected = Vec::new();
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        for p in batch {
+            let tq = &mut inner.queues[slot];
+            if tq.q.len() >= self.tenant_pending {
+                rejected.push(p);
+            } else {
+                tq.q.push_back(p);
+            }
+        }
+        let tq = &mut inner.queues[slot];
+        if !tq.q.is_empty() && !tq.active {
+            tq.active = true;
+            inner.rotation.push_back(slot);
+        }
+        drop(inner);
+        self.cv.notify_one();
+        rejected
+    }
+
+    /// Block for the next DRR batch; `None` only after [`stop`] once
+    /// every queue has drained, so shutdown never drops admitted work.
+    fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        loop {
+            if let Some(slot) = inner.rotation.pop_front() {
+                let quantum = self.quantum;
+                let tq = &mut inner.queues[slot];
+                tq.deficit += quantum;
+                let take = tq.deficit.min(tq.q.len());
+                let batch: Vec<Pending> = tq.q.drain(..take).collect();
+                tq.deficit -= take;
+                if tq.q.is_empty() {
+                    tq.active = false;
+                    tq.deficit = 0;
+                } else {
+                    inner.rotation.push_back(slot);
+                }
+                if !batch.is_empty() {
+                    return Some(batch);
+                }
+                continue;
+            }
+            if inner.stopping {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("scheduler lock");
+        }
+    }
+
+    fn stop(&self) {
+        self.inner.lock().expect("scheduler lock").stopping = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Shared state between accept loop, connection threads and dispatcher.
+struct ServerCtx {
+    service: Arc<SimService>,
+    /// Raw `SimKey` → route, for the request hot path.
+    routes: RwLock<HashMap<u64, Route>>,
+    tenants: TenantRegistry,
+    sched: Scheduler,
+    recorder: Option<Arc<dyn Recorder>>,
+    stop: AtomicBool,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    conn_seq: AtomicU32,
+}
+
+impl ServerCtx {
+    fn record(&self, kind: EventKind) {
+        if let Some(r) = &self.recorder {
+            r.record(Event::now(kind));
+        }
+    }
+}
+
+/// The multi-tenant TCP front end over a (typically sharded)
+/// [`SimService`].
+///
+/// ```no_run
+/// use ambipla_net::{NetClient, NetConfig, NetServer, TenantId};
+/// use ambipla_serve::{SimKey, SimService};
+/// use logic::Cover;
+/// use std::sync::Arc;
+///
+/// let service = Arc::new(SimService::with_defaults());
+/// let server =
+///     NetServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default()).unwrap();
+/// let xor = Cover::parse("10 1\n01 1", 2, 1).unwrap();
+/// let key = SimKey::of_cover(&xor);
+/// server.register_sim(Arc::new(xor), key);
+///
+/// let mut client = NetClient::connect(server.local_addr(), TenantId::new(1)).unwrap();
+/// match client.call(key, 7, 0b01).unwrap() {
+///     ambipla_net::Frame::Reply { req_id, outputs, .. } => {
+///         assert_eq!((req_id, outputs), (7, vec![true]));
+///     }
+///     other => panic!("unexpected frame {other:?}"),
+/// }
+/// ```
+pub struct NetServer {
+    ctx: Arc<ServerCtx>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the
+    /// accept loop and dispatcher over `service`.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<SimService>,
+        config: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        NetServer::bind_inner(addr, service, config, None)
+    }
+
+    /// [`bind`](NetServer::bind), with connection-lifecycle and
+    /// quota-reject events flowing to `recorder`.
+    pub fn bind_with_recorder<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<SimService>,
+        config: NetConfig,
+        recorder: Arc<dyn Recorder>,
+    ) -> std::io::Result<NetServer> {
+        NetServer::bind_inner(addr, service, config, Some(recorder))
+    }
+
+    fn bind_inner<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<SimService>,
+        config: NetConfig,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let ctx = Arc::new(ServerCtx {
+            service,
+            routes: RwLock::new(HashMap::new()),
+            tenants: TenantRegistry::new(config.default_quota),
+            sched: Scheduler::new(config.quantum, config.tenant_pending),
+            recorder,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            conn_seq: AtomicU32::new(0),
+        });
+        let accept_ctx = Arc::clone(&ctx);
+        let accept = std::thread::Builder::new()
+            .name("ambipla-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_ctx))
+            .expect("spawn accept thread");
+        let disp_ctx = Arc::clone(&ctx);
+        let dispatcher = std::thread::Builder::new()
+            .name("ambipla-net-dispatch".into())
+            .spawn(move || dispatch_loop(disp_ctx))
+            .expect("spawn dispatcher thread");
+        Ok(NetServer {
+            ctx,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            addr,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Expose an already-registered service id under `key` so network
+    /// requests can reach it.
+    pub fn expose(&self, key: SimKey, id: SimId) {
+        let (n_inputs, _) = self.ctx.service.arity(id);
+        let mask = if n_inputs >= 64 {
+            !0
+        } else {
+            (1u64 << n_inputs) - 1
+        };
+        self.ctx
+            .routes
+            .write()
+            .expect("route lock")
+            .insert(key.raw(), Route { id, mask });
+    }
+
+    /// Register `sim` on the service under `key` and expose it in one
+    /// step.
+    pub fn register_sim(&self, sim: SharedSim, key: SimKey) -> SimId {
+        let id = self.ctx.service.register_sim(sim, key);
+        self.expose(key, id);
+        id
+    }
+
+    /// Set (or reset) `tenant`'s quota; the new token bucket starts
+    /// full.
+    pub fn set_quota(&self, tenant: TenantId, quota: QuotaConfig) {
+        self.ctx.tenants.set_quota(tenant, quota, monotonic_ns());
+    }
+
+    /// Per-tenant counter snapshots, sorted by tenant id.
+    pub fn tenant_stats(&self) -> Vec<TenantSnapshot> {
+        self.ctx.tenants.snapshots()
+    }
+
+    /// Front-end metric families, every sample labeled by `tenant`.
+    ///
+    /// Seven families: requests, quota rejects, queue-full rejects, bad
+    /// requests (labeled by `kind`), replies, live connections (gauge)
+    /// and lifetime accepts. Service-side families come from
+    /// `SimService::metric_families` — concatenate for a full scrape.
+    pub fn metric_families(&self) -> Vec<MetricFamily> {
+        let snaps = self.ctx.tenants.snapshots();
+        let tl = |s: &TenantSnapshot| vec![("tenant".to_string(), s.id.raw().to_string())];
+        let counter = |name: &'static str, help: &'static str, pick: fn(&TenantSnapshot) -> u64| {
+            MetricFamily::new(
+                name,
+                help,
+                MetricKind::Counter,
+                snaps
+                    .iter()
+                    .map(|s| Sample::new(tl(s), pick(s) as f64))
+                    .collect(),
+            )
+        };
+        let mut bad = Vec::new();
+        for s in &snaps {
+            let mut labels = tl(s);
+            labels.push(("kind".to_string(), "unknown_sim".to_string()));
+            bad.push(Sample::new(labels, s.unknown_sim as f64));
+            let mut labels = tl(s);
+            labels.push(("kind".to_string(), "bad_arity".to_string()));
+            bad.push(Sample::new(labels, s.bad_arity as f64));
+        }
+        vec![
+            counter(
+                "ambipla_net_requests_total",
+                "Requests admitted past quota into the scheduler",
+                |s| s.accepted,
+            ),
+            counter(
+                "ambipla_net_quota_rejects_total",
+                "Requests rejected by the tenant token bucket",
+                |s| s.quota_rejected,
+            ),
+            counter(
+                "ambipla_net_queue_full_total",
+                "Requests rejected by scheduler or service backpressure",
+                |s| s.queue_full,
+            ),
+            MetricFamily::new(
+                "ambipla_net_bad_requests_total",
+                "Malformed requests (unknown sim key or out-of-arity bits)",
+                MetricKind::Counter,
+                bad,
+            ),
+            counter(
+                "ambipla_net_replies_total",
+                "Replies streamed back to clients",
+                |s| s.replies,
+            ),
+            MetricFamily::new(
+                "ambipla_net_connections",
+                "Currently open authenticated connections",
+                MetricKind::Gauge,
+                snaps
+                    .iter()
+                    .map(|s| Sample::new(tl(s), s.connections as f64))
+                    .collect(),
+            ),
+            counter(
+                "ambipla_net_accepts_total",
+                "Lifetime authenticated connections",
+                |s| s.accepts,
+            ),
+        ]
+    }
+
+    fn stop_threads(&mut self) {
+        self.ctx.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.ctx.conns.lock().expect("conn list lock"));
+        for h in conns {
+            let _ = h.join();
+        }
+        // Connections are gone; drain whatever they admitted, then stop.
+        self.ctx.sched.stop();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop accepting, close every connection, drain the scheduler and
+    /// join all threads. The underlying service keeps running.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
+    while !ctx.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let slot = ctx.conn_seq.fetch_add(1, Ordering::Relaxed);
+                let conn_ctx = Arc::clone(&ctx);
+                let handle = std::thread::Builder::new()
+                    .name(format!("ambipla-net-conn-{slot}"))
+                    .spawn(move || conn_loop(stream, slot, conn_ctx))
+                    .expect("spawn connection thread");
+                ctx.conns.lock().expect("conn list lock").push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn dispatch_loop(ctx: Arc<ServerCtx>) {
+    while let Some(batch) = ctx.sched.next_batch() {
+        for p in batch {
+            match ctx
+                .service
+                .try_submit_tagged(p.route.id, p.bits, p.req_id, &p.sink)
+            {
+                Ok(()) => {}
+                Err(_) => {
+                    p.tenant.record_queue_full();
+                    p.conn
+                        .errors
+                        .lock()
+                        .expect("conn error lock")
+                        .push((p.req_id, ErrorCode::QueueFull));
+                }
+            }
+        }
+    }
+}
+
+/// Poll-loop idle backoff: spin `YIELDS` scheduler yields, then sleep.
+const IDLE_YIELDS: u32 = 64;
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Pending outbound bytes (encoded frames) and the write cursor.
+    out: Vec<u8>,
+    out_pos: usize,
+    rbuf: Vec<u8>,
+}
+
+impl Conn {
+    /// Nonblocking read; `Ok(true)` = progress, `Ok(false)` = would
+    /// block, `Err` = EOF or hard error (drop the connection).
+    fn pump_read(&mut self) -> Result<bool, ()> {
+        match self.stream.read(&mut self.rbuf) {
+            Ok(0) => Err(()),
+            Ok(n) => {
+                self.reader.extend(&self.rbuf[..n]);
+                Ok(true)
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(false),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(false),
+            Err(_) => Err(()),
+        }
+    }
+
+    /// Nonblocking write of buffered frames; same contract as
+    /// [`pump_read`](Conn::pump_read).
+    fn pump_write(&mut self) -> Result<bool, ()> {
+        if self.out_pos == self.out.len() {
+            if !self.out.is_empty() {
+                self.out.clear();
+                self.out_pos = 0;
+            }
+            return Ok(false);
+        }
+        match self.stream.write(&self.out[self.out_pos..]) {
+            Ok(0) => Err(()),
+            Ok(n) => {
+                self.out_pos += n;
+                if self.out_pos == self.out.len() {
+                    self.out.clear();
+                    self.out_pos = 0;
+                }
+                Ok(true)
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(false),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(false),
+            Err(_) => Err(()),
+        }
+    }
+
+    fn queue_frame(&mut self, frame: &Frame) {
+        encode_frame(frame, &mut self.out);
+    }
+}
+
+/// Wait for the client's `Hello` and answer `HelloOk`.
+///
+/// Returns the authenticated tenant, or `None` if the stream errored,
+/// sent garbage, opened with any other frame, or the server stopped.
+fn hello_phase(conn: &mut Conn, ctx: &ServerCtx) -> Option<TenantId> {
+    let mut idle = 0u32;
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        match conn.reader.next_frame() {
+            Ok(Some(Frame::Hello { tenant })) => {
+                conn.queue_frame(&Frame::HelloOk);
+                return Some(tenant);
+            }
+            Ok(Some(_)) => return None,
+            Err(_) => return None,
+            Ok(None) => {}
+        }
+        match conn.pump_read() {
+            Ok(true) => idle = 0,
+            Ok(false) => {
+                idle += 1;
+                if idle <= IDLE_YIELDS {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(IDLE_SLEEP);
+                }
+            }
+            Err(()) => return None,
+        }
+    }
+}
+
+fn conn_loop(stream: TcpStream, conn_slot: u32, ctx: Arc<ServerCtx>) {
+    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let mut conn = Conn {
+        stream,
+        reader: FrameReader::new(),
+        out: Vec::new(),
+        out_pos: 0,
+        rbuf: vec![0u8; 16 * 1024],
+    };
+    let Some(tenant_id) = hello_phase(&mut conn, &ctx) else {
+        return;
+    };
+    let tenant = ctx.tenants.get_or_create(tenant_id, monotonic_ns());
+    tenant.record_connect();
+    ctx.record(EventKind::Accept {
+        tenant: tenant_id.raw(),
+        slot: conn_slot,
+    });
+    let slot = ctx.sched.tenant_slot(tenant_id.raw());
+    let shared = Arc::new(ConnShared::default());
+    let (sink, replies) = reply_channel();
+    let mut admitted: Vec<Pending> = Vec::new();
+    let mut idle = 0u32;
+    let mut alive = true;
+
+    while alive && !ctx.stop.load(Ordering::SeqCst) {
+        let mut progress = false;
+
+        // 1. Pull bytes off the socket.
+        match conn.pump_read() {
+            Ok(p) => progress |= p,
+            Err(()) => alive = false,
+        }
+
+        // 2. Decode and admit requests.
+        loop {
+            match conn.reader.next_frame() {
+                Ok(Some(Frame::Request { req_id, sim, bits })) => {
+                    progress = true;
+                    let route = ctx
+                        .routes
+                        .read()
+                        .expect("route lock")
+                        .get(&sim.raw())
+                        .copied();
+                    match route {
+                        None => {
+                            tenant.record_unknown_sim();
+                            conn.queue_frame(&Frame::Error {
+                                req_id,
+                                code: ErrorCode::UnknownSim,
+                            });
+                        }
+                        Some(route) if bits & !route.mask != 0 => {
+                            tenant.record_bad_arity();
+                            conn.queue_frame(&Frame::Error {
+                                req_id,
+                                code: ErrorCode::BadArity,
+                            });
+                        }
+                        Some(route) => {
+                            if tenant.try_take_token(monotonic_ns()) {
+                                tenant.record_accepted();
+                                admitted.push(Pending {
+                                    route,
+                                    bits,
+                                    req_id,
+                                    sink: sink.clone(),
+                                    tenant: Arc::clone(&tenant),
+                                    conn: Arc::clone(&shared),
+                                });
+                            } else {
+                                tenant.record_quota_reject();
+                                ctx.record(EventKind::QuotaReject {
+                                    tenant: tenant_id.raw(),
+                                    slot: route.id.slot_index(),
+                                });
+                                conn.queue_frame(&Frame::Error {
+                                    req_id,
+                                    code: ErrorCode::QuotaExceeded,
+                                });
+                            }
+                        }
+                    }
+                }
+                // Anything else post-hello is a protocol violation.
+                Ok(Some(_)) | Err(_) => {
+                    alive = false;
+                    break;
+                }
+                Ok(None) => break,
+            }
+        }
+
+        // 3. Hand admitted requests to the fair scheduler; over-cap
+        //    spillback becomes QueueFull errors right here.
+        if !admitted.is_empty() {
+            progress = true;
+            for p in ctx.sched.enqueue(slot, std::mem::take(&mut admitted)) {
+                p.tenant.record_queue_full();
+                conn.queue_frame(&Frame::Error {
+                    req_id: p.req_id,
+                    code: ErrorCode::QueueFull,
+                });
+            }
+        }
+
+        // 4. Errors the dispatcher reported for this connection.
+        {
+            let mut errs = shared.errors.lock().expect("conn error lock");
+            for (req_id, code) in errs.drain(..) {
+                progress = true;
+                conn.queue_frame(&Frame::Error { req_id, code });
+            }
+        }
+
+        // 5. Stream replies back, out of order, correlated by tag.
+        while let Some(r) = replies.try_recv() {
+            progress = true;
+            tenant.record_reply();
+            conn.queue_frame(&Frame::Reply {
+                req_id: r.tag,
+                epoch: r.epoch,
+                outputs: r.outputs,
+            });
+        }
+
+        // 6. Push queued bytes out.
+        match conn.pump_write() {
+            Ok(p) => progress |= p,
+            Err(()) => alive = false,
+        }
+
+        if progress {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle <= IDLE_YIELDS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+
+    tenant.record_disconnect();
+    ctx.record(EventKind::Disconnect {
+        tenant: tenant_id.raw(),
+        slot: conn_slot,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ambipla_serve::ServeConfig;
+    use logic::Cover;
+
+    fn xor() -> Cover {
+        Cover::parse("10 1\n01 1", 2, 1).expect("xor cover")
+    }
+
+    fn service(shards: usize) -> Arc<SimService> {
+        Arc::new(
+            SimService::start(ServeConfig {
+                shards,
+                max_wait: Duration::from_micros(100),
+                ..ServeConfig::default()
+            })
+            .expect("valid config"),
+        )
+    }
+
+    #[test]
+    fn drr_scheduler_is_fair_across_tenants() {
+        let sched = Scheduler::new(4, 1024);
+        let (sink, _stream) = reply_channel();
+        let service = service(1);
+        let id = service.register_sim(Arc::new(xor()), SimKey::new(1));
+        let route = Route { id, mask: 0b11 };
+        let tenants = TenantRegistry::new(QuotaConfig::unlimited());
+        let mk = |tenant: u64, n: usize| -> Vec<Pending> {
+            let state = tenants.get_or_create(TenantId::new(tenant), 0);
+            (0..n)
+                .map(|i| Pending {
+                    route,
+                    bits: 0,
+                    req_id: tenant * 1000 + i as u64,
+                    sink: sink.clone(),
+                    tenant: Arc::clone(&state),
+                    conn: Arc::new(ConnShared::default()),
+                })
+                .collect()
+        };
+        // Tenant 1 floods 40 requests, tenant 2 queues 4.
+        let s1 = sched.tenant_slot(1);
+        let s2 = sched.tenant_slot(2);
+        assert!(sched.enqueue(s1, mk(1, 40)).is_empty());
+        assert!(sched.enqueue(s2, mk(2, 4)).is_empty());
+        sched.stop();
+        // With quantum 4, tenant 2's requests must all dispatch within
+        // the first two turns — fairness despite tenant 1's backlog.
+        let mut order = Vec::new();
+        while let Some(batch) = sched.next_batch() {
+            for p in batch {
+                order.push(p.req_id);
+            }
+        }
+        assert_eq!(order.len(), 44);
+        let t2_last = order
+            .iter()
+            .rposition(|&id| id / 1000 == 2)
+            .expect("tenant 2 dispatched");
+        assert!(
+            t2_last < 12,
+            "tenant 2 finished at position {t2_last}, starved by tenant 1"
+        );
+    }
+
+    #[test]
+    fn scheduler_enforces_tenant_pending_cap() {
+        let sched = Scheduler::new(4, 2);
+        let (sink, _stream) = reply_channel();
+        let service = service(1);
+        let id = service.register_sim(Arc::new(xor()), SimKey::new(1));
+        let route = Route { id, mask: 0b11 };
+        let tenants = TenantRegistry::new(QuotaConfig::unlimited());
+        let state = tenants.get_or_create(TenantId::new(1), 0);
+        let slot = sched.tenant_slot(1);
+        let batch: Vec<Pending> = (0..5)
+            .map(|i| Pending {
+                route,
+                bits: 0,
+                req_id: i,
+                sink: sink.clone(),
+                tenant: Arc::clone(&state),
+                conn: Arc::new(ConnShared::default()),
+            })
+            .collect();
+        let rejected = sched.enqueue(slot, batch);
+        assert_eq!(
+            rejected.iter().map(|p| p.req_id).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn loopback_round_trip_and_counters() {
+        let service = service(2);
+        let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
+            .expect("bind");
+        let key = SimKey::new(77);
+        server.register_sim(Arc::new(xor()), key);
+
+        let mut client = crate::client::NetClient::connect(server.local_addr(), TenantId::new(5))
+            .expect("connect");
+        for (bits, want) in [(0b00u64, false), (0b01, true), (0b10, true), (0b11, false)] {
+            let reply = client.call(key, bits, bits).expect("call");
+            match reply {
+                Frame::Reply {
+                    req_id, outputs, ..
+                } => {
+                    assert_eq!(req_id, bits);
+                    assert_eq!(outputs, vec![want]);
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+
+        // Unknown sim and out-of-arity bits come back as typed errors.
+        let err = client.call(SimKey::new(999), 50, 0).expect("call");
+        assert_eq!(
+            err,
+            Frame::Error {
+                req_id: 50,
+                code: ErrorCode::UnknownSim
+            }
+        );
+        let err = client.call(key, 51, 0b100).expect("call");
+        assert_eq!(
+            err,
+            Frame::Error {
+                req_id: 51,
+                code: ErrorCode::BadArity
+            }
+        );
+
+        let stats = server.tenant_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].id, TenantId::new(5));
+        assert_eq!(stats[0].accepted, 4);
+        assert_eq!(stats[0].replies, 4);
+        assert_eq!(stats[0].unknown_sim, 1);
+        assert_eq!(stats[0].bad_arity, 1);
+        assert_eq!(stats[0].connections, 1);
+
+        let families = server.metric_families();
+        assert_eq!(families.len(), 7);
+        server.shutdown();
+    }
+
+    #[test]
+    fn quota_rejects_surface_as_typed_errors() {
+        let service = service(1);
+        let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
+            .expect("bind");
+        let key = SimKey::new(8);
+        server.register_sim(Arc::new(xor()), key);
+        // Burst of 3, no refill: the 4th request must be rejected.
+        server.set_quota(
+            TenantId::new(2),
+            QuotaConfig {
+                rate_per_sec: 0,
+                burst: 3,
+            },
+        );
+        let mut client = crate::client::NetClient::connect(server.local_addr(), TenantId::new(2))
+            .expect("connect");
+        let mut ok = 0;
+        let mut rejected = 0;
+        for i in 0..5u64 {
+            match client.call(key, i, 0b01).expect("call") {
+                Frame::Reply { outputs, .. } => {
+                    assert_eq!(outputs, vec![true]);
+                    ok += 1;
+                }
+                Frame::Error { code, .. } => {
+                    assert_eq!(code, ErrorCode::QuotaExceeded);
+                    rejected += 1;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!((ok, rejected), (3, 2));
+        let stats = server.tenant_stats();
+        assert_eq!(stats[0].quota_rejected, 2);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the wire codec: arbitrary frames round-trip
+//! through encode → decode (whole and byte-at-a-time through the
+//! incremental reader), and malformed inputs — truncations at every
+//! split point, oversized length prefixes, corrupted magic/version/kind
+//! bytes, raw junk — come back as typed [`WireError`]s without ever
+//! panicking.
+
+use ambipla_net::{
+    decode_payload, encode_frame, ErrorCode, Frame, FrameReader, TenantId, WireError, MAX_FRAME,
+};
+use ambipla_serve::SimKey;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        any::<u64>().prop_map(|t| Frame::Hello {
+            tenant: TenantId::new(t)
+        }),
+        Just(Frame::HelloOk),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(req_id, sim, bits)| {
+            Frame::Request {
+                req_id,
+                sim: SimKey::new(sim),
+                bits,
+            }
+        }),
+        (any::<u64>(), any::<u64>(), vec(any::<bool>(), 0..200usize)).prop_map(
+            |(req_id, epoch, outputs)| Frame::Reply {
+                req_id,
+                epoch,
+                outputs,
+            }
+        ),
+        (
+            any::<u64>(),
+            prop_oneof![
+                Just(ErrorCode::QueueFull),
+                Just(ErrorCode::UnknownSim),
+                Just(ErrorCode::BadArity),
+                Just(ErrorCode::QuotaExceeded),
+            ]
+        )
+            .prop_map(|(req_id, code)| Frame::Error { req_id, code }),
+    ]
+}
+
+fn encode(frame: &Frame) -> Vec<u8> {
+    let mut wire = Vec::new();
+    encode_frame(frame, &mut wire);
+    wire
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whole-payload decode inverts encode.
+    #[test]
+    fn frame_round_trips(frame in arb_frame()) {
+        let wire = encode(&frame);
+        let len = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(wire.len(), 4 + len);
+        prop_assert!(len <= MAX_FRAME);
+        prop_assert_eq!(decode_payload(&wire[4..]), Ok(frame));
+    }
+
+    /// The incremental reader reassembles a multi-frame stream fed in
+    /// arbitrary chunk sizes.
+    #[test]
+    fn reader_round_trips_chunked(
+        frames in vec(arb_frame(), 1..8usize),
+        chunk in 1..17usize,
+    ) {
+        let mut wire = Vec::new();
+        for frame in &frames {
+            encode_frame(frame, &mut wire);
+        }
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(chunk) {
+            reader.extend(piece);
+            while let Some(frame) = reader.next_frame().expect("clean stream") {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(reader.next_frame(), Ok(None));
+    }
+
+    /// Every proper payload prefix is a typed `Truncated` error (or,
+    /// for `Reply`, a shorter-but-consistent layout is impossible since
+    /// the word count is pinned by `n_outputs`) — and never a panic.
+    #[test]
+    fn every_truncation_is_typed(frame in arb_frame()) {
+        let wire = encode(&frame);
+        let payload = &wire[4..];
+        for cut in 0..payload.len() {
+            match decode_payload(&payload[..cut]) {
+                Err(WireError::Truncated { needed, got }) => {
+                    prop_assert_eq!(got, cut);
+                    prop_assert!(needed > cut);
+                }
+                other => prop_assert!(false, "prefix {cut} decoded to {other:?}"),
+            }
+        }
+    }
+
+    /// Appending junk to a valid payload is `TrailingBytes`.
+    #[test]
+    fn trailing_bytes_are_typed(frame in arb_frame(), extra in 1..9usize) {
+        let wire = encode(&frame);
+        let expected = wire.len() - 4;
+        let mut payload = wire[4..].to_vec();
+        payload.resize(expected + extra, 0xa5);
+        prop_assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::TrailingBytes { expected, got: expected + extra })
+        );
+    }
+
+    /// A length prefix above `MAX_FRAME` is rejected before buffering.
+    #[test]
+    fn oversized_length_is_rejected(extra in 1..u32::MAX as usize - MAX_FRAME) {
+        let len = MAX_FRAME + extra;
+        let mut reader = FrameReader::new();
+        reader.extend(&(len as u32).to_le_bytes());
+        prop_assert_eq!(reader.next_frame(), Err(WireError::Oversized { len }));
+    }
+
+    /// Corrupting the hello magic or version yields the matching typed
+    /// error.
+    #[test]
+    fn corrupt_hello_is_typed(tenant in any::<u64>(), flip in any::<u8>(), at in 1..6usize) {
+        let wire = encode(&Frame::Hello { tenant: TenantId::new(tenant) });
+        let mut payload = wire[4..].to_vec();
+        payload[at] ^= flip.max(1); // guarantee an actual corruption
+        match decode_payload(&payload) {
+            Ok(Frame::Hello { .. }) => prop_assert!(false, "corruption at {at} undetected"),
+            Err(WireError::BadMagic { .. }) => prop_assert!(at < 5),
+            Err(WireError::BadVersion { .. }) => prop_assert_eq!(at, 5),
+            other => prop_assert!(false, "unexpected result {other:?}"),
+        }
+    }
+
+    /// An unknown kind byte is typed, not a panic.
+    #[test]
+    fn unknown_kind_is_typed(raw in any::<u8>(), body in vec(any::<u8>(), 0..64usize)) {
+        let kind = if raw < 6 { raw + 6 } else { raw };
+        let mut payload = vec![kind];
+        payload.extend_from_slice(&body);
+        prop_assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::UnknownKind { found: kind })
+        );
+    }
+
+    /// Arbitrary junk never panics the payload decoder or the reader.
+    #[test]
+    fn junk_never_panics(junk in vec(any::<u8>(), 0..512usize), chunk in 1..33usize) {
+        let _ = decode_payload(&junk);
+        let mut reader = FrameReader::new();
+        for piece in junk.chunks(chunk) {
+            reader.extend(piece);
+            // Errors are fine (and expected) — panics are not. After a
+            // framing error the stream is unrecoverable; stop, as the
+            // server does.
+            match reader.next_frame() {
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
+}

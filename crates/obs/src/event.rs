@@ -4,7 +4,9 @@
 //! [`EventRing`](crate::EventRing) can store them inline without
 //! allocation. The vocabulary covers the serve layer's state transitions
 //! (registrations, epoch-bumping hot swaps, block flushes with their
-//! cache hit/miss burst, backpressure rejections); producers stamp each
+//! cache hit/miss burst, backpressure rejections) and the net front
+//! end's connection lifecycle (accepts, disconnects, tenant quota
+//! rejections); producers stamp each
 //! event with [`monotonic_ns`] **at the record site**, and only when a
 //! recorder is actually installed (see [`Recorder`](crate::Recorder) for
 //! the disabled-path contract).
@@ -114,6 +116,30 @@ pub enum EventKind {
     /// A bounded submission was rejected by backpressure.
     QueueFull {
         /// Registration slot index.
+        slot: u32,
+    },
+    /// A network connection completed its hello handshake and was
+    /// admitted (net layer).
+    Accept {
+        /// Authenticated tenant id (raw `TenantId`).
+        tenant: u64,
+        /// Connection slot index assigned by the listener.
+        slot: u32,
+    },
+    /// A network connection closed — peer hangup, protocol violation or
+    /// server shutdown (net layer).
+    Disconnect {
+        /// Authenticated tenant id (raw `TenantId`).
+        tenant: u64,
+        /// Connection slot index the listener had assigned.
+        slot: u32,
+    },
+    /// A request was rejected by its tenant's token-bucket quota before
+    /// reaching the batcher (net layer).
+    QuotaReject {
+        /// Tenant whose bucket was empty.
+        tenant: u64,
+        /// Target registration slot of the rejected request.
         slot: u32,
     },
 }

@@ -1,6 +1,12 @@
 //! The lane-packing request batcher.
 //!
-//! A [`SimService`] owns one batcher thread. Clients register **any
+//! A [`SimService`] owns `ServeConfig::shards` batcher threads (one by
+//! default); each registration is pinned at
+//! [`register_sim`](SimService::register_sim) time to the shard
+//! [`shard_for_key`] derives from its [`SimKey`], so every queue,
+//! flush, swap and epoch of a registration is owned by a single thread
+//! and the whole per-registration contract below is independent of the
+//! shard count. Clients register **any
 //! [`Simulator`](ambipla_core::sim::Simulator) backend** — plain covers,
 //! GNOR/classical/Whirlpool PLAs,
 //! faulty arrays, FPGA mappings — and submit single-vector simulation
@@ -99,7 +105,8 @@ pub struct ServeConfig {
     /// Number of independently locked cache shards.
     pub cache_shards: usize,
     /// Pending-request bound per registered simulator enforced by
-    /// [`SimService::try_submit`] (the unbounded `submit` /
+    /// [`SimService::try_submit`] /
+    /// [`SimService::try_submit_tagged`] (the unbounded `submit` /
     /// `submit_tagged` paths ignore it, but their requests still occupy
     /// the queue `try_submit` measures).
     pub queue_depth: usize,
@@ -109,6 +116,15 @@ pub struct ServeConfig {
     /// so changing the width never changes warm-path hit semantics.
     /// Default 1 (the classic 64-lane block).
     pub block_words: usize,
+    /// Number of batcher threads. Each registration is pinned to the
+    /// shard [`shard_for_key`] derives from its [`SimKey`] at
+    /// [`SimService::register_sim`] time, so one shard owns a
+    /// registration's whole lifetime — its queue, flushes, swaps and
+    /// epoch sequence — and the single-shard ordering/epoch contract
+    /// holds per registration unchanged. The [`BlockCache`] stays shared
+    /// across shards (it is already internally sharded and
+    /// concurrency-safe). Default 1 (the classic single batcher thread).
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -119,8 +135,75 @@ impl Default for ServeConfig {
             cache_shards: 8,
             queue_depth: 256,
             block_words: 1,
+            shards: 1,
         }
     }
+}
+
+impl ServeConfig {
+    /// Check the configuration for degenerate values —
+    /// [`SimService::start`] refuses them with the matching
+    /// [`ConfigError`] instead of panicking mid-flight or misbehaving
+    /// silently (a `queue_depth` of 0 would make every `try_submit`
+    /// rejection-only; `block_words` / `shards` / `cache_shards` of 0
+    /// have no meaningful interpretation).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if self.block_words == 0 {
+            return Err(ConfigError::ZeroBlockWords);
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.cache_shards == 0 {
+            return Err(ConfigError::ZeroCacheShards);
+        }
+        Ok(())
+    }
+}
+
+/// A degenerate [`ServeConfig`] value, refused by [`SimService::start`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `queue_depth == 0`: every bounded submission would be rejected.
+    ZeroQueueDepth,
+    /// `block_words == 0`: blocks would have no lane capacity.
+    ZeroBlockWords,
+    /// `shards == 0`: there would be no batcher thread to serve requests.
+    ZeroShards,
+    /// `cache_shards == 0`: the result cache needs at least one shard
+    /// (use `cache_capacity == 0` to disable caching).
+    ZeroCacheShards,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroQueueDepth => write!(f, "queue_depth must be at least 1"),
+            ConfigError::ZeroBlockWords => write!(f, "block_words must be at least 1"),
+            ConfigError::ZeroShards => write!(f, "shards must be at least 1"),
+            ConfigError::ZeroCacheShards => write!(
+                f,
+                "cache_shards must be at least 1 (cache_capacity 0 disables caching)"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// The shard a [`SimKey`] is assigned to on a service with `shards`
+/// batcher threads: an FNV-1a hash of the key's raw bits, reduced modulo
+/// the shard count. Deterministic and stable for a given `(key, shards)`
+/// pair, so tests and benches can place registrations on chosen shards.
+pub fn shard_for_key(key: SimKey, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (ambipla_core::hash::fnv1a(ambipla_core::hash::FNV_OFFSET, &key.raw().to_le_bytes())
+        % shards as u64) as usize
 }
 
 /// Handle to a simulator registered with a [`SimService`]. Stamped with
@@ -131,6 +214,15 @@ impl Default for ServeConfig {
 pub struct SimId {
     slot: usize,
     service: u64,
+}
+
+impl SimId {
+    /// The registration's slot index — the `sim` label in exported
+    /// metric families and the `slot` carried by recorder events
+    /// ([`RegSnapshot::slot`] uses the same numbering).
+    pub fn slot_index(self) -> u32 {
+        self.slot as u32
+    }
 }
 
 /// Rejection returned by [`SimService::try_submit`]: the target
@@ -226,6 +318,10 @@ impl SimTicket {
 
 /// Handle-side state of one registration slot, shared with the batcher.
 struct SlotState {
+    /// The batcher shard this registration is pinned to
+    /// ([`shard_for_key`] of its [`SimKey`]); every message for the slot
+    /// goes down that shard's channel.
+    shard: usize,
     /// Requests submitted but not yet flushed — incremented by every
     /// submission (bounded or not), decremented by the batcher as lanes
     /// flush; what `try_submit`'s backpressure check reads (and what
@@ -271,21 +367,31 @@ enum Msg {
     Shutdown,
 }
 
+/// One batcher shard: its message channel and worker thread.
+struct ShardHandle {
+    tx: Sender<Msg>,
+    worker: Option<JoinHandle<()>>,
+}
+
 /// The request-batching simulation service.
 ///
 /// See the [module docs](self) for the batching protocol. All methods
 /// take `&self`; the handle is `Sync` and can be shared across client
-/// threads.
+/// threads. With `ServeConfig::shards > 1`, N batcher threads each own
+/// the disjoint set of registrations [`shard_for_key`] assigns them —
+/// all per-registration guarantees (FIFO batching, the epoch contract,
+/// stats) are unchanged, because a registration lives wholly on one
+/// shard.
 pub struct SimService {
-    tx: Sender<Msg>,
-    worker: Option<JoinHandle<()>>,
+    /// The batcher shards, in shard-index order (at least one).
+    shards: Vec<ShardHandle>,
     stats: Arc<ServiceStats>,
     cache: Arc<BlockCache>,
-    /// Per-slot shared state (pending counter, epoch, fixed arity),
-    /// indexed by `SimId::slot`.
+    /// Per-slot shared state (owning shard, pending counter, epoch,
+    /// fixed arity), indexed by `SimId::slot`.
     slots: RwLock<Vec<Arc<SlotState>>>,
     queue_depth: usize,
-    /// Event sink shared with the batcher thread. `None` (the default)
+    /// Event sink shared with the batcher threads. `None` (the default)
     /// keeps every record site a single branch — see
     /// [`Recorder`]'s disabled-path contract.
     recorder: Option<Arc<dyn Recorder>>,
@@ -299,10 +405,12 @@ static NEXT_SERVICE: AtomicU64 = AtomicU64::new(0);
 impl SimService {
     /// Start a service with the given configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.block_words == 0`.
-    pub fn start(config: ServeConfig) -> SimService {
+    /// Returns the matching [`ConfigError`] for degenerate
+    /// configurations (see [`ServeConfig::validate`]) instead of starting
+    /// a service that would panic or misbehave later.
+    pub fn start(config: ServeConfig) -> Result<SimService, ConfigError> {
         SimService::start_inner(config, None)
     }
 
@@ -312,43 +420,56 @@ impl SimService {
     /// (no recorder) those record sites cost one branch each — the
     /// disabled-path contract `serve_bench` holds the service to.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.block_words == 0`.
-    pub fn start_with_recorder(config: ServeConfig, recorder: Arc<dyn Recorder>) -> SimService {
+    /// Returns the matching [`ConfigError`] for degenerate
+    /// configurations (see [`ServeConfig::validate`]).
+    pub fn start_with_recorder(
+        config: ServeConfig,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<SimService, ConfigError> {
         SimService::start_inner(config, Some(recorder))
     }
 
-    fn start_inner(config: ServeConfig, recorder: Option<Arc<dyn Recorder>>) -> SimService {
-        assert!(config.block_words >= 1, "need at least one lane word");
-        let (tx, rx) = channel();
+    fn start_inner(
+        config: ServeConfig,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> Result<SimService, ConfigError> {
+        config.validate()?;
         let stats = Arc::new(ServiceStats::default());
         let cache = Arc::new(BlockCache::new(config.cache_capacity, config.cache_shards));
-        let worker = {
-            let cache = Arc::clone(&cache);
-            let recorder = recorder.clone();
-            std::thread::Builder::new()
-                .name("ambipla-batcher".into())
-                .spawn(move || {
-                    batcher_loop(rx, config.max_wait, config.block_words, &cache, recorder)
-                })
-                .expect("spawn batcher thread")
-        };
-        SimService {
-            tx,
-            worker: Some(worker),
+        let shards = (0..config.shards)
+            .map(|s| {
+                let (tx, rx) = channel();
+                let cache = Arc::clone(&cache);
+                let recorder = recorder.clone();
+                let worker = std::thread::Builder::new()
+                    .name(format!("ambipla-batcher-{s}"))
+                    .spawn(move || {
+                        batcher_loop(rx, config.max_wait, config.block_words, &cache, recorder)
+                    })
+                    .expect("spawn batcher thread");
+                ShardHandle {
+                    tx,
+                    worker: Some(worker),
+                }
+            })
+            .collect();
+        Ok(SimService {
+            shards,
             stats,
             cache,
             slots: RwLock::new(Vec::new()),
             queue_depth: config.queue_depth,
             recorder,
             nonce: NEXT_SERVICE.fetch_add(1, Ordering::Relaxed),
-        }
+        })
     }
 
-    /// Start with [`ServeConfig::default`].
+    /// Start with [`ServeConfig::default`] (always a valid
+    /// configuration, so this stays infallible).
     pub fn with_defaults() -> SimService {
-        SimService::start(ServeConfig::default())
+        SimService::start(ServeConfig::default()).expect("default config is valid")
     }
 
     /// Register a simulation backend under a caller-supplied [`SimKey`];
@@ -367,11 +488,13 @@ impl SimService {
     /// requests are `u64`s).
     pub fn register_sim(&self, sim: SharedSim, key: SimKey) -> SimId {
         assert!(sim.n_inputs() <= 64, "at most 64 inputs per simulator");
+        let shard = shard_for_key(key, self.shards.len());
         // The stats registry is appended under the slot lock so its slot
         // numbering always matches the id numbering.
         let (id, slot) = {
             let mut slots = self.slots.write().unwrap();
             let slot = Arc::new(SlotState {
+                shard,
                 pending: AtomicUsize::new(0),
                 epoch: AtomicU64::new(0),
                 n_inputs: sim.n_inputs(),
@@ -381,7 +504,8 @@ impl SimService {
             slots.push(Arc::clone(&slot));
             (slots.len() - 1, slot)
         };
-        self.tx
+        self.shards[shard]
+            .tx
             .send(Msg::Register { id, sim, key, slot })
             .expect("batcher thread alive");
         SimId {
@@ -421,7 +545,8 @@ impl SimService {
             "swap candidate output arity differs from the registration"
         );
         let (ack, done) = channel();
-        self.tx
+        self.shards[slot.shard]
+            .tx
             .send(Msg::Swap {
                 id: id.slot,
                 sim,
@@ -429,6 +554,34 @@ impl SimService {
             })
             .expect("batcher thread alive");
         done.recv().expect("batcher thread alive")
+    }
+
+    /// The batcher shard a registration is pinned to — `shard_for_key`
+    /// of its [`SimKey`] at registration time. Stable for the
+    /// registration's lifetime (swaps keep the key, so they keep the
+    /// shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` was issued by a different service.
+    pub fn shard_of(&self, sim: SimId) -> usize {
+        self.slot(sim).shard
+    }
+
+    /// Number of batcher shards (`ServeConfig::shards`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Input/output arity of a registration: `(n_inputs, n_outputs)`,
+    /// fixed at [`register_sim`](SimService::register_sim) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` was issued by a different service.
+    pub fn arity(&self, sim: SimId) -> (usize, usize) {
+        let slot = self.slot(sim);
+        (slot.n_inputs, slot.n_outputs)
     }
 
     /// The current epoch of a registration: 0 until the first
@@ -500,6 +653,40 @@ impl SimService {
         self.submit_raw(&slot, sim, bits, tag, reply.0.clone());
     }
 
+    /// Bounded tagged submission: [`SimService::submit_tagged`] with
+    /// the backpressure of [`SimService::try_submit`] — refused with
+    /// [`QueueFull`] once the target simulator has `queue_depth` requests
+    /// pending. The network front end's dispatch path: many requests in
+    /// flight over one shared [`ReplySink`], none allowed to queue
+    /// without bound.
+    pub fn try_submit_tagged(
+        &self,
+        sim: SimId,
+        bits: u64,
+        tag: u64,
+        reply: &ReplySink,
+    ) -> Result<(), QueueFull> {
+        let slot = self.slot(sim);
+        let depth = self.queue_depth;
+        if slot
+            .pending
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| {
+                (p < depth).then_some(p + 1)
+            })
+            .is_err()
+        {
+            slot.stats.record_queue_full();
+            if let Some(r) = &self.recorder {
+                r.record(Event::now(EventKind::QueueFull {
+                    slot: sim.slot as u32,
+                }));
+            }
+            return Err(QueueFull { depth });
+        }
+        self.submit_raw(&slot, sim, bits, tag, reply.0.clone());
+        Ok(())
+    }
+
     /// The shared slot state of `sim`, validating the id en route.
     fn slot(&self, sim: SimId) -> Arc<SlotState> {
         assert!(
@@ -519,7 +706,8 @@ impl SimService {
         reply: Sender<SimReply>,
     ) {
         slot.stats.record_request();
-        self.tx
+        self.shards[slot.shard]
+            .tx
             .send(Msg::Submit {
                 id: sim.slot,
                 bits,
@@ -577,9 +765,16 @@ impl SimService {
     }
 
     fn stop(&mut self) {
-        if let Some(worker) = self.worker.take() {
-            let _ = self.tx.send(Msg::Shutdown);
-            worker.join().expect("batcher thread panicked");
+        // Signal every shard before joining any, so the drains overlap.
+        for shard in &self.shards {
+            if shard.worker.is_some() {
+                let _ = shard.tx.send(Msg::Shutdown);
+            }
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                worker.join().expect("batcher thread panicked");
+            }
         }
     }
 }
@@ -968,6 +1163,7 @@ mod tests {
     /// A standalone slot for driving `Registered::flush` directly.
     fn test_slot(pending: usize, n_inputs: usize, n_outputs: usize) -> Arc<SlotState> {
         Arc::new(SlotState {
+            shard: 0,
             pending: AtomicUsize::new(pending),
             epoch: AtomicU64::new(0),
             n_inputs,
@@ -978,7 +1174,7 @@ mod tests {
 
     #[test]
     fn single_request_matches_direct_eval() {
-        let service = SimService::start(quick());
+        let service = SimService::start(quick()).expect("valid config");
         let cover = adder();
         let id = service.register(cover.clone());
         for bits in 0..8u64 {
@@ -991,7 +1187,7 @@ mod tests {
         // The tentpole scenario: a nominal PLA and its faulty twin served
         // side by side, plus the raw specification cover — three backend
         // types, one batcher, one cache.
-        let service = SimService::start(quick());
+        let service = SimService::start(quick()).expect("valid config");
         let cover = adder();
         let nominal = GnorPla::from_cover(&cover);
         let faulty = faulty_adder();
@@ -1043,7 +1239,8 @@ mod tests {
         let service = SimService::start(ServeConfig {
             max_wait: Duration::from_secs(10),
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let cover = adder();
         let key = SimKey::of_cover(&cover);
         let cid = service.register(cover.clone());
@@ -1071,7 +1268,8 @@ mod tests {
             max_wait: Duration::from_secs(10),
             queue_depth: 4,
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let cover = adder();
         let id = service.register(cover.clone());
         let tickets: Vec<_> = (0..4u64)
@@ -1105,7 +1303,8 @@ mod tests {
             max_wait: Duration::from_millis(1),
             queue_depth: 2,
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let cover = adder();
         let id = service.register(cover.clone());
         for round in 0..5u64 {
@@ -1127,7 +1326,8 @@ mod tests {
             max_wait: Duration::from_secs(10),
             queue_depth: 2,
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let a = service.register(adder());
         let b = service.register_sim(Arc::new(faulty_adder()), SimKey::new(7));
         let _a1 = service.try_submit(a, 0).expect("a has capacity");
@@ -1144,7 +1344,8 @@ mod tests {
         let service = SimService::start(ServeConfig {
             max_wait: Duration::from_secs(10),
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let cover = adder();
         let id = service.register(cover.clone());
         let (sink, stream) = reply_channel();
@@ -1165,7 +1366,7 @@ mod tests {
 
     #[test]
     fn partial_block_flushes_at_the_deadline() {
-        let service = SimService::start(quick());
+        let service = SimService::start(quick()).expect("valid config");
         let cover = adder();
         let id = service.register(cover.clone());
         let tickets: Vec<_> = (0..5u64)
@@ -1189,7 +1390,8 @@ mod tests {
         let service = SimService::start(ServeConfig {
             max_wait: Duration::from_secs(10),
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let cover = adder();
         let id = service.register(cover.clone());
         let (sink, stream) = reply_channel();
@@ -1215,7 +1417,7 @@ mod tests {
 
     #[test]
     fn covers_are_batched_independently() {
-        let service = SimService::start(quick());
+        let service = SimService::start(quick()).expect("valid config");
         let xor = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
         let and = Cover::parse("11 1", 2, 1).expect("valid cover");
         let xid = service.register(xor.clone());
@@ -1238,7 +1440,8 @@ mod tests {
         let service = SimService::start(ServeConfig {
             max_wait: Duration::from_secs(10),
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let cover = adder();
         let id = service.register(cover.clone());
         let tickets: Vec<_> = (0..3u64)
@@ -1277,7 +1480,7 @@ mod tests {
         // Register messages from different threads can reach the batcher
         // out of id order — each thread must still get answers from *its*
         // backend.
-        let service = SimService::start(quick());
+        let service = SimService::start(quick()).expect("valid config");
         std::thread::scope(|s| {
             for t in 0..8u64 {
                 let service = &service;
@@ -1304,7 +1507,7 @@ mod tests {
 
     #[test]
     fn dropped_tickets_do_not_wedge_the_service() {
-        let service = SimService::start(quick());
+        let service = SimService::start(quick()).expect("valid config");
         let id = service.register(adder());
         drop(service.submit(id, 1)); // client walks away
         let ticket = service.submit(id, 2);
@@ -1319,7 +1522,8 @@ mod tests {
             max_wait: Duration::from_secs(10),
             block_words: 2,
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let cover = adder();
         let id = service.register(cover.clone());
         let (sink, stream) = reply_channel();
@@ -1496,7 +1700,8 @@ mod tests {
         let service = SimService::start(ServeConfig {
             max_wait: Duration::from_secs(10), // only swaps flush
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let cover = adder();
         let nominal = GnorPla::from_cover(&cover);
         let faulty = faulty_adder();
@@ -1524,7 +1729,7 @@ mod tests {
 
     #[test]
     fn swapping_an_empty_queue_still_bumps_the_epoch() {
-        let service = SimService::start(quick());
+        let service = SimService::start(quick()).expect("valid config");
         let id = service.register(adder());
         for expect in 1..=5u64 {
             assert_eq!(service.swap_sim(id, Arc::new(adder())), expect);
@@ -1540,7 +1745,8 @@ mod tests {
         let service = SimService::start(ServeConfig {
             max_wait: Duration::from_secs(10),
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let cover = adder();
         let id = service.register(cover.clone());
         let tickets: Vec<_> = (0..5u64)
@@ -1561,7 +1767,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "input arity differs")]
     fn swap_rejects_mismatched_arity() {
-        let service = SimService::start(quick());
+        let service = SimService::start(quick()).expect("valid config");
         let id = service.register(adder());
         let xor = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
         service.swap_sim(id, Arc::new(xor));
@@ -1575,7 +1781,8 @@ mod tests {
         let service = SimService::start(ServeConfig {
             max_wait: Duration::from_secs(10),
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid config");
         let cover = adder();
         let swapped = service.register_sim(Arc::new(cover.clone()), SimKey::new(1));
         let bystander = service.register_sim(Arc::new(cover.clone()), SimKey::new(2));
@@ -1604,5 +1811,165 @@ mod tests {
         let snap = service.stats();
         assert_eq!(snap.cache_misses, 3, "only the swapped epoch repopulates");
         assert_eq!(snap.cache_hits, 3, "the bystander still hits");
+    }
+
+    #[test]
+    fn degenerate_configs_are_refused_with_typed_errors() {
+        for (config, expected) in [
+            (
+                ServeConfig {
+                    queue_depth: 0,
+                    ..ServeConfig::default()
+                },
+                ConfigError::ZeroQueueDepth,
+            ),
+            (
+                ServeConfig {
+                    block_words: 0,
+                    ..ServeConfig::default()
+                },
+                ConfigError::ZeroBlockWords,
+            ),
+            (
+                ServeConfig {
+                    shards: 0,
+                    ..ServeConfig::default()
+                },
+                ConfigError::ZeroShards,
+            ),
+            (
+                ServeConfig {
+                    cache_shards: 0,
+                    ..ServeConfig::default()
+                },
+                ConfigError::ZeroCacheShards,
+            ),
+        ] {
+            assert_eq!(config.validate().unwrap_err(), expected);
+            match SimService::start(config) {
+                Err(e) => assert_eq!(e, expected),
+                Ok(_) => panic!("degenerate config {config:?} must not start"),
+            }
+            // The error is displayable (it names the offending knob).
+            assert!(!expected.to_string().is_empty());
+        }
+        assert_eq!(ServeConfig::default().validate(), Ok(()));
+        // cache_capacity == 0 stays legal: it disables caching.
+        assert!(SimService::start(ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_in_range() {
+        for raw in 0..256u64 {
+            let key = SimKey::new(raw);
+            assert_eq!(shard_for_key(key, 1), 0);
+            for shards in [2usize, 3, 8] {
+                let s = shard_for_key(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for_key(key, shards), "stable per (key, shards)");
+            }
+        }
+        // The hash actually spreads: 256 keys over 4 shards must not
+        // collapse onto one.
+        let mut seen = [false; 4];
+        for raw in 0..256u64 {
+            seen[shard_for_key(SimKey::new(raw), 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all four shards get keys");
+    }
+
+    #[test]
+    fn sharded_service_serves_and_swaps_per_registration() {
+        // Multiple registrations spread over several batcher threads:
+        // every reply still comes from the right backend, swaps keep the
+        // epoch contract per registration, and stats() folds across
+        // shards.
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_millis(1),
+            shards: 3,
+            ..ServeConfig::default()
+        })
+        .expect("valid config");
+        assert_eq!(service.shard_count(), 3);
+        let cover = adder();
+        let ids: Vec<_> = (0..8u64)
+            .map(|k| service.register_sim(Arc::new(cover.clone()), SimKey::new(k)))
+            .collect();
+        // shard_of matches the public assignment rule, and with 8 keys
+        // over 3 shards at least two shards are in use.
+        let mut used = [false; 3];
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                service.shard_of(id),
+                shard_for_key(SimKey::new(k as u64), 3)
+            );
+            used[service.shard_of(id)] = true;
+        }
+        assert!(used.iter().filter(|&&u| u).count() >= 2);
+
+        let tickets: Vec<_> = (0..64u64)
+            .map(|i| {
+                let id = ids[(i % 8) as usize];
+                (i % 8, service.submit(id, i % 8))
+            })
+            .collect();
+        for (bits, t) in tickets {
+            assert_eq!(t.wait(), cover.eval_bits(bits));
+        }
+        // Swap one registration; its epoch bumps, its shard-mates' do not.
+        let victim = ids[5];
+        assert_eq!(service.swap_sim(victim, Arc::new(cover.clone())), 1);
+        assert_eq!(service.epoch(victim), 1);
+        for (k, &id) in ids.iter().enumerate() {
+            if k != 5 {
+                assert_eq!(service.epoch(id), 0);
+            }
+        }
+        let reply = service.submit(victim, 3).wait_reply();
+        assert_eq!(reply.epoch, 1);
+        assert_eq!(reply.outputs, cover.eval_bits(3));
+
+        let snap = service.shutdown();
+        assert_eq!(snap.requests, 64 + 1);
+        assert_eq!(snap.lanes_filled, 64 + 1, "zero drops across shards");
+        assert_eq!(snap.swaps, 1);
+    }
+
+    #[test]
+    fn try_submit_tagged_is_bounded_like_try_submit() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10), // nothing flushes until shutdown
+            queue_depth: 3,
+            ..ServeConfig::default()
+        })
+        .expect("valid config");
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let (sink, stream) = reply_channel();
+        for tag in 0..3u64 {
+            service
+                .try_submit_tagged(id, tag % 8, tag, &sink)
+                .expect("below depth");
+        }
+        assert_eq!(
+            service.try_submit_tagged(id, 0, 99, &sink).unwrap_err(),
+            QueueFull { depth: 3 }
+        );
+        let snap = service.stats();
+        assert_eq!(snap.queue_full, 1);
+        assert_eq!(snap.requests, 3, "the rejected submission is not counted");
+        drop(service); // shutdown drains the accepted three
+        for _ in 0..3 {
+            let reply = stream.recv();
+            assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
+        }
+        assert!(
+            stream.try_recv().is_none(),
+            "the rejected tag never replies"
+        );
     }
 }

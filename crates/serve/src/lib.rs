@@ -20,11 +20,15 @@
 //!
 //! * [`batcher`] — the [`SimService`]: per-simulator lane-packing queues
 //!   over `Arc<dyn Simulator>` backends ([`SimService::register_sim`],
-//!   with [`SimService::register`] as the `Cover` convenience),
-//!   full-block / deadline flushes of up to `block_words × 64` lanes
+//!   with [`SimService::register`] as the `Cover` convenience), sharded
+//!   across `ServeConfig::shards` batcher threads (each registration
+//!   pinned by [`shard_for_key`] of its [`SimKey`], so the whole
+//!   per-registration contract is shard-local), full-block / deadline
+//!   flushes of up to `block_words × 64` lanes
 //!   through one `eval_words` call on reused buffers, channel-based
 //!   scatter, bounded-queue backpressure
-//!   ([`SimService::try_submit`] / [`QueueFull`]), and **epoch-versioned
+//!   ([`SimService::try_submit`] / [`QueueFull`]), typed configuration
+//!   validation ([`ConfigError`]), and **epoch-versioned
 //!   hot swaps** ([`SimService::swap_sim`]: drain, install, bump — see
 //!   the [`batcher`] module docs for the full contract),
 //! * [`cache`] — the sharded LRU [`BlockCache`] keyed on
@@ -112,8 +116,8 @@ pub use logic::eval::LANES;
 
 pub use ambipla_core::{cover_hash, Simulator, WorkerPool};
 pub use batcher::{
-    reply_channel, QueueFull, ReplySink, ReplyStream, ServeConfig, SharedSim, SimId, SimReply,
-    SimService, SimTicket,
+    reply_channel, shard_for_key, ConfigError, QueueFull, ReplySink, ReplyStream, ServeConfig,
+    SharedSim, SimId, SimReply, SimService, SimTicket,
 };
 pub use cache::{BlockCache, BlockKey, SimKey};
 pub use export::metric_families;

@@ -15,7 +15,11 @@
 //! * [`fault`] — defect injection, repair and yield analysis (with
 //!   deterministic parallel Monte-Carlo),
 //! * [`serve`] — the request-batching simulation service: lane-packing
-//!   batcher, sharded result cache, worker-pool bulk sweeps,
+//!   batchers sharded across threads, sharded result cache, worker-pool
+//!   bulk sweeps,
+//! * [`net`] — the multi-tenant TCP front end over [`serve`]:
+//!   length-prefixed wire protocol, per-tenant token-bucket quotas,
+//!   deficit-round-robin fair queueing,
 //! * [`obs`] — the observability layer: structured-event ring buffer,
 //!   [`Recorder`](obs::Recorder) sink trait, Prometheus-text and JSON
 //!   metric exporters (per-registration serve metrics plug in via
@@ -42,6 +46,7 @@
 //! ```
 
 pub use ambipla_core as core;
+pub use ambipla_net as net;
 pub use ambipla_obs as obs;
 pub use ambipla_serve as serve;
 pub use cnfet as device;

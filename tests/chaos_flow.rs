@@ -25,6 +25,11 @@
 //! Zero requests may be dropped: every submission must produce exactly
 //! one reply. `AMBIPLA_CHAOS_ITERS` overrides the default 60 swaps (CI
 //! runs a bounded smoke with it; soak locally with a larger value).
+//!
+//! The network-mode run repeats the scenario through the full TCP stack
+//! (`ambipla::net`): two tenants over loopback connections against a
+//! two-shard service, with the mutator swapping both registrations and
+//! every wire reply checked against its serving epoch's oracle truth.
 
 use ambipla::core::{EpochOracle, GnorPla, Simulator};
 use ambipla::fault::{repair_with_columns, ColumnRepairOutcome, DefectMap, FaultyGnorPla};
@@ -181,7 +186,8 @@ fn chaos_hot_swaps_under_load_keep_every_reply_epoch_consistent() {
             ..ServeConfig::default()
         },
         Arc::clone(&ring) as Arc<dyn ambipla::obs::Recorder>,
-    );
+    )
+    .expect("valid config");
     let initial: SharedSim = Arc::new(nominal);
     let oracle = EpochOracle::new(Arc::clone(&initial));
     let fid = service.register_sim(initial, SimKey::new(0xfad));
@@ -377,7 +383,8 @@ fn swap_invalidates_exactly_the_swapped_registrations_entries() {
     let service = SimService::start(ServeConfig {
         max_wait: Duration::from_secs(10), // only full blocks flush
         ..ServeConfig::default()
-    });
+    })
+    .expect("valid config");
     let swapped_gen0 = Counting::over(Arc::new(spec.clone()));
     let bystander_gen = Counting::over(Arc::new(spec.clone()));
     let sid = service.register_sim(Arc::clone(&swapped_gen0) as SharedSim, SimKey::new(1));
@@ -438,6 +445,206 @@ fn swap_invalidates_exactly_the_swapped_registrations_entries() {
     assert_eq!(snap.cache_hits, 4);
 }
 
+/// Network-mode chaos: the same mutator pressure, but through the full
+/// TCP stack — wire codec, hello authentication, per-tenant admission,
+/// DRR scheduling, dispatch into a **two-shard** service — with two
+/// tenants on separate loopback connections and the two target
+/// registrations pinned to *different* batcher shards. Asserts:
+///
+/// * every wire reply bit-matches the scalar truth of the epoch that
+///   served it (per-registration [`EpochOracle`]s),
+/// * zero drops and zero error frames: each tenant gets exactly one
+///   `Reply` per request, and the service counters agree,
+/// * per-tenant counters reconcile with the driver's own log
+///   (accepted == submitted == replies, no quota/queue rejects),
+/// * the server's event recorder saw exactly one `Accept` and one
+///   `Disconnect` per tenant and no `QuotaReject`.
+#[test]
+fn chaos_over_tcp_two_tenants_two_shards_stays_epoch_consistent() {
+    use ambipla::net::{Frame, NetClient, NetConfig, NetServer, TenantId};
+    use ambipla::serve::shard_for_key;
+
+    const TENANTS: u64 = 2;
+    const BURST: u64 = 32;
+    let swaps = chaos_iters();
+
+    let spec = spec();
+    let nominal = GnorPla::from_cover(&spec);
+    let dims = nominal.dimensions();
+    let base_faulty = FaultyGnorPla::new(
+        nominal.clone(),
+        DefectMap::clean(dims.products, dims.inputs, dims.outputs),
+    );
+
+    let service = Arc::new(
+        SimService::start(ServeConfig {
+            shards: 2,
+            max_wait: Duration::from_micros(100),
+            cache_capacity: 256,
+            cache_shards: 4,
+            block_words: 2,
+            ..ServeConfig::default()
+        })
+        .expect("valid config"),
+    );
+
+    // Pick one key per shard so the chaos provably spans both batcher
+    // threads.
+    let key_a = (0..64u64)
+        .map(SimKey::new)
+        .find(|&k| shard_for_key(k, 2) == 0)
+        .expect("a key hashing to shard 0");
+    let key_b = (0..64u64)
+        .map(SimKey::new)
+        .find(|&k| shard_for_key(k, 2) == 1)
+        .expect("a key hashing to shard 1");
+
+    // The server's recorder only sees connection-lifecycle events here
+    // (the service itself runs unrecorded), so the ring stays tiny.
+    let ring = Arc::new(EventRing::with_capacity(1024));
+    let server = NetServer::bind_with_recorder(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        NetConfig::default(),
+        Arc::clone(&ring) as Arc<dyn ambipla::obs::Recorder>,
+    )
+    .expect("bind loopback");
+
+    let initial_a: SharedSim = Arc::new(nominal.clone());
+    let initial_b: SharedSim = Arc::new(nominal.clone());
+    let oracle_a = EpochOracle::new(Arc::clone(&initial_a));
+    let oracle_b = EpochOracle::new(Arc::clone(&initial_b));
+    let id_a = server.register_sim(initial_a, key_a);
+    let id_b = server.register_sim(initial_b, key_b);
+    assert_ne!(
+        service.shard_of(id_a),
+        service.shard_of(id_b),
+        "the two chaos registrations must live on different shards"
+    );
+
+    let addr = server.local_addr();
+    let running = AtomicBool::new(true);
+    let mut swap_log: Vec<(u64, u64)> = Vec::new(); // (registration index, epoch)
+    let per_tenant_submitted = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|t| {
+                let oracle_a = &oracle_a;
+                let oracle_b = &oracle_b;
+                let running = &running;
+                s.spawn(move || {
+                    let mut client =
+                        NetClient::connect(addr, TenantId::new(t)).expect("connect tenant");
+                    let mut rng = StdRng::seed_from_u64(0x7cb ^ t);
+                    let mut submitted = 0u64;
+                    let mut epochs = BTreeSet::new();
+                    while running.load(Ordering::Relaxed) {
+                        // Pipeline a burst across BOTH registrations, then
+                        // drain it. The request id encodes (serial, bits,
+                        // sim), so out-of-order replies self-describe.
+                        for _ in 0..BURST {
+                            let bits = rng.gen_range(0..8u64);
+                            let sim_idx = submitted & 1;
+                            let key = if sim_idx == 0 { key_a } else { key_b };
+                            client.queue_request(key, submitted << 4 | bits << 1 | sim_idx, bits);
+                            submitted += 1;
+                        }
+                        client.flush().expect("flush burst");
+                        for _ in 0..BURST {
+                            match client.recv().expect("recv reply") {
+                                Frame::Reply {
+                                    req_id,
+                                    epoch,
+                                    outputs,
+                                } => {
+                                    let bits = req_id >> 1 & 0b111;
+                                    let oracle = if req_id & 1 == 0 { oracle_a } else { oracle_b };
+                                    assert!(
+                                        oracle.matches(epoch, bits, &outputs),
+                                        "tenant {t}: wire reply for bits {bits:03b} does \
+                                         not match the truth of epoch {epoch}"
+                                    );
+                                    epochs.insert(epoch);
+                                }
+                                other => panic!("tenant {t}: unexpected frame {other:?}"),
+                            }
+                        }
+                    }
+                    assert!(
+                        epochs.len() >= 2,
+                        "tenant {t} never saw a swap straddle its traffic"
+                    );
+                    submitted
+                })
+            })
+            .collect();
+
+        // The mutator alternates between the two registrations, pushing
+        // each generation into its oracle before the swap lands.
+        for k in 1..=swaps {
+            let candidate = swap_candidate(k, &spec, &base_faulty);
+            let (idx, id, oracle) = if k % 2 == 0 {
+                (0, id_a, &oracle_a)
+            } else {
+                (1, id_b, &oracle_b)
+            };
+            let promised = oracle.push(Arc::clone(&candidate));
+            let installed = service.swap_sim(id, candidate);
+            assert_eq!(installed, promised, "oracle and service disagree on epochs");
+            swap_log.push((idx, installed));
+        }
+        running.store(false, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread panicked"))
+            .collect::<Vec<u64>>()
+    });
+
+    // Per-tenant counters reconcile exactly with the driver's log: every
+    // submission was admitted, dispatched and answered — zero drops, no
+    // quota or backpressure rejects, no malformed requests.
+    let stats = server.tenant_stats();
+    assert_eq!(stats.len() as u64, TENANTS);
+    for (t, snap) in stats.iter().enumerate() {
+        let submitted = per_tenant_submitted[t];
+        assert_eq!(snap.id, TenantId::new(t as u64));
+        assert_eq!(snap.accepted, submitted, "tenant {t}: admissions");
+        assert_eq!(snap.replies, submitted, "tenant {t}: zero drops");
+        assert_eq!(snap.quota_rejected, 0);
+        assert_eq!(snap.queue_full, 0);
+        assert_eq!(snap.unknown_sim + snap.bad_arity, 0);
+    }
+    server.shutdown();
+
+    // Connection lifecycle in the event log: one Accept and one
+    // Disconnect per tenant, and never a QuotaReject.
+    let events = ring.drain();
+    assert_eq!(ring.dropped(), 0);
+    for t in 0..TENANTS {
+        let accepts = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Accept { tenant, .. } if tenant == t))
+            .count();
+        let disconnects = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Disconnect { tenant, .. } if tenant == t))
+            .count();
+        assert_eq!((accepts, disconnects), (1, 1), "tenant {t} lifecycle");
+    }
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::QuotaReject { .. })));
+
+    // Service-side reconciliation across both shards.
+    let total: u64 = per_tenant_submitted.iter().sum();
+    let snap = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("all service handles released"))
+        .shutdown();
+    assert_eq!(snap.swaps, swaps, "every driver-logged swap landed");
+    assert_eq!(swap_log.len() as u64, swaps);
+    assert_eq!(snap.requests, total, "every wire request reached a shard");
+    assert_eq!(snap.lanes_filled, total, "zero dropped requests");
+}
+
 /// One step of the proptest chaos driver: submit a request or hot-swap
 /// the backend.
 #[derive(Debug, Clone)]
@@ -479,7 +686,8 @@ proptest! {
             cache_capacity: 8,
             cache_shards: 2,
             ..ServeConfig::default()
-        });
+        })
+    .expect("valid config");
         let initial: SharedSim = Arc::new(nominal);
         let oracle = EpochOracle::new(Arc::clone(&initial));
         let fid = service.register_sim(initial, SimKey::new(0xfad));

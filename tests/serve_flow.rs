@@ -68,7 +68,8 @@ proptest! {
             cache_shards: 2,
             block_words,
             ..ServeConfig::default()
-        });
+        })
+    .expect("valid config");
         let ids: Vec<_> = covers.iter().map(|c| service.register(c.clone())).collect();
 
         // Interleave the two submission styles in schedule order: shared
@@ -174,7 +175,8 @@ fn try_submit_composes_with_swap_drains() {
         max_wait: Duration::from_secs(10), // only swaps and shutdown flush
         queue_depth: 4,
         ..ServeConfig::default()
-    });
+    })
+    .expect("valid config");
     let spec = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
     let id = service.register(spec.clone());
     let before: Vec<_> = (0..4u64)
@@ -224,7 +226,8 @@ fn concurrent_try_submit_during_swaps_never_deadlocks() {
         max_wait: Duration::from_micros(100),
         queue_depth: 16,
         ..ServeConfig::default()
-    });
+    })
+    .expect("valid config");
     let spec = Cover::parse("10 1\n01 1", 2, 1).expect("valid cover");
     let id = service.register(spec.clone());
 
