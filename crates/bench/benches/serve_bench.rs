@@ -28,7 +28,17 @@
 //!   ≥ 1.5× two-shard floor is asserted only on hosts with ≥ 4
 //!   hardware threads (on a single core both configurations share one
 //!   CPU and the ratio is meaningless); the measured ratio is always
-//!   printed and recorded in the JSON report.
+//!   printed and recorded in the JSON report,
+//! * a **tiered-evaluation section**: a small hot sim (12 inputs, a
+//!   dense unminimized product plane) served from the warm batched path
+//!   (`TierPolicy::Disabled`, cache on) vs the materialized truth-table
+//!   tier (`TierPolicy::Forced`). The request stream is Zipf-style:
+//!   a few hot 64-lane blocks repeat (steady-state cache hits) while a
+//!   long tail of unique blocks churns the LRU and pays `eval_words`
+//!   on every miss — the traffic shape the materialized tier exists
+//!   for. The ≥ 2× materialized-over-batched floor is asserted on
+//!   ≥ 4-hw-thread hosts; a 0.5× sanity floor (the indexed path must
+//!   never be *slower* than evaluating) is asserted everywhere.
 //!
 //! Results land in `BENCH_serve.json` (path override:
 //! `AMBIPLA_BENCH_JSON`), following the `BENCH_sim.json` convention.
@@ -37,7 +47,7 @@
 
 use ambipla_core::{GnorPla, Simulator};
 use ambipla_obs::EventRing;
-use ambipla_serve::{reply_channel, ServeConfig, SimId, SimKey, SimService};
+use ambipla_serve::{reply_channel, ServeConfig, SimId, SimKey, SimService, Tier, TierPolicy};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcnc::RandomPla;
 use std::sync::Arc;
@@ -233,6 +243,39 @@ fn bench_serve(c: &mut Criterion) {
         bw_rows.push((bw, ns, ratio));
     }
 
+    // --- tiered evaluation: warm batched path vs materialized table --
+    let (tier_batched_ns, tier_mat_ns, tier_hit_rate) = bench_tiers(c, smoke);
+    let tier_speedup = tier_batched_ns / tier_mat_ns;
+    println!(
+        "serve_tier_12i: batched warm {tier_batched_ns:.1} ns/request \
+         ({:.0}% cache hit rate), materialized {tier_mat_ns:.1} ns/request → \
+         {tier_speedup:.2}x",
+        100.0 * tier_hit_rate
+    );
+    assert!(
+        tier_speedup >= 0.5,
+        "sanity floor: the materialized indexed path must never fall behind \
+         the batched path by 2×, measured {tier_speedup:.2}x"
+    );
+    {
+        let hw_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if hw_threads >= 4 {
+            assert!(
+                tier_speedup >= 2.0,
+                "acceptance floor: the materialized tier must serve the small \
+                 hot sim ≥ 2× faster than the warm batched path under \
+                 Zipf-style traffic, measured {tier_speedup:.2}x"
+            );
+        } else {
+            println!(
+                "serve_tier_12i: ≥2x floor not asserted ({hw_threads} hw \
+                 threads < 4 — submitter and batcher share one CPU here)"
+            );
+        }
+    }
+
     // --- shard scaling: 8 registrations, 4 submitters, 1 vs 2 shards -
     let hw_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -265,6 +308,10 @@ fn bench_serve(c: &mut Criterion) {
             warm_speedup: scalar / c.median_ns("service_warm").expect("warm recorded"),
             instrumented_overhead: overhead,
             block_words: bw_rows,
+            tier_batched_ns,
+            tier_materialized_ns: tier_mat_ns,
+            tier_speedup,
+            tier_hit_rate,
             hw_threads,
             single_shard_ns: single,
             two_shard_ns: sharded,
@@ -275,6 +322,129 @@ fn bench_serve(c: &mut Criterion) {
 
 /// Flush widths of the block-width table (lanes per flush = `bw × 64`).
 const BLOCK_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// The tiered-evaluation workload: a 12-input / 8-output PLA with a
+/// dense, unminimized 2048-term product plane (a raw two-level
+/// extraction, pre-espresso). Small enough that its full truth table is
+/// 4 KiB of packed words; expensive enough per `eval_words` call that
+/// re-evaluating a missed block dwarfs an indexed load — the trade the
+/// materialized tier is built on.
+fn small_hot_cover() -> logic::Cover {
+    RandomPla::new(12, 8, 2048)
+        .seed(7)
+        .literal_density(0.35)
+        .build()
+}
+
+/// splitmix64 finalizer — drives the unique-tail stream so tail
+/// sub-block patterns never cycle back into the cache's working set
+/// (a plain `counter * M mod 2^12` walk has period 64 sub-blocks,
+/// which a 256-entry LRU would happily absorb).
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Measure the small-hot-sim workload end to end on the warm batched
+/// path (`TierPolicy::Disabled`, cache on) and the materialized tier
+/// (`TierPolicy::Forced`), under the same Zipf-style request stream:
+/// within every 8-block round, even blocks replay one of three hot
+/// 64-lane patterns (rank-skewed 2:1:1, steady-state cache hits) and
+/// odd blocks are fresh unique vectors (cache misses that churn the
+/// LRU and pay a full `eval_words`). Returns
+/// `(batched_ns_per_request, materialized_ns_per_request, hit_rate)`.
+fn bench_tiers(c: &mut Criterion, smoke: bool) -> (f64, f64, f64) {
+    const SUB_BLOCKS: usize = 8; // 512 requests per iteration
+    const HOT: [u64; 4] = [0, 0, 1, 2]; // Zipf-style rank skew over 3 patterns
+    let cover = small_hot_cover();
+    let pla = GnorPla::from_cover(&cover);
+
+    // One 64-lane hot pattern per rank; `tail` advances forever so tail
+    // blocks never repeat across iterations (or services).
+    let hot_lane =
+        |p: u64, lane: u64| (lane.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (p * 3)) & 0xfff;
+    let round_vectors = |tail: &mut u64| -> Vec<u64> {
+        let mut vectors = Vec::with_capacity(SUB_BLOCKS * 64);
+        for k in 0..SUB_BLOCKS as u64 {
+            for lane in 0..64u64 {
+                if k % 2 == 0 {
+                    vectors.push(hot_lane(HOT[(k as usize / 2) % HOT.len()], lane));
+                } else {
+                    *tail += 1;
+                    vectors.push(mix64(*tail) & 0xfff);
+                }
+            }
+        }
+        vectors
+    };
+
+    // The batched service keeps its cache: big enough to hold the hot
+    // head, far too small for the unique tail — i.e. a working set that
+    // exceeds the cache, which is exactly when tiering pays.
+    let batched = SimService::start(ServeConfig {
+        tier_policy: TierPolicy::Disabled,
+        ..service_config(256)
+    })
+    .expect("valid config");
+    let batched_id = batched.register_sim(Arc::new(GnorPla::from_cover(&cover)), SimKey::new(12));
+    let materialized = SimService::start(ServeConfig {
+        tier_policy: TierPolicy::Forced,
+        ..service_config(256)
+    })
+    .expect("valid config");
+    let mat_id = materialized.register_sim(Arc::new(GnorPla::from_cover(&cover)), SimKey::new(13));
+
+    {
+        let mut group = c.benchmark_group("serve_tier_12i");
+        group.sample_size(if smoke { 5 } else { 15 });
+        for (label, service, id) in [
+            ("tier_batched_warm", &batched, batched_id),
+            ("tier_materialized", &materialized, mat_id),
+        ] {
+            let mut tail = 0u64;
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let vectors = round_vectors(&mut tail);
+                    let (sink, stream) = reply_channel();
+                    for (tag, &bits) in vectors.iter().enumerate() {
+                        service.submit_tagged(id, bits, tag as u64, &sink);
+                    }
+                    (0..vectors.len())
+                        .map(|_| stream.recv())
+                        .collect::<Vec<_>>()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // Both tiers answered from the same function: spot-check the last
+    // reply set bit-for-bit against the scalar oracle.
+    for (service, id) in [(&batched, batched_id), (&materialized, mat_id)] {
+        let reply = service.submit(id, 0xa5a).wait_reply();
+        assert_eq!(reply.outputs, pla.simulate_bits(0xa5a));
+    }
+    assert_eq!(
+        materialized.stats_for(mat_id).tier,
+        Tier::Materialized,
+        "the forced-tier registration must be serving from its table"
+    );
+    assert_eq!(batched.stats_for(batched_id).tier, Tier::Batched);
+
+    let requests = (SUB_BLOCKS * 64) as f64;
+    let batched_ns = c
+        .median_ns("tier_batched_warm")
+        .expect("batched tier recorded")
+        / requests;
+    let mat_ns = c
+        .median_ns("tier_materialized")
+        .expect("materialized tier recorded")
+        / requests;
+    let snap = batched.shutdown();
+    materialized.shutdown();
+    (batched_ns, mat_ns, snap.cache_hit_rate)
+}
 
 /// Wall-clock shard-scaling measurement: a cold `shards`-shard service
 /// holding 8 registrations of `cover`, hammered by 4 submitting threads
@@ -346,6 +516,10 @@ struct ServeReport {
     warm_speedup: f64,
     instrumented_overhead: f64,
     block_words: Vec<(usize, f64, f64)>,
+    tier_batched_ns: f64,
+    tier_materialized_ns: f64,
+    tier_speedup: f64,
+    tier_hit_rate: f64,
     hw_threads: usize,
     single_shard_ns: f64,
     two_shard_ns: f64,
@@ -385,6 +559,17 @@ fn write_json(_c: &Criterion, r: &ServeReport) {
         ));
     }
     body.push_str("  ],\n");
+    body.push_str(&format!(
+        "  \"tiered_evaluation\": {{\"workload\": \"12i2048p8o\", \
+         \"batched_warm_ns_per_request\": {:.1}, \
+         \"materialized_ns_per_request\": {:.1}, \"materialized_speedup\": {:.3}, \
+         \"batched_cache_hit_rate\": {:.3}, \"floor_asserted\": {}}},\n",
+        r.tier_batched_ns,
+        r.tier_materialized_ns,
+        r.tier_speedup,
+        r.tier_hit_rate,
+        r.hw_threads >= 4
+    ));
     body.push_str(&format!(
         "  \"shard_scaling\": {{\"hw_threads\": {}, \"single_shard_ns_per_request\": {:.1}, \
          \"two_shard_ns_per_request\": {:.1}, \"two_shard_speedup\": {:.3}, \

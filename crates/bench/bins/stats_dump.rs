@@ -14,16 +14,19 @@
 //! output, so CI can pipe it straight into a validator. The workload
 //! guarantees the properties the smoke step greps for: at least three
 //! registrations, at least one registration with three epochs (two hot
-//! swaps), cache traffic, a rejected submission (queue-full), and — via
+//! swaps), cache traffic, a rejected submission (queue-full), one
+//! registration driven past the default auto-tiering threshold (so the
+//! `ambipla_tier` family carries both a `tier="batched"` and a
+//! `tier="materialized"` sample), and — via
 //! a loopback [`NetServer`] workload — tenant-labeled front-end
 //! families with a non-zero quota rejection. The scrape concatenates
-//! `SimService::metric_families` (12 families) with
+//! `SimService::metric_families` (13 families) with
 //! `NetServer::metric_families` (7 tenant-labeled families).
 
 use ambipla_core::GnorPla;
 use ambipla_net::{Frame, NetClient, NetConfig, NetServer, QuotaConfig, TenantId};
 use ambipla_obs::{json_text, prometheus_text, EventKind, EventRing};
-use ambipla_serve::{ServeConfig, SimKey, SimService};
+use ambipla_serve::{reply_channel, ServeConfig, SimKey, SimService, Tier};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -85,6 +88,27 @@ fn workload(service: &SimService) {
         t.wait();
     }
     assert!(rejected > 0, "workload must exercise backpressure");
+
+    // Drive a fourth registration past the *default* auto-tiering
+    // threshold (tier_min_requests lanes served, eval spend ≥ 2^3), so
+    // the scrape shows a `tier="materialized"` series next to the three
+    // batched ones and the event ring records the promotion.
+    let majority2 = logic::Cover::parse("11- 1\n1-1 1\n-11 1", 3, 1).expect("valid cover");
+    let d = service.register_sim(Arc::new(majority2.clone()), SimKey::new(100));
+    let (sink, stream) = reply_channel();
+    let floor = ServeConfig::default().tier_min_requests + 64;
+    for i in 0..floor {
+        service.submit_tagged(d, i % 8, i, &sink);
+    }
+    for _ in 0..floor {
+        let reply = stream.recv();
+        assert_eq!(reply.outputs, majority2.eval_bits(reply.tag % 8));
+    }
+    assert_eq!(
+        service.stats_for(d).tier,
+        Tier::Materialized,
+        "the hot small registration must have been promoted"
+    );
 }
 
 /// Loopback TCP traffic so the seven `ambipla_net_*` families carry
@@ -162,11 +186,16 @@ fn main() {
                 .iter()
                 .filter(|e| matches!(e.kind, EventKind::Swap { .. }))
                 .count();
+            let promotions = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::TierPromote { .. }))
+                .count();
             println!(
-                "# ---- events: {} recorded ({} dropped), {} swaps ----",
+                "# ---- events: {} recorded ({} dropped), {} swaps, {} tier promotions ----",
                 events.len(),
                 ring.dropped(),
-                swaps
+                swaps,
+                promotions
             );
         }
     }

@@ -30,6 +30,10 @@
 //!   per call into caller-reused buffers) every PLA flavor, fault model
 //!   and FPGA mapping implements, plus the `&dyn Simulator` verification
 //!   sweeps,
+//! * [`table`] — materialized [`TruthTable`]s: small simulators swept
+//!   exhaustively once into packed words, then served (and compared) by
+//!   O(1) indexed load — the backing store of `ambipla_serve`'s
+//!   materialized tier,
 //! * [`hash`] — stable structural cover hashing (cache keys for the
 //!   `ambipla_serve` result cache),
 //! * [`pool`] — the deterministic [`std::thread::scope`] worker pool behind
@@ -56,6 +60,7 @@ pub mod pla;
 pub mod plane;
 pub mod pool;
 pub mod sim;
+pub mod table;
 pub mod timing;
 pub mod wpla;
 
@@ -77,5 +82,6 @@ pub use sim::{
     pack_vectors, pack_vectors_words, unpack_lane, unpack_lane_words, EpochOracle, SharedSimulator,
     Simulator, LANES,
 };
+pub use table::{table_bytes, TruthTable};
 pub use timing::{PlaTiming, TimingModel};
 pub use wpla::Wpla;

@@ -71,6 +71,7 @@
 //! `eval_block` — the provided adapter reproduces it. Callers of
 //! `eval_block` and the scalar adapters are unaffected.
 
+use crate::table::TruthTable;
 use logic::eval::{first_set_lane_words, sweep_words, EXHAUSTIVE_LIMIT, SWEEP_WORDS};
 use logic::Cover;
 use std::sync::{Arc, RwLock};
@@ -298,10 +299,24 @@ impl Simulator for Cover {
     }
 }
 
+/// Largest full arity answered by the [`TruthTable`] compare fast path
+/// in [`check_equivalent`]: at `n ≤ 16` both tables fit comfortably in
+/// cache (≤ 8 KiB per output), so materialize-then-compare beats the
+/// lockstep sweep and leaves two reusable tables behind conceptually.
+pub const TABLE_COMPARE_INPUTS: usize = 16;
+
 /// Exhaustively compare two simulators over the low `n_checked` inputs
 /// (any higher input columns are held at 0), `SWEEP_WORDS × 64`
 /// assignments per step with buffers reused across blocks, reporting the
 /// first counterexample in (assignment, output) order.
+///
+/// When the check covers the simulators' **full** input space and
+/// `n_checked ≤ `[`TABLE_COMPARE_INPUTS`], the sweep is replaced by a
+/// table compare: both sides are materialized into canonical
+/// [`TruthTable`]s (one chunked exhaustive sweep each) and diffed
+/// word-at-a-time via [`TruthTable::first_difference`] — same result,
+/// same counterexample order, and the XOR-plus-mask inner loop of the
+/// lockstep path collapses into straight word compares.
 ///
 /// # Panics
 ///
@@ -315,6 +330,14 @@ pub fn check_equivalent(a: &dyn Simulator, b: &dyn Simulator, n_checked: usize) 
         "cannot check more inputs than the simulators have"
     );
     assert!(n_checked < 64, "exhaustive sweeps need n_checked < 64");
+    if n_checked == a.n_inputs() && n_checked <= TABLE_COMPARE_INPUTS {
+        let ta = TruthTable::from_simulator(a);
+        let tb = TruthTable::from_simulator(b);
+        return match ta.first_difference(&tb) {
+            Some((bits, output)) => Equivalence::Counterexample { bits, output },
+            None => Equivalence::Equivalent { exhaustive: true },
+        };
+    }
     let n = a.n_inputs();
     let o = a.n_outputs();
     let total = 1u64 << n_checked;

@@ -4,7 +4,8 @@
 //! [`EventRing`](crate::EventRing) can store them inline without
 //! allocation. The vocabulary covers the serve layer's state transitions
 //! (registrations, epoch-bumping hot swaps, block flushes with their
-//! cache hit/miss burst, backpressure rejections) and the net front
+//! cache hit/miss burst, backpressure rejections, truth-table tier
+//! promotions) and the net front
 //! end's connection lifecycle (accepts, disconnects, tenant quota
 //! rejections); producers stamp each
 //! event with [`monotonic_ns`] **at the record site**, and only when a
@@ -117,6 +118,21 @@ pub enum EventKind {
     QueueFull {
         /// Registration slot index.
         slot: u32,
+    },
+    /// A registration was promoted to the materialized tier: its backend
+    /// was swept exhaustively into a packed truth table, and every
+    /// subsequent flush under `epoch` answers by indexed load (serve
+    /// layer's auto-tiering, or a forced-tier configuration).
+    TierPromote {
+        /// Registration slot index.
+        slot: u32,
+        /// Epoch whose backend was materialized (a hot swap drops the
+        /// table and re-materializes under the new epoch).
+        epoch: u64,
+        /// The backend's input count (`2^inputs` assignments were swept).
+        inputs: u32,
+        /// Wall-clock cost of the exhaustive sweep in ns.
+        build_ns: u64,
     },
     /// A network connection completed its hello handshake and was
     /// admitted (net layer).

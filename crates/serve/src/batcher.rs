@@ -73,9 +73,51 @@
 //! registration's current epoch at any time, and
 //! [`stats`](SimService::stats) reports `swaps` / `swap_flushes`
 //! counters that reconcile with a driver's swap log.
+//!
+//! # Tiered evaluation: materialized truth tables
+//!
+//! A registration whose backend is small enough serves faster from a
+//! [`TruthTable`] than from any batched evaluation: one exhaustive sweep
+//! materializes all `2^n` answers into packed words, and every later
+//! flush answers each lane by indexed load — no packing, no cache
+//! lookups, no backend call. Each registration therefore carries a
+//! **tier** ([`Tier::Batched`] or [`Tier::Materialized`]) governed by
+//! [`ServeConfig::tier_policy`]:
+//!
+//! * [`TierPolicy::Auto`] (default) promotes a registration once its
+//!   observed evaluation spend provably exceeds the one-time sweep cost.
+//!   With per-lane backend cost `c`, the traffic so far has cost
+//!   `c × eval_lanes` (lanes the backend actually evaluated, cache
+//!   misses included) and the sweep costs `c × 2^n`, so "measured eval
+//!   cost × traffic ≥ materialization cost" reduces exactly to the lane
+//!   count `eval_lanes ≥ 2^n` — no timing on the hot path. The
+//!   [`ServeConfig::tier_min_requests`] floor keeps one-shot
+//!   registrations batched.
+//! * [`TierPolicy::Forced`] materializes every eligible registration at
+//!   registration time (and re-materializes on every swap).
+//! * [`TierPolicy::Disabled`] never materializes.
+//!
+//! Eligibility is bounded twice: `n_inputs ≤ tier_max_inputs` and
+//! [`table_bytes`]`(n, outputs) ≤ tier_max_table_bytes` — an oversized
+//! backend silently stays batched (the memory guard), while
+//! contradictory knob combinations are refused up front by
+//! [`ServeConfig::validate`].
+//!
+//! The tier preserves every contract above: materialized flushes still
+//! record stats / [`EventKind::Flush`] per block (with zero cache
+//! traffic), still decrement the pending gauge before scattering, and a
+//! hot swap **drops the stale table, then re-materializes under the new
+//! epoch** before `swap_sim` returns (Auto re-materializes if the slot
+//! was materialized; Forced always), so a materialized registration is
+//! bit-identical to a batched one across its whole epoch history.
+//! Promotions are announced via [`EventKind::TierPromote`] and visible
+//! as [`RegSnapshot::tier`] / the `ambipla_tier` metric family.
 
 use crate::cache::{BlockCache, BlockKey, SimKey};
-use crate::stats::{EpochStats, FlushCause, RegSnapshot, RegStats, ServiceStats, StatsSnapshot};
+use crate::stats::{
+    EpochStats, FlushCause, RegSnapshot, RegStats, ServiceStats, StatsSnapshot, Tier,
+};
+use ambipla_core::{table_bytes, TruthTable};
 use ambipla_obs::{Event, EventKind, MetricFamily, Recorder};
 use logic::eval::{pack_vectors_words, unpack_lane_words, LANES};
 use logic::Cover;
@@ -125,6 +167,24 @@ pub struct ServeConfig {
     /// across shards (it is already internally sharded and
     /// concurrency-safe). Default 1 (the classic single batcher thread).
     pub shards: usize,
+    /// When (if ever) registrations are promoted to the materialized
+    /// truth-table tier — see the [module docs](self) on tiered
+    /// evaluation. Default [`TierPolicy::Auto`].
+    pub tier_policy: TierPolicy,
+    /// Widest backend (in inputs) the tier may materialize; backends
+    /// above it always stay batched. Must be < 64 while the policy is
+    /// enabled (a `2^n` table index must fit a `u64`). Default 12
+    /// (a 4096-assignment sweep).
+    pub tier_max_inputs: usize,
+    /// Auto-promotion traffic floor: a registration must have served at
+    /// least this many lanes (within its current epoch) before the
+    /// cost comparison is consulted, so short-lived registrations never
+    /// pay a sweep. Default 4096.
+    pub tier_min_requests: u64,
+    /// Memory guard: a backend whose [`table_bytes`] price exceeds this
+    /// budget is never materialized, regardless of policy. Default 1 MiB
+    /// (a 12-input table of up to 1024 outputs).
+    pub tier_max_table_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -136,8 +196,30 @@ impl Default for ServeConfig {
             queue_depth: 256,
             block_words: 1,
             shards: 1,
+            tier_policy: TierPolicy::Auto,
+            tier_max_inputs: 12,
+            tier_min_requests: 4096,
+            tier_max_table_bytes: 1 << 20,
         }
     }
+}
+
+/// When [`SimService`] promotes registrations to the materialized
+/// truth-table tier (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierPolicy {
+    /// Never materialize; every registration serves batched.
+    Disabled,
+    /// Promote an eligible registration once its observed evaluation
+    /// spend exceeds the one-time exhaustive-sweep cost (and the
+    /// `tier_min_requests` traffic floor is met). The default.
+    #[default]
+    Auto,
+    /// Materialize every eligible registration at registration time —
+    /// benches and latency-critical deployments that want the table from
+    /// the first request. Ineligible backends (too wide, over the memory
+    /// budget) still serve batched.
+    Forced,
 }
 
 impl ServeConfig {
@@ -146,7 +228,11 @@ impl ServeConfig {
     /// [`ConfigError`] instead of panicking mid-flight or misbehaving
     /// silently (a `queue_depth` of 0 would make every `try_submit`
     /// rejection-only; `block_words` / `shards` / `cache_shards` of 0
-    /// have no meaningful interpretation).
+    /// have no meaningful interpretation), and refuses contradictory
+    /// tiering knobs: with the policy enabled, `tier_max_inputs` must
+    /// stay below 64 (table indices are `u64` assignments) and
+    /// `tier_max_table_bytes` must afford at least a one-output table at
+    /// that width — otherwise no advertised promotion could ever happen.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.queue_depth == 0 {
             return Err(ConfigError::ZeroQueueDepth);
@@ -159,6 +245,14 @@ impl ServeConfig {
         }
         if self.cache_shards == 0 {
             return Err(ConfigError::ZeroCacheShards);
+        }
+        if self.tier_policy != TierPolicy::Disabled {
+            if self.tier_max_inputs >= 64 {
+                return Err(ConfigError::TierInputsTooWide);
+            }
+            if table_bytes(self.tier_max_inputs, 1) > self.tier_max_table_bytes as u128 {
+                return Err(ConfigError::TierBudgetTooSmall);
+            }
         }
         Ok(())
     }
@@ -176,6 +270,15 @@ pub enum ConfigError {
     /// `cache_shards == 0`: the result cache needs at least one shard
     /// (use `cache_capacity == 0` to disable caching).
     ZeroCacheShards,
+    /// `tier_max_inputs >= 64` with the tier policy enabled: a `2^n`
+    /// table index must fit a packed `u64` assignment.
+    TierInputsTooWide,
+    /// `tier_max_table_bytes` cannot afford even a one-output table at
+    /// `tier_max_inputs` while the tier policy is enabled — the two
+    /// knobs contradict each other and no promotion could ever happen at
+    /// the advertised width (disable the policy or shrink
+    /// `tier_max_inputs` instead).
+    TierBudgetTooSmall,
 }
 
 impl fmt::Display for ConfigError {
@@ -187,6 +290,15 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroCacheShards => write!(
                 f,
                 "cache_shards must be at least 1 (cache_capacity 0 disables caching)"
+            ),
+            ConfigError::TierInputsTooWide => write!(
+                f,
+                "tier_max_inputs must stay below 64 while the tier policy is enabled"
+            ),
+            ConfigError::TierBudgetTooSmall => write!(
+                f,
+                "tier_max_table_bytes cannot fit a one-output table at tier_max_inputs \
+                 (contradictory tiering knobs)"
             ),
         }
     }
@@ -445,9 +557,7 @@ impl SimService {
                 let recorder = recorder.clone();
                 let worker = std::thread::Builder::new()
                     .name(format!("ambipla-batcher-{s}"))
-                    .spawn(move || {
-                        batcher_loop(rx, config.max_wait, config.block_words, &cache, recorder)
-                    })
+                    .spawn(move || batcher_loop(rx, config, &cache, recorder))
                     .expect("spawn batcher thread");
                 ShardHandle {
                     tx,
@@ -799,6 +909,27 @@ struct Registered {
     n_outputs: usize,
     /// Lane words per full block (`ServeConfig::block_words`).
     block_words: usize,
+    /// The service's tier policy (`ServeConfig::tier_policy`).
+    tier_policy: TierPolicy,
+    /// Auto-promotion traffic floor (`ServeConfig::tier_min_requests`).
+    tier_min_requests: u64,
+    /// Whether this backend may ever be materialized: the policy is
+    /// enabled, the arity is within `tier_max_inputs`, and the table
+    /// price fits `tier_max_table_bytes` (the memory guard). Fixed at
+    /// registration — swaps keep the arity, so they keep eligibility.
+    tier_eligible: bool,
+    /// The materialized tier: `Some` once promoted, dropped (and
+    /// possibly rebuilt) on every swap. When present, `flush` answers
+    /// every lane from it by indexed load.
+    table: Option<TruthTable>,
+    /// Lanes flushed under the current epoch — the Auto policy's
+    /// traffic-floor counter. Reset on swap.
+    lanes_served: u64,
+    /// Lanes the *backend* actually evaluated under the current epoch
+    /// (cache hits excluded, full `words × 64` per eval call): the Auto
+    /// policy's spend counter — promotion is profitable once this
+    /// reaches `2^n_inputs` (see the module docs). Reset on swap.
+    eval_lanes: u64,
     /// State shared with the handle: the pending counter this side
     /// decrements on flush, and the epoch this side publishes on swap.
     slot: Arc<SlotState>,
@@ -832,21 +963,33 @@ struct Registered {
 }
 
 impl Registered {
-    fn new(sim: SharedSim, key: SimKey, block_words: usize, slot: Arc<SlotState>) -> Registered {
+    fn new(sim: SharedSim, key: SimKey, config: &ServeConfig, slot: Arc<SlotState>) -> Registered {
         let n_inputs = sim.n_inputs();
         let n_outputs = sim.n_outputs();
         let epoch_stats = slot.stats.current_epoch();
+        // Short-circuit order matters: table_bytes asserts n_inputs < 64,
+        // which the first two tests (with validate's tier_max_inputs < 64
+        // bound) guarantee.
+        let tier_eligible = config.tier_policy != TierPolicy::Disabled
+            && n_inputs <= config.tier_max_inputs
+            && table_bytes(n_inputs, n_outputs) <= config.tier_max_table_bytes as u128;
         Registered {
             sim,
             key,
             n_inputs,
             n_outputs,
-            block_words,
+            block_words: config.block_words,
+            tier_policy: config.tier_policy,
+            tier_min_requests: config.tier_min_requests,
+            tier_eligible,
+            table: None,
+            lanes_served: 0,
+            eval_lanes: 0,
             slot,
             epoch: 0,
             epoch_stats,
-            vectors: Vec::with_capacity(block_words * LANES),
-            replies: Vec::with_capacity(block_words * LANES),
+            vectors: Vec::with_capacity(config.block_words * LANES),
+            replies: Vec::with_capacity(config.block_words * LANES),
             opened: None,
             packed: Vec::new(),
             out: Vec::new(),
@@ -859,6 +1002,27 @@ impl Registered {
         }
     }
 
+    /// Materialize the current backend into a [`TruthTable`] and flip
+    /// the slot's tier — the promotion itself, shared by Auto (after a
+    /// qualifying flush), Forced (at registration) and the post-swap
+    /// re-materialization. The sweep cost is measured for real and
+    /// carried by the [`EventKind::TierPromote`] event.
+    fn promote(&mut self, recorder: &Option<Arc<dyn Recorder>>) {
+        let started = Instant::now();
+        let table = TruthTable::from_simulator(self.sim.as_ref());
+        let build_ns = started.elapsed().as_nanos() as u64;
+        self.slot.stats.set_tier(Tier::Materialized);
+        if let Some(rec) = recorder {
+            rec.record(Event::now(EventKind::TierPromote {
+                slot: self.slot.stats.slot(),
+                epoch: self.epoch,
+                inputs: self.n_inputs as u32,
+                build_ns,
+            }));
+        }
+        self.table = Some(table);
+    }
+
     fn flush(
         &mut self,
         cause: FlushCause,
@@ -866,6 +1030,44 @@ impl Registered {
         recorder: &Option<Arc<dyn Recorder>>,
     ) {
         if self.vectors.is_empty() {
+            return;
+        }
+        if let Some(table) = &self.table {
+            // Materialized tier: answer every lane by indexed load — no
+            // packing, no cache traffic, no backend call. The stats /
+            // event / pending contracts are the batched path's exactly
+            // (words priced as the batched flush would, zero cache
+            // hits and misses).
+            let lanes = self.vectors.len();
+            let words = lanes.div_ceil(LANES);
+            let latency_ns = self
+                .opened
+                .map(|t| t.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            self.epoch_stats
+                .record_flush(cause, lanes, words, latency_ns, 0, 0);
+            self.slot.pending.fetch_sub(lanes, Ordering::Relaxed);
+            if let Some(rec) = recorder {
+                rec.record(Event::now(EventKind::Flush {
+                    slot: self.slot.stats.slot(),
+                    epoch: self.epoch,
+                    cause,
+                    lanes: lanes as u32,
+                    words: words as u32,
+                    latency_ns,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                }));
+            }
+            for (lane, (tag, reply)) in self.replies.drain(..).enumerate() {
+                let _ = reply.send(SimReply {
+                    tag,
+                    epoch: self.epoch,
+                    outputs: table.lookup_bits(self.vectors[lane]),
+                });
+            }
+            self.vectors.clear();
+            self.opened = None;
             return;
         }
         let lanes = self.vectors.len();
@@ -887,6 +1089,7 @@ impl Registered {
             // Skip key construction and shard locking entirely on the
             // cache-off configuration (the cold-path bench measures this).
             self.sim.eval_words(&self.packed, &mut self.out, words);
+            self.eval_lanes += (words * LANES) as u64;
         } else {
             // Consult the cache per 64-lane sub-block — the same keys a
             // block_words = 1 service would use, so hit semantics do not
@@ -940,6 +1143,7 @@ impl Registered {
                     }
                 }
                 self.sim.eval_words(&self.miss_in, &mut self.miss_out, mw);
+                self.eval_lanes += (mw * LANES) as u64;
                 for ((k, &w), key) in self
                     .miss_words
                     .iter()
@@ -995,16 +1199,28 @@ impl Registered {
         }
         self.vectors.clear();
         self.opened = None;
+        // Auto-tiering: once this epoch's backend spend has provably paid
+        // for a full exhaustive sweep (eval_lanes ≥ 2^n — see the module
+        // docs for why the per-lane cost cancels) and the traffic floor
+        // is met, materialize so the *next* flush serves by indexed load.
+        self.lanes_served += lanes as u64;
+        if self.tier_policy == TierPolicy::Auto
+            && self.tier_eligible
+            && self.lanes_served >= self.tier_min_requests
+            && self.eval_lanes >= 1u64 << self.n_inputs
+        {
+            self.promote(recorder);
+        }
     }
 }
 
 fn batcher_loop(
     rx: Receiver<Msg>,
-    max_wait: Duration,
-    block_words: usize,
+    config: ServeConfig,
     cache: &BlockCache,
     recorder: Option<Arc<dyn Recorder>>,
 ) {
+    let max_wait = config.max_wait;
     // Slot-addressed by SimId: concurrent register() calls may deliver
     // their Register messages out of id order, so slots can fill in any
     // order (None = id allocated but message not yet here).
@@ -1051,10 +1267,17 @@ fn batcher_loop(
                 if id >= registry.len() {
                     registry.resize_with(id + 1, || None);
                 }
-                registry[id] = Some(Registered::new(sim, key, block_words, slot));
+                let mut r = Registered::new(sim, key, &config, slot);
                 if let Some(rec) = &recorder {
                     rec.record(Event::now(EventKind::Register { slot: id as u32 }));
                 }
+                // Forced tier: the table is ready before the first
+                // request (register_sim has already returned the id, but
+                // every Submit for it lands behind this message).
+                if r.tier_policy == TierPolicy::Forced && r.tier_eligible {
+                    r.promote(&recorder);
+                }
+                registry[id] = Some(r);
             }
             Msg::Submit {
                 id,
@@ -1101,6 +1324,14 @@ fn batcher_loop(
                 let had_open = r.opened.is_some();
                 let drained_lanes = r.vectors.len();
                 r.flush(FlushCause::Swap, cache, &recorder);
+                // The outgoing backend's table (if any) is stale the
+                // moment the new backend installs — drop it and reset the
+                // new epoch's promotion counters before deciding whether
+                // to re-materialize below.
+                let was_materialized = r.table.take().is_some();
+                r.slot.stats.set_tier(Tier::Batched);
+                r.lanes_served = 0;
+                r.eval_lanes = 0;
                 r.sim = sim;
                 r.epoch += 1;
                 r.epoch_stats = r.slot.stats.begin_epoch();
@@ -1113,6 +1344,16 @@ fn batcher_loop(
                         to_epoch: r.epoch,
                         drained_lanes: drained_lanes as u32,
                     }));
+                }
+                // Re-materialize under the new epoch before acking, so a
+                // materialized registration never silently degrades
+                // across a swap: Forced always, Auto when the slot had
+                // already proven the table worthwhile.
+                if r.tier_eligible
+                    && (r.tier_policy == TierPolicy::Forced
+                        || (r.tier_policy == TierPolicy::Auto && was_materialized))
+                {
+                    r.promote(&recorder);
                 }
                 if had_open {
                     oldest_stale = true;
@@ -1156,6 +1397,16 @@ mod tests {
     fn quick() -> ServeConfig {
         ServeConfig {
             max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Config for driving `Registered::flush` directly at a chosen block
+    /// width (the tier knobs stay at their defaults, far above these
+    /// tests' traffic).
+    fn words_config(block_words: usize) -> ServeConfig {
+        ServeConfig {
+            block_words,
             ..ServeConfig::default()
         }
     }
@@ -1578,7 +1829,7 @@ mod tests {
         let mut reg = Registered::new(
             Arc::clone(&counting) as SharedSim,
             SimKey::of_cover(&cover),
-            2,
+            &words_config(2),
             test_slot(128, 3, 2),
         );
         let (tx, rx) = channel();
@@ -1614,7 +1865,7 @@ mod tests {
         let mut reg = Registered::new(
             Arc::new(cover.clone()),
             SimKey::of_cover(&cover),
-            3,
+            &words_config(3),
             Arc::clone(&slot),
         );
         let (tx, rx) = channel();
@@ -1658,7 +1909,7 @@ mod tests {
         let mut reg = Registered::new(
             Arc::new(cover.clone()),
             SimKey::of_cover(&cover),
-            2,
+            &words_config(2),
             test_slot(64 + 128, 3, 2),
         );
         let (tx, rx) = channel();
@@ -1844,6 +2095,22 @@ mod tests {
                 },
                 ConfigError::ZeroCacheShards,
             ),
+            (
+                ServeConfig {
+                    tier_max_inputs: 64,
+                    ..ServeConfig::default()
+                },
+                ConfigError::TierInputsTooWide,
+            ),
+            (
+                // table_bytes(12, 1) = 512: a 8-byte budget cannot fit
+                // any table at the advertised width.
+                ServeConfig {
+                    tier_max_table_bytes: 8,
+                    ..ServeConfig::default()
+                },
+                ConfigError::TierBudgetTooSmall,
+            ),
         ] {
             assert_eq!(config.validate().unwrap_err(), expected);
             match SimService::start(config) {
@@ -1860,6 +2127,18 @@ mod tests {
             ..ServeConfig::default()
         })
         .is_ok());
+        // The tier knobs are only constrained while the policy is
+        // enabled: Disabled ignores even contradictory values.
+        assert_eq!(
+            ServeConfig {
+                tier_policy: TierPolicy::Disabled,
+                tier_max_inputs: 64,
+                tier_max_table_bytes: 0,
+                ..ServeConfig::default()
+            }
+            .validate(),
+            Ok(())
+        );
     }
 
     #[test]
@@ -1970,6 +2249,214 @@ mod tests {
         assert!(
             stream.try_recv().is_none(),
             "the rejected tag never replies"
+        );
+    }
+
+    /// A backend that counts how many lane words it was asked to
+    /// evaluate — distinguishes the exhaustive materialization sweep
+    /// from per-flush batched evaluation.
+    struct Probe {
+        inner: Cover,
+        words_evaluated: AtomicUsize,
+    }
+
+    impl Probe {
+        fn of(inner: Cover) -> Arc<Probe> {
+            Arc::new(Probe {
+                inner,
+                words_evaluated: AtomicUsize::new(0),
+            })
+        }
+    }
+
+    impl Simulator for Probe {
+        fn n_inputs(&self) -> usize {
+            self.inner.n_inputs()
+        }
+        fn n_outputs(&self) -> usize {
+            Cover::n_outputs(&self.inner)
+        }
+        fn eval_words(&self, inputs: &[u64], out: &mut [u64], words: usize) {
+            self.words_evaluated.fetch_add(words, Ordering::Relaxed);
+            self.inner.eval_words(inputs, out, words);
+        }
+    }
+
+    #[test]
+    fn forced_tier_serves_from_the_table_without_touching_the_cache() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            tier_policy: TierPolicy::Forced,
+            ..ServeConfig::default()
+        })
+        .expect("valid config");
+        let cover = adder();
+        let probe = Probe::of(cover.clone());
+        let id = service.register_sim(Arc::clone(&probe) as SharedSim, SimKey::new(9));
+        let (sink, stream) = reply_channel();
+        for round in 0..3 {
+            for tag in 0..64u64 {
+                service.submit_tagged(id, tag % 8, tag, &sink);
+            }
+            for _ in 0..64 {
+                let reply = stream.recv();
+                assert_eq!(
+                    reply.outputs,
+                    cover.eval_bits(reply.tag % 8),
+                    "round {round}"
+                );
+            }
+        }
+        assert_eq!(service.stats_for(id).tier, Tier::Materialized);
+        let snap = service.stats();
+        assert_eq!(snap.materialized, 1);
+        assert_eq!(snap.blocks, 3, "materialized flushes still count");
+        assert_eq!(snap.lanes_filled, 3 * 64);
+        assert_eq!(
+            (snap.cache_hits, snap.cache_misses),
+            (0, 0),
+            "the table path never consults the block cache"
+        );
+        assert_eq!(
+            probe.words_evaluated.load(Ordering::Relaxed),
+            1,
+            "the backend is evaluated exactly once: the 2^3-assignment sweep"
+        );
+    }
+
+    #[test]
+    fn auto_tier_promotes_after_the_traffic_floor() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            tier_min_requests: 128,
+            ..ServeConfig::default()
+        })
+        .expect("valid config");
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let (sink, stream) = reply_channel();
+        let fill = |round: u64| {
+            for tag in 0..64u64 {
+                service.submit_tagged(id, tag % 8, tag, &sink);
+            }
+            for _ in 0..64 {
+                let reply = stream.recv();
+                assert_eq!(
+                    reply.outputs,
+                    cover.eval_bits(reply.tag % 8),
+                    "round {round}"
+                );
+            }
+        };
+        // Round 1: 64 lanes served, one sub-block miss (64 evaluated
+        // lanes ≥ 2^3 — the spend test is already met) but below the
+        // 128-lane traffic floor: still batched.
+        fill(1);
+        assert_eq!(service.stats_for(id).tier, Tier::Batched);
+        // Round 2 reaches the floor; the flush promotes afterwards.
+        fill(2);
+        assert_eq!(service.stats_for(id).tier, Tier::Materialized);
+        // Round 3 serves from the table: no new cache traffic.
+        fill(3);
+        let snap = service.stats();
+        assert_eq!(snap.materialized, 1);
+        assert_eq!(snap.blocks, 3);
+        assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn disabled_policy_never_materializes() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            tier_policy: TierPolicy::Disabled,
+            tier_min_requests: 1,
+            ..ServeConfig::default()
+        })
+        .expect("valid config");
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let (sink, stream) = reply_channel();
+        for _ in 0..3 {
+            for tag in 0..64u64 {
+                service.submit_tagged(id, tag % 8, tag, &sink);
+            }
+            for _ in 0..64 {
+                let reply = stream.recv();
+                assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
+            }
+        }
+        assert_eq!(service.stats_for(id).tier, Tier::Batched);
+        let snap = service.stats();
+        assert_eq!(snap.materialized, 0);
+        assert_eq!((snap.cache_hits, snap.cache_misses), (2, 1));
+    }
+
+    /// The memory guard: a budget that affords a one-output table at the
+    /// configured width (so validation passes) but not this backend's
+    /// two outputs — the registration silently stays batched even under
+    /// the Forced policy.
+    #[test]
+    fn oversized_tables_stay_batched_despite_forced_policy() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_secs(10),
+            tier_policy: TierPolicy::Forced,
+            tier_max_inputs: 3,
+            tier_max_table_bytes: 8, // table_bytes(3, 2) = 16 > 8
+            ..ServeConfig::default()
+        })
+        .expect("valid config");
+        let cover = adder();
+        let id = service.register(cover.clone());
+        let (sink, stream) = reply_channel();
+        for tag in 0..64u64 {
+            service.submit_tagged(id, tag % 8, tag, &sink);
+        }
+        for _ in 0..64 {
+            let reply = stream.recv();
+            assert_eq!(reply.outputs, cover.eval_bits(reply.tag % 8));
+        }
+        assert_eq!(service.stats_for(id).tier, Tier::Batched);
+        let snap = service.stats();
+        assert_eq!(snap.materialized, 0);
+        assert_eq!(snap.cache_misses, 1, "served through the batched path");
+    }
+
+    /// A swap must drop the outgoing backend's table (its answers are
+    /// stale the moment the new backend installs) and re-materialize
+    /// under the new epoch before `swap_sim` returns.
+    #[test]
+    fn swaps_drop_and_rebuild_the_materialized_table() {
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_millis(1),
+            tier_policy: TierPolicy::Forced,
+            ..ServeConfig::default()
+        })
+        .expect("valid config");
+        let cover = adder();
+        let nominal = GnorPla::from_cover(&cover);
+        let faulty = faulty_adder();
+        let split = (0..8u64)
+            .find(|&b| faulty.simulate_bits(b) != nominal.simulate_bits(b))
+            .expect("injected fault is visible");
+
+        let id = service.register_sim(Arc::new(nominal.clone()), SimKey::new(1));
+        let r0 = service.submit(id, split).wait_reply();
+        assert_eq!(r0.epoch, 0);
+        assert_eq!(r0.outputs, nominal.simulate_bits(split));
+        assert_eq!(service.stats_for(id).tier, Tier::Materialized);
+
+        assert_eq!(service.swap_sim(id, Arc::new(faulty.clone())), 1);
+        let r1 = service.submit(id, split).wait_reply();
+        assert_eq!(r1.epoch, 1);
+        assert_eq!(
+            r1.outputs,
+            faulty.simulate_bits(split),
+            "the stale table must not answer for the new backend"
+        );
+        assert_eq!(
+            service.stats_for(id).tier,
+            Tier::Materialized,
+            "re-materialized under the new epoch"
         );
     }
 }

@@ -70,6 +70,21 @@ use std::sync::Mutex;
 /// mix the underlying cover's key with a stable encoding of whatever was
 /// changed (defect coordinates, mapping parameters, …) via
 /// [`ambipla_core::hash::fnv1a`].
+///
+/// # Materialized tables follow the same rules
+///
+/// A registration promoted to the materialized tier (see the tiered
+/// evaluation section of the `batcher` module docs) stops consulting the
+/// cache, but its [`ambipla_core::TruthTable`] is bound to the same two
+/// identities: it is built from **one backend generation** and is valid
+/// for **exactly one epoch** of the registration. A hot swap therefore
+/// drops the table and re-materializes from the incoming backend under
+/// the new epoch — never reuses it across the bump — just as epoch-keyed
+/// cache entries become unreachable. The `SimKey` itself stays stable
+/// across swaps for materialized registrations too: the epoch, not the
+/// key, is the generation fence in both tiers, and a slot that demotes
+/// back to batched resumes hitting its key's still-warm current-epoch
+/// entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimKey(u64);
 

@@ -8,7 +8,10 @@
 //! `sim` (slot index) and — for flush-shaped counters — `epoch` labels,
 //! so a scrape shows each `(SimId, epoch)` generation as its own series;
 //! flush counts additionally split by `cause`
-//! ([`FlushCause::label`](crate::stats::FlushCause::label)).
+//! ([`FlushCause::label`](crate::stats::FlushCause::label)), and the
+//! `ambipla_tier` gauge names each registration's live serving tier
+//! through its `tier` label
+//! ([`Tier::label`](crate::stats::Tier::label)).
 
 use crate::stats::{FlushCause, HistogramSnapshot, RegSnapshot, StatsSnapshot};
 use ambipla_obs::{MetricFamily, MetricKind, Sample};
@@ -59,6 +62,7 @@ pub fn metric_families(regs: &[RegSnapshot], aggregate: &StatsSnapshot) -> Vec<M
     let mut queue_full = Vec::new();
     let mut queue_depth = Vec::new();
     let mut epoch_gauge = Vec::new();
+    let mut tier_gauge = Vec::new();
     let mut blocks = Vec::new();
     let mut lanes = Vec::new();
     let mut capacity = Vec::new();
@@ -77,6 +81,10 @@ pub fn metric_families(regs: &[RegSnapshot], aggregate: &StatsSnapshot) -> Vec<M
             reg.queue_depth as f64,
         ));
         epoch_gauge.push(Sample::new(l(&[("sim", sim.clone())]), reg.epoch as f64));
+        tier_gauge.push(Sample::new(
+            l(&[("sim", sim.clone()), ("tier", reg.tier.label().to_string())]),
+            1.0,
+        ));
         for e in &reg.epochs {
             let base = [("sim", sim.clone()), ("epoch", e.epoch.to_string())];
             for (cause, n) in [
@@ -120,6 +128,13 @@ pub fn metric_families(regs: &[RegSnapshot], aggregate: &StatsSnapshot) -> Vec<M
             "Current epoch (completed hot swaps), per registration.",
             MetricKind::Gauge,
             epoch_gauge,
+        ),
+        MetricFamily::new(
+            "ambipla_tier",
+            "Serving tier, per registration: the tier label names the \
+             live tier (batched or materialized) and the sample is 1.",
+            MetricKind::Gauge,
+            tier_gauge,
         ),
         MetricFamily::new(
             "ambipla_flushed_blocks_total",
@@ -185,6 +200,7 @@ mod tests {
         let text = prometheus_text(&fams);
         // The idle registration is visible, all zeros.
         assert!(text.contains("ambipla_requests_total{sim=\"0\"} 0\n"));
+        assert!(text.contains("ambipla_tier{sim=\"0\",tier=\"batched\"} 1\n"));
         assert!(
             text.contains("ambipla_flushed_blocks_total{sim=\"0\",epoch=\"0\",cause=\"full\"} 0\n")
         );
@@ -229,5 +245,21 @@ mod tests {
         );
         assert!(text.contains("ambipla_flush_latency_ns_sum{sim=\"3\",epoch=\"0\"} 900\n"));
         assert!(text.contains("ambipla_swaps_total 1\n"));
+    }
+
+    #[test]
+    fn tier_series_track_the_live_tier_label() {
+        let reg = crate::stats::RegStats::new(7);
+        reg.set_tier(crate::stats::Tier::Materialized);
+        let snap = reg.snapshot(0);
+        let agg = StatsSnapshot::fold(std::slice::from_ref(&snap), 0);
+        let fams = metric_families(&[snap], &agg);
+        let text = prometheus_text(&fams);
+        assert!(text.contains("ambipla_tier{sim=\"7\",tier=\"materialized\"} 1\n"));
+        assert!(!text.contains("tier=\"batched\""));
+        // The JSON exposition carries the same family and label.
+        let json = json_text(&fams);
+        assert!(json.contains("\"name\":\"ambipla_tier\""));
+        assert!(json.contains("\"tier\":\"materialized\""));
     }
 }

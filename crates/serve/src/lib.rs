@@ -28,9 +28,14 @@
 //!   through one `eval_words` call on reused buffers, channel-based
 //!   scatter, bounded-queue backpressure
 //!   ([`SimService::try_submit`] / [`QueueFull`]), typed configuration
-//!   validation ([`ConfigError`]), and **epoch-versioned
+//!   validation ([`ConfigError`]), **epoch-versioned
 //!   hot swaps** ([`SimService::swap_sim`]: drain, install, bump — see
-//!   the [`batcher`] module docs for the full contract),
+//!   the [`batcher`] module docs for the full contract), and **tiered
+//!   evaluation** ([`TierPolicy`]): small, hot backends are
+//!   auto-materialized into packed
+//!   [`TruthTable`](ambipla_core::TruthTable)s and served by O(1)
+//!   indexed load (the [`Tier::Materialized`] tier), bit-identically to
+//!   the batched path and with the table rebuilt on every swap,
 //! * [`cache`] — the sharded LRU [`BlockCache`] keyed on
 //!   *(caller-supplied stable [`SimKey`], registration epoch, packed
 //!   64-lane sub-block)* with hit/miss/eviction counters — the epoch in
@@ -117,12 +122,12 @@ pub use logic::eval::LANES;
 pub use ambipla_core::{cover_hash, Simulator, WorkerPool};
 pub use batcher::{
     reply_channel, shard_for_key, ConfigError, QueueFull, ReplySink, ReplyStream, ServeConfig,
-    SharedSim, SimId, SimReply, SimService, SimTicket,
+    SharedSim, SimId, SimReply, SimService, SimTicket, TierPolicy,
 };
 pub use cache::{BlockCache, BlockKey, SimKey};
 pub use export::metric_families;
 pub use stats::{
     AtomicHistogram, EpochSnapshot, EpochStats, FlushCause, HistogramSnapshot, RegSnapshot,
-    RegStats, ServiceStats, StatsSnapshot,
+    RegStats, ServiceStats, StatsSnapshot, Tier,
 };
 pub use sweep::{eval_covers_blocked, eval_sims_blocked};

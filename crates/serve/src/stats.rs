@@ -20,6 +20,36 @@ use std::sync::{Arc, RwLock};
 
 pub use ambipla_obs::FlushCause;
 
+/// Which evaluation tier a registration is currently served by.
+///
+/// Every registration starts [`Batched`](Tier::Batched); small backends
+/// are promoted to [`Materialized`](Tier::Materialized) by the batcher's
+/// auto-tiering policy (or a forced-tier configuration), after which
+/// flushes answer by truth-table indexed load instead of backend
+/// `eval_words` calls. A hot swap drops the table, so the tier can move
+/// both ways over a registration's lifetime; [`RegSnapshot::tier`] and
+/// the `ambipla_tier` metric family report the live value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Requests are lane-packed and evaluated through the backend's
+    /// `eval_words` (with the sub-block result cache in front).
+    Batched,
+    /// Requests are answered by O(1) indexed load from a materialized
+    /// [`TruthTable`](ambipla_core::TruthTable) — no cache consult, no
+    /// backend call.
+    Materialized,
+}
+
+impl Tier {
+    /// Stable lowercase label (Prometheus `tier` label value).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Tier::Batched => "batched",
+            Tier::Materialized => "materialized",
+        }
+    }
+}
+
 /// Log₂-bucketed latency histogram over nanoseconds with atomic bucket
 /// counters: `record` is a pair of relaxed `fetch_add`s (bucket + sum),
 /// safe from any thread, and scrapes read the buckets without blocking
@@ -227,6 +257,9 @@ pub struct RegStats {
     slot: u32,
     requests: AtomicU64,
     queue_full: AtomicU64,
+    /// Live [`Tier`] as a relaxed atomic (0 = batched, 1 = materialized):
+    /// written by the batcher on promotion / swap, read by snapshots.
+    tier: AtomicU64,
     epochs: RwLock<Vec<Arc<EpochStats>>>,
 }
 
@@ -237,6 +270,7 @@ impl RegStats {
             slot,
             requests: AtomicU64::new(0),
             queue_full: AtomicU64::new(0),
+            tier: AtomicU64::new(0),
             epochs: RwLock::new(vec![Arc::new(EpochStats::new(0))]),
         }
     }
@@ -256,6 +290,23 @@ impl RegStats {
     /// a full per-simulator queue).
     pub fn record_queue_full(&self) {
         self.queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish the registration's live [`Tier`] (batcher side: promotion
+    /// sets [`Tier::Materialized`], a hot swap resets to
+    /// [`Tier::Batched`] until the new epoch re-materializes).
+    pub fn set_tier(&self, tier: Tier) {
+        self.tier
+            .store(matches!(tier, Tier::Materialized) as u64, Ordering::Relaxed);
+    }
+
+    /// The registration's live [`Tier`].
+    pub fn tier(&self) -> Tier {
+        if self.tier.load(Ordering::Relaxed) == 0 {
+            Tier::Batched
+        } else {
+            Tier::Materialized
+        }
     }
 
     /// The live epoch's counters. The batcher caches this `Arc` per
@@ -291,6 +342,7 @@ impl RegStats {
             queue_full: self.queue_full.load(Ordering::Relaxed),
             queue_depth,
             epoch: epochs.last().map(|e| e.epoch).unwrap_or(0),
+            tier: self.tier(),
             epochs,
         }
     }
@@ -393,6 +445,9 @@ pub struct RegSnapshot {
     pub queue_depth: u64,
     /// Current epoch (== completed swaps on this registration).
     pub epoch: u64,
+    /// The evaluation tier serving this registration when the snapshot
+    /// was taken.
+    pub tier: Tier,
     /// Per-epoch counters, epoch order (index == epoch number).
     pub epochs: Vec<EpochSnapshot>,
 }
@@ -424,6 +479,10 @@ pub struct StatsSnapshot {
     /// it, so on a single-registration service this reconciles directly
     /// with `SimService::epoch`.
     pub swaps: u64,
+    /// Registrations currently served from the materialized tier
+    /// ([`Tier::Materialized`]) — a gauge, not a lifetime counter: swaps
+    /// demote until the new epoch re-materializes.
+    pub materialized: u64,
     /// Total occupied lanes over all flushed blocks.
     pub lanes_filled: u64,
     /// Total lane capacity of all flushed blocks (`Σ words × 64`; partial
@@ -463,6 +522,7 @@ impl StatsSnapshot {
             swap_flushes: 0,
             shutdown_flushes: 0,
             swaps: 0,
+            materialized: 0,
             lanes_filled: 0,
             lane_capacity: 0,
             lane_occupancy: 0.0,
@@ -478,6 +538,7 @@ impl StatsSnapshot {
             out.requests += reg.requests;
             out.queue_full += reg.queue_full;
             out.swaps += reg.epoch;
+            out.materialized += matches!(reg.tier, Tier::Materialized) as u64;
             for e in &reg.epochs {
                 out.blocks += e.blocks;
                 out.full_flushes += e.full_flushes;
@@ -522,6 +583,13 @@ impl std::fmt::Display for StatsSnapshot {
                 f,
                 "hot swaps: {} epoch bumps ({} drained a non-empty queue)",
                 self.swaps, self.swap_flushes,
+            )?;
+        }
+        if self.materialized > 0 {
+            writeln!(
+                f,
+                "tiering: {} registration(s) serving from materialized truth tables",
+                self.materialized,
             )?;
         }
         writeln!(

@@ -16,11 +16,18 @@
 //! classical PLA on every cover (the paper's functional-equivalence claim
 //! behind the Table 1 area comparison), and with `Cover::eval_batch`
 //! itself.
+//!
+//! The tiered-evaluation contract gets the same per-implementor
+//! treatment: [`TruthTable::from_simulator`] must agree with its source
+//! backend on **all** `2^n` assignments (the materialized serving tier
+//! is only sound if the table is exact), and the table — itself a
+//! [`Simulator`] — must satisfy the full scalar/block/words law,
+//! poisoned tail lanes included.
 
 use ambipla::core::sim::{
     lane_mask_words, pack_vectors, pack_vectors_words, unpack_lane, unpack_lane_words, LANES,
 };
-use ambipla::core::{ClassicalPla, DynamicPla, GnorPla, PlaNetwork, Simulator, Wpla};
+use ambipla::core::{ClassicalPla, DynamicPla, GnorPla, PlaNetwork, Simulator, TruthTable, Wpla};
 use ambipla::fault::{DefectKind, DefectMap, FaultyGnorPla};
 use ambipla::fpga::MappedNetwork;
 use ambipla::logic::{Cover, Cube, Tri};
@@ -162,6 +169,49 @@ simulator_contract! {
     cascade_scalar_matches_block: (5, 2, 6) => |f: &Cover| PlaNetwork::chain_of_covers(std::slice::from_ref(f));
     faulty_scalar_matches_block: (6, 2, 8) => faulty_from_cover;
     mapped_scalar_matches_block: (7, 2, 8) => |f: &Cover| MappedNetwork::decompose(f, 4);
+}
+
+/// One proptest per `Simulator` implementor for the materialization
+/// contract behind the serve tier: the packed table built from the
+/// backend must agree with the backend's own scalar answer on **every**
+/// one of the `2^n` assignments (not a sampled stream — the materialized
+/// tier answers all of them by index), and the table must itself pass
+/// the scalar/block/words law with poisoned tail lanes.
+macro_rules! table_materialization_contract {
+    ($($name:ident: ($n:expr, $o:expr, $cubes:expr) => $build:expr;)+) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            $(
+                #[test]
+                fn $name(f in arb_cover($n, $o, $cubes), vectors in arb_vector_stream($n)) {
+                    #[allow(clippy::redundant_closure_call)]
+                    let sim = ($build)(&f);
+                    let table = TruthTable::from_simulator(&sim);
+                    for bits in 0..1u64 << $n {
+                        prop_assert_eq!(
+                            table.lookup_bits(bits),
+                            sim.simulate_bits(bits),
+                            "table diverges from its source at assignment {:#b}",
+                            bits
+                        );
+                    }
+                    assert_scalar_matches_block(&table, &vectors);
+                    assert_scalar_matches_words(&table, &vectors);
+                }
+            )+
+        }
+    };
+}
+
+table_materialization_contract! {
+    cover_table_matches_exhaustively: (7, 3, 10) => |f: &Cover| f.clone();
+    gnor_table_matches_exhaustively: (7, 3, 10) => GnorPla::from_cover;
+    classical_table_matches_exhaustively: (7, 3, 10) => ClassicalPla::from_cover;
+    dynamic_table_matches_exhaustively: (6, 2, 8) => |f: &Cover| DynamicPla::new(&GnorPla::from_cover(f));
+    wpla_table_matches_exhaustively: (6, 2, 8) => Wpla::buffered_from_cover;
+    cascade_table_matches_exhaustively: (5, 2, 6) => |f: &Cover| PlaNetwork::chain_of_covers(std::slice::from_ref(f));
+    faulty_table_matches_exhaustively: (6, 2, 8) => faulty_from_cover;
+    mapped_table_matches_exhaustively: (7, 2, 8) => |f: &Cover| MappedNetwork::decompose(f, 4);
 }
 
 proptest! {

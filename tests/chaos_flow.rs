@@ -30,6 +30,14 @@
 //! (`ambipla::net`): two tenants over loopback connections against a
 //! two-shard service, with the mutator swapping both registrations and
 //! every wire reply checked against its serving epoch's oracle truth.
+//!
+//! The tiered-evaluation run puts the same contract under the
+//! materialized truth-table tier: a small (12-input) registration
+//! auto-promotes *mid-run* under concurrent load, is hot-swapped after
+//! promotion (dropping and rebuilding its table under each new epoch),
+//! and every reply still matches its serving epoch's oracle with zero
+//! drops — the tier must be invisible in the results, before, during
+//! and after promotion.
 
 use ambipla::core::{EpochOracle, GnorPla, Simulator};
 use ambipla::fault::{repair_with_columns, ColumnRepairOutcome, DefectMap, FaultyGnorPla};
@@ -443,6 +451,160 @@ fn swap_invalidates_exactly_the_swapped_registrations_entries() {
     assert_eq!(snap.swaps, 1);
     assert_eq!(snap.cache_misses, 3, "gen0, bystander, gen1 — one each");
     assert_eq!(snap.cache_hits, 4);
+}
+
+/// Tiered-evaluation chaos: a 12-input registration under the *auto*
+/// policy promotes to the materialized truth-table tier mid-run, while
+/// client threads hammer it with unique-pattern bursts, and is then
+/// hot-swapped twice — through a different function and a different
+/// backend type — after promotion. Asserts:
+///
+/// * every reply bit-matches its serving epoch's oracle truth, across
+///   the batched phase, the promotion, and both post-promotion swaps,
+/// * zero drops (`requests == lanes_filled`),
+/// * each swap drops and rebuilds the table (the registration is
+///   materialized again after every swap), and the event ring carries
+///   exactly one `TierPromote` per build — the mid-run promotion plus
+///   one re-materialization per swap.
+#[test]
+fn promotion_mid_run_and_post_promotion_swaps_stay_epoch_consistent() {
+    use ambipla::benchmarks::RandomPla;
+    use ambipla::serve::{Tier, TierPolicy};
+
+    const CLIENTS: u64 = 2;
+    const BURST: u64 = 32;
+    const N: usize = 12;
+
+    let gen0_cover = RandomPla::new(N, 4, 48)
+        .seed(21)
+        .literal_density(0.4)
+        .build();
+    let gen1_cover = RandomPla::new(N, 4, 48)
+        .seed(22)
+        .literal_density(0.4)
+        .build();
+
+    let ring = Arc::new(EventRing::with_capacity(1 << 16));
+    let service = SimService::start_with_recorder(
+        ServeConfig {
+            max_wait: Duration::from_micros(100),
+            // A low traffic floor so the run promotes quickly; the eval
+            // floor (observed spend ≥ the 2^12-lane build cost) still
+            // applies and is what the unique-pattern bursts must earn.
+            tier_min_requests: 256,
+            tier_policy: TierPolicy::Auto,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&ring) as Arc<dyn ambipla::obs::Recorder>,
+    )
+    .expect("valid config");
+
+    let initial: SharedSim = Arc::new(GnorPla::from_cover(&gen0_cover));
+    let oracle = EpochOracle::new(Arc::clone(&initial));
+    let tid = service.register_sim(initial, SimKey::new(0x71e5));
+
+    let running = AtomicBool::new(true);
+    let client_submitted = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let service = &service;
+                let oracle = &oracle;
+                let running = &running;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x7ab1e ^ c);
+                    let (sink, stream) = reply_channel();
+                    let mut submitted = 0u64;
+                    while running.load(Ordering::Relaxed) {
+                        // Fresh 12-bit patterns every burst: the block
+                        // cache cannot absorb them, so the batched phase
+                        // pays real evaluations and earns the promotion.
+                        for _ in 0..BURST {
+                            let bits = rng.gen_range(0..1u64 << N);
+                            service.submit_tagged(tid, bits, submitted << N | bits, &sink);
+                            submitted += 1;
+                        }
+                        for _ in 0..BURST {
+                            let reply = stream.recv();
+                            let bits = reply.tag & ((1 << N) - 1);
+                            assert!(
+                                oracle.matches(reply.epoch, bits, &reply.outputs),
+                                "client {c}: reply for bits {bits:012b} does not match \
+                                 the truth of epoch {} that served it",
+                                reply.epoch
+                            );
+                        }
+                    }
+                    submitted
+                })
+            })
+            .collect();
+
+        // Wait for the mid-run promotion under live traffic.
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while service.stats_for(tid).tier != Tier::Materialized {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "the 12-input registration never promoted under sustained load"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Two post-promotion hot swaps: a different function, then a
+        // different backend type (the raw cover, same function as gen1).
+        // Auto policy re-materializes a previously-promoted registration
+        // as part of the swap, so the tier must read Materialized as
+        // soon as swap_sim acks.
+        let candidates: [SharedSim; 2] = [
+            Arc::new(GnorPla::from_cover(&gen1_cover)),
+            Arc::new(gen1_cover.clone()),
+        ];
+        for (k, candidate) in candidates.into_iter().enumerate() {
+            let promised = oracle.push(Arc::clone(&candidate));
+            assert_eq!(service.swap_sim(tid, candidate), promised);
+            assert_eq!(promised, k as u64 + 1);
+            assert_eq!(
+                service.stats_for(tid).tier,
+                Tier::Materialized,
+                "swap {promised} must rebuild the table under the new epoch"
+            );
+        }
+        running.store(false, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .sum::<u64>()
+    });
+
+    let snap = service.shutdown();
+    assert_eq!(snap.swaps, 2);
+    assert_eq!(snap.materialized, 1);
+    assert_eq!(snap.requests, client_submitted, "every submission counted");
+    assert_eq!(
+        snap.lanes_filled, client_submitted,
+        "zero dropped requests across promotion and both swaps"
+    );
+
+    // Exactly one table build per generation that earned one: the
+    // mid-run promotion plus one re-materialization per swap.
+    let events = ring.drain();
+    assert_eq!(ring.dropped(), 0, "the ring never filled");
+    let promotes: Vec<(u64, u32)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::TierPromote {
+                slot: 0,
+                epoch,
+                inputs,
+                ..
+            } => Some((epoch, inputs)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        promotes,
+        vec![(0, N as u32), (1, N as u32), (2, N as u32)],
+        "one TierPromote per build, stamped with its epoch"
+    );
 }
 
 /// Network-mode chaos: the same mutator pressure, but through the full

@@ -11,7 +11,7 @@
 use ambipla::core::{GnorPla, Simulator};
 use ambipla::fault::{DefectKind, DefectMap, FaultyGnorPla};
 use ambipla::logic::{Cover, Cube, Tri};
-use ambipla::serve::{reply_channel, ServeConfig, SimKey, SimService};
+use ambipla::serve::{reply_channel, ServeConfig, SimKey, SimService, Tier, TierPolicy};
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
@@ -108,6 +108,81 @@ proptest! {
         prop_assert!(
             snap.cache_hits + snap.cache_misses <= snap.blocks * block_words as u64
         );
+    }
+
+    /// Mixed tiers on one service: with a forced policy bounded at 4
+    /// inputs, the 4- and 3-input registrations serve from materialized
+    /// truth tables while the 6-input one stays on the batched path —
+    /// and under an arbitrary interleaving of requests across all three
+    /// (tickets and tagged replies mixed, flush boundaries wherever they
+    /// land), every reply must still equal the scalar answer. The tier
+    /// is throughput mechanics; it must never be observable in the
+    /// results.
+    #[test]
+    fn tiered_and_batched_registrations_interleave_transparently(
+        covers in (arb_cover(4, 2, 6), arb_cover(6, 3, 10), arb_cover(3, 1, 4)),
+        schedule in proptest::collection::vec(
+            (0..3usize, any::<u64>(), any::<bool>()),
+            1..300,
+        ),
+    ) {
+        let covers = [covers.0, covers.1, covers.2];
+        let plas: Vec<GnorPla> = covers.iter().map(GnorPla::from_cover).collect();
+        let service = SimService::start(ServeConfig {
+            max_wait: Duration::from_micros(200),
+            tier_policy: TierPolicy::Forced,
+            tier_max_inputs: 4,
+            ..ServeConfig::default()
+        })
+        .expect("valid config");
+        let ids: Vec<_> = covers.iter().map(|c| service.register(c.clone())).collect();
+
+        let (sink, stream) = reply_channel();
+        let mut tagged = 0usize;
+        let mut tickets = Vec::new();
+        for (i, &(cover, bits, use_ticket)) in schedule.iter().enumerate() {
+            if use_ticket {
+                tickets.push((i, service.submit(ids[cover], bits)));
+            } else {
+                service.submit_tagged(ids[cover], bits, i as u64, &sink);
+                tagged += 1;
+            }
+        }
+
+        let expected = |i: usize| {
+            let (cover, bits, _) = schedule[i];
+            plas[cover].simulate_bits(bits)
+        };
+        for _ in 0..tagged {
+            let reply = stream.recv();
+            prop_assert_eq!(&reply.outputs, &expected(reply.tag as usize));
+        }
+        for (i, ticket) in tickets {
+            prop_assert_eq!(&ticket.wait(), &expected(i));
+        }
+
+        // Registration (and forced promotion) is processed FIFO on the
+        // shard ahead of every flush above, so after the drain the tier
+        // split is settled: the ≤ 4-input registrations materialized,
+        // the 6-input one batched.
+        prop_assert_eq!(service.stats_for(ids[0]).tier, Tier::Materialized);
+        prop_assert_eq!(service.stats_for(ids[1]).tier, Tier::Batched);
+        prop_assert_eq!(service.stats_for(ids[2]).tier, Tier::Materialized);
+
+        let snap = service.shutdown();
+        prop_assert_eq!(snap.requests, schedule.len() as u64);
+        prop_assert_eq!(
+            snap.lanes_filled, schedule.len() as u64,
+            "materialized flushes account their lanes like batched ones"
+        );
+        prop_assert_eq!(snap.materialized, 2);
+        // Only the batched 6-input registration may touch the LRU: the
+        // materialized flush path answers by indexed load alone. Each of
+        // its flushes serves ≥ 1 lane, so its own request count bounds
+        // the cache consults.
+        let batched_requests =
+            schedule.iter().filter(|&&(c, _, _)| c == 1).count() as u64;
+        prop_assert!(snap.cache_hits + snap.cache_misses <= batched_requests);
     }
 }
 
