@@ -1,0 +1,17 @@
+//! Fixture for the `analyze: allow(...)` escape hatch: a reasoned
+//! allow suppresses, a reasonless or unknown-rule allow is itself a
+//! finding (and suppresses nothing).
+
+fn suppressed(v: Option<u32>) -> u32 {
+    // analyze: allow(panic_freedom, reason = "fixture: invariant established by caller")
+    v.unwrap()
+}
+
+fn reasonless(v: Option<u32>) -> u32 {
+    // analyze: allow(panic_freedom)
+    v.unwrap()
+}
+
+fn unknown_rule(v: Option<u32>) -> u32 {
+    v.unwrap() // analyze: allow(no_such_rule, reason = "typo'd rule name")
+}

@@ -1,0 +1,35 @@
+//! Violation-seeded fixture for the `atomic_ordering` rule.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct Fixture {
+    naked: AtomicU64,
+    commented: AtomicU64,
+    policy_ok: AtomicU64,
+    flag: AtomicBool,
+    published: AtomicU64,
+}
+
+impl Fixture {
+    fn sites(&self) {
+        // Unjustified: no comment, no policy entry.
+        self.naked.fetch_add(1, Ordering::Relaxed);
+
+        // Relaxed: monotonic counter, no cross-thread ordering needed.
+        self.commented.fetch_add(1, Ordering::Relaxed);
+
+        // Covered by the policy table entry for this file.
+        self.policy_ok.load(Ordering::Relaxed);
+
+        // SeqCst is rejected even with an ordering-vocabulary comment.
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    fn broken_pairing(&self) -> u64 {
+        // Release: publishes the payload written just before (ordering).
+        self.published.store(7, Ordering::Release);
+        // Relaxed: reader side — WRONG, cannot observe the publication;
+        // flagged by the pairing heuristic despite the keyword comment.
+        self.published.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,34 @@
+//! Violation-seeded fixture for the `lock_order` rule: an AB/BA cycle
+//! and a nested same-lock acquisition.
+
+use std::sync::Mutex;
+
+struct Fx {
+    fx_alpha: Mutex<u32>,
+    fx_beta: Mutex<u32>,
+    fx_state: Mutex<u32>,
+}
+
+impl Fx {
+    fn alpha_then_beta(&self) {
+        let _a = self.fx_alpha.lock();
+        let _b = self.fx_beta.lock();
+    }
+
+    fn beta_then_alpha(&self) {
+        let _b = self.fx_beta.lock();
+        let _a = self.fx_alpha.lock();
+    }
+
+    fn reentrant(&self) {
+        let _first = self.fx_state.lock();
+        let _second = self.fx_state.lock();
+    }
+
+    fn fine_sequential(&self) {
+        {
+            let _a = self.fx_alpha.lock();
+        }
+        let _b = self.fx_beta.lock();
+    }
+}

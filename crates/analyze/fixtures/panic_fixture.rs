@@ -1,0 +1,29 @@
+//! Violation-seeded fixture for the `panic_freedom` rule. This file is
+//! never compiled; the analyzer's golden test pins the exact findings.
+
+fn hot_path(input: Option<u32>) -> u32 {
+    let a = input.unwrap();
+    let b = input.expect("always present");
+    if a > b {
+        panic!("inconsistent");
+    }
+    assert!(a <= b);
+    // debug_assert compiles out of release builds and is permitted.
+    debug_assert!(a <= b);
+    a + b
+}
+
+fn not_a_method_call() {
+    // A string mentioning x.unwrap() and panic!() must not fire.
+    let _s = "x.unwrap(); panic!()";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        let _ = v.unwrap();
+        assert_eq!(v.expect("fine in tests"), 1);
+    }
+}

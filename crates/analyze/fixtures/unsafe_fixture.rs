@@ -1,0 +1,19 @@
+//! Violation-seeded fixture for the `unsafe_safety` rule.
+
+struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is owned and never aliased; a comment above a
+// group of consecutive `unsafe impl` items covers the whole group.
+unsafe impl Send for Wrapper {}
+unsafe impl Sync for Wrapper {}
+
+struct Naked(*mut u8);
+
+unsafe impl Send for Naked {}
+
+fn blocks(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points at a live byte.
+    let ok = unsafe { *p };
+    let bad = unsafe { *p.add(1) };
+    ok + bad
+}

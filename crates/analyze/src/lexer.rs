@@ -1,0 +1,502 @@
+//! A hand-rolled Rust surface lexer.
+//!
+//! The analyzer needs to know, for every byte of a source file, whether
+//! it sits in code, a comment, or a literal — and nothing more. So this
+//! is not a full Rust lexer: it recognizes exactly the token classes
+//! whose *boundaries* matter for lexical analysis (comments with
+//! nesting, strings with escapes, raw strings with `#` fences, char
+//! literals vs. lifetimes, identifiers, single-char punctuation) and
+//! leaves everything else as [`TokenKind::Punct`]. No `syn`, no
+//! `proc-macro2` — the build environment is offline, and the existing
+//! shims set the precedent of hand-rolling the needed subset honestly.
+//!
+//! Two hard guarantees, both enforced by `tests/lexer_prop.rs` on
+//! adversarial inputs:
+//!
+//! * **Totality** — [`lex`] never panics, whatever the input. Malformed
+//!   input (unterminated strings or block comments, a lone `'`) still
+//!   lexes: the unterminated literal runs to end of input.
+//! * **Tiling** — the returned tokens cover the input exactly: the
+//!   first token starts at byte 0, each token starts where the previous
+//!   one ended, and the last token ends at `src.len()`. Every byte of
+//!   the file belongs to exactly one token, so span queries ("is this
+//!   offset inside a comment?") have a single well-defined answer.
+
+/// What a [`Token`] is. See the module docs for the design altitude:
+/// boundaries over grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace.
+    Whitespace,
+    /// `// ...` to end of line (newline excluded). `doc` marks `///` and
+    /// `//!` forms — doctest code inside them is comment text to the
+    /// analyzer, which is exactly the discrimination the rules need.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// `/* ... */`, nesting-aware; unterminated runs to end of input.
+    BlockComment {
+        /// Whether this is a doc comment (`/** */` or `/*! */`).
+        doc: bool,
+    },
+    /// `"..."` or `b"..."` with escape handling; unterminated runs to
+    /// end of input.
+    Str,
+    /// `r"..."` / `r#"..."#` / `br##"..."##`: no escapes, closed only by
+    /// a quote followed by the opening number of `#`s.
+    RawStr,
+    /// A character or byte literal: `'x'`, `b'\n'`, `'\u{7f}'`.
+    Char,
+    /// A lifetime or loop label: `'a` with no closing quote.
+    Lifetime,
+    /// An identifier, keyword, or raw identifier (`r#match`).
+    Ident,
+    /// Any single character not covered above.
+    Punct,
+}
+
+/// One lexed span: `kind` over `src[start..end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the span.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+}
+
+impl Token {
+    /// The text of this token within its source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token carries code (not whitespace or a comment).
+    pub fn is_significant(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether the token is any comment form.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// Cursor over the source's `char_indices`, so multi-byte characters
+/// are consumed whole and token boundaries always land on char
+/// boundaries.
+struct Cursor<'s> {
+    src: &'s str,
+    /// Byte offset of the next unconsumed char.
+    pos: usize,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a tiling token stream (see the module docs for the
+/// totality and tiling guarantees).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { src, pos: 0 };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let kind = next_kind(&mut cur, c);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+        });
+    }
+    out
+}
+
+/// Consume one token starting at `c` and return its kind.
+fn next_kind(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    if c.is_whitespace() {
+        cur.eat_while(char::is_whitespace);
+        return TokenKind::Whitespace;
+    }
+    if c == '/' {
+        match cur.peek2() {
+            Some('/') => return line_comment(cur),
+            Some('*') => return block_comment(cur),
+            _ => {
+                cur.bump();
+                return TokenKind::Punct;
+            }
+        }
+    }
+    // Raw strings / byte strings / raw identifiers all start from `r`
+    // or `b`; fall through to a plain identifier when the quote shape
+    // doesn't materialize.
+    if c == 'r' || c == 'b' {
+        if let Some(kind) = raw_or_byte_prefix(cur) {
+            return kind;
+        }
+    }
+    if c == '"' {
+        return string(cur);
+    }
+    if c == '\'' {
+        return char_or_lifetime(cur);
+    }
+    if is_ident_start(c) {
+        cur.bump();
+        cur.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+    cur.bump();
+    TokenKind::Punct
+}
+
+fn line_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // /
+    cur.bump(); // /
+                // `///` is doc unless it is `////...` (treated like rustc: plain);
+                // `//!` is inner doc.
+    let doc = match (cur.peek(), cur.peek2()) {
+        (Some('/'), Some('/')) => false,
+        (Some('/'), _) | (Some('!'), _) => true,
+        _ => false,
+    };
+    cur.eat_while(|c| c != '\n');
+    TokenKind::LineComment { doc }
+}
+
+fn block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // /
+    cur.bump(); // *
+                // `/**` is doc unless `/***` or the degenerate `/**/`; `/*!` is doc.
+    let doc = match (cur.peek(), cur.peek2()) {
+        (Some('*'), Some('*')) | (Some('*'), Some('/')) => false,
+        (Some('*'), _) | (Some('!'), _) => true,
+        _ => false,
+    };
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek2()) {
+            (None, _) => break, // unterminated: runs to end of input
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    TokenKind::BlockComment { doc }
+}
+
+/// Handle the `r` / `b` prefixed families: `r"..."`, `r#"..."#`,
+/// `b"..."`, `br#"..."#`, `b'x'`, and raw identifiers `r#ident`.
+/// Returns `None` when the prefix turns out to start a plain
+/// identifier (`radius`, `bits`, ...), consuming nothing.
+fn raw_or_byte_prefix(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    let c = cur.peek()?;
+    // How many prefix chars before a possible quote: `r`, `b`, `br`.
+    let after = |cur: &Cursor<'_>, n: usize| cur.peek_at(n);
+    let (prefix_len, raw) = match (c, after(cur, 1)) {
+        ('b', Some('r')) => (2, true),
+        ('b', _) => (1, false),
+        ('r', _) => (1, true),
+        _ => return None,
+    };
+    if raw {
+        // Count `#`s after the prefix; a quote must follow for this to
+        // be a raw string. `r#ident` (zero quotes, one `#`) is a raw
+        // identifier.
+        let mut hashes = 0usize;
+        while after(cur, prefix_len + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match after(cur, prefix_len + hashes) {
+            Some('"') => {
+                for _ in 0..prefix_len + hashes + 1 {
+                    cur.bump();
+                }
+                raw_string_body(cur, hashes);
+                return Some(TokenKind::RawStr);
+            }
+            Some(ch) if hashes == 1 && prefix_len == 1 && is_ident_start(ch) => {
+                // Raw identifier `r#match`.
+                cur.bump(); // r
+                cur.bump(); // #
+                cur.eat_while(is_ident_continue);
+                return Some(TokenKind::Ident);
+            }
+            _ => return None,
+        }
+    }
+    // Byte string `b"..."` or byte char `b'x'`.
+    match after(cur, 1) {
+        Some('"') => {
+            cur.bump(); // b
+            Some(string(cur))
+        }
+        Some('\'') => {
+            cur.bump(); // b
+            Some(char_or_lifetime(cur))
+        }
+        _ => None,
+    }
+}
+
+/// Consume a raw-string body after the opening quote: closed only by
+/// `"` followed by `fence` `#`s; unterminated runs to end of input.
+fn raw_string_body(cur: &mut Cursor<'_>, fence: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut matched = 0usize;
+            while matched < fence && cur.peek() == Some('#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == fence {
+                return;
+            }
+        }
+    }
+}
+
+/// Consume a `"..."` string starting at the opening quote. A `\`
+/// always consumes the following char, so `\"` and `\\` behave.
+fn string(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // "
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                cur.bump(); // the escaped char, whatever it is
+            }
+            _ => {}
+        }
+    }
+    TokenKind::Str
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime/label) from `'\n'`
+/// (escaped char), starting at the `'`.
+fn char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // '
+    match cur.peek() {
+        // Escape: consume `\`, then the escaped char blindly, then the
+        // rest of the literal up to the closing quote or end of line
+        // (`'\u{1F600}'` has a braced body; a newline means the literal
+        // was malformed and we stop rather than swallow the file).
+        Some('\\') => {
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                if c == '\'' {
+                    cur.bump();
+                    break;
+                }
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // An identifier run: `'a'` is a char only if a quote closes
+            // it immediately; otherwise it is a lifetime (`'a`, `'static`).
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        // Any other single char closed by a quote: `' '`, `'('`, `'0'`
+        // is handled above (digits are ident_continue but not start) —
+        // so take one char and the closing quote if present.
+        Some(_) => {
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        // Lone trailing `'` at end of input.
+        None => TokenKind::Punct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    fn assert_tiles(src: &str) {
+        let toks = lex(src);
+        let mut at = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, at, "gap before token {t:?} in {src:?}");
+            assert!(t.end > t.start, "empty token {t:?}");
+            at = t.end;
+        }
+        assert_eq!(at, src.len(), "tokens do not cover {src:?}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* y */ z */ b";
+        assert_tiles(src);
+        let k = kinds(src);
+        assert_eq!(
+            k[2],
+            (TokenKind::BlockComment { doc: false }, "/* x /* y */ z */")
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_to_eof() {
+        let src = "code /* open";
+        assert_tiles(src);
+        assert_eq!(
+            lex(src).last().unwrap().kind,
+            TokenKind::BlockComment { doc: false }
+        );
+    }
+
+    #[test]
+    fn line_comment_excludes_newline() {
+        let src = "x // note\ny";
+        assert_tiles(src);
+        let k = kinds(src);
+        assert_eq!(k[2], (TokenKind::LineComment { doc: false }, "// note"));
+        assert_eq!(k[3], (TokenKind::Whitespace, "\n"));
+    }
+
+    #[test]
+    fn doc_comment_flags() {
+        assert_eq!(kinds("/// d")[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("//! d")[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("//// d")[0].0, TokenKind::LineComment { doc: false });
+        assert_eq!(
+            kinds("/** d */")[0].0,
+            TokenKind::BlockComment { doc: true }
+        );
+        assert_eq!(kinds("/**/")[0].0, TokenKind::BlockComment { doc: false });
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_inert() {
+        let src = r#"let s = "// not a comment /* nor this";"#;
+        assert_tiles(src);
+        assert!(lex(src).iter().all(|t| !t.is_comment()));
+    }
+
+    #[test]
+    fn raw_strings_with_quotes_and_fences() {
+        let src = r##"r#"she said "hi""# tail"##;
+        assert_tiles(src);
+        let k = kinds(src);
+        assert_eq!(k[0], (TokenKind::RawStr, r##"r#"she said "hi""#"##));
+        assert_eq!(k[2].1, "tail");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(kinds(r#"b"x""#)[0].0, TokenKind::Str);
+        assert_eq!(kinds(r###"br##"x"##"###)[0].0, TokenKind::RawStr);
+        assert_eq!(kinds("b'x'")[0].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn r_and_b_identifiers_are_not_strings() {
+        assert_eq!(kinds("radius")[0], (TokenKind::Ident, "radius"));
+        assert_eq!(kinds("bits")[0], (TokenKind::Ident, "bits"));
+        assert_eq!(kinds("r#match")[0], (TokenKind::Ident, "r#match"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(kinds("'a'")[0].0, TokenKind::Char);
+        assert_eq!(kinds("'a")[0].0, TokenKind::Lifetime);
+        assert_eq!(kinds("'static>")[0].0, TokenKind::Lifetime);
+        assert_eq!(kinds(r"'\''")[0].0, TokenKind::Char);
+        assert_eq!(kinds(r"'\u{7f}'")[0].0, TokenKind::Char);
+        assert_eq!(kinds("' '")[0].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_eof() {
+        let src = "let s = \"open\nmore";
+        assert_tiles(src);
+        // The string swallows the newline (Rust strings may span lines).
+        assert!(lex(src).iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(lex("").is_empty());
+        assert_tiles("{}();,.::->=>#![]&&||");
+    }
+
+    #[test]
+    fn multibyte_chars_stay_whole() {
+        let src = "let α = \"λ\"; // ∞ ≥ 0";
+        assert_tiles(src);
+    }
+}

@@ -1,0 +1,90 @@
+//! CLI for the workspace static analyzer.
+//!
+//! ```text
+//! ambipla-analyze --workspace          # analyze every crate, exit 1 on findings
+//! ambipla-analyze --fixtures           # analyze the violation-seeded fixtures
+//! ambipla-analyze path/to/file.rs ...  # analyze explicit files or directories
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ambipla_analyze::{analyze_paths, collect_rust_files, find_workspace_root, report};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: ambipla-analyze --workspace | --fixtures | <paths...>\n\
+             exits 0 when no findings, 1 when findings, 2 on usage/io errors"
+        );
+        return ExitCode::from(2);
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("analyze: cannot determine current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = find_workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+
+    let paths: Vec<PathBuf> = if args.iter().any(|a| a == "--workspace") {
+        match collect_rust_files(&root) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("analyze: walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.iter().any(|a| a == "--fixtures") {
+        let dir = root.join("crates/analyze/fixtures");
+        match std::fs::read_dir(&dir) {
+            Ok(rd) => {
+                let mut v: Vec<PathBuf> = rd
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+                    .collect();
+                v.sort();
+                v
+            }
+            Err(e) => {
+                eprintln!("analyze: cannot read {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut v = Vec::new();
+        for a in &args {
+            let p = PathBuf::from(a);
+            if p.is_dir() {
+                match collect_rust_files(&p) {
+                    Ok(mut files) => v.append(&mut files),
+                    Err(e) => {
+                        eprintln!("analyze: walk failed for {a}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                v.push(p);
+            }
+        }
+        v
+    };
+
+    match analyze_paths(&root, &paths) {
+        Ok(findings) => {
+            print!("{}", report::render(&findings));
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

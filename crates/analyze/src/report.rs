@@ -1,0 +1,82 @@
+//! Findings and their rendering. Output is deterministic (sorted by
+//! path, then line, then rule) so golden tests can diff it exactly.
+
+use std::fmt;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired (one of [`crate::source::RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sort findings into their canonical order.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+            .then(a.message.cmp(&b.message))
+    });
+}
+
+/// Render a report: one line per finding plus a trailing summary line.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("analyze: no findings\n");
+    } else {
+        out.push_str(&format!("analyze: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_order_and_render() {
+        let mut fs = vec![
+            Finding {
+                rule: "panic_freedom",
+                path: "b.rs".into(),
+                line: 3,
+                message: "x".into(),
+            },
+            Finding {
+                rule: "atomic_ordering",
+                path: "a.rs".into(),
+                line: 9,
+                message: "y".into(),
+            },
+        ];
+        sort(&mut fs);
+        let text = render(&fs);
+        assert!(text.starts_with("a.rs:9: [atomic_ordering] y\n"));
+        assert!(text.contains("b.rs:3: [panic_freedom] x\n"));
+        assert!(text.ends_with("analyze: 2 finding(s)\n"));
+        assert_eq!(render(&[]), "analyze: no findings\n");
+    }
+}

@@ -1,0 +1,261 @@
+//! Rule `atomic_ordering`: every `Ordering::<variant>` site in
+//! non-test code must be justified — by an attached comment containing
+//! an ordering-vocabulary keyword, or by a policy-table entry for that
+//! file/field. Two sharper checks ride on top:
+//!
+//! * `SeqCst` is rejected unless the site is on the (currently empty)
+//!   SeqCst allowlist — sequential consistency is never needed in this
+//!   workspace and usually papers over missing reasoning;
+//! * a `store(.., Release)` whose same-field `load` elsewhere in the
+//!   file is `Relaxed` is flagged: the Release publication is only
+//!   observable through an Acquire load.
+
+use crate::policy::{
+    atomic_policy_allows, comment_justifies_ordering, path_matches, SEQCST_ALLOWED,
+};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+struct Site {
+    field: String,
+    method: String,
+    variant: &'static str,
+    line: usize,
+    policy_ok: bool,
+    allowed: bool,
+}
+
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.is_test_file() {
+        return;
+    }
+    let sig: Vec<usize> = file.significant().collect();
+    let mut sites: Vec<Site> = Vec::new();
+    for s in 0..sig.len() {
+        // Pattern: `Ordering` `:` `:` `<variant>`.
+        if !file.is_ident(sig[s], "Ordering")
+            || s + 3 >= sig.len()
+            || file.text_of(sig[s + 1]) != ":"
+            || file.text_of(sig[s + 2]) != ":"
+        {
+            continue;
+        }
+        let Some(&variant) = VARIANTS.iter().find(|v| file.is_ident(sig[s + 3], v)) else {
+            continue; // std::cmp::Ordering::{Less,Equal,Greater} etc.
+        };
+        let offset = file.tokens[sig[s]].start;
+        if file.is_test_code(offset) {
+            continue;
+        }
+        let line = file.line_of(offset);
+        let (field, method) = receiver_of(file, &sig, s);
+        let policy_ok = atomic_policy_allows(&file.rel, &field, variant);
+        let allowed = file.is_allowed("atomic_ordering", line);
+        sites.push(Site {
+            field,
+            method,
+            variant,
+            line,
+            policy_ok,
+            allowed,
+        });
+    }
+
+    for site in &sites {
+        if site.allowed {
+            continue;
+        }
+        if site.variant == "SeqCst" {
+            let excused = SEQCST_ALLOWED.iter().any(|p| {
+                path_matches(&file.rel, p.path_suffix) && (p.field == "*" || p.field == site.field)
+            });
+            if !excused {
+                findings.push(Finding {
+                    rule: "atomic_ordering",
+                    path: file.rel.clone(),
+                    line: site.line,
+                    message: format!(
+                        "SeqCst on `{}` is outside the SeqCst allowlist; \
+                         use the weakest ordering that is correct and document it",
+                        site.field
+                    ),
+                });
+                continue;
+            }
+        } else if !site.policy_ok && !comment_justifies_ordering(&file.attached_comments(site.line))
+        {
+            findings.push(Finding {
+                rule: "atomic_ordering",
+                path: file.rel.clone(),
+                line: site.line,
+                message: format!(
+                    "Ordering::{} on `{}`.{} has neither a justification comment nor a policy entry",
+                    site.variant, site.field, site.method
+                ),
+            });
+        }
+    }
+
+    // Release-store / Relaxed-load pairing heuristic.
+    for store in sites
+        .iter()
+        .filter(|s| s.method == "store" && s.variant == "Release" && !s.allowed)
+    {
+        for load in sites.iter().filter(|l| {
+            l.method == "load"
+                && l.variant == "Relaxed"
+                && l.field == store.field
+                && l.field != "?"
+                && !l.policy_ok
+                && !l.allowed
+        }) {
+            findings.push(Finding {
+                rule: "atomic_ordering",
+                path: file.rel.clone(),
+                line: store.line,
+                message: format!(
+                    "Release store to `{}` but its load at line {} is Relaxed; \
+                     the publication is only visible through an Acquire load",
+                    store.field, load.line
+                ),
+            });
+        }
+    }
+}
+
+/// Walk back from the `Ordering` token to the atomic method call it is
+/// an argument of, and from there to the receiver field name. Returns
+/// `("?", "?")` when the shape is unrecognized (forcing a comment).
+fn receiver_of(file: &SourceFile, sig: &[usize], s: usize) -> (String, String) {
+    let mut depth = 0i32;
+    let mut t = s;
+    while t > 0 {
+        t -= 1;
+        match file.text_of(sig[t]) {
+            ")" => depth += 1,
+            "(" => {
+                if depth == 0 {
+                    // sig[t] is the call's open paren; method before it.
+                    if t >= 1 {
+                        let m = t - 1;
+                        let name = file.text_of(sig[m]);
+                        if ATOMIC_METHODS.contains(&name)
+                            && m >= 2
+                            && file.text_of(sig[m - 1]) == "."
+                        {
+                            let recv = file.text_of(sig[m - 2]);
+                            if file.tokens[sig[m - 2]].kind == crate::lexer::TokenKind::Ident {
+                                return (recv.to_string(), name.to_string());
+                            }
+                        }
+                    }
+                    return ("?".to_string(), "?".to_string());
+                }
+                depth -= 1;
+            }
+            ";" | "{" | "}" if depth == 0 => return ("?".to_string(), "?".to_string()),
+            _ => {}
+        }
+    }
+    ("?".to_string(), "?".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::new(PathBuf::from(rel), rel.to_string(), src.to_string());
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn policy_and_comment_justifications() {
+        let src = "\
+fn f(&self) {\n\
+    self.seq.store(1, Ordering::Release);\n\
+    // Relaxed: monotonic counter, no ordering needed.\n\
+    self.other.fetch_add(1, Ordering::Relaxed);\n\
+    self.naked.load(Ordering::Acquire);\n\
+}\n";
+        let out = run("crates/obs/src/ring.rs", src);
+        assert_eq!(out.len(), 1, "{:?}", out);
+        assert_eq!(out[0].line, 5);
+        assert!(out[0].message.contains("naked"));
+    }
+
+    #[test]
+    fn seqcst_rejected_even_with_comment() {
+        let src = "\
+fn f(&self) {\n\
+    // SeqCst: because reasons, with atomic keywords galore.\n\
+    self.flag.store(true, Ordering::SeqCst);\n\
+}\n";
+        let out = run("crates/x/src/lib.rs", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn release_store_relaxed_load_pairing() {
+        let src = "\
+fn f(&self) {\n\
+    // Release: publishes the buffer (ordering comment).\n\
+    self.epoch.store(1, Ordering::Release);\n\
+    // Relaxed: observed speculative reads are fine (ordering comment).\n\
+    let _ = self.epoch.load(Ordering::Relaxed);\n\
+}\n";
+        let out = run("crates/x/src/lib.rs", src);
+        assert_eq!(out.len(), 1, "{:?}", out);
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("line 5"));
+    }
+
+    #[test]
+    fn cmp_ordering_is_ignored() {
+        let src = "fn f() { match a.cmp(&b) { std::cmp::Ordering::Less => {} _ => {} } }\n";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn compare_exchange_both_orderings_resolve_receiver() {
+        let src = "\
+fn f(&self) {\n\
+    let _ = self.head.compare_exchange_weak(h, h + 1, Ordering::Relaxed, Ordering::Relaxed);\n\
+}\n";
+        let out = run("crates/obs/src/ring.rs", src);
+        assert!(out.is_empty(), "{:?}", out);
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t(&self) { self.x.load(Ordering::SeqCst); }\n\
+}\n";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Rule `panic_freedom`: no panicking constructs in non-test code of
+//! the modules named by [`crate::policy::PANIC_POLICIES`].
+//!
+//! Banned: `.unwrap()`, `.expect(...)`, and the macros `panic!`,
+//! `unreachable!`, `assert!`, `assert_eq!`, `assert_ne!`, `todo!`,
+//! `unimplemented!`. `debug_assert*` is deliberately permitted: it
+//! compiles out of release builds, which is what production runs.
+
+use crate::policy::panic_policy_for;
+use crate::report::Finding;
+use crate::source::{fn_spans, SourceFile};
+
+const BANNED_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "todo",
+    "unimplemented",
+];
+
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let Some(policy) = panic_policy_for(&file.rel) else {
+        return;
+    };
+    if file.is_test_file() {
+        return;
+    }
+    // When the policy is function-scoped, compute the covered byte
+    // ranges; lexically nested helpers are covered automatically.
+    let covered: Option<Vec<std::ops::Range<usize>>> = if policy.functions.is_empty() {
+        None
+    } else {
+        let spans = fn_spans(file);
+        Some(
+            spans
+                .iter()
+                .filter(|s| policy.functions.contains(&s.name.as_str()))
+                .map(|s| s.body.clone())
+                .collect(),
+        )
+    };
+    let in_scope = |offset: usize| match &covered {
+        None => true,
+        Some(ranges) => ranges.iter().any(|r| r.start <= offset && offset < r.end),
+    };
+
+    let sig: Vec<usize> = file.significant().collect();
+    for (s, &i) in sig.iter().enumerate() {
+        let tok = &file.tokens[i];
+        if !in_scope(tok.start) || file.is_test_code(tok.start) {
+            continue;
+        }
+        let text = file.text_of(i);
+        let line = file.line_of(tok.start);
+        // `.unwrap()` / `.expect(` — require the leading dot so free
+        // functions named `unwrap` in scope don't trip the rule.
+        if BANNED_METHODS.contains(&text)
+            && s > 0
+            && file.text_of(sig[s - 1]) == "."
+            && s + 1 < sig.len()
+            && file.text_of(sig[s + 1]) == "("
+            && !file.is_allowed("panic_freedom", line)
+        {
+            findings.push(Finding {
+                rule: "panic_freedom",
+                path: file.rel.clone(),
+                line,
+                message: format!(
+                    ".{}() in non-test code ({}); return a typed error instead",
+                    text, policy.reason
+                ),
+            });
+            continue;
+        }
+        // `panic!(...)` and friends — an identifier followed by `!`.
+        if BANNED_MACROS.contains(&text)
+            && s + 1 < sig.len()
+            && file.text_of(sig[s + 1]) == "!"
+            && (s == 0 || file.text_of(sig[s - 1]) != ".")
+            && !file.is_allowed("panic_freedom", line)
+        {
+            findings.push(Finding {
+                rule: "panic_freedom",
+                path: file.rel.clone(),
+                line,
+                message: format!(
+                    "{}! in non-test code ({}); handle the case or return an error",
+                    text, policy.reason
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::new(PathBuf::from(rel), rel.to_string(), src.to_string());
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_and_macros_outside_tests() {
+        let src = "\
+fn f() {\n\
+    let x = y.unwrap();\n\
+    let z = y.expect(\"msg\");\n\
+    panic!(\"no\");\n\
+    debug_assert!(x > 0);\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { a.unwrap(); assert_eq!(1, 1); }\n\
+}\n";
+        let out = run("crates/net/src/protocol.rs", src);
+        let lines: Vec<usize> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn unpoliced_files_are_ignored() {
+        assert!(run("crates/core/src/lib.rs", "fn f() { x.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn function_scoped_policy() {
+        let src = "\
+fn flush() { a.unwrap(); }\n\
+fn other() { b.unwrap(); }\n";
+        let out = run("crates/serve/src/batcher.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "\
+fn f() {\n\
+    // analyze: allow(panic_freedom, reason = \"init-time invariant\")\n\
+    let x = y.unwrap();\n\
+    let z = y.unwrap();\n\
+}\n";
+        let out = run("crates/net/src/protocol.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = "fn f() { let s = \"x.unwrap()\"; /* panic!() */ }\n";
+        assert!(run("crates/net/src/protocol.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Rule `unsafe_safety`: every `unsafe` keyword — block, fn, impl, or
+//! trait — must have a `// SAFETY:` comment attached immediately above
+//! (trailing on the same line also counts). A single comment above a
+//! *group* of consecutive `unsafe impl` items covers the whole group,
+//! matching the existing idiom in `crates/obs/src/ring.rs`.
+//!
+//! This rule intentionally also covers test code: an unsound test is
+//! still unsound.
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let sig: Vec<usize> = file.significant().collect();
+    for &i in &sig {
+        if !file.is_ident(i, "unsafe") {
+            continue;
+        }
+        let line = file.line_of(file.tokens[i].start);
+        if file.is_allowed("unsafe_safety", line) {
+            continue;
+        }
+        let comments = file.attached_comments_over_unsafe_group(line);
+        if !comments.contains("SAFETY:") {
+            findings.push(Finding {
+                rule: "unsafe_safety",
+                path: file.rel.clone(),
+                line,
+                message: "unsafe without a `// SAFETY:` comment immediately above".to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::new(PathBuf::from("x.rs"), "x.rs".into(), src.to_string());
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn documented_block_passes_naked_block_fails() {
+        let src = "\
+fn f() {\n\
+    // SAFETY: index bounds-checked above.\n\
+    unsafe { ptr.read() };\n\
+    unsafe { ptr.read() };\n\
+}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn group_comment_covers_stacked_unsafe_impls() {
+        let src = "\
+// SAFETY: the slot protocol makes cross-thread access race free.\n\
+unsafe impl<T: Send> Send for Ring<T> {}\n\
+unsafe impl<T: Send> Sync for Ring<T> {}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_ignored() {
+        let src = "fn f() { let s = \"unsafe {\"; /* unsafe */ }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_hatch() {
+        let src = "\
+// analyze: allow(unsafe_safety, reason = \"documented at module level\")\n\
+unsafe fn raw() {}\n";
+        assert!(run(src).is_empty());
+    }
+}

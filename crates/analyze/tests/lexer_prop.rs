@@ -1,0 +1,103 @@
+//! Property tests for the analyzer's lexer: fed adversarial source
+//! fragments — unterminated strings, nested block comments, raw
+//! strings containing quotes, `//` inside strings, stray backslashes,
+//! multibyte chars, lone `r`/`b` prefixes — the lexer must never panic
+//! and its token spans must tile the input exactly (cover every byte,
+//! in order, with no gaps or overlaps).
+
+use ambipla_analyze::lexer::lex;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Adversarial fragments chosen to sit on every lexer state boundary.
+const FRAGMENTS: &[&str] = &[
+    "\"unterminated",
+    "\"esc\\\"aped\" ",
+    "\"// not a comment\"",
+    "'\\''",
+    "'a'",
+    "'a",
+    "'static",
+    "'\\u{7f}'",
+    "b'\\xff'",
+    "r\"raw \\ no escapes\"",
+    "r#\"quote \" inside\"#",
+    "r##\"# fence \"# still open\"##",
+    "br#\"bytes\"#",
+    "r#ident",
+    "radius",
+    "r\"unterminated raw",
+    "/* nested /* block */ comment */",
+    "/* unterminated /* nested",
+    "/** doc block */",
+    "/*! inner doc */",
+    "/**/",
+    "// line comment\n",
+    "/// doc\n",
+    "//! inner doc\n",
+    "////不是 doc\n",
+    "λ_ident",
+    "名前",
+    "{ } ( ) [ ] ;",
+    "#[cfg(test)]",
+    "unsafe { x.unwrap() }",
+    "Ordering::SeqCst",
+    ".lock()",
+    "\\",
+    "\0",
+    "\r\n",
+    "\t ",
+    "b\"byte str\"",
+    "b\"open",
+    "'",
+    "r",
+    "r#",
+    "br##",
+    "0x1f_u64",
+    "let x = 1;",
+];
+
+/// Assert totality + tiling for one input. Returns the token count so
+/// callers can also sanity-check non-emptiness.
+fn assert_tiles(src: &str) -> usize {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    for t in &tokens {
+        assert_eq!(t.start, pos, "gap or overlap at byte {pos} in {src:?}");
+        assert!(t.end > t.start, "empty token at byte {pos} in {src:?}");
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tokens do not cover all of {src:?}");
+    tokens.len()
+}
+
+#[test]
+fn every_fragment_tiles_alone() {
+    for f in FRAGMENTS {
+        assert_tiles(f);
+    }
+    assert_eq!(assert_tiles(""), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random concatenations of adversarial fragments: an unterminated
+    /// opener in one fragment swallows the rest, which must still end
+    /// in a clean EOF token, never a panic or a gap.
+    #[test]
+    fn fragment_concatenations_tile(picks in vec(any::<u16>(), 0..12usize)) {
+        let src: String = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i as usize % FRAGMENTS.len()])
+            .collect();
+        assert_tiles(&src);
+    }
+
+    /// Arbitrary bytes forced into UTF-8: no input panics the lexer.
+    #[test]
+    fn random_text_tiles(bytes in vec(any::<u8>(), 0..200usize)) {
+        let src = String::from_utf8_lossy(&bytes);
+        assert_tiles(&src);
+    }
+}

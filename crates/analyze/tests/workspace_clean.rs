@@ -1,0 +1,22 @@
+//! Tier-1 enforcement: the analyzer must run clean over the real
+//! workspace. Any new unjustified unwrap, naked unsafe, unexplained
+//! ordering, or lock-order cycle fails `cargo test` itself — no CI
+//! round trip needed.
+
+use std::path::Path;
+
+use ambipla_analyze::{analyze_workspace, report};
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists");
+    let findings = analyze_workspace(root).expect("workspace readable");
+    assert!(
+        findings.is_empty(),
+        "static analysis findings on the workspace:\n{}",
+        report::render(&findings)
+    );
+}

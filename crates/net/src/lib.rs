@@ -47,6 +47,12 @@
 //! * [`client`] — the blocking reference [`NetClient`] used by tests,
 //!   benches and demos.
 
+// Production code returns typed errors instead of unwrapping; test code
+// may unwrap freely. `ambipla-analyze` enforces the stronger
+// panic-freedom rule on the hot/untrusted paths; this lint is the
+// compile-time backstop for the rest of the crate.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod client;
 pub mod protocol;
 pub mod server;

@@ -206,16 +206,30 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+// The decode helpers are only called after `check_len`/`check_exact`
+// has validated the buffer, so indexing is in bounds; building the
+// byte arrays element-wise keeps the `TryInto`-failure branch (and its
+// panic machinery) out of the wire-parsing path entirely.
+
 fn get_u16(buf: &[u8], at: usize) -> u16 {
-    u16::from_le_bytes(buf[at..at + 2].try_into().expect("bounds checked"))
+    u16::from_le_bytes([buf[at], buf[at + 1]])
 }
 
 fn get_u32(buf: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(buf[at..at + 4].try_into().expect("bounds checked"))
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
 }
 
 fn get_u64(buf: &[u8], at: usize) -> u64 {
-    u64::from_le_bytes(buf[at..at + 8].try_into().expect("bounds checked"))
+    u64::from_le_bytes([
+        buf[at],
+        buf[at + 1],
+        buf[at + 2],
+        buf[at + 3],
+        buf[at + 4],
+        buf[at + 5],
+        buf[at + 6],
+        buf[at + 7],
+    ])
 }
 
 /// Append `frame` to `out` in wire form: `[u32 payload length][payload]`.
@@ -423,6 +437,21 @@ mod tests {
         let len = get_u32(&wire, 0) as usize;
         assert_eq!(wire.len(), 4 + len);
         assert_eq!(decode_payload(&wire[4..]), Ok(frame));
+    }
+
+    /// Regression: the little-endian decode helpers were rewritten
+    /// from `try_into().expect(..)` to element-wise array builds; pin
+    /// the byte order and offsets against the `put_*` encoders.
+    #[test]
+    fn get_helpers_invert_put_helpers_at_any_offset() {
+        let mut buf = vec![0xA5]; // leading junk: offsets must be honored
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_F00D);
+        put_u64(&mut buf, 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_u16(&buf, 1), 0xBEEF);
+        assert_eq!(get_u32(&buf, 3), 0xDEAD_F00D);
+        assert_eq!(get_u64(&buf, 7), 0x0123_4567_89AB_CDEF);
+        assert_eq!(&buf[1..3], &0xBEEFu16.to_le_bytes());
     }
 
     #[test]

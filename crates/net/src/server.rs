@@ -131,8 +131,16 @@ impl Scheduler {
     }
 
     /// The queue slot for a tenant, created on first use.
+    ///
+    /// Lock poisoning throughout the scheduler is recovered with
+    /// `PoisonError::into_inner`: queue state is a set of independent
+    /// FIFOs plus counters, every mutation leaves it consistent, and a
+    /// panicking dispatcher must not take the whole listener down.
     fn tenant_slot(&self, raw: u64) -> usize {
-        let mut inner = self.inner.lock().expect("scheduler lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(&slot) = inner.slot_of.get(&raw) {
             return slot;
         }
@@ -150,7 +158,10 @@ impl Scheduler {
     /// rejected by the per-tenant pending cap.
     fn enqueue(&self, slot: usize, batch: Vec<Pending>) -> Vec<Pending> {
         let mut rejected = Vec::new();
-        let mut inner = self.inner.lock().expect("scheduler lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for p in batch {
             let tq = &mut inner.queues[slot];
             if tq.q.len() >= self.tenant_pending {
@@ -172,7 +183,10 @@ impl Scheduler {
     /// Block for the next DRR batch; `None` only after [`stop`] once
     /// every queue has drained, so shutdown never drops admitted work.
     fn next_batch(&self) -> Option<Vec<Pending>> {
-        let mut inner = self.inner.lock().expect("scheduler lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if let Some(slot) = inner.rotation.pop_front() {
                 let quantum = self.quantum;
@@ -195,12 +209,18 @@ impl Scheduler {
             if inner.stopping {
                 return None;
             }
-            inner = self.cv.wait(inner).expect("scheduler lock");
+            inner = self
+                .cv
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     fn stop(&self) {
-        self.inner.lock().expect("scheduler lock").stopping = true;
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .stopping = true;
         self.cv.notify_all();
     }
 }
@@ -299,15 +319,26 @@ impl NetServer {
             conn_seq: AtomicU32::new(0),
         });
         let accept_ctx = Arc::clone(&ctx);
+        // Thread spawning can fail under resource exhaustion; bind
+        // already returns io::Result, so surface it instead of panicking.
         let accept = std::thread::Builder::new()
             .name("ambipla-net-accept".into())
-            .spawn(move || accept_loop(listener, accept_ctx))
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(listener, accept_ctx))?;
         let disp_ctx = Arc::clone(&ctx);
-        let dispatcher = std::thread::Builder::new()
+        let dispatcher = match std::thread::Builder::new()
             .name("ambipla-net-dispatch".into())
             .spawn(move || dispatch_loop(disp_ctx))
-            .expect("spawn dispatcher thread");
+        {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Unwind the half-started server: stop the accept loop
+                // and reap it before reporting the error.
+                ctx.stop.store(true, Ordering::Relaxed);
+                ctx.sched.stop();
+                let _ = accept.join();
+                return Err(e);
+            }
+        };
         Ok(NetServer {
             ctx,
             accept: Some(accept),
@@ -333,7 +364,7 @@ impl NetServer {
         self.ctx
             .routes
             .write()
-            .expect("route lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key.raw(), Route { id, mask });
     }
 
@@ -430,12 +461,21 @@ impl NetServer {
     }
 
     fn stop_threads(&mut self) {
-        self.ctx.stop.store(true, Ordering::SeqCst);
+        // Relaxed store/load on the stop flag: it is a standalone
+        // cooperative-shutdown bit guarding no other data, and the
+        // thread joins below provide the synchronization for everything
+        // the loops touched. SeqCst would buy nothing here.
+        self.ctx.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        let conns: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.ctx.conns.lock().expect("conn list lock"));
+        let conns: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .ctx
+                .conns
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for h in conns {
             let _ = h.join();
         }
@@ -460,16 +500,29 @@ impl Drop for NetServer {
 }
 
 fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
-    while !ctx.stop.load(Ordering::SeqCst) {
+    // Relaxed load: cooperative stop flag, synchronized by join (see
+    // stop_threads).
+    while !ctx.stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Relaxed: monotonic connection-id allocator; ids only
+                // need uniqueness, not ordering against other data.
                 let slot = ctx.conn_seq.fetch_add(1, Ordering::Relaxed);
                 let conn_ctx = Arc::clone(&ctx);
-                let handle = std::thread::Builder::new()
+                match std::thread::Builder::new()
                     .name(format!("ambipla-net-conn-{slot}"))
                     .spawn(move || conn_loop(stream, slot, conn_ctx))
-                    .expect("spawn connection thread");
-                ctx.conns.lock().expect("conn list lock").push(handle);
+                {
+                    Ok(handle) => ctx
+                        .conns
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(handle),
+                    // Spawn failure (fd/thread exhaustion): drop the
+                    // stream, refusing this connection, and keep serving
+                    // the ones we have.
+                    Err(_) => continue,
+                }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_micros(500));
@@ -492,7 +545,7 @@ fn dispatch_loop(ctx: Arc<ServerCtx>) {
                     p.conn
                         .errors
                         .lock()
-                        .expect("conn error lock")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .push((p.req_id, ErrorCode::QueueFull));
                 }
             }
@@ -567,7 +620,8 @@ impl Conn {
 fn hello_phase(conn: &mut Conn, ctx: &ServerCtx) -> Option<TenantId> {
     let mut idle = 0u32;
     loop {
-        if ctx.stop.load(Ordering::SeqCst) {
+        // Relaxed: cooperative stop flag, synchronized by thread join.
+        if ctx.stop.load(Ordering::Relaxed) {
             return None;
         }
         match conn.reader.next_frame() {
@@ -621,7 +675,8 @@ fn conn_loop(stream: TcpStream, conn_slot: u32, ctx: Arc<ServerCtx>) {
     let mut idle = 0u32;
     let mut alive = true;
 
-    while alive && !ctx.stop.load(Ordering::SeqCst) {
+    // Relaxed: cooperative stop flag, synchronized by thread join.
+    while alive && !ctx.stop.load(Ordering::Relaxed) {
         let mut progress = false;
 
         // 1. Pull bytes off the socket.
@@ -638,7 +693,7 @@ fn conn_loop(stream: TcpStream, conn_slot: u32, ctx: Arc<ServerCtx>) {
                     let route = ctx
                         .routes
                         .read()
-                        .expect("route lock")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .get(&sim.raw())
                         .copied();
                     match route {
@@ -705,7 +760,10 @@ fn conn_loop(stream: TcpStream, conn_slot: u32, ctx: Arc<ServerCtx>) {
 
         // 4. Errors the dispatcher reported for this connection.
         {
-            let mut errs = shared.errors.lock().expect("conn error lock");
+            let mut errs = shared
+                .errors
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             for (req_id, code) in errs.drain(..) {
                 progress = true;
                 conn.queue_frame(&Frame::Error { req_id, code });

@@ -157,12 +157,21 @@ impl TenantState {
     /// Spend one quota token; `false` means the request must be
     /// rejected with `QuotaExceeded`.
     pub fn try_take_token(&self, now_ns: u64) -> bool {
-        self.bucket.write().expect("bucket lock").try_take(now_ns)
+        // Poison recovery: the bucket is a pair of scalars that every
+        // mutation leaves consistent, and quota accounting must not
+        // panic on the dispatch path.
+        self.bucket
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .try_take(now_ns)
     }
 
     /// Replace the tenant's quota (the new bucket starts full).
     pub fn set_quota(&self, quota: QuotaConfig, now_ns: u64) {
-        *self.bucket.write().expect("bucket lock") = TokenBucket::new(quota, now_ns);
+        *self
+            .bucket
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = TokenBucket::new(quota, now_ns);
     }
 
     /// Count a request admitted past quota into the scheduler.
@@ -268,10 +277,21 @@ impl TenantRegistry {
 
     /// The tenant's state, created with the default quota on first use.
     pub fn get_or_create(&self, id: TenantId, now_ns: u64) -> Arc<TenantState> {
-        if let Some(state) = self.tenants.read().expect("tenant lock").get(&id.raw()) {
+        // Poison recovery (here and below): the map's values are Arcs
+        // swapped in atomically; a panic elsewhere cannot leave a
+        // half-inserted entry, so the state is safe to reuse.
+        if let Some(state) = self
+            .tenants
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&id.raw())
+        {
             return Arc::clone(state);
         }
-        let mut map = self.tenants.write().expect("tenant lock");
+        let mut map = self
+            .tenants
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(
             map.entry(id.raw())
                 .or_insert_with(|| Arc::new(TenantState::new(id, self.default_quota, now_ns))),
@@ -288,7 +308,7 @@ impl TenantRegistry {
         let mut out: Vec<TenantSnapshot> = self
             .tenants
             .read()
-            .expect("tenant lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
             .map(|t| t.snapshot())
             .collect();
@@ -385,5 +405,40 @@ mod tests {
         );
         assert!(t.try_take_token(0), "new bucket starts full");
         assert!(!t.try_take_token(0), "then enforces");
+    }
+
+    /// Regression for the poison-recovery change: quota accounting
+    /// used to `.expect("bucket lock")` — one panicking thread holding
+    /// the bucket would then panic every later request. It now recovers
+    /// the guard and keeps enforcing the quota.
+    #[test]
+    fn quota_survives_a_poisoned_bucket_lock() {
+        let reg = TenantRegistry::new(QuotaConfig {
+            rate_per_sec: 0,
+            burst: 2,
+        });
+        let t = reg.get_or_create(TenantId::new(7), 0);
+        assert!(t.try_take_token(0));
+        // Poison both the registry map lock and the bucket lock.
+        let t2 = Arc::clone(&t);
+        let _ = std::thread::spawn(move || {
+            let _bucket = t2.bucket.write().unwrap();
+            panic!("poison the bucket");
+        })
+        .join();
+        let reg2 = &reg;
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _map = reg2.tenants.write().unwrap();
+                panic!("poison the registry");
+            })
+            .join()
+        });
+        // Same state handed back, quota still enforced from where it was.
+        let again = reg.get_or_create(TenantId::new(7), 0);
+        assert!(Arc::ptr_eq(&t, &again));
+        assert!(again.try_take_token(0), "second burst token survives");
+        assert!(!again.try_take_token(0), "cap still enforced");
+        assert_eq!(reg.snapshots().len(), 1, "snapshots also recover");
     }
 }

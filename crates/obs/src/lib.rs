@@ -34,6 +34,11 @@
 //! assert_eq!(ring.dropped(), 0);
 //! ```
 
+// Every `unsafe` in this crate (the ring's slot protocol) must carry a
+// written SAFETY argument; `ambipla-analyze` enforces the same rule
+// workspace-wide, clippy backs it up at compile time here.
+#![deny(clippy::undocumented_unsafe_blocks)]
+
 pub mod event;
 pub mod export;
 pub mod recorder;

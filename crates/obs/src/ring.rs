@@ -54,6 +54,8 @@ pub struct EventRing {
 // head CAS after the matching release store of `seq`; the sequence
 // protocol makes the accesses data-race free.
 unsafe impl Send for EventRing {}
+// SAFETY: same argument as `Send` above — shared references only reach
+// slot memory through the CAS-guarded sequence protocol.
 unsafe impl Sync for EventRing {}
 
 impl EventRing {

@@ -298,7 +298,13 @@ impl BlockCache {
 
     /// Look up a block, promoting it to most-recently-used on hit.
     pub fn lookup(&self, key: &BlockKey) -> Option<Vec<u64>> {
-        let found = self.shard(key).lock().unwrap().get(key);
+        // Poison recovery: the LRU map stays structurally valid across a
+        // panicking holder, and a stale entry only costs a recompute.
+        let found = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key);
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -313,7 +319,12 @@ impl BlockCache {
 
     /// Insert (or refresh) a block's output words.
     pub fn insert(&self, key: BlockKey, value: Vec<u64>) {
-        let mut shard = self.shard(&key).lock().unwrap();
+        // Poison recovery: same argument as `lookup` — the shard map is
+        // never left mid-mutation by a panicking holder.
+        let mut shard = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if shard.capacity == 0 {
             return;
         }
@@ -326,7 +337,13 @@ impl BlockCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().map.len())
+            // Poison recovery: length reads tolerate a poisoned shard.
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .len()
+            })
             .sum()
     }
 

@@ -110,6 +110,12 @@
 //! assert_eq!((reply.epoch, reply.outputs), (1, vec![true]));
 //! ```
 
+// Production code returns typed errors instead of unwrapping; test code
+// may unwrap freely. `ambipla-analyze` enforces the stronger
+// panic-freedom rule on the hot/untrusted paths; this lint is the
+// compile-time backstop for the rest of the crate.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod batcher;
 pub mod cache;
 pub mod export;

@@ -312,14 +312,26 @@ impl RegStats {
     /// The live epoch's counters. The batcher caches this `Arc` per
     /// registration, so the flush path pays this lock only once per swap.
     pub fn current_epoch(&self) -> Arc<EpochStats> {
-        Arc::clone(self.epochs.read().unwrap().last().expect("epoch 0 exists"))
+        // Poison recovery on every stats lock in this file: the guarded
+        // data are append-only Vecs of Arcs, so a panicking writer can
+        // only leave a fully-pushed or fully-absent entry behind.
+        Arc::clone(
+            self.epochs
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .last()
+                .expect("epoch 0 exists"),
+        )
     }
 
     /// Begin the next epoch (a completed hot swap) and return its
     /// counters. The number of completed swaps on this registration is
     /// exactly the current epoch number.
     pub fn begin_epoch(&self) -> Arc<EpochStats> {
-        let mut epochs = self.epochs.write().unwrap();
+        let mut epochs = self
+            .epochs
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let next = EpochStats::new(epochs.len() as u64);
         let stats = Arc::new(next);
         epochs.push(Arc::clone(&stats));
@@ -332,8 +344,9 @@ impl RegStats {
         let epochs: Vec<EpochSnapshot> = self
             .epochs
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
+            // analyze: allow(lock_order, reason = "EpochStats::snapshot takes no locks; the name-keyed call graph merges it with Reg/ServiceStats::snapshot")
             .map(|e| e.snapshot())
             .collect();
         RegSnapshot {
@@ -359,7 +372,10 @@ pub struct ServiceStats {
 impl ServiceStats {
     /// Add stats for the next registration slot and return them.
     pub fn register(&self) -> Arc<RegStats> {
-        let mut regs = self.regs.write().unwrap();
+        let mut regs = self
+            .regs
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let stats = Arc::new(RegStats::new(regs.len() as u32));
         regs.push(Arc::clone(&stats));
         stats
@@ -367,12 +383,19 @@ impl ServiceStats {
 
     /// Stats of one registration by slot index.
     pub fn reg(&self, slot: usize) -> Option<Arc<RegStats>> {
-        self.regs.read().unwrap().get(slot).cloned()
+        self.regs
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(slot)
+            .cloned()
     }
 
     /// All registrations, slot order.
     pub fn registrations(&self) -> Vec<Arc<RegStats>> {
-        self.regs.read().unwrap().clone()
+        self.regs
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Aggregate snapshot: the fold over all registrations (queue-depth
@@ -384,8 +407,9 @@ impl ServiceStats {
         let regs: Vec<RegSnapshot> = self
             .regs
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
+            // analyze: allow(lock_order, reason = "regs -> epochs is the established order; the merged snapshot name adds a phantom reverse edge")
             .map(|r| r.snapshot(0))
             .collect();
         StatsSnapshot::fold(&regs, cache_evictions)
